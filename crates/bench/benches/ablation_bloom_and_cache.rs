@@ -1,0 +1,136 @@
+//! Ablation benches beyond the paper's figures, for the design choices
+//! DESIGN.md calls out:
+//!
+//! * per-leaf temporal **bloom filters** (paper §IV-B) on vs off, for
+//!   temporally-selective queries over key-wide ranges — the case the
+//!   filters exist for;
+//! * the query servers' **LRU cache** (paper §IV-B) on vs (effectively)
+//!   off, for repeated queries over the same chunks.
+
+use std::time::{Duration, Instant};
+use waterwheel_bench::*;
+use waterwheel_cluster::LatencyModel;
+use waterwheel_core::{Query, SystemConfig, TimeInterval};
+use waterwheel_server::Waterwheel;
+use waterwheel_workloads::{key_hull, QueryGen};
+
+fn build(name: &str, bloom: bool, cache_bytes: usize) -> Waterwheel {
+    let root = std::env::temp_dir().join(format!("ww-abl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 4;
+    cfg.chunk_size_bytes = 256 << 10;
+    cfg.bloom_enabled = bloom;
+    cfg.cache_capacity_bytes = cache_bytes;
+    Waterwheel::builder(&root)
+        .config(cfg)
+        .dfs_latency(LatencyModel {
+            open: Duration::from_millis(2),
+            bandwidth: Some(200 << 20),
+            local_factor: 0.25,
+        })
+        .volatile_metadata()
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let n = scaled(150_000);
+    let tuples = network_tuples(n, 13);
+    let hull = key_hull(&tuples).unwrap();
+    let start_ts = tuples.first().unwrap().ts;
+    let end_ts = tuples.last().unwrap().ts;
+
+    // --- bloom ablation --------------------------------------------------
+    let mut rows = Vec::new();
+    for (label, bloom) in [("bloom ON", true), ("bloom OFF", false)] {
+        let ww = build(&format!("bloom-{bloom}"), bloom, 64 << 20);
+        for t in &tuples {
+            ww.insert(t.clone()).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        // Key-wide, time-narrow queries: exactly where the filters help.
+        let mut rng = waterwheel_workloads::Rng::new(3);
+        let mut samples = Vec::new();
+        for _ in 0..scaled(40) {
+            let lo = rng.range_inclusive(start_ts, end_ts.saturating_sub(2_000));
+            let q = Query::range(hull, TimeInterval::new(lo, lo + 2_000));
+            // Cold caches each round so pruning (not caching) is measured.
+            for qs in ww.query_servers() {
+                qs.cache().clear();
+            }
+            let t0 = Instant::now();
+            let _ = ww.query(&q).unwrap();
+            samples.push(t0.elapsed());
+        }
+        let pruned: u64 = ww
+            .query_servers()
+            .iter()
+            .map(|s| s.stats().leaves_pruned.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        let reads: u64 = ww
+            .query_servers()
+            .iter()
+            .map(|s| s.stats().leaf_reads.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        rows.push(vec![
+            label.to_string(),
+            fmt_dur(mean(&samples)),
+            pruned.to_string(),
+            reads.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: temporal bloom filters (key-wide, 2s-window queries)",
+        &["config", "avg latency", "leaves pruned", "leaf reads"],
+        &rows,
+    );
+
+    // --- cache ablation ----------------------------------------------------
+    let mut rows = Vec::new();
+    for (label, cache_bytes) in [("cache 64MB", 64usize << 20), ("cache 64KB", 64 << 10)] {
+        let ww = build(&format!("cache-{cache_bytes}"), true, cache_bytes);
+        for t in &tuples {
+            ww.insert(t.clone()).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        let mut qg = QueryGen::new(hull, 14);
+        // A small working set of repeated key ranges → cacheable.
+        let queries: Vec<Query> = (0..8)
+            .map(|_| Query::range(qg.key_range(0.05), TimeInterval::new(start_ts, end_ts)))
+            .collect();
+        let mut samples = Vec::new();
+        for round in 0..scaled(20) {
+            let q = &queries[round % queries.len()];
+            let t0 = Instant::now();
+            let _ = ww.query(q).unwrap();
+            samples.push(t0.elapsed());
+        }
+        let hit_ratio: f64 = {
+            let (h, m): (u64, u64) = ww
+                .query_servers()
+                .iter()
+                .map(|s| {
+                    (
+                        s.stats().leaf_cache_hits.load(std::sync::atomic::Ordering::Relaxed),
+                        s.stats().leaf_reads.load(std::sync::atomic::Ordering::Relaxed),
+                    )
+                })
+                .fold((0, 0), |(ah, am), (h, m)| (ah + h, am + m));
+            h as f64 / (h + m).max(1) as f64
+        };
+        rows.push(vec![
+            label.to_string(),
+            fmt_dur(mean(&samples)),
+            format!("{:.0}%", hit_ratio * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation: query-server LRU cache (repeated 5%-selectivity queries)",
+        &["config", "avg latency", "leaf hit ratio"],
+        &rows,
+    );
+}

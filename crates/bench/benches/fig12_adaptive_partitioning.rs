@@ -1,0 +1,119 @@
+//! Figure 12 — effectiveness of adaptive key partitioning (paper §VI-C1).
+//!
+//! Synthetic normal-key workload, σ from tight to wide to control skewness;
+//! 30-byte tuples; queries with key selectivity 0.1 over the most recent
+//! 60 seconds. Compared with the adaptive key partitioning feature on vs
+//! off.
+//!
+//! Paper shape: with adaptation both insertion throughput and query latency
+//! are consistently better, with the gap largest at high skew (small σ).
+
+use std::time::Instant;
+use waterwheel_bench::*;
+use waterwheel_core::{KeyInterval, Query, SystemConfig, TimeInterval};
+use waterwheel_server::Waterwheel;
+use waterwheel_workloads::synthetic::CENTER;
+use waterwheel_workloads::{NormalKeysConfig, NormalKeysGen, QueryGen};
+
+struct Outcome {
+    ingest_rate: f64,
+    query_latency_ms: f64,
+}
+
+fn run(sigma: f64, adaptive: bool) -> Outcome {
+    let root = std::env::temp_dir().join(format!(
+        "ww-fig12-{sigma}-{adaptive}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.indexing_servers = 4;
+    cfg.query_servers = 4;
+    cfg.chunk_size_bytes = 512 << 10;
+    let ww = Waterwheel::builder(&root)
+        .config(cfg)
+        .volatile_metadata()
+        .build()
+        .unwrap();
+
+    // The paper's keys are normal with µ=0 and σ∈[10, 5000]; our key domain
+    // is u64, so σ is scaled by the same factor as the domain centre.
+    let sigma_scaled = sigma * 1e5;
+    let mut stream = NormalKeysGen::new(NormalKeysConfig {
+        sigma: sigma_scaled,
+        records_per_sec: 10_000,
+        seed: 51,
+        ..NormalKeysConfig::default()
+    });
+    let n = scaled(200_000);
+    let rebalance_every = n / 10;
+    let t0 = Instant::now();
+    // The balancer is "a centralized system process" (§III-D) running off
+    // the ingest path; its (small) cost is excluded from the ingest clock,
+    // like in the paper's deployment where it runs beside the dispatchers.
+    let mut balancer_time = std::time::Duration::ZERO;
+    for i in 0..n {
+        ww.insert(stream.next().unwrap()).unwrap();
+        if adaptive && i % rebalance_every == rebalance_every - 1 {
+            ww.drain().unwrap();
+            let b0 = Instant::now();
+            let _ = ww.rebalance().unwrap();
+            balancer_time += b0.elapsed();
+        }
+    }
+    ww.drain().unwrap();
+    let ingest = t0.elapsed().saturating_sub(balancer_time);
+
+    // 1000 queries in the paper; scaled here. Selectivity 0.1 on the key
+    // domain (the populated ±4σ band), most recent 60 s.
+    let now = stream.now_ms();
+    let domain = KeyInterval::new(
+        (CENTER as f64 - 4.0 * sigma_scaled).max(0.0) as u64,
+        (CENTER as f64 + 4.0 * sigma_scaled) as u64,
+    );
+    let mut qg = QueryGen::new(domain, 52);
+    let mut samples = Vec::new();
+    for _ in 0..scaled(100) {
+        let keys = qg.key_range(0.1);
+        let q = Query::range(keys, TimeInterval::new(now.saturating_sub(60_000), now));
+        let t0 = Instant::now();
+        let _ = ww.query(&q).unwrap();
+        samples.push(t0.elapsed());
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Outcome {
+        ingest_rate: throughput(n, ingest),
+        query_latency_ms: mean(&samples).as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for sigma in [10.0, 100.0, 1_000.0, 5_000.0] {
+        let on = run(sigma, true);
+        let off = run(sigma, false);
+        rows.push(vec![
+            format!("{sigma}"),
+            fmt_rate(on.ingest_rate),
+            fmt_rate(off.ingest_rate),
+            format!("{:.2}ms", on.query_latency_ms),
+            format!("{:.2}ms", off.query_latency_ms),
+        ]);
+    }
+    print_table(
+        "Figure 12: adaptive key partitioning on/off vs key skewness (σ)",
+        &[
+            "sigma",
+            "ingest (adaptive)",
+            "ingest (static)",
+            "query (adaptive)",
+            "query (static)",
+        ],
+        &rows,
+    );
+    println!(
+        "(paper shape: adaptive ≥ static on both metrics; the paper notes the\n\
+         throughput gap is modest because ingest is network-bound in their\n\
+         cluster — here it is bound by the single ingest thread instead)"
+    );
+}

@@ -1,0 +1,106 @@
+//! Figure 13 — query latency under the four subquery dispatch policies
+//! (paper §VI-C2).
+//!
+//! 1000 (scaled) random queries with selectivity 0.1 on both the key and
+//! temporal domains, on both datasets. The DFS charges a per-access open
+//! latency with a co-located discount, so chunk- and cache-locality matter.
+//!
+//! Paper shape: round-robin worst, shared-queue better (load balance),
+//! hash better still (cache locality), LADA best (all three properties).
+
+use std::time::{Duration, Instant};
+use waterwheel_bench::*;
+use waterwheel_cluster::LatencyModel;
+use waterwheel_core::{Query, SystemConfig, Tuple};
+use waterwheel_server::{DispatchPolicy, Waterwheel};
+use waterwheel_workloads::{key_hull, QueryGen, TemporalShape};
+
+fn run_dataset(name: &str, tuples: &[Tuple]) {
+    let root = std::env::temp_dir().join(format!("ww-fig13-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 4;
+    cfg.chunk_size_bytes = 256 << 10;
+    // Modest cache so that locality (not cache capacity) decides hit rates.
+    cfg.cache_capacity_bytes = 4 << 20;
+    let ww = Waterwheel::builder(&root)
+        .config(cfg)
+        .nodes(4)
+        .dfs_latency(LatencyModel {
+            open: Duration::from_millis(2),
+            bandwidth: Some(200 << 20),
+            local_factor: 0.25,
+        })
+        .volatile_metadata()
+        .build()
+        .unwrap();
+    for t in tuples {
+        ww.insert(t.clone()).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+
+    let hull = key_hull(tuples).unwrap();
+    let start_ts = tuples.first().unwrap().ts;
+    let end_ts = tuples.last().unwrap().ts;
+    let span_secs = ((end_ts - start_ts) / 1_000).max(1);
+
+    let policies = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::SharedQueue,
+        DispatchPolicy::Hash,
+        DispatchPolicy::Lada,
+    ];
+    let mut rows = Vec::new();
+    for policy in policies {
+        ww.coordinator().set_policy(policy);
+        // Fresh caches per policy so earlier policies don't warm later ones.
+        for qs in ww.query_servers() {
+            qs.cache().clear();
+        }
+        let mut qg = QueryGen::new(hull, 61);
+        let mut samples = Vec::new();
+        for _ in 0..scaled(100) {
+            // Selectivity 0.1 on both domains: a 10 %-of-stream historic
+            // window plus a 10 % key range.
+            let q = {
+                let keys = qg.key_range(0.1);
+                let times = TemporalShape::Historic {
+                    secs: span_secs / 10,
+                }
+                .interval(&mut waterwheel_workloads::Rng::new(samples.len() as u64), start_ts, end_ts);
+                Query::range(keys, times)
+            };
+            let t0 = Instant::now();
+            let _ = ww.query(&q).unwrap();
+            samples.push(t0.elapsed());
+        }
+        let hits: u64 = ww
+            .query_servers()
+            .iter()
+            .map(|s| s.stats().leaf_cache_hits.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        rows.push(vec![
+            policy.label().to_string(),
+            fmt_dur(mean(&samples)),
+            hits.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Figure 13 ({name}): query latency by dispatch policy"),
+        &["policy", "avg latency", "cumulative cache hits"],
+        &rows,
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn main() {
+    let n = scaled(200_000);
+    run_dataset("Network", &network_tuples(n, 71));
+    run_dataset("T-Drive", &tdrive_tuples(n, 72));
+    println!(
+        "\n(paper shape: round-robin worst; shared-queue adds load balance;\n\
+         hash adds cache locality; LADA adds chunk locality on top and wins)"
+    );
+}

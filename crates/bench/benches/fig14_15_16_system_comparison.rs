@@ -1,0 +1,189 @@
+//! Figures 14, 15 & 16 — overall comparison of Waterwheel against the
+//! HBase-like LSM store and the Druid-like time store (paper §VI-D1).
+//!
+//! * **Figure 15**: maximum insertion throughput on both datasets. Paper
+//!   shape: Waterwheel an order of magnitude above both baselines (no WAL,
+//!   no merging).
+//! * **Figures 14 (Network) & 16 (T-Drive)**: average query latency for the
+//!   four representative temporal ranges (recent 5 s / 60 s / 5 min,
+//!   historic 5 min) × key selectivities {0.01, 0.05, 0.1}. Paper shape:
+//!   Waterwheel lowest everywhere; the LSM store degrades as key
+//!   selectivity grows (reads the whole key range); the time store is flat
+//!   in key selectivity but high (scans all temporally-qualifying tuples).
+
+use std::time::{Duration, Instant};
+use waterwheel_baselines::{LsmConfig, LsmStore, StreamStore, TimeStore, TimeStoreConfig};
+use waterwheel_bench::*;
+use waterwheel_cluster::LatencyModel;
+use waterwheel_core::{KeyInterval, Query, SystemConfig, TimeInterval, Tuple};
+use waterwheel_server::Waterwheel;
+use waterwheel_workloads::{key_hull, QueryGen, TemporalShape};
+
+/// The shared storage substrate: every system reads persisted data through
+/// the same access-latency model (the paper's systems all read from HDFS /
+/// deep storage; an in-memory scan would not be a comparable baseline).
+fn storage_latency() -> LatencyModel {
+    LatencyModel {
+        open: Duration::from_millis(2),
+        bandwidth: Some(200 << 20),
+        local_factor: 0.25,
+    }
+}
+
+/// Adapter: drive the full Waterwheel system through the comparison
+/// interface. Inserts are dispatched *and pumped* so visibility costs are
+/// included, exactly like the baselines' synchronous ingest.
+struct WaterwheelStore {
+    ww: Waterwheel,
+    pending: std::sync::atomic::AtomicUsize,
+}
+
+impl WaterwheelStore {
+    fn new(name: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("ww-fig1456-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = SystemConfig::default();
+        cfg.indexing_servers = 2;
+        cfg.query_servers = 4;
+        cfg.chunk_size_bytes = 1 << 20;
+        Self {
+            ww: Waterwheel::builder(&root)
+                .config(cfg)
+                .dfs_latency(storage_latency())
+                .volatile_metadata()
+                .build()
+                .unwrap(),
+            pending: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl StreamStore for WaterwheelStore {
+    fn insert(&self, tuple: Tuple) {
+        self.ww.insert(tuple).unwrap();
+        // Pump in batches: visibility stays sub-millisecond while the
+        // per-tuple cost stays realistic.
+        let p = self
+            .pending
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if p % 1_024 == 1_023 {
+            let _ = self.ww.pump_all(2_048);
+        }
+    }
+
+    fn query(&self, keys: &KeyInterval, times: &TimeInterval) -> Vec<Tuple> {
+        self.ww
+            .query(&Query::range(*keys, *times))
+            .map(|r| r.tuples)
+            .unwrap_or_default()
+    }
+
+    fn len(&self) -> usize {
+        self.ww.total_visible()
+    }
+
+    fn name(&self) -> &'static str {
+        "waterwheel"
+    }
+}
+
+fn ingest(store: &dyn StreamStore, tuples: &[Tuple]) -> f64 {
+    let t0 = Instant::now();
+    for t in tuples {
+        store.insert(t.clone());
+    }
+    throughput(tuples.len(), t0.elapsed())
+}
+
+fn latency_table(
+    figure: &str,
+    dataset: &str,
+    stores: &[&dyn StreamStore],
+    tuples: &[Tuple],
+) {
+    let hull = key_hull(tuples).unwrap();
+    let start_ts = tuples.first().unwrap().ts;
+    let now = tuples.last().unwrap().ts;
+    let mut rows = Vec::new();
+    for shape in TemporalShape::paper_set() {
+        for sel in [0.01, 0.05, 0.1] {
+            let mut row = vec![shape.label(), format!("{sel}")];
+            for store in stores {
+                let mut qg = QueryGen::new(hull, 81);
+                let mut rng = waterwheel_workloads::Rng::new(82);
+                let mut samples = Vec::new();
+                for _ in 0..scaled(20) {
+                    let keys = qg.key_range(sel);
+                    let times = shape.interval(&mut rng, start_ts, now);
+                    let t0 = Instant::now();
+                    let _ = store.query(&keys, &times);
+                    samples.push(t0.elapsed());
+                }
+                row.push(fmt_dur(mean(&samples)));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        &format!("{figure} ({dataset}): query latency vs temporal range × key selectivity"),
+        &["time range", "key sel", "waterwheel", "lsm (hbase-like)", "timestore (druid-like)"],
+        &rows,
+    );
+}
+
+fn run_dataset(dataset: &str, latency_figure: &str, tuples: &[Tuple]) -> Vec<String> {
+    let ww = WaterwheelStore::new(dataset);
+    let lsm = LsmStore::new(LsmConfig {
+        scan_latency: storage_latency(),
+        wal_commit_latency: storage_latency().open,
+        ..LsmConfig::default()
+    })
+    .unwrap();
+    let ts = TimeStore::new(TimeStoreConfig {
+        scan_latency: storage_latency(),
+        wal_commit_latency: storage_latency().open,
+        ..TimeStoreConfig::default()
+    })
+    .unwrap();
+
+    let ww_rate = ingest(&ww, tuples);
+    ww.ww.drain().unwrap();
+    let lsm_rate = ingest(&lsm, tuples);
+    let ts_rate = ingest(&ts, tuples);
+    assert_eq!(ww.len(), tuples.len());
+    assert_eq!(lsm.len(), tuples.len());
+    assert_eq!(ts.len(), tuples.len());
+
+    latency_table(
+        latency_figure,
+        dataset,
+        &[&ww, &lsm, &ts],
+        tuples,
+    );
+
+    vec![
+        dataset.to_string(),
+        fmt_rate(ww_rate),
+        fmt_rate(lsm_rate),
+        fmt_rate(ts_rate),
+        format!("{:.1}x", ww_rate / lsm_rate.max(1.0).max(ts_rate)),
+    ]
+}
+
+fn main() {
+    let n = scaled(200_000);
+    let fig15 = vec![
+        run_dataset("Network", "Figure 14", &network_tuples(n, 91)),
+        run_dataset("T-Drive", "Figure 16", &tdrive_tuples(n, 92)),
+    ];
+    print_table(
+        "Figure 15: maximum insertion throughput",
+        &["dataset", "waterwheel", "lsm (hbase-like)", "timestore (druid-like)", "ww vs best baseline"],
+        &fig15,
+    );
+    println!(
+        "\n(paper shape: Waterwheel ingest ~10x the baselines; query latency\n\
+         lowest for Waterwheel everywhere, LSM degrading with key selectivity\n\
+         and the time store flat-but-high in key selectivity)"
+    );
+}

@@ -1,0 +1,180 @@
+//! Shared support for the benchmark harnesses that regenerate every table
+//! and figure of the paper's evaluation (§VI). Each `benches/figNN_*.rs`
+//! target is a `harness = false` binary that prints the same rows/series
+//! the paper reports; see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use waterwheel_core::Tuple;
+use waterwheel_index::TupleIndex;
+use waterwheel_workloads::{NetworkConfig, NetworkGen, TDriveConfig, TDriveGen};
+
+/// Scale factor for benchmark sizes: `WW_BENCH_SCALE=2` doubles every
+/// workload. Default 1 keeps the full suite in the minutes range on a
+/// small machine.
+pub fn scale() -> usize {
+    std::env::var("WW_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// `n` scaled by [`scale`].
+pub fn scaled(n: usize) -> usize {
+    n * scale()
+}
+
+/// Pretty-prints a benchmark table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Tuples/second for `n` operations over `d`.
+pub fn throughput(n: usize, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64().max(1e-9)
+}
+
+/// Formats a tuples/second figure compactly (e.g. `1.53M/s`).
+pub fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}K/s", rate / 1e3)
+    } else {
+        format!("{rate:.0}/s")
+    }
+}
+
+/// Formats a duration as adaptive ms/µs text.
+pub fn fmt_dur(d: Duration) -> String {
+    if d >= Duration::from_millis(10) {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else if d >= Duration::from_micros(10) {
+        format!("{:.0}µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{}ns", d.as_nanos())
+    }
+}
+
+/// Mean duration of a sample set.
+pub fn mean(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    durations.iter().sum::<Duration>() / durations.len() as u32
+}
+
+/// Pre-generates `n` T-Drive-like tuples.
+pub fn tdrive_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    TDriveGen::new(TDriveConfig {
+        taxis: 2_000,
+        seed,
+        ..TDriveConfig::default()
+    })
+    .take(n)
+    .collect()
+}
+
+/// Pre-generates `n` Network-like tuples.
+pub fn network_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    NetworkGen::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    })
+    .take(n)
+    .collect()
+}
+
+/// Inserts a pre-generated tuple batch into `index` from `threads` threads
+/// (round-robin split), returning the wall-clock duration.
+pub fn parallel_insert(index: &dyn TupleIndex, tuples: &[Tuple], threads: usize) -> Duration {
+    assert!(threads >= 1);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let chunk: Vec<Tuple> = tuples
+                .iter()
+                .skip(w)
+                .step_by(threads)
+                .cloned()
+                .collect();
+            let index = &index;
+            scope.spawn(move || {
+                for t in chunk {
+                    index.insert(t);
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_formatting() {
+        let r = throughput(1_000_000, Duration::from_secs(1));
+        assert_eq!(fmt_rate(r), "1.00M/s");
+        assert_eq!(fmt_rate(1_500.0), "1.5K/s");
+        assert_eq!(fmt_dur(Duration::from_millis(25)), "25.0ms");
+    }
+
+    #[test]
+    fn generators_yield_requested_counts() {
+        assert_eq!(tdrive_tuples(100, 1).len(), 100);
+        assert_eq!(network_tuples(100, 1).len(), 100);
+    }
+
+    #[test]
+    fn parallel_insert_inserts_everything() {
+        use waterwheel_core::KeyInterval;
+        use waterwheel_index::{IndexConfig, TemplateBTree};
+        let tree = TemplateBTree::new(KeyInterval::full(), IndexConfig::default());
+        let tuples = network_tuples(1_000, 2);
+        parallel_insert(&tree, &tuples, 4);
+        assert_eq!(tree.len(), 1_000);
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        let m = mean(&[Duration::from_millis(1), Duration::from_millis(3)]);
+        assert_eq!(m, Duration::from_millis(2));
+        assert_eq!(mean(&[]), Duration::ZERO);
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal binary encode/decode helpers shared by the chunk format, the
+//! message queue segments, and metadata snapshots.
+//!
+//! We deliberately hand-roll the codec instead of pulling in serde: the
+//! on-disk formats are simple, fixed-layout, and versioned by a magic/version
+//! header, and a hand-rolled little-endian codec keeps the persisted layout
+//! obvious and auditable.
+
+use crate::error::{Result, WwError};
+use crate::interval::{KeyInterval, TimeInterval};
+use crate::region::Region;
+use crate::tuple::Tuple;
+use bytes::Bytes;
+
+/// Append-side helpers over a byte vector.
+pub trait Encoder {
+    /// Appends a little-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a length-prefixed byte slice.
+    fn put_bytes(&mut self, v: &[u8]);
+}
+
+impl Encoder for Vec<u8> {
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.extend_from_slice(v);
+    }
+}
+
+/// A cursor over an immutable byte slice with bounds-checked reads.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`; `what` names the artifact for error
+    /// messages ("chunk", "snapshot", …).
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining past the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Moves the cursor to an absolute offset.
+    pub fn seek(&mut self, pos: usize) -> Result<()> {
+        if pos > self.buf.len() {
+            return Err(WwError::corrupt(self.what, "seek past end"));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WwError::corrupt(
+                self.what,
+                format!("truncated: wanted {n} bytes at offset {}", self.pos),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte slice (borrowed from the input).
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+}
+
+/// Encodes a tuple as `key | ts | payload-len | payload`.
+pub fn encode_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    out.put_u64(t.key);
+    out.put_u64(t.ts);
+    out.put_bytes(&t.payload);
+}
+
+/// Decodes one tuple written by [`encode_tuple`].
+pub fn decode_tuple(dec: &mut Decoder<'_>) -> Result<Tuple> {
+    let key = dec.get_u64()?;
+    let ts = dec.get_u64()?;
+    let payload = Bytes::copy_from_slice(dec.get_bytes()?);
+    Ok(Tuple { key, ts, payload })
+}
+
+/// Encodes a region as four `u64` bounds.
+pub fn encode_region(out: &mut Vec<u8>, r: &Region) {
+    out.put_u64(r.keys.lo());
+    out.put_u64(r.keys.hi());
+    out.put_u64(r.times.lo());
+    out.put_u64(r.times.hi());
+}
+
+/// Decodes a region written by [`encode_region`], validating bounds order.
+pub fn decode_region(dec: &mut Decoder<'_>) -> Result<Region> {
+    let k_lo = dec.get_u64()?;
+    let k_hi = dec.get_u64()?;
+    let t_lo = dec.get_u64()?;
+    let t_hi = dec.get_u64()?;
+    let keys = KeyInterval::checked(k_lo, k_hi)
+        .ok_or_else(|| WwError::corrupt("region", "inverted key interval"))?;
+    let times = TimeInterval::checked(t_lo, t_hi)
+        .ok_or_else(|| WwError::corrupt("region", "inverted time interval"))?;
+    Ok(Region::new(keys, times))
+}
+
+/// Computes the 64-bit FNV-1a hash of `data`; used as a cheap integrity
+/// checksum on persisted artifacts and as the seed mixer for LADA shuffles.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u32(7);
+        buf.put_u64(u64::MAX);
+        buf.put_bytes(b"abc");
+        let mut dec = Decoder::new(&buf, "test");
+        assert_eq!(dec.get_u32().unwrap(), 7);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_bytes().unwrap(), b"abc");
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_is_reported_not_panicked() {
+        let buf = vec![1, 2, 3];
+        let mut dec = Decoder::new(&buf, "test");
+        let err = dec.get_u64().unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = Tuple::new(42, 1_000, vec![9u8; 17]);
+        let mut buf = Vec::new();
+        encode_tuple(&mut buf, &t);
+        assert_eq!(buf.len(), t.encoded_len());
+        let mut dec = Decoder::new(&buf, "test");
+        assert_eq!(decode_tuple(&mut dec).unwrap(), t);
+    }
+
+    #[test]
+    fn region_roundtrip_and_validation() {
+        let r = Region::new(KeyInterval::new(3, 9), TimeInterval::new(10, 20));
+        let mut buf = Vec::new();
+        encode_region(&mut buf, &r);
+        let mut dec = Decoder::new(&buf, "test");
+        assert_eq!(decode_region(&mut dec).unwrap(), r);
+
+        // Corrupt the key bounds so lo > hi.
+        let mut bad = Vec::new();
+        bad.put_u64(9);
+        bad.put_u64(3);
+        bad.put_u64(0);
+        bad.put_u64(0);
+        let mut dec = Decoder::new(&bad, "test");
+        assert!(decode_region(&mut dec).is_err());
+    }
+
+    #[test]
+    fn seek_bounds_checked() {
+        let buf = vec![0u8; 8];
+        let mut dec = Decoder::new(&buf, "test");
+        dec.seek(8).unwrap();
+        assert!(dec.seek(9).is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

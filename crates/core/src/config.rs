@@ -1,0 +1,183 @@
+//! System-wide configuration knobs.
+//!
+//! Every tunable the paper mentions is collected here with its paper default
+//! (and, where the paper value is cluster-scale, a scaled-down default noted
+//! in the field docs). Components receive a shared [`SystemConfig`] at
+//! construction time.
+
+use std::time::Duration;
+
+/// Configuration for an embedded Waterwheel deployment.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Chunk flush threshold in bytes (paper §III-A and §VI: 16 MB default).
+    ///
+    /// An indexing server flushes its in-memory B+ tree to the file system as
+    /// an immutable chunk once the accumulated tuple bytes reach this value.
+    pub chunk_size_bytes: usize,
+
+    /// B+ tree fanout: maximum children per inner node.
+    pub btree_fanout: usize,
+
+    /// Target number of tuples per leaf when (re)building a template.
+    pub leaf_capacity: usize,
+
+    /// Skewness threshold above which a template is marked obsolete and
+    /// rebuilt (paper §III-C: 0.2).
+    pub skew_threshold: f64,
+
+    /// Load-imbalance threshold for adaptive key partitioning: repartition
+    /// when any indexing server's sampled load deviates this fraction from
+    /// the mean (paper §III-D: 20 %).
+    pub partition_imbalance_threshold: f64,
+
+    /// Width of the sliding window over which dispatchers sample key
+    /// frequencies (paper §III-D: "a few seconds").
+    pub freq_sample_window: Duration,
+
+    /// Late-visibility parameter Δt (paper §IV-D): tuples arriving no later
+    /// than Δt behind an indexing server's high-water mark stay in the main
+    /// tree and remain query-visible via widened region bounds.
+    pub late_visibility: Duration,
+
+    /// Tuples later than Δt are diverted to a per-server side store so the
+    /// main chunks keep tight temporal bounds (paper §IV-D).
+    pub side_store_enabled: bool,
+
+    /// Number of indexing servers (one per key interval, paper §III-A).
+    pub indexing_servers: usize,
+
+    /// Number of query servers.
+    pub query_servers: usize,
+
+    /// Number of dispatchers feeding the indexing servers.
+    pub dispatchers: usize,
+
+    /// Replication factor for chunks in the simulated DFS (HDFS default: 3).
+    pub dfs_replication: usize,
+
+    /// Per-file-open latency of the simulated DFS. The paper measures HDFS
+    /// at 2–50 ms per access (§VI-B); tests default to zero.
+    pub dfs_open_latency: Duration,
+
+    /// Simulated DFS read bandwidth in bytes/sec; `None` disables throughput
+    /// modelling (reads cost only the open latency).
+    pub dfs_read_bandwidth: Option<u64>,
+
+    /// Query-server cache capacity in bytes (paper §VI: 1 GB per server;
+    /// scaled default 64 MB).
+    pub cache_capacity_bytes: usize,
+
+    /// Number of time mini-ranges per leaf bloom filter (paper §IV-B).
+    pub bloom_mini_ranges: usize,
+
+    /// Bits per entry in the leaf bloom filters.
+    pub bloom_bits_per_entry: usize,
+
+    /// Enable the per-leaf temporal bloom filters (ablation knob).
+    pub bloom_enabled: bool,
+
+    /// How many tuples an indexing server inserts between skewness checks.
+    pub skew_check_interval: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            // Scaled-down default so test suites run in seconds; the paper
+            // value is 16 MiB.
+            chunk_size_bytes: 1 << 20,
+            btree_fanout: 16,
+            leaf_capacity: 64,
+            skew_threshold: 0.2,
+            partition_imbalance_threshold: 0.2,
+            freq_sample_window: Duration::from_secs(2),
+            late_visibility: Duration::from_secs(5),
+            side_store_enabled: true,
+            indexing_servers: 2,
+            query_servers: 4,
+            dispatchers: 2,
+            dfs_replication: 3,
+            dfs_open_latency: Duration::ZERO,
+            dfs_read_bandwidth: None,
+            cache_capacity_bytes: 64 << 20,
+            bloom_mini_ranges: 64,
+            bloom_bits_per_entry: 10,
+            bloom_enabled: true,
+            skew_check_interval: 4096,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's cluster-scale settings (16 MB chunks, 1 GB cache,
+    /// 2 indexing / 4 query servers and 2 dispatchers per node).
+    pub fn paper_scale() -> Self {
+        Self {
+            chunk_size_bytes: 16 << 20,
+            cache_capacity_bytes: 1 << 30,
+            dfs_open_latency: Duration::from_millis(2),
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency; call once at system start.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.btree_fanout < 2 {
+            return Err("btree_fanout must be at least 2".into());
+        }
+        if self.leaf_capacity == 0 {
+            return Err("leaf_capacity must be positive".into());
+        }
+        if self.indexing_servers == 0 || self.query_servers == 0 || self.dispatchers == 0 {
+            return Err("server counts must be positive".into());
+        }
+        if self.dfs_replication == 0 {
+            return Err("dfs_replication must be positive".into());
+        }
+        if !(0.0..=10.0).contains(&self.skew_threshold) {
+            return Err("skew_threshold out of range".into());
+        }
+        if !(0.0..=10.0).contains(&self.partition_imbalance_threshold) {
+            return Err("partition_imbalance_threshold out of range".into());
+        }
+        if self.chunk_size_bytes == 0 {
+            return Err("chunk_size_bytes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SystemConfig::default().validate().unwrap();
+        SystemConfig::paper_scale().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_scale_uses_paper_constants() {
+        let c = SystemConfig::paper_scale();
+        assert_eq!(c.chunk_size_bytes, 16 << 20);
+        assert_eq!(c.cache_capacity_bytes, 1 << 30);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_settings() {
+        for breakage in [
+            |c: &mut SystemConfig| c.btree_fanout = 1,
+            |c: &mut SystemConfig| c.leaf_capacity = 0,
+            |c: &mut SystemConfig| c.indexing_servers = 0,
+            |c: &mut SystemConfig| c.dfs_replication = 0,
+            |c: &mut SystemConfig| c.skew_threshold = -1.0,
+            |c: &mut SystemConfig| c.chunk_size_bytes = 0,
+        ] {
+            let mut c = SystemConfig::default();
+            breakage(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

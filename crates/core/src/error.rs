@@ -1,0 +1,106 @@
+//! Error type shared across the Waterwheel crates.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = WwError> = std::result::Result<T, E>;
+
+/// Errors surfaced by Waterwheel components.
+#[derive(Debug)]
+pub enum WwError {
+    /// Underlying I/O failure (simulated DFS, metadata persistence, …).
+    Io(io::Error),
+    /// A persisted artifact (chunk, metadata snapshot, log segment) failed
+    /// to decode.
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A referenced entity does not exist.
+    NotFound {
+        /// Entity kind ("chunk", "topic", "region", …).
+        what: &'static str,
+        /// Identifier of the missing entity.
+        id: String,
+    },
+    /// An operation was issued against a component in the wrong state
+    /// (e.g. inserting into a sealed tree, flushing an empty tree).
+    InvalidState(String),
+    /// Invalid configuration detected at startup.
+    Config(String),
+    /// A server or channel shut down while the operation was in flight.
+    Shutdown(&'static str),
+    /// An injected fault (failure-injection test hooks).
+    Injected(&'static str),
+}
+
+impl fmt::Display for WwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WwError::Io(e) => write!(f, "I/O error: {e}"),
+            WwError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+            WwError::NotFound { what, id } => write!(f, "{what} not found: {id}"),
+            WwError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            WwError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            WwError::Shutdown(who) => write!(f, "{who} has shut down"),
+            WwError::Injected(what) => write!(f, "injected fault: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WwError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WwError {
+    fn from(e: io::Error) -> Self {
+        WwError::Io(e)
+    }
+}
+
+impl WwError {
+    /// Shorthand for a corruption error.
+    pub fn corrupt(what: &'static str, detail: impl Into<String>) -> Self {
+        WwError::Corrupt {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for a not-found error.
+    pub fn not_found(what: &'static str, id: impl fmt::Display) -> Self {
+        WwError::NotFound {
+            what,
+            id: id.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = WwError::corrupt("chunk", "bad magic");
+        assert_eq!(e.to_string(), "corrupt chunk: bad magic");
+        let e = WwError::not_found("topic", "ingest-3");
+        assert_eq!(e.to_string(), "topic not found: ingest-3");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: WwError = inner.into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

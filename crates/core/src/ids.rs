@@ -1,0 +1,130 @@
+//! Strongly-typed identifiers used across the system.
+//!
+//! Each is a newtype over `u64`/`u32` so that a chunk id can never be passed
+//! where a server id is expected. All ids are dense and allocated by the
+//! component that owns the namespace (metadata server for chunks, cluster
+//! for nodes, coordinator for queries).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw integer value.
+            #[inline]
+            pub fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an immutable data chunk in the distributed file system.
+    ///
+    /// Chunk ids seed the deterministic shuffles of the LADA dispatch
+    /// algorithm (paper §IV-C), so they must be stable across coordinator
+    /// restarts — the metadata server allocates them durably.
+    ChunkId,
+    u64,
+    "chunk-"
+);
+
+id_type!(
+    /// Identifier of a physical (simulated) cluster node.
+    NodeId,
+    u32,
+    "node-"
+);
+
+id_type!(
+    /// Identifier of a logical server (dispatcher, indexing server, or query
+    /// server) within the Waterwheel topology.
+    ServerId,
+    u32,
+    "srv-"
+);
+
+id_type!(
+    /// Identifier of a user query, allocated by the query coordinator.
+    QueryId,
+    u64,
+    "q-"
+);
+
+/// Identifier of a subquery: the parent query plus an index within the
+/// decomposition (paper §IV-A produces one subquery per overlapping data
+/// region).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubQueryId {
+    /// The parent query.
+    pub query: QueryId,
+    /// Position of this subquery within the parent's decomposition.
+    pub index: u32,
+}
+
+impl fmt::Debug for SubQueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.query, self.index)
+    }
+}
+
+impl fmt::Display for SubQueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.query, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", ChunkId(3)), "chunk-3");
+        assert_eq!(format!("{:?}", NodeId(1)), "node-1");
+        assert_eq!(
+            format!(
+                "{}",
+                SubQueryId {
+                    query: QueryId(9),
+                    index: 2
+                }
+            ),
+            "q-9#2"
+        );
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ServerId(1));
+        set.insert(ServerId(1));
+        set.insert(ServerId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ChunkId(1) < ChunkId(2));
+    }
+}

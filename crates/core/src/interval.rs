@@ -1,0 +1,249 @@
+//! Closed intervals over the key and time domains (paper §II-A).
+//!
+//! The paper defines `K(k⁻, k⁺) = {k ∈ K | k⁻ ≤ k ≤ k⁺}` and
+//! `T(t⁻, t⁺) = {t ∈ T | t⁻ ≤ t ≤ t⁺}`; both are *closed* intervals, so we
+//! mirror that exactly. Empty intervals cannot be constructed (constructors
+//! normalise or reject `lo > hi`).
+
+use crate::tuple::{Key, Timestamp};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over the key domain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyInterval {
+    lo: Key,
+    hi: Key,
+}
+
+/// A closed interval `[lo, hi]` over the time domain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeInterval {
+    lo: Timestamp,
+    hi: Timestamp,
+}
+
+macro_rules! impl_interval {
+    ($name:ident, $elem:ty) => {
+        impl $name {
+            /// Creates the closed interval `[lo, hi]`.
+            ///
+            /// # Panics
+            /// Panics if `lo > hi`; an empty interval is never meaningful for
+            /// a data region or a query constraint.
+            pub fn new(lo: $elem, hi: $elem) -> Self {
+                assert!(lo <= hi, concat!(stringify!($name), ": lo > hi"));
+                Self { lo, hi }
+            }
+
+            /// Creates `[lo, hi]`, returning `None` when `lo > hi`.
+            pub fn checked(lo: $elem, hi: $elem) -> Option<Self> {
+                (lo <= hi).then_some(Self { lo, hi })
+            }
+
+            /// The full domain `[MIN, MAX]`.
+            pub fn full() -> Self {
+                Self {
+                    lo: <$elem>::MIN,
+                    hi: <$elem>::MAX,
+                }
+            }
+
+            /// A single-point interval `[v, v]`.
+            pub fn point(v: $elem) -> Self {
+                Self { lo: v, hi: v }
+            }
+
+            /// The inclusive lower bound.
+            #[inline]
+            pub fn lo(&self) -> $elem {
+                self.lo
+            }
+
+            /// The inclusive upper bound.
+            #[inline]
+            pub fn hi(&self) -> $elem {
+                self.hi
+            }
+
+            /// Whether `v` lies inside the interval.
+            #[inline]
+            pub fn contains(&self, v: $elem) -> bool {
+                self.lo <= v && v <= self.hi
+            }
+
+            /// Whether `other` is entirely inside `self`.
+            pub fn covers(&self, other: &Self) -> bool {
+                self.lo <= other.lo && other.hi <= self.hi
+            }
+
+            /// Whether the two intervals share at least one point.
+            ///
+            /// This is the `K₁ ∩ K₂ ≠ ∅` test from the paper's region-overlap
+            /// definition (§II-A).
+            #[inline]
+            pub fn overlaps(&self, other: &Self) -> bool {
+                self.lo <= other.hi && other.lo <= self.hi
+            }
+
+            /// The intersection of the two intervals, or `None` if disjoint.
+            pub fn intersect(&self, other: &Self) -> Option<Self> {
+                let lo = self.lo.max(other.lo);
+                let hi = self.hi.min(other.hi);
+                Self::checked(lo, hi)
+            }
+
+            /// The smallest interval covering both inputs.
+            pub fn hull(&self, other: &Self) -> Self {
+                Self {
+                    lo: self.lo.min(other.lo),
+                    hi: self.hi.max(other.hi),
+                }
+            }
+
+            /// Extends the interval (in place) so that it contains `v`.
+            pub fn extend_to(&mut self, v: $elem) {
+                if v < self.lo {
+                    self.lo = v;
+                }
+                if v > self.hi {
+                    self.hi = v;
+                }
+            }
+
+            /// Interval width as a `u128` (`hi - lo + 1`); `u128` because the
+            /// full `u64` domain has 2⁶⁴ points.
+            pub fn width(&self) -> u128 {
+                (self.hi as u128) - (self.lo as u128) + 1
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "[{}, {}]", self.lo, self.hi)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "[{}, {}]", self.lo, self.hi)
+            }
+        }
+    };
+}
+
+impl_interval!(KeyInterval, Key);
+impl_interval!(TimeInterval, Timestamp);
+
+impl TimeInterval {
+    /// Widens the lower bound by `delta`, saturating at zero.
+    ///
+    /// This implements the late-visibility adjustment of paper §IV-D: the
+    /// coordinator presumes each in-memory region may still receive tuples up
+    /// to Δt late, so its region is registered as `T(t⁻ − Δt, t⁺)`.
+    pub fn widen_lo(&self, delta: Timestamp) -> Self {
+        Self {
+            lo: self.lo.saturating_sub(delta),
+            hi: self.hi,
+        }
+    }
+}
+
+impl KeyInterval {
+    /// Splits the interval in two halves at its midpoint; `None` when the
+    /// interval is a single point and cannot be split.
+    ///
+    /// Used when bootstrapping an initial key partition across indexing
+    /// servers before any frequency statistics exist.
+    pub fn bisect(&self) -> Option<(Self, Self)> {
+        if self.lo == self.hi {
+            return None;
+        }
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        Some((Self::new(self.lo, mid), Self::new(mid + 1, self.hi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let i = KeyInterval::new(10, 20);
+        assert!(i.contains(10));
+        assert!(i.contains(20));
+        assert!(!i.contains(9));
+        assert!(!i.contains(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn inverted_bounds_panic() {
+        KeyInterval::new(5, 4);
+    }
+
+    #[test]
+    fn checked_rejects_inverted_bounds() {
+        assert!(KeyInterval::checked(5, 4).is_none());
+        assert!(KeyInterval::checked(4, 4).is_some());
+    }
+
+    #[test]
+    fn overlap_and_intersection_agree() {
+        let a = TimeInterval::new(0, 10);
+        let b = TimeInterval::new(10, 20);
+        let c = TimeInterval::new(11, 20);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersect(&b), Some(TimeInterval::point(10)));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = KeyInterval::new(5, 7);
+        let b = KeyInterval::new(20, 30);
+        let h = a.hull(&b);
+        assert!(h.covers(&a) && h.covers(&b));
+        assert_eq!(h, KeyInterval::new(5, 30));
+    }
+
+    #[test]
+    fn widen_lo_saturates() {
+        let t = TimeInterval::new(5, 10);
+        assert_eq!(t.widen_lo(3), TimeInterval::new(2, 10));
+        assert_eq!(t.widen_lo(100), TimeInterval::new(0, 10));
+    }
+
+    #[test]
+    fn extend_to_grows_both_directions() {
+        let mut i = TimeInterval::point(10);
+        i.extend_to(4);
+        i.extend_to(15);
+        assert_eq!(i, TimeInterval::new(4, 15));
+    }
+
+    #[test]
+    fn bisect_produces_adjacent_disjoint_halves() {
+        let i = KeyInterval::new(0, 100);
+        let (l, r) = i.bisect().unwrap();
+        assert_eq!(l.hi() + 1, r.lo());
+        assert!(!l.overlaps(&r));
+        assert_eq!(l.hull(&r), i);
+        assert!(KeyInterval::point(7).bisect().is_none());
+    }
+
+    #[test]
+    fn width_of_full_domain_does_not_overflow() {
+        assert_eq!(KeyInterval::full().width(), 1u128 << 64);
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_antisymmetric_on_proper_subsets() {
+        let outer = KeyInterval::new(0, 100);
+        let inner = KeyInterval::new(10, 20);
+        assert!(outer.covers(&outer));
+        assert!(outer.covers(&inner));
+        assert!(!inner.covers(&outer));
+    }
+}

@@ -1,0 +1,41 @@
+//! Core data model for Waterwheel (ICDE 2018).
+//!
+//! This crate defines the vocabulary shared by every other Waterwheel crate:
+//!
+//! * [`Tuple`] — the unit of ingestion, a `⟨key, timestamp, payload⟩` triplet
+//!   (paper §II-A).
+//! * [`KeyInterval`] / [`TimeInterval`] — closed intervals over the key domain
+//!   `K` and the time domain `T`.
+//! * [`Region`] — a rectangle in the two-dimensional space `R = ⟨K, T⟩`;
+//!   Waterwheel partitions `R` into data regions (paper §III-A).
+//! * [`Query`] / [`SubQuery`] — a temporal/key range query
+//!   `q = ⟨K_q, T_q, f_q⟩` and the per-region fragments it decomposes into
+//!   (paper §IV-A).
+//! * [`zorder`] — the Morton encoding used to linearise two-dimensional keys
+//!   such as GPS coordinates (paper §VI evaluates with z-ordered T-Drive
+//!   trajectories).
+//! * [`config::SystemConfig`] — every tunable the paper mentions (chunk size,
+//!   skewness threshold, late-visibility Δt, …) in one place.
+//!
+//! The crate is dependency-light by design: everything heavier (trees,
+//! chunks, servers) lives in the crates layered on top of it.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod interval;
+pub mod query;
+pub mod region;
+pub mod tuple;
+pub mod zorder;
+
+pub use config::SystemConfig;
+pub use error::{Result, WwError};
+pub use ids::{ChunkId, NodeId, QueryId, ServerId, SubQueryId};
+pub use interval::{KeyInterval, TimeInterval};
+pub use query::{Predicate, Query, QueryResult, SubQuery, SubQueryTarget};
+pub use region::Region;
+pub use tuple::{Key, Timestamp, Tuple};

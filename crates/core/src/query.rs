@@ -1,0 +1,227 @@
+//! User queries and their decomposition into subqueries (paper §II-A, §IV-A).
+
+use crate::ids::{ChunkId, QueryId, ServerId, SubQueryId};
+use crate::interval::{KeyInterval, TimeInterval};
+use crate::region::Region;
+use crate::tuple::Tuple;
+use std::fmt;
+use std::sync::Arc;
+
+/// The user-defined predicate `f_q : tuple → {true, false}` (paper §II-A).
+///
+/// Wrapped in an `Arc` so a query can be decomposed into many subqueries that
+/// share the predicate without cloning it.
+pub type Predicate = Arc<dyn Fn(&Tuple) -> bool + Send + Sync>;
+
+/// A user query `q = ⟨K_q, T_q, f_q⟩` (paper §II-A).
+///
+/// The result is every tuple whose `⟨key, ts⟩` point falls inside the query
+/// region `⟨K_q, T_q⟩` **and** which satisfies the predicate `f_q`.
+#[derive(Clone)]
+pub struct Query {
+    /// Selection interval on the key domain, `K_q`.
+    pub keys: KeyInterval,
+    /// Selection interval on the time domain, `T_q`.
+    pub times: TimeInterval,
+    /// Optional user-defined predicate `f_q`; `None` accepts every tuple.
+    pub predicate: Option<Predicate>,
+    /// Optional *structured* equality constraint on a registered secondary
+    /// attribute: `(attribute id, value)`. Unlike the opaque predicate,
+    /// this lets the system prune chunks/leaves through the secondary
+    /// bitmap/bloom indexes (paper §VIII future work). The filtering itself
+    /// happens through the registered extractor, so results are identical
+    /// to an equivalent predicate — just faster.
+    pub attr_eq: Option<(u16, u64)>,
+}
+
+impl Query {
+    /// A pure range query with no user predicate.
+    pub fn range(keys: KeyInterval, times: TimeInterval) -> Self {
+        Self {
+            keys,
+            times,
+            predicate: None,
+            attr_eq: None,
+        }
+    }
+
+    /// A range query with a user-defined predicate.
+    pub fn with_predicate(
+        keys: KeyInterval,
+        times: TimeInterval,
+        predicate: impl Fn(&Tuple) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            keys,
+            times,
+            predicate: Some(Arc::new(predicate)),
+            attr_eq: None,
+        }
+    }
+
+    /// Adds a secondary-attribute equality constraint (builder style). The
+    /// attribute must be registered with the system before any data is
+    /// ingested for pruning to apply; filtering is always exact.
+    pub fn and_attr_eq(mut self, attr: u16, value: u64) -> Self {
+        self.attr_eq = Some((attr, value));
+        self
+    }
+
+    /// The query region `⟨K_q, T_q⟩`.
+    pub fn region(&self) -> Region {
+        Region::new(self.keys, self.times)
+    }
+
+    /// Whether the tuple matches the range constraints and predicate.
+    ///
+    /// The structured `attr_eq` constraint is *not* evaluated here — the
+    /// core crate has no access to registered extractors; the coordinator
+    /// folds it into the predicate before decomposition.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.keys.contains(tuple.key)
+            && self.times.contains(tuple.ts)
+            && self.predicate.as_ref().is_none_or(|p| p(tuple))
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Query")
+            .field("keys", &self.keys)
+            .field("times", &self.times)
+            .field("predicate", &self.predicate.is_some())
+            .finish()
+    }
+}
+
+/// Where a subquery must execute (paper §IV-A): fresh data still in an
+/// indexing server's in-memory tree, or a flushed chunk served by a query
+/// server.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SubQueryTarget {
+    /// The data region has not been flushed yet — execute on the indexing
+    /// server that owns the in-memory B+ tree.
+    InMemory(ServerId),
+    /// The data region is an immutable chunk in the file system — execute on
+    /// a query server chosen by the dispatch policy.
+    Chunk(ChunkId),
+}
+
+/// A subquery `q_i = ⟨K_i ∩ K_q, T_i ∩ T_q, f_q⟩` (paper §IV-A): the
+/// intersection of the user query with one candidate data region, routed to
+/// that region's owner.
+#[derive(Clone)]
+pub struct SubQuery {
+    /// Identity: parent query plus decomposition index.
+    pub id: SubQueryId,
+    /// Key constraint after intersecting with the data region.
+    pub keys: KeyInterval,
+    /// Time constraint after intersecting with the data region.
+    pub times: TimeInterval,
+    /// Shared user predicate.
+    pub predicate: Option<Predicate>,
+    /// Which data region (and thus executor) this fragment belongs to.
+    pub target: SubQueryTarget,
+}
+
+impl SubQuery {
+    /// Whether the tuple matches this fragment's constraints and predicate.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.keys.contains(tuple.key)
+            && self.times.contains(tuple.ts)
+            && self.predicate.as_ref().is_none_or(|p| p(tuple))
+    }
+}
+
+impl fmt::Debug for SubQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubQuery")
+            .field("id", &self.id)
+            .field("keys", &self.keys)
+            .field("times", &self.times)
+            .field("target", &self.target)
+            .finish()
+    }
+}
+
+/// The merged answer to a [`Query`], assembled by the query coordinator from
+/// all subquery results (paper §IV-A).
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// The query this result answers.
+    pub query_id: QueryId,
+    /// All matching tuples, in no particular order.
+    pub tuples: Vec<Tuple>,
+    /// Number of subqueries the query decomposed into.
+    pub subqueries: u32,
+}
+
+impl QueryResult {
+    /// Sorts tuples by `(key, ts)` for deterministic comparisons in tests.
+    pub fn normalize(&mut self) {
+        self.tuples
+            .sort_by(|a, b| (a.key, a.ts, &a.payload).cmp(&(b.key, b.ts, &b.payload)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_query_matches_on_both_dimensions() {
+        let q = Query::range(KeyInterval::new(0, 10), TimeInterval::new(100, 200));
+        assert!(q.matches(&Tuple::bare(5, 150)));
+        assert!(!q.matches(&Tuple::bare(11, 150)));
+        assert!(!q.matches(&Tuple::bare(5, 99)));
+    }
+
+    #[test]
+    fn predicate_filters_within_range() {
+        let q = Query::with_predicate(KeyInterval::full(), TimeInterval::full(), |t| {
+            t.key % 2 == 0
+        });
+        assert!(q.matches(&Tuple::bare(4, 0)));
+        assert!(!q.matches(&Tuple::bare(5, 0)));
+    }
+
+    #[test]
+    fn subquery_shares_parent_predicate() {
+        let q = Query::with_predicate(KeyInterval::new(0, 100), TimeInterval::new(0, 100), |t| {
+            t.ts > 10
+        });
+        let sq = SubQuery {
+            id: SubQueryId {
+                query: QueryId(1),
+                index: 0,
+            },
+            keys: KeyInterval::new(0, 50),
+            times: TimeInterval::new(0, 100),
+            predicate: q.predicate.clone(),
+            target: SubQueryTarget::Chunk(ChunkId(7)),
+        };
+        assert!(sq.matches(&Tuple::bare(3, 50)));
+        assert!(!sq.matches(&Tuple::bare(3, 5)));
+        assert!(!sq.matches(&Tuple::bare(51, 50)));
+    }
+
+    #[test]
+    fn result_normalize_sorts_deterministically() {
+        let mut r = QueryResult {
+            query_id: QueryId(1),
+            tuples: vec![Tuple::bare(2, 1), Tuple::bare(1, 9), Tuple::bare(1, 2)],
+            subqueries: 1,
+        };
+        r.normalize();
+        let keys: Vec<_> = r.tuples.iter().map(|t| (t.key, t.ts)).collect();
+        assert_eq!(keys, vec![(1, 2), (1, 9), (2, 1)]);
+    }
+
+    #[test]
+    fn query_region_is_the_constraint_rectangle() {
+        let q = Query::range(KeyInterval::new(1, 2), TimeInterval::new(3, 4));
+        let r = q.region();
+        assert!(r.contains_point(1, 3) && r.contains_point(2, 4));
+        assert!(!r.contains_point(0, 3));
+    }
+}

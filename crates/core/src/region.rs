@@ -1,0 +1,143 @@
+//! Rectangles in the two-dimensional key–time space (paper §II-A, §III-A).
+
+use crate::interval::{KeyInterval, TimeInterval};
+use crate::tuple::{Key, Timestamp, Tuple};
+use std::fmt;
+
+/// A rectangle `r = ⟨K, T⟩` in the space `R = ⟨K, T⟩` (paper §II-A).
+///
+/// Waterwheel partitions the key–time space into *data regions*: each
+/// in-memory B+ tree owns the region spanned by the tuples it currently
+/// holds, and every flushed chunk owns the (immutable) region of the tuples
+/// inside it. The query coordinator intersects query regions against data
+/// regions to decompose queries (paper §IV-A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// The key interval `K` of the rectangle.
+    pub keys: KeyInterval,
+    /// The time interval `T` of the rectangle.
+    pub times: TimeInterval,
+}
+
+impl Region {
+    /// Creates the region `⟨keys, times⟩`.
+    pub fn new(keys: KeyInterval, times: TimeInterval) -> Self {
+        Self { keys, times }
+    }
+
+    /// The region covering the whole key–time space.
+    pub fn full() -> Self {
+        Self {
+            keys: KeyInterval::full(),
+            times: TimeInterval::full(),
+        }
+    }
+
+    /// Whether a point `⟨k, t⟩` lies inside the region.
+    #[inline]
+    pub fn contains_point(&self, k: Key, t: Timestamp) -> bool {
+        self.keys.contains(k) && self.times.contains(t)
+    }
+
+    /// Whether the tuple's `⟨key, ts⟩` point lies inside the region.
+    #[inline]
+    pub fn contains_tuple(&self, tuple: &Tuple) -> bool {
+        self.contains_point(tuple.key, tuple.ts)
+    }
+
+    /// Region overlap as defined in the paper: `r₁` overlaps `r₂` iff
+    /// `K₁ ∩ K₂ ≠ ∅` **and** `T₁ ∩ T₂ ≠ ∅`.
+    #[inline]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.keys.overlaps(&other.keys) && self.times.overlaps(&other.times)
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    pub fn covers(&self, other: &Region) -> bool {
+        self.keys.covers(&other.keys) && self.times.covers(&other.times)
+    }
+
+    /// The intersection rectangle, or `None` when the regions are disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        Some(Region {
+            keys: self.keys.intersect(&other.keys)?,
+            times: self.times.intersect(&other.times)?,
+        })
+    }
+
+    /// The smallest rectangle covering both regions (used by the R-tree).
+    pub fn hull(&self, other: &Region) -> Region {
+        Region {
+            keys: self.keys.hull(&other.keys),
+            times: self.times.hull(&other.times),
+        }
+    }
+
+    /// A proxy for the rectangle's area used by R-tree split heuristics.
+    ///
+    /// True area (`key width × time width`) overflows even `u128` for
+    /// full-domain rectangles, so we sum the *logarithms* of the widths —
+    /// monotone in area, which is all the heuristics need.
+    pub fn log_area(&self) -> f64 {
+        (self.keys.width() as f64).ln() + (self.times.width() as f64).ln()
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Region(keys={:?}, times={:?})", self.keys, self.times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(k0: Key, k1: Key, t0: Timestamp, t1: Timestamp) -> Region {
+        Region::new(KeyInterval::new(k0, k1), TimeInterval::new(t0, t1))
+    }
+
+    #[test]
+    fn overlap_requires_both_dimensions() {
+        let a = r(0, 10, 0, 10);
+        assert!(a.overlaps(&r(5, 15, 5, 15)));
+        // Keys overlap, times disjoint.
+        assert!(!a.overlaps(&r(5, 15, 20, 30)));
+        // Times overlap, keys disjoint.
+        assert!(!a.overlaps(&r(20, 30, 5, 15)));
+    }
+
+    #[test]
+    fn intersect_is_the_overlapping_rectangle() {
+        let a = r(0, 10, 0, 10);
+        let b = r(5, 15, 8, 20);
+        assert_eq!(a.intersect(&b), Some(r(5, 10, 8, 10)));
+        assert_eq!(a.intersect(&r(11, 12, 0, 1)), None);
+    }
+
+    #[test]
+    fn contains_tuple_matches_point_semantics() {
+        let a = r(0, 10, 100, 200);
+        assert!(a.contains_tuple(&Tuple::bare(10, 100)));
+        assert!(!a.contains_tuple(&Tuple::bare(11, 100)));
+        assert!(!a.contains_tuple(&Tuple::bare(10, 99)));
+    }
+
+    #[test]
+    fn hull_and_covers_are_consistent() {
+        let a = r(0, 5, 0, 5);
+        let b = r(10, 20, 10, 20);
+        let h = a.hull(&b);
+        assert!(h.covers(&a) && h.covers(&b));
+        assert_eq!(h, r(0, 20, 0, 20));
+    }
+
+    #[test]
+    fn log_area_is_monotone_in_growth() {
+        let small = r(0, 10, 0, 10);
+        let big = r(0, 100, 0, 10);
+        assert!(big.log_area() > small.log_area());
+        // Full domain must not overflow or produce NaN.
+        assert!(Region::full().log_area().is_finite());
+    }
+}

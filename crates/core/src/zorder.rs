@@ -1,0 +1,257 @@
+//! Morton (Z-order) encoding of two-dimensional keys (paper §III-A, §VI).
+//!
+//! The paper's T-Drive evaluation preprocesses GPS records "by applying
+//! z-ordering to transform the latitudes and longitudes into one-dimensional
+//! z-codes" which then serve as the index key, and geographic rectangle
+//! queries are converted into "one or more intervals in z-code domain".
+//! This module provides both halves: the encoding, and the decomposition of
+//! a 2-D rectangle into a small set of covering z-code intervals.
+
+use crate::interval::KeyInterval;
+use crate::tuple::Key;
+
+/// Spreads the bits of `v` so that bit `i` moves to bit `2i`.
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collects every second bit back into a `u32`.
+#[inline]
+fn squash(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleaves two 32-bit coordinates into a 64-bit z-code.
+///
+/// `x` occupies the even bits, `y` the odd bits, so nearby `(x, y)` points
+/// receive nearby z-codes.
+#[inline]
+pub fn encode(x: u32, y: u32) -> Key {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Recovers the `(x, y)` coordinates from a z-code.
+#[inline]
+pub fn decode(z: Key) -> (u32, u32) {
+    (squash(z), squash(z >> 1))
+}
+
+/// Quantises a coordinate in `[min, max]` onto the full `u32` grid.
+///
+/// Values outside the range are clamped; this mirrors how the T-Drive
+/// dispatchers normalise latitude/longitude onto a fixed bounding box before
+/// z-encoding (paper §VI).
+pub fn quantize(v: f64, min: f64, max: f64) -> u32 {
+    assert!(max > min, "quantize: empty coordinate range");
+    let clamped = v.clamp(min, max);
+    let unit = (clamped - min) / (max - min);
+    // Scale to the u32 grid; the final min() guards the v == max case.
+    (unit * u32::MAX as f64) as u32
+}
+
+/// Decomposes the 2-D rectangle `[x0,x1] × [y0,y1]` into z-code intervals
+/// that exactly cover it.
+///
+/// This is the query-side transformation from paper §VI: "the geographical
+/// rectangle is converted to one or more intervals in z-code domain. For
+/// each of the z-code intervals, the system issues a query".
+///
+/// The decomposition recursively splits the z-curve's quadtree cells; cells
+/// fully inside the rectangle contribute their whole contiguous z-range,
+/// cells partially overlapping recurse. `max_ranges` bounds the output by
+/// merging once the budget is exceeded (merging only ever *over*-covers, so
+/// queries stay correct and simply filter a few extra tuples).
+pub fn cover_rect(x0: u32, x1: u32, y0: u32, y1: u32, max_ranges: usize) -> Vec<KeyInterval> {
+    assert!(x0 <= x1 && y0 <= y1, "cover_rect: inverted rectangle");
+    assert!(max_ranges >= 1);
+    let mut out: Vec<(Key, Key)> = Vec::new();
+    // Refinement budget: without one, the recursion visits every boundary
+    // cell of the rectangle down to single points — up to ~4·2³² cells for
+    // rectangles spanning a large fraction of the domain. Once the budget
+    // is spent, partially-overlapping cells are emitted whole: the cover
+    // merely over-covers (queries filter the excess), never under-covers.
+    let mut budget = max_ranges.saturating_mul(64).max(1_024);
+    // Stack of quadtree cells: (z-prefix, level). A cell at `level` spans
+    // 2^level × 2^level points whose z-codes form one contiguous range of
+    // length 4^level starting at `prefix`.
+    let mut stack = vec![(0u64, 32u8)];
+    while let Some((prefix, level)) = stack.pop() {
+        let side = if level >= 32 { u32::MAX } else { (1u32 << level) - 1 };
+        let (cx, cy) = decode(prefix);
+        let (cx1, cy1) = (cx.saturating_add(side), cy.saturating_add(side));
+        // Disjoint from the query rectangle: prune.
+        if cx > x1 || cx1 < x0 || cy > y1 || cy1 < y0 {
+            continue;
+        }
+        let contained = cx >= x0 && cx1 <= x1 && cy >= y0 && cy1 <= y1;
+        // Fully contained cells — and partially-overlapping cells once the
+        // budget is exhausted — emit their contiguous z-range.
+        if contained || budget == 0 || level == 0 {
+            let len = 1u128 << (2 * level as u32);
+            let hi = (prefix as u128 + len - 1) as u64;
+            out.push((prefix, hi));
+            continue;
+        }
+        budget -= 1;
+        // Partial overlap: recurse into the four children, pushed in reverse
+        // z-order so ranges pop out in ascending order.
+        let child_len = 1u64 << (2 * (level - 1) as u32);
+        for q in (0..4u64).rev() {
+            stack.push((prefix + q * child_len, level - 1));
+        }
+    }
+    out.sort_unstable();
+    // Merge adjacent ranges produced by sibling cells.
+    let mut merged: Vec<(Key, Key)> = Vec::with_capacity(out.len());
+    for (lo, hi) in out {
+        match merged.last_mut() {
+            Some((_, prev_hi)) if *prev_hi != Key::MAX && *prev_hi + 1 >= lo => {
+                *prev_hi = (*prev_hi).max(hi);
+            }
+            _ => merged.push((lo, hi)),
+        }
+    }
+    // Enforce the range budget by bridging the smallest gaps (over-covering).
+    while merged.len() > max_ranges {
+        let mut best = 1;
+        let mut best_gap = u64::MAX;
+        for i in 1..merged.len() {
+            let gap = merged[i].0 - merged[i - 1].1;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        let (_, hi) = merged.remove(best);
+        merged[best - 1].1 = merged[best - 1].1.max(hi);
+    }
+    merged
+        .into_iter()
+        .map(|(lo, hi)| KeyInterval::new(lo, hi))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0x1234_5678, 0x9ABC_DEF0),
+        ] {
+            assert_eq!(decode(encode(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn z_order_is_locality_preserving_within_quadrants() {
+        // The four cells of a 2x2 block are consecutive z-codes.
+        assert_eq!(encode(0, 0), 0);
+        assert_eq!(encode(1, 0), 1);
+        assert_eq!(encode(0, 1), 2);
+        assert_eq!(encode(1, 1), 3);
+    }
+
+    #[test]
+    fn quantize_maps_endpoints_to_grid_corners() {
+        assert_eq!(quantize(-10.0, -10.0, 10.0), 0);
+        assert_eq!(quantize(10.0, -10.0, 10.0), u32::MAX);
+        let mid = quantize(0.0, -10.0, 10.0);
+        assert!((mid as i64 - (u32::MAX / 2) as i64).abs() < 4);
+        // Out-of-range input clamps instead of wrapping.
+        assert_eq!(quantize(99.0, -10.0, 10.0), u32::MAX);
+    }
+
+    #[test]
+    fn cover_rect_exactly_covers_small_rectangles() {
+        let (x0, x1, y0, y1) = (3u32, 6, 2, 5);
+        let ranges = cover_rect(x0, x1, y0, y1, usize::MAX);
+        // Every point in the rectangle is covered...
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                let z = encode(x, y);
+                assert!(
+                    ranges.iter().any(|r| r.contains(z)),
+                    "point ({x},{y}) not covered"
+                );
+            }
+        }
+        // ...and (with an unlimited budget) nothing outside it is.
+        for r in &ranges {
+            let mut z = r.lo();
+            loop {
+                let (x, y) = decode(z);
+                assert!(x0 <= x && x <= x1 && y0 <= y && y <= y1);
+                if z == r.hi() {
+                    break;
+                }
+                z += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn cover_rect_budget_over_covers_but_never_under_covers() {
+        let ranges = cover_rect(10, 200, 7, 90, 4);
+        assert!(ranges.len() <= 4);
+        for x in [10u32, 100, 200] {
+            for y in [7u32, 50, 90] {
+                let z = encode(x, y);
+                assert!(ranges.iter().any(|r| r.contains(z)));
+            }
+        }
+    }
+
+    #[test]
+    fn cover_rect_full_domain_is_one_range() {
+        let ranges = cover_rect(0, u32::MAX, 0, u32::MAX, 8);
+        assert_eq!(ranges, vec![KeyInterval::full()]);
+    }
+
+    #[test]
+    fn cover_rect_huge_rectangles_stay_within_budget() {
+        // Regression: rectangles spanning large domain fractions used to
+        // refine boundary cells down to single points (~10⁹ cells → OOM).
+        // The budget caps the work; coverage may widen but never shrinks.
+        let (x0, x1) = (123_456_789u32, 3_210_987_654);
+        let (y0, y1) = (987_654_321u32, 2_109_876_543);
+        let ranges = cover_rect(x0, x1, y0, y1, 16);
+        assert!(ranges.len() <= 16);
+        for (x, y) in [
+            (x0, y0),
+            (x1, y1),
+            (x0, y1),
+            (x1, y0),
+            ((x0 + x1) / 2, (y0 + y1) / 2),
+        ] {
+            let z = encode(x, y);
+            assert!(ranges.iter().any(|r| r.contains(z)), "({x},{y}) uncovered");
+        }
+    }
+
+    #[test]
+    fn cover_rect_single_point() {
+        let ranges = cover_rect(5, 5, 9, 9, 8);
+        assert_eq!(ranges, vec![KeyInterval::point(encode(5, 9))]);
+    }
+}

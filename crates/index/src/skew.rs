@@ -1,0 +1,209 @@
+//! Skewness detection and key-boundary recomputation (paper §III-C).
+//!
+//! A template implies a range partition `P = {K₁ … K_l}` of the tree's key
+//! interval across its `l` leaves. When the input key distribution drifts,
+//! some leaves overflow; the *distribution skewness factor*
+//!
+//! ```text
+//! S(P, D) = max_i (|K_i(D)| − n̄) / n̄ ,   n̄ = |D| / l
+//! ```
+//!
+//! quantifies the imbalance (Equation 1). When it exceeds a threshold the
+//! template is rebuilt around new boundaries that evenly divide the sorted
+//! keys (Equation 3).
+
+use waterwheel_core::Key;
+
+/// Computes the skewness factor `S(P, D)` from per-leaf tuple counts.
+///
+/// Returns `0.0` for an empty tree (no data ⇒ no skew) and for a single-leaf
+/// partition (every partition of one part is perfectly balanced by
+/// definition).
+pub fn skewness(leaf_counts: &[usize]) -> f64 {
+    let l = leaf_counts.len();
+    if l <= 1 {
+        return 0.0;
+    }
+    let total: usize = leaf_counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / l as f64;
+    let max = *leaf_counts.iter().max().expect("non-empty") as f64;
+    (max - mean) / mean
+}
+
+/// Computes new leaf boundaries that evenly divide `sorted_keys` into
+/// `leaves` partitions (paper Equation 3).
+///
+/// Returns the `leaves − 1` separator keys `s₁ … s_{l−1}`: leaf `i` holds
+/// keys in `[s_{i-1}, s_i)` (with the tree's own key interval providing the
+/// outermost bounds, and the last leaf inclusive of the upper bound). The
+/// separators are exactly the paper's `k[(i−1)·n̄ + 1]` sample points.
+///
+/// `sorted_keys` must be sorted ascending (duplicates allowed). Separators
+/// are deduplicated — with heavily duplicated keys fewer than `leaves − 1`
+/// distinct separators may exist, in which case the caller builds a template
+/// with fewer leaves.
+pub fn equal_depth_boundaries(sorted_keys: &[Key], leaves: usize) -> Vec<Key> {
+    assert!(leaves >= 1);
+    debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]));
+    if leaves == 1 || sorted_keys.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted_keys.len();
+    let target = n as f64 / leaves as f64;
+    let mut seps: Vec<Key> = Vec::with_capacity(leaves - 1);
+    let mut placed = 0usize; // tuples in the (open) current leaf + closed leaves
+    let mut i = 0usize;
+    while i < n && seps.len() < leaves - 1 {
+        // Duplicate keys cannot be separated, so walk whole runs at once.
+        let key = sorted_keys[i];
+        let mut j = i + 1;
+        while j < n && sorted_keys[j] == key {
+            j += 1;
+        }
+        let run = j - i;
+        // Close the current leaf before this run if stopping here lands
+        // nearer the ideal cumulative boundary than swallowing the run.
+        let ideal = (seps.len() + 1) as f64 * target;
+        if placed > 0 && (2 * placed + run) as f64 >= 2.0 * ideal {
+            seps.push(key);
+        }
+        placed += run;
+        i = j;
+    }
+    seps
+}
+
+/// Given separators `s₁ … s_{l−1}` over a key interval, returns the leaf
+/// index responsible for `key`: the number of separators ≤ `key`.
+///
+/// This is the routing rule implied by Equation 3's half-open ranges
+/// `[s_{i−1}, s_i)`.
+#[inline]
+pub fn route(separators: &[Key], key: Key) -> usize {
+    separators.partition_point(|&s| s <= key)
+}
+
+/// Counts how many of `sorted_keys` fall into each of the `separators.len()
+/// + 1` leaves. Used by tests and by the template rebuild to verify balance.
+pub fn partition_counts(sorted_keys: &[Key], separators: &[Key]) -> Vec<usize> {
+    let mut counts = vec![0usize; separators.len() + 1];
+    for &k in sorted_keys {
+        counts[route(separators, k)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewness_of_balanced_partition_is_zero() {
+        assert_eq!(skewness(&[10, 10, 10, 10]), 0.0);
+    }
+
+    #[test]
+    fn skewness_matches_equation_one() {
+        // counts = [30, 10, 10, 10]; n̄ = 15; S = (30 − 15)/15 = 1.0
+        let s = skewness(&[30, 10, 10, 10]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_degenerate_cases() {
+        assert_eq!(skewness(&[]), 0.0);
+        assert_eq!(skewness(&[42]), 0.0);
+        assert_eq!(skewness(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn boundaries_evenly_divide_uniform_keys() {
+        let keys: Vec<Key> = (0..100).collect();
+        let seps = equal_depth_boundaries(&keys, 4);
+        assert_eq!(seps.len(), 3);
+        let counts = partition_counts(&keys, &seps);
+        // Every leaf gets 100/4 = 25 keys.
+        assert_eq!(counts, vec![25, 25, 25, 25]);
+        assert_eq!(skewness(&counts), 0.0);
+    }
+
+    #[test]
+    fn boundaries_rebalance_skewed_keys() {
+        // 90 % of (distinct) keys packed into [0, 900), 10 % spread far out.
+        let mut keys: Vec<Key> = (0..900).collect();
+        for i in 0..100 {
+            keys.push(10_000 + i * 90);
+        }
+        keys.sort_unstable();
+        let seps = equal_depth_boundaries(&keys, 10);
+        let counts = partition_counts(&keys, &seps);
+        let s = skewness(&counts);
+        assert!(s < 0.2, "rebuilt partition still skewed: S={s}, {counts:?}");
+    }
+
+    #[test]
+    fn boundaries_with_heavy_duplicates_respect_runs() {
+        // 90 tuples on each of 10 hot keys plus a distinct tail: runs are
+        // never split, and the partition is as balanced as runs permit.
+        let mut keys: Vec<Key> = Vec::new();
+        for k in 0..10u64 {
+            keys.extend(std::iter::repeat_n(k, 90));
+        }
+        for i in 0..100 {
+            keys.push(100 + i);
+        }
+        keys.sort_unstable();
+        let seps = equal_depth_boundaries(&keys, 10);
+        let counts = partition_counts(&keys, &seps);
+        // No leaf may hold more than one hot run plus the tail.
+        assert!(*counts.iter().max().unwrap() <= 190, "{counts:?}");
+        assert!(seps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Figure 5: keys {1,3,4,5,7,8} in a tree with 6 leaves over [0,10).
+        // The updated partition is {[0,3),[3,4),[4,5),[5,7),[7,8),[8,10)},
+        // i.e. separators {3,4,5,7,8}.
+        let keys = [1u64, 3, 4, 5, 7, 8];
+        let seps = equal_depth_boundaries(&keys, 6);
+        assert_eq!(seps, vec![3, 4, 5, 7, 8]);
+        let counts = partition_counts(&keys, &seps);
+        assert_eq!(counts, vec![1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_heavy_keys_collapse_separators() {
+        let keys = [5u64; 100];
+        let seps = equal_depth_boundaries(&keys, 4);
+        // All keys identical: no valid separator exists.
+        assert!(seps.is_empty());
+    }
+
+    #[test]
+    fn route_is_consistent_with_partition_semantics() {
+        let seps = [10u64, 20, 30];
+        assert_eq!(route(&seps, 0), 0);
+        assert_eq!(route(&seps, 9), 0);
+        assert_eq!(route(&seps, 10), 1); // boundary key goes right: [s, ...)
+        assert_eq!(route(&seps, 19), 1);
+        assert_eq!(route(&seps, 30), 3);
+        assert_eq!(route(&seps, u64::MAX), 3);
+    }
+
+    #[test]
+    fn boundaries_never_exceed_requested_leaves() {
+        let keys: Vec<Key> = (0..1000).map(|i| i % 7).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        for l in 1..20 {
+            let seps = equal_depth_boundaries(&sorted, l);
+            assert!(seps.len() < l.max(1));
+            // Separators strictly increasing.
+            assert!(seps.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

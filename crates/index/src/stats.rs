@@ -1,0 +1,123 @@
+//! Instrumentation counters behind the paper's insertion-time breakdown
+//! (Figure 7(b)) and template-update latency measurements (Figure 10).
+//!
+//! Counters are lock-free atomics so they can be bumped from concurrent
+//! insertion threads without perturbing the measured workload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared, thread-safe counters for one index instance.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    /// Nanoseconds spent in the pure insert path (route + leaf update).
+    pub insert_ns: AtomicU64,
+    /// Nanoseconds spent splitting nodes (concurrent B+ tree only).
+    pub split_ns: AtomicU64,
+    /// Number of node splits performed.
+    pub splits: AtomicU64,
+    /// Nanoseconds spent sorting accumulated tuples (bulk-loading tree only).
+    pub sort_ns: AtomicU64,
+    /// Nanoseconds spent building index structure bottom-up (bulk tree) or
+    /// rebuilding the template (template tree).
+    pub build_ns: AtomicU64,
+    /// Number of template updates performed (template tree only).
+    pub template_updates: AtomicU64,
+    /// Number of leaves skipped thanks to a bloom-filter miss.
+    pub bloom_skips: AtomicU64,
+    /// Number of leaves scanned by queries.
+    pub leaves_scanned: AtomicU64,
+}
+
+impl IndexStats {
+    /// Adds `d` to a duration counter.
+    #[inline]
+    pub fn add(&self, counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            insert: Duration::from_nanos(self.insert_ns.load(Ordering::Relaxed)),
+            split: Duration::from_nanos(self.split_ns.load(Ordering::Relaxed)),
+            splits: self.splits.load(Ordering::Relaxed),
+            sort: Duration::from_nanos(self.sort_ns.load(Ordering::Relaxed)),
+            build: Duration::from_nanos(self.build_ns.load(Ordering::Relaxed)),
+            template_updates: self.template_updates.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+            leaves_scanned: self.leaves_scanned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.insert_ns,
+            &self.split_ns,
+            &self.splits,
+            &self.sort_ns,
+            &self.build_ns,
+            &self.template_updates,
+            &self.bloom_skips,
+            &self.leaves_scanned,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`IndexStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Time in the pure insert path.
+    pub insert: Duration,
+    /// Time spent in node splits.
+    pub split: Duration,
+    /// Node splits performed.
+    pub splits: u64,
+    /// Time spent sorting (bulk loading).
+    pub sort: Duration,
+    /// Time spent building structure / rebuilding templates.
+    pub build: Duration,
+    /// Template updates performed.
+    pub template_updates: u64,
+    /// Leaves skipped by bloom filters.
+    pub bloom_skips: u64,
+    /// Leaves scanned by queries.
+    pub leaves_scanned: u64,
+}
+
+impl StatsSnapshot {
+    /// Total accounted insertion-side time (the Figure 7(b) stack height).
+    pub fn total_insert_side(&self) -> Duration {
+        self.insert + self.split + self.sort + self.build
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_snapshot_roundtrip() {
+        let s = IndexStats::default();
+        s.add(&s.insert_ns, Duration::from_micros(5));
+        s.add(&s.split_ns, Duration::from_micros(7));
+        s.splits.fetch_add(3, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.insert, Duration::from_micros(5));
+        assert_eq!(snap.split, Duration::from_micros(7));
+        assert_eq!(snap.splits, 3);
+        assert_eq!(snap.total_insert_side(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IndexStats::default();
+        s.add(&s.build_ns, Duration::from_millis(1));
+        s.template_updates.fetch_add(1, Ordering::Relaxed);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

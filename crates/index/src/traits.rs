@@ -1,0 +1,52 @@
+//! The common interface the benchmark harnesses drive across all three
+//! index implementations (paper §VI-A compares them head-to-head).
+
+use crate::stats::StatsSnapshot;
+use waterwheel_core::{KeyInterval, TimeInterval, Tuple};
+
+/// An in-memory tuple index supporting concurrent inserts and range reads.
+///
+/// All methods take `&self`: implementations are internally synchronized so
+/// benchmark harnesses can share one instance across insertion threads, as
+/// the paper does in Figure 7(a).
+pub trait TupleIndex: Send + Sync {
+    /// Inserts one tuple.
+    fn insert(&self, tuple: Tuple);
+
+    /// Returns all tuples matching the key range, time range, and predicate.
+    ///
+    /// For the bulk-loading tree this only sees *built* tuples — the paper
+    /// notes bulk-loaded data is invisible until the index build completes,
+    /// which is why its query performance is not evaluated.
+    fn query(
+        &self,
+        keys: &KeyInterval,
+        times: &TimeInterval,
+        predicate: Option<&(dyn Fn(&Tuple) -> bool + Sync)>,
+    ) -> Vec<Tuple>;
+
+    /// Number of tuples inserted so far.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the instrumentation counters.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Human-readable name for benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience: query with no predicate, normalized to `(key, ts)` order.
+pub fn query_sorted<I: TupleIndex + ?Sized>(
+    index: &I,
+    keys: &KeyInterval,
+    times: &TimeInterval,
+) -> Vec<Tuple> {
+    let mut out = index.query(keys, times, None);
+    out.sort_by(|a, b| (a.key, a.ts, &a.payload).cmp(&(b.key, b.ts, &b.payload)));
+    out
+}

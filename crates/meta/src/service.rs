@@ -1,0 +1,496 @@
+//! The metadata server (paper §II-B) — the ZooKeeper-backed component.
+//!
+//! It durably holds everything the system must not lose across failures:
+//!
+//! * the chunk registry (region, tuple count, size per chunk) plus an R-tree
+//!   over chunk regions for query decomposition (§IV-A);
+//! * the versioned key-partitioning schema (§III-D), together with the
+//!   *actual* key interval per indexing server used to answer queries
+//!   correctly during repartition overlap windows;
+//! * the per-indexing-server durable read offsets into the message queue —
+//!   persisted atomically with each chunk registration so recovery replays
+//!   from exactly the right point (§V);
+//! * the *volatile* in-memory data regions of the indexing servers (widened
+//!   by the late-visibility Δt, §IV-D). These are rebuilt on restart, so
+//!   they are not persisted.
+//!
+//! Persistence is a whole-state snapshot rewritten on every durable
+//! mutation — the state is small (metadata, not data), and atomic rename
+//! gives crash consistency.
+
+use crate::partition::PartitionSchema;
+use crate::rtree::RTree;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use waterwheel_core::codec::{self, Decoder, Encoder};
+use waterwheel_core::{ChunkId, Region, Result, ServerId, WwError};
+use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
+
+const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"WWMETA01");
+
+/// Durable facts about one chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// The key–time rectangle the chunk covers.
+    pub region: Region,
+    /// Tuples inside.
+    pub count: u64,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// The indexing server that produced it.
+    pub producer: ServerId,
+}
+
+struct MetaState {
+    next_chunk: u64,
+    chunks: BTreeMap<ChunkId, ChunkInfo>,
+    chunk_rtree: RTree<ChunkId>,
+    partition: Option<PartitionSchema>,
+    offsets: BTreeMap<ServerId, u64>,
+    /// Secondary attribute indexes per (chunk, attribute) — the bitmap +
+    /// bloom structures of the paper's §VIII future-work design.
+    attr_indexes: BTreeMap<(ChunkId, AttrId), ChunkAttrIndex>,
+    /// Volatile: current in-memory region per indexing server (already
+    /// widened by Δt by the reporting server).
+    memory_regions: BTreeMap<ServerId, Region>,
+}
+
+impl MetaState {
+    fn empty() -> Self {
+        Self {
+            next_chunk: 0,
+            chunks: BTreeMap::new(),
+            chunk_rtree: RTree::new(),
+            partition: None,
+            offsets: BTreeMap::new(),
+            attr_indexes: BTreeMap::new(),
+            memory_regions: BTreeMap::new(),
+        }
+    }
+}
+
+/// Handle to the metadata service; clones share state.
+#[derive(Clone)]
+pub struct MetadataService {
+    state: std::sync::Arc<RwLock<MetaState>>,
+    /// Snapshot file; `None` runs the service in-memory (tests, benches).
+    path: Option<PathBuf>,
+}
+
+impl MetadataService {
+    /// An in-memory service with no persistence.
+    pub fn in_memory() -> Self {
+        Self {
+            state: std::sync::Arc::new(RwLock::new(MetaState::empty())),
+            path: None,
+        }
+    }
+
+    /// Opens (or creates) a durable service backed by `path`. An existing
+    /// snapshot is loaded — this is the coordinator/metadata recovery path.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let state = if path.exists() {
+            let bytes = fs::read(&path)?;
+            Self::decode_state(&bytes)?
+        } else {
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            MetaState::empty()
+        };
+        Ok(Self {
+            state: std::sync::Arc::new(RwLock::new(state)),
+            path: Some(path),
+        })
+    }
+
+    /// Allocates a fresh durable chunk id.
+    pub fn allocate_chunk_id(&self) -> Result<ChunkId> {
+        let mut state = self.state.write();
+        let id = ChunkId(state.next_chunk);
+        state.next_chunk += 1;
+        self.persist(&state)?;
+        Ok(id)
+    }
+
+    /// Registers a flushed chunk and, atomically with it, advances the
+    /// producer's durable read offset (paper §V: the offset is stored "when
+    /// an indexing server flushes the in-memory B+ tree").
+    pub fn register_chunk(
+        &self,
+        id: ChunkId,
+        info: ChunkInfo,
+        durable_offset: u64,
+    ) -> Result<()> {
+        let mut state = self.state.write();
+        if state.chunks.contains_key(&id) {
+            return Err(WwError::InvalidState(format!(
+                "chunk {id} already registered"
+            )));
+        }
+        state.chunks.insert(id, info);
+        state.chunk_rtree.insert(info.region, id);
+        state.offsets.insert(info.producer, durable_offset);
+        self.persist(&state)
+    }
+
+    /// Durable facts about a chunk.
+    pub fn chunk_info(&self, id: ChunkId) -> Option<ChunkInfo> {
+        self.state.read().chunks.get(&id).copied()
+    }
+
+    /// Number of registered chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.state.read().chunks.len()
+    }
+
+    /// All chunks whose regions overlap `query` — the R-tree lookup behind
+    /// query decomposition (§IV-A).
+    pub fn chunks_overlapping(&self, query: &Region) -> Vec<(ChunkId, Region)> {
+        let state = self.state.read();
+        let mut out: Vec<(ChunkId, Region)> = state
+            .chunk_rtree
+            .search_entries(query)
+            .into_iter()
+            .map(|(r, id)| (*id, r))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Reports (or clears, with `None`) an indexing server's current
+    /// in-memory region. Volatile — cleared state is rebuilt on recovery.
+    pub fn update_memory_region(&self, server: ServerId, region: Option<Region>) {
+        let mut state = self.state.write();
+        match region {
+            Some(r) => {
+                state.memory_regions.insert(server, r);
+            }
+            None => {
+                state.memory_regions.remove(&server);
+            }
+        }
+    }
+
+    /// Indexing servers whose in-memory regions overlap `query`.
+    pub fn memory_regions_overlapping(&self, query: &Region) -> Vec<(ServerId, Region)> {
+        self.state
+            .read()
+            .memory_regions
+            .iter()
+            .filter(|(_, r)| r.overlaps(query))
+            .map(|(s, r)| (*s, *r))
+            .collect()
+    }
+
+    /// Installs a new key-partitioning schema (must be valid and newer than
+    /// the current version).
+    pub fn set_partition(&self, schema: PartitionSchema) -> Result<()> {
+        schema.validate().map_err(|e| match e {
+            WwError::Config(m) => WwError::Config(m),
+            other => other,
+        })?;
+        let mut state = self.state.write();
+        if let Some(current) = &state.partition {
+            if schema.version <= current.version {
+                return Err(WwError::InvalidState(format!(
+                    "stale partition version {} (current {})",
+                    schema.version, current.version
+                )));
+            }
+        }
+        state.partition = Some(schema);
+        self.persist(&state)
+    }
+
+    /// The current partitioning schema.
+    pub fn partition(&self) -> Option<PartitionSchema> {
+        self.state.read().partition.clone()
+    }
+
+    /// The durable read offset of an indexing server (0 when none stored) —
+    /// the replay point for recovery.
+    pub fn durable_offset(&self, server: ServerId) -> u64 {
+        self.state
+            .read()
+            .offsets
+            .get(&server)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Registers a secondary attribute index for a chunk (built by the
+    /// producing indexing server at flush time).
+    pub fn register_attr_index(
+        &self,
+        chunk: ChunkId,
+        attr: AttrId,
+        index: ChunkAttrIndex,
+    ) -> Result<()> {
+        let mut state = self.state.write();
+        if !state.chunks.contains_key(&chunk) {
+            return Err(WwError::not_found("chunk", chunk));
+        }
+        state.attr_indexes.insert((chunk, attr), index);
+        self.persist(&state)
+    }
+
+    /// Probes a chunk's attribute index for an equality constraint.
+    /// Chunks with no registered index answer [`AttrProbe::Unknown`] —
+    /// pruning never risks correctness.
+    pub fn attr_probe(&self, chunk: ChunkId, attr: AttrId, value: u64) -> AttrProbe {
+        self.state
+            .read()
+            .attr_indexes
+            .get(&(chunk, attr))
+            .map(|idx| idx.probe(value))
+            .unwrap_or(AttrProbe::Unknown)
+    }
+
+    /// Number of registered attribute indexes (diagnostics).
+    pub fn attr_index_count(&self) -> usize {
+        self.state.read().attr_indexes.len()
+    }
+
+    fn persist(&self, state: &MetaState) -> Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let bytes = Self::encode_state(state);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    fn encode_state(state: &MetaState) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.put_u64(state.next_chunk);
+        body.put_u32(state.chunks.len() as u32);
+        for (id, info) in &state.chunks {
+            body.put_u64(id.raw());
+            codec::encode_region(&mut body, &info.region);
+            body.put_u64(info.count);
+            body.put_u64(info.bytes);
+            body.put_u32(info.producer.raw());
+        }
+        match &state.partition {
+            Some(p) => {
+                body.put_u32(1);
+                p.encode(&mut body);
+            }
+            None => body.put_u32(0),
+        }
+        body.put_u32(state.offsets.len() as u32);
+        for (server, offset) in &state.offsets {
+            body.put_u32(server.raw());
+            body.put_u64(*offset);
+        }
+        body.put_u32(state.attr_indexes.len() as u32);
+        for ((chunk, attr), index) in &state.attr_indexes {
+            body.put_u64(chunk.raw());
+            body.put_u32(*attr as u32);
+            index.encode(&mut body);
+        }
+        let mut out = Vec::with_capacity(body.len() + 24);
+        out.put_u64(SNAPSHOT_MAGIC);
+        out.put_u64(codec::fnv1a(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode_state(bytes: &[u8]) -> Result<MetaState> {
+        let mut dec = Decoder::new(bytes, "meta snapshot");
+        if dec.get_u64()? != SNAPSHOT_MAGIC {
+            return Err(WwError::corrupt("meta snapshot", "bad magic"));
+        }
+        let checksum = dec.get_u64()?;
+        let body = &bytes[16..];
+        if codec::fnv1a(body) != checksum {
+            return Err(WwError::corrupt("meta snapshot", "checksum mismatch"));
+        }
+        let mut dec = Decoder::new(body, "meta snapshot");
+        let next_chunk = dec.get_u64()?;
+        let n_chunks = dec.get_u32()? as usize;
+        let mut chunks = BTreeMap::new();
+        let mut chunk_rtree = RTree::new();
+        for _ in 0..n_chunks {
+            let id = ChunkId(dec.get_u64()?);
+            let region = codec::decode_region(&mut dec)?;
+            let count = dec.get_u64()?;
+            let bytes_ = dec.get_u64()?;
+            let producer = ServerId(dec.get_u32()?);
+            chunks.insert(
+                id,
+                ChunkInfo {
+                    region,
+                    count,
+                    bytes: bytes_,
+                    producer,
+                },
+            );
+            chunk_rtree.insert(region, id);
+        }
+        let partition = if dec.get_u32()? == 1 {
+            Some(PartitionSchema::decode(&mut dec)?)
+        } else {
+            None
+        };
+        let n_offsets = dec.get_u32()? as usize;
+        let mut offsets = BTreeMap::new();
+        for _ in 0..n_offsets {
+            let server = ServerId(dec.get_u32()?);
+            let offset = dec.get_u64()?;
+            offsets.insert(server, offset);
+        }
+        let mut attr_indexes = BTreeMap::new();
+        // Older snapshots end here; the attr-index section is optional.
+        if dec.remaining() > 0 {
+            let n_attr = dec.get_u32()? as usize;
+            for _ in 0..n_attr {
+                let chunk = ChunkId(dec.get_u64()?);
+                let attr = dec.get_u32()? as AttrId;
+                attr_indexes.insert((chunk, attr), ChunkAttrIndex::decode(&mut dec)?);
+            }
+        }
+        Ok(MetaState {
+            next_chunk,
+            chunks,
+            chunk_rtree,
+            partition,
+            offsets,
+            attr_indexes,
+            memory_regions: BTreeMap::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_core::{KeyInterval, TimeInterval};
+
+    fn region(k0: u64, k1: u64, t0: u64, t1: u64) -> Region {
+        Region::new(KeyInterval::new(k0, k1), TimeInterval::new(t0, t1))
+    }
+
+    fn info(k0: u64, k1: u64, t0: u64, t1: u64, producer: u32) -> ChunkInfo {
+        ChunkInfo {
+            region: region(k0, k1, t0, t1),
+            count: 10,
+            bytes: 100,
+            producer: ServerId(producer),
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ww-meta-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("meta.snapshot")
+    }
+
+    #[test]
+    fn chunk_ids_are_unique_and_monotone() {
+        let meta = MetadataService::in_memory();
+        let a = meta.allocate_chunk_id().unwrap();
+        let b = meta.allocate_chunk_id().unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn register_and_search_chunks() {
+        let meta = MetadataService::in_memory();
+        let a = meta.allocate_chunk_id().unwrap();
+        let b = meta.allocate_chunk_id().unwrap();
+        meta.register_chunk(a, info(0, 100, 0, 50, 1), 10).unwrap();
+        meta.register_chunk(b, info(101, 200, 0, 50, 2), 20).unwrap();
+        assert_eq!(meta.chunk_count(), 2);
+        let hits = meta.chunks_overlapping(&region(50, 150, 0, 10));
+        assert_eq!(hits.len(), 2);
+        let hits = meta.chunks_overlapping(&region(0, 50, 60, 90));
+        assert!(hits.is_empty());
+        // Duplicate registration rejected.
+        assert!(meta.register_chunk(a, info(0, 1, 0, 1, 1), 0).is_err());
+    }
+
+    #[test]
+    fn offsets_advance_with_registration() {
+        let meta = MetadataService::in_memory();
+        assert_eq!(meta.durable_offset(ServerId(1)), 0);
+        let a = meta.allocate_chunk_id().unwrap();
+        meta.register_chunk(a, info(0, 10, 0, 10, 1), 555).unwrap();
+        assert_eq!(meta.durable_offset(ServerId(1)), 555);
+    }
+
+    #[test]
+    fn memory_regions_are_tracked_and_cleared() {
+        let meta = MetadataService::in_memory();
+        meta.update_memory_region(ServerId(3), Some(region(0, 10, 100, 200)));
+        assert_eq!(
+            meta.memory_regions_overlapping(&region(5, 6, 150, 160))
+                .len(),
+            1
+        );
+        meta.update_memory_region(ServerId(3), None);
+        assert!(meta
+            .memory_regions_overlapping(&Region::full())
+            .is_empty());
+    }
+
+    #[test]
+    fn partition_versions_must_increase() {
+        let meta = MetadataService::in_memory();
+        let servers: Vec<ServerId> = (0..2).map(ServerId).collect();
+        let mut schema = PartitionSchema::uniform(&servers);
+        schema.version = 1;
+        meta.set_partition(schema.clone()).unwrap();
+        assert!(meta.set_partition(schema.clone()).is_err());
+        schema.version = 2;
+        meta.set_partition(schema).unwrap();
+        assert_eq!(meta.partition().unwrap().version, 2);
+    }
+
+    #[test]
+    fn snapshot_survives_restart() {
+        let path = tmp_path("restart");
+        {
+            let meta = MetadataService::open(&path).unwrap();
+            let a = meta.allocate_chunk_id().unwrap();
+            meta.register_chunk(a, info(0, 100, 0, 50, 1), 42).unwrap();
+            let servers: Vec<ServerId> = (0..2).map(ServerId).collect();
+            let mut schema = PartitionSchema::uniform(&servers);
+            schema.version = 5;
+            meta.set_partition(schema).unwrap();
+            meta.update_memory_region(ServerId(1), Some(region(0, 10, 0, 10)));
+        }
+        let meta = MetadataService::open(&path).unwrap();
+        assert_eq!(meta.chunk_count(), 1);
+        assert_eq!(meta.durable_offset(ServerId(1)), 42);
+        assert_eq!(meta.partition().unwrap().version, 5);
+        // Chunk ids continue past the recovered counter.
+        assert_eq!(meta.allocate_chunk_id().unwrap(), ChunkId(1));
+        // Volatile memory regions do NOT survive.
+        assert!(meta
+            .memory_regions_overlapping(&Region::full())
+            .is_empty());
+        // R-tree rebuilt from the snapshot.
+        assert_eq!(meta.chunks_overlapping(&region(0, 10, 0, 10)).len(), 1);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let path = tmp_path("corrupt");
+        {
+            let meta = MetadataService::open(&path).unwrap();
+            meta.allocate_chunk_id().unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(MetadataService::open(&path).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Optional disk persistence for the message queue.
+//!
+//! Kafka's durability is part of Waterwheel's §V recovery contract: tuples
+//! acknowledged by the queue survive *process* restarts, not just server
+//! crashes. This module adds that property to the in-process broker: each
+//! partition appends records to a log file (group-committed), plus a tiny
+//! sidecar recording the trim point; reopening a broker over the same
+//! directory reloads every retained record with identical offsets.
+//!
+//! Log files are append-only and never compacted — trimming only moves the
+//! logical trim point; a real deployment would segment and delete files,
+//! which is out of scope here (the recovery semantics don't depend on it).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use waterwheel_core::codec::{self, Decoder};
+use waterwheel_core::{Result, Tuple, WwError};
+
+/// Records per group commit: buffered appends are flushed to the OS after
+/// this many records (and on drop/explicit flush).
+const FLUSH_EVERY: usize = 128;
+
+/// Append-side persistence state for one partition.
+pub struct PartitionPersist {
+    writer: BufWriter<File>,
+    pending: usize,
+    trim_path: PathBuf,
+}
+
+impl PartitionPersist {
+    fn log_path(dir: &Path, topic: &str, partition: usize) -> PathBuf {
+        dir.join(format!("{topic}.{partition}.log"))
+    }
+
+    fn trim_path(dir: &Path, topic: &str, partition: usize) -> PathBuf {
+        dir.join(format!("{topic}.{partition}.trim"))
+    }
+
+    /// Opens (appending) the persistence files for a partition.
+    pub fn open(dir: &Path, topic: &str, partition: usize) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(Self::log_path(dir, topic, partition))?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            pending: 0,
+            trim_path: Self::trim_path(dir, topic, partition),
+        })
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, tuple: &Tuple) -> Result<()> {
+        let mut buf = Vec::with_capacity(tuple.encoded_len());
+        codec::encode_tuple(&mut buf, tuple);
+        self.writer.write_all(&buf)?;
+        self.pending += 1;
+        if self.pending >= FLUSH_EVERY {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered appends to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Durably records the trim point (records below it are logically
+    /// deleted; the log file itself is untouched).
+    pub fn record_trim(&self, trim: u64) -> Result<()> {
+        let tmp = self.trim_path.with_extension("tmp");
+        fs::write(&tmp, trim.to_le_bytes())?;
+        fs::rename(&tmp, &self.trim_path)?;
+        Ok(())
+    }
+
+    /// Loads a partition's retained records and trim point from disk.
+    /// Returns `(base_offset, records)` where `records[0]` has offset
+    /// `base_offset`. Missing files mean an empty partition.
+    pub fn load(dir: &Path, topic: &str, partition: usize) -> Result<(u64, Vec<Tuple>)> {
+        let log_path = Self::log_path(dir, topic, partition);
+        if !log_path.exists() {
+            return Ok((0, Vec::new()));
+        }
+        let trim = match fs::read(Self::trim_path(dir, topic, partition)) {
+            Ok(bytes) if bytes.len() == 8 => u64::from_le_bytes(bytes.try_into().unwrap()),
+            Ok(_) => return Err(WwError::corrupt("mq trim file", "bad length")),
+            Err(_) => 0,
+        };
+        let bytes = fs::read(&log_path)?;
+        let mut dec = Decoder::new(&bytes, "mq log");
+        let mut all: Vec<Tuple> = Vec::new();
+        while dec.remaining() > 0 {
+            // A torn final record (crash mid-append) is tolerated: stop at
+            // the last complete record, like Kafka's log recovery.
+            let before = dec.position();
+            match codec::decode_tuple(&mut dec) {
+                Ok(t) => all.push(t),
+                Err(_) => {
+                    let _ = before;
+                    break;
+                }
+            }
+        }
+        if (trim as usize) > all.len() {
+            return Err(WwError::corrupt(
+                "mq log",
+                format!("trim {trim} beyond {} records", all.len()),
+            ));
+        }
+        let retained = all.split_off(trim as usize);
+        Ok((trim, retained))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ww-mq-persist-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_flush_load_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut p = PartitionPersist::open(&dir, "ingest", 0).unwrap();
+        for i in 0..300u64 {
+            p.append(&Tuple::new(i, i * 2, vec![i as u8])).unwrap();
+        }
+        p.flush().unwrap();
+        let (base, records) = PartitionPersist::load(&dir, "ingest", 0).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(records.len(), 300);
+        assert_eq!(records[299], Tuple::new(299, 598, vec![299u64 as u8]));
+    }
+
+    #[test]
+    fn trim_point_survives_reload() {
+        let dir = tmp_dir("trim");
+        let mut p = PartitionPersist::open(&dir, "t", 1).unwrap();
+        for i in 0..50u64 {
+            p.append(&Tuple::bare(i, i)).unwrap();
+        }
+        p.flush().unwrap();
+        p.record_trim(20).unwrap();
+        let (base, records) = PartitionPersist::load(&dir, "t", 1).unwrap();
+        assert_eq!(base, 20);
+        assert_eq!(records.len(), 30);
+        assert_eq!(records[0].key, 20);
+    }
+
+    #[test]
+    fn missing_files_mean_empty() {
+        let dir = tmp_dir("missing");
+        let (base, records) = PartitionPersist::load(&dir, "none", 0).unwrap();
+        assert_eq!(base, 0);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped() {
+        let dir = tmp_dir("torn");
+        let mut p = PartitionPersist::open(&dir, "t", 0).unwrap();
+        for i in 0..10u64 {
+            p.append(&Tuple::new(i, i, vec![0u8; 8])).unwrap();
+        }
+        p.flush().unwrap();
+        drop(p);
+        // Truncate mid-record.
+        let log = dir.join("t.0.log");
+        let bytes = fs::read(&log).unwrap();
+        fs::write(&log, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, records) = PartitionPersist::load(&dir, "t", 0).unwrap();
+        assert_eq!(records.len(), 9);
+    }
+
+    #[test]
+    fn corrupt_trim_is_detected() {
+        let dir = tmp_dir("badtrim");
+        let mut p = PartitionPersist::open(&dir, "t", 0).unwrap();
+        p.append(&Tuple::bare(1, 1)).unwrap();
+        p.flush().unwrap();
+        fs::write(dir.join("t.0.trim"), [1, 2, 3]).unwrap();
+        assert!(PartitionPersist::load(&dir, "t", 0).is_err());
+        // Trim beyond record count is also rejected.
+        fs::write(dir.join("t.0.trim"), 99u64.to_le_bytes()).unwrap();
+        assert!(PartitionPersist::load(&dir, "t", 0).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Registry of secondary attributes (paper §VIII future work).
+//!
+//! A secondary attribute is a user-defined projection of the tuple payload
+//! onto a `u64` value (e.g. "destination IP", "taxi id"). Registered
+//! attributes are indexed at chunk-flush time — a bloom filter over the
+//! chunk's values plus per-hot-value leaf bitmaps (see
+//! [`waterwheel_index::secondary`]) — and queries carrying an
+//! [`attr_eq`](waterwheel_core::Query::attr_eq) constraint use those
+//! structures to prune chunks and leaves.
+//!
+//! The registry is shared (via `Arc`) between the indexing servers (build
+//! side) and the coordinator (query side); registrations apply to chunks
+//! flushed *after* the registration.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use waterwheel_core::Tuple;
+use waterwheel_index::secondary::{AttrId, AttributeExtractor};
+
+/// Shared registry of attribute extractors.
+#[derive(Default)]
+pub struct AttrRegistry {
+    map: RwLock<HashMap<AttrId, AttributeExtractor>>,
+}
+
+impl AttrRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) an attribute extractor.
+    pub fn register(
+        &self,
+        attr: AttrId,
+        extractor: impl Fn(&Tuple) -> Option<u64> + Send + Sync + 'static,
+    ) {
+        self.map.write().insert(attr, Arc::new(extractor));
+    }
+
+    /// The extractor for an attribute, if registered.
+    pub fn get(&self, attr: AttrId) -> Option<AttributeExtractor> {
+        self.map.read().get(&attr).cloned()
+    }
+
+    /// All registered attribute ids (build side iterates these at flush).
+    pub fn ids(&self) -> Vec<AttrId> {
+        let mut ids: Vec<AttrId> = self.map.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of registered attributes.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether no attributes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_roundtrip() {
+        let reg = AttrRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(1, |t| Some(t.key % 10));
+        reg.register(2, |t| t.payload.first().map(|&b| b as u64));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.ids(), vec![1, 2]);
+        let f = reg.get(1).unwrap();
+        assert_eq!(f(&Tuple::bare(42, 0)), Some(2));
+        assert!(reg.get(9).is_none());
+    }
+
+    #[test]
+    fn extractors_can_decline() {
+        let reg = AttrRegistry::new();
+        reg.register(1, |t| (t.payload.len() >= 4).then_some(7));
+        let f = reg.get(1).unwrap();
+        assert_eq!(f(&Tuple::bare(1, 1)), None);
+        assert_eq!(f(&Tuple::new(1, 1, vec![0u8; 4])), Some(7));
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let reg = AttrRegistry::new();
+        reg.register(1, |_| Some(1));
+        reg.register(1, |_| Some(2));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(1).unwrap()(&Tuple::bare(0, 0)), Some(2));
+    }
+}

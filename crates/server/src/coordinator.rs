@@ -1,0 +1,414 @@
+//! The query coordinator: decomposition, parallel execution, merging, and
+//! subquery-level fault tolerance (paper §IV-A, §IV-C, §V).
+//!
+//! For a query `q = ⟨K_q, T_q, f_q⟩` the coordinator:
+//!
+//! 1. finds all *query region candidates* — chunk regions via the metadata
+//!    server's R-tree plus the indexing servers' in-memory regions (already
+//!    widened by Δt, §IV-D);
+//! 2. emits one subquery per candidate, each the intersection of the query
+//!    with that candidate's region;
+//! 3. executes in-memory subqueries on their owning indexing servers and
+//!    chunk subqueries across the query servers under the configured
+//!    dispatch policy (LADA by default, §IV-C);
+//! 4. merges all partial results.
+//!
+//! Fault tolerance (§V): a subquery that fails (server down) is re-dispatched
+//! to the remaining healthy servers; no intermediate results are persisted.
+
+use crate::attributes::AttrRegistry;
+use crate::dispatch::{self, DispatchPolicy};
+use crate::indexing::IndexingServer;
+use crate::query_server::QueryServer;
+use waterwheel_index::secondary::AttrProbe;
+use waterwheel_index::Bitmap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use waterwheel_cluster::Cluster;
+use waterwheel_core::{
+    ChunkId, Query, QueryId, QueryResult, Result, ServerId, SubQuery, SubQueryId, SubQueryTarget,
+    Tuple, WwError,
+};
+use waterwheel_meta::MetadataService;
+
+/// Coordinator-side counters.
+#[derive(Debug, Default)]
+pub struct CoordinatorStats {
+    /// Queries executed.
+    pub queries: AtomicU64,
+    /// Subqueries generated.
+    pub subqueries: AtomicU64,
+    /// Subqueries re-dispatched after a server failure.
+    pub redispatches: AtomicU64,
+    /// Chunk subqueries pruned by secondary attribute indexes (§VIII).
+    pub attr_pruned_chunks: AtomicU64,
+}
+
+/// The query coordinator.
+pub struct Coordinator {
+    meta: MetadataService,
+    cluster: Cluster,
+    query_servers: Vec<Arc<QueryServer>>,
+    /// Shared with the system facade so recovery can swap in a replacement
+    /// indexing server.
+    indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
+    policy: RwLock<DispatchPolicy>,
+    /// Secondary-attribute registry shared with the indexing servers.
+    attrs: RwLock<Arc<AttrRegistry>>,
+    next_query: AtomicU64,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over the given server sets.
+    pub fn new(
+        meta: MetadataService,
+        cluster: Cluster,
+        query_servers: Vec<Arc<QueryServer>>,
+        indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
+        policy: DispatchPolicy,
+    ) -> Self {
+        assert!(!query_servers.is_empty());
+        Self {
+            meta,
+            cluster,
+            query_servers,
+            indexing,
+            policy: RwLock::new(policy),
+            attrs: RwLock::new(Arc::new(AttrRegistry::new())),
+            next_query: AtomicU64::new(0),
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Installs the shared secondary-attribute registry (query side).
+    pub fn set_attr_registry(&self, attrs: Arc<AttrRegistry>) {
+        *self.attrs.write() = attrs;
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// Switches the dispatch policy (the Figure 13 comparison knob).
+    pub fn set_policy(&self, policy: DispatchPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The active dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        *self.policy.read()
+    }
+
+    /// Decomposes a query into subqueries against the current metadata —
+    /// exposed separately for tests and diagnostics.
+    pub fn decompose(&self, query: &Query, qid: QueryId) -> Vec<SubQuery> {
+        let region = query.region();
+        let mut out = Vec::new();
+        let mut index = 0u32;
+        let mut push = |keys, times, target| {
+            out.push(SubQuery {
+                id: SubQueryId { query: qid, index },
+                keys,
+                times,
+                predicate: query.predicate.clone(),
+                target,
+            });
+            index += 1;
+        };
+        for (server, r) in self.meta.memory_regions_overlapping(&region) {
+            let Some(overlap) = r.intersect(&region) else {
+                continue;
+            };
+            push(overlap.keys, overlap.times, SubQueryTarget::InMemory(server));
+        }
+        for (chunk, r) in self.meta.chunks_overlapping(&region) {
+            let Some(overlap) = r.intersect(&region) else {
+                continue;
+            };
+            push(overlap.keys, overlap.times, SubQueryTarget::Chunk(chunk));
+        }
+        out
+    }
+
+    /// Executes a query end-to-end and merges the results (§IV-A).
+    ///
+    /// A structured [`Query::attr_eq`] constraint is folded into the
+    /// predicate for exactness and additionally used to prune chunks and
+    /// leaves through the secondary indexes (paper §VIII).
+    pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        // Fold attr_eq into the predicate so every executor filters exactly.
+        let effective;
+        let attr_hint;
+        match query.attr_eq {
+            Some((attr, value)) => {
+                let extract = self.attrs.read().get(attr).ok_or_else(|| {
+                    WwError::Config(format!("attribute {attr} is not registered"))
+                })?;
+                let inner = query.predicate.clone();
+                let mut q = query.clone();
+                q.predicate = Some(Arc::new(move |t: &waterwheel_core::Tuple| {
+                    extract(t) == Some(value)
+                        && inner.as_ref().is_none_or(|p| p(t))
+                }));
+                effective = q;
+                attr_hint = Some((attr, value));
+            }
+            None => {
+                effective = query.clone();
+                attr_hint = None;
+            }
+        }
+        let query = &effective;
+        let qid = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        let subqueries = self.decompose(query, qid);
+        let n_subqueries = subqueries.len() as u32;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .subqueries
+            .fetch_add(subqueries.len() as u64, Ordering::Relaxed);
+
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut chunk_sqs: Vec<(SubQuery, ChunkId, Option<Bitmap>)> = Vec::new();
+        // In-memory subqueries run directly on the owning indexing servers.
+        {
+            let indexing = self.indexing.read();
+            let by_id: HashMap<ServerId, &Arc<IndexingServer>> =
+                indexing.iter().map(|s| (s.id(), s)).collect();
+            for sq in subqueries {
+                match sq.target {
+                    SubQueryTarget::InMemory(server) => {
+                        let ix = by_id.get(&server).ok_or_else(|| {
+                            WwError::not_found("indexing server", server)
+                        })?;
+                        tuples.extend(ix.query_in_memory(&sq)?);
+                    }
+                    SubQueryTarget::Chunk(chunk) => {
+                        // Secondary-index pruning (paper §VIII): skip chunks
+                        // that provably lack the attribute value; restrict
+                        // to qualifying leaves when a bitmap exists.
+                        let leaf_filter = match attr_hint {
+                            Some((attr, value)) => {
+                                match self.meta.attr_probe(chunk, attr, value) {
+                                    AttrProbe::Absent => {
+                                        self.stats
+                                            .attr_pruned_chunks
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    }
+                                    AttrProbe::Leaves(bm) => Some(bm),
+                                    AttrProbe::Unknown => None,
+                                }
+                            }
+                            None => None,
+                        };
+                        chunk_sqs.push((sq, chunk, leaf_filter));
+                    }
+                }
+            }
+        }
+        // Chunk subqueries run across the query servers.
+        tuples.extend(self.execute_chunk_subqueries(&chunk_sqs)?);
+        Ok(QueryResult {
+            query_id: qid,
+            subqueries: n_subqueries,
+            tuples,
+        })
+    }
+
+    fn execute_chunk_subqueries(
+        &self,
+        chunk_sqs: &[(SubQuery, ChunkId, Option<Bitmap>)],
+    ) -> Result<Vec<Tuple>> {
+        if chunk_sqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunks: Vec<ChunkId> = chunk_sqs.iter().map(|(_, c, _)| *c).collect();
+        let servers = self.query_servers.len();
+        let plan = dispatch::build_plan(self.policy(), &chunks, servers, |s, chunk| {
+            self.query_servers[s].is_colocated(chunk, &self.cluster)
+        });
+        let results: Mutex<Vec<Option<Vec<Tuple>>>> = Mutex::new(vec![None; chunk_sqs.len()]);
+        dispatch::execute_plan(&plan, servers, |s, i| {
+            let (sq, chunk, filter) = &chunk_sqs[i];
+            match self.query_servers[s].execute_filtered(sq, *chunk, filter.as_ref()) {
+                Ok(tuples) => {
+                    results.lock()[i] = Some(tuples);
+                    true
+                }
+                Err(_) => false,
+            }
+        });
+        // Re-dispatch any subqueries that failed or were never taken (§V):
+        // the coordinator discards partial results and retries on healthy
+        // servers with a work-conserving plan.
+        let mut results = results.into_inner();
+        for _round in 0..2 {
+            let remaining: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let healthy: Vec<usize> = (0..servers)
+                .filter(|&s| !self.query_servers[s].is_failed())
+                .collect();
+            if healthy.is_empty() {
+                break;
+            }
+            self.stats
+                .redispatches
+                .fetch_add(remaining.len() as u64, Ordering::Relaxed);
+            let retry_chunks: Vec<ChunkId> = remaining.iter().map(|&i| chunks[i]).collect();
+            let retry_plan = dispatch::build_plan(
+                DispatchPolicy::SharedQueue,
+                &retry_chunks,
+                healthy.len(),
+                |_, _| true,
+            );
+            let retry_results: Mutex<Vec<(usize, Vec<Tuple>)>> = Mutex::new(Vec::new());
+            dispatch::execute_plan(&retry_plan, healthy.len(), |hs, ri| {
+                let i = remaining[ri];
+                let (sq, chunk, filter) = &chunk_sqs[i];
+                match self.query_servers[healthy[hs]].execute_filtered(sq, *chunk, filter.as_ref()) {
+                    Ok(tuples) => {
+                        retry_results.lock().push((i, tuples));
+                        true
+                    }
+                    Err(_) => false,
+                }
+            });
+            for (i, tuples) in retry_results.into_inner() {
+                results[i] = Some(tuples);
+            }
+        }
+        if results.iter().any(Option::is_none) {
+            return Err(WwError::InvalidState(
+                "subqueries unexecutable: all query servers failed".into(),
+            ));
+        }
+        Ok(results.into_iter().flatten().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The coordinator is exercised end-to-end through the system facade
+    // tests in `system.rs` and the workspace integration tests; unit tests
+    // here focus on decomposition logic.
+    use super::*;
+    use waterwheel_cluster::LatencyModel;
+    use waterwheel_core::{KeyInterval, Region, SystemConfig, TimeInterval};
+    use waterwheel_meta::ChunkInfo;
+    use waterwheel_mq::{Consumer, MessageQueue};
+    use waterwheel_storage::SimDfs;
+
+    fn region(k0: u64, k1: u64, t0: u64, t1: u64) -> Region {
+        Region::new(KeyInterval::new(k0, k1), TimeInterval::new(t0, t1))
+    }
+
+    fn coordinator(name: &str) -> (Coordinator, MetadataService) {
+        let root = std::env::temp_dir().join(format!("ww-coord-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cluster = Cluster::new(2);
+        let dfs = SimDfs::new(root, cluster.clone(), 2, LatencyModel::default()).unwrap();
+        let meta = MetadataService::in_memory();
+        let mq = MessageQueue::new();
+        mq.create_topic("ingest", 1).unwrap();
+        let qs = vec![Arc::new(QueryServer::new(
+            ServerId(10),
+            waterwheel_core::NodeId(0),
+            dfs.clone(),
+            1 << 20,
+        ))];
+        let ix = Arc::new(RwLock::new(vec![Arc::new(IndexingServer::new(
+            ServerId(0),
+            KeyInterval::full(),
+            SystemConfig::default(),
+            Consumer::new(mq, "ingest", 0, 0),
+            dfs,
+            meta.clone(),
+        ))]));
+        (
+            Coordinator::new(meta.clone(), cluster, qs, ix, DispatchPolicy::Lada),
+            meta,
+        )
+    }
+
+    #[test]
+    fn decompose_emits_one_subquery_per_overlapping_region() {
+        let (coord, meta) = coordinator("decompose");
+        meta.register_chunk(
+            ChunkId(0),
+            ChunkInfo {
+                region: region(0, 100, 0, 100),
+                count: 1,
+                bytes: 10,
+                producer: ServerId(0),
+            },
+            0,
+        )
+        .unwrap();
+        meta.register_chunk(
+            ChunkId(1),
+            ChunkInfo {
+                region: region(200, 300, 0, 100),
+                count: 1,
+                bytes: 10,
+                producer: ServerId(0),
+            },
+            0,
+        )
+        .unwrap();
+        meta.update_memory_region(ServerId(0), Some(region(0, 1_000, 100, 200)));
+
+        let q = Query::range(KeyInterval::new(50, 250), TimeInterval::new(50, 150));
+        let sqs = coord.decompose(&q, QueryId(0));
+        // Overlaps: chunk 0 (keys 50..=100, times 50..=100), chunk 1 (keys
+        // 200..=250), and the in-memory region (times 100..=150).
+        assert_eq!(sqs.len(), 3);
+        let mem: Vec<_> = sqs
+            .iter()
+            .filter(|s| matches!(s.target, SubQueryTarget::InMemory(_)))
+            .collect();
+        assert_eq!(mem.len(), 1);
+        assert_eq!(mem[0].times, TimeInterval::new(100, 150));
+        // Subquery constraints are intersections, never wider than the query.
+        for sq in &sqs {
+            assert!(q.keys.covers(&sq.keys));
+            assert!(q.times.covers(&sq.times));
+        }
+    }
+
+    #[test]
+    fn decompose_skips_disjoint_regions() {
+        let (coord, meta) = coordinator("disjoint");
+        meta.register_chunk(
+            ChunkId(0),
+            ChunkInfo {
+                region: region(0, 10, 0, 10),
+                count: 1,
+                bytes: 10,
+                producer: ServerId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let q = Query::range(KeyInterval::new(500, 600), TimeInterval::new(0, 10));
+        assert!(coord.decompose(&q, QueryId(0)).is_empty());
+    }
+
+    #[test]
+    fn execute_empty_metadata_returns_empty() {
+        let (coord, _meta) = coordinator("empty");
+        let q = Query::range(KeyInterval::full(), TimeInterval::full());
+        let r = coord.execute(&q).unwrap();
+        assert!(r.tuples.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Subquery dispatch policies, including LADA (paper §IV-C).
+//!
+//! For a query decomposed into chunk subqueries, the dispatcher must decide
+//! which query server executes which subquery. The paper's LADA
+//! (locality-aware dispatch algorithm) keeps all unprocessed subqueries in a
+//! *pending set* and gives every query server a *preference array* — the
+//! order in which it bids for pending subqueries. Preference arrays are
+//! built so that:
+//!
+//! * subqueries whose chunks are **co-located** with a server rank ahead of
+//!   the rest (chunk locality);
+//! * the ranking uses **deterministic shuffles seeded by the chunk id**, so
+//!   different servers prefer different subqueries of the same query (load
+//!   spread) while any one server prefers the *same* chunks across queries
+//!   (cache locality).
+//!
+//! Three baselines from §VI-C2 are provided: round-robin and hash dispatch
+//! (fixed assignment, no work stealing) and a shared FIFO queue
+//! (work-conserving, but locality-blind).
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use waterwheel_core::ChunkId;
+
+/// Which dispatch policy to use (paper §VI-C2 compares all four).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// The paper's locality-aware dispatch algorithm.
+    Lada,
+    /// Subquery `i` → server `i mod P`; no stealing.
+    RoundRobin,
+    /// Subquery → server `hash(chunk) mod P`; no stealing, cache-local.
+    Hash,
+    /// One global FIFO; all servers pull from it. Load-balanced but
+    /// locality-blind.
+    SharedQueue,
+}
+
+impl DispatchPolicy {
+    /// Display label for benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchPolicy::Lada => "LADA",
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::Hash => "hash",
+            DispatchPolicy::SharedQueue => "shared-queue",
+        }
+    }
+}
+
+/// A built dispatch plan: per-server preference arrays over subquery
+/// indices, plus whether servers may bid on work outside their own array.
+#[derive(Debug)]
+pub struct DispatchPlan {
+    /// `preferences[s]` lists subquery indices in server `s`'s bid order.
+    pub preferences: Vec<Vec<usize>>,
+    /// Work-conserving plans let an idle server take any pending subquery
+    /// (in its preference order); fixed-assignment plans do not.
+    pub work_conserving: bool,
+}
+
+/// A deterministic permutation of `0..n` seeded by `seed` (SplitMix64-based
+/// Fisher–Yates) — the chunk-id-seeded shuffle of §IV-C.
+fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..n).collect();
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Builds the ordered server array `→S(qᵢ)` for one subquery: the co-located
+/// servers, shuffled, followed by the rest, shuffled — both seeded by the
+/// chunk id.
+fn lada_server_order(colocated: &[usize], others: &[usize], chunk: ChunkId) -> Vec<usize> {
+    let mut ordered = Vec::with_capacity(colocated.len() + others.len());
+    for &p in &seeded_permutation(colocated.len(), chunk.raw().wrapping_mul(2).wrapping_add(1)) {
+        ordered.push(colocated[p]);
+    }
+    for &p in &seeded_permutation(others.len(), chunk.raw().wrapping_mul(2)) {
+        ordered.push(others[p]);
+    }
+    ordered
+}
+
+/// Builds a dispatch plan for `subquery_chunks[i]` = chunk of subquery `i`,
+/// across `servers` query servers. `colocated(server, chunk)` answers the
+/// chunk-locality test (replica placement).
+pub fn build_plan(
+    policy: DispatchPolicy,
+    subquery_chunks: &[ChunkId],
+    servers: usize,
+    colocated: impl Fn(usize, ChunkId) -> bool,
+) -> DispatchPlan {
+    assert!(servers > 0);
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            let mut preferences = vec![Vec::new(); servers];
+            for (i, _) in subquery_chunks.iter().enumerate() {
+                preferences[i % servers].push(i);
+            }
+            DispatchPlan {
+                preferences,
+                work_conserving: false,
+            }
+        }
+        DispatchPolicy::Hash => {
+            let mut preferences = vec![Vec::new(); servers];
+            for (i, chunk) in subquery_chunks.iter().enumerate() {
+                // FNV-style mix of the chunk id.
+                let h = chunk
+                    .raw()
+                    .wrapping_mul(0x0000_0100_0000_01B3)
+                    .rotate_left(17);
+                preferences[(h % servers as u64) as usize].push(i);
+            }
+            DispatchPlan {
+                preferences,
+                work_conserving: false,
+            }
+        }
+        DispatchPolicy::SharedQueue => {
+            let all: Vec<usize> = (0..subquery_chunks.len()).collect();
+            DispatchPlan {
+                preferences: vec![all; servers],
+                work_conserving: true,
+            }
+        }
+        DispatchPolicy::Lada => {
+            // rank[s][i] = offset of server s in →S(qᵢ).
+            let mut ranked: Vec<Vec<(usize, usize)>> = vec![Vec::new(); servers]; // (rank, subquery)
+            for (i, &chunk) in subquery_chunks.iter().enumerate() {
+                let (mut co, mut rest) = (Vec::new(), Vec::new());
+                for s in 0..servers {
+                    if colocated(s, chunk) {
+                        co.push(s);
+                    } else {
+                        rest.push(s);
+                    }
+                }
+                for (rank, &s) in lada_server_order(&co, &rest, chunk).iter().enumerate() {
+                    ranked[s].push((rank, i));
+                }
+            }
+            let preferences = ranked
+                .into_iter()
+                .map(|mut v| {
+                    v.sort_unstable();
+                    v.into_iter().map(|(_, i)| i).collect()
+                })
+                .collect();
+            DispatchPlan {
+                preferences,
+                work_conserving: true,
+            }
+        }
+    }
+}
+
+/// Executes a plan: each server runs `exec(server, subquery_index)` for the
+/// subqueries it wins. Runs one thread per server so that subquery I/O
+/// (simulated DFS latency) genuinely overlaps. Returns, per subquery, the
+/// id of the executing server (`None` if no server took it — only possible
+/// for non-work-conserving plans whose owner failed; the coordinator
+/// handles those).
+pub fn execute_plan<E>(plan: &DispatchPlan, servers: usize, exec: E) -> Vec<Option<usize>>
+where
+    E: Fn(usize, usize) -> bool + Sync,
+{
+    let total: usize = if plan.work_conserving {
+        plan.preferences.first().map_or(0, Vec::len)
+    } else {
+        plan.preferences.iter().map(Vec::len).sum()
+    };
+    let pending: Mutex<HashSet<usize>> = Mutex::new(if plan.work_conserving {
+        plan.preferences
+            .first()
+            .map(|p| p.iter().copied().collect())
+            .unwrap_or_default()
+    } else {
+        plan.preferences.iter().flatten().copied().collect()
+    });
+    let executed_by: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; total.max(
+        plan.preferences
+            .iter()
+            .flat_map(|p| p.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1),
+    )]);
+    std::thread::scope(|scope| {
+        for s in 0..servers {
+            let pending = &pending;
+            let executed_by = &executed_by;
+            let exec = &exec;
+            let prefs = &plan.preferences[s];
+            scope.spawn(move || {
+                let mut cursor = 0usize;
+                loop {
+                    // Bid: first still-pending subquery in preference order.
+                    let picked = {
+                        let mut pend = pending.lock();
+                        let mut found = None;
+                        while cursor < prefs.len() {
+                            let sq = prefs[cursor];
+                            if pend.remove(&sq) {
+                                found = Some(sq);
+                                break;
+                            }
+                            cursor += 1;
+                        }
+                        found
+                    };
+                    let Some(sq) = picked else { break };
+                    if exec(s, sq) {
+                        executed_by.lock()[sq] = Some(s);
+                    }
+                    // On failure the subquery stays unrecorded; the
+                    // coordinator re-dispatches.
+                }
+            });
+        }
+    });
+    executed_by.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn chunks(n: usize) -> Vec<ChunkId> {
+        (0..n as u64).map(ChunkId).collect()
+    }
+
+    /// 3 replicas out of 4 servers, deterministic by chunk id.
+    fn colocated(server: usize, chunk: ChunkId) -> bool {
+        !(chunk.raw() as usize + server).is_multiple_of(4)
+    }
+
+    #[test]
+    fn lada_preference_arrays_are_deterministic() {
+        let sq = chunks(20);
+        let a = build_plan(DispatchPolicy::Lada, &sq, 4, colocated);
+        let b = build_plan(DispatchPolicy::Lada, &sq, 4, colocated);
+        assert_eq!(a.preferences, b.preferences);
+        assert!(a.work_conserving);
+    }
+
+    #[test]
+    fn lada_every_server_ranks_every_subquery() {
+        let sq = chunks(10);
+        let plan = build_plan(DispatchPolicy::Lada, &sq, 3, colocated);
+        for prefs in &plan.preferences {
+            let mut sorted = prefs.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lada_colocated_subqueries_rank_before_remote_ones() {
+        // Property from the paper: "for any query server, the subqueries
+        // whose data chunks are co-located with it rank higher in its
+        // preference array than the others."
+        let sq = chunks(40);
+        let plan = build_plan(DispatchPolicy::Lada, &sq, 4, colocated);
+        for (s, prefs) in plan.preferences.iter().enumerate() {
+            let first_remote = prefs
+                .iter()
+                .position(|&i| !colocated(s, sq[i]))
+                .unwrap_or(prefs.len());
+            for (pos, &i) in prefs.iter().enumerate() {
+                if colocated(s, sq[i]) {
+                    assert!(
+                        pos < first_remote || prefs[..pos].iter().all(|&j| colocated(s, sq[j])),
+                        "server {s}: co-located subquery {i} ranked after a remote one"
+                    );
+                }
+            }
+            // Stronger: the array is exactly [all co-located…, all remote…].
+            let co_count = prefs.iter().filter(|&&i| colocated(s, sq[i])).count();
+            assert!(prefs[..co_count].iter().all(|&i| colocated(s, sq[i])));
+        }
+    }
+
+    #[test]
+    fn lada_servers_prefer_different_subqueries() {
+        // The shuffles vary per server, spreading the first picks.
+        let sq = chunks(30);
+        let plan = build_plan(DispatchPolicy::Lada, &sq, 4, |_, _| true);
+        let firsts: HashSet<usize> = plan.preferences.iter().map(|p| p[0]).collect();
+        assert!(firsts.len() > 1, "all servers would grab the same subquery");
+    }
+
+    #[test]
+    fn round_robin_assigns_evenly_without_stealing() {
+        let sq = chunks(10);
+        let plan = build_plan(DispatchPolicy::RoundRobin, &sq, 3, colocated);
+        assert!(!plan.work_conserving);
+        assert_eq!(plan.preferences[0], vec![0, 3, 6, 9]);
+        assert_eq!(plan.preferences[1], vec![1, 4, 7]);
+        assert_eq!(plan.preferences[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn hash_is_stable_per_chunk() {
+        let sq = vec![ChunkId(7), ChunkId(7), ChunkId(9)];
+        let plan = build_plan(DispatchPolicy::Hash, &sq, 4, colocated);
+        // Subqueries 0 and 1 share a chunk → same server.
+        let owner_of = |i: usize| {
+            plan.preferences
+                .iter()
+                .position(|p| p.contains(&i))
+                .unwrap()
+        };
+        assert_eq!(owner_of(0), owner_of(1));
+    }
+
+    #[test]
+    fn execute_plan_runs_each_subquery_exactly_once() {
+        for policy in [
+            DispatchPolicy::Lada,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::Hash,
+            DispatchPolicy::SharedQueue,
+        ] {
+            let sq = chunks(25);
+            let plan = build_plan(policy, &sq, 4, colocated);
+            let count = AtomicUsize::new(0);
+            let by = execute_plan(&plan, 4, |_s, _i| {
+                count.fetch_add(1, Ordering::Relaxed);
+                true
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 25, "{policy:?}");
+            assert!(by.iter().all(Option::is_some), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn work_conserving_plans_let_fast_servers_help() {
+        // Server 0 executes instantly; others are slow. Under a
+        // work-conserving policy, server 0 ends up doing most of the work.
+        let sq = chunks(20);
+        let plan = build_plan(DispatchPolicy::SharedQueue, &sq, 4, colocated);
+        let by = execute_plan(&plan, 4, |s, _i| {
+            if s != 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            true
+        });
+        let by_zero = by.iter().filter(|b| **b == Some(0)).count();
+        assert!(by_zero >= 10, "server 0 only took {by_zero}/20");
+    }
+
+    #[test]
+    fn failed_executions_leave_subqueries_unrecorded() {
+        let sq = chunks(10);
+        let plan = build_plan(DispatchPolicy::RoundRobin, &sq, 2, colocated);
+        // Server 1 fails everything.
+        let by = execute_plan(&plan, 2, |s, _i| s == 0);
+        let done = by.iter().filter(|b| b.is_some()).count();
+        assert_eq!(done, 5);
+        assert!(by.iter().enumerate().all(|(i, b)| (i % 2 == 0) == b.is_some()));
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let plan = build_plan(DispatchPolicy::Lada, &[], 3, colocated);
+        let by = execute_plan(&plan, 3, |_, _| true);
+        assert!(by.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Dispatchers: tuple routing plus key-frequency sampling (paper §III-A,
+//! §III-D).
+//!
+//! Dispatchers receive the incoming stream and route each tuple to the
+//! indexing server owning its key under the current partition schema, by
+//! appending to that server's partition of the replayable input queue.
+//! "Each dispatcher samples the key frequencies of its input stream in a
+//! sliding window of a few seconds" — implemented as per-server counts plus
+//! a reservoir sample of keys per window, which the partition balancer
+//! periodically collects.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use waterwheel_core::{Key, Result, ServerId, Tuple};
+use waterwheel_meta::PartitionSchema;
+use waterwheel_mq::MessageQueue;
+
+/// Reservoir capacity per sampling window.
+const RESERVOIR_CAP: usize = 4_096;
+
+/// One window of key-frequency statistics.
+#[derive(Debug, Default, Clone)]
+pub struct SampleWindow {
+    /// Tuples routed per indexing server in this window.
+    pub per_server: HashMap<ServerId, u64>,
+    /// Reservoir sample of routed keys.
+    pub keys: Vec<Key>,
+    /// Total tuples observed (≥ `keys.len()`).
+    pub observed: u64,
+}
+
+struct Sampler {
+    window: SampleWindow,
+    rng_state: u64,
+}
+
+impl Sampler {
+    fn record(&mut self, key: Key, server: ServerId) {
+        let w = &mut self.window;
+        *w.per_server.entry(server).or_insert(0) += 1;
+        w.observed += 1;
+        if w.keys.len() < RESERVOIR_CAP {
+            w.keys.push(key);
+        } else {
+            // Vitter's algorithm R.
+            self.rng_state = self
+                .rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (self.rng_state >> 16) % w.observed;
+            if (j as usize) < RESERVOIR_CAP {
+                w.keys[j as usize] = key;
+            }
+        }
+    }
+}
+
+/// A dispatcher instance.
+pub struct Dispatcher {
+    id: ServerId,
+    mq: MessageQueue,
+    topic: String,
+    schema: RwLock<PartitionSchema>,
+    /// Indexing server → queue partition.
+    partitions: HashMap<ServerId, usize>,
+    sampler: Mutex<Sampler>,
+    dispatched: AtomicU64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher routing into `topic` under `schema`;
+    /// `partitions` maps each indexing server to its queue partition.
+    pub fn new(
+        id: ServerId,
+        mq: MessageQueue,
+        topic: impl Into<String>,
+        schema: PartitionSchema,
+        partitions: HashMap<ServerId, usize>,
+    ) -> Self {
+        Self {
+            id,
+            mq,
+            topic: topic.into(),
+            schema: RwLock::new(schema),
+            partitions,
+            sampler: Mutex::new(Sampler {
+                window: SampleWindow::default(),
+                rng_state: 0x2545F4914F6CDD1D ^ id.raw() as u64,
+            }),
+            dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// This dispatcher's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Total tuples dispatched since creation.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Routes one tuple to its indexing server's queue partition.
+    pub fn dispatch(&self, tuple: Tuple) -> Result<()> {
+        let server = self.schema.read().route(tuple.key);
+        let partition = *self.partitions.get(&server).ok_or_else(|| {
+            waterwheel_core::WwError::not_found("queue partition for server", server)
+        })?;
+        self.sampler.lock().record(tuple.key, server);
+        self.mq.append(&self.topic, partition, tuple)?;
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Installs a new partition schema (pushed by the balancer). Stale
+    /// versions are ignored.
+    pub fn update_schema(&self, schema: PartitionSchema) {
+        let mut current = self.schema.write();
+        if schema.version > current.version {
+            *current = schema;
+        }
+    }
+
+    /// The schema version currently routing tuples.
+    pub fn schema_version(&self) -> u64 {
+        self.schema.read().version
+    }
+
+    /// Takes and resets the current sampling window (balancer collection).
+    pub fn take_window(&self) -> SampleWindow {
+        let mut sampler = self.sampler.lock();
+        std::mem::take(&mut sampler.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_core::KeyInterval;
+
+    fn setup(servers: u32) -> (MessageQueue, Dispatcher) {
+        let mq = MessageQueue::new();
+        mq.create_topic("ingest", servers as usize).unwrap();
+        let ids: Vec<ServerId> = (0..servers).map(ServerId).collect();
+        let schema = PartitionSchema::uniform(&ids);
+        let partitions = ids.iter().map(|&s| (s, s.raw() as usize)).collect();
+        let d = Dispatcher::new(ServerId(100), mq.clone(), "ingest", schema, partitions);
+        (mq, d)
+    }
+
+    #[test]
+    fn routes_by_schema() {
+        let (mq, d) = setup(2);
+        // Uniform 2-way split of u64: low half → server 0.
+        d.dispatch(Tuple::bare(0, 1)).unwrap();
+        d.dispatch(Tuple::bare(u64::MAX, 2)).unwrap();
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 1);
+        assert_eq!(mq.latest_offset("ingest", 1).unwrap(), 1);
+        assert_eq!(d.dispatched(), 2);
+    }
+
+    #[test]
+    fn sampling_window_counts_and_resets() {
+        let (_mq, d) = setup(2);
+        for i in 0..100u64 {
+            d.dispatch(Tuple::bare(i, i)).unwrap(); // all low half
+        }
+        let w = d.take_window();
+        assert_eq!(w.observed, 100);
+        assert_eq!(w.per_server.get(&ServerId(0)), Some(&100));
+        assert_eq!(w.keys.len(), 100);
+        // Window resets.
+        let w2 = d.take_window();
+        assert_eq!(w2.observed, 0);
+    }
+
+    #[test]
+    fn reservoir_caps_memory_but_keeps_sampling() {
+        let (_mq, d) = setup(2);
+        for i in 0..(RESERVOIR_CAP as u64 * 3) {
+            d.dispatch(Tuple::bare(i % 1_000, i)).unwrap();
+        }
+        let w = d.take_window();
+        assert_eq!(w.keys.len(), RESERVOIR_CAP);
+        assert_eq!(w.observed, RESERVOIR_CAP as u64 * 3);
+    }
+
+    #[test]
+    fn schema_updates_apply_only_forward() {
+        let (_mq, d) = setup(2);
+        let ids: Vec<ServerId> = (0..2).map(ServerId).collect();
+        let mut newer = PartitionSchema::from_boundaries(&[10], &ids, 5).unwrap();
+        d.update_schema(newer.clone());
+        assert_eq!(d.schema_version(), 5);
+        // A stale schema (lower version) is ignored.
+        newer.version = 2;
+        d.update_schema(newer);
+        assert_eq!(d.schema_version(), 5);
+        // Routing follows the new boundaries.
+        d.dispatch(Tuple::bare(9, 0)).unwrap();
+        d.dispatch(Tuple::bare(10, 0)).unwrap();
+        let w = d.take_window();
+        assert_eq!(w.per_server.get(&ServerId(0)), Some(&1));
+        assert_eq!(w.per_server.get(&ServerId(1)), Some(&1));
+    }
+
+    #[test]
+    fn unknown_server_partition_is_an_error() {
+        let mq = MessageQueue::new();
+        mq.create_topic("ingest", 1).unwrap();
+        let ids: Vec<ServerId> = vec![ServerId(0)];
+        let schema = PartitionSchema::uniform(&ids);
+        // Empty partition map: routing must fail loudly, not silently drop.
+        let d = Dispatcher::new(ServerId(1), mq, "ingest", schema, HashMap::new());
+        assert!(d.dispatch(Tuple::bare(1, 1)).is_err());
+    }
+
+    #[test]
+    fn full_domain_keys_route_without_panic() {
+        let (_mq, d) = setup(3);
+        for key in [0u64, 1, u64::MAX / 3, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            d.dispatch(Tuple::bare(key, 0)).unwrap();
+        }
+        let _ = KeyInterval::full();
+    }
+}

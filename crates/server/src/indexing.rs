@@ -1,0 +1,525 @@
+//! Indexing servers: realtime ingestion, chunk flushing, late-arrival
+//! handling, and recovery (paper §III, §IV-D, §V).
+//!
+//! Each indexing server owns one key interval of the global partition. It
+//! consumes its partition of the input queue, inserts tuples into an
+//! in-memory [`TemplateBTree`], and — once the accumulated bytes reach the
+//! chunk-size threshold — seals the tree into an immutable chunk on the
+//! simulated DFS, registering the chunk region *and* the durable read
+//! offset with the metadata server in one step (§V).
+//!
+//! Late arrivals (§IV-D): the server keeps a high-water timestamp. Tuples
+//! no more than Δt behind it enter the main tree, whose reported region is
+//! widened by Δt so the coordinator never misses them. Tuples later than Δt
+//! go to a *side store* flushed as its own chunk, keeping the main chunks'
+//! temporal bounds tight.
+//!
+//! Recovery: an indexing server is reconstructed by replaying its queue
+//! partition from the durable offset; the rebuilt tree is identical because
+//! inserts are deterministic.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use waterwheel_core::{
+    ChunkId, KeyInterval, Region, Result, ServerId, SubQuery, SystemConfig, TimeInterval,
+    Tuple,
+};
+use crate::attributes::AttrRegistry;
+use waterwheel_index::secondary::ChunkAttrIndex;
+use waterwheel_index::{IndexConfig, SealedTree, TemplateBTree, TupleIndex};
+use waterwheel_meta::{ChunkInfo, MetadataService};
+use waterwheel_mq::Consumer;
+use waterwheel_storage::{write_chunk, SimDfs};
+
+/// Ingest-side counters.
+#[derive(Debug, Default)]
+pub struct IndexingStats {
+    /// Tuples ingested into the main tree.
+    pub ingested: AtomicU64,
+    /// Tuples diverted to the side store (later than Δt).
+    pub side_stored: AtomicU64,
+    /// Chunks flushed.
+    pub chunks_flushed: AtomicU64,
+}
+
+/// One indexing server.
+pub struct IndexingServer {
+    id: ServerId,
+    cfg: SystemConfig,
+    tree: TemplateBTree,
+    /// Assigned key interval under the current partition schema; updated by
+    /// adaptive key partitioning (§III-D).
+    assigned: Mutex<KeyInterval>,
+    /// Very-late tuples, flushed as separate chunks (§IV-D).
+    side_store: Mutex<Vec<Tuple>>,
+    /// Bytes pending in the side store.
+    side_bytes: AtomicU64,
+    /// Highest event timestamp seen.
+    high_water: AtomicU64,
+    consumer: Mutex<Consumer>,
+    dfs: SimDfs,
+    meta: MetadataService,
+    stats: IndexingStats,
+    /// Failure injection.
+    failed: AtomicBool,
+    /// Secondary attributes to index at flush time (paper §VIII).
+    attrs: parking_lot::RwLock<Arc<AttrRegistry>>,
+}
+
+impl IndexingServer {
+    /// Creates a server over `assigned`, reading its queue partition from
+    /// `consumer`'s position (pass the durable offset when recovering).
+    pub fn new(
+        id: ServerId,
+        assigned: KeyInterval,
+        cfg: SystemConfig,
+        consumer: Consumer,
+        dfs: SimDfs,
+        meta: MetadataService,
+    ) -> Self {
+        let index_cfg = IndexConfig::from_system(&cfg);
+        Self {
+            id,
+            tree: TemplateBTree::new(assigned, index_cfg),
+            assigned: Mutex::new(assigned),
+            side_store: Mutex::new(Vec::new()),
+            side_bytes: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            consumer: Mutex::new(consumer),
+            dfs,
+            meta,
+            stats: IndexingStats::default(),
+            failed: AtomicBool::new(false),
+            attrs: parking_lot::RwLock::new(Arc::new(AttrRegistry::new())),
+            cfg,
+        }
+    }
+
+    /// Installs the shared secondary-attribute registry; chunks flushed
+    /// afterwards carry attribute indexes for every registered attribute.
+    pub fn set_attr_registry(&self, attrs: Arc<AttrRegistry>) {
+        *self.attrs.write() = attrs;
+    }
+
+    /// Builds and registers the secondary attribute indexes for a freshly
+    /// written chunk (paper §VIII: bloom + bitmap secondary indexes).
+    fn register_attr_indexes(&self, chunk: ChunkId, sealed: &SealedTree) -> Result<()> {
+        let attrs = self.attrs.read().clone();
+        for attr in attrs.ids() {
+            let Some(extract) = attrs.get(attr) else { continue };
+            let leaf_values: Vec<Vec<u64>> = sealed
+                .leaves
+                .iter()
+                .map(|leaf| leaf.entries.iter().filter_map(|t| extract(t)).collect())
+                .collect();
+            let index = ChunkAttrIndex::build(&leaf_values, self.cfg.bloom_bits_per_entry);
+            self.meta.register_attr_index(chunk, attr, index)?;
+        }
+        Ok(())
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Ingest counters.
+    pub fn stats(&self) -> &IndexingStats {
+        &self.stats
+    }
+
+    /// Tuples currently in memory (main tree + side store).
+    pub fn in_memory(&self) -> usize {
+        self.tree.len() + self.side_store.lock().len()
+    }
+
+    /// The currently assigned key interval.
+    pub fn assigned_interval(&self) -> KeyInterval {
+        *self.assigned.lock()
+    }
+
+    /// Installs a new assigned interval (adaptive key partitioning). The
+    /// in-memory tuples outside the new interval stay until the next flush;
+    /// the *actual* region reported to the metadata server keeps queries
+    /// correct during the overlap window (§III-D).
+    pub fn reassign(&self, interval: KeyInterval) {
+        *self.assigned.lock() = interval;
+    }
+
+    /// Injects (or clears) a failure: a failed server ignores pumps and
+    /// errors on subqueries.
+    pub fn set_failed(&self, failed: bool) {
+        self.failed.store(failed, Ordering::SeqCst);
+    }
+
+    /// Whether failure injection is active.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    fn late_limit_ms(&self) -> u64 {
+        self.cfg.late_visibility.as_millis() as u64
+    }
+
+    /// Consumes up to `max` queued tuples; returns how many were processed.
+    /// Flushes automatically when the chunk-size threshold is crossed.
+    pub fn pump(&self, max: usize) -> Result<usize> {
+        if self.is_failed() {
+            return Err(waterwheel_core::WwError::Injected("indexing server down"));
+        }
+        let records = {
+            let mut consumer = self.consumer.lock();
+            consumer.poll(max)?
+        };
+        let n = records.len();
+        for record in records {
+            self.ingest(record.tuple);
+        }
+        if n > 0 {
+            self.report_memory_region();
+        }
+        if self.tree.byte_size() >= self.cfg.chunk_size_bytes {
+            self.flush()?;
+        }
+        Ok(n)
+    }
+
+    fn ingest(&self, tuple: Tuple) {
+        let hw = self.high_water.fetch_max(tuple.ts, Ordering::AcqRel).max(tuple.ts);
+        let late_by = hw.saturating_sub(tuple.ts);
+        if self.cfg.side_store_enabled && late_by > self.late_limit_ms() {
+            self.side_bytes
+                .fetch_add(tuple.encoded_len() as u64, Ordering::Relaxed);
+            self.side_store.lock().push(tuple);
+            self.stats.side_stored.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tree.insert(tuple);
+            self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The region the coordinator should consider for fresh data: the
+    /// tree's actual hull with its lower time bound widened by Δt (§IV-D),
+    /// extended by the side store's hull when present.
+    pub fn memory_region(&self) -> Option<Region> {
+        let mut region = self.tree.region().map(|r| {
+            Region::new(r.keys, r.times.widen_lo(self.late_limit_ms()))
+        });
+        let side = self.side_store.lock();
+        for t in side.iter() {
+            region = Some(match region {
+                None => Region::new(
+                    KeyInterval::point(t.key),
+                    TimeInterval::point(t.ts),
+                ),
+                Some(mut r) => {
+                    r.keys.extend_to(t.key);
+                    r.times.extend_to(t.ts);
+                    r
+                }
+            });
+        }
+        region
+    }
+
+    fn report_memory_region(&self) {
+        self.meta.update_memory_region(self.id, self.memory_region());
+    }
+
+    /// Executes a subquery against the in-memory state (main tree + side
+    /// store) — the fresh-data path of §IV-A.
+    pub fn query_in_memory(&self, sq: &SubQuery) -> Result<Vec<Tuple>> {
+        if self.is_failed() {
+            return Err(waterwheel_core::WwError::Injected("indexing server down"));
+        }
+        let pred = sq.predicate.clone();
+        let mut out = match &pred {
+            Some(p) => {
+                let p = Arc::clone(p);
+                let f = move |t: &Tuple| p(t);
+                self.tree.query(&sq.keys, &sq.times, Some(&f))
+            }
+            None => self.tree.query(&sq.keys, &sq.times, None),
+        };
+        let side = self.side_store.lock();
+        out.extend(side.iter().filter(|t| sq.matches(t)).cloned());
+        Ok(out)
+    }
+
+    /// Seals the in-memory state into chunk(s), writes them to the DFS, and
+    /// registers them (plus the durable offset) with the metadata server.
+    /// Returns the flushed chunk ids. No-op on an empty server.
+    pub fn flush(&self) -> Result<Vec<ChunkId>> {
+        let mut flushed = Vec::new();
+        // Durable offset *before* sealing: everything at lower offsets is
+        // in this flush or earlier ones.
+        let durable_offset = self.consumer.lock().position();
+
+        if let Some(sealed) = self.tree.seal() {
+            let id = self.meta.allocate_chunk_id()?;
+            let bytes = write_chunk(&sealed);
+            self.dfs.write_chunk(id, &bytes)?;
+            self.meta.register_chunk(
+                id,
+                ChunkInfo {
+                    region: sealed.region,
+                    count: sealed.count as u64,
+                    bytes: bytes.len() as u64,
+                    producer: self.id,
+                },
+                durable_offset,
+            )?;
+            self.register_attr_indexes(id, &sealed)?;
+            flushed.push(id);
+        }
+        // Side store flushes as its own chunk so main chunks keep tight
+        // temporal bounds (§IV-D).
+        let side: Vec<Tuple> = std::mem::take(&mut *self.side_store.lock());
+        if !side.is_empty() {
+            self.side_bytes.store(0, Ordering::Relaxed);
+            let tmp = TemplateBTree::new(self.assigned_interval(), IndexConfig::from_system(&self.cfg));
+            for t in side {
+                tmp.insert(t);
+            }
+            let sealed = tmp.seal().expect("side store non-empty");
+            let id = self.meta.allocate_chunk_id()?;
+            let bytes = write_chunk(&sealed);
+            self.dfs.write_chunk(id, &bytes)?;
+            self.meta.register_chunk(
+                id,
+                ChunkInfo {
+                    region: sealed.region,
+                    count: sealed.count as u64,
+                    bytes: bytes.len() as u64,
+                    producer: self.id,
+                },
+                durable_offset,
+            )?;
+            self.register_attr_indexes(id, &sealed)?;
+            flushed.push(id);
+        }
+        if !flushed.is_empty() {
+            self.stats
+                .chunks_flushed
+                .fetch_add(flushed.len() as u64, Ordering::Relaxed);
+            self.report_memory_region();
+        }
+        Ok(flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_cluster::{Cluster, LatencyModel};
+    use waterwheel_core::{QueryId, SubQueryId, SubQueryTarget};
+    use waterwheel_mq::MessageQueue;
+
+    struct Rig {
+        mq: MessageQueue,
+        dfs: SimDfs,
+        meta: MetadataService,
+        cfg: SystemConfig,
+    }
+
+    impl Rig {
+        fn new(name: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("ww-ix-test-{name}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            let mq = MessageQueue::new();
+            mq.create_topic("ingest", 2).unwrap();
+            let dfs =
+                SimDfs::new(root, Cluster::new(3), 3, LatencyModel::default()).unwrap();
+            let meta = MetadataService::in_memory();
+            let mut cfg = SystemConfig::default();
+            cfg.chunk_size_bytes = 4 * 1024;
+            cfg.late_visibility = std::time::Duration::from_secs(5);
+            Self { mq, dfs, meta, cfg }
+        }
+
+        fn server(&self, partition: usize, offset: u64) -> IndexingServer {
+            IndexingServer::new(
+                ServerId(partition as u32),
+                KeyInterval::full(),
+                self.cfg.clone(),
+                Consumer::new(self.mq.clone(), "ingest", partition, offset),
+                self.dfs.clone(),
+                self.meta.clone(),
+            )
+        }
+    }
+
+    fn sq(keys: KeyInterval, times: TimeInterval) -> SubQuery {
+        SubQuery {
+            id: SubQueryId {
+                query: QueryId(0),
+                index: 0,
+            },
+            keys,
+            times,
+            predicate: None,
+            target: SubQueryTarget::InMemory(ServerId(0)),
+        }
+    }
+
+    #[test]
+    fn pump_ingests_and_data_is_immediately_visible() {
+        let rig = Rig::new("visible");
+        let server = rig.server(0, 0);
+        for i in 0..100u64 {
+            rig.mq
+                .append("ingest", 0, Tuple::bare(i, 1_000 + i))
+                .unwrap();
+        }
+        assert_eq!(server.pump(1_000).unwrap(), 100);
+        let hits = server
+            .query_in_memory(&sq(KeyInterval::new(10, 20), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(hits.len(), 11);
+    }
+
+    #[test]
+    fn flush_writes_chunk_and_registers_metadata() {
+        let rig = Rig::new("flush");
+        let server = rig.server(0, 0);
+        // ~4 KB threshold: 300 tuples × 20 bytes = 6 KB → at least 1 flush.
+        for i in 0..300u64 {
+            rig.mq
+                .append("ingest", 0, Tuple::bare(i * 7, 1_000 + i))
+                .unwrap();
+        }
+        server.pump(1_000).unwrap();
+        assert!(server.stats().chunks_flushed.load(Ordering::Relaxed) >= 1);
+        assert!(rig.meta.chunk_count() >= 1);
+        // Flushed data no longer in memory; offsets persisted.
+        assert!(server.in_memory() < 300);
+        assert!(rig.meta.durable_offset(ServerId(0)) > 0);
+        // The chunk exists on the DFS.
+        let chunks = rig.meta.chunks_overlapping(&Region::full());
+        assert!(rig.dfs.exists(chunks[0].0));
+    }
+
+    #[test]
+    fn late_tuples_within_delta_t_stay_visible_in_main_tree() {
+        let rig = Rig::new("late-ok");
+        let server = rig.server(0, 0);
+        rig.mq.append("ingest", 0, Tuple::bare(1, 100_000)).unwrap();
+        // 3 s late — within the 5 s Δt.
+        rig.mq.append("ingest", 0, Tuple::bare(2, 97_000)).unwrap();
+        server.pump(10).unwrap();
+        assert_eq!(server.stats().side_stored.load(Ordering::Relaxed), 0);
+        let region = server.memory_region().unwrap();
+        // Region lower bound is widened by Δt.
+        assert!(region.times.lo() <= 97_000);
+        assert!(region.times.lo() <= 100_000 - 5_000);
+    }
+
+    #[test]
+    fn very_late_tuples_go_to_side_store_but_remain_queryable() {
+        let rig = Rig::new("side");
+        let server = rig.server(0, 0);
+        rig.mq.append("ingest", 0, Tuple::bare(1, 100_000)).unwrap();
+        // 60 s late — far beyond Δt = 5 s.
+        rig.mq.append("ingest", 0, Tuple::bare(2, 40_000)).unwrap();
+        server.pump(10).unwrap();
+        assert_eq!(server.stats().side_stored.load(Ordering::Relaxed), 1);
+        let hits = server
+            .query_in_memory(&sq(KeyInterval::full(), TimeInterval::new(39_000, 41_000)))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        // Flush produces two chunks: main + side.
+        let flushed = server.flush().unwrap();
+        assert_eq!(flushed.len(), 2);
+        // The main chunk's temporal bounds stay tight (exclude the side
+        // tuple).
+        let main = rig.meta.chunk_info(flushed[0]).unwrap();
+        assert!(main.region.times.lo() >= 100_000);
+        let side = rig.meta.chunk_info(flushed[1]).unwrap();
+        assert!(side.region.times.contains(40_000));
+    }
+
+    #[test]
+    fn recovery_replays_from_durable_offset() {
+        let rig = Rig::new("recover");
+        let server = rig.server(0, 0);
+        for i in 0..300u64 {
+            rig.mq
+                .append("ingest", 0, Tuple::bare(i, 1_000 + i))
+                .unwrap();
+        }
+        server.pump(1_000).unwrap(); // will flush at least once
+        let visible_before: usize = rig
+            .meta
+            .chunks_overlapping(&Region::full())
+            .iter()
+            .map(|(id, _)| rig.meta.chunk_info(*id).unwrap().count as usize)
+            .sum::<usize>()
+            + server.in_memory();
+        assert_eq!(visible_before, 300);
+
+        // Crash: drop the server (in-memory tree lost).
+        server.set_failed(true);
+        drop(server);
+
+        // Recover: new server reads from the durable offset.
+        let offset = rig.meta.durable_offset(ServerId(0));
+        let recovered = rig.server(0, offset);
+        recovered.pump(1_000).unwrap();
+        let visible_after: usize = rig
+            .meta
+            .chunks_overlapping(&Region::full())
+            .iter()
+            .map(|(id, _)| rig.meta.chunk_info(*id).unwrap().count as usize)
+            .sum::<usize>()
+            + recovered.in_memory();
+        assert_eq!(visible_after, 300, "tuples lost or duplicated by recovery");
+    }
+
+    #[test]
+    fn failed_server_rejects_operations() {
+        let rig = Rig::new("failstate");
+        let server = rig.server(0, 0);
+        server.set_failed(true);
+        assert!(server.pump(10).is_err());
+        assert!(server
+            .query_in_memory(&sq(KeyInterval::full(), TimeInterval::full()))
+            .is_err());
+        server.set_failed(false);
+        assert!(server.pump(10).is_ok());
+    }
+
+    #[test]
+    fn reassign_changes_interval_without_losing_data() {
+        let rig = Rig::new("reassign");
+        let server = rig.server(0, 0);
+        rig.mq.append("ingest", 0, Tuple::bare(500, 1_000)).unwrap();
+        server.pump(10).unwrap();
+        server.reassign(KeyInterval::new(0, 100));
+        assert_eq!(server.assigned_interval(), KeyInterval::new(0, 100));
+        // The out-of-interval tuple is still queryable (overlap window).
+        let hits = server
+            .query_in_memory(&sq(KeyInterval::point(500), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn memory_region_is_cleared_after_full_flush() {
+        let rig = Rig::new("clear");
+        let server = rig.server(0, 0);
+        rig.mq.append("ingest", 0, Tuple::bare(1, 1_000)).unwrap();
+        server.pump(10).unwrap();
+        assert!(rig
+            .meta
+            .memory_regions_overlapping(&Region::full())
+            .len()
+            == 1);
+        server.flush().unwrap();
+        assert!(rig
+            .meta
+            .memory_regions_overlapping(&Region::full())
+            .is_empty());
+    }
+}

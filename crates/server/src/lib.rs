@@ -1,0 +1,52 @@
+//! The Waterwheel distributed system: dispatchers, indexing servers, query
+//! servers, and the query coordinator (paper §II-B, Figure 3), wired
+//! together as an embedded deployment.
+//!
+//! Start with [`Waterwheel::builder`]:
+//!
+//! ```no_run
+//! use waterwheel_server::Waterwheel;
+//! use waterwheel_core::{Query, KeyInterval, TimeInterval, Tuple};
+//!
+//! let ww = Waterwheel::builder("/tmp/ww-demo").build().unwrap();
+//! ww.insert(Tuple::new(42, 1_000, &b"payload"[..])).unwrap();
+//! ww.drain().unwrap(); // or ww.start_pumps() for background ingestion
+//! let result = ww
+//!     .query(&Query::range(KeyInterval::new(0, 100), TimeInterval::full()))
+//!     .unwrap();
+//! assert_eq!(result.tuples.len(), 1);
+//! ```
+//!
+//! Module map (paper section → module):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §III-A global partitioning, dispatchers | [`dispatcher`] |
+//! | §III-B/C template tree in service       | [`indexing`] (tree itself in `waterwheel-index`) |
+//! | §III-D adaptive key partitioning        | [`partitioning`] |
+//! | §IV-A decomposition, §V query recovery  | [`coordinator`] |
+//! | §IV-B subquery execution, caching       | [`query_server`] |
+//! | §IV-C LADA + baseline dispatch          | [`dispatch`] |
+//! | Figure 3 topology                       | [`system`] |
+
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod coordinator;
+pub mod dispatch;
+pub mod dispatcher;
+pub mod indexing;
+pub mod metrics;
+pub mod partitioning;
+pub mod query_server;
+pub mod system;
+
+pub use attributes::AttrRegistry;
+pub use coordinator::{Coordinator, CoordinatorStats};
+pub use dispatch::{build_plan, execute_plan, DispatchPlan, DispatchPolicy};
+pub use dispatcher::{Dispatcher, SampleWindow};
+pub use indexing::{IndexingServer, IndexingStats};
+pub use metrics::SystemMetrics;
+pub use partitioning::{BalanceOutcome, PartitionBalancer};
+pub use query_server::{QueryServer, QueryServerStats};
+pub use system::{Waterwheel, WaterwheelBuilder};

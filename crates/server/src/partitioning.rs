@@ -1,0 +1,283 @@
+//! Adaptive key partitioning (paper §III-D).
+//!
+//! "A centralized system process periodically calculates the global key
+//! frequencies by accumulating values from all dispatchers. If the workload
+//! is skewed, e.g., the workload of any indexing server deviates 20 % from
+//! the average workload, the process adjusts the global key partitioning to
+//! balance the workload."
+//!
+//! The balancer collects each dispatcher's sampling window, measures the
+//! per-indexing-server load imbalance, and — past the threshold — computes
+//! new boundaries that equally divide the sampled keys, installs the bumped
+//! schema at the metadata server, pushes it to every dispatcher, and
+//! re-assigns the indexing servers' intervals. The resulting temporary
+//! region overlap is already handled by the metadata server tracking actual
+//! regions (§III-D's correctness argument).
+
+use crate::dispatcher::Dispatcher;
+use crate::indexing::IndexingServer;
+use std::sync::Arc;
+use waterwheel_core::{Key, Result, ServerId};
+use waterwheel_index::skew;
+use waterwheel_meta::{MetadataService, PartitionSchema};
+
+/// The centralized repartitioning process.
+pub struct PartitionBalancer {
+    meta: MetadataService,
+    /// Relative deviation from the mean that triggers repartitioning
+    /// (paper: 0.2).
+    threshold: f64,
+}
+
+/// Outcome of one balancing round.
+#[derive(Debug, PartialEq)]
+pub enum BalanceOutcome {
+    /// Not enough samples to judge.
+    InsufficientData,
+    /// Load within the threshold — no change.
+    Balanced {
+        /// The measured maximum relative deviation.
+        deviation: f64,
+    },
+    /// A new schema version was installed.
+    Repartitioned {
+        /// The new schema version.
+        version: u64,
+        /// The measured deviation that triggered the change.
+        deviation: f64,
+    },
+}
+
+impl PartitionBalancer {
+    /// Creates a balancer with the given imbalance threshold.
+    pub fn new(meta: MetadataService, threshold: f64) -> Self {
+        Self { meta, threshold }
+    }
+
+    /// The relative deviation of the most-loaded server from the mean.
+    pub fn deviation(counts: &[u64]) -> f64 {
+        if counts.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / counts.len() as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64 - mean).abs() / mean)
+            .fold(0.0, f64::max)
+    }
+
+    /// Runs one balancing round: collect windows, measure, maybe install a
+    /// new partition.
+    pub fn run_round(
+        &self,
+        dispatchers: &[Arc<Dispatcher>],
+        indexing: &[Arc<IndexingServer>],
+    ) -> Result<BalanceOutcome> {
+        // Accumulate the global key frequencies from all dispatchers.
+        let mut keys: Vec<Key> = Vec::new();
+        let mut counts: Vec<u64> = vec![0; indexing.len()];
+        let server_ids: Vec<ServerId> = indexing.iter().map(|s| s.id()).collect();
+        for d in dispatchers {
+            let window = d.take_window();
+            keys.extend(window.keys);
+            for (server, count) in window.per_server {
+                if let Some(pos) = server_ids.iter().position(|&s| s == server) {
+                    counts[pos] += count;
+                }
+            }
+        }
+        if keys.len() < indexing.len() * 8 {
+            return Ok(BalanceOutcome::InsufficientData);
+        }
+        let deviation = Self::deviation(&counts);
+        if deviation <= self.threshold {
+            return Ok(BalanceOutcome::Balanced { deviation });
+        }
+        // Equal-depth boundaries over the sampled keys.
+        keys.sort_unstable();
+        let boundaries = skew::equal_depth_boundaries(&keys, indexing.len());
+        if boundaries.len() + 1 != indexing.len() {
+            // Duplicate-heavy samples cannot produce enough distinct
+            // boundaries; keep the current schema.
+            return Ok(BalanceOutcome::Balanced { deviation });
+        }
+        let version = self
+            .meta
+            .partition()
+            .map(|p| p.version + 1)
+            .unwrap_or(1);
+        let schema = PartitionSchema::from_boundaries(&boundaries, &server_ids, version)?;
+        self.meta.set_partition(schema.clone())?;
+        for d in dispatchers {
+            d.update_schema(schema.clone());
+        }
+        for server in indexing {
+            if let Some(interval) = schema.interval_of(server.id()) {
+                server.reassign(interval);
+            }
+        }
+        Ok(BalanceOutcome::Repartitioned { version, deviation })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use waterwheel_cluster::{Cluster, LatencyModel};
+    use waterwheel_core::{SystemConfig, Tuple};
+    use waterwheel_mq::{Consumer, MessageQueue};
+    use waterwheel_storage::SimDfs;
+
+    struct Rig {
+        mq: MessageQueue,
+        meta: MetadataService,
+        dispatchers: Vec<Arc<Dispatcher>>,
+        indexing: Vec<Arc<IndexingServer>>,
+    }
+
+    fn rig(name: &str, servers: u32) -> Rig {
+        let root = std::env::temp_dir().join(format!("ww-bal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mq = MessageQueue::new();
+        mq.create_topic("ingest", servers as usize).unwrap();
+        let dfs = SimDfs::new(root, Cluster::new(3), 3, LatencyModel::default()).unwrap();
+        let meta = MetadataService::in_memory();
+        let ids: Vec<ServerId> = (0..servers).map(ServerId).collect();
+        let schema = PartitionSchema::uniform(&ids);
+        meta.set_partition({
+            let mut s = schema.clone();
+            s.version = 1;
+            s
+        })
+        .unwrap();
+        let partitions: HashMap<ServerId, usize> =
+            ids.iter().map(|&s| (s, s.raw() as usize)).collect();
+        let dispatchers = vec![Arc::new(Dispatcher::new(
+            ServerId(100),
+            mq.clone(),
+            "ingest",
+            schema.clone(),
+            partitions,
+        ))];
+        let cfg = SystemConfig::default();
+        let indexing = ids
+            .iter()
+            .map(|&id| {
+                Arc::new(IndexingServer::new(
+                    id,
+                    schema.interval_of(id).unwrap(),
+                    cfg.clone(),
+                    Consumer::new(mq.clone(), "ingest", id.raw() as usize, 0),
+                    dfs.clone(),
+                    meta.clone(),
+                ))
+            })
+            .collect();
+        Rig {
+            mq,
+            meta,
+            dispatchers,
+            indexing,
+        }
+    }
+
+    #[test]
+    fn deviation_math() {
+        assert_eq!(PartitionBalancer::deviation(&[10, 10, 10]), 0.0);
+        // [30, 0]: mean 15, deviation 1.0.
+        assert!((PartitionBalancer::deviation(&[30, 0]) - 1.0).abs() < 1e-9);
+        assert_eq!(PartitionBalancer::deviation(&[]), 0.0);
+        assert_eq!(PartitionBalancer::deviation(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn balanced_load_keeps_schema() {
+        let r = rig("balanced", 2);
+        let balancer = PartitionBalancer::new(r.meta.clone(), 0.2);
+        // Uniform keys over the full domain: both halves loaded equally.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..2_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            r.dispatchers[0].dispatch(Tuple::bare(x, i)).unwrap();
+        }
+        match balancer.run_round(&r.dispatchers, &r.indexing).unwrap() {
+            BalanceOutcome::Balanced { deviation } => assert!(deviation < 0.2),
+            other => panic!("expected Balanced, got {other:?}"),
+        }
+        assert_eq!(r.meta.partition().unwrap().version, 1);
+    }
+
+    #[test]
+    fn skewed_load_triggers_repartition_and_balances_routing() {
+        let r = rig("skewed", 2);
+        let balancer = PartitionBalancer::new(r.meta.clone(), 0.2);
+        // All keys in the low half: server 0 takes everything.
+        for i in 0..2_000u64 {
+            r.dispatchers[0]
+                .dispatch(Tuple::bare(i * 1_000, i))
+                .unwrap();
+        }
+        let outcome = balancer.run_round(&r.dispatchers, &r.indexing).unwrap();
+        match outcome {
+            BalanceOutcome::Repartitioned { version, deviation } => {
+                assert_eq!(version, 2);
+                assert!(deviation > 0.9);
+            }
+            other => panic!("expected Repartitioned, got {other:?}"),
+        }
+        // Dispatcher now routes the same key distribution evenly.
+        assert_eq!(r.dispatchers[0].schema_version(), 2);
+        for i in 0..2_000u64 {
+            r.dispatchers[0]
+                .dispatch(Tuple::bare(i * 1_000, i))
+                .unwrap();
+        }
+        let w = r.dispatchers[0].take_window();
+        let c0 = *w.per_server.get(&ServerId(0)).unwrap_or(&0);
+        let c1 = *w.per_server.get(&ServerId(1)).unwrap_or(&0);
+        assert!(
+            PartitionBalancer::deviation(&[c0, c1]) < 0.2,
+            "still skewed after repartition: {c0} vs {c1}"
+        );
+        // Indexing servers picked up their new intervals.
+        let i0 = r.indexing[0].assigned_interval();
+        let i1 = r.indexing[1].assigned_interval();
+        assert_eq!(i0.hi().wrapping_add(1), i1.lo());
+        assert!(i0.hi() < u64::MAX / 2, "boundary did not move left");
+        // Queue kept flowing.
+        assert!(r.mq.latest_offset("ingest", 0).unwrap() > 0);
+    }
+
+    #[test]
+    fn insufficient_samples_do_nothing() {
+        let r = rig("sparse", 2);
+        let balancer = PartitionBalancer::new(r.meta.clone(), 0.2);
+        for i in 0..5u64 {
+            r.dispatchers[0].dispatch(Tuple::bare(i, i)).unwrap();
+        }
+        assert_eq!(
+            balancer.run_round(&r.dispatchers, &r.indexing).unwrap(),
+            BalanceOutcome::InsufficientData
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_samples_keep_schema() {
+        let r = rig("dups", 4);
+        let balancer = PartitionBalancer::new(r.meta.clone(), 0.2);
+        // One single hot key: no boundaries can split it.
+        for i in 0..2_000u64 {
+            r.dispatchers[0].dispatch(Tuple::bare(42, i)).unwrap();
+        }
+        match balancer.run_round(&r.dispatchers, &r.indexing).unwrap() {
+            BalanceOutcome::Balanced { .. } => {}
+            other => panic!("expected Balanced (no-op), got {other:?}"),
+        }
+        assert_eq!(r.meta.partition().unwrap().version, 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Query servers: subquery execution over chunks (paper §IV-B).
+//!
+//! A query server executes subqueries whose data regions have been flushed.
+//! Execution follows the paper exactly:
+//!
+//! 1. load the chunk's *template* (index block) — from the LRU cache when
+//!    possible, otherwise from the DFS (one file access);
+//! 2. locate the key-qualifying leaves through the template;
+//! 3. skip leaves whose min/max time bounds or temporal bloom filter prove
+//!    they hold no qualifying tuple (§IV-B);
+//! 4. fetch the remaining leaf pages — cache first, then DFS with
+//!    contiguous misses coalesced into one access — and filter tuples.
+//!
+//! Templates and leaf pages are the two LRU caching-unit kinds; the server's
+//! cluster node determines whether DFS reads take the co-located fast path.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use waterwheel_cluster::Cluster;
+use waterwheel_core::{ChunkId, NodeId, Result, ServerId, SubQuery, Tuple, WwError};
+use waterwheel_index::Bitmap;
+use waterwheel_storage::{Block, BlockCache, BlockKey, ChunkReader, SimDfs};
+
+/// Per-server execution counters.
+#[derive(Debug, Default)]
+pub struct QueryServerStats {
+    /// Subqueries executed.
+    pub subqueries: AtomicU64,
+    /// Leaf pages read from the DFS.
+    pub leaf_reads: AtomicU64,
+    /// Leaf pages served from the cache.
+    pub leaf_cache_hits: AtomicU64,
+    /// Leaves skipped by temporal pruning (bounds or bloom).
+    pub leaves_pruned: AtomicU64,
+    /// Total busy nanoseconds (for load-balance diagnostics).
+    pub busy_ns: AtomicU64,
+}
+
+/// A query server bound to a cluster node.
+pub struct QueryServer {
+    id: ServerId,
+    node: NodeId,
+    dfs: SimDfs,
+    cache: BlockCache,
+    stats: QueryServerStats,
+    /// Failure injection: when set, every subquery errors.
+    failed: AtomicBool,
+    /// Serializes DFS access per server, mimicking a single I/O path; kept
+    /// coarse deliberately so busy-time accounting is accurate.
+    io_lock: Mutex<()>,
+}
+
+impl QueryServer {
+    /// Creates a query server on `node` with a `cache_bytes` LRU budget.
+    pub fn new(id: ServerId, node: NodeId, dfs: SimDfs, cache_bytes: usize) -> Self {
+        Self {
+            id,
+            node,
+            dfs,
+            cache: BlockCache::new(cache_bytes),
+            stats: QueryServerStats::default(),
+            failed: AtomicBool::new(false),
+            io_lock: Mutex::new(()),
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The cluster node hosting this server.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &QueryServerStats {
+        &self.stats
+    }
+
+    /// Cache handle (diagnostics and the cache-ablation bench).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// Injects (or clears) a failure; failed servers error on every
+    /// subquery, which the coordinator handles by re-dispatching (§V).
+    pub fn set_failed(&self, failed: bool) {
+        self.failed.store(failed, Ordering::SeqCst);
+        if failed {
+            // A restarted server loses its cache.
+            self.cache.clear();
+        }
+    }
+
+    /// Whether failure injection is active.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    /// Whether this server is co-located with one of the chunk's replicas.
+    pub fn is_colocated(&self, chunk: ChunkId, cluster: &Cluster) -> bool {
+        cluster.is_colocated(self.id, chunk, self.dfs.replication())
+    }
+
+    /// Executes a chunk subquery, returning matching tuples.
+    pub fn execute(&self, sq: &SubQuery, chunk: ChunkId) -> Result<Vec<Tuple>> {
+        self.execute_filtered(sq, chunk, None)
+    }
+
+    /// Executes a chunk subquery restricted to the leaves in `leaf_filter`
+    /// (from a secondary attribute index, paper §VIII); `None` means all
+    /// key-qualifying leaves.
+    pub fn execute_filtered(
+        &self,
+        sq: &SubQuery,
+        chunk: ChunkId,
+        leaf_filter: Option<&Bitmap>,
+    ) -> Result<Vec<Tuple>> {
+        let t0 = std::time::Instant::now();
+        if self.is_failed() {
+            return Err(WwError::Injected("query server down"));
+        }
+        let result = self.execute_inner(sq, chunk, leaf_filter);
+        self.stats.subqueries.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn execute_inner(
+        &self,
+        sq: &SubQuery,
+        chunk: ChunkId,
+        leaf_filter: Option<&Bitmap>,
+    ) -> Result<Vec<Tuple>> {
+        // 1. Template (index block): cache, then DFS.
+        let index = match self.cache.get(&BlockKey::Index(chunk)) {
+            Some(Block::Index(idx)) => idx,
+            _ => {
+                let _io = self.io_lock.lock();
+                let file = self.dfs.open(chunk, Some(self.node))?;
+                let idx = ChunkReader::new(file).load_index()?;
+                self.cache
+                    .put(BlockKey::Index(chunk), Block::Index(Arc::clone(&idx)));
+                idx
+            }
+        };
+        // 2. Key-qualifying leaf range.
+        let (lo, hi) = index.leaf_range(&sq.keys);
+        let mut out = Vec::new();
+        if lo >= index.leaves.len() {
+            return Ok(out);
+        }
+        let hi = hi.min(index.leaves.len() - 1);
+        // Use the secondary-index leaf filter only when it skips a
+        // meaningful fraction of the key-qualifying leaves: a dense filter
+        // fragments the coalesced page reads (every gap costs one DFS
+        // open) while pruning little. Ignoring it is always correct — the
+        // predicate still filters tuples.
+        let leaf_filter = leaf_filter.filter(|bm| {
+            let qualifying = (lo..=hi).filter(|&li| bm.contains(li as u32)).count();
+            qualifying * 2 <= hi - lo + 1
+        });
+        // 3+4. Prune temporally, then fetch pages (coalescing misses).
+        let mut pending_miss: Option<(usize, usize)> = None; // inclusive range
+        let mut pages: Vec<(usize, Arc<Vec<Tuple>>)> = Vec::new();
+        let flush_misses =
+            |range: &mut Option<(usize, usize)>, pages: &mut Vec<(usize, Arc<Vec<Tuple>>)>| -> Result<()> {
+                if let Some((mlo, mhi)) = range.take() {
+                    let _io = self.io_lock.lock();
+                    let file = self.dfs.open(chunk, Some(self.node))?;
+                    let reader = ChunkReader::new(file);
+                    let fetched = reader.read_leaves(&index, mlo, mhi)?;
+                    self.stats
+                        .leaf_reads
+                        .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
+                    for (offset, tuples) in fetched.into_iter().enumerate() {
+                        let li = mlo + offset;
+                        let page = Arc::new(tuples);
+                        self.cache.put(
+                            BlockKey::Leaf(chunk, li as u32),
+                            Block::Leaf(Arc::clone(&page)),
+                        );
+                        pages.push((li, page));
+                    }
+                }
+                Ok(())
+            };
+        for li in lo..=hi {
+            if leaf_filter.is_some_and(|bm| !bm.contains(li as u32)) {
+                self.stats.leaves_pruned.fetch_add(1, Ordering::Relaxed);
+                flush_misses(&mut pending_miss, &mut pages)?;
+                continue;
+            }
+            if index.leaf_prunable(li, &sq.times) {
+                self.stats.leaves_pruned.fetch_add(1, Ordering::Relaxed);
+                flush_misses(&mut pending_miss, &mut pages)?;
+                continue;
+            }
+            match self.cache.get(&BlockKey::Leaf(chunk, li as u32)) {
+                Some(Block::Leaf(page)) => {
+                    self.stats.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    flush_misses(&mut pending_miss, &mut pages)?;
+                    pages.push((li, page));
+                }
+                _ => {
+                    pending_miss = match pending_miss {
+                        None => Some((li, li)),
+                        Some((mlo, _)) => Some((mlo, li)),
+                    };
+                }
+            }
+        }
+        flush_misses(&mut pending_miss, &mut pages)?;
+        // Filter tuples within fetched pages.
+        for (_, page) in pages {
+            let start = page.partition_point(|t| t.key < sq.keys.lo());
+            for t in &page[start..] {
+                if t.key > sq.keys.hi() {
+                    break;
+                }
+                if sq.matches(t) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_cluster::LatencyModel;
+    use waterwheel_core::{KeyInterval, QueryId, SubQueryId, SubQueryTarget, TimeInterval};
+    use waterwheel_index::{IndexConfig, TemplateBTree, TupleIndex};
+    use waterwheel_storage::write_chunk;
+
+    fn setup(name: &str) -> (SimDfs, ChunkId, Vec<Tuple>) {
+        let root =
+            std::env::temp_dir().join(format!("ww-qs-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dfs = SimDfs::new(root, Cluster::new(4), 3, LatencyModel::default()).unwrap();
+        let cfg = IndexConfig {
+            leaf_capacity: 16,
+            fanout: 4,
+            skew_check_interval: 64,
+            ..IndexConfig::default()
+        };
+        let tree = TemplateBTree::new(KeyInterval::full(), cfg);
+        for i in 0..600u64 {
+            tree.insert(Tuple::new(i * 5, 1_000 + i, vec![0u8; 6]));
+        }
+        let sealed = tree.seal().unwrap();
+        let tuples = sealed.clone().into_tuples();
+        let chunk = ChunkId(0);
+        dfs.write_chunk(chunk, &write_chunk(&sealed)).unwrap();
+        (dfs, chunk, tuples)
+    }
+
+    fn subquery(keys: KeyInterval, times: TimeInterval, chunk: ChunkId) -> SubQuery {
+        SubQuery {
+            id: SubQueryId {
+                query: QueryId(0),
+                index: 0,
+            },
+            keys,
+            times,
+            predicate: None,
+            target: SubQueryTarget::Chunk(chunk),
+        }
+    }
+
+    #[test]
+    fn executes_subquery_correctly() {
+        let (dfs, chunk, tuples) = setup("exec");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
+        let keys = KeyInterval::new(500, 1_500);
+        let times = TimeInterval::new(1_100, 1_250);
+        let sq = subquery(keys, times, chunk);
+        let mut got = qs.execute(&sq, chunk).unwrap();
+        got.sort_by_key(|t| (t.key, t.ts));
+        let want: Vec<Tuple> = tuples
+            .iter()
+            .filter(|t| keys.contains(t.key) && times.contains(t.ts))
+            .cloned()
+            .collect();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn cache_serves_repeat_subqueries() {
+        let (dfs, chunk, _) = setup("cache");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs.clone(), 8 << 20);
+        let sq = subquery(
+            KeyInterval::new(0, 2_000),
+            TimeInterval::full(),
+            chunk,
+        );
+        qs.execute(&sq, chunk).unwrap();
+        let opens_after_first = dfs.stats().opens.load(Ordering::Relaxed);
+        let leaf_reads_first = qs.stats().leaf_reads.load(Ordering::Relaxed);
+        assert!(leaf_reads_first > 0);
+        qs.execute(&sq, chunk).unwrap();
+        // Second run: no new DFS accesses, all from cache.
+        assert_eq!(dfs.stats().opens.load(Ordering::Relaxed), opens_after_first);
+        assert!(qs.stats().leaf_cache_hits.load(Ordering::Relaxed) >= leaf_reads_first);
+    }
+
+    #[test]
+    fn temporal_pruning_skips_leaves() {
+        let (dfs, chunk, _) = setup("prune");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
+        // All data has ts ≥ 1000; query far in the past.
+        let sq = subquery(KeyInterval::full(), TimeInterval::new(0, 10), chunk);
+        let got = qs.execute(&sq, chunk).unwrap();
+        assert!(got.is_empty());
+        assert!(qs.stats().leaves_pruned.load(Ordering::Relaxed) > 0);
+        assert_eq!(qs.stats().leaf_reads.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn key_range_reads_only_needed_leaves() {
+        let (dfs, chunk, _) = setup("selective");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
+        let narrow = subquery(KeyInterval::new(0, 100), TimeInterval::full(), chunk);
+        qs.execute(&narrow, chunk).unwrap();
+        let narrow_reads = qs.stats().leaf_reads.load(Ordering::Relaxed);
+        let wide = subquery(KeyInterval::full(), TimeInterval::full(), chunk);
+        qs.execute(&wide, chunk).unwrap();
+        let wide_reads = qs.stats().leaf_reads.load(Ordering::Relaxed) - narrow_reads;
+        assert!(
+            wide_reads > narrow_reads * 2,
+            "narrow {narrow_reads} vs wide {wide_reads}"
+        );
+    }
+
+    #[test]
+    fn failure_injection_errors_and_clears_cache() {
+        let (dfs, chunk, _) = setup("fail");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
+        let sq = subquery(KeyInterval::full(), TimeInterval::full(), chunk);
+        qs.execute(&sq, chunk).unwrap();
+        assert!(!qs.cache().is_empty());
+        qs.set_failed(true);
+        assert!(qs.execute(&sq, chunk).is_err());
+        assert!(qs.cache().is_empty());
+        qs.set_failed(false);
+        assert!(qs.execute(&sq, chunk).is_ok());
+    }
+
+    #[test]
+    fn missing_chunk_is_an_error_not_a_panic() {
+        let (dfs, _, _) = setup("missing");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
+        let sq = subquery(KeyInterval::full(), TimeInterval::full(), ChunkId(99));
+        assert!(qs.execute(&sq, ChunkId(99)).is_err());
+    }
+}

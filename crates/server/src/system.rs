@@ -1,0 +1,669 @@
+//! The embedded Waterwheel system: all servers wired together in-process.
+//!
+//! This is the crate's primary public entry point — the equivalent of
+//! deploying the paper's Storm topology (Figure 3) onto a cluster, except
+//! every server is an object (optionally pumped by background threads) and
+//! the substrates are the in-process substitutes described in DESIGN.md.
+//!
+//! ```text
+//!  insert() → Dispatchers → MessageQueue → IndexingServers → SimDfs chunks
+//!  query()  → Coordinator → { IndexingServers (fresh) ,
+//!                             QueryServers via LADA (chunks) } → merge
+//! ```
+
+use crate::attributes::AttrRegistry;
+use crate::coordinator::Coordinator;
+use crate::dispatch::DispatchPolicy;
+use crate::dispatcher::Dispatcher;
+use crate::indexing::IndexingServer;
+use crate::partitioning::{BalanceOutcome, PartitionBalancer};
+use crate::query_server::QueryServer;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use waterwheel_cluster::{Cluster, LatencyModel};
+use waterwheel_core::{
+    Query, QueryResult, Result, ServerId, SystemConfig, Tuple, WwError,
+};
+use waterwheel_meta::{MetadataService, PartitionSchema};
+use waterwheel_mq::{Consumer, MessageQueue};
+use waterwheel_storage::SimDfs;
+
+/// Name of the ingestion topic.
+const INGEST_TOPIC: &str = "ingest";
+
+/// Builder for an embedded [`Waterwheel`] deployment.
+pub struct WaterwheelBuilder {
+    cfg: SystemConfig,
+    root: PathBuf,
+    nodes: usize,
+    policy: DispatchPolicy,
+    latency: LatencyModel,
+    durable_meta: bool,
+    durable_queue: bool,
+}
+
+impl WaterwheelBuilder {
+    /// Starts a builder rooted at `root` (chunk files and metadata live
+    /// underneath it).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            cfg: SystemConfig::default(),
+            root: root.into(),
+            nodes: 4,
+            policy: DispatchPolicy::Lada,
+            latency: LatencyModel::default(),
+            durable_meta: true,
+            durable_queue: false,
+        }
+    }
+
+    /// Overrides the system configuration.
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Number of simulated cluster nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes.max(1);
+        self
+    }
+
+    /// Subquery dispatch policy (default LADA).
+    pub fn dispatch_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// DFS latency model (default: free).
+    pub fn dfs_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Keep the metadata service purely in memory (benches).
+    pub fn volatile_metadata(mut self) -> Self {
+        self.durable_meta = false;
+        self
+    }
+
+    /// Journal the ingestion queue to disk (Kafka's durability contract,
+    /// paper §V): tuples that were queued but not yet flushed to chunks
+    /// survive full process restarts. Off by default — the embedded queue
+    /// is memory-only, like the tests and benches expect.
+    pub fn durable_queue(mut self) -> Self {
+        self.durable_queue = true;
+        self
+    }
+
+    /// Builds and wires the system.
+    pub fn build(self) -> Result<Waterwheel> {
+        self.cfg.validate().map_err(WwError::Config)?;
+        let cluster = Cluster::new(self.nodes);
+        let mq = if self.durable_queue {
+            MessageQueue::durable(self.root.join("queue"))?
+        } else {
+            MessageQueue::new()
+        };
+        mq.create_topic(INGEST_TOPIC, self.cfg.indexing_servers)?;
+        let dfs = SimDfs::new(
+            self.root.join("chunks"),
+            cluster.clone(),
+            self.cfg.dfs_replication.min(self.nodes),
+            self.latency,
+        )?;
+        let meta = if self.durable_meta {
+            MetadataService::open(self.root.join("meta.snapshot"))?
+        } else {
+            MetadataService::in_memory()
+        };
+
+        // Server ids: indexing 0.., query 1000.., dispatchers 2000.. .
+        let ix_ids: Vec<ServerId> = (0..self.cfg.indexing_servers as u32).map(ServerId).collect();
+        let qs_ids: Vec<ServerId> = (0..self.cfg.query_servers as u32)
+            .map(|i| ServerId(1_000 + i))
+            .collect();
+        let disp_ids: Vec<ServerId> = (0..self.cfg.dispatchers as u32)
+            .map(|i| ServerId(2_000 + i))
+            .collect();
+        // Co-locate servers round-robin across nodes (paper: fixed counts
+        // per node).
+        cluster.place_servers_round_robin(qs_ids.iter().copied());
+        cluster.place_servers_round_robin(ix_ids.iter().copied());
+
+        // Partition schema: recover the durable one or bootstrap uniform.
+        let schema = match meta.partition() {
+            Some(s) => s,
+            None => {
+                let mut s = PartitionSchema::uniform(&ix_ids);
+                s.version = 1;
+                meta.set_partition(s.clone())?;
+                s
+            }
+        };
+        let partitions: HashMap<ServerId, usize> = ix_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+
+        let dispatchers: Vec<Arc<Dispatcher>> = disp_ids
+            .iter()
+            .map(|&id| {
+                Arc::new(Dispatcher::new(
+                    id,
+                    mq.clone(),
+                    INGEST_TOPIC,
+                    schema.clone(),
+                    partitions.clone(),
+                ))
+            })
+            .collect();
+
+        let indexing: Vec<Arc<IndexingServer>> = ix_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let interval = schema
+                    .interval_of(id)
+                    .expect("schema covers every indexing server");
+                // Recovery: replay from the durable offset.
+                let offset = meta.durable_offset(id);
+                Arc::new(IndexingServer::new(
+                    id,
+                    interval,
+                    self.cfg.clone(),
+                    Consumer::new(mq.clone(), INGEST_TOPIC, i, offset),
+                    dfs.clone(),
+                    meta.clone(),
+                ))
+            })
+            .collect();
+        let indexing = Arc::new(RwLock::new(indexing));
+
+        let query_servers: Vec<Arc<QueryServer>> = qs_ids
+            .iter()
+            .map(|&id| {
+                let node = cluster.node_of(id).expect("query server placed");
+                Arc::new(QueryServer::new(
+                    id,
+                    node,
+                    dfs.clone(),
+                    self.cfg.cache_capacity_bytes,
+                ))
+            })
+            .collect();
+
+        let attrs = Arc::new(AttrRegistry::new());
+        for server in indexing.read().iter() {
+            server.set_attr_registry(Arc::clone(&attrs));
+        }
+        let coordinator = Arc::new(Coordinator::new(
+            meta.clone(),
+            cluster.clone(),
+            query_servers.clone(),
+            Arc::clone(&indexing),
+            self.policy,
+        ));
+        coordinator.set_attr_registry(Arc::clone(&attrs));
+        let balancer = PartitionBalancer::new(
+            meta.clone(),
+            self.cfg.partition_imbalance_threshold,
+        );
+
+        Ok(Waterwheel {
+            cfg: self.cfg,
+            mq,
+            dfs,
+            meta,
+            cluster,
+            dispatchers,
+            indexing,
+            query_servers,
+            coordinator: RwLock::new(coordinator),
+            balancer,
+            attrs,
+            next_dispatcher: AtomicUsize::new(0),
+            pumps_running: Arc::new(AtomicBool::new(false)),
+            pump_handles: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// An embedded Waterwheel deployment.
+pub struct Waterwheel {
+    cfg: SystemConfig,
+    mq: MessageQueue,
+    dfs: SimDfs,
+    meta: MetadataService,
+    cluster: Cluster,
+    dispatchers: Vec<Arc<Dispatcher>>,
+    indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
+    query_servers: Vec<Arc<QueryServer>>,
+    coordinator: RwLock<Arc<Coordinator>>,
+    balancer: PartitionBalancer,
+    attrs: Arc<AttrRegistry>,
+    next_dispatcher: AtomicUsize,
+    pumps_running: Arc<AtomicBool>,
+    pump_handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Waterwheel {
+    /// Starts a builder.
+    pub fn builder(root: impl Into<PathBuf>) -> WaterwheelBuilder {
+        WaterwheelBuilder::new(root)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The metadata service handle.
+    pub fn metadata(&self) -> &MetadataService {
+        &self.meta
+    }
+
+    /// The simulated DFS handle.
+    pub fn dfs(&self) -> &SimDfs {
+        &self.dfs
+    }
+
+    /// The simulated cluster handle.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The message queue handle.
+    pub fn message_queue(&self) -> &MessageQueue {
+        &self.mq
+    }
+
+    /// The coordinator (policy switching, stats).
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator.read())
+    }
+
+    /// Replaces the query coordinator with a fresh instance (paper §V:
+    /// "when the coordinator fails, the system simply cancels all the
+    /// ongoing subqueries and re-initializes the queries on a newly created
+    /// query coordinator"). All coordinator state is rebuilt from the
+    /// metadata service; in-flight queries on the old instance complete or
+    /// fail independently.
+    pub fn restart_coordinator(&self) {
+        let policy = self.coordinator().policy();
+        let fresh = Arc::new(Coordinator::new(
+            self.meta.clone(),
+            self.cluster.clone(),
+            self.query_servers.clone(),
+            Arc::clone(&self.indexing),
+            policy,
+        ));
+        fresh.set_attr_registry(Arc::clone(&self.attrs));
+        *self.coordinator.write() = fresh;
+    }
+
+    /// The query servers (stats, failure injection).
+    pub fn query_servers(&self) -> &[Arc<QueryServer>] {
+        &self.query_servers
+    }
+
+    /// Snapshot of the indexing servers (stats, failure injection).
+    pub fn indexing_servers(&self) -> Vec<Arc<IndexingServer>> {
+        self.indexing.read().clone()
+    }
+
+    /// The dispatchers.
+    pub fn dispatchers(&self) -> &[Arc<Dispatcher>] {
+        &self.dispatchers
+    }
+
+    /// Registers a secondary attribute (paper §VIII): chunks flushed after
+    /// this call carry bloom + bitmap indexes for it, and queries built with
+    /// [`Query::and_attr_eq`](waterwheel_core::Query::and_attr_eq) prune
+    /// through them. Register attributes before ingesting for full coverage.
+    pub fn register_attribute(
+        &self,
+        attr: u16,
+        extractor: impl Fn(&Tuple) -> Option<u64> + Send + Sync + 'static,
+    ) {
+        self.attrs.register(attr, extractor);
+    }
+
+    /// Ingests one tuple through a dispatcher (round-robin across them).
+    pub fn insert(&self, tuple: Tuple) -> Result<()> {
+        let d = self.next_dispatcher.fetch_add(1, Ordering::Relaxed) % self.dispatchers.len();
+        self.dispatchers[d].dispatch(tuple)
+    }
+
+    /// Synchronously pumps every indexing server once; returns tuples moved
+    /// from the queue into the in-memory trees. Use this (or
+    /// [`Self::start_pumps`]) to make inserted data visible.
+    pub fn pump_all(&self, max_per_server: usize) -> Result<usize> {
+        let mut total = 0;
+        for server in self.indexing.read().iter() {
+            if server.is_failed() {
+                continue;
+            }
+            total += server.pump(max_per_server)?;
+        }
+        Ok(total)
+    }
+
+    /// Pumps until the ingestion queue is fully drained.
+    pub fn drain(&self) -> Result<usize> {
+        let mut total = 0;
+        loop {
+            let n = self.pump_all(4_096)?;
+            if n == 0 {
+                return Ok(total);
+            }
+            total += n;
+        }
+    }
+
+    /// Spawns one background pump thread per indexing server (the embedded
+    /// equivalent of the Storm topology's running executors). Idempotent.
+    pub fn start_pumps(&self) {
+        if self.pumps_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut handles = self.pump_handles.lock();
+        let servers = self.indexing.read().clone();
+        for (i, _) in servers.iter().enumerate() {
+            let running = Arc::clone(&self.pumps_running);
+            let indexing = Arc::clone(&self.indexing);
+            handles.push(std::thread::spawn(move || {
+                while running.load(Ordering::SeqCst) {
+                    // Re-read each round so recovery swaps take effect.
+                    let server = {
+                        let servers = indexing.read();
+                        servers.get(i).cloned()
+                    };
+                    let Some(server) = server else { break };
+                    match server.pump(1_024) {
+                        Ok(0) | Err(_) => {
+                            std::thread::sleep(std::time::Duration::from_millis(1))
+                        }
+                        Ok(_) => {}
+                    }
+                }
+            }));
+        }
+    }
+
+    /// Stops the background pump threads and waits for them.
+    pub fn stop_pumps(&self) {
+        self.pumps_running.store(false, Ordering::SeqCst);
+        for handle in self.pump_handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Executes a query.
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        self.coordinator().execute(query)
+    }
+
+    /// Forces queued-but-unflushed records to the OS (durable-queue mode);
+    /// a no-op for memory-only queues.
+    pub fn sync_queue(&self) -> Result<()> {
+        self.mq.sync()
+    }
+
+    /// Forces every indexing server to flush its in-memory state to chunks.
+    pub fn flush_all(&self) -> Result<()> {
+        for server in self.indexing.read().iter() {
+            if !server.is_failed() {
+                server.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one adaptive-key-partitioning round (paper §III-D).
+    pub fn rebalance(&self) -> Result<BalanceOutcome> {
+        let indexing = self.indexing.read().clone();
+        self.balancer.run_round(&self.dispatchers, &indexing)
+    }
+
+    /// Crashes an indexing server: its in-memory tuples are lost and it
+    /// stops serving until [`Self::recover_indexing_server`].
+    pub fn crash_indexing_server(&self, id: ServerId) -> Result<()> {
+        let servers = self.indexing.read();
+        let server = servers
+            .iter()
+            .find(|s| s.id() == id)
+            .ok_or_else(|| WwError::not_found("indexing server", id))?;
+        server.set_failed(true);
+        self.meta.update_memory_region(id, None);
+        Ok(())
+    }
+
+    /// Recovers a crashed indexing server by replaying its queue partition
+    /// from the durable offset (paper §V) — the replacement instance ends up
+    /// with exactly the tuples the old one held in memory.
+    pub fn recover_indexing_server(&self, id: ServerId) -> Result<()> {
+        let mut servers = self.indexing.write();
+        let pos = servers
+            .iter()
+            .position(|s| s.id() == id)
+            .ok_or_else(|| WwError::not_found("indexing server", id))?;
+        let offset = self.meta.durable_offset(id);
+        let interval = self
+            .meta
+            .partition()
+            .and_then(|p| p.interval_of(id))
+            .unwrap_or_else(waterwheel_core::KeyInterval::full);
+        let replacement = Arc::new(IndexingServer::new(
+            id,
+            interval,
+            self.cfg.clone(),
+            Consumer::new(self.mq.clone(), INGEST_TOPIC, pos, offset),
+            self.dfs.clone(),
+            self.meta.clone(),
+        ));
+        replacement.set_attr_registry(Arc::clone(&self.attrs));
+        servers[pos] = replacement;
+        Ok(())
+    }
+
+    /// Total tuples currently queryable (in-memory + flushed).
+    pub fn total_visible(&self) -> usize {
+        let in_mem: usize = self
+            .indexing
+            .read()
+            .iter()
+            .filter(|s| !s.is_failed())
+            .map(|s| s.in_memory())
+            .sum();
+        let flushed: usize = self
+            .meta
+            .chunks_overlapping(&waterwheel_core::Region::full())
+            .iter()
+            .map(|(id, _)| self.meta.chunk_info(*id).map_or(0, |i| i.count as usize))
+            .sum();
+        in_mem + flushed
+    }
+}
+
+impl Drop for Waterwheel {
+    fn drop(&mut self) {
+        self.stop_pumps();
+        let _ = self.mq.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_core::{KeyInterval, TimeInterval};
+
+    fn system(name: &str) -> Waterwheel {
+        let root = std::env::temp_dir().join(format!("ww-sys-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = SystemConfig::default();
+        cfg.chunk_size_bytes = 8 * 1024;
+        cfg.indexing_servers = 2;
+        cfg.query_servers = 3;
+        cfg.dispatchers = 2;
+        Waterwheel::builder(root).config(cfg).build().unwrap()
+    }
+
+    #[test]
+    fn insert_pump_query_roundtrip() {
+        let ww = system("roundtrip");
+        for i in 0..500u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        let q = Query::range(KeyInterval::full(), TimeInterval::full());
+        let r = ww.query(&q).unwrap();
+        assert_eq!(r.tuples.len(), 500);
+        // Narrow query.
+        let q = Query::range(
+            KeyInterval::new(0, 100_000_000),
+            TimeInterval::new(1_000, 1_050),
+        );
+        let r = ww.query(&q).unwrap();
+        assert_eq!(r.tuples.len(), 51);
+    }
+
+    #[test]
+    fn data_spans_memory_and_chunks_transparently() {
+        let ww = system("spans");
+        for i in 0..400u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap(); // all to chunks
+        for i in 400..500u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap(); // these stay in memory
+        assert!(ww.metadata().chunk_count() >= 1);
+        let r = ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(r.tuples.len(), 500);
+        assert_eq!(ww.total_visible(), 500);
+    }
+
+    #[test]
+    fn background_pumps_make_data_visible() {
+        let ww = system("pumps");
+        ww.start_pumps();
+        for i in 0..200u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        // Wait for the pumps to drain the queue.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let r = ww
+                .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+                .unwrap();
+            if r.tuples.len() == 200 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pumps stalled at {} tuples",
+                r.tuples.len()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        ww.stop_pumps();
+    }
+
+    #[test]
+    fn indexing_server_crash_and_recovery_loses_nothing() {
+        let ww = system("ix-recovery");
+        for i in 0..600u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        let victim = ww.indexing_servers()[0].id();
+        ww.crash_indexing_server(victim).unwrap();
+        ww.recover_indexing_server(victim).unwrap();
+        ww.drain().unwrap();
+        let r = ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(r.tuples.len(), 600, "recovery lost or duplicated tuples");
+    }
+
+    #[test]
+    fn query_server_failure_is_masked_by_redispatch() {
+        let ww = system("qs-failover");
+        for i in 0..400u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        ww.query_servers()[0].set_failed(true);
+        ww.query_servers()[1].set_failed(true);
+        let r = ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(r.tuples.len(), 400);
+        assert!(ww.coordinator().stats().redispatches.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn all_query_servers_down_is_an_error() {
+        let ww = system("qs-alldown");
+        for i in 0..300u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        for qs in ww.query_servers() {
+            qs.set_failed(true);
+        }
+        assert!(ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .is_err());
+    }
+
+    #[test]
+    fn metadata_survives_system_restart() {
+        let root = std::env::temp_dir().join(format!("ww-sys-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = SystemConfig::default();
+        cfg.chunk_size_bytes = 2 * 1024;
+        cfg.indexing_servers = 2;
+        {
+            let ww = Waterwheel::builder(&root).config(cfg.clone()).build().unwrap();
+            for i in 0..600u64 {
+                ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+            }
+            ww.drain().unwrap();
+            ww.flush_all().unwrap();
+        }
+        // Restart over the same root: chunks + metadata recovered, and the
+        // unflushed queue tail replays.
+        let ww = Waterwheel::builder(&root).config(cfg).build().unwrap();
+        let r = ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(r.tuples.len(), 600);
+    }
+
+    #[test]
+    fn predicate_queries_filter_server_side() {
+        let ww = system("predicate");
+        for i in 0..200u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        let q = Query::with_predicate(KeyInterval::full(), TimeInterval::full(), |t| {
+            t.key % 2_000_000 == 0
+        });
+        let r = ww.query(&q).unwrap();
+        assert_eq!(r.tuples.len(), 100);
+    }
+}

@@ -1,0 +1,254 @@
+//! The query servers' LRU block cache (paper §IV-B).
+//!
+//! "We regard a template or a leaf node as the basic caching unit and employ
+//! LRU policy to evict the old caching units." The two unit kinds map to
+//! [`Block::Index`] (a chunk's parsed index block — the persisted template)
+//! and [`Block::Leaf`] (one decoded leaf page). Eviction is by byte budget,
+//! matching the paper's per-server cache capacity (1 GB in §VI).
+
+use crate::chunk::ChunkIndex;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use waterwheel_core::{ChunkId, Tuple};
+
+/// Cache key: which unit of which chunk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BlockKey {
+    /// The chunk's index block (template + directory + blooms).
+    Index(ChunkId),
+    /// One decoded leaf page.
+    Leaf(ChunkId, u32),
+}
+
+/// Cached value.
+#[derive(Clone, Debug)]
+pub enum Block {
+    /// A parsed chunk index.
+    Index(Arc<ChunkIndex>),
+    /// A decoded leaf page.
+    Leaf(Arc<Vec<Tuple>>),
+}
+
+impl Block {
+    fn byte_size(&self) -> usize {
+        match self {
+            Block::Index(idx) => idx.approx_size(),
+            Block::Leaf(tuples) => tuples
+                .iter()
+                .map(|t| t.encoded_len() + std::mem::size_of::<Tuple>())
+                .sum(),
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found the block.
+    pub hits: AtomicU64,
+    /// Lookups that missed.
+    pub misses: AtomicU64,
+    /// Blocks evicted under byte pressure.
+    pub evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+struct CacheInner {
+    /// key → (block, size, LRU stamp)
+    map: HashMap<BlockKey, (Block, usize, u64)>,
+    /// LRU order: stamp → key.
+    order: BTreeMap<u64, BlockKey>,
+    next_stamp: u64,
+    used: usize,
+}
+
+/// A byte-budgeted LRU cache of chunk blocks.
+pub struct BlockCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache with a `capacity`-byte budget.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+                used: 0,
+            }),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a block, refreshing its LRU position on hit.
+    pub fn get(&self, key: &BlockKey) -> Option<Block> {
+        let mut inner = self.inner.lock();
+        let next = inner.next_stamp;
+        inner.next_stamp += 1;
+        match inner.map.get_mut(key) {
+            Some((block, _, stamp)) => {
+                let old = *stamp;
+                *stamp = next;
+                let block = block.clone();
+                inner.order.remove(&old);
+                inner.order.insert(next, *key);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(block)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a block, evicting least-recently-used blocks past the byte
+    /// budget. A block larger than the whole budget is not cached at all.
+    pub fn put(&self, key: BlockKey, block: Block) {
+        let size = block.byte_size().max(1);
+        if size > self.capacity {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some((_, old_size, old_stamp)) = inner.map.remove(&key) {
+            inner.order.remove(&old_stamp);
+            inner.used -= old_size;
+        }
+        while inner.used + size > self.capacity {
+            let (&stamp, &victim) = inner.order.iter().next().expect("over budget but empty");
+            inner.order.remove(&stamp);
+            let (_, victim_size, _) = inner.map.remove(&victim).expect("order/map desync");
+            inner.used -= victim_size;
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.order.insert(stamp, key);
+        inner.map.insert(key, (block, size, stamp));
+        inner.used += size;
+    }
+
+    /// Drops every cached block (tests, server restart simulation).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_block(n: usize) -> Block {
+        Block::Leaf(Arc::new(
+            (0..n as u64).map(|i| Tuple::bare(i, i)).collect(),
+        ))
+    }
+
+    #[test]
+    fn get_put_and_hit_accounting() {
+        let cache = BlockCache::new(1 << 20);
+        let key = BlockKey::Leaf(ChunkId(1), 0);
+        assert!(cache.get(&key).is_none());
+        cache.put(key, leaf_block(10));
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 1);
+        assert!((cache.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Each 10-tuple leaf block ≈ 10 * (20 + sizeof(Tuple)) bytes; pick a
+        // budget that fits exactly two.
+        let one = leaf_block(10).byte_size();
+        let cache = BlockCache::new(one * 2 + 1);
+        for i in 0..3u64 {
+            cache.put(BlockKey::Leaf(ChunkId(i), 0), leaf_block(10));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&BlockKey::Leaf(ChunkId(0), 0)).is_none());
+        assert!(cache.get(&BlockKey::Leaf(ChunkId(2), 0)).is_some());
+        assert_eq!(cache.stats().evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn get_refreshes_lru_position() {
+        let one = leaf_block(10).byte_size();
+        let cache = BlockCache::new(one * 2 + 1);
+        cache.put(BlockKey::Leaf(ChunkId(0), 0), leaf_block(10));
+        cache.put(BlockKey::Leaf(ChunkId(1), 0), leaf_block(10));
+        // Touch chunk 0 so chunk 1 becomes the LRU victim.
+        cache.get(&BlockKey::Leaf(ChunkId(0), 0));
+        cache.put(BlockKey::Leaf(ChunkId(2), 0), leaf_block(10));
+        assert!(cache.get(&BlockKey::Leaf(ChunkId(0), 0)).is_some());
+        assert!(cache.get(&BlockKey::Leaf(ChunkId(1), 0)).is_none());
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let cache = BlockCache::new(64);
+        cache.put(BlockKey::Leaf(ChunkId(0), 0), leaf_block(100));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_and_accounts_bytes() {
+        let cache = BlockCache::new(1 << 20);
+        let key = BlockKey::Leaf(ChunkId(1), 0);
+        cache.put(key, leaf_block(10));
+        let used_small = cache.used_bytes();
+        cache.put(key, leaf_block(100));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.used_bytes() > used_small);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let cache = BlockCache::new(1 << 20);
+        cache.put(BlockKey::Leaf(ChunkId(1), 0), leaf_block(10));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+}

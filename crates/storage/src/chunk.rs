@@ -1,0 +1,504 @@
+//! The immutable chunk format (paper §III-A) and its selective reader.
+//!
+//! A chunk is the flushed image of one in-memory template B+ tree. Its
+//! layout is split so that the cheap-to-cache metadata (the "template": key
+//! separators, per-leaf directory, temporal bloom filters) can be loaded
+//! without touching tuple data, and each leaf page can then be fetched
+//! individually — a subquery selective on the key domain reads only the leaf
+//! pages overlapping its key range (§VI-B).
+
+use std::sync::Arc;
+use waterwheel_core::codec::{self, Decoder, Encoder};
+use waterwheel_core::{Key, KeyInterval, Region, Result, TimeInterval, Tuple, WwError};
+use waterwheel_index::{SealedTree, TimeBloom};
+
+/// `"WWCHUNK1"` interpreted as a little-endian u64.
+const MAGIC: u64 = u64::from_le_bytes(*b"WWCHUNK1");
+const VERSION: u32 = 1;
+/// Fixed byte length of the header that precedes the index block.
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 4 + 8 + 8 + 32;
+
+/// Per-leaf directory entry: everything a query needs to decide whether to
+/// fetch the leaf page, and where to find it.
+#[derive(Clone, Debug)]
+pub struct LeafMeta {
+    /// Number of tuples in the leaf.
+    pub count: u32,
+    /// Absolute byte offset of the leaf page within the chunk file.
+    pub offset: u64,
+    /// Byte length of the leaf page.
+    pub len: u64,
+    /// Min/max timestamp of the leaf's tuples (`None` for an empty leaf).
+    pub time_range: Option<TimeInterval>,
+    /// Temporal bloom filter (paper §IV-B), when enabled at seal time.
+    pub bloom: Option<TimeBloom>,
+}
+
+/// The parsed header + index block of a chunk — the persisted template.
+///
+/// This is the "template" caching unit of the paper's LRU cache: once
+/// loaded, all leaf routing decisions are local.
+#[derive(Clone, Debug)]
+pub struct ChunkIndex {
+    /// The key–time rectangle covered by the chunk.
+    pub region: Region,
+    /// Total tuple count.
+    pub count: u64,
+    /// Key separators between adjacent leaves (strictly increasing).
+    pub separators: Vec<Key>,
+    /// Per-leaf directory, in key order.
+    pub leaves: Vec<LeafMeta>,
+    /// Total chunk file size in bytes.
+    pub file_len: u64,
+}
+
+impl ChunkIndex {
+    /// The inclusive range of leaf indices whose key ranges may intersect
+    /// `keys`.
+    pub fn leaf_range(&self, keys: &KeyInterval) -> (usize, usize) {
+        let lo = self.separators.partition_point(|&s| s <= keys.lo());
+        let hi = self.separators.partition_point(|&s| s <= keys.hi());
+        (lo, hi)
+    }
+
+    /// Whether leaf `i` can be skipped for a query with time constraint
+    /// `times`: either its min/max bounds miss, or its bloom filter proves
+    /// no mini-range overlaps.
+    pub fn leaf_prunable(&self, i: usize, times: &TimeInterval) -> bool {
+        let meta = &self.leaves[i];
+        match meta.time_range {
+            None => return true, // empty leaf
+            Some(tr) if !tr.overlaps(times) => return true,
+            _ => {}
+        }
+        if let Some(bloom) = &meta.bloom {
+            if !bloom.may_overlap(times) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Approximate heap size for cache accounting.
+    pub fn approx_size(&self) -> usize {
+        let blooms: usize = self
+            .leaves
+            .iter()
+            .filter_map(|l| l.bloom.as_ref().map(TimeBloom::encoded_len))
+            .sum();
+        self.separators.len() * 8 + self.leaves.len() * std::mem::size_of::<LeafMeta>() + blooms
+    }
+}
+
+/// Serializes a sealed tree into the chunk byte format.
+pub fn write_chunk(sealed: &SealedTree) -> Vec<u8> {
+    debug_assert_eq!(sealed.check_invariants(), Ok(()));
+    // Leaf pages first (into a scratch buffer) so the directory can record
+    // final offsets once the index-block length is known.
+    let mut pages: Vec<Vec<u8>> = Vec::with_capacity(sealed.leaves.len());
+    for leaf in &sealed.leaves {
+        let mut page = Vec::with_capacity(leaf.byte_size());
+        for t in &leaf.entries {
+            codec::encode_tuple(&mut page, t);
+        }
+        pages.push(page);
+    }
+
+    // Index block, with offsets provisionally relative to the data section.
+    let mut index = Vec::new();
+    index.put_u32(sealed.separators.len() as u32);
+    for s in &sealed.separators {
+        index.put_u64(*s);
+    }
+    index.put_u32(sealed.leaves.len() as u32);
+    let mut rel_offset = 0u64;
+    for (leaf, page) in sealed.leaves.iter().zip(&pages) {
+        index.put_u32(leaf.entries.len() as u32);
+        index.put_u64(rel_offset);
+        index.put_u64(page.len() as u64);
+        match leaf.time_range {
+            Some(tr) => {
+                index.put_u32(1);
+                index.put_u64(tr.lo());
+                index.put_u64(tr.hi());
+            }
+            None => index.put_u32(0),
+        }
+        match &leaf.bloom {
+            Some(b) => {
+                index.put_u32(1);
+                b.encode(&mut index);
+            }
+            None => index.put_u32(0),
+        }
+        rel_offset += page.len() as u64;
+    }
+
+    let data_start = HEADER_LEN as u64 + index.len() as u64;
+    let mut out = Vec::with_capacity(data_start as usize + rel_offset as usize);
+    out.put_u64(MAGIC);
+    out.put_u32(VERSION);
+    out.put_u32(0); // flags, reserved
+    out.put_u64(sealed.count as u64);
+    out.put_u32(sealed.leaves.len() as u32);
+    out.put_u64(index.len() as u64);
+    out.put_u64(codec::fnv1a(&index));
+    codec::encode_region(&mut out, &sealed.region);
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&index);
+    for page in &pages {
+        out.extend_from_slice(page);
+    }
+    out
+}
+
+/// Parses the header + index block. `prefix` must contain at least the
+/// first `HEADER_LEN + index_len` bytes of the chunk; `file_len` is the
+/// total chunk size (for sanity checks).
+pub fn parse_index(prefix: &[u8], file_len: u64) -> Result<ChunkIndex> {
+    let mut dec = Decoder::new(prefix, "chunk");
+    if dec.get_u64()? != MAGIC {
+        return Err(WwError::corrupt("chunk", "bad magic"));
+    }
+    let version = dec.get_u32()?;
+    if version != VERSION {
+        return Err(WwError::corrupt("chunk", format!("unknown version {version}")));
+    }
+    let _flags = dec.get_u32()?;
+    let count = dec.get_u64()?;
+    let leaf_count = dec.get_u32()? as usize;
+    let index_len = dec.get_u64()? as usize;
+    let checksum = dec.get_u64()?;
+    let region = codec::decode_region(&mut dec)?;
+    if prefix.len() < HEADER_LEN + index_len {
+        return Err(WwError::corrupt("chunk", "index block truncated"));
+    }
+    let index_bytes = &prefix[HEADER_LEN..HEADER_LEN + index_len];
+    if codec::fnv1a(index_bytes) != checksum {
+        return Err(WwError::corrupt("chunk", "index checksum mismatch"));
+    }
+    let mut dec = Decoder::new(index_bytes, "chunk");
+    let sep_count = dec.get_u32()? as usize;
+    let mut separators = Vec::with_capacity(sep_count);
+    for _ in 0..sep_count {
+        separators.push(dec.get_u64()?);
+    }
+    if !separators.windows(2).all(|w| w[0] < w[1]) {
+        return Err(WwError::corrupt("chunk", "separators not increasing"));
+    }
+    let dir_leaves = dec.get_u32()? as usize;
+    if dir_leaves != leaf_count || sep_count + 1 != leaf_count {
+        return Err(WwError::corrupt("chunk", "leaf/separator count mismatch"));
+    }
+    let data_start = HEADER_LEN as u64 + index_len as u64;
+    let mut leaves = Vec::with_capacity(leaf_count);
+    for _ in 0..leaf_count {
+        let entry_count = dec.get_u32()?;
+        let offset = data_start + dec.get_u64()?;
+        let len = dec.get_u64()?;
+        if offset + len > file_len {
+            return Err(WwError::corrupt("chunk", "leaf page beyond file end"));
+        }
+        let time_range = if dec.get_u32()? == 1 {
+            let lo = dec.get_u64()?;
+            let hi = dec.get_u64()?;
+            Some(
+                TimeInterval::checked(lo, hi)
+                    .ok_or_else(|| WwError::corrupt("chunk", "inverted leaf time range"))?,
+            )
+        } else {
+            None
+        };
+        let bloom = if dec.get_u32()? == 1 {
+            Some(TimeBloom::decode(&mut dec)?)
+        } else {
+            None
+        };
+        leaves.push(LeafMeta {
+            count: entry_count,
+            offset,
+            len,
+            time_range,
+            bloom,
+        });
+    }
+    Ok(ChunkIndex {
+        region,
+        count,
+        separators,
+        leaves,
+        file_len,
+    })
+}
+
+/// Decodes the tuples of one leaf page.
+pub fn decode_leaf_page(bytes: &[u8], expected: u32) -> Result<Vec<Tuple>> {
+    let mut dec = Decoder::new(bytes, "leaf page");
+    let mut out = Vec::with_capacity(expected as usize);
+    while dec.remaining() > 0 {
+        out.push(codec::decode_tuple(&mut dec)?);
+    }
+    if out.len() != expected as usize {
+        return Err(WwError::corrupt(
+            "leaf page",
+            format!("expected {expected} tuples, decoded {}", out.len()),
+        ));
+    }
+    Ok(out)
+}
+
+/// How many leading bytes to fetch when first touching a chunk. Large
+/// enough to cover the header and typical index blocks in one access;
+/// the reader falls back to a second ranged read for oversized indexes.
+pub const INDEX_PREFETCH: usize = 64 * 1024;
+
+/// Abstraction over ranged chunk reads, implemented by the simulated DFS.
+///
+/// Each call models one file access (and is charged the per-open latency by
+/// the DFS layer underneath).
+pub trait RangedRead {
+    /// Reads `len` bytes at `offset`; short reads are errors.
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>>;
+    /// Total file length.
+    fn len(&self) -> Result<u64>;
+    /// Whether the file is empty.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A chunk reader that performs selective leaf-page reads over any
+/// [`RangedRead`] source, merging adjacent page fetches into single
+/// accesses.
+pub struct ChunkReader<R> {
+    source: R,
+}
+
+impl<R: RangedRead> ChunkReader<R> {
+    /// Wraps a ranged-read source.
+    pub fn new(source: R) -> Self {
+        Self { source }
+    }
+
+    /// Loads the chunk's index block (one access for typical chunks, two
+    /// when the index outgrows [`INDEX_PREFETCH`]).
+    pub fn load_index(&self) -> Result<Arc<ChunkIndex>> {
+        let file_len = self.source.len()?;
+        let first = self
+            .source
+            .read_range(0, (INDEX_PREFETCH as u64).min(file_len))?;
+        if first.len() < HEADER_LEN {
+            return Err(WwError::corrupt("chunk", "file shorter than header"));
+        }
+        // Peek at the index length to decide whether a second read is
+        // needed: it sits at offset 8+4+4+8+4 = 28.
+        let mut peek = Decoder::new(&first[28..36], "chunk");
+        let index_len = peek.get_u64()? as usize;
+        let need = HEADER_LEN + index_len;
+        let prefix = if first.len() >= need {
+            first
+        } else {
+            let mut full = first;
+            let more = self
+                .source
+                .read_range(full.len() as u64, (need - full.len()) as u64)?;
+            full.extend_from_slice(&more);
+            full
+        };
+        Ok(Arc::new(parse_index(&prefix, file_len)?))
+    }
+
+    /// Reads and decodes the leaf pages `lo..=hi` (inclusive), coalescing
+    /// them into a single ranged access. Returns one tuple vector per leaf.
+    pub fn read_leaves(
+        &self,
+        index: &ChunkIndex,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Vec<Tuple>>> {
+        assert!(lo <= hi && hi < index.leaves.len());
+        let start = index.leaves[lo].offset;
+        let end = index.leaves[hi].offset + index.leaves[hi].len;
+        let bytes = self.source.read_range(start, end - start)?;
+        let mut out = Vec::with_capacity(hi - lo + 1);
+        for meta in &index.leaves[lo..=hi] {
+            let page_start = (meta.offset - start) as usize;
+            let page = &bytes[page_start..page_start + meta.len as usize];
+            out.push(decode_leaf_page(page, meta.count)?);
+        }
+        Ok(out)
+    }
+}
+
+/// In-memory [`RangedRead`] over a byte buffer (tests and cached chunks).
+impl RangedRead for &[u8] {
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let start = offset as usize;
+        let end = start + len as usize;
+        if end > <[u8]>::len(self) {
+            return Err(WwError::corrupt("chunk", "read past end"));
+        }
+        Ok(self[start..end].to_vec())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(<[u8]>::len(self) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_core::Tuple;
+    use waterwheel_index::{IndexConfig, TemplateBTree, TupleIndex};
+
+    fn sealed_tree(n: u64) -> SealedTree {
+        let cfg = IndexConfig {
+            leaf_capacity: 16,
+            fanout: 4,
+            skew_check_interval: 64,
+            ..IndexConfig::default()
+        };
+        let tree = TemplateBTree::new(KeyInterval::full(), cfg);
+        for i in 0..n {
+            tree.insert(Tuple::new(i * 3, 1_000 + i, vec![(i % 251) as u8; 8]));
+        }
+        tree.seal().expect("non-empty tree")
+    }
+
+    #[test]
+    fn chunk_roundtrip_preserves_everything() {
+        let sealed = sealed_tree(500);
+        let expected: Vec<Tuple> = sealed.clone().into_tuples();
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        assert_eq!(index.count, 500);
+        assert_eq!(index.region, sealed.region);
+        assert_eq!(index.leaves.len(), sealed.leaves.len());
+        let pages = reader.read_leaves(&index, 0, index.leaves.len() - 1).unwrap();
+        let got: Vec<Tuple> = pages.into_iter().flatten().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn selective_leaf_reads_equal_full_reads() {
+        let sealed = sealed_tree(400);
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        let keys = KeyInterval::new(100, 500);
+        let (lo, hi) = index.leaf_range(&keys);
+        assert!(hi < index.leaves.len());
+        let selective: Vec<Tuple> = reader
+            .read_leaves(&index, lo, hi)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .filter(|t| keys.contains(t.key))
+            .collect();
+        let full: Vec<Tuple> = reader
+            .read_leaves(&index, 0, index.leaves.len() - 1)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .filter(|t| keys.contains(t.key))
+            .collect();
+        assert_eq!(selective, full);
+        assert!(!selective.is_empty());
+    }
+
+    #[test]
+    fn leaf_range_prunes_outside_keys() {
+        let sealed = sealed_tree(400);
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        // A narrow key range should touch a strict subset of leaves.
+        let (lo, hi) = index.leaf_range(&KeyInterval::new(0, 30));
+        assert!(hi - lo + 1 < index.leaves.len());
+    }
+
+    #[test]
+    fn temporal_pruning_via_bounds_and_bloom() {
+        let sealed = sealed_tree(400);
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        // All tuples have ts ≥ 1000: every leaf prunable for times [0, 10].
+        let early = TimeInterval::new(0, 10);
+        for i in 0..index.leaves.len() {
+            assert!(index.leaf_prunable(i, &early), "leaf {i} not pruned");
+        }
+        // And none prunable for the full range.
+        let all = TimeInterval::full();
+        assert!((0..index.leaves.len()).any(|i| !index.leaf_prunable(i, &all)));
+    }
+
+    #[test]
+    fn corrupt_magic_and_checksum_detected() {
+        let sealed = sealed_tree(50);
+        let mut bytes = write_chunk(&sealed);
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(ChunkReader::new(bad_magic.as_slice()).load_index().is_err());
+        // Flip a byte inside the index block.
+        bytes[HEADER_LEN + 3] ^= 0xFF;
+        let err = ChunkReader::new(bytes.as_slice()).load_index().unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let sealed = sealed_tree(50);
+        let bytes = write_chunk(&sealed);
+        let truncated = &bytes[..HEADER_LEN - 4];
+        assert!(ChunkReader::new(truncated).load_index().is_err());
+    }
+
+    #[test]
+    fn oversized_index_blocks_need_two_reads() {
+        // Enough leaves that the index block exceeds INDEX_PREFETCH.
+        let cfg = IndexConfig {
+            leaf_capacity: 2,
+            fanout: 4,
+            skew_check_interval: 100,
+            ..IndexConfig::default()
+        };
+        let tree = TemplateBTree::new(KeyInterval::full(), cfg);
+        for i in 0..6_000u64 {
+            tree.insert(Tuple::bare(i * 7, 1_000 + i));
+        }
+        let sealed = tree.seal().unwrap();
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        assert_eq!(index.count, 6_000);
+        assert!(HEADER_LEN + 24 + index.approx_size() > INDEX_PREFETCH);
+    }
+
+    #[test]
+    fn empty_leaves_are_handled() {
+        // Seal a tree whose template has many leaves but data in few.
+        let cfg = IndexConfig {
+            leaf_capacity: 4,
+            fanout: 4,
+            ..IndexConfig::default()
+        };
+        let tree = TemplateBTree::with_separators(
+            KeyInterval::full(),
+            cfg,
+            vec![100, 200, 300, 400],
+        );
+        tree.insert(Tuple::bare(150, 1)); // only leaf 1 populated
+        let sealed = tree.seal().unwrap();
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        assert_eq!(index.leaves.len(), 5);
+        assert!(index.leaf_prunable(0, &TimeInterval::full()));
+        assert!(!index.leaf_prunable(1, &TimeInterval::full()));
+        let pages = reader.read_leaves(&index, 0, 4).unwrap();
+        assert_eq!(pages.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+}

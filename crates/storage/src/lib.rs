@@ -1,0 +1,34 @@
+//! Chunk storage for Waterwheel: the immutable on-disk chunk format, a
+//! simulated distributed file system (the HDFS substitute), and the query
+//! servers' LRU block cache.
+//!
+//! An indexing server seals its in-memory tree into a [`SealedTree`]
+//! (one per chunk-size threshold crossing, paper §III-A) which
+//! [`chunk::write_chunk`] serializes into a self-describing immutable blob:
+//!
+//! ```text
+//! ┌────────┬──────────────────────────────┬──────────────────────────┐
+//! │ header │ index block:                 │ leaf pages:              │
+//! │ magic  │  separators, per-leaf        │  tuples of leaf 0,       │
+//! │ region │  directory (offsets, time    │  tuples of leaf 1, …     │
+//! │ counts │  bounds, bloom filters)      │                          │
+//! └────────┴──────────────────────────────┴──────────────────────────┘
+//! ```
+//!
+//! The index block is the persisted *template*: loading it alone lets a
+//! query server route a subquery to exactly the leaf pages it needs ("the
+//! data layout in our data chunks allows the system to read only the needed
+//! leaf nodes for the given key range", §VI-B). Templates and leaf pages are
+//! the two cache-unit kinds of the paper's LRU cache (§IV-B).
+//!
+//! [`SealedTree`]: waterwheel_index::SealedTree
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chunk;
+pub mod dfs;
+
+pub use cache::{Block, BlockCache, BlockKey, CacheStats};
+pub use chunk::{write_chunk, ChunkIndex, ChunkReader, LeafMeta, RangedRead};
+pub use dfs::{DfsFile, SimDfs};

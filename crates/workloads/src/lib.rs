@@ -1,0 +1,26 @@
+//! Deterministic workload generators for the Waterwheel evaluation
+//! (paper §VI).
+//!
+//! The paper evaluates on two real datasets we cannot redistribute — T-Drive
+//! taxi trajectories and a telecom web-access log — plus a synthetic
+//! normal-key dataset for the adaptivity experiments. This crate provides
+//! faithful synthetic equivalents (see DESIGN.md §2 for the substitution
+//! arguments) and the query generators with controllable key/temporal
+//! selectivity that drive every latency figure.
+//!
+//! All generators are deterministic given a seed: the benchmark harnesses
+//! must produce comparable tables run-to-run.
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod queries;
+pub mod rng;
+pub mod synthetic;
+pub mod tdrive;
+
+pub use network::{NetworkConfig, NetworkGen};
+pub use queries::{key_hull, oracle, QueryGen, TemporalShape};
+pub use rng::{Rng, Zipf};
+pub use synthetic::{NormalKeysConfig, NormalKeysGen, ShiftingKeysGen};
+pub use tdrive::{Disorder, TDriveConfig, TDriveGen};

@@ -1,0 +1,216 @@
+//! Synthetic Network-like web-access workload (paper §VI).
+//!
+//! The paper's Network dataset — 6 M anonymized website-access records from
+//! a telecom operator — carries `⟨user id, source IP, destination IP, URL,
+//! timestamp⟩`, with the **source IP as the index key** and ~50 bytes per
+//! tuple. The original is proprietary, so this generator reproduces the
+//! load-bearing properties:
+//!
+//! * keys are IPv4 source addresses drawn from a **heavy-tailed subnet
+//!   model**: /16 subnets are ranked by a Zipf distribution (a handful of
+//!   consumer access networks generate most traffic), hosts within a subnet
+//!   are uniform. The key distribution is skewed but **stable over time** —
+//!   the workload characteristic §III-B relies on;
+//! * timestamps are almost ordered, with the same optional bounded disorder
+//!   model as the T-Drive generator;
+//! * each encoded tuple is 50 bytes (20-byte header + 30-byte payload:
+//!   user id, destination IP, URL hash padding).
+
+use crate::rng::{Rng, Zipf};
+use crate::tdrive::Disorder;
+use bytes::Bytes;
+use waterwheel_core::{Key, KeyInterval, Timestamp, Tuple};
+
+/// Configuration of the synthetic access-log stream.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Number of distinct /16 subnets generating traffic.
+    pub subnets: usize,
+    /// Zipf exponent of subnet popularity (0 = uniform).
+    pub subnet_skew: f64,
+    /// Records per second of event time.
+    pub records_per_sec: u64,
+    /// Timestamp disorder model.
+    pub disorder: Disorder,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            subnets: 256,
+            subnet_skew: 0.9,
+            records_per_sec: 1_000,
+            disorder: Disorder::default(),
+            seed: 0x6E77_0001,
+        }
+    }
+}
+
+/// An infinite iterator of access-record tuples keyed by source IP.
+pub struct NetworkGen {
+    cfg: NetworkConfig,
+    rng: Rng,
+    zipf: Zipf,
+    /// The /16 prefixes, shuffled so hot subnets are scattered over the
+    /// address space rather than clustered at low addresses.
+    prefixes: Vec<u32>,
+    emitted_this_sec: u64,
+    now_ms: Timestamp,
+}
+
+impl NetworkGen {
+    /// Creates the generator.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.subnets > 0 && cfg.records_per_sec > 0);
+        let mut rng = Rng::new(cfg.seed);
+        let zipf = Zipf::new(cfg.subnets, cfg.subnet_skew);
+        let mut prefixes: Vec<u32> = (0..cfg.subnets as u32)
+            .map(|i| (i * 65_521) % (1 << 16)) // spread over the /16 space
+            .collect();
+        rng.shuffle(&mut prefixes);
+        Self {
+            cfg,
+            rng,
+            zipf,
+            prefixes,
+            emitted_this_sec: 0,
+            now_ms: 1_000_000,
+        }
+    }
+
+    /// Current generator clock.
+    pub fn now_ms(&self) -> Timestamp {
+        self.now_ms
+    }
+
+    /// The key for an IPv4 address (the address itself, zero-extended).
+    pub fn ip_key(ip: u32) -> Key {
+        ip as Key
+    }
+
+    /// The key interval covering a CIDR block `prefix/len` — the natural
+    /// query shape ("retrieve all packets from within 10.68.73.*").
+    pub fn cidr_to_key_range(prefix: u32, len: u32) -> KeyInterval {
+        assert!(len <= 32);
+        if len == 0 {
+            return KeyInterval::new(0, u32::MAX as Key);
+        }
+        let mask = !0u32 << (32 - len);
+        let lo = prefix & mask;
+        let hi = lo | !mask;
+        KeyInterval::new(lo as Key, hi as Key)
+    }
+}
+
+impl Iterator for NetworkGen {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.emitted_this_sec >= self.cfg.records_per_sec {
+            self.emitted_this_sec = 0;
+            self.now_ms += 1_000;
+        }
+        // Spread records across the second.
+        let offset = self.emitted_this_sec * 1_000 / self.cfg.records_per_sec;
+        self.emitted_this_sec += 1;
+        let subnet = self.prefixes[self.zipf.sample(&mut self.rng)];
+        let host = self.rng.below(1 << 16) as u32;
+        let ip = (subnet << 16) | host;
+        let mut ts = self.now_ms + offset;
+        let d = self.cfg.disorder;
+        if d.probability > 0.0 && self.rng.chance(d.probability) {
+            ts = ts.saturating_sub(self.rng.below(d.max_delay_ms.max(1) + 1));
+        }
+        // 30-byte payload: user id (4) + destination IP (4) + URL hash (8)
+        // + padding (14) → 50-byte encoded tuple.
+        let mut payload = Vec::with_capacity(30);
+        payload.extend_from_slice(&(self.rng.below(1 << 20) as u32).to_le_bytes());
+        payload.extend_from_slice(&(self.rng.next_u64() as u32).to_le_bytes());
+        payload.extend_from_slice(&self.rng.next_u64().to_le_bytes());
+        payload.extend_from_slice(&[0u8; 14]);
+        Some(Tuple::new(Self::ip_key(ip), ts, Bytes::from(payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(seed: u64) -> NetworkGen {
+        NetworkGen::new(NetworkConfig {
+            seed,
+            ..NetworkConfig::default()
+        })
+    }
+
+    #[test]
+    fn tuples_are_50_bytes_encoded() {
+        let mut g = gen(1);
+        for _ in 0..20 {
+            assert_eq!(g.next().unwrap().encoded_len(), 50);
+        }
+    }
+
+    #[test]
+    fn keys_fit_ipv4_space() {
+        let mut g = gen(2);
+        for _ in 0..1_000 {
+            assert!(g.next().unwrap().key <= u32::MAX as u64);
+        }
+    }
+
+    #[test]
+    fn subnet_popularity_is_heavy_tailed_and_stable() {
+        let mut g = gen(3);
+        let count_by_subnet = |tuples: &[Tuple]| {
+            let mut counts = std::collections::HashMap::new();
+            for t in tuples {
+                *counts.entry((t.key >> 16) as u32).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        let first: Vec<Tuple> = (&mut g).take(20_000).collect();
+        let second: Vec<Tuple> = (&mut g).take(20_000).collect();
+        let c1 = count_by_subnet(&first);
+        let c2 = count_by_subnet(&second);
+        // Heavy tail: the hottest subnet sees far more than the mean.
+        let max1 = *c1.values().max().unwrap();
+        assert!(max1 > 2 * 20_000 / 256);
+        // Stability: the hottest subnet in window 1 is still hot in 2.
+        let hottest = c1.iter().max_by_key(|(_, &c)| c).unwrap().0;
+        let hot2 = c2.get(hottest).copied().unwrap_or(0);
+        assert!(hot2 > 20_000 / 256, "hot subnet went cold: {hot2}");
+    }
+
+    #[test]
+    fn timestamps_nondecreasing_without_disorder() {
+        let mut g = gen(4);
+        let mut last = 0;
+        for _ in 0..5_000 {
+            let t = g.next().unwrap();
+            assert!(t.ts >= last, "ts regressed");
+            last = t.ts;
+        }
+    }
+
+    #[test]
+    fn cidr_ranges_match_prefix_semantics() {
+        let r = NetworkGen::cidr_to_key_range(0x0A44_4900, 24); // 10.68.73.0/24
+        assert_eq!(r.lo(), 0x0A44_4900);
+        assert_eq!(r.hi(), 0x0A44_49FF);
+        let all = NetworkGen::cidr_to_key_range(0, 0);
+        assert_eq!(all.lo(), 0);
+        assert_eq!(all.hi(), u32::MAX as u64);
+        let host = NetworkGen::cidr_to_key_range(0x0102_0304, 32);
+        assert_eq!(host.lo(), host.hi());
+    }
+
+    #[test]
+    fn determinism() {
+        let a: Vec<Tuple> = gen(9).take(1_000).collect();
+        let b: Vec<Tuple> = gen(9).take(1_000).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,255 @@
+//! Query generators with controllable selectivity (paper §VI).
+//!
+//! "Throughout the experiments, we generate queries with different key and
+//! time ranges to control the selectivity of key and temporal domains." The
+//! paper's four representative temporal shapes — recent 5 s, recent 60 s,
+//! recent 5 min, and a *historic* 5-minute window at a random position —
+//! are provided as [`TemporalShape`]s, and key ranges are drawn at random
+//! positions with a fixed fractional width of the observed key domain.
+
+use crate::rng::Rng;
+use waterwheel_core::{Key, KeyInterval, Query, TimeInterval, Timestamp};
+
+/// The four temporal constraint shapes of Figures 14 and 16.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TemporalShape {
+    /// The most recent `secs` seconds before "now".
+    Recent {
+        /// Window length in seconds.
+        secs: u64,
+    },
+    /// A `secs`-second window at a random position between the stream start
+    /// and "now".
+    Historic {
+        /// Window length in seconds.
+        secs: u64,
+    },
+}
+
+impl TemporalShape {
+    /// The paper's four representative settings.
+    pub fn paper_set() -> [TemporalShape; 4] {
+        [
+            TemporalShape::Recent { secs: 5 },
+            TemporalShape::Recent { secs: 60 },
+            TemporalShape::Recent { secs: 300 },
+            TemporalShape::Historic { secs: 300 },
+        ]
+    }
+
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> String {
+        match self {
+            TemporalShape::Recent { secs } => format!("recent {secs}s"),
+            TemporalShape::Historic { secs } => format!("historic {secs}s"),
+        }
+    }
+
+    /// Materializes the shape into a concrete interval given the stream's
+    /// start time and current time.
+    pub fn interval(&self, rng: &mut Rng, start: Timestamp, now: Timestamp) -> TimeInterval {
+        match *self {
+            TemporalShape::Recent { secs } => {
+                let lo = now.saturating_sub(secs * 1_000);
+                TimeInterval::new(lo, now)
+            }
+            TemporalShape::Historic { secs } => {
+                let span = secs * 1_000;
+                let latest_lo = now.saturating_sub(span).max(start);
+                let lo = if latest_lo > start {
+                    rng.range_inclusive(start, latest_lo)
+                } else {
+                    start
+                };
+                TimeInterval::new(lo, lo + span)
+            }
+        }
+    }
+}
+
+/// Generates key/temporal range queries over a fixed key domain.
+#[derive(Clone, Debug)]
+pub struct QueryGen {
+    /// The key domain queried against (e.g. the IPv4 space, or the z-code
+    /// hull of the generated data).
+    pub domain: KeyInterval,
+    rng: Rng,
+}
+
+impl QueryGen {
+    /// Creates a generator over `domain` with a deterministic seed.
+    pub fn new(domain: KeyInterval, seed: u64) -> Self {
+        Self {
+            domain,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// A key interval of fractional width `selectivity` (0 < s ≤ 1) at a
+    /// uniformly random position inside the domain.
+    pub fn key_range(&mut self, selectivity: f64) -> KeyInterval {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        let width = self.domain.width();
+        let span = ((width as f64 * selectivity) as u128).clamp(1, width) as u64;
+        let slack = (width - span as u128) as u64;
+        let lo = self.domain.lo()
+            + if slack == 0 {
+                0
+            } else {
+                self.rng.range_inclusive(0, slack)
+            };
+        let hi = if span == 0 { lo } else { lo + (span - 1) };
+        KeyInterval::new(lo, hi.min(self.domain.hi()))
+    }
+
+    /// A full query combining a random key range with a temporal shape.
+    pub fn query(
+        &mut self,
+        selectivity: f64,
+        shape: TemporalShape,
+        start: Timestamp,
+        now: Timestamp,
+    ) -> Query {
+        let keys = self.key_range(selectivity);
+        let times = shape.interval(&mut self.rng, start, now);
+        Query::range(keys, times)
+    }
+
+    /// A batch of `n` queries with identical parameters but independent
+    /// random positions (the paper evaluates 1000-query batches).
+    pub fn batch(
+        &mut self,
+        n: usize,
+        selectivity: f64,
+        shape: TemporalShape,
+        start: Timestamp,
+        now: Timestamp,
+    ) -> Vec<Query> {
+        (0..n)
+            .map(|_| self.query(selectivity, shape, start, now))
+            .collect()
+    }
+}
+
+/// The exact answer to a range query over a tuple slice — the oracle that
+/// property tests and harness self-checks compare system answers against.
+pub fn oracle<'t>(
+    tuples: impl IntoIterator<Item = &'t waterwheel_core::Tuple>,
+    keys: &KeyInterval,
+    times: &TimeInterval,
+) -> Vec<waterwheel_core::Tuple> {
+    let mut out: Vec<waterwheel_core::Tuple> = tuples
+        .into_iter()
+        .filter(|t| keys.contains(t.key) && times.contains(t.ts))
+        .cloned()
+        .collect();
+    out.sort_by(|a, b| (a.key, a.ts, &a.payload).cmp(&(b.key, b.ts, &b.payload)));
+    out
+}
+
+/// Convenience: the observed key hull of a tuple batch, for sizing query
+/// domains against generated data.
+pub fn key_hull<'t>(
+    tuples: impl IntoIterator<Item = &'t waterwheel_core::Tuple>,
+) -> Option<KeyInterval> {
+    let mut iter = tuples.into_iter();
+    let first = iter.next()?;
+    let mut lo: Key = first.key;
+    let mut hi: Key = first.key;
+    for t in iter {
+        lo = lo.min(t.key);
+        hi = hi.max(t.key);
+    }
+    Some(KeyInterval::new(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_core::Tuple;
+
+    #[test]
+    fn key_range_width_tracks_selectivity() {
+        let domain = KeyInterval::new(0, 999_999);
+        let mut g = QueryGen::new(domain, 1);
+        for s in [0.01, 0.05, 0.1, 0.5] {
+            for _ in 0..100 {
+                let r = g.key_range(s);
+                assert!(domain.covers(&r));
+                let got = r.width() as f64 / domain.width() as f64;
+                assert!(
+                    (got - s).abs() < 0.001,
+                    "selectivity {s}: got width fraction {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_range_full_selectivity_is_the_domain() {
+        let domain = KeyInterval::new(10, 20);
+        let mut g = QueryGen::new(domain, 2);
+        assert_eq!(g.key_range(1.0), domain);
+    }
+
+    #[test]
+    fn recent_shapes_end_at_now() {
+        let mut rng = Rng::new(3);
+        let t = TemporalShape::Recent { secs: 60 }.interval(&mut rng, 0, 500_000);
+        assert_eq!(t.hi(), 500_000);
+        assert_eq!(t.lo(), 440_000);
+    }
+
+    #[test]
+    fn historic_windows_fall_inside_stream_lifetime() {
+        let mut rng = Rng::new(4);
+        for _ in 0..1_000 {
+            let t = TemporalShape::Historic { secs: 300 }.interval(&mut rng, 1_000_000, 9_000_000);
+            assert!(t.lo() >= 1_000_000);
+            assert!(t.lo() <= 9_000_000);
+            assert_eq!(t.hi() - t.lo(), 300_000);
+        }
+    }
+
+    #[test]
+    fn historic_window_on_short_stream_clamps_to_start() {
+        let mut rng = Rng::new(5);
+        let t = TemporalShape::Historic { secs: 300 }.interval(&mut rng, 100, 200);
+        assert_eq!(t.lo(), 100);
+    }
+
+    #[test]
+    fn oracle_filters_both_dimensions() {
+        let tuples = vec![
+            Tuple::bare(1, 10),
+            Tuple::bare(2, 20),
+            Tuple::bare(3, 30),
+            Tuple::bare(2, 99),
+        ];
+        let got = oracle(
+            &tuples,
+            &KeyInterval::new(2, 3),
+            &TimeInterval::new(15, 35),
+        );
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].key, 2);
+        assert_eq!(got[1].key, 3);
+    }
+
+    #[test]
+    fn key_hull_spans_batch() {
+        let tuples = vec![Tuple::bare(5, 0), Tuple::bare(100, 0), Tuple::bare(7, 0)];
+        assert_eq!(key_hull(&tuples), Some(KeyInterval::new(5, 100)));
+        assert_eq!(key_hull(std::iter::empty::<&Tuple>()), None);
+    }
+
+    #[test]
+    fn batch_produces_n_distinct_positions() {
+        let mut g = QueryGen::new(KeyInterval::new(0, 1_000_000), 6);
+        let batch = g.batch(50, 0.1, TemporalShape::Recent { secs: 5 }, 0, 100_000);
+        assert_eq!(batch.len(), 50);
+        let positions: std::collections::HashSet<u64> =
+            batch.iter().map(|q| q.keys.lo()).collect();
+        assert!(positions.len() > 40, "positions not random");
+    }
+}

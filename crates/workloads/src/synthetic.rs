@@ -1,0 +1,217 @@
+//! Synthetic key-distribution workloads for the adaptivity experiments.
+//!
+//! Figure 12 evaluates adaptive key partitioning on "a synthetic dataset.
+//! The keys of tuples are generated in normal distributions, with µ = 0 and
+//! σ ranging from 10 to 5000 to control the key skewness. The data tuple is
+//! 30 bytes in size." This module provides that generator plus a
+//! distribution-shift generator used to exercise template updates
+//! (paper §III-C).
+
+use crate::rng::Rng;
+use crate::tdrive::Disorder;
+use bytes::Bytes;
+use waterwheel_core::{Key, Timestamp, Tuple};
+
+/// Centre of the key domain that plays the role of µ = 0: the paper's keys
+/// are signed; ours are unsigned, so the normal is centred here.
+pub const CENTER: Key = 1 << 32;
+
+/// Normal-key stream for the Figure 12 skewness sweep.
+#[derive(Clone, Debug)]
+pub struct NormalKeysConfig {
+    /// Standard deviation σ of the key distribution (10 … 5000 in Fig 12).
+    pub sigma: f64,
+    /// Records per second of event time.
+    pub records_per_sec: u64,
+    /// Payload size: 30-byte tuples in the paper ⇒ 10-byte payload.
+    pub payload_len: usize,
+    /// Timestamp disorder.
+    pub disorder: Disorder,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NormalKeysConfig {
+    fn default() -> Self {
+        Self {
+            sigma: 1_000.0,
+            records_per_sec: 1_000,
+            payload_len: 10,
+            disorder: Disorder::default(),
+            seed: 0x5159_0001,
+        }
+    }
+}
+
+/// Infinite iterator of tuples with normal-distributed keys.
+pub struct NormalKeysGen {
+    cfg: NormalKeysConfig,
+    rng: Rng,
+    emitted_this_sec: u64,
+    now_ms: Timestamp,
+}
+
+impl NormalKeysGen {
+    /// Creates the generator.
+    pub fn new(cfg: NormalKeysConfig) -> Self {
+        assert!(cfg.sigma > 0.0 && cfg.records_per_sec > 0);
+        Self {
+            rng: Rng::new(cfg.seed),
+            cfg,
+            emitted_this_sec: 0,
+            now_ms: 1_000_000,
+        }
+    }
+
+    /// Current generator clock.
+    pub fn now_ms(&self) -> Timestamp {
+        self.now_ms
+    }
+
+    fn sample_key(&mut self) -> Key {
+        let v = self.rng.normal(CENTER as f64, self.cfg.sigma);
+        // Clamp the (astronomically unlikely) far tails into the domain.
+        v.clamp(0.0, Key::MAX as f64) as Key
+    }
+}
+
+impl Iterator for NormalKeysGen {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.emitted_this_sec >= self.cfg.records_per_sec {
+            self.emitted_this_sec = 0;
+            self.now_ms += 1_000;
+        }
+        let offset = self.emitted_this_sec * 1_000 / self.cfg.records_per_sec;
+        self.emitted_this_sec += 1;
+        let key = self.sample_key();
+        let mut ts = self.now_ms + offset;
+        let d = self.cfg.disorder;
+        if d.probability > 0.0 && self.rng.chance(d.probability) {
+            ts = ts.saturating_sub(self.rng.below(d.max_delay_ms.max(1) + 1));
+        }
+        Some(Tuple::new(
+            key,
+            ts,
+            Bytes::from(vec![0u8; self.cfg.payload_len]),
+        ))
+    }
+}
+
+/// A stream whose key distribution shifts abruptly after a configurable
+/// number of tuples — the stimulus for template-update experiments.
+pub struct ShiftingKeysGen {
+    rng: Rng,
+    emitted: usize,
+    /// After this many tuples the mean jumps by `shift`.
+    shift_after: usize,
+    mean: f64,
+    shift: f64,
+    sigma: f64,
+    now_ms: Timestamp,
+}
+
+impl ShiftingKeysGen {
+    /// Creates a stream with mean `CENTER`, jumping by `shift` after
+    /// `shift_after` tuples.
+    pub fn new(sigma: f64, shift: f64, shift_after: usize, seed: u64) -> Self {
+        Self {
+            rng: Rng::new(seed),
+            emitted: 0,
+            shift_after,
+            mean: CENTER as f64,
+            shift,
+            sigma,
+            now_ms: 1_000_000,
+        }
+    }
+}
+
+impl Iterator for ShiftingKeysGen {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.emitted == self.shift_after {
+            self.mean += self.shift;
+        }
+        self.emitted += 1;
+        self.now_ms += 1;
+        let key = self
+            .rng
+            .normal(self.mean, self.sigma)
+            .clamp(0.0, Key::MAX as f64) as Key;
+        Some(Tuple::bare(key, self.now_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_concentrate_within_three_sigma() {
+        let mut g = NormalKeysGen::new(NormalKeysConfig {
+            sigma: 100.0,
+            seed: 1,
+            ..NormalKeysConfig::default()
+        });
+        let inside = (0..10_000)
+            .filter(|_| {
+                let k = g.next().unwrap().key as i128;
+                (k - CENTER as i128).abs() <= 300
+            })
+            .count();
+        assert!(inside > 9_900, "only {inside}/10000 inside 3σ");
+    }
+
+    #[test]
+    fn smaller_sigma_means_more_skew_against_uniform_partition() {
+        // Partition the domain into 8 uniform ranges around CENTER ± 4000:
+        // a tight normal must land almost everything in one range.
+        let spread = |sigma: f64| {
+            let mut g = NormalKeysGen::new(NormalKeysConfig {
+                sigma,
+                seed: 2,
+                ..NormalKeysConfig::default()
+            });
+            let mut counts = [0usize; 8];
+            for _ in 0..8_000 {
+                // Offset by 4500 so the distribution centre falls in the
+                // middle of bucket 4, not on a bucket boundary.
+                let k = g.next().unwrap().key as i128 - (CENTER as i128 - 4_500);
+                let bucket = (k / 1_000).clamp(0, 7) as usize;
+                counts[bucket] += 1;
+            }
+            *counts.iter().max().unwrap()
+        };
+        assert!(spread(10.0) > spread(5_000.0));
+        assert!(spread(10.0) > 7_000); // almost all in one bucket
+    }
+
+    #[test]
+    fn thirty_byte_tuples_by_default() {
+        let mut g = NormalKeysGen::new(NormalKeysConfig::default());
+        assert_eq!(g.next().unwrap().encoded_len(), 30);
+    }
+
+    #[test]
+    fn shifting_gen_changes_mean() {
+        let mut g = ShiftingKeysGen::new(50.0, 1_000_000.0, 1_000, 3);
+        let before: Vec<Key> = (&mut g).take(1_000).map(|t| t.key).collect();
+        let after: Vec<Key> = (&mut g).take(1_000).map(|t| t.key).collect();
+        let mean = |v: &[Key]| v.iter().map(|&k| k as f64).sum::<f64>() / v.len() as f64;
+        assert!(mean(&after) - mean(&before) > 500_000.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let a: Vec<Tuple> = NormalKeysGen::new(NormalKeysConfig::default())
+            .take(100)
+            .collect();
+        let b: Vec<Tuple> = NormalKeysGen::new(NormalKeysConfig::default())
+            .take(100)
+            .collect();
+        assert_eq!(a, b);
+    }
+}

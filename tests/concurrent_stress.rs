@@ -1,0 +1,84 @@
+//! Concurrency stress: background pumps, concurrent queries, rebalancing
+//! and failure injection all running at once. The system must never panic,
+//! deadlock, return tuples outside the query region, or lose data.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use waterwheel::prelude::*;
+
+#[test]
+fn ingest_query_rebalance_crash_concurrently() {
+    let root = std::env::temp_dir().join(format!("ww-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.chunk_size_bytes = 32 * 1024;
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 3;
+    let ww = Arc::new(Waterwheel::builder(&root).config(cfg).build().unwrap());
+    ww.start_pumps();
+
+    let total = 30_000u64;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Ingest thread.
+        {
+            let ww = Arc::clone(&ww);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for i in 0..total {
+                    ww.insert(Tuple::bare(
+                        i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        1_000 + i / 10,
+                    ))
+                    .unwrap();
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+        }
+        // Query thread: results must always be inside the query region.
+        {
+            let ww = Arc::clone(&ww);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut rounds = 0u32;
+                while !stop.load(Ordering::SeqCst) || rounds < 5 {
+                    let keys = KeyInterval::new(0, u64::MAX / 4);
+                    let times = TimeInterval::new(1_000, 2_500);
+                    if let Ok(r) = ww.query(&Query::range(keys, times)) {
+                        for t in &r.tuples {
+                            assert!(keys.contains(t.key) && times.contains(t.ts));
+                        }
+                    }
+                    rounds += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            });
+        }
+        // Chaos thread: periodic rebalances and query-server blips.
+        {
+            let ww = Arc::clone(&ww);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let _ = ww.rebalance();
+                    let qs = &ww.query_servers()[i % 3];
+                    qs.set_failed(true);
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    qs.set_failed(false);
+                    i += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            });
+        }
+    });
+
+    // Everything settles: all tuples visible exactly once.
+    ww.drain().unwrap();
+    ww.stop_pumps();
+    let r = ww
+        .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+        .unwrap();
+    assert_eq!(r.tuples.len() as u64, total, "stress run lost or duplicated tuples");
+}

@@ -1,0 +1,186 @@
+//! End-to-end correctness: the full insert → dispatch → index → flush →
+//! decompose → execute → merge pipeline answers every query exactly like a
+//! naive full-scan oracle, on both evaluation workloads, with data split
+//! across in-memory trees and flushed chunks.
+
+use waterwheel::prelude::*;
+use waterwheel::server::DispatchPolicy;
+use waterwheel::workloads::{
+    oracle, NetworkConfig, NetworkGen, QueryGen, TDriveConfig, TDriveGen, TemporalShape,
+};
+
+fn fresh_root(name: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("ww-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn small_system(name: &str) -> Waterwheel {
+    let mut cfg = SystemConfig::default();
+    cfg.chunk_size_bytes = 64 * 1024;
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 3;
+    cfg.dispatchers = 2;
+    Waterwheel::builder(fresh_root(name)).config(cfg).build().unwrap()
+}
+
+fn normalized(mut tuples: Vec<Tuple>) -> Vec<Tuple> {
+    tuples.sort_by(|a, b| (a.key, a.ts, &a.payload).cmp(&(b.key, b.ts, &b.payload)));
+    tuples
+}
+
+#[test]
+fn network_workload_matches_oracle_across_memory_and_chunks() {
+    let ww = small_system("net-oracle");
+    let mut stream = NetworkGen::new(NetworkConfig {
+        seed: 11,
+        ..NetworkConfig::default()
+    });
+    let mut all: Vec<Tuple> = Vec::new();
+    // First half flushed to chunks, second half left in memory.
+    for _ in 0..6_000 {
+        let t = stream.next().unwrap();
+        all.push(t.clone());
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    for _ in 0..4_000 {
+        let t = stream.next().unwrap();
+        all.push(t.clone());
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    assert!(ww.metadata().chunk_count() > 0, "nothing reached chunks");
+
+    let start = 1_000_000;
+    let now = stream.now_ms();
+    let mut qg = QueryGen::new(KeyInterval::new(0, u32::MAX as u64), 77);
+    for selectivity in [0.01, 0.1, 0.5] {
+        for shape in TemporalShape::paper_set() {
+            for _ in 0..5 {
+                let q = qg.query(selectivity, shape, start, now);
+                let got = normalized(ww.query(&q).unwrap().tuples);
+                let want = oracle(&all, &q.keys, &q.times);
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "mismatch: sel={selectivity} shape={}",
+                    shape.label()
+                );
+                assert_eq!(got, want);
+            }
+        }
+    }
+}
+
+#[test]
+fn tdrive_workload_matches_oracle() {
+    let ww = small_system("tdrive-oracle");
+    let mut fleet = TDriveGen::new(TDriveConfig {
+        taxis: 300,
+        seed: 5,
+        ..TDriveConfig::default()
+    });
+    let mut all: Vec<Tuple> = Vec::new();
+    for _ in 0..8_000 {
+        let t = fleet.next().unwrap();
+        all.push(t.clone());
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+
+    // Geo-rectangle queries through the z-order converter.
+    let now = fleet.now_ms();
+    for (lat0, lat1, lon0, lon1) in [
+        (39.8, 40.2, 116.0, 116.5),
+        (40.5, 41.0, 115.8, 116.2),
+        (39.4, 41.1, 115.7, 117.4), // whole bounding box
+    ] {
+        let ranges = TDriveGen::georect_to_key_ranges(lat0, lat1, lon0, lon1, 16);
+        let times = TimeInterval::new(0, now);
+        let mut got = Vec::new();
+        for r in &ranges {
+            got.extend(ww.query(&Query::range(*r, times)).unwrap().tuples);
+        }
+        got = normalized(got);
+        let mut want: Vec<Tuple> = all
+            .iter()
+            .filter(|t| ranges.iter().any(|r| r.contains(t.key)))
+            .cloned()
+            .collect();
+        want = normalized(want);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn every_dispatch_policy_returns_identical_answers() {
+    let ww = small_system("policies");
+    let mut stream = NetworkGen::new(NetworkConfig {
+        seed: 23,
+        ..NetworkConfig::default()
+    });
+    let mut all = Vec::new();
+    for _ in 0..5_000 {
+        let t = stream.next().unwrap();
+        all.push(t.clone());
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    assert!(ww.metadata().chunk_count() >= 2);
+
+    let q = Query::range(
+        KeyInterval::new(0, u32::MAX as u64 / 2),
+        TimeInterval::full(),
+    );
+    let expected = oracle(&all, &q.keys, &q.times);
+    for policy in [
+        DispatchPolicy::Lada,
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::Hash,
+        DispatchPolicy::SharedQueue,
+    ] {
+        ww.coordinator().set_policy(policy);
+        let got = normalized(ww.query(&q).unwrap().tuples);
+        assert_eq!(got, expected, "policy {policy:?} changed query answers");
+    }
+}
+
+#[test]
+fn duplicate_keys_and_timestamps_survive_the_full_pipeline() {
+    let ww = small_system("dups");
+    // 1000 tuples sharing one key, 500 sharing one (key, ts) pair.
+    for i in 0..1_000u64 {
+        ww.insert(Tuple::new(42, 1_000 + (i % 2) * (i / 2), vec![i as u8]))
+            .unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    let got = ww
+        .query(&Query::range(KeyInterval::point(42), TimeInterval::full()))
+        .unwrap();
+    assert_eq!(got.tuples.len(), 1_000);
+}
+
+#[test]
+fn results_include_subquery_counts() {
+    let ww = small_system("counts");
+    for i in 0..2_000u64 {
+        ww.insert(Tuple::bare(i << 40, 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    for i in 0..2_000u64 {
+        ww.insert(Tuple::bare(i << 40, 10_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    let r = ww
+        .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+        .unwrap();
+    assert_eq!(r.tuples.len(), 4_000);
+    // At least one chunk subquery and one in-memory subquery.
+    assert!(r.subqueries >= 2, "only {} subqueries", r.subqueries);
+}

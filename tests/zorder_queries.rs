@@ -1,0 +1,83 @@
+//! End-to-end z-order query tests (paper §VI's T-Drive query converter),
+//! including the large-rectangle regression: converting rectangles spanning
+//! a big fraction of the domain must stay cheap (bounded cover) and
+//! queries must remain exact after the over-covered ranges are filtered.
+
+use std::collections::HashSet;
+use waterwheel::core::zorder;
+use waterwheel::prelude::*;
+use waterwheel::workloads::tdrive::{LAT_MAX, LAT_MIN, LON_MAX, LON_MIN};
+use waterwheel::workloads::{TDriveConfig, TDriveGen};
+
+fn quant_rect(lat0: f64, lat1: f64, lon0: f64, lon1: f64) -> (u32, u32, u32, u32) {
+    (
+        zorder::quantize(lat0, LAT_MIN, LAT_MAX),
+        zorder::quantize(lat1, LAT_MIN, LAT_MAX),
+        zorder::quantize(lon0, LON_MIN, LON_MAX),
+        zorder::quantize(lon1, LON_MIN, LON_MAX),
+    )
+}
+
+fn tuple_inside(t: &Tuple, rect: (u32, u32, u32, u32)) -> bool {
+    let lat_q = u32::from_le_bytes(t.payload[4..8].try_into().unwrap());
+    let lon_q = u32::from_le_bytes(t.payload[8..12].try_into().unwrap());
+    lat_q >= rect.0 && lat_q <= rect.1 && lon_q >= rect.2 && lon_q <= rect.3
+}
+
+#[test]
+fn georect_queries_are_exact_after_filtering() {
+    let root = std::env::temp_dir().join(format!("ww-zq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.chunk_size_bytes = 64 * 1024;
+    let ww = Waterwheel::builder(&root).config(cfg).build().unwrap();
+
+    let mut fleet = TDriveGen::new(TDriveConfig {
+        taxis: 400,
+        seed: 33,
+        ..TDriveConfig::default()
+    });
+    let tuples: Vec<Tuple> = (&mut fleet).take(10_000).collect();
+    for t in &tuples {
+        ww.insert(t.clone()).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+
+    // Rectangles from tiny to nearly the whole bounding box — the last two
+    // exercise the budget-bounded cover (the old implementation exploded).
+    let rects = [
+        (40.00, 40.02, 116.30, 116.33),
+        (39.9, 40.3, 116.1, 116.6),
+        (39.5, 41.0, 115.8, 117.3),
+        (LAT_MIN, LAT_MAX, LON_MIN, LON_MAX),
+    ];
+    for (lat0, lat1, lon0, lon1) in rects {
+        let ranges = TDriveGen::georect_to_key_ranges(lat0, lat1, lon0, lon1, 16);
+        assert!(ranges.len() <= 16);
+        let rect = quant_rect(lat0, lat1, lon0, lon1);
+        let mut got: HashSet<(u64, u64)> = HashSet::new();
+        for r in &ranges {
+            let result = ww
+                .query(&Query::range(*r, TimeInterval::full()))
+                .unwrap();
+            for t in result.tuples.iter().filter(|t| tuple_inside(t, rect)) {
+                got.insert((t.key, t.ts));
+            }
+        }
+        let want: HashSet<(u64, u64)> = tuples
+            .iter()
+            .filter(|t| tuple_inside(t, rect))
+            .map(|t| (t.key, t.ts))
+            .collect();
+        assert_eq!(got, want, "rect ({lat0},{lat1},{lon0},{lon1})");
+    }
+}
+
+#[test]
+fn full_domain_rect_converts_to_one_range_quickly() {
+    let start = std::time::Instant::now();
+    let ranges = TDriveGen::georect_to_key_ranges(LAT_MIN, LAT_MAX, LON_MIN, LON_MAX, 8);
+    assert_eq!(ranges.len(), 1);
+    assert!(start.elapsed() < std::time::Duration::from_secs(1));
+}
