@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, lint. External crates resolve to
+# the shims under vendor/ (see vendor/README.md), so no registry access is
+# needed — CARGO_NET_OFFLINE just makes any accidental network use fail fast.
+set -euo pipefail
+cd "$(dirname "$0")"
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,69 @@
+//! Hierarchical aggregate wheel for Waterwheel (extension beyond the
+//! paper's evaluation; see DESIGN.md §4b).
+//!
+//! Waterwheel's native query path ships raw tuples out of B+ tree leaves;
+//! analytics workloads (dashboards, rate monitors, fleet counts) would
+//! re-scan and re-fold tuples on every query. This crate adds the
+//! pre-folded form, following the time-wheel layout of `datafusion-uwheel`
+//! and hierarchical time indexing à la Timehash:
+//!
+//! * [`PartialAgg`] — a mergeable partial aggregate (COUNT, SUM, MIN, MAX,
+//!   AVG-as-sum+count) — the cell type.
+//! * [`AggWheel`] — the live wheel an indexing server maintains next to its
+//!   in-memory tree: per-granularity rings (second → minute → hour → day)
+//!   of cells keyed by `(time bucket, key slice)`.
+//! * [`WheelSummary`] — the sealed wheel written into a flushed chunk's
+//!   footer; over-cap rings are dropped finest-first and show up as
+//!   *residue* time ranges at query time, never as wrong answers.
+//! * [`plan`] — splits an arbitrary `⟨K_q, T_q⟩` into a wheel-covered
+//!   interior plus tuple-scan fringes, and decomposes the interior into the
+//!   minimal run of wheel slots (coarsest granularity first).
+//!
+//! Exactness contract: for a rectangle decomposed by [`plan::plan_keys`] /
+//! [`plan::plan_time`], summary cells over the interior plus tuple scans
+//! over fringes and residues partition the query's tuple set — so the
+//! merged [`PartialAgg`] equals a naive fold over a full scan, bit for bit.
+
+#![warn(missing_docs)]
+
+pub mod partial;
+pub mod plan;
+pub mod summary;
+pub mod wheel;
+
+pub use partial::PartialAgg;
+pub use summary::{WheelSummary, SUMMARY_MAGIC};
+pub use wheel::{AggWheel, FoldOutcome, Granularity};
+
+use waterwheel_core::aggregate::AggregateKind;
+use waterwheel_core::QueryId;
+
+/// The answer to an aggregate query, assembled by the coordinator.
+#[derive(Clone, Debug)]
+pub struct AggregateAnswer {
+    /// The query this answers.
+    pub query_id: QueryId,
+    /// Which aggregate the caller asked for.
+    pub kind: AggregateKind,
+    /// The merged partial aggregate; all five kinds are readable, `kind`
+    /// records the caller's intent.
+    pub agg: PartialAgg,
+    /// Wheel/summary cells merged into the answer.
+    pub cells_merged: u64,
+    /// Tuples folded through the scan path (fringes, residues, fallbacks).
+    pub scanned_tuples: u64,
+}
+
+impl AggregateAnswer {
+    /// The requested aggregate as a float (COUNT/SUM/MIN/MAX are exact
+    /// integers widened; MIN/MAX/AVG of an empty set are `None`).
+    pub fn value(&self) -> Option<f64> {
+        match self.kind {
+            AggregateKind::Count => Some(self.agg.count as f64),
+            AggregateKind::Sum => Some(self.agg.sum as f64),
+            AggregateKind::Min => self.agg.min().map(|v| v as f64),
+            AggregateKind::Max => self.agg.max().map(|v| v as f64),
+            AggregateKind::Avg => self.agg.avg(),
+        }
+    }
+}

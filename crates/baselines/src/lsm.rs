@@ -172,7 +172,10 @@ impl LsmStore {
             let mut by_tier: std::collections::HashMap<u32, Vec<usize>> =
                 std::collections::HashMap::new();
             for (i, run) in state.runs.iter().enumerate() {
-                by_tier.entry(tier_of(run.tuples.len())).or_default().push(i);
+                by_tier
+                    .entry(tier_of(run.tuples.len()))
+                    .or_default()
+                    .push(i);
             }
             let Some((_, victims)) = by_tier
                 .into_iter()

@@ -120,11 +120,7 @@ impl TimeStore {
     /// Enumerates the (sparse) live-segment set rather than the dense id
     /// range: a wide time constraint (e.g. the full domain) would otherwise
     /// walk ~2⁶⁴/granularity ids.
-    fn qualifying_segments(
-        segments: &HashMap<u64, Segment>,
-        lo_seg: u64,
-        hi_seg: u64,
-    ) -> Vec<u64> {
+    fn qualifying_segments(segments: &HashMap<u64, Segment>, lo_seg: u64, hi_seg: u64) -> Vec<u64> {
         let mut ids: Vec<u64> = segments
             .keys()
             .copied()

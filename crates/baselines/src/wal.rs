@@ -43,10 +43,7 @@ impl WriteAheadLog {
 
     /// Creates a WAL whose group commits additionally pay `commit_latency`
     /// (the remote-pipeline model used by the system-comparison benches).
-    pub fn with_commit_latency(
-        path: impl Into<PathBuf>,
-        commit_latency: Duration,
-    ) -> Result<Self> {
+    pub fn with_commit_latency(path: impl Into<PathBuf>, commit_latency: Duration) -> Result<Self> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;

@@ -68,12 +68,20 @@ fn main() {
         let pruned: u64 = ww
             .query_servers()
             .iter()
-            .map(|s| s.stats().leaves_pruned.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|s| {
+                s.stats()
+                    .leaves_pruned
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum();
         let reads: u64 = ww
             .query_servers()
             .iter()
-            .map(|s| s.stats().leaf_reads.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|s| {
+                s.stats()
+                    .leaf_reads
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum();
         rows.push(vec![
             label.to_string(),
@@ -115,8 +123,12 @@ fn main() {
                 .iter()
                 .map(|s| {
                     (
-                        s.stats().leaf_cache_hits.load(std::sync::atomic::Ordering::Relaxed),
-                        s.stats().leaf_reads.load(std::sync::atomic::Ordering::Relaxed),
+                        s.stats()
+                            .leaf_cache_hits
+                            .load(std::sync::atomic::Ordering::Relaxed),
+                        s.stats()
+                            .leaf_reads
+                            .load(std::sync::atomic::Ordering::Relaxed),
                     )
                 })
                 .fold((0, 0), |(ah, am), (h, m)| (ah + h, am + m));

@@ -41,7 +41,11 @@ fn main() {
     let ww = build("main");
     // 64 common tags; tag 200 only in a narrow window of the stream.
     for i in 0..n {
-        let tag = if i % (n / 8) < 32 { 200u8 } else { (i % 64) as u8 };
+        let tag = if i % (n / 8) < 32 {
+            200u8
+        } else {
+            (i % 64) as u8
+        };
         ww.insert(Tuple::new(
             i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             1_000 + i / 100,
@@ -66,8 +70,8 @@ fn main() {
             for qs in ww.query_servers() {
                 qs.cache().clear();
             }
-            let q = Query::range(KeyInterval::full(), TimeInterval::full())
-                .and_attr_eq(ATTR_TAG, tag);
+            let q =
+                Query::range(KeyInterval::full(), TimeInterval::full()).and_attr_eq(ATTR_TAG, tag);
             let t0 = Instant::now();
             let r = ww.query(&q).unwrap();
             with_idx.push(t0.elapsed());

@@ -108,8 +108,7 @@ fn run_concurrent(tuples: &[Tuple], threads: usize) -> Run {
         let t0 = Instant::now();
         std::thread::scope(|scope| {
             for w in 0..threads {
-                let part: Vec<Tuple> =
-                    chunk.iter().skip(w).step_by(threads).cloned().collect();
+                let part: Vec<Tuple> = chunk.iter().skip(w).step_by(threads).cloned().collect();
                 let tree = &current;
                 scope.spawn(move || {
                     for t in part {
@@ -138,8 +137,7 @@ fn run_bulk(tuples: &[Tuple], threads: usize) -> Run {
         let t0 = Instant::now();
         std::thread::scope(|scope| {
             for w in 0..threads {
-                let part: Vec<Tuple> =
-                    chunk.iter().skip(w).step_by(threads).cloned().collect();
+                let part: Vec<Tuple> = chunk.iter().skip(w).step_by(threads).cloned().collect();
                 let tree = &current;
                 scope.spawn(move || {
                     for t in part {
@@ -166,8 +164,8 @@ fn run_bulk(tuples: &[Tuple], threads: usize) -> Run {
 
 fn main() {
     let n = scaled(280_000); // 10 chunks
-    // The paper uses the T-Drive dataset here; both datasets behave alike
-    // (§VI-A1), so we follow its choice.
+                             // The paper uses the T-Drive dataset here; both datasets behave alike
+                             // (§VI-A1), so we follow its choice.
     let tuples = tdrive_tuples(n, 7);
 
     // --- Figure 7(a): throughput vs insertion threads ------------------
@@ -222,7 +220,10 @@ fn main() {
         ),
         row(
             "concurrent",
-            c.stats.insert.checked_sub(c.stats.split).unwrap_or_default(),
+            c.stats
+                .insert
+                .checked_sub(c.stats.split)
+                .unwrap_or_default(),
             c.stats.split,
             Duration::ZERO,
             Duration::ZERO,

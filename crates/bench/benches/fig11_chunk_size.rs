@@ -39,10 +39,7 @@ fn main() {
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
     for &(chunk_size, label) in chunk_sizes {
-        let root = std::env::temp_dir().join(format!(
-            "ww-fig11-{label}-{}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("ww-fig11-{label}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let mut cfg = SystemConfig::default();
         cfg.chunk_size_bytes = chunk_size;

@@ -69,7 +69,11 @@ fn run_dataset(name: &str, tuples: &[Tuple]) {
                 let times = TemporalShape::Historic {
                     secs: span_secs / 10,
                 }
-                .interval(&mut waterwheel_workloads::Rng::new(samples.len() as u64), start_ts, end_ts);
+                .interval(
+                    &mut waterwheel_workloads::Rng::new(samples.len() as u64),
+                    start_ts,
+                    end_ts,
+                );
                 Query::range(keys, times)
             };
             let t0 = Instant::now();
@@ -79,7 +83,11 @@ fn run_dataset(name: &str, tuples: &[Tuple]) {
         let hits: u64 = ww
             .query_servers()
             .iter()
-            .map(|s| s.stats().leaf_cache_hits.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|s| {
+                s.stats()
+                    .leaf_cache_hits
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum();
         rows.push(vec![
             policy.label().to_string(),

@@ -95,12 +95,7 @@ fn ingest(store: &dyn StreamStore, tuples: &[Tuple]) -> f64 {
     throughput(tuples.len(), t0.elapsed())
 }
 
-fn latency_table(
-    figure: &str,
-    dataset: &str,
-    stores: &[&dyn StreamStore],
-    tuples: &[Tuple],
-) {
+fn latency_table(figure: &str, dataset: &str, stores: &[&dyn StreamStore], tuples: &[Tuple]) {
     let hull = key_hull(tuples).unwrap();
     let start_ts = tuples.first().unwrap().ts;
     let now = tuples.last().unwrap().ts;
@@ -126,7 +121,13 @@ fn latency_table(
     }
     print_table(
         &format!("{figure} ({dataset}): query latency vs temporal range × key selectivity"),
-        &["time range", "key sel", "waterwheel", "lsm (hbase-like)", "timestore (druid-like)"],
+        &[
+            "time range",
+            "key sel",
+            "waterwheel",
+            "lsm (hbase-like)",
+            "timestore (druid-like)",
+        ],
         &rows,
     );
 }
@@ -154,12 +155,7 @@ fn run_dataset(dataset: &str, latency_figure: &str, tuples: &[Tuple]) -> Vec<Str
     assert_eq!(lsm.len(), tuples.len());
     assert_eq!(ts.len(), tuples.len());
 
-    latency_table(
-        latency_figure,
-        dataset,
-        &[&ww, &lsm, &ts],
-        tuples,
-    );
+    latency_table(latency_figure, dataset, &[&ww, &lsm, &ts], tuples);
 
     vec![
         dataset.to_string(),
@@ -178,7 +174,13 @@ fn main() {
     ];
     print_table(
         "Figure 15: maximum insertion throughput",
-        &["dataset", "waterwheel", "lsm (hbase-like)", "timestore (druid-like)", "ww vs best baseline"],
+        &[
+            "dataset",
+            "waterwheel",
+            "lsm (hbase-like)",
+            "timestore (druid-like)",
+            "ww vs best baseline",
+        ],
         &fig15,
     );
     println!(

@@ -23,10 +23,7 @@ use waterwheel_server::Waterwheel;
 
 /// Measured end-to-end ingest rate with `servers` indexing servers.
 fn measured_rate(tuples: &[Tuple], servers: usize) -> f64 {
-    let root = std::env::temp_dir().join(format!(
-        "ww-fig17-{servers}-{}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("ww-fig17-{servers}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let mut cfg = SystemConfig::default();
     cfg.indexing_servers = servers;
@@ -91,8 +88,12 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Figure 17 (measured, this host, {} core(s)): ingest vs indexing servers",
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)),
+        &format!(
+            "Figure 17 (measured, this host, {} core(s)): ingest vs indexing servers",
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        ),
         &["indexing servers", "ingest rate", "vs 1 server"],
         &rows,
     );

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
 use waterwheel_bench::{network_tuples, tdrive_tuples};
 use waterwheel_core::{zorder, KeyInterval, Region, TimeInterval};
-use waterwheel_index::{
-    BulkLoadingBTree, ConcurrentBTree, IndexConfig, TemplateBTree, TupleIndex,
-};
+use waterwheel_index::{BulkLoadingBTree, ConcurrentBTree, IndexConfig, TemplateBTree, TupleIndex};
 use waterwheel_meta::RTree;
 use waterwheel_storage::{write_chunk, ChunkReader};
 
@@ -24,7 +22,9 @@ fn cfg() -> IndexConfig {
 fn bench_tree_inserts(c: &mut Criterion) {
     let tuples = tdrive_tuples(10_000, 1);
     let mut group = c.benchmark_group("tree_insert_10k");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("template", |b| {
         b.iter_batched(
             || TemplateBTree::new(KeyInterval::full(), cfg()),
@@ -72,7 +72,9 @@ fn bench_tree_queries(c: &mut Criterion) {
         tree.insert(t.clone());
     }
     let mut group = c.benchmark_group("template_query");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("key_1pct_all_time", |b| {
         b.iter(|| {
             tree.query(
@@ -102,7 +104,9 @@ fn bench_chunk_io(c: &mut Criterion) {
     }
     let sealed = tree.seal().unwrap();
     let mut group = c.benchmark_group("chunk");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("serialize_50k", |b| b.iter(|| write_chunk(&sealed)));
     let bytes = write_chunk(&sealed);
     group.bench_function("load_index", |b| {
@@ -121,7 +125,9 @@ fn bench_chunk_io(c: &mut Criterion) {
 
 fn bench_zorder_and_rtree(c: &mut Criterion) {
     let mut group = c.benchmark_group("spatial");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("zorder_encode", |b| {
         let mut i = 0u32;
         b.iter(|| {
@@ -137,10 +143,7 @@ fn bench_zorder_and_rtree(c: &mut Criterion) {
         let k = (i * 7) % 100_000;
         let t = (i * 13) % 100_000;
         rtree.insert(
-            Region::new(
-                KeyInterval::new(k, k + 500),
-                TimeInterval::new(t, t + 500),
-            ),
+            Region::new(KeyInterval::new(k, k + 500), TimeInterval::new(t, t + 500)),
             i,
         );
     }

@@ -50,7 +50,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -126,12 +129,7 @@ pub fn parallel_insert(index: &dyn TupleIndex, tuples: &[Tuple], threads: usize)
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..threads {
-            let chunk: Vec<Tuple> = tuples
-                .iter()
-                .skip(w)
-                .step_by(threads)
-                .cloned()
-                .collect();
+            let chunk: Vec<Tuple> = tuples.iter().skip(w).step_by(threads).cloned().collect();
             let index = &index;
             scope.spawn(move || {
                 for t in chunk {

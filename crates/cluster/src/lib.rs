@@ -151,11 +151,7 @@ impl Cluster {
 
     /// Whether the node is alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.state
-            .read()
-            .nodes
-            .get(&node)
-            .is_some_and(|s| s.alive)
+        self.state.read().nodes.get(&node).is_some_and(|s| s.alive)
     }
 
     /// Assigns a logical server to a node (the paper co-locates fixed

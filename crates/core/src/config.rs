@@ -79,6 +79,21 @@ pub struct SystemConfig {
 
     /// How many tuples an indexing server inserts between skewness checks.
     pub skew_check_interval: usize,
+
+    /// Key-slice width exponent for the aggregate wheel: keys are sliced by
+    /// their top `agg_slice_bits` bits into `2^agg_slice_bits` slices
+    /// (1..=16). More slices answer narrower key ranges from summaries at
+    /// the cost of more cells per ring.
+    pub agg_slice_bits: u8,
+
+    /// Cap on cells per granularity ring in a sealed chunk summary. Rings
+    /// over the cap are dropped finest-first; dropped coverage degrades to
+    /// exact tuple-scan residues, never to approximate answers.
+    pub agg_max_cells_per_ring: usize,
+
+    /// Maintain live wheels and seal chunk summaries (ablation knob; when
+    /// off, aggregate queries fall back to the tuple-scan path end to end).
+    pub agg_summaries_enabled: bool,
 }
 
 impl Default for SystemConfig {
@@ -105,6 +120,9 @@ impl Default for SystemConfig {
             bloom_bits_per_entry: 10,
             bloom_enabled: true,
             skew_check_interval: 4096,
+            agg_slice_bits: 4,
+            agg_max_cells_per_ring: 8192,
+            agg_summaries_enabled: true,
         }
     }
 }
@@ -144,6 +162,9 @@ impl SystemConfig {
         if self.chunk_size_bytes == 0 {
             return Err("chunk_size_bytes must be positive".into());
         }
+        if !(1..=16).contains(&self.agg_slice_bits) {
+            return Err("agg_slice_bits must be in 1..=16".into());
+        }
         Ok(())
     }
 }
@@ -174,6 +195,8 @@ mod tests {
             |c: &mut SystemConfig| c.dfs_replication = 0,
             |c: &mut SystemConfig| c.skew_threshold = -1.0,
             |c: &mut SystemConfig| c.chunk_size_bytes = 0,
+            |c: &mut SystemConfig| c.agg_slice_bits = 0,
+            |c: &mut SystemConfig| c.agg_slice_bits = 17,
         ] {
             let mut c = SystemConfig::default();
             breakage(&mut c);

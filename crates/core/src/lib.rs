@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod codec;
 pub mod config;
 pub mod error;
@@ -32,6 +33,7 @@ pub mod region;
 pub mod tuple;
 pub mod zorder;
 
+pub use aggregate::{AggregateKind, AggregateQuery, MeasureFn};
 pub use config::SystemConfig;
 pub use error::{Result, WwError};
 pub use ids::{ChunkId, NodeId, QueryId, ServerId, SubQueryId};

@@ -67,6 +67,17 @@ impl Query {
         self
     }
 
+    /// Upgrades the range query into an aggregate query (builder style):
+    /// instead of the matching tuples, the system returns `kind` folded
+    /// over them — served from hierarchical wheel summaries where the
+    /// range permits, tuple scans elsewhere, with identical results.
+    pub fn aggregate(
+        self,
+        kind: crate::aggregate::AggregateKind,
+    ) -> crate::aggregate::AggregateQuery {
+        crate::aggregate::AggregateQuery { query: self, kind }
+    }
+
     /// The query region `⟨K_q, T_q⟩`.
     pub fn region(&self) -> Region {
         Region::new(self.keys, self.times)

@@ -89,7 +89,11 @@ pub fn cover_rect(x0: u32, x1: u32, y0: u32, y1: u32, max_ranges: usize) -> Vec<
     // length 4^level starting at `prefix`.
     let mut stack = vec![(0u64, 32u8)];
     while let Some((prefix, level)) = stack.pop() {
-        let side = if level >= 32 { u32::MAX } else { (1u32 << level) - 1 };
+        let side = if level >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << level) - 1
+        };
         let (cx, cy) = decode(prefix);
         let (cx1, cy1) = (cx.saturating_add(side), cy.saturating_add(side));
         // Disjoint from the query rectangle: prune.

@@ -156,7 +156,8 @@ impl Bitmap {
 
     /// Inserts an id; returns whether it was newly added.
     pub fn insert(&mut self, id: u32) -> bool {
-        self.container_mut((id / SPAN) as u16).insert((id % SPAN) as u16)
+        self.container_mut((id / SPAN) as u16)
+            .insert((id % SPAN) as u16)
     }
 
     /// Whether the bitmap contains `id`.

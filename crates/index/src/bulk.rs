@@ -254,7 +254,11 @@ mod tests {
         }
         t.build();
         let pred = |tp: &Tuple| tp.key.is_multiple_of(5);
-        let hits = t.query(&KeyInterval::full(), &TimeInterval::new(10, 30), Some(&pred));
+        let hits = t.query(
+            &KeyInterval::full(),
+            &TimeInterval::new(10, 30),
+            Some(&pred),
+        );
         let keys: Vec<_> = hits.iter().map(|h| h.key).collect();
         assert_eq!(keys, vec![10, 15, 20, 25, 30]);
     }

@@ -221,7 +221,10 @@ impl TupleIndex for ConcurrentBTree {
         #[allow(clippy::while_let_loop)]
         loop {
             let child = match &*node {
-                Node::Inner { keys: seps, children } => {
+                Node::Inner {
+                    keys: seps,
+                    children,
+                } => {
                     // Strict comparison: a run of duplicate keys may have
                     // been split across leaves, with the separator equal to
                     // the key itself; descend to the *leftmost* leaf that
@@ -376,7 +379,9 @@ mod tests {
         let mut expected = std::collections::BTreeMap::new();
         let mut x: u64 = 0x12345;
         for i in 0..400u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = x % 1000;
             t.insert(Tuple::bare(key, i));
             expected.entry(key).or_insert_with(Vec::new).push(i);

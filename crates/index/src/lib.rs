@@ -43,11 +43,11 @@ pub mod traits;
 
 pub use bitmap::Bitmap;
 pub use bloom::TimeBloom;
-pub use secondary::{AttrId, AttrProbe, AttributeExtractor, ChunkAttrIndex, ValueBloom};
 pub use bulk::BulkLoadingBTree;
 pub use concurrent::ConcurrentBTree;
 pub use config::IndexConfig;
 pub use sealed::{SealedLeaf, SealedTree};
+pub use secondary::{AttrId, AttrProbe, AttributeExtractor, ChunkAttrIndex, ValueBloom};
 pub use stats::{IndexStats, StatsSnapshot};
 pub use template::TemplateBTree;
 pub use traits::TupleIndex;

@@ -60,8 +60,7 @@ impl ValueBloom {
     /// `bits_per_entry` bits each.
     pub fn new(expected: usize, bits_per_entry: usize) -> Self {
         let num_bits = (expected.max(1) * bits_per_entry.max(1)).max(64) as u64;
-        let hashes =
-            ((bits_per_entry as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 16);
+        let hashes = ((bits_per_entry as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 16);
         Self {
             bits: vec![0; num_bits.div_ceil(64) as usize],
             num_bits,

@@ -339,8 +339,8 @@ impl TemplateBTree {
         let skewed = s > baseline + self.cfg.skew_threshold && grown;
         // Leaves have badly overflowed *and* the tree has grown enough since
         // the last rebuild that another one can actually help.
-        let overflowed = total > counts.len() * self.cfg.leaf_capacity * 2
-            && total >= 2 * last.max(1);
+        let overflowed =
+            total > counts.len() * self.cfg.leaf_capacity * 2 && total >= 2 * last.max(1);
         if skewed || overflowed {
             self.update_template();
             true
@@ -384,10 +384,8 @@ impl TemplateBTree {
         }
         drop(core);
         let total: usize = rebuilt_counts.iter().sum();
-        self.last_rebuild_skew.store(
-            skew::skewness(&rebuilt_counts).to_bits(),
-            Ordering::Relaxed,
-        );
+        self.last_rebuild_skew
+            .store(skew::skewness(&rebuilt_counts).to_bits(), Ordering::Relaxed);
         self.last_rebuild_count.store(total, Ordering::Relaxed);
         self.stats.add(&self.stats.build_ns, t0.elapsed());
         self.stats.template_updates.fetch_add(1, Ordering::Relaxed);
@@ -409,7 +407,8 @@ impl TemplateBTree {
         }
         self.bytes.store(0, Ordering::Relaxed);
         self.since_skew_check.store(0, Ordering::Relaxed);
-        self.last_rebuild_skew.store(0f64.to_bits(), Ordering::Relaxed);
+        self.last_rebuild_skew
+            .store(0f64.to_bits(), Ordering::Relaxed);
         self.last_rebuild_count.store(0, Ordering::Relaxed);
 
         let (mut min_ts, mut max_ts) = (Timestamp::MAX, 0);
@@ -436,10 +435,7 @@ impl TemplateBTree {
                     }
                     filter
                 });
-                (
-                    Some(TimeInterval::new(leaf.min_ts, leaf.max_ts)),
-                    bloom,
-                )
+                (Some(TimeInterval::new(leaf.min_ts, leaf.max_ts)), bloom)
             };
             let entries = std::mem::take(&mut leaf.entries);
             leaf.reset();
@@ -488,8 +484,7 @@ impl TupleIndex for TemplateBTree {
         self.bytes.fetch_add(len, Ordering::Relaxed);
         self.stats.add(&self.stats.insert_ns, t0.elapsed());
         // Periodic skewness check (paper §III-C1).
-        if self.since_skew_check.fetch_add(1, Ordering::Relaxed) + 1
-            >= self.cfg.skew_check_interval
+        if self.since_skew_check.fetch_add(1, Ordering::Relaxed) + 1 >= self.cfg.skew_check_interval
         {
             self.since_skew_check.store(0, Ordering::Relaxed);
             self.maybe_update_template();
@@ -641,7 +636,8 @@ mod tests {
         // No data lost through updates.
         assert_eq!(t.len(), 2_560);
         assert_eq!(
-            t.query(&KeyInterval::full(), &TimeInterval::full(), None).len(),
+            t.query(&KeyInterval::full(), &TimeInterval::full(), None)
+                .len(),
             2_560
         );
     }
@@ -707,16 +703,9 @@ mod tests {
     fn self_check_bloom(t: &TemplateBTree) {
         let before = t.stats().bloom_skips;
         // Query a time window long before any tuple: all leaves skippable.
-        let hits = t.query(
-            &KeyInterval::full(),
-            &TimeInterval::new(0, 10),
-            None,
-        );
+        let hits = t.query(&KeyInterval::full(), &TimeInterval::new(0, 10), None);
         assert!(hits.is_empty());
-        assert!(
-            t.stats().bloom_skips > before,
-            "bloom produced no skips"
-        );
+        assert!(t.stats().bloom_skips > before, "bloom produced no skips");
     }
 
     #[test]
@@ -743,7 +732,8 @@ mod tests {
         }
         assert_eq!(t.len(), 2_000);
         assert_eq!(
-            t.query(&KeyInterval::full(), &TimeInterval::full(), None).len(),
+            t.query(&KeyInterval::full(), &TimeInterval::full(), None)
+                .len(),
             2_000
         );
     }

@@ -19,4 +19,4 @@ pub mod service;
 
 pub use partition::{PartitionEntry, PartitionSchema};
 pub use rtree::RTree;
-pub use service::{ChunkInfo, MetadataService};
+pub use service::{ChunkInfo, MetadataService, SummaryExtent};

@@ -68,7 +68,9 @@ impl PartitionSchema {
             return Err(WwError::Config("boundaries not strictly increasing".into()));
         }
         if boundaries.first() == Some(&0) {
-            return Err(WwError::Config("first boundary would empty server 0".into()));
+            return Err(WwError::Config(
+                "first boundary would empty server 0".into(),
+            ));
         }
         let mut entries = Vec::with_capacity(servers.len());
         let mut lo: Key = 0;
@@ -112,8 +114,7 @@ impl PartitionSchema {
         if self.entries[0].interval.lo() != 0 {
             return Err(WwError::Config("schema does not start at key 0".into()));
         }
-        if self.entries.last().unwrap().interval.hi() != Key::MAX
-        {
+        if self.entries.last().unwrap().interval.hi() != Key::MAX {
             return Err(WwError::Config("schema does not end at Key::MAX".into()));
         }
         for w in self.entries.windows(2) {

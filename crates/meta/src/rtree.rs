@@ -48,8 +48,8 @@ fn pick_seeds(regions: &[Region]) -> (usize, usize) {
     let mut worst_waste = f64::NEG_INFINITY;
     for i in 0..regions.len() {
         for j in (i + 1)..regions.len() {
-            let waste =
-                regions[i].hull(&regions[j]).log_area() - regions[i].log_area().min(regions[j].log_area());
+            let waste = regions[i].hull(&regions[j]).log_area()
+                - regions[i].log_area().min(regions[j].log_area());
             if waste > worst_waste {
                 worst_waste = waste;
                 best = (i, j);
@@ -192,12 +192,7 @@ impl<T> RTree<T> {
                             a.iter().map(|(r, _)| *r).reduce(|x, y| x.hull(&y)).unwrap(),
                             b.iter().map(|(r, _)| *r).reduce(|x, y| x.hull(&y)).unwrap(),
                         );
-                        return Some((
-                            ra,
-                            Box::new(Node::Inner(a)),
-                            rb,
-                            Box::new(Node::Inner(b)),
-                        ));
+                        return Some((ra, Box::new(Node::Inner(a)), rb, Box::new(Node::Inner(b))));
                     }
                 }
                 None
@@ -245,11 +240,7 @@ impl<T> RTree<T> {
     /// `pred` holds; returns its value. Underflowing nodes are tolerated
     /// (search stays correct); empty subtrees are pruned.
     pub fn remove(&mut self, region: &Region, pred: impl Fn(&T) -> bool) -> Option<T> {
-        fn rec<T>(
-            node: &mut Node<T>,
-            region: &Region,
-            pred: &impl Fn(&T) -> bool,
-        ) -> Option<T> {
+        fn rec<T>(node: &mut Node<T>, region: &Region, pred: &impl Fn(&T) -> bool) -> Option<T> {
             match node {
                 Node::Leaf(entries) => {
                     let pos = entries.iter().position(|(r, v)| r == region && pred(v))?;

@@ -43,6 +43,21 @@ pub struct ChunkInfo {
     pub producer: ServerId,
 }
 
+/// Durable facts about the aggregate summary sealed into a chunk's footer
+/// — enough for the coordinator to decide, without opening the chunk,
+/// whether a subquery can be answered from the summary alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SummaryExtent {
+    /// Total cells across surviving granularity rings.
+    pub cells: u64,
+    /// Encoded summary size in bytes (footer body).
+    pub bytes: u64,
+    /// Bitmask of surviving rings (bit 0 = second … bit 3 = day).
+    pub levels: u8,
+    /// Key-slice width exponent the summary was built with.
+    pub slice_bits: u8,
+}
+
 struct MetaState {
     next_chunk: u64,
     chunks: BTreeMap<ChunkId, ChunkInfo>,
@@ -52,6 +67,8 @@ struct MetaState {
     /// Secondary attribute indexes per (chunk, attribute) — the bitmap +
     /// bloom structures of the paper's §VIII future-work design.
     attr_indexes: BTreeMap<(ChunkId, AttrId), ChunkAttrIndex>,
+    /// Aggregate summary extents per chunk (DESIGN.md §4b).
+    summaries: BTreeMap<ChunkId, SummaryExtent>,
     /// Volatile: current in-memory region per indexing server (already
     /// widened by Δt by the reporting server).
     memory_regions: BTreeMap<ServerId, Region>,
@@ -66,6 +83,7 @@ impl MetaState {
             partition: None,
             offsets: BTreeMap::new(),
             attr_indexes: BTreeMap::new(),
+            summaries: BTreeMap::new(),
             memory_regions: BTreeMap::new(),
         }
     }
@@ -119,12 +137,7 @@ impl MetadataService {
     /// Registers a flushed chunk and, atomically with it, advances the
     /// producer's durable read offset (paper §V: the offset is stored "when
     /// an indexing server flushes the in-memory B+ tree").
-    pub fn register_chunk(
-        &self,
-        id: ChunkId,
-        info: ChunkInfo,
-        durable_offset: u64,
-    ) -> Result<()> {
+    pub fn register_chunk(&self, id: ChunkId, info: ChunkInfo, durable_offset: u64) -> Result<()> {
         let mut state = self.state.write();
         if state.chunks.contains_key(&id) {
             return Err(WwError::InvalidState(format!(
@@ -214,12 +227,7 @@ impl MetadataService {
     /// The durable read offset of an indexing server (0 when none stored) —
     /// the replay point for recovery.
     pub fn durable_offset(&self, server: ServerId) -> u64 {
-        self.state
-            .read()
-            .offsets
-            .get(&server)
-            .copied()
-            .unwrap_or(0)
+        self.state.read().offsets.get(&server).copied().unwrap_or(0)
     }
 
     /// Registers a secondary attribute index for a chunk (built by the
@@ -253,6 +261,27 @@ impl MetadataService {
     /// Number of registered attribute indexes (diagnostics).
     pub fn attr_index_count(&self) -> usize {
         self.state.read().attr_indexes.len()
+    }
+
+    /// Registers the aggregate summary extent of a chunk (recorded by the
+    /// producing indexing server at flush time, DESIGN.md §4b).
+    pub fn register_summary(&self, chunk: ChunkId, extent: SummaryExtent) -> Result<()> {
+        let mut state = self.state.write();
+        if !state.chunks.contains_key(&chunk) {
+            return Err(WwError::not_found("chunk", chunk));
+        }
+        state.summaries.insert(chunk, extent);
+        self.persist(&state)
+    }
+
+    /// The summary extent of a chunk, when one was sealed into it.
+    pub fn summary_extent(&self, chunk: ChunkId) -> Option<SummaryExtent> {
+        self.state.read().summaries.get(&chunk).copied()
+    }
+
+    /// Number of chunks carrying an aggregate summary (diagnostics).
+    pub fn summary_count(&self) -> usize {
+        self.state.read().summaries.len()
     }
 
     fn persist(&self, state: &MetaState) -> Result<()> {
@@ -294,6 +323,14 @@ impl MetadataService {
             body.put_u64(chunk.raw());
             body.put_u32(*attr as u32);
             index.encode(&mut body);
+        }
+        body.put_u32(state.summaries.len() as u32);
+        for (chunk, extent) in &state.summaries {
+            body.put_u64(chunk.raw());
+            body.put_u64(extent.cells);
+            body.put_u64(extent.bytes);
+            body.put_u16(extent.levels as u16);
+            body.put_u16(extent.slice_bits as u16);
         }
         let mut out = Vec::with_capacity(body.len() + 24);
         out.put_u64(SNAPSHOT_MAGIC);
@@ -356,6 +393,27 @@ impl MetadataService {
                 attr_indexes.insert((chunk, attr), ChunkAttrIndex::decode(&mut dec)?);
             }
         }
+        let mut summaries = BTreeMap::new();
+        // The summary-extent section is likewise optional (trailing).
+        if dec.remaining() > 0 {
+            let n_summaries = dec.get_u32()? as usize;
+            for _ in 0..n_summaries {
+                let chunk = ChunkId(dec.get_u64()?);
+                let cells = dec.get_u64()?;
+                let bytes_ = dec.get_u64()?;
+                let levels = dec.get_u16()? as u8;
+                let slice_bits = dec.get_u16()? as u8;
+                summaries.insert(
+                    chunk,
+                    SummaryExtent {
+                        cells,
+                        bytes: bytes_,
+                        levels,
+                        slice_bits,
+                    },
+                );
+            }
+        }
         Ok(MetaState {
             next_chunk,
             chunks,
@@ -363,6 +421,7 @@ impl MetadataService {
             partition,
             offsets,
             attr_indexes,
+            summaries,
             memory_regions: BTreeMap::new(),
         })
     }
@@ -406,7 +465,8 @@ mod tests {
         let a = meta.allocate_chunk_id().unwrap();
         let b = meta.allocate_chunk_id().unwrap();
         meta.register_chunk(a, info(0, 100, 0, 50, 1), 10).unwrap();
-        meta.register_chunk(b, info(101, 200, 0, 50, 2), 20).unwrap();
+        meta.register_chunk(b, info(101, 200, 0, 50, 2), 20)
+            .unwrap();
         assert_eq!(meta.chunk_count(), 2);
         let hits = meta.chunks_overlapping(&region(50, 150, 0, 10));
         assert_eq!(hits.len(), 2);
@@ -435,9 +495,7 @@ mod tests {
             1
         );
         meta.update_memory_region(ServerId(3), None);
-        assert!(meta
-            .memory_regions_overlapping(&Region::full())
-            .is_empty());
+        assert!(meta.memory_regions_overlapping(&Region::full()).is_empty());
     }
 
     #[test]
@@ -473,11 +531,33 @@ mod tests {
         // Chunk ids continue past the recovered counter.
         assert_eq!(meta.allocate_chunk_id().unwrap(), ChunkId(1));
         // Volatile memory regions do NOT survive.
-        assert!(meta
-            .memory_regions_overlapping(&Region::full())
-            .is_empty());
+        assert!(meta.memory_regions_overlapping(&Region::full()).is_empty());
         // R-tree rebuilt from the snapshot.
         assert_eq!(meta.chunks_overlapping(&region(0, 10, 0, 10)).len(), 1);
+    }
+
+    #[test]
+    fn summary_extents_survive_restart() {
+        let path = tmp_path("summary");
+        let extent = SummaryExtent {
+            cells: 1_234,
+            bytes: 56_789,
+            levels: 0b1111,
+            slice_bits: 4,
+        };
+        {
+            let meta = MetadataService::open(&path).unwrap();
+            let a = meta.allocate_chunk_id().unwrap();
+            meta.register_chunk(a, info(0, 100, 0, 50, 1), 42).unwrap();
+            // Unregistered chunks are rejected.
+            assert!(meta.register_summary(ChunkId(99), extent).is_err());
+            meta.register_summary(a, extent).unwrap();
+            assert_eq!(meta.summary_count(), 1);
+        }
+        let meta = MetadataService::open(&path).unwrap();
+        assert_eq!(meta.summary_extent(ChunkId(0)), Some(extent));
+        assert_eq!(meta.summary_extent(ChunkId(1)), None);
+        assert_eq!(meta.summary_count(), 1);
     }
 
     #[test]

@@ -440,8 +440,7 @@ mod tests {
         for p in producers {
             p.join().unwrap();
         }
-        let total =
-            mq.latest_offset("ingest", 0).unwrap() + mq.latest_offset("ingest", 1).unwrap();
+        let total = mq.latest_offset("ingest", 0).unwrap() + mq.latest_offset("ingest", 1).unwrap();
         assert_eq!(total, 1_000);
     }
 }

@@ -20,17 +20,19 @@ use crate::attributes::AttrRegistry;
 use crate::dispatch::{self, DispatchPolicy};
 use crate::indexing::IndexingServer;
 use crate::query_server::QueryServer;
-use waterwheel_index::secondary::AttrProbe;
-use waterwheel_index::Bitmap;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use waterwheel_agg::{plan, AggregateAnswer, PartialAgg, WheelSummary};
 use waterwheel_cluster::Cluster;
+use waterwheel_core::aggregate::{default_measure, AggregateQuery, MeasureFn};
 use waterwheel_core::{
-    ChunkId, Query, QueryId, QueryResult, Result, ServerId, SubQuery, SubQueryId, SubQueryTarget,
-    Tuple, WwError,
+    ChunkId, Query, QueryId, QueryResult, Region, Result, ServerId, SubQuery, SubQueryId,
+    SubQueryTarget, SystemConfig, Tuple, WwError,
 };
+use waterwheel_index::secondary::AttrProbe;
+use waterwheel_index::Bitmap;
 use waterwheel_meta::MetadataService;
 
 /// Coordinator-side counters.
@@ -44,6 +46,13 @@ pub struct CoordinatorStats {
     pub redispatches: AtomicU64,
     /// Chunk subqueries pruned by secondary attribute indexes (§VIII).
     pub attr_pruned_chunks: AtomicU64,
+    /// Aggregate queries executed (DESIGN.md §4b).
+    pub agg_queries: AtomicU64,
+    /// Wheel/summary cells merged into aggregate answers.
+    pub agg_cells_merged: AtomicU64,
+    /// Aggregate subqueries that fell back to the tuple-scan path
+    /// (fringes, residues, summary-less chunks, forced fallbacks).
+    pub agg_fallback_subqueries: AtomicU64,
 }
 
 /// The query coordinator.
@@ -57,6 +66,13 @@ pub struct Coordinator {
     policy: RwLock<DispatchPolicy>,
     /// Secondary-attribute registry shared with the indexing servers.
     attrs: RwLock<Arc<AttrRegistry>>,
+    cfg: SystemConfig,
+    /// Ablation knob: when cleared, aggregate queries take the tuple-scan
+    /// path end to end even if summaries exist.
+    summaries_enabled: AtomicBool,
+    /// Measure extractor, shared with the indexing servers so summary cells
+    /// and scan folds agree.
+    measure: RwLock<MeasureFn>,
     next_query: AtomicU64,
     stats: CoordinatorStats,
 }
@@ -69,6 +85,7 @@ impl Coordinator {
         query_servers: Vec<Arc<QueryServer>>,
         indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
         policy: DispatchPolicy,
+        cfg: SystemConfig,
     ) -> Self {
         assert!(!query_servers.is_empty());
         Self {
@@ -78,6 +95,9 @@ impl Coordinator {
             indexing,
             policy: RwLock::new(policy),
             attrs: RwLock::new(Arc::new(AttrRegistry::new())),
+            summaries_enabled: AtomicBool::new(cfg.agg_summaries_enabled),
+            cfg,
+            measure: RwLock::new(default_measure()),
             next_query: AtomicU64::new(0),
             stats: CoordinatorStats::default(),
         }
@@ -86,6 +106,22 @@ impl Coordinator {
     /// Installs the shared secondary-attribute registry (query side).
     pub fn set_attr_registry(&self, attrs: Arc<AttrRegistry>) {
         *self.attrs.write() = attrs;
+    }
+
+    /// Installs the measure extractor (must match the indexing servers').
+    pub fn set_measure(&self, measure: MeasureFn) {
+        *self.measure.write() = measure;
+    }
+
+    /// Toggles summary-served aggregation (ablation knob); when off,
+    /// aggregate queries fold tuples from full scans instead.
+    pub fn set_summaries_enabled(&self, enabled: bool) {
+        self.summaries_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether aggregate queries may be answered from summaries.
+    pub fn summaries_enabled(&self) -> bool {
+        self.summaries_enabled.load(Ordering::SeqCst)
     }
 
     /// Execution counters.
@@ -123,7 +159,11 @@ impl Coordinator {
             let Some(overlap) = r.intersect(&region) else {
                 continue;
             };
-            push(overlap.keys, overlap.times, SubQueryTarget::InMemory(server));
+            push(
+                overlap.keys,
+                overlap.times,
+                SubQueryTarget::InMemory(server),
+            );
         }
         for (chunk, r) in self.meta.chunks_overlapping(&region) {
             let Some(overlap) = r.intersect(&region) else {
@@ -140,6 +180,17 @@ impl Coordinator {
     /// predicate for exactness and additionally used to prune chunks and
     /// leaves through the secondary indexes (paper §VIII).
     pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        let qid = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.execute_with_qid(query, qid)
+    }
+
+    /// Query execution under a pre-allocated id — shared by [`execute`]
+    /// and the aggregate path's fringe/residue scans (which run several
+    /// rectangles under one user-visible query).
+    ///
+    /// [`execute`]: Self::execute
+    fn execute_with_qid(&self, query: &Query, qid: QueryId) -> Result<QueryResult> {
         // Fold attr_eq into the predicate so every executor filters exactly.
         let effective;
         let attr_hint;
@@ -151,8 +202,7 @@ impl Coordinator {
                 let inner = query.predicate.clone();
                 let mut q = query.clone();
                 q.predicate = Some(Arc::new(move |t: &waterwheel_core::Tuple| {
-                    extract(t) == Some(value)
-                        && inner.as_ref().is_none_or(|p| p(t))
+                    extract(t) == Some(value) && inner.as_ref().is_none_or(|p| p(t))
                 }));
                 effective = q;
                 attr_hint = Some((attr, value));
@@ -163,10 +213,8 @@ impl Coordinator {
             }
         }
         let query = &effective;
-        let qid = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
         let subqueries = self.decompose(query, qid);
         let n_subqueries = subqueries.len() as u32;
-        self.stats.queries.fetch_add(1, Ordering::Relaxed);
         self.stats
             .subqueries
             .fetch_add(subqueries.len() as u64, Ordering::Relaxed);
@@ -181,9 +229,9 @@ impl Coordinator {
             for sq in subqueries {
                 match sq.target {
                     SubQueryTarget::InMemory(server) => {
-                        let ix = by_id.get(&server).ok_or_else(|| {
-                            WwError::not_found("indexing server", server)
-                        })?;
+                        let ix = by_id
+                            .get(&server)
+                            .ok_or_else(|| WwError::not_found("indexing server", server))?;
                         tuples.extend(ix.query_in_memory(&sq)?);
                     }
                     SubQueryTarget::Chunk(chunk) => {
@@ -191,18 +239,16 @@ impl Coordinator {
                         // that provably lack the attribute value; restrict
                         // to qualifying leaves when a bitmap exists.
                         let leaf_filter = match attr_hint {
-                            Some((attr, value)) => {
-                                match self.meta.attr_probe(chunk, attr, value) {
-                                    AttrProbe::Absent => {
-                                        self.stats
-                                            .attr_pruned_chunks
-                                            .fetch_add(1, Ordering::Relaxed);
-                                        continue;
-                                    }
-                                    AttrProbe::Leaves(bm) => Some(bm),
-                                    AttrProbe::Unknown => None,
+                            Some((attr, value)) => match self.meta.attr_probe(chunk, attr, value) {
+                                AttrProbe::Absent => {
+                                    self.stats
+                                        .attr_pruned_chunks
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    continue;
                                 }
-                            }
+                                AttrProbe::Leaves(bm) => Some(bm),
+                                AttrProbe::Unknown => None,
+                            },
                             None => None,
                         };
                         chunk_sqs.push((sq, chunk, leaf_filter));
@@ -217,6 +263,176 @@ impl Coordinator {
             subqueries: n_subqueries,
             tuples,
         })
+    }
+
+    /// Executes an aggregate query (DESIGN.md §4b).
+    ///
+    /// The query rectangle is split into a summary-covered interior (whole
+    /// key slices × whole seconds) and tuple-scan fringes. The interior is
+    /// answered by folding the indexing servers' live wheels plus each
+    /// overlapping chunk's sealed summary — without opening leaf pages;
+    /// summary residues (capped rings), summary-less chunks, and fringes
+    /// fall back to exact tuple scans. The pieces partition the query's
+    /// tuple set, so the merged result equals a naive fold over a full
+    /// scan. Queries with a predicate or `attr_eq` constraint cannot be
+    /// answered from pre-folded cells and take the scan path end to end.
+    pub fn execute_aggregate(&self, aq: &AggregateQuery) -> Result<AggregateAnswer> {
+        let qid = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.agg_queries.fetch_add(1, Ordering::Relaxed);
+        let measure = self.measure.read().clone();
+        let q = &aq.query;
+
+        let mut agg = PartialAgg::empty();
+        let mut cells_merged = 0u64;
+        let mut scanned = 0u64;
+        let mut fallback_sqs = 0u64;
+
+        // Full fallback: predicates filter individual tuples, which
+        // pre-folded cells cannot honor; the ablation knob forces this too.
+        if q.predicate.is_some() || q.attr_eq.is_some() || !self.summaries_enabled() {
+            let r = self.execute_with_qid(q, qid)?;
+            for t in &r.tuples {
+                agg.insert(measure(t));
+            }
+            scanned = r.tuples.len() as u64;
+            self.stats
+                .agg_fallback_subqueries
+                .fetch_add(r.subqueries as u64, Ordering::Relaxed);
+            return Ok(AggregateAnswer {
+                query_id: qid,
+                kind: aq.kind,
+                agg,
+                cells_merged: 0,
+                scanned_tuples: scanned,
+            });
+        }
+
+        let slice_bits = self.cfg.agg_slice_bits;
+        let kp = plan::plan_keys(&q.keys, slice_bits);
+        let tp = plan::plan_time(&q.times);
+
+        // Fringe rectangles: key fringes span the full query time range;
+        // time fringes span only the covered keys — together with the
+        // interior they partition the query rectangle.
+        let mut fringe_rects: Vec<Region> = kp
+            .fringes
+            .iter()
+            .map(|kf| Region::new(*kf, q.times))
+            .collect();
+        if let Some(slices) = kp.slices {
+            let covered_keys = plan::slices_to_keys(slices.0, slices.1, slice_bits);
+            for tf in &tp.fringes {
+                fringe_rects.push(Region::new(covered_keys, *tf));
+            }
+            if let Some(covered) = tp.covered {
+                // Interior, fresh half: every healthy indexing server's
+                // live wheel (in-memory data is disjoint from chunks).
+                for server in self.indexing.read().iter() {
+                    if server.is_failed() {
+                        continue;
+                    }
+                    let out = server.aggregate_in_memory(slices, &covered)?;
+                    agg.merge(&out.agg);
+                    cells_merged += out.cells_merged;
+                }
+                // Interior, flushed half: fold each overlapping chunk's
+                // summary; whatever a summary cannot answer becomes a
+                // targeted scan of that chunk alone.
+                let interior = Region::new(covered_keys, covered);
+                let mut chunk_scans: Vec<(ChunkId, waterwheel_core::TimeInterval)> = Vec::new();
+                for (chunk, _) in self.meta.chunks_overlapping(&interior) {
+                    let summary = match self.meta.summary_extent(chunk) {
+                        // A summary built under a different slicing cannot
+                        // serve this plan's slice range.
+                        Some(ext) if ext.slice_bits == slice_bits => self.load_summary(chunk)?,
+                        _ => None,
+                    };
+                    match summary {
+                        Some(summary) => {
+                            let out = summary.fold(slices, &covered);
+                            agg.merge(&out.agg);
+                            cells_merged += out.cells_merged;
+                            for residue in out.residues {
+                                chunk_scans.push((chunk, residue));
+                            }
+                        }
+                        None => chunk_scans.push((chunk, covered)),
+                    }
+                }
+                if !chunk_scans.is_empty() {
+                    let chunk_sqs: Vec<(SubQuery, ChunkId, Option<Bitmap>)> = chunk_scans
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (chunk, times))| {
+                            (
+                                SubQuery {
+                                    id: SubQueryId {
+                                        query: qid,
+                                        index: i as u32,
+                                    },
+                                    keys: covered_keys,
+                                    times: *times,
+                                    predicate: None,
+                                    target: SubQueryTarget::Chunk(*chunk),
+                                },
+                                *chunk,
+                                None,
+                            )
+                        })
+                        .collect();
+                    fallback_sqs += chunk_sqs.len() as u64;
+                    self.stats
+                        .subqueries
+                        .fetch_add(chunk_sqs.len() as u64, Ordering::Relaxed);
+                    let tuples = self.execute_chunk_subqueries(&chunk_sqs)?;
+                    scanned += tuples.len() as u64;
+                    for t in &tuples {
+                        agg.insert(measure(t));
+                    }
+                }
+            }
+        }
+        // Fringe rectangles run as ordinary range sub-executions (fresh +
+        // flushed data alike) and are folded tuple by tuple.
+        for rect in fringe_rects {
+            let r = self.execute_with_qid(&Query::range(rect.keys, rect.times), qid)?;
+            scanned += r.tuples.len() as u64;
+            fallback_sqs += r.subqueries as u64;
+            for t in &r.tuples {
+                agg.insert(measure(t));
+            }
+        }
+        self.stats
+            .agg_cells_merged
+            .fetch_add(cells_merged, Ordering::Relaxed);
+        self.stats
+            .agg_fallback_subqueries
+            .fetch_add(fallback_sqs, Ordering::Relaxed);
+        Ok(AggregateAnswer {
+            query_id: qid,
+            kind: aq.kind,
+            agg,
+            cells_merged,
+            scanned_tuples: scanned,
+        })
+    }
+
+    /// Reads a chunk summary through a healthy query server (cached there
+    /// as a first-class block kind).
+    fn load_summary(&self, chunk: ChunkId) -> Result<Option<Arc<WheelSummary>>> {
+        let n = self.query_servers.len();
+        let start = chunk.raw() as usize % n;
+        for i in 0..n {
+            let qs = &self.query_servers[(start + i) % n];
+            if qs.is_failed() {
+                continue;
+            }
+            return qs.read_summary(chunk);
+        }
+        Err(WwError::InvalidState(
+            "summary unreadable: all query servers failed".into(),
+        ))
     }
 
     fn execute_chunk_subqueries(
@@ -276,7 +492,8 @@ impl Coordinator {
             dispatch::execute_plan(&retry_plan, healthy.len(), |hs, ri| {
                 let i = remaining[ri];
                 let (sq, chunk, filter) = &chunk_sqs[i];
-                match self.query_servers[healthy[hs]].execute_filtered(sq, *chunk, filter.as_ref()) {
+                match self.query_servers[healthy[hs]].execute_filtered(sq, *chunk, filter.as_ref())
+                {
                     Ok(tuples) => {
                         retry_results.lock().push((i, tuples));
                         true
@@ -336,7 +553,14 @@ mod tests {
             meta.clone(),
         ))]));
         (
-            Coordinator::new(meta.clone(), cluster, qs, ix, DispatchPolicy::Lada),
+            Coordinator::new(
+                meta.clone(),
+                cluster,
+                qs,
+                ix,
+                DispatchPolicy::Lada,
+                SystemConfig::default(),
+            ),
             meta,
         )
     }

@@ -189,13 +189,16 @@ where
     } else {
         plan.preferences.iter().flatten().copied().collect()
     });
-    let executed_by: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; total.max(
-        plan.preferences
-            .iter()
-            .flat_map(|p| p.iter().copied())
-            .max()
-            .map_or(0, |m| m + 1),
-    )]);
+    let executed_by: Mutex<Vec<Option<usize>>> = Mutex::new(vec![
+        None;
+        total.max(
+            plan.preferences
+                .iter()
+                .flat_map(|p| p.iter().copied())
+                .max()
+                .map_or(0, |m| m + 1),
+        )
+    ]);
     std::thread::scope(|scope| {
         for s in 0..servers {
             let pending = &pending;
@@ -369,7 +372,10 @@ mod tests {
         let by = execute_plan(&plan, 2, |s, _i| s == 0);
         let done = by.iter().filter(|b| b.is_some()).count();
         assert_eq!(done, 5);
-        assert!(by.iter().enumerate().all(|(i, b)| (i % 2 == 0) == b.is_some()));
+        assert!(by
+            .iter()
+            .enumerate()
+            .all(|(i, b)| (i % 2 == 0) == b.is_some()));
     }
 
     #[test]

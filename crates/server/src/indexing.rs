@@ -18,19 +18,20 @@
 //! partition from the durable offset; the rebuilt tree is identical because
 //! inserts are deterministic.
 
+use crate::attributes::AttrRegistry;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use waterwheel_agg::{AggWheel, FoldOutcome, WheelSummary};
+use waterwheel_core::aggregate::{default_measure, MeasureFn};
 use waterwheel_core::{
-    ChunkId, KeyInterval, Region, Result, ServerId, SubQuery, SystemConfig, TimeInterval,
-    Tuple,
+    ChunkId, KeyInterval, Region, Result, ServerId, SubQuery, SystemConfig, TimeInterval, Tuple,
 };
-use crate::attributes::AttrRegistry;
 use waterwheel_index::secondary::ChunkAttrIndex;
 use waterwheel_index::{IndexConfig, SealedTree, TemplateBTree, TupleIndex};
-use waterwheel_meta::{ChunkInfo, MetadataService};
+use waterwheel_meta::{ChunkInfo, MetadataService, SummaryExtent};
 use waterwheel_mq::Consumer;
-use waterwheel_storage::{write_chunk, SimDfs};
+use waterwheel_storage::{write_chunk_with_summary, SimDfs};
 
 /// Ingest-side counters.
 #[derive(Debug, Default)]
@@ -41,6 +42,8 @@ pub struct IndexingStats {
     pub side_stored: AtomicU64,
     /// Chunks flushed.
     pub chunks_flushed: AtomicU64,
+    /// Encoded aggregate-summary bytes sealed into chunk footers.
+    pub summary_bytes_flushed: AtomicU64,
 }
 
 /// One indexing server.
@@ -65,6 +68,13 @@ pub struct IndexingServer {
     failed: AtomicBool,
     /// Secondary attributes to index at flush time (paper §VIII).
     attrs: parking_lot::RwLock<Arc<AttrRegistry>>,
+    /// Live aggregate wheel mirroring every in-memory tuple (main tree +
+    /// side store); cleared on flush, when the data moves into chunk
+    /// summaries (DESIGN.md §4b).
+    wheel: Mutex<AggWheel>,
+    /// Measure extractor feeding the wheel; shared with the coordinator so
+    /// summary cells and scan folds agree. Install before ingesting.
+    measure: parking_lot::RwLock<MeasureFn>,
 }
 
 impl IndexingServer {
@@ -92,6 +102,8 @@ impl IndexingServer {
             stats: IndexingStats::default(),
             failed: AtomicBool::new(false),
             attrs: parking_lot::RwLock::new(Arc::new(AttrRegistry::new())),
+            wheel: Mutex::new(AggWheel::new(cfg.agg_slice_bits)),
+            measure: parking_lot::RwLock::new(default_measure()),
             cfg,
         }
     }
@@ -102,12 +114,22 @@ impl IndexingServer {
         *self.attrs.write() = attrs;
     }
 
+    /// Installs the measure extractor feeding the aggregate wheel. Must be
+    /// installed before ingestion (like secondary attributes) — wheel cells
+    /// hold measured values, so a mid-stream swap would make summaries
+    /// disagree with tuple scans.
+    pub fn set_measure(&self, measure: MeasureFn) {
+        *self.measure.write() = measure;
+    }
+
     /// Builds and registers the secondary attribute indexes for a freshly
     /// written chunk (paper §VIII: bloom + bitmap secondary indexes).
     fn register_attr_indexes(&self, chunk: ChunkId, sealed: &SealedTree) -> Result<()> {
         let attrs = self.attrs.read().clone();
         for attr in attrs.ids() {
-            let Some(extract) = attrs.get(attr) else { continue };
+            let Some(extract) = attrs.get(attr) else {
+                continue;
+            };
             let leaf_values: Vec<Vec<u64>> = sealed
                 .leaves
                 .iter()
@@ -186,7 +208,14 @@ impl IndexingServer {
     }
 
     fn ingest(&self, tuple: Tuple) {
-        let hw = self.high_water.fetch_max(tuple.ts, Ordering::AcqRel).max(tuple.ts);
+        if self.cfg.agg_summaries_enabled {
+            let value = (self.measure.read())(&tuple);
+            self.wheel.lock().insert(tuple.key, tuple.ts, value);
+        }
+        let hw = self
+            .high_water
+            .fetch_max(tuple.ts, Ordering::AcqRel)
+            .max(tuple.ts);
         let late_by = hw.saturating_sub(tuple.ts);
         if self.cfg.side_store_enabled && late_by > self.late_limit_ms() {
             self.side_bytes
@@ -199,20 +228,34 @@ impl IndexingServer {
         }
     }
 
+    /// Folds the live aggregate wheel over `slices × covered` — the
+    /// fresh-data half of an aggregate query's summary path. The live wheel
+    /// keeps every ring, so the outcome never carries residues.
+    pub fn aggregate_in_memory(
+        &self,
+        slices: (u16, u16),
+        covered: &TimeInterval,
+    ) -> Result<FoldOutcome> {
+        if self.is_failed() {
+            return Err(waterwheel_core::WwError::Injected("indexing server down"));
+        }
+        let out = self.wheel.lock().fold(slices, covered);
+        debug_assert!(out.residues.is_empty(), "live wheel folds have no residues");
+        Ok(out)
+    }
+
     /// The region the coordinator should consider for fresh data: the
     /// tree's actual hull with its lower time bound widened by Δt (§IV-D),
     /// extended by the side store's hull when present.
     pub fn memory_region(&self) -> Option<Region> {
-        let mut region = self.tree.region().map(|r| {
-            Region::new(r.keys, r.times.widen_lo(self.late_limit_ms()))
-        });
+        let mut region = self
+            .tree
+            .region()
+            .map(|r| Region::new(r.keys, r.times.widen_lo(self.late_limit_ms())));
         let side = self.side_store.lock();
         for t in side.iter() {
             region = Some(match region {
-                None => Region::new(
-                    KeyInterval::point(t.key),
-                    TimeInterval::point(t.ts),
-                ),
+                None => Region::new(KeyInterval::point(t.key), TimeInterval::point(t.ts)),
                 Some(mut r) => {
                     r.keys.extend_to(t.key);
                     r.times.extend_to(t.ts);
@@ -224,7 +267,8 @@ impl IndexingServer {
     }
 
     fn report_memory_region(&self) {
-        self.meta.update_memory_region(self.id, self.memory_region());
+        self.meta
+            .update_memory_region(self.id, self.memory_region());
     }
 
     /// Executes a subquery against the in-memory state (main tree + side
@@ -247,6 +291,57 @@ impl IndexingServer {
         Ok(out)
     }
 
+    /// Writes one sealed tree to the DFS as a chunk — with its aggregate
+    /// summary sealed into the footer when enabled — and registers the
+    /// chunk, summary extent, and attribute indexes with metadata.
+    fn write_and_register(&self, sealed: &SealedTree, durable_offset: u64) -> Result<ChunkId> {
+        let summary = if self.cfg.agg_summaries_enabled {
+            let measure = self.measure.read().clone();
+            let summary = WheelSummary::build(
+                sealed
+                    .leaves
+                    .iter()
+                    .flat_map(|l| l.entries.iter())
+                    .map(|t| (t.key, t.ts, measure(t))),
+                self.cfg.agg_slice_bits,
+                self.cfg.agg_max_cells_per_ring,
+            );
+            (!summary.is_empty()).then_some(summary)
+        } else {
+            None
+        };
+        let id = self.meta.allocate_chunk_id()?;
+        let bytes = write_chunk_with_summary(sealed, summary.as_ref());
+        self.dfs.write_chunk(id, &bytes)?;
+        self.meta.register_chunk(
+            id,
+            ChunkInfo {
+                region: sealed.region,
+                count: sealed.count as u64,
+                bytes: bytes.len() as u64,
+                producer: self.id,
+            },
+            durable_offset,
+        )?;
+        if let Some(summary) = &summary {
+            let encoded_len = summary.encode().len() as u64;
+            self.meta.register_summary(
+                id,
+                SummaryExtent {
+                    cells: summary.cell_count() as u64,
+                    bytes: encoded_len,
+                    levels: summary.levels(),
+                    slice_bits: summary.slice_bits(),
+                },
+            )?;
+            self.stats
+                .summary_bytes_flushed
+                .fetch_add(encoded_len, Ordering::Relaxed);
+        }
+        self.register_attr_indexes(id, sealed)?;
+        Ok(id)
+    }
+
     /// Seals the in-memory state into chunk(s), writes them to the DFS, and
     /// registers them (plus the durable offset) with the metadata server.
     /// Returns the flushed chunk ids. No-op on an empty server.
@@ -257,49 +352,27 @@ impl IndexingServer {
         let durable_offset = self.consumer.lock().position();
 
         if let Some(sealed) = self.tree.seal() {
-            let id = self.meta.allocate_chunk_id()?;
-            let bytes = write_chunk(&sealed);
-            self.dfs.write_chunk(id, &bytes)?;
-            self.meta.register_chunk(
-                id,
-                ChunkInfo {
-                    region: sealed.region,
-                    count: sealed.count as u64,
-                    bytes: bytes.len() as u64,
-                    producer: self.id,
-                },
-                durable_offset,
-            )?;
-            self.register_attr_indexes(id, &sealed)?;
-            flushed.push(id);
+            flushed.push(self.write_and_register(&sealed, durable_offset)?);
         }
         // Side store flushes as its own chunk so main chunks keep tight
         // temporal bounds (§IV-D).
         let side: Vec<Tuple> = std::mem::take(&mut *self.side_store.lock());
         if !side.is_empty() {
             self.side_bytes.store(0, Ordering::Relaxed);
-            let tmp = TemplateBTree::new(self.assigned_interval(), IndexConfig::from_system(&self.cfg));
+            let tmp = TemplateBTree::new(
+                self.assigned_interval(),
+                IndexConfig::from_system(&self.cfg),
+            );
             for t in side {
                 tmp.insert(t);
             }
             let sealed = tmp.seal().expect("side store non-empty");
-            let id = self.meta.allocate_chunk_id()?;
-            let bytes = write_chunk(&sealed);
-            self.dfs.write_chunk(id, &bytes)?;
-            self.meta.register_chunk(
-                id,
-                ChunkInfo {
-                    region: sealed.region,
-                    count: sealed.count as u64,
-                    bytes: bytes.len() as u64,
-                    producer: self.id,
-                },
-                durable_offset,
-            )?;
-            self.register_attr_indexes(id, &sealed)?;
-            flushed.push(id);
+            flushed.push(self.write_and_register(&sealed, durable_offset)?);
         }
         if !flushed.is_empty() {
+            // Flushing drains every in-memory tuple, so the live wheel's
+            // contents are now covered by chunk summaries.
+            self.wheel.lock().clear();
             self.stats
                 .chunks_flushed
                 .fetch_add(flushed.len() as u64, Ordering::Relaxed);
@@ -330,8 +403,7 @@ mod tests {
             let _ = std::fs::remove_dir_all(&root);
             let mq = MessageQueue::new();
             mq.create_topic("ingest", 2).unwrap();
-            let dfs =
-                SimDfs::new(root, Cluster::new(3), 3, LatencyModel::default()).unwrap();
+            let dfs = SimDfs::new(root, Cluster::new(3), 3, LatencyModel::default()).unwrap();
             let meta = MetadataService::in_memory();
             let mut cfg = SystemConfig::default();
             cfg.chunk_size_bytes = 4 * 1024;
@@ -511,11 +583,7 @@ mod tests {
         let server = rig.server(0, 0);
         rig.mq.append("ingest", 0, Tuple::bare(1, 1_000)).unwrap();
         server.pump(10).unwrap();
-        assert!(rig
-            .meta
-            .memory_regions_overlapping(&Region::full())
-            .len()
-            == 1);
+        assert!(rig.meta.memory_regions_overlapping(&Region::full()).len() == 1);
         server.flush().unwrap();
         assert!(rig
             .meta

@@ -43,6 +43,14 @@ pub struct SystemMetrics {
     pub dfs_bytes_read: u64,
     /// DFS accesses that hit the co-located fast path.
     pub dfs_local_opens: u64,
+    /// Aggregate queries executed (DESIGN.md §4b).
+    pub agg_queries: u64,
+    /// Wheel/summary cells merged while answering aggregate queries.
+    pub agg_cells_merged: u64,
+    /// Aggregate subqueries that fell back to tuple scans.
+    pub agg_fallback_subqueries: u64,
+    /// Bytes of wheel summaries appended to flushed chunks.
+    pub summary_bytes_flushed: u64,
 }
 
 impl SystemMetrics {
@@ -58,12 +66,16 @@ impl SystemMetrics {
             m.ingested += s.stats().ingested.load(Ordering::Relaxed);
             m.side_stored += s.stats().side_stored.load(Ordering::Relaxed);
             m.chunks_flushed += s.stats().chunks_flushed.load(Ordering::Relaxed);
+            m.summary_bytes_flushed += s.stats().summary_bytes_flushed.load(Ordering::Relaxed);
         }
         let c = ww.coordinator();
         m.queries = c.stats().queries.load(Ordering::Relaxed);
         m.subqueries = c.stats().subqueries.load(Ordering::Relaxed);
         m.redispatches = c.stats().redispatches.load(Ordering::Relaxed);
         m.attr_pruned_chunks = c.stats().attr_pruned_chunks.load(Ordering::Relaxed);
+        m.agg_queries = c.stats().agg_queries.load(Ordering::Relaxed);
+        m.agg_cells_merged = c.stats().agg_cells_merged.load(Ordering::Relaxed);
+        m.agg_fallback_subqueries = c.stats().agg_fallback_subqueries.load(Ordering::Relaxed);
         for qs in ww.query_servers() {
             m.leaf_reads += qs.stats().leaf_reads.load(Ordering::Relaxed);
             m.leaf_cache_hits += qs.stats().leaf_cache_hits.load(Ordering::Relaxed);
@@ -89,7 +101,11 @@ impl SystemMetrics {
 
 impl fmt::Display for SystemMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "ingest:  {} dispatched, {} indexed, {} side-stored", self.dispatched, self.ingested, self.side_stored)?;
+        writeln!(
+            f,
+            "ingest:  {} dispatched, {} indexed, {} side-stored",
+            self.dispatched, self.ingested, self.side_stored
+        )?;
         writeln!(
             f,
             "chunks:  {} flushed, {} registered, {} attr indexes",
@@ -108,10 +124,18 @@ impl fmt::Display for SystemMetrics {
             self.cache_hit_ratio() * 100.0,
             self.leaves_pruned
         )?;
-        write!(
+        writeln!(
             f,
             "dfs:     {} opens ({} local), {} bytes read",
             self.dfs_opens, self.dfs_local_opens, self.dfs_bytes_read
+        )?;
+        write!(
+            f,
+            "agg:     {} queries, {} cells merged, {} fallback subqueries, {} summary bytes flushed",
+            self.agg_queries,
+            self.agg_cells_merged,
+            self.agg_fallback_subqueries,
+            self.summary_bytes_flushed
         )
     }
 }
@@ -152,5 +176,41 @@ mod tests {
     #[test]
     fn hit_ratio_handles_zero() {
         assert_eq!(SystemMetrics::default().cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_every_field() {
+        // Give every counter a distinct sentinel value and check each one
+        // appears in the rendered text — a field silently dropped from
+        // `Display` fails here.
+        let m = SystemMetrics {
+            dispatched: 101,
+            ingested: 102,
+            side_stored: 103,
+            chunks_flushed: 104,
+            chunks_registered: 105,
+            attr_indexes: 106,
+            queries: 107,
+            subqueries: 108,
+            redispatches: 109,
+            attr_pruned_chunks: 110,
+            leaf_reads: 111,
+            leaf_cache_hits: 112,
+            leaves_pruned: 113,
+            dfs_opens: 114,
+            dfs_bytes_read: 115,
+            dfs_local_opens: 116,
+            agg_queries: 117,
+            agg_cells_merged: 118,
+            agg_fallback_subqueries: 119,
+            summary_bytes_flushed: 120,
+        };
+        let text = m.to_string();
+        for sentinel in 101..=120u64 {
+            assert!(
+                text.contains(&sentinel.to_string()),
+                "Display omits the field with sentinel {sentinel}:\n{text}"
+            );
+        }
     }
 }

@@ -105,11 +105,7 @@ impl PartitionBalancer {
             // boundaries; keep the current schema.
             return Ok(BalanceOutcome::Balanced { deviation });
         }
-        let version = self
-            .meta
-            .partition()
-            .map(|p| p.version + 1)
-            .unwrap_or(1);
+        let version = self.meta.partition().map(|p| p.version + 1).unwrap_or(1);
         let schema = PartitionSchema::from_boundaries(&boundaries, &server_ids, version)?;
         self.meta.set_partition(schema.clone())?;
         for d in dispatchers {

@@ -17,6 +17,7 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use waterwheel_agg::WheelSummary;
 use waterwheel_cluster::Cluster;
 use waterwheel_core::{ChunkId, NodeId, Result, ServerId, SubQuery, Tuple, WwError};
 use waterwheel_index::Bitmap;
@@ -110,6 +111,29 @@ impl QueryServer {
         self.execute_filtered(sq, chunk, None)
     }
 
+    /// Reads a chunk's sealed aggregate summary — from the LRU cache when
+    /// possible, otherwise via a footer-only DFS read (leaf pages are never
+    /// touched). Chunks written without a summary return `Ok(None)`.
+    pub fn read_summary(&self, chunk: ChunkId) -> Result<Option<Arc<WheelSummary>>> {
+        if self.is_failed() {
+            return Err(WwError::Injected("query server down"));
+        }
+        if let Some(Block::Summary(summary)) = self.cache.get(&BlockKey::Summary(chunk)) {
+            return Ok(Some(summary));
+        }
+        let summary = {
+            let _io = self.io_lock.lock();
+            let file = self.dfs.open(chunk, Some(self.node))?;
+            ChunkReader::new(file).read_summary()?
+        };
+        Ok(summary.map(|s| {
+            let s = Arc::new(s);
+            self.cache
+                .put(BlockKey::Summary(chunk), Block::Summary(Arc::clone(&s)));
+            s
+        }))
+    }
+
     /// Executes a chunk subquery restricted to the leaves in `leaf_filter`
     /// (from a secondary attribute index, paper §VIII); `None` means all
     /// key-qualifying leaves.
@@ -168,28 +192,29 @@ impl QueryServer {
         // 3+4. Prune temporally, then fetch pages (coalescing misses).
         let mut pending_miss: Option<(usize, usize)> = None; // inclusive range
         let mut pages: Vec<(usize, Arc<Vec<Tuple>>)> = Vec::new();
-        let flush_misses =
-            |range: &mut Option<(usize, usize)>, pages: &mut Vec<(usize, Arc<Vec<Tuple>>)>| -> Result<()> {
-                if let Some((mlo, mhi)) = range.take() {
-                    let _io = self.io_lock.lock();
-                    let file = self.dfs.open(chunk, Some(self.node))?;
-                    let reader = ChunkReader::new(file);
-                    let fetched = reader.read_leaves(&index, mlo, mhi)?;
-                    self.stats
-                        .leaf_reads
-                        .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
-                    for (offset, tuples) in fetched.into_iter().enumerate() {
-                        let li = mlo + offset;
-                        let page = Arc::new(tuples);
-                        self.cache.put(
-                            BlockKey::Leaf(chunk, li as u32),
-                            Block::Leaf(Arc::clone(&page)),
-                        );
-                        pages.push((li, page));
-                    }
+        let flush_misses = |range: &mut Option<(usize, usize)>,
+                            pages: &mut Vec<(usize, Arc<Vec<Tuple>>)>|
+         -> Result<()> {
+            if let Some((mlo, mhi)) = range.take() {
+                let _io = self.io_lock.lock();
+                let file = self.dfs.open(chunk, Some(self.node))?;
+                let reader = ChunkReader::new(file);
+                let fetched = reader.read_leaves(&index, mlo, mhi)?;
+                self.stats
+                    .leaf_reads
+                    .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
+                for (offset, tuples) in fetched.into_iter().enumerate() {
+                    let li = mlo + offset;
+                    let page = Arc::new(tuples);
+                    self.cache.put(
+                        BlockKey::Leaf(chunk, li as u32),
+                        Block::Leaf(Arc::clone(&page)),
+                    );
+                    pages.push((li, page));
                 }
-                Ok(())
-            };
+            }
+            Ok(())
+        };
         for li in lo..=hi {
             if leaf_filter.is_some_and(|bm| !bm.contains(li as u32)) {
                 self.stats.leaves_pruned.fetch_add(1, Ordering::Relaxed);
@@ -241,8 +266,7 @@ mod tests {
     use waterwheel_storage::write_chunk;
 
     fn setup(name: &str) -> (SimDfs, ChunkId, Vec<Tuple>) {
-        let root =
-            std::env::temp_dir().join(format!("ww-qs-test-{name}-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("ww-qs-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let dfs = SimDfs::new(root, Cluster::new(4), 3, LatencyModel::default()).unwrap();
         let cfg = IndexConfig {
@@ -297,11 +321,7 @@ mod tests {
     fn cache_serves_repeat_subqueries() {
         let (dfs, chunk, _) = setup("cache");
         let qs = QueryServer::new(ServerId(0), NodeId(0), dfs.clone(), 8 << 20);
-        let sq = subquery(
-            KeyInterval::new(0, 2_000),
-            TimeInterval::full(),
-            chunk,
-        );
+        let sq = subquery(KeyInterval::new(0, 2_000), TimeInterval::full(), chunk);
         qs.execute(&sq, chunk).unwrap();
         let opens_after_first = dfs.stats().opens.load(Ordering::Relaxed);
         let leaf_reads_first = qs.stats().leaf_reads.load(Ordering::Relaxed);

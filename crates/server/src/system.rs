@@ -23,10 +23,10 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use waterwheel_agg::AggregateAnswer;
 use waterwheel_cluster::{Cluster, LatencyModel};
-use waterwheel_core::{
-    Query, QueryResult, Result, ServerId, SystemConfig, Tuple, WwError,
-};
+use waterwheel_core::aggregate::{default_measure, AggregateQuery, MeasureFn};
+use waterwheel_core::{Query, QueryResult, Result, ServerId, SystemConfig, Tuple, WwError};
 use waterwheel_meta::{MetadataService, PartitionSchema};
 use waterwheel_mq::{Consumer, MessageQueue};
 use waterwheel_storage::SimDfs;
@@ -122,7 +122,9 @@ impl WaterwheelBuilder {
         };
 
         // Server ids: indexing 0.., query 1000.., dispatchers 2000.. .
-        let ix_ids: Vec<ServerId> = (0..self.cfg.indexing_servers as u32).map(ServerId).collect();
+        let ix_ids: Vec<ServerId> = (0..self.cfg.indexing_servers as u32)
+            .map(ServerId)
+            .collect();
         let qs_ids: Vec<ServerId> = (0..self.cfg.query_servers as u32)
             .map(|i| ServerId(1_000 + i))
             .collect();
@@ -144,11 +146,8 @@ impl WaterwheelBuilder {
                 s
             }
         };
-        let partitions: HashMap<ServerId, usize> = ix_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s, i))
-            .collect();
+        let partitions: HashMap<ServerId, usize> =
+            ix_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
 
         let dispatchers: Vec<Arc<Dispatcher>> = disp_ids
             .iter()
@@ -207,12 +206,10 @@ impl WaterwheelBuilder {
             query_servers.clone(),
             Arc::clone(&indexing),
             self.policy,
+            self.cfg.clone(),
         ));
         coordinator.set_attr_registry(Arc::clone(&attrs));
-        let balancer = PartitionBalancer::new(
-            meta.clone(),
-            self.cfg.partition_imbalance_threshold,
-        );
+        let balancer = PartitionBalancer::new(meta.clone(), self.cfg.partition_imbalance_threshold);
 
         Ok(Waterwheel {
             cfg: self.cfg,
@@ -226,6 +223,7 @@ impl WaterwheelBuilder {
             coordinator: RwLock::new(coordinator),
             balancer,
             attrs,
+            measure: parking_lot::Mutex::new(default_measure()),
             next_dispatcher: AtomicUsize::new(0),
             pumps_running: Arc::new(AtomicBool::new(false)),
             pump_handles: parking_lot::Mutex::new(Vec::new()),
@@ -246,6 +244,7 @@ pub struct Waterwheel {
     coordinator: RwLock<Arc<Coordinator>>,
     balancer: PartitionBalancer,
     attrs: Arc<AttrRegistry>,
+    measure: parking_lot::Mutex<MeasureFn>,
     next_dispatcher: AtomicUsize,
     pumps_running: Arc<AtomicBool>,
     pump_handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -294,15 +293,18 @@ impl Waterwheel {
     /// metadata service; in-flight queries on the old instance complete or
     /// fail independently.
     pub fn restart_coordinator(&self) {
-        let policy = self.coordinator().policy();
+        let old = self.coordinator();
         let fresh = Arc::new(Coordinator::new(
             self.meta.clone(),
             self.cluster.clone(),
             self.query_servers.clone(),
             Arc::clone(&self.indexing),
-            policy,
+            old.policy(),
+            self.cfg.clone(),
         ));
         fresh.set_attr_registry(Arc::clone(&self.attrs));
+        fresh.set_measure(self.measure.lock().clone());
+        fresh.set_summaries_enabled(old.summaries_enabled());
         *self.coordinator.write() = fresh;
     }
 
@@ -331,6 +333,28 @@ impl Waterwheel {
         extractor: impl Fn(&Tuple) -> Option<u64> + Send + Sync + 'static,
     ) {
         self.attrs.register(attr, extractor);
+    }
+
+    /// Installs the measure function folded by aggregate queries (the value
+    /// extracted from each tuple — e.g. a fare, a speed, a byte count). The
+    /// default measures payload length. Install it **before ingesting**:
+    /// wheel cells and chunk summaries hold pre-measured values, so tuples
+    /// indexed under a different measure keep answering with it until they
+    /// age out.
+    pub fn register_measure(&self, measure: impl Fn(&Tuple) -> u64 + Send + Sync + 'static) {
+        let measure: MeasureFn = Arc::new(measure);
+        *self.measure.lock() = Arc::clone(&measure);
+        for server in self.indexing.read().iter() {
+            server.set_measure(Arc::clone(&measure));
+        }
+        self.coordinator().set_measure(measure);
+    }
+
+    /// Executes an aggregate query: COUNT / SUM / MIN / MAX / AVG of the
+    /// registered measure over a key × time rectangle, answered from
+    /// hierarchical wheel summaries where possible (DESIGN.md §4b).
+    pub fn aggregate(&self, aq: &AggregateQuery) -> Result<AggregateAnswer> {
+        self.coordinator().execute_aggregate(aq)
     }
 
     /// Ingests one tuple through a dispatcher (round-robin across them).
@@ -385,9 +409,7 @@ impl Waterwheel {
                     };
                     let Some(server) = server else { break };
                     match server.pump(1_024) {
-                        Ok(0) | Err(_) => {
-                            std::thread::sleep(std::time::Duration::from_millis(1))
-                        }
+                        Ok(0) | Err(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
                         Ok(_) => {}
                     }
                 }
@@ -467,6 +489,7 @@ impl Waterwheel {
             self.meta.clone(),
         ));
         replacement.set_attr_registry(Arc::clone(&self.attrs));
+        replacement.set_measure(self.measure.lock().clone());
         servers[pos] = replacement;
         Ok(())
     }
@@ -609,7 +632,13 @@ mod tests {
             .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
             .unwrap();
         assert_eq!(r.tuples.len(), 400);
-        assert!(ww.coordinator().stats().redispatches.load(Ordering::Relaxed) > 0);
+        assert!(
+            ww.coordinator()
+                .stats()
+                .redispatches
+                .load(Ordering::Relaxed)
+                > 0
+        );
     }
 
     #[test]
@@ -636,7 +665,10 @@ mod tests {
         cfg.chunk_size_bytes = 2 * 1024;
         cfg.indexing_servers = 2;
         {
-            let ww = Waterwheel::builder(&root).config(cfg.clone()).build().unwrap();
+            let ww = Waterwheel::builder(&root)
+                .config(cfg.clone())
+                .build()
+                .unwrap();
             for i in 0..600u64 {
                 ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
             }

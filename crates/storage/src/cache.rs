@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use waterwheel_agg::WheelSummary;
 use waterwheel_core::{ChunkId, Tuple};
 
 /// Cache key: which unit of which chunk.
@@ -20,6 +21,8 @@ pub enum BlockKey {
     Index(ChunkId),
     /// One decoded leaf page.
     Leaf(ChunkId, u32),
+    /// The chunk's sealed aggregate summary (footer).
+    Summary(ChunkId),
 }
 
 /// Cached value.
@@ -29,6 +32,8 @@ pub enum Block {
     Index(Arc<ChunkIndex>),
     /// A decoded leaf page.
     Leaf(Arc<Vec<Tuple>>),
+    /// A decoded aggregate summary.
+    Summary(Arc<WheelSummary>),
 }
 
 impl Block {
@@ -39,6 +44,9 @@ impl Block {
                 .iter()
                 .map(|t| t.encoded_len() + std::mem::size_of::<Tuple>())
                 .sum(),
+            // Per cell: (bucket u64, slice u16) key + 40-byte PartialAgg,
+            // plus BTreeMap node overhead.
+            Block::Summary(summary) => summary.cell_count() * 64 + 64,
         }
     }
 }
@@ -180,9 +188,7 @@ mod tests {
     use super::*;
 
     fn leaf_block(n: usize) -> Block {
-        Block::Leaf(Arc::new(
-            (0..n as u64).map(|i| Tuple::bare(i, i)).collect(),
-        ))
+        Block::Leaf(Arc::new((0..n as u64).map(|i| Tuple::bare(i, i)).collect()))
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! pages overlapping its key range (§VI-B).
 
 use std::sync::Arc;
+use waterwheel_agg::{WheelSummary, SUMMARY_MAGIC};
 use waterwheel_core::codec::{self, Decoder, Encoder};
 use waterwheel_core::{Key, KeyInterval, Region, Result, TimeInterval, Tuple, WwError};
 use waterwheel_index::{SealedTree, TimeBloom};
@@ -17,6 +18,9 @@ const MAGIC: u64 = u64::from_le_bytes(*b"WWCHUNK1");
 const VERSION: u32 = 1;
 /// Fixed byte length of the header that precedes the index block.
 pub const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 4 + 8 + 8 + 32;
+/// Fixed byte length of the aggregate-summary trailer at the end of a chunk
+/// that carries one: `[summary_len u64][SUMMARY_MAGIC u64]`.
+pub const SUMMARY_TRAILER_LEN: usize = 16;
 
 /// Per-leaf directory entry: everything a query needs to decide whether to
 /// fetch the leaf page, and where to find it.
@@ -90,8 +94,20 @@ impl ChunkIndex {
     }
 }
 
-/// Serializes a sealed tree into the chunk byte format.
+/// Serializes a sealed tree into the chunk byte format (no aggregate
+/// summary — see [`write_chunk_with_summary`]).
 pub fn write_chunk(sealed: &SealedTree) -> Vec<u8> {
+    write_chunk_with_summary(sealed, None)
+}
+
+/// Serializes a sealed tree into the chunk byte format, optionally
+/// appending a sealed aggregate [`WheelSummary`] after the leaf pages.
+///
+/// The summary rides behind the data section, discovered through a
+/// fixed-size trailer at EOF, so the header, index block, and every leaf
+/// offset are byte-identical to a summary-less chunk — readers that never
+/// ask for the summary are unaffected, and old chunks simply report `None`.
+pub fn write_chunk_with_summary(sealed: &SealedTree, summary: Option<&WheelSummary>) -> Vec<u8> {
     debug_assert_eq!(sealed.check_invariants(), Ok(()));
     // Leaf pages first (into a scratch buffer) so the directory can record
     // final offsets once the index-block length is known.
@@ -149,6 +165,12 @@ pub fn write_chunk(sealed: &SealedTree) -> Vec<u8> {
     for page in &pages {
         out.extend_from_slice(page);
     }
+    if let Some(summary) = summary {
+        let encoded = summary.encode();
+        out.extend_from_slice(&encoded);
+        out.put_u64(encoded.len() as u64);
+        out.put_u64(SUMMARY_MAGIC);
+    }
     out
 }
 
@@ -162,7 +184,10 @@ pub fn parse_index(prefix: &[u8], file_len: u64) -> Result<ChunkIndex> {
     }
     let version = dec.get_u32()?;
     if version != VERSION {
-        return Err(WwError::corrupt("chunk", format!("unknown version {version}")));
+        return Err(WwError::corrupt(
+            "chunk",
+            format!("unknown version {version}"),
+        ));
     }
     let _flags = dec.get_u32()?;
     let count = dec.get_u64()?;
@@ -252,6 +277,10 @@ pub fn decode_leaf_page(bytes: &[u8], expected: u32) -> Result<Vec<Tuple>> {
 /// the reader falls back to a second ranged read for oversized indexes.
 pub const INDEX_PREFETCH: usize = 64 * 1024;
 
+/// How many trailing bytes to fetch when reading a chunk's aggregate
+/// summary: covers the trailer plus typical summary bodies in one access.
+pub const SUMMARY_PREFETCH: usize = 64 * 1024;
+
 /// Abstraction over ranged chunk reads, implemented by the simulated DFS.
 ///
 /// Each call models one file access (and is charged the per-open latency by
@@ -308,14 +337,41 @@ impl<R: RangedRead> ChunkReader<R> {
         Ok(Arc::new(parse_index(&prefix, file_len)?))
     }
 
+    /// Reads the chunk's sealed aggregate summary, if one was written.
+    ///
+    /// Costs one ranged access for the trailer plus the summary body (read
+    /// together in a single tail fetch); leaf pages are never touched.
+    /// Chunks written without a summary return `Ok(None)`.
+    pub fn read_summary(&self) -> Result<Option<WheelSummary>> {
+        let file_len = self.source.len()?;
+        if file_len < (HEADER_LEN + SUMMARY_TRAILER_LEN) as u64 {
+            return Ok(None);
+        }
+        // One tail read covering the trailer and (for typical summaries)
+        // the whole summary body; a second read only for oversized ones.
+        let tail_len = (SUMMARY_PREFETCH as u64).min(file_len);
+        let tail = self.source.read_range(file_len - tail_len, tail_len)?;
+        let trailer = &tail[tail.len() - SUMMARY_TRAILER_LEN..];
+        let mut dec = Decoder::new(trailer, "chunk summary trailer");
+        let summary_len = dec.get_u64()?;
+        if dec.get_u64()? != SUMMARY_MAGIC {
+            return Ok(None);
+        }
+        let total = summary_len + SUMMARY_TRAILER_LEN as u64;
+        if total > file_len - HEADER_LEN as u64 {
+            return Err(WwError::corrupt("chunk", "summary trailer length invalid"));
+        }
+        let body = if total <= tail.len() as u64 {
+            tail[tail.len() - total as usize..tail.len() - SUMMARY_TRAILER_LEN].to_vec()
+        } else {
+            self.source.read_range(file_len - total, summary_len)?
+        };
+        WheelSummary::decode(&body).map(Some)
+    }
+
     /// Reads and decodes the leaf pages `lo..=hi` (inclusive), coalescing
     /// them into a single ranged access. Returns one tuple vector per leaf.
-    pub fn read_leaves(
-        &self,
-        index: &ChunkIndex,
-        lo: usize,
-        hi: usize,
-    ) -> Result<Vec<Vec<Tuple>>> {
+    pub fn read_leaves(&self, index: &ChunkIndex, lo: usize, hi: usize) -> Result<Vec<Vec<Tuple>>> {
         assert!(lo <= hi && hi < index.leaves.len());
         let start = index.leaves[lo].offset;
         let end = index.leaves[hi].offset + index.leaves[hi].len;
@@ -376,7 +432,9 @@ mod tests {
         assert_eq!(index.count, 500);
         assert_eq!(index.region, sealed.region);
         assert_eq!(index.leaves.len(), sealed.leaves.len());
-        let pages = reader.read_leaves(&index, 0, index.leaves.len() - 1).unwrap();
+        let pages = reader
+            .read_leaves(&index, 0, index.leaves.len() - 1)
+            .unwrap();
         let got: Vec<Tuple> = pages.into_iter().flatten().collect();
         assert_eq!(got, expected);
     }
@@ -478,6 +536,63 @@ mod tests {
     }
 
     #[test]
+    fn summary_footer_roundtrips_and_leaves_index_untouched() {
+        let sealed = sealed_tree(500);
+        let summary = WheelSummary::build(
+            sealed
+                .leaves
+                .iter()
+                .flat_map(|l| l.entries.iter())
+                .map(|t| (t.key, t.ts, t.payload.len() as u64)),
+            4,
+            usize::MAX,
+        );
+        assert!(!summary.is_empty());
+        let plain = write_chunk(&sealed);
+        let with = write_chunk_with_summary(&sealed, Some(&summary));
+        // The summary is purely appended: the prefix is byte-identical.
+        assert_eq!(&with[..plain.len()], &plain[..]);
+
+        let reader = ChunkReader::new(with.as_slice());
+        let index = reader.load_index().unwrap();
+        assert_eq!(index.count, 500);
+        let got = reader.read_summary().unwrap().expect("summary present");
+        assert_eq!(got, summary);
+        // Leaf pages still decode correctly past the footer.
+        let pages = reader
+            .read_leaves(&index, 0, index.leaves.len() - 1)
+            .unwrap();
+        assert_eq!(pages.iter().map(Vec::len).sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn chunks_without_summary_report_none() {
+        let sealed = sealed_tree(50);
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        assert!(reader.read_summary().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_summary_is_an_error_not_a_wrong_answer() {
+        let sealed = sealed_tree(50);
+        let summary = WheelSummary::build(
+            sealed
+                .leaves
+                .iter()
+                .flat_map(|l| l.entries.iter())
+                .map(|t| (t.key, t.ts, 1)),
+            4,
+            usize::MAX,
+        );
+        let mut bytes = write_chunk_with_summary(&sealed, Some(&summary));
+        // Flip a byte inside the summary body (just before the trailer).
+        let i = bytes.len() - SUMMARY_TRAILER_LEN - 9;
+        bytes[i] ^= 0xFF;
+        assert!(ChunkReader::new(bytes.as_slice()).read_summary().is_err());
+    }
+
+    #[test]
     fn empty_leaves_are_handled() {
         // Seal a tree whose template has many leaves but data in few.
         let cfg = IndexConfig {
@@ -485,11 +600,8 @@ mod tests {
             fanout: 4,
             ..IndexConfig::default()
         };
-        let tree = TemplateBTree::with_separators(
-            KeyInterval::full(),
-            cfg,
-            vec![100, 200, 300, 400],
-        );
+        let tree =
+            TemplateBTree::with_separators(KeyInterval::full(), cfg, vec![100, 200, 300, 400]);
         tree.insert(Tuple::bare(150, 1)); // only leaf 1 populated
         let sealed = tree.seal().unwrap();
         let bytes = write_chunk(&sealed);

@@ -166,13 +166,12 @@ impl SimDfs {
             self.inner.stats.local_opens.fetch_add(1, Ordering::Relaxed);
         }
         self.inner.latency.charge(len as usize, local);
-        let mut file = fs::File::open(self.path(id))
-            .map_err(|_| WwError::not_found("chunk", id))?;
+        let mut file =
+            fs::File::open(self.path(id)).map_err(|_| WwError::not_found("chunk", id))?;
         file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; len as usize];
-        file.read_exact(&mut buf).map_err(|e| {
-            WwError::corrupt("chunk", format!("short read at {offset}+{len}: {e}"))
-        })?;
+        file.read_exact(&mut buf)
+            .map_err(|e| WwError::corrupt("chunk", format!("short read at {offset}+{len}: {e}")))?;
         self.inner
             .stats
             .bytes_read

@@ -30,5 +30,7 @@ pub mod chunk;
 pub mod dfs;
 
 pub use cache::{Block, BlockCache, BlockKey, CacheStats};
-pub use chunk::{write_chunk, ChunkIndex, ChunkReader, LeafMeta, RangedRead};
+pub use chunk::{
+    write_chunk, write_chunk_with_summary, ChunkIndex, ChunkReader, LeafMeta, RangedRead,
+};
 pub use dfs::{DfsFile, SimDfs};

@@ -226,11 +226,7 @@ mod tests {
             Tuple::bare(3, 30),
             Tuple::bare(2, 99),
         ];
-        let got = oracle(
-            &tuples,
-            &KeyInterval::new(2, 3),
-            &TimeInterval::new(15, 35),
-        );
+        let got = oracle(&tuples, &KeyInterval::new(2, 3), &TimeInterval::new(15, 35));
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].key, 2);
         assert_eq!(got[1].key, 3);
@@ -248,8 +244,7 @@ mod tests {
         let mut g = QueryGen::new(KeyInterval::new(0, 1_000_000), 6);
         let batch = g.batch(50, 0.1, TemporalShape::Recent { secs: 5 }, 0, 100_000);
         assert_eq!(batch.len(), 50);
-        let positions: std::collections::HashSet<u64> =
-            batch.iter().map(|q| q.keys.lo()).collect();
+        let positions: std::collections::HashSet<u64> = batch.iter().map(|q| q.keys.lo()).collect();
         assert!(positions.len() > 40, "positions not random");
     }
 }

@@ -136,10 +136,10 @@ impl TDriveGen {
         let lat_span = (LAT_MAX - LAT_MIN) * self.cfg.step_fraction;
         let lon_span = (LON_MAX - LON_MIN) * self.cfg.step_fraction;
         let taxi = &mut self.taxis[idx];
-        taxi.lat = (taxi.lat + (self.rng.next_f64() - 0.5) * 2.0 * lat_span)
-            .clamp(LAT_MIN, LAT_MAX);
-        taxi.lon = (taxi.lon + (self.rng.next_f64() - 0.5) * 2.0 * lon_span)
-            .clamp(LON_MIN, LON_MAX);
+        taxi.lat =
+            (taxi.lat + (self.rng.next_f64() - 0.5) * 2.0 * lat_span).clamp(LAT_MIN, LAT_MAX);
+        taxi.lon =
+            (taxi.lon + (self.rng.next_f64() - 0.5) * 2.0 * lon_span).clamp(LON_MIN, LON_MAX);
     }
 }
 

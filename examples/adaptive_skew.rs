@@ -47,9 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run one balancing round (in production this runs periodically).
     match ww.rebalance()? {
-        BalanceOutcome::Repartitioned { version, deviation } => println!(
-            "  balancer: deviation {deviation:.2} > 0.2 → installed schema v{version}"
-        ),
+        BalanceOutcome::Repartitioned { version, deviation } => {
+            println!("  balancer: deviation {deviation:.2} > 0.2 → installed schema v{version}")
+        }
         other => println!("  balancer: {other:?}"),
     }
 
@@ -79,11 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for s in ww.indexing_servers() {
         // The template tree's stats live behind the index crate's counters;
         // surface the paper-relevant one.
-        println!(
-            "  {}: in-memory tuples {:>6}",
-            s.id(),
-            s.in_memory()
-        );
+        println!("  {}: in-memory tuples {:>6}", s.id(), s.in_memory());
     }
 
     // Correctness through it all: every inserted tuple stays queryable.

@@ -96,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ww.pump_all(100)?;
         ww.sync_queue()?;
     }
-    let ww = Waterwheel::builder(&root2).config(cfg).durable_queue().build()?;
+    let ww = Waterwheel::builder(&root2)
+        .config(cfg)
+        .durable_queue()
+        .build()?;
     ww.drain()?;
     let recovered = ww.query(&all)?.tuples.len();
     println!("visible after restart (durable queue):  {recovered} (queue replayed)");

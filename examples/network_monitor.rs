@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TimeInterval::new(start, now),
         |t| t.payload.len() >= 8 && t.payload[7] & 0xF0 == 0xF0,
     ))?;
-    println!("…destined to 0xF?.* block  → {:>6} packets", result.tuples.len());
+    println!(
+        "…destined to 0xF?.* block  → {:>6} packets",
+        result.tuples.len()
+    );
 
     println!("\n--- system metrics ---");
     println!("{}", waterwheel::server::SystemMetrics::collect(&ww));

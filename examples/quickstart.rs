@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         |t| t.key % 2 == 0,
     );
     let result = ww.query(&query)?;
-    println!("…and with an even-sensor predicate  →  {} readings", result.tuples.len());
+    println!(
+        "…and with an even-sensor predicate  →  {} readings",
+        result.tuples.len()
+    );
     assert_eq!(result.tuples.len(), 5 * 11);
 
     // Data is chunked to the (simulated) distributed file system once the

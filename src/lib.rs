@@ -29,6 +29,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`core`] | data model: tuples, intervals, regions, queries, z-order |
+//! | [`agg`] | hierarchical aggregate wheel + sealed chunk summaries (§4b) |
 //! | [`index`] | template B+ tree (§III-B/C) + baseline trees |
 //! | [`mq`] | replayable partitioned log (Kafka substitute, §V) |
 //! | [`storage`] | chunk format, simulated DFS, LRU block cache (§III-A, §IV-B) |
@@ -41,6 +42,7 @@
 //! See `DESIGN.md` for the substitution inventory and `EXPERIMENTS.md` for
 //! the paper-vs-measured results of every table and figure.
 
+pub use waterwheel_agg as agg;
 pub use waterwheel_baselines as baselines;
 pub use waterwheel_cluster as cluster;
 pub use waterwheel_core as core;
@@ -53,9 +55,10 @@ pub use waterwheel_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use waterwheel_agg::AggregateAnswer;
     pub use waterwheel_core::{
-        Key, KeyInterval, Query, QueryResult, Region, SystemConfig, TimeInterval, Timestamp,
-        Tuple,
+        AggregateKind, AggregateQuery, Key, KeyInterval, Query, QueryResult, Region, SystemConfig,
+        TimeInterval, Timestamp, Tuple,
     };
     pub use waterwheel_server::{DispatchPolicy, Waterwheel, WaterwheelBuilder};
 }

@@ -45,7 +45,11 @@ fn skewed_stream_triggers_repartition_and_evens_load() {
     let before: Vec<u64> = ww
         .indexing_servers()
         .iter()
-        .map(|s| s.stats().ingested.load(std::sync::atomic::Ordering::Relaxed))
+        .map(|s| {
+            s.stats()
+                .ingested
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
         .collect();
     for _ in 0..20_000 {
         ww.insert(stream.next().unwrap()).unwrap();
@@ -55,14 +59,22 @@ fn skewed_stream_triggers_repartition_and_evens_load() {
         .indexing_servers()
         .iter()
         .zip(&before)
-        .map(|(s, b)| s.stats().ingested.load(std::sync::atomic::Ordering::Relaxed) - b)
+        .map(|(s, b)| {
+            s.stats()
+                .ingested
+                .load(std::sync::atomic::Ordering::Relaxed)
+                - b
+        })
         .collect();
     let mean = deltas.iter().sum::<u64>() as f64 / deltas.len() as f64;
     let max_dev = deltas
         .iter()
         .map(|&d| (d as f64 - mean).abs() / mean)
         .fold(0.0, f64::max);
-    assert!(max_dev < 0.5, "load still skewed after repartition: {deltas:?}");
+    assert!(
+        max_dev < 0.5,
+        "load still skewed after repartition: {deltas:?}"
+    );
     // No tuples lost through the overlap window.
     assert_eq!(ww.query(&all()).unwrap().tuples.len(), 40_000);
 }
@@ -187,7 +199,11 @@ fn very_late_tuples_are_separated_but_never_lost() {
     let side_stored: u64 = ww
         .indexing_servers()
         .iter()
-        .map(|s| s.stats().side_stored.load(std::sync::atomic::Ordering::Relaxed))
+        .map(|s| {
+            s.stats()
+                .side_stored
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
         .sum();
     assert!(side_stored > 0, "disorder produced no very-late tuples");
     assert_eq!(ww.query(&all()).unwrap().tuples.len(), 20_000);

@@ -1,0 +1,222 @@
+//! Property-based tests for the temporal aggregate subsystem (DESIGN.md
+//! §4b): for arbitrary workloads and arbitrary key × time rectangles, every
+//! [`AggregateKind`] answered through the wheel/summary path equals a naive
+//! fold over a full scan — bit for bit, including queries that straddle the
+//! memory/chunk boundary and workloads with late (Δt side-store) tuples.
+
+use proptest::prelude::*;
+use waterwheel::agg::PartialAgg;
+use waterwheel::core::{AggregateKind, KeyInterval, Query, TimeInterval, Tuple};
+use waterwheel::prelude::{SystemConfig, Waterwheel};
+use waterwheel::server::SystemMetrics;
+
+/// The measure under test. Deliberately not the default (payload length —
+/// zero for `Tuple::bare`), so a path that forgets the registered measure
+/// shows up as a wrong SUM/MIN/MAX/AVG rather than a silent all-zeros match.
+fn measure(t: &Tuple) -> u64 {
+    t.key.wrapping_mul(31).wrapping_add(t.ts) % 10_000
+}
+
+/// The oracle: fold every matching tuple of the full stream.
+fn naive(tuples: &[Tuple], keys: &KeyInterval, times: &TimeInterval) -> PartialAgg {
+    let mut agg = PartialAgg::empty();
+    for t in tuples {
+        if keys.contains(t.key) && times.contains(t.ts) {
+            agg.insert(measure(t));
+        }
+    }
+    agg
+}
+
+/// Keys spread across the whole u64 domain (so queries can cover whole key
+/// slices) with sub-second *and* multi-second timestamps (so the time plan
+/// produces both covered seconds and fringes). Insertion order is random in
+/// time, which exercises the Δt side store: tuples arriving more than 5 s
+/// (the default `late_visibility`) behind the watermark are diverted.
+fn tuples_strategy(max: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec((0u64..16, 0u64..1_000, 0u64..60_000), 0..max).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(slice, low, ts)| Tuple::bare(slice << 60 | low, ts))
+            .collect()
+    })
+}
+
+/// Rectangles built from key-slice corners plus jitter: most cover whole
+/// slices and whole seconds (the summary path), the jitter adds partial-
+/// slice and sub-second fringes (the scan path), and degenerate pairs
+/// collapse to pure-fringe queries.
+fn rect_strategy() -> impl Strategy<Value = (KeyInterval, TimeInterval)> {
+    (
+        (0u64..16, 0u64..16, 0u64..2_000),
+        (0u64..60_000, 0u64..60_000),
+    )
+        .prop_map(|((s0, s1, jit), (t0, t1))| {
+            let (lo_s, hi_s) = (s0.min(s1), s0.max(s1));
+            let keys = KeyInterval::new(lo_s << 60, (hi_s << 60) + jit);
+            (keys, TimeInterval::new(t0.min(t1), t0.max(t1)))
+        })
+}
+
+fn expected_value(kind: AggregateKind, want: &PartialAgg) -> Option<f64> {
+    match kind {
+        AggregateKind::Count => Some(want.count as f64),
+        AggregateKind::Sum => Some(want.sum as f64),
+        AggregateKind::Min => want.min().map(|v| v as f64),
+        AggregateKind::Max => want.max().map(|v| v as f64),
+        AggregateKind::Avg => want.avg(),
+    }
+}
+
+fn system(root: &std::path::Path) -> Waterwheel {
+    let _ = std::fs::remove_dir_all(root);
+    let mut cfg = SystemConfig::default();
+    cfg.chunk_size_bytes = 8 * 1024;
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 2;
+    let ww = Waterwheel::builder(root).config(cfg).build().unwrap();
+    ww.register_measure(measure);
+    ww
+}
+
+proptest! {
+    // Full-system cases are heavy; few cases, each covering many rects ×
+    // all five kinds.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn aggregate_matches_full_scan_oracle(
+        tuples in tuples_strategy(500),
+        rects in prop::collection::vec(rect_strategy(), 1..4),
+        flush_at in 0usize..500,
+    ) {
+        let root = std::env::temp_dir().join(format!(
+            "ww-agg-prop-{}-{}",
+            std::process::id(),
+            suffix(&tuples, flush_at),
+        ));
+        let ww = system(&root);
+        for (i, t) in tuples.iter().enumerate() {
+            ww.insert(t.clone()).unwrap();
+            if i == flush_at {
+                // Half the stream ends up in summarized chunks, the rest in
+                // live wheels — straddling rects combine both paths.
+                ww.drain().unwrap();
+                ww.flush_all().unwrap();
+            }
+        }
+        ww.drain().unwrap();
+        for (keys, times) in &rects {
+            let want = naive(&tuples, keys, times);
+            for kind in AggregateKind::ALL {
+                let got = ww.aggregate(&Query::range(*keys, *times).aggregate(kind)).unwrap();
+                prop_assert_eq!(got.agg, want);
+                prop_assert_eq!(got.value(), expected_value(kind, &want));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn aggregate_matches_oracle_with_fallback_forced(
+        tuples in tuples_strategy(300),
+        (keys, times) in rect_strategy(),
+    ) {
+        // The ablation knob must not change answers, only how they are
+        // computed (pure tuple scan instead of wheel cells).
+        let root = std::env::temp_dir().join(format!(
+            "ww-agg-fb-{}-{}",
+            std::process::id(),
+            suffix(&tuples, 0),
+        ));
+        let ww = system(&root);
+        for t in &tuples {
+            ww.insert(t.clone()).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        ww.coordinator().set_summaries_enabled(false);
+        let got = ww
+            .aggregate(&Query::range(keys, times).aggregate(AggregateKind::Sum))
+            .unwrap();
+        prop_assert_eq!(got.agg, naive(&tuples, &keys, &times));
+        prop_assert_eq!(got.cells_merged, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// A fully-covered aggregate (whole key domain × whole seconds) over fully
+/// flushed data is answered from chunk summaries alone: zero leaf pages
+/// read (ISSUE 1 acceptance criterion).
+#[test]
+fn covered_aggregate_reads_no_leaf_pages() {
+    let root = std::env::temp_dir().join(format!("ww-agg-zeroleaf-{}", std::process::id()));
+    let ww = system(&root);
+    for i in 0..2_000u64 {
+        ww.insert(Tuple::bare(i << 48, i * 29 % 60_000)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+
+    let q = Query::range(KeyInterval::full(), TimeInterval::new(0, 59_999))
+        .aggregate(AggregateKind::Count);
+    let got = ww.aggregate(&q).unwrap();
+    assert_eq!(got.agg.count, 2_000);
+    assert_eq!(
+        got.scanned_tuples, 0,
+        "covered aggregate fell back to scans"
+    );
+    assert!(got.cells_merged > 0);
+
+    let m = SystemMetrics::collect(&ww);
+    assert_eq!(
+        m.leaf_reads, 0,
+        "summary-covered aggregate opened leaf pages:\n{m}"
+    );
+    assert_eq!(m.agg_queries, 1);
+    assert_eq!(m.agg_fallback_subqueries, 0);
+    assert!(m.summary_bytes_flushed > 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Late tuples (older than Δt behind the watermark) go through the side
+/// store; aggregates must still see them once drained.
+#[test]
+fn late_tuples_are_aggregated() {
+    let root = std::env::temp_dir().join(format!("ww-agg-late-{}", std::process::id()));
+    let ww = system(&root);
+    let mut all = Vec::new();
+    for i in 0..400u64 {
+        let t = Tuple::bare(i << 48, 50_000 + i * 20);
+        all.push(t.clone());
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    // Stragglers 50 s behind the watermark: diverted to side stores.
+    for i in 0..50u64 {
+        let t = Tuple::bare(i << 48, 1_000 + i * 10);
+        all.push(t.clone());
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    let keys = KeyInterval::full();
+    let times = TimeInterval::new(0, 99_999);
+    let got = ww
+        .aggregate(&Query::range(keys, times).aggregate(AggregateKind::Avg))
+        .unwrap();
+    assert_eq!(got.agg, naive(&all, &keys, &times));
+    assert_eq!(got.agg.count, 450);
+}
+
+/// Cheap deterministic suffix so concurrent proptest cases get distinct
+/// roots without pulling in a clock (keeps runs reproducible).
+fn suffix(tuples: &[Tuple], salt: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ salt as u64;
+    for t in tuples.iter().take(16) {
+        h ^= t.key.wrapping_mul(31).wrapping_add(t.ts);
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h ^= tuples.len() as u64;
+    h
+}

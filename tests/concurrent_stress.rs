@@ -80,5 +80,9 @@ fn ingest_query_rebalance_crash_concurrently() {
     let r = ww
         .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
         .unwrap();
-    assert_eq!(r.tuples.len() as u64, total, "stress run lost or duplicated tuples");
+    assert_eq!(
+        r.tuples.len() as u64,
+        total,
+        "stress run lost or duplicated tuples"
+    );
 }

@@ -21,7 +21,10 @@ fn small_system(name: &str) -> Waterwheel {
     cfg.indexing_servers = 2;
     cfg.query_servers = 3;
     cfg.dispatchers = 2;
-    Waterwheel::builder(fresh_root(name)).config(cfg).build().unwrap()
+    Waterwheel::builder(fresh_root(name))
+        .config(cfg)
+        .build()
+        .unwrap()
 }
 
 fn normalized(mut tuples: Vec<Tuple>) -> Vec<Tuple> {

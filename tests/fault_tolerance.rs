@@ -94,7 +94,13 @@ fn query_server_failures_degrade_gracefully() {
     // Recovery restores service.
     servers[0].set_failed(false);
     assert_eq!(ww.query(&all()).unwrap().tuples.len(), 2_000);
-    assert!(ww.coordinator().stats().redispatches.load(Ordering::Relaxed) > 0);
+    assert!(
+        ww.coordinator()
+            .stats()
+            .redispatches
+            .load(Ordering::Relaxed)
+            > 0
+    );
 }
 
 #[test]
@@ -160,10 +166,7 @@ fn coordinator_restart_preserves_service_and_state() {
     assert_eq!(before, after);
     assert_eq!(after, 2_000);
     // The fresh coordinator starts with clean stats.
-    assert_eq!(
-        ww.coordinator().stats().queries.load(Ordering::Relaxed),
-        1
-    );
+    assert_eq!(ww.coordinator().stats().queries.load(Ordering::Relaxed), 1);
 }
 
 #[test]
@@ -195,7 +198,10 @@ fn durable_queue_survives_full_process_restart_with_unflushed_data() {
         .unwrap();
     ww.drain().unwrap();
     let got = ww.query(&all()).unwrap().tuples.len();
-    assert_eq!(got as u64, inserted, "durable queue lost or duplicated data");
+    assert_eq!(
+        got as u64, inserted,
+        "durable queue lost or duplicated data"
+    );
 }
 
 #[test]

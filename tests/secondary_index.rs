@@ -18,7 +18,10 @@ fn system(name: &str) -> Waterwheel {
     cfg.chunk_size_bytes = 16 * 1024;
     cfg.indexing_servers = 2;
     cfg.query_servers = 2;
-    let ww = Waterwheel::builder(fresh_root(name)).config(cfg).build().unwrap();
+    let ww = Waterwheel::builder(fresh_root(name))
+        .config(cfg)
+        .build()
+        .unwrap();
     ww.register_attribute(ATTR_TAG, |t| t.payload.first().map(|&b| b as u64));
     ww
 }
@@ -95,11 +98,9 @@ fn attr_eq_composes_with_ranges_and_predicates() {
     // Half the data flushed, half in memory.
     ww.flush_all().unwrap();
     ingest(&ww, 20_000); // same keys again, later timestamps? (keys repeat)
-    let q = Query::with_predicate(
-        KeyInterval::new(0, 9_999),
-        TimeInterval::full(),
-        |t| t.key % 2 == 0,
-    )
+    let q = Query::with_predicate(KeyInterval::new(0, 9_999), TimeInterval::full(), |t| {
+        t.key % 2 == 0
+    })
     .and_attr_eq(ATTR_TAG, 4);
     let got = ww.query(&q).unwrap();
     // Tag 4 ⇒ key % 16 == 4 ⇒ already even; within keys 0..9_999 → 625 per
@@ -121,7 +122,10 @@ fn attribute_indexes_survive_restart() {
     let mut cfg = SystemConfig::default();
     cfg.chunk_size_bytes = 16 * 1024;
     {
-        let ww = Waterwheel::builder(&root).config(cfg.clone()).build().unwrap();
+        let ww = Waterwheel::builder(&root)
+            .config(cfg.clone())
+            .build()
+            .unwrap();
         ww.register_attribute(ATTR_TAG, |t| t.payload.first().map(|&b| b as u64));
         ingest(&ww, 20_000);
         ww.flush_all().unwrap();

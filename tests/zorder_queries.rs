@@ -58,9 +58,7 @@ fn georect_queries_are_exact_after_filtering() {
         let rect = quant_rect(lat0, lat1, lon0, lon1);
         let mut got: HashSet<(u64, u64)> = HashSet::new();
         for r in &ranges {
-            let result = ww
-                .query(&Query::range(*r, TimeInterval::full()))
-                .unwrap();
+            let result = ww.query(&Query::range(*r, TimeInterval::full())).unwrap();
             for t in result.tuples.iter().filter(|t| tuple_inside(t, rect)) {
                 got.insert((t.key, t.ts));
             }

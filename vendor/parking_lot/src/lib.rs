@@ -1,0 +1,338 @@
+//! Offline shim for the [`parking_lot`](https://crates.io/crates/parking_lot)
+//! crate, covering the surface Waterwheel uses:
+//!
+//! - [`Mutex`] with poison-free `lock()` / `into_inner()` (delegates to
+//!   `std::sync::Mutex`, swallowing poison like parking_lot does),
+//! - [`RwLock`] with borrowed `read()` / `write()` guards **and** the
+//!   `arc_lock` owned guards `read_arc()` / `write_arc()` used by the
+//!   latch-crabbing concurrent B+ tree,
+//! - the [`lock_api`] guard types and [`RawRwLock`] marker those owned
+//!   guards are named with.
+//!
+//! The `RwLock` is a classic mutex+condvar readers-writer lock: no writer
+//! preference, which keeps hand-over-hand (crabbing) acquisition
+//! deadlock-free as long as locks are taken top-down, which is how the
+//! index uses it.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// Poison-free mutex guard (parking_lot guards have no poison either).
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking until available. A panicked previous
+    /// holder does not poison the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed:
+    /// `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Marker standing in for parking_lot's raw lock type, used only to name
+/// the owned guard types (`ArcRwLockWriteGuard<RawRwLock, T>`).
+pub struct RawRwLock(());
+
+#[derive(Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+/// A readers-writer lock with poison-free guards and owned (`Arc`-holding)
+/// guard support.
+pub struct RwLock<T> {
+    state: StdMutex<RwState>,
+    cond: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by the reader/writer protocol —
+// shared access for readers, exclusive for the single writer.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            state: StdMutex::new(RwState {
+                readers: 0,
+                writer: false,
+            }),
+            cond: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    fn acquire_read(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.writer {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+    }
+
+    fn acquire_write(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.writer || s.readers > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.writer = true;
+    }
+
+    fn release_read(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.readers -= 1;
+        if s.readers == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn release_write(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.writer = false;
+        self.cond.notify_all();
+    }
+
+    /// Acquires shared access, blocking while a writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.acquire_read();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires exclusive access, blocking while any guard is held.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.acquire_write();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Acquires shared access through an `Arc`, returning a guard that
+    /// keeps the lock alive on its own (parking_lot's `arc_lock` API).
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        self.acquire_read();
+        lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(self),
+            marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Acquires exclusive access through an `Arc` (parking_lot's
+    /// `arc_lock` API).
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        self.acquire_write();
+        lock_api::ArcRwLockWriteGuard {
+            lock: Arc::clone(self),
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared-access guard borrowed from a [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the read latch is held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_read();
+    }
+}
+
+/// Exclusive-access guard borrowed from a [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the write latch is held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the write latch is exclusive.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+    }
+}
+
+/// Owned (Arc-holding) guard types, mirroring `parking_lot::lock_api`.
+pub mod lock_api {
+    use super::RwLock;
+    use std::marker::PhantomData;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::Arc;
+
+    /// Owned shared-access guard; keeps the lock's `Arc` alive.
+    pub struct ArcRwLockReadGuard<R, T> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) marker: PhantomData<R>,
+    }
+
+    impl<R, T> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // Safety: the read latch is held for the guard's lifetime.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.release_read();
+        }
+    }
+
+    /// Owned exclusive-access guard; keeps the lock's `Arc` alive.
+    pub struct ArcRwLockWriteGuard<R, T> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) marker: PhantomData<R>,
+    }
+
+    impl<R, T> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // Safety: the write latch is held for the guard's lifetime.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: the write latch is exclusive.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<R, T> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.release_write();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        *l.write() += 1;
+                        let _ = *l.read();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 4_000);
+    }
+
+    #[test]
+    fn arc_guards_keep_lock_alive() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let g = l.write_arc();
+        drop(l); // guard still owns an Arc
+        assert_eq!(g.len(), 3);
+        drop(g);
+    }
+
+    #[test]
+    fn arc_read_then_write() {
+        let l = Arc::new(RwLock::new(7u32));
+        {
+            let r = l.read_arc();
+            assert_eq!(*r, 7);
+        }
+        let mut w = l.write_arc();
+        *w = 8;
+        drop(w);
+        assert_eq!(*l.read(), 8);
+    }
+}

@@ -1,0 +1,375 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset Waterwheel's property tests use: the [`proptest!`]
+//! macro, `prop_assert!`/`prop_assert_eq!`, integer-range and tuple
+//! strategies, `prop_map`, `prop::collection::vec`, and
+//! `ProptestConfig::with_cases`. Inputs are generated from a deterministic
+//! per-(test, case) seed, so failures reproduce across runs. No shrinking:
+//! a failing case reports the case index and assertion message.
+
+#![warn(missing_docs)]
+
+/// Deterministic RNG and test-case plumbing.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is meaningful in the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Runs each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert*`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic splitmix64 RNG seeded from (test name, case index).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG so each (test, case) pair replays identically.
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            Self { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(
+                            self.start < self.end,
+                            "empty range strategy {}..{}",
+                            self.start,
+                            self.end
+                        );
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy yielding vectors with length drawn from `size` and
+    /// elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs, glob-imported.
+pub mod prelude {
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each property runs `config.cases` times with deterministic per-case
+/// seeds; `prop_assert*` failures abort the case with a panic naming the
+/// case index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strat = ($($strat,)+);
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                        case,
+                    );
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("case {case}/{} failed: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..1_000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_respects_size_and_map(
+            v in prop::collection::vec((0u64..100, 0u64..100), 0..50)
+                .prop_map(|pairs| pairs.into_iter().map(|(a, b)| a + b).collect::<Vec<_>>()),
+            (lo, hi) in (0u64..100, 0u64..100),
+        ) {
+            prop_assert!(v.len() < 50, "len {}", v.len());
+            for x in &v {
+                prop_assert!(*x < 200, "sum {x}");
+            }
+            prop_assert!(lo < 100 && hi < 100);
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}
