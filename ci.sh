@@ -18,4 +18,11 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> examples smoke pass"
+for example in adaptive_skew aggregate_dashboard fault_tolerance \
+               network_monitor quickstart taxi_tracking; do
+    echo "--> example: ${example}"
+    cargo run --release --example "${example}" > /dev/null
+done
+
 echo "CI OK"

@@ -94,6 +94,28 @@ pub struct SystemConfig {
     /// Maintain live wheels and seal chunk summaries (ablation knob; when
     /// off, aggregate queries fall back to the tuple-scan path end to end).
     pub agg_summaries_enabled: bool,
+
+    /// Per-attempt deadline for every cross-server RPC. An attempt whose
+    /// simulated transit time exceeds the remaining budget fails with
+    /// [`WwError::Timeout`](crate::WwError::Timeout) without reaching the
+    /// destination.
+    pub rpc_timeout: Duration,
+
+    /// Extra attempts after a retryable RPC failure (timeout/unreachable);
+    /// `2` means up to three attempts in total. Non-retryable errors —
+    /// actual answers from the destination — are never retried.
+    pub rpc_retries: u32,
+
+    /// Base backoff slept between RPC attempts, scaled linearly by the
+    /// attempt number. Zero (the default for the in-process transport)
+    /// retries immediately.
+    pub rpc_backoff: Duration,
+
+    /// Rounds of coordinator-level subquery re-dispatch after the first
+    /// dispatch plan: subqueries that failed (server crashed mid-plan, link
+    /// down past the RPC retry budget) are re-planned across the servers
+    /// that still answer pings (paper §V).
+    pub rpc_redispatch_rounds: usize,
 }
 
 impl Default for SystemConfig {
@@ -123,6 +145,10 @@ impl Default for SystemConfig {
             agg_slice_bits: 4,
             agg_max_cells_per_ring: 8192,
             agg_summaries_enabled: true,
+            rpc_timeout: Duration::from_secs(1),
+            rpc_retries: 2,
+            rpc_backoff: Duration::ZERO,
+            rpc_redispatch_rounds: 2,
         }
     }
 }
@@ -165,6 +191,12 @@ impl SystemConfig {
         if !(1..=16).contains(&self.agg_slice_bits) {
             return Err("agg_slice_bits must be in 1..=16".into());
         }
+        if self.rpc_timeout.is_zero() {
+            return Err("rpc_timeout must be positive".into());
+        }
+        if self.rpc_redispatch_rounds == 0 {
+            return Err("rpc_redispatch_rounds must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -197,6 +229,8 @@ mod tests {
             |c: &mut SystemConfig| c.chunk_size_bytes = 0,
             |c: &mut SystemConfig| c.agg_slice_bits = 0,
             |c: &mut SystemConfig| c.agg_slice_bits = 17,
+            |c: &mut SystemConfig| c.rpc_timeout = Duration::ZERO,
+            |c: &mut SystemConfig| c.rpc_redispatch_rounds = 0,
         ] {
             let mut c = SystemConfig::default();
             breakage(&mut c);

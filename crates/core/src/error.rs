@@ -35,6 +35,13 @@ pub enum WwError {
     Shutdown(&'static str),
     /// An injected fault (failure-injection test hooks).
     Injected(&'static str),
+    /// An RPC did not complete before its deadline (lost request, slow
+    /// link, or overload). Retryable: the request may never have reached
+    /// the destination.
+    Timeout(&'static str),
+    /// The destination of an RPC cannot be reached (network partition,
+    /// dead node, or no server bound at the address). Retryable.
+    Unreachable(&'static str),
 }
 
 impl fmt::Display for WwError {
@@ -47,6 +54,8 @@ impl fmt::Display for WwError {
             WwError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             WwError::Shutdown(who) => write!(f, "{who} has shut down"),
             WwError::Injected(what) => write!(f, "injected fault: {what}"),
+            WwError::Timeout(what) => write!(f, "rpc timed out: {what}"),
+            WwError::Unreachable(what) => write!(f, "destination unreachable: {what}"),
         }
     }
 }
@@ -82,6 +91,13 @@ impl WwError {
             id: id.to_string(),
         }
     }
+
+    /// Whether a retry of the same RPC could plausibly succeed: the request
+    /// may never have reached (or may again reach) the destination. Other
+    /// errors are answers from the destination and must not be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WwError::Timeout(_) | WwError::Unreachable(_))
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +110,18 @@ mod tests {
         assert_eq!(e.to_string(), "corrupt chunk: bad magic");
         let e = WwError::not_found("topic", "ingest-3");
         assert_eq!(e.to_string(), "topic not found: ingest-3");
+    }
+
+    #[test]
+    fn rpc_errors_format_and_classify() {
+        let t = WwError::Timeout("chunk subquery");
+        assert_eq!(t.to_string(), "rpc timed out: chunk subquery");
+        assert!(t.is_retryable());
+        let u = WwError::Unreachable("link partitioned");
+        assert_eq!(u.to_string(), "destination unreachable: link partitioned");
+        assert!(u.is_retryable());
+        assert!(!WwError::Injected("server down").is_retryable());
+        assert!(!WwError::not_found("chunk", 3).is_retryable());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Retrying RPC client: deadlines, bounded retry with backoff, stats.
+//!
+//! An [`RpcClient`] is one sender's handle onto the message plane. Each
+//! `call` stamps a fresh per-attempt deadline from
+//! [`SystemConfig::rpc_timeout`], and retries **only** delivery failures
+//! ([`WwError::is_retryable`]: timeout/unreachable) up to
+//! [`SystemConfig::rpc_retries`] extra attempts, sleeping
+//! `rpc_backoff × attempt` between them. Errors produced by the
+//! destination itself (an injected crash, a missing chunk) are answers,
+//! not delivery failures, and propagate immediately.
+//!
+//! Retries are safe because the transport's fault model is request-loss
+//! only: a failed attempt never reached the destination handler, so
+//! resending cannot duplicate a side effect.
+
+use crate::envelope::{Envelope, Request, Response};
+use crate::transport::Transport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use waterwheel_core::{Result, ServerId, SystemConfig};
+
+/// A sender's handle onto the message plane; cheap to clone.
+#[derive(Clone)]
+pub struct RpcClient {
+    transport: Arc<dyn Transport>,
+    src: ServerId,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+    next_rpc_id: Arc<AtomicU64>,
+}
+
+impl RpcClient {
+    /// A client sending as `src` with the config's deadline/retry policy.
+    pub fn new(transport: Arc<dyn Transport>, src: ServerId, cfg: &SystemConfig) -> Self {
+        Self {
+            transport,
+            src,
+            timeout: cfg.rpc_timeout,
+            retries: cfg.rpc_retries,
+            backoff: cfg.rpc_backoff,
+            next_rpc_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The address this client sends as.
+    pub fn src(&self) -> ServerId {
+        self.src
+    }
+
+    /// The underlying transport (for stats and fault injection).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Sends `req` to `dst`, retrying delivery failures per the policy.
+    pub fn call(&self, dst: ServerId, req: Request) -> Result<Response> {
+        let rpc_id = self.next_rpc_id.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0u32;
+        loop {
+            let env = Envelope {
+                src: self.src,
+                dst,
+                rpc_id,
+                deadline: Instant::now() + self.timeout,
+                payload: req.clone(),
+            };
+            match self.transport.send(env) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && attempt < self.retries => {
+                    attempt += 1;
+                    self.transport
+                        .stats()
+                        .link(self.src, dst)
+                        .retried
+                        .fetch_add(1, Ordering::Relaxed);
+                    if !self.backoff.is_zero() {
+                        std::thread::sleep(self.backoff * attempt);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether `dst` currently answers a liveness probe.
+    pub fn ping(&self, dst: ServerId) -> bool {
+        matches!(self.call(dst, Request::Ping), Ok(Response::Pong))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InProcTransport, LinkProfile};
+    use waterwheel_core::WwError;
+
+    fn rig(retries: u32) -> (Arc<InProcTransport>, RpcClient) {
+        let t = Arc::new(InProcTransport::new(None));
+        let cfg = SystemConfig {
+            rpc_retries: retries,
+            ..SystemConfig::default()
+        };
+        let client = RpcClient::new(Arc::clone(&t) as Arc<dyn Transport>, ServerId(0), &cfg);
+        (t, client)
+    }
+
+    #[test]
+    fn retries_mask_transient_loss() {
+        let (t, client) = rig(30);
+        t.bind(ServerId(1), |_| Ok(Response::Pong));
+        t.set_default_profile(LinkProfile {
+            loss: 0.5,
+            ..LinkProfile::default()
+        });
+        // With 30 retries a 50% loss link still answers every call
+        // (P(fail) = 0.5^31 per call).
+        for _ in 0..50 {
+            client.call(ServerId(1), Request::Ping).unwrap();
+        }
+        let totals = t.stats().totals();
+        assert!(totals.retried > 0, "some attempts must have been retried");
+        assert_eq!(totals.retried, totals.timed_out);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let (t, client) = rig(2);
+        t.bind(ServerId(1), |_| Ok(Response::Pong));
+        t.set_default_profile(LinkProfile {
+            loss: 1.0,
+            ..LinkProfile::default()
+        });
+        let e = client.call(ServerId(1), Request::Ping).unwrap_err();
+        assert!(matches!(e, WwError::Timeout(_)));
+        let totals = t.stats().totals();
+        assert_eq!(totals.sent, 3, "1 attempt + 2 retries");
+        assert_eq!(totals.retried, 2);
+    }
+
+    #[test]
+    fn destination_errors_are_not_retried() {
+        let (t, client) = rig(5);
+        t.bind(ServerId(1), |_| Err(WwError::Injected("server down")));
+        let e = client.call(ServerId(1), Request::Ping).unwrap_err();
+        assert!(matches!(e, WwError::Injected(_)));
+        assert_eq!(t.stats().totals().sent, 1, "answers are never retried");
+        assert_eq!(t.stats().totals().retried, 0);
+    }
+
+    #[test]
+    fn ping_reports_liveness() {
+        let (t, client) = rig(0);
+        t.bind(ServerId(1), |_| Ok(Response::Pong));
+        t.bind(ServerId(2), |_| Err(WwError::Injected("crashed")));
+        assert!(client.ping(ServerId(1)));
+        assert!(!client.ping(ServerId(2)), "crashed server fails the probe");
+        assert!(!client.ping(ServerId(9)), "unbound address fails the probe");
+    }
+
+    #[test]
+    fn rpc_ids_are_unique_but_stable_across_retries() {
+        let (t, client) = rig(3);
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        t.bind(ServerId(1), move |env| {
+            s.lock().push(env.rpc_id);
+            Ok(Response::Pong)
+        });
+        client.call(ServerId(1), Request::Ping).unwrap();
+        client.call(ServerId(1), Request::Ping).unwrap();
+        let ids = seen.lock().clone();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+    }
+}

@@ -1,0 +1,363 @@
+//! Typed request/response envelopes — the message taxonomy of the plane.
+//!
+//! Every cross-server interaction in the topology is one of the payloads
+//! below; a [`Request`] travels inside an [`Envelope`] carrying addressing
+//! and a deadline. The taxonomy mirrors the Storm streams of the paper's
+//! Figure 3:
+//!
+//! | Hop | Payloads |
+//! |---|---|
+//! | dispatcher → indexing server | [`Request::Ingest`], [`Request::Flush`] |
+//! | coordinator → indexing server | [`Request::InMemorySubquery`], [`Request::AggregateInMemory`] |
+//! | coordinator → query server | [`Request::ChunkSubquery`], [`Request::ReadSummary`] |
+//! | any server → metadata server | [`Request::Meta`] |
+//! | health probe (any → any) | [`Request::Ping`] |
+//!
+//! Requests are `Clone` so a retrying client can resend them verbatim.
+
+use std::sync::Arc;
+use std::time::Instant;
+use waterwheel_agg::{FoldOutcome, WheelSummary};
+use waterwheel_core::{ChunkId, Region, Result, ServerId, SubQuery, TimeInterval, Tuple, WwError};
+use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
+use waterwheel_index::Bitmap;
+use waterwheel_meta::{ChunkInfo, SummaryExtent};
+
+/// The well-known address of the metadata server (the ZooKeeper-backed
+/// component of §II-B) on the message plane.
+pub const META_SERVER: ServerId = ServerId(3_000);
+
+/// The well-known address of the query coordinator.
+pub const COORDINATOR: ServerId = ServerId(4_000);
+
+/// One message on the wire: addressing, identity, deadline, payload.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender.
+    pub src: ServerId,
+    /// Destination.
+    pub dst: ServerId,
+    /// Unique per client; ties retries of one logical call together in
+    /// traces and lets a future `TcpTransport` match responses to requests.
+    pub rpc_id: u64,
+    /// Absolute deadline: the transport fails the attempt with
+    /// [`WwError::Timeout`] instead of delivering it late.
+    pub deadline: Instant,
+    /// The typed request.
+    pub payload: Request,
+}
+
+/// A request payload — every cross-server call in the system.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Route one tuple into the destination indexing server's partition of
+    /// the ingestion queue (dispatcher → indexing, §III-A).
+    Ingest {
+        /// The tuple to ingest.
+        tuple: Tuple,
+    },
+    /// Force the destination indexing server to seal its in-memory state
+    /// into chunks (control plane, §V durability boundary).
+    Flush,
+    /// Execute a subquery against the destination indexing server's
+    /// in-memory tree + side store (coordinator → indexing, §IV-A).
+    InMemorySubquery {
+        /// The fresh-data subquery.
+        sq: SubQuery,
+    },
+    /// Fold the destination indexing server's live aggregate wheel over a
+    /// slice × time rectangle (coordinator → indexing, DESIGN.md §4b).
+    AggregateInMemory {
+        /// Inclusive key-slice range.
+        slices: (u16, u16),
+        /// Second-aligned covered time interval.
+        covered: TimeInterval,
+    },
+    /// Execute a subquery against one flushed chunk (coordinator → query
+    /// server, §IV-B), optionally restricted to the leaves a secondary
+    /// attribute index qualified (§VIII).
+    ChunkSubquery {
+        /// The chunk subquery.
+        sq: SubQuery,
+        /// The chunk to read.
+        chunk: ChunkId,
+        /// Qualifying leaves from a secondary index probe, if any.
+        leaf_filter: Option<Bitmap>,
+    },
+    /// Read a chunk's sealed aggregate summary footer (coordinator → query
+    /// server).
+    ReadSummary {
+        /// The chunk whose footer to read.
+        chunk: ChunkId,
+    },
+    /// Liveness probe; answered with [`Response::Pong`] by healthy servers
+    /// and an error by crashed ones.
+    Ping,
+    /// A metadata-service call (any server → metadata server).
+    Meta(MetaRequest),
+}
+
+/// Calls against the metadata server (§II-B) made by other servers.
+#[derive(Clone, Debug)]
+pub enum MetaRequest {
+    /// Report an indexing server's current in-memory region (already
+    /// widened by Δt), or clear it with `None`.
+    UpdateMemoryRegion {
+        /// The reporting indexing server.
+        server: ServerId,
+        /// Its in-memory data region, or `None` when empty/crashed.
+        region: Option<Region>,
+    },
+    /// Durably allocate the next chunk id.
+    AllocateChunkId,
+    /// Register a freshly written chunk together with the producer's
+    /// durable queue offset (one atomic step, §V).
+    RegisterChunk {
+        /// The chunk id.
+        chunk: ChunkId,
+        /// Region, count, size, producer.
+        info: ChunkInfo,
+        /// The producer's queue position before sealing.
+        durable_offset: u64,
+    },
+    /// Register the aggregate-summary extent sealed into a chunk's footer.
+    RegisterSummary {
+        /// The chunk.
+        chunk: ChunkId,
+        /// Cells/bytes/levels of its footer summary.
+        extent: SummaryExtent,
+    },
+    /// Register a secondary attribute index for a chunk (§VIII).
+    RegisterAttrIndex {
+        /// The chunk.
+        chunk: ChunkId,
+        /// The attribute.
+        attr: AttrId,
+        /// The bloom + bitmap index.
+        index: ChunkAttrIndex,
+    },
+    /// R-tree lookup: chunks whose regions overlap the query rectangle.
+    ChunksOverlapping {
+        /// The query rectangle.
+        region: Region,
+    },
+    /// In-memory regions (per indexing server) overlapping the rectangle.
+    MemoryRegionsOverlapping {
+        /// The query rectangle.
+        region: Region,
+    },
+    /// Probe a chunk's secondary index for an attribute value.
+    AttrProbe {
+        /// The chunk.
+        chunk: ChunkId,
+        /// The attribute.
+        attr: AttrId,
+        /// The probed value.
+        value: u64,
+    },
+    /// The summary extent registered for a chunk, if any.
+    SummaryExtent {
+        /// The chunk.
+        chunk: ChunkId,
+    },
+}
+
+/// A response payload.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The request was applied; nothing to return.
+    Ack,
+    /// Liveness probe answer.
+    Pong,
+    /// Matching tuples from a subquery.
+    Tuples(Vec<Tuple>),
+    /// Chunk ids sealed by a [`Request::Flush`].
+    Flushed(Vec<ChunkId>),
+    /// A live-wheel fold outcome.
+    Fold(FoldOutcome),
+    /// A chunk's footer summary (`None` when written without one).
+    Summary(Option<Arc<WheelSummary>>),
+    /// A metadata-service answer.
+    Meta(MetaResponse),
+}
+
+/// Answers from the metadata server.
+#[derive(Clone, Debug)]
+pub enum MetaResponse {
+    /// The mutation was applied.
+    Ack,
+    /// A freshly allocated chunk id.
+    Allocated(ChunkId),
+    /// Overlapping chunks with their regions.
+    Chunks(Vec<(ChunkId, Region)>),
+    /// Overlapping in-memory regions with their owning servers.
+    Regions(Vec<(ServerId, Region)>),
+    /// A secondary-index probe verdict.
+    Probe(AttrProbe),
+    /// A chunk's summary extent, if registered.
+    Extent(Option<SummaryExtent>),
+}
+
+fn unexpected<T>() -> Result<T> {
+    Err(WwError::InvalidState(
+        "rpc response variant does not match the request".into(),
+    ))
+}
+
+impl Response {
+    /// Unwraps [`Response::Tuples`].
+    pub fn into_tuples(self) -> Result<Vec<Tuple>> {
+        match self {
+            Response::Tuples(t) => Ok(t),
+            _ => unexpected(),
+        }
+    }
+
+    /// Unwraps [`Response::Flushed`].
+    pub fn into_flushed(self) -> Result<Vec<ChunkId>> {
+        match self {
+            Response::Flushed(c) => Ok(c),
+            _ => unexpected(),
+        }
+    }
+
+    /// Unwraps [`Response::Fold`].
+    pub fn into_fold(self) -> Result<FoldOutcome> {
+        match self {
+            Response::Fold(f) => Ok(f),
+            _ => unexpected(),
+        }
+    }
+
+    /// Unwraps [`Response::Summary`].
+    pub fn into_summary(self) -> Result<Option<Arc<WheelSummary>>> {
+        match self {
+            Response::Summary(s) => Ok(s),
+            _ => unexpected(),
+        }
+    }
+
+    /// Unwraps [`Response::Meta`].
+    pub fn into_meta(self) -> Result<MetaResponse> {
+        match self {
+            Response::Meta(m) => Ok(m),
+            _ => unexpected(),
+        }
+    }
+
+    /// Unwraps [`Response::Ack`].
+    pub fn into_ack(self) -> Result<()> {
+        match self {
+            Response::Ack => Ok(()),
+            _ => unexpected(),
+        }
+    }
+}
+
+/// Estimated serialized sizes, charged to the per-link byte counters. A
+/// `TcpTransport` would replace these with real frame lengths; the estimate
+/// only needs to scale with the data actually moved.
+const ENVELOPE_OVERHEAD: usize = 32;
+
+fn subquery_size(sq: &SubQuery) -> usize {
+    // id + two intervals + target; the predicate is a shared closure and
+    // would be shipped as a compiled filter description of similar size.
+    48 + std::mem::size_of_val(&sq.id) + if sq.predicate.is_some() { 16 } else { 0 }
+}
+
+impl Request {
+    /// Estimated wire size in bytes (envelope overhead included).
+    pub fn wire_size(&self) -> usize {
+        ENVELOPE_OVERHEAD
+            + match self {
+                Request::Ingest { tuple } => tuple.encoded_len(),
+                Request::Flush | Request::Ping => 0,
+                Request::InMemorySubquery { sq } => subquery_size(sq),
+                Request::AggregateInMemory { .. } => 24,
+                Request::ChunkSubquery {
+                    sq, leaf_filter, ..
+                } => subquery_size(sq) + 8 + leaf_filter.as_ref().map_or(0, |_| 64),
+                Request::ReadSummary { .. } => 8,
+                Request::Meta(m) => m.wire_size(),
+            }
+    }
+}
+
+impl MetaRequest {
+    fn wire_size(&self) -> usize {
+        match self {
+            MetaRequest::UpdateMemoryRegion { .. } => 40,
+            MetaRequest::AllocateChunkId => 0,
+            MetaRequest::RegisterChunk { .. } => 64,
+            MetaRequest::RegisterSummary { .. } => 32,
+            MetaRequest::RegisterAttrIndex { .. } => 128,
+            MetaRequest::ChunksOverlapping { .. }
+            | MetaRequest::MemoryRegionsOverlapping { .. } => 32,
+            MetaRequest::AttrProbe { .. } => 24,
+            MetaRequest::SummaryExtent { .. } => 8,
+        }
+    }
+}
+
+impl Response {
+    /// Estimated wire size in bytes (envelope overhead included).
+    pub fn wire_size(&self) -> usize {
+        ENVELOPE_OVERHEAD
+            + match self {
+                Response::Ack | Response::Pong => 0,
+                Response::Tuples(ts) => ts.iter().map(Tuple::encoded_len).sum(),
+                Response::Flushed(cs) => cs.len() * 8,
+                Response::Fold(_) => 64,
+                Response::Summary(s) => s.as_ref().map_or(0, |s| s.cell_count() * 16),
+                Response::Meta(m) => match m {
+                    MetaResponse::Ack => 0,
+                    MetaResponse::Allocated(_) => 8,
+                    MetaResponse::Chunks(v) => v.len() * 40,
+                    MetaResponse::Regions(v) => v.len() * 36,
+                    MetaResponse::Probe(_) => 16,
+                    MetaResponse::Extent(_) => 24,
+                },
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Request::Ingest {
+            tuple: Tuple::bare(1, 2),
+        };
+        let big = Request::Ingest {
+            tuple: Tuple::new(1, 2, vec![0u8; 1_000]),
+        };
+        assert!(big.wire_size() > small.wire_size() + 900);
+        assert!(Request::Ping.wire_size() >= ENVELOPE_OVERHEAD);
+
+        let none = Response::Tuples(Vec::new());
+        let some = Response::Tuples(vec![Tuple::bare(1, 2); 100]);
+        assert!(some.wire_size() > none.wire_size());
+    }
+
+    #[test]
+    fn response_unwrappers_enforce_variants() {
+        assert_eq!(Response::Tuples(vec![]).into_tuples().unwrap(), vec![]);
+        assert!(Response::Pong.into_tuples().is_err());
+        assert!(Response::Ack.into_ack().is_ok());
+        assert!(Response::Pong.into_ack().is_err());
+        assert!(Response::Pong.into_fold().is_err());
+        assert!(Response::Pong.into_summary().is_err());
+        assert!(Response::Pong.into_meta().is_err());
+        assert!(Response::Pong.into_flushed().is_err());
+    }
+
+    #[test]
+    fn well_known_addresses_do_not_collide_with_server_ranges() {
+        // Indexing 0.., query 1000.., dispatchers 2000.. — meta and the
+        // coordinator live above all of them.
+        assert!(META_SERVER.raw() >= 3_000);
+        assert!(COORDINATOR.raw() > META_SERVER.raw());
+    }
+}

@@ -1,0 +1,40 @@
+//! Waterwheel message plane: typed RPC envelopes over a pluggable
+//! [`Transport`].
+//!
+//! The paper deploys Waterwheel on Storm (§II-B): dispatchers, indexing
+//! servers, query servers, the coordinator, and ZooKeeper are separate
+//! processes exchanging messages over a real network — with latency,
+//! loss, partitions, and crashed destinations. This crate is that network
+//! for the embedded deployment:
+//!
+//! * [`envelope`] — the typed message taxonomy. Every cross-server call
+//!   is a [`Request`] inside an [`Envelope`] (src, dst, rpc id, deadline);
+//!   answers are typed [`Response`]s.
+//! * [`transport`] — the [`Transport`] seam and [`InProcTransport`], the
+//!   in-process implementation with per-link latency/jitter profiles,
+//!   injectable loss/partition/cut-off faults, cluster-liveness awareness,
+//!   and per-link [`RpcStats`].
+//! * [`client`] — [`RpcClient`], the retrying stub: per-attempt deadlines
+//!   from [`SystemConfig::rpc_timeout`](waterwheel_core::SystemConfig),
+//!   bounded retry with backoff for delivery failures only.
+//! * [`meta_client`] — [`MetaClient`] and [`serve_meta`], restoring the
+//!   network boundary in front of the metadata service.
+//!
+//! Swapping [`InProcTransport`] for a `TcpTransport` implementing the same
+//! trait is what stands between this system and real processes.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod envelope;
+pub mod meta_client;
+pub mod transport;
+
+pub use client::RpcClient;
+pub use envelope::{
+    Envelope, MetaRequest, MetaResponse, Request, Response, COORDINATOR, META_SERVER,
+};
+pub use meta_client::{serve_meta, MetaClient};
+pub use transport::{
+    Handler, InProcTransport, LinkProfile, RpcStats, RpcStatsRegistry, RpcTotals, Transport,
+};

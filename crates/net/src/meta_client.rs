@@ -1,0 +1,294 @@
+//! Metadata access over the message plane.
+//!
+//! In the paper the metadata store is ZooKeeper — a separate service every
+//! server talks to over the network (§II-B). The embedded deployment used
+//! to hand each server a direct [`MetadataService`] handle; this module
+//! restores the network boundary: [`serve_meta`] binds the service at the
+//! well-known [`META_SERVER`] address, and [`MetaClient`] gives each server
+//! a typed, retrying stub mirroring the service's API. Metadata traffic
+//! thereby shares the plane's deadlines, retries, fault injection, and
+//! per-link stats with every other hop.
+//!
+//! Safe to retry: every metadata mutation is idempotent or
+//! conflict-checked by the service (`register_chunk` rejects duplicate
+//! ids; `update_memory_region` is last-writer-wins from a single owner;
+//! `allocate_chunk_id` may burn an id on a lost *response*, which only
+//! leaves a gap in the sequence).
+
+use crate::client::RpcClient;
+use crate::envelope::{MetaRequest, MetaResponse, Request, Response, META_SERVER};
+use crate::transport::InProcTransport;
+use waterwheel_core::{ChunkId, Region, Result, ServerId, WwError};
+use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
+use waterwheel_meta::{ChunkInfo, MetadataService, SummaryExtent};
+
+/// Binds `meta` at [`META_SERVER`] on the transport, translating
+/// [`MetaRequest`]s into service calls.
+pub fn serve_meta(transport: &InProcTransport, meta: MetadataService) {
+    transport.bind(META_SERVER, move |env| {
+        let Request::Meta(req) = &env.payload else {
+            return Err(WwError::InvalidState(
+                "metadata server received a non-meta request".into(),
+            ));
+        };
+        let resp = match req.clone() {
+            MetaRequest::UpdateMemoryRegion { server, region } => {
+                meta.update_memory_region(server, region);
+                MetaResponse::Ack
+            }
+            MetaRequest::AllocateChunkId => MetaResponse::Allocated(meta.allocate_chunk_id()?),
+            MetaRequest::RegisterChunk {
+                chunk,
+                info,
+                durable_offset,
+            } => {
+                meta.register_chunk(chunk, info, durable_offset)?;
+                MetaResponse::Ack
+            }
+            MetaRequest::RegisterSummary { chunk, extent } => {
+                meta.register_summary(chunk, extent)?;
+                MetaResponse::Ack
+            }
+            MetaRequest::RegisterAttrIndex { chunk, attr, index } => {
+                meta.register_attr_index(chunk, attr, index)?;
+                MetaResponse::Ack
+            }
+            MetaRequest::ChunksOverlapping { region } => {
+                MetaResponse::Chunks(meta.chunks_overlapping(&region))
+            }
+            MetaRequest::MemoryRegionsOverlapping { region } => {
+                MetaResponse::Regions(meta.memory_regions_overlapping(&region))
+            }
+            MetaRequest::AttrProbe { chunk, attr, value } => {
+                MetaResponse::Probe(meta.attr_probe(chunk, attr, value))
+            }
+            MetaRequest::SummaryExtent { chunk } => {
+                MetaResponse::Extent(meta.summary_extent(chunk))
+            }
+        };
+        Ok(Response::Meta(resp))
+    });
+}
+
+/// A typed stub for the metadata server, one per sending server.
+#[derive(Clone)]
+pub struct MetaClient {
+    rpc: RpcClient,
+}
+
+impl MetaClient {
+    /// A stub sending as the client's source address.
+    pub fn new(rpc: RpcClient) -> Self {
+        Self { rpc }
+    }
+
+    fn call(&self, req: MetaRequest) -> Result<MetaResponse> {
+        self.rpc.call(META_SERVER, Request::Meta(req))?.into_meta()
+    }
+
+    fn expect_ack(&self, req: MetaRequest) -> Result<()> {
+        match self.call(req)? {
+            MetaResponse::Ack => Ok(()),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::update_memory_region`].
+    pub fn update_memory_region(&self, server: ServerId, region: Option<Region>) -> Result<()> {
+        self.expect_ack(MetaRequest::UpdateMemoryRegion { server, region })
+    }
+
+    /// See [`MetadataService::allocate_chunk_id`].
+    pub fn allocate_chunk_id(&self) -> Result<ChunkId> {
+        match self.call(MetaRequest::AllocateChunkId)? {
+            MetaResponse::Allocated(id) => Ok(id),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::register_chunk`].
+    pub fn register_chunk(
+        &self,
+        chunk: ChunkId,
+        info: ChunkInfo,
+        durable_offset: u64,
+    ) -> Result<()> {
+        self.expect_ack(MetaRequest::RegisterChunk {
+            chunk,
+            info,
+            durable_offset,
+        })
+    }
+
+    /// See [`MetadataService::register_summary`].
+    pub fn register_summary(&self, chunk: ChunkId, extent: SummaryExtent) -> Result<()> {
+        self.expect_ack(MetaRequest::RegisterSummary { chunk, extent })
+    }
+
+    /// See [`MetadataService::register_attr_index`].
+    pub fn register_attr_index(
+        &self,
+        chunk: ChunkId,
+        attr: AttrId,
+        index: ChunkAttrIndex,
+    ) -> Result<()> {
+        self.expect_ack(MetaRequest::RegisterAttrIndex { chunk, attr, index })
+    }
+
+    /// See [`MetadataService::chunks_overlapping`].
+    pub fn chunks_overlapping(&self, region: &Region) -> Result<Vec<(ChunkId, Region)>> {
+        match self.call(MetaRequest::ChunksOverlapping { region: *region })? {
+            MetaResponse::Chunks(v) => Ok(v),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::memory_regions_overlapping`].
+    pub fn memory_regions_overlapping(&self, region: &Region) -> Result<Vec<(ServerId, Region)>> {
+        match self.call(MetaRequest::MemoryRegionsOverlapping { region: *region })? {
+            MetaResponse::Regions(v) => Ok(v),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::attr_probe`].
+    pub fn attr_probe(&self, chunk: ChunkId, attr: AttrId, value: u64) -> Result<AttrProbe> {
+        match self.call(MetaRequest::AttrProbe { chunk, attr, value })? {
+            MetaResponse::Probe(p) => Ok(p),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::summary_extent`].
+    pub fn summary_extent(&self, chunk: ChunkId) -> Result<Option<SummaryExtent>> {
+        match self.call(MetaRequest::SummaryExtent { chunk })? {
+            MetaResponse::Extent(e) => Ok(e),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LinkProfile, Transport};
+    use std::sync::Arc;
+    use waterwheel_core::SystemConfig;
+
+    fn rig() -> (Arc<InProcTransport>, MetaClient, MetadataService) {
+        let t = Arc::new(InProcTransport::new(None));
+        let meta = MetadataService::in_memory();
+        serve_meta(&t, meta.clone());
+        let cfg = SystemConfig {
+            rpc_retries: 30,
+            ..SystemConfig::default()
+        };
+        let rpc = RpcClient::new(Arc::clone(&t) as Arc<dyn Transport>, ServerId(0), &cfg);
+        (t, MetaClient::new(rpc), meta)
+    }
+
+    fn region(lo: u64, hi: u64) -> Region {
+        Region::new(
+            waterwheel_core::KeyInterval::new(lo, hi),
+            waterwheel_core::TimeInterval::full(),
+        )
+    }
+
+    #[test]
+    fn stub_round_trips_every_call() {
+        let (_t, client, meta) = rig();
+        let id = client.allocate_chunk_id().unwrap();
+        let info = ChunkInfo {
+            region: region(0, 100),
+            count: 10,
+            bytes: 160,
+            producer: ServerId(0),
+        };
+        client.register_chunk(id, info, 10).unwrap();
+        assert_eq!(meta.chunk_count(), 1);
+
+        client
+            .update_memory_region(ServerId(0), Some(region(100, 200)))
+            .unwrap();
+        assert_eq!(
+            client
+                .memory_regions_overlapping(&region(150, 160))
+                .unwrap(),
+            vec![(ServerId(0), region(100, 200))]
+        );
+        client.update_memory_region(ServerId(0), None).unwrap();
+        assert!(client
+            .memory_regions_overlapping(&region(0, u64::MAX))
+            .unwrap()
+            .is_empty());
+
+        let overlapping = client.chunks_overlapping(&region(50, 60)).unwrap();
+        assert_eq!(overlapping, vec![(id, region(0, 100))]);
+
+        assert!(client.summary_extent(id).unwrap().is_none());
+        let extent = SummaryExtent {
+            cells: 4,
+            bytes: 64,
+            levels: 1,
+            slice_bits: 4,
+        };
+        client.register_summary(id, extent).unwrap();
+        assert_eq!(client.summary_extent(id).unwrap(), Some(extent));
+
+        // Probing a chunk with no attr index is Unknown, never Absent.
+        assert!(matches!(
+            client.attr_probe(id, 1, 42).unwrap(),
+            AttrProbe::Unknown
+        ));
+    }
+
+    #[test]
+    fn service_errors_pass_through_untouched() {
+        let (t, client, _meta) = rig();
+        let info = ChunkInfo {
+            region: region(0, 1),
+            count: 1,
+            bytes: 16,
+            producer: ServerId(0),
+        };
+        // Registering the same id twice fails in the service, and the
+        // error arrives as-is (not wrapped as a delivery failure).
+        client.register_chunk(ChunkId(99), info, 0).unwrap();
+        let e = client.register_chunk(ChunkId(99), info, 0).unwrap_err();
+        assert!(!e.is_retryable(), "service answer must not look retryable");
+        assert_eq!(t.stats().totals().retried, 0);
+    }
+
+    #[test]
+    fn metadata_calls_survive_a_lossy_link() {
+        let (t, client, meta) = rig();
+        t.set_default_profile(LinkProfile {
+            loss: 0.4,
+            ..LinkProfile::default()
+        });
+        for _ in 0..20 {
+            let id = client.allocate_chunk_id().unwrap();
+            let info = ChunkInfo {
+                region: region(id.raw() * 10, id.raw() * 10 + 9),
+                count: 1,
+                bytes: 16,
+                producer: ServerId(0),
+            };
+            client.register_chunk(id, info, 0).unwrap();
+        }
+        assert_eq!(meta.chunk_count(), 20);
+        assert!(t.stats().totals().retried > 0);
+    }
+}

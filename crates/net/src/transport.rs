@@ -1,0 +1,478 @@
+//! The pluggable transport and its in-process production implementation.
+//!
+//! [`Transport`] is the single seam every cross-server hop goes through:
+//! it accepts an [`Envelope`] and returns the destination's [`Response`]
+//! or a delivery error. [`InProcTransport`] is the embedded deployment's
+//! implementation — direct handler invocation dressed with the properties
+//! of a real network:
+//!
+//! * **per-link latency/jitter** from a [`LinkProfile`] (the message-plane
+//!   analogue of the SimDfs [`LatencyModel`](waterwheel_cluster::LatencyModel));
+//! * **injectable faults**: probabilistic request loss, deterministic
+//!   link cut-off after N messages (`drop_after`), and directed partitions;
+//! * **cluster liveness**: a destination placed on a dead node (the
+//!   cluster's failure-injection hook) is unreachable;
+//! * **per-link [`RpcStats`]** (sent/retried/timed-out/unreachable/bytes).
+//!
+//! The fault model is *request loss only*: a lost or late message fails
+//! **before** the destination handler runs, so a retry can never duplicate
+//! a side effect — the property behind the "retries make faults invisible,
+//! never duplicated tuples" oracle test. A handler that did run always has
+//! its response delivered. A future `TcpTransport` implementing the same
+//! trait is what stands between this system and real processes.
+
+use crate::envelope::{Envelope, Response};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use waterwheel_cluster::Cluster;
+use waterwheel_core::{Result, ServerId, WwError};
+
+/// A message handler bound at a destination address.
+pub type Handler = Arc<dyn Fn(&Envelope) -> Result<Response> + Send + Sync>;
+
+/// The message plane: every cross-server hop goes through `send`.
+pub trait Transport: Send + Sync {
+    /// Delivers one envelope and returns the destination's response, or a
+    /// delivery error ([`WwError::Timeout`] / [`WwError::Unreachable`]).
+    fn send(&self, env: Envelope) -> Result<Response>;
+
+    /// The per-link statistics registry.
+    fn stats(&self) -> &RpcStatsRegistry;
+}
+
+/// Latency and fault profile of one directed link (or the default for all).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkProfile {
+    /// Fixed one-way transit latency charged per message.
+    pub latency: Duration,
+    /// Additional uniformly random transit latency in `[0, jitter)`.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a request is lost in transit (fails
+    /// with [`WwError::Timeout`] before reaching the destination).
+    pub loss: f64,
+    /// Deterministic cut-off: after this many messages have been sent on
+    /// the link, every further message is dropped — a server crashing
+    /// mid-plan, reproducibly.
+    pub drop_after: Option<u64>,
+}
+
+/// Lock-free counters for one directed link.
+#[derive(Debug, Default)]
+pub struct RpcStats {
+    /// Envelopes handed to the transport (including retries).
+    pub sent: AtomicU64,
+    /// Retry attempts made by an [`RpcClient`](crate::RpcClient) on this link.
+    pub retried: AtomicU64,
+    /// Attempts that failed with [`WwError::Timeout`] (lost or late).
+    pub timed_out: AtomicU64,
+    /// Attempts that failed with [`WwError::Unreachable`].
+    pub unreachable: AtomicU64,
+    /// Estimated bytes moved (requests + responses).
+    pub bytes: AtomicU64,
+}
+
+/// Aggregated totals across every link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RpcTotals {
+    /// Envelopes sent.
+    pub sent: u64,
+    /// Retry attempts.
+    pub retried: u64,
+    /// Timed-out attempts.
+    pub timed_out: u64,
+    /// Unreachable attempts.
+    pub unreachable: u64,
+    /// Estimated bytes moved.
+    pub bytes: u64,
+}
+
+/// Per-link statistics, created on first use of a link.
+#[derive(Default)]
+pub struct RpcStatsRegistry {
+    links: RwLock<HashMap<(ServerId, ServerId), Arc<RpcStats>>>,
+}
+
+impl RpcStatsRegistry {
+    /// The counters for the directed link `src → dst`.
+    pub fn link(&self, src: ServerId, dst: ServerId) -> Arc<RpcStats> {
+        if let Some(s) = self.links.read().get(&(src, dst)) {
+            return Arc::clone(s);
+        }
+        Arc::clone(self.links.write().entry((src, dst)).or_default())
+    }
+
+    /// Snapshot of every link's counters.
+    pub fn per_link(&self) -> Vec<((ServerId, ServerId), RpcTotals)> {
+        self.links
+            .read()
+            .iter()
+            .map(|(&link, s)| {
+                (
+                    link,
+                    RpcTotals {
+                        sent: s.sent.load(Ordering::Relaxed),
+                        retried: s.retried.load(Ordering::Relaxed),
+                        timed_out: s.timed_out.load(Ordering::Relaxed),
+                        unreachable: s.unreachable.load(Ordering::Relaxed),
+                        bytes: s.bytes.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Totals aggregated across all links.
+    pub fn totals(&self) -> RpcTotals {
+        let mut t = RpcTotals::default();
+        for (_, l) in self.per_link() {
+            t.sent += l.sent;
+            t.retried += l.retried;
+            t.timed_out += l.timed_out;
+            t.unreachable += l.unreachable;
+            t.bytes += l.bytes;
+        }
+        t
+    }
+}
+
+/// The in-process transport: channels-with-faults over direct handlers.
+pub struct InProcTransport {
+    handlers: RwLock<HashMap<ServerId, Handler>>,
+    default_profile: RwLock<LinkProfile>,
+    link_profiles: RwLock<HashMap<(ServerId, ServerId), LinkProfile>>,
+    /// Directed partitions: `(src, dst)` pairs that cannot communicate.
+    partitions: RwLock<HashSet<(ServerId, ServerId)>>,
+    /// Node-liveness hook: a destination placed on a dead cluster node is
+    /// unreachable.
+    cluster: Option<Cluster>,
+    stats: RpcStatsRegistry,
+    rng: AtomicU64,
+}
+
+impl InProcTransport {
+    /// A fault-free, zero-latency transport; `cluster` enables the
+    /// node-liveness hook for servers placed on simulated nodes.
+    pub fn new(cluster: Option<Cluster>) -> Self {
+        Self {
+            handlers: RwLock::new(HashMap::new()),
+            default_profile: RwLock::new(LinkProfile::default()),
+            link_profiles: RwLock::new(HashMap::new()),
+            partitions: RwLock::new(HashSet::new()),
+            cluster,
+            stats: RpcStatsRegistry::default(),
+            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Binds (or replaces) the handler serving `dst`.
+    pub fn bind(
+        &self,
+        dst: ServerId,
+        handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
+    ) {
+        self.handlers.write().insert(dst, Arc::new(handler));
+    }
+
+    /// Installs the profile applied to links without a specific one.
+    pub fn set_default_profile(&self, profile: LinkProfile) {
+        *self.default_profile.write() = profile;
+    }
+
+    /// Installs a profile for one directed link, overriding the default.
+    pub fn set_link_profile(&self, src: ServerId, dst: ServerId, profile: LinkProfile) {
+        self.link_profiles.write().insert((src, dst), profile);
+    }
+
+    /// Cuts the directed link `src → dst` (network partition injection).
+    pub fn partition(&self, src: ServerId, dst: ServerId) {
+        self.partitions.write().insert((src, dst));
+    }
+
+    /// Heals a previously cut link.
+    pub fn heal(&self, src: ServerId, dst: ServerId) {
+        self.partitions.write().remove(&(src, dst));
+    }
+
+    /// Heals every partition and removes every fault profile.
+    pub fn clear_faults(&self) {
+        self.partitions.write().clear();
+        self.link_profiles.write().clear();
+        *self.default_profile.write() = LinkProfile::default();
+    }
+
+    fn profile_for(&self, src: ServerId, dst: ServerId) -> LinkProfile {
+        match self.link_profiles.read().get(&(src, dst)) {
+            Some(p) => *p,
+            None => *self.default_profile.read(),
+        }
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` (SplitMix64).
+    fn draw(&self) -> f64 {
+        let mut z = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&self, env: Envelope) -> Result<Response> {
+        let link = self.stats.link(env.src, env.dst);
+        let n_sent = link.sent.fetch_add(1, Ordering::Relaxed) + 1;
+        link.bytes
+            .fetch_add(env.payload.wire_size() as u64, Ordering::Relaxed);
+
+        if self.partitions.read().contains(&(env.src, env.dst)) {
+            link.unreachable.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::Unreachable("link partitioned"));
+        }
+        if let Some(cluster) = &self.cluster {
+            if let Some(node) = cluster.node_of(env.dst) {
+                if !cluster.is_alive(node) {
+                    link.unreachable.fetch_add(1, Ordering::Relaxed);
+                    return Err(WwError::Unreachable("destination node is down"));
+                }
+            }
+        }
+        let profile = self.profile_for(env.src, env.dst);
+        if profile.drop_after.is_some_and(|n| n_sent > n) {
+            link.timed_out.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::Timeout("link stopped delivering (drop_after)"));
+        }
+        if profile.loss > 0.0 && self.draw() < profile.loss {
+            link.timed_out.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::Timeout("request lost in transit"));
+        }
+        let mut delay = profile.latency;
+        if !profile.jitter.is_zero() {
+            delay += profile.jitter.mul_f64(self.draw());
+        }
+        // A message that would arrive past the deadline fails without
+        // reaching the destination — the sender has already given up, so
+        // delivering it would only risk duplicated side effects. The wait
+        // itself is simulated (no sleep), keeping fault tests fast.
+        if delay > env.deadline.saturating_duration_since(Instant::now()) {
+            link.timed_out.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::Timeout("transit exceeded the deadline"));
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let handler = self.handlers.read().get(&env.dst).cloned();
+        match handler {
+            Some(h) => {
+                let resp = h(&env)?;
+                link.bytes
+                    .fetch_add(resp.wire_size() as u64, Ordering::Relaxed);
+                Ok(resp)
+            }
+            None => {
+                link.unreachable.fetch_add(1, Ordering::Relaxed);
+                Err(WwError::Unreachable("no server bound at destination"))
+            }
+        }
+    }
+
+    fn stats(&self) -> &RpcStatsRegistry {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Request;
+
+    fn env(src: u32, dst: u32, timeout: Duration) -> Envelope {
+        Envelope {
+            src: ServerId(src),
+            dst: ServerId(dst),
+            rpc_id: 0,
+            deadline: Instant::now() + timeout,
+            payload: Request::Ping,
+        }
+    }
+
+    fn pong_transport() -> InProcTransport {
+        let t = InProcTransport::new(None);
+        t.bind(ServerId(1), |_| Ok(Response::Pong));
+        t
+    }
+
+    #[test]
+    fn delivers_to_bound_handler_and_counts() {
+        let t = pong_transport();
+        let r = t.send(env(0, 1, Duration::from_secs(1))).unwrap();
+        assert!(matches!(r, Response::Pong));
+        let totals = t.stats().totals();
+        assert_eq!(totals.sent, 1);
+        assert_eq!(totals.timed_out, 0);
+        assert!(totals.bytes > 0, "request + response bytes counted");
+    }
+
+    #[test]
+    fn unbound_destination_is_unreachable() {
+        let t = pong_transport();
+        let e = t.send(env(0, 9, Duration::from_secs(1))).unwrap_err();
+        assert!(matches!(e, WwError::Unreachable(_)));
+        assert_eq!(
+            t.stats()
+                .link(ServerId(0), ServerId(9))
+                .unreachable
+                .load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn partition_cuts_one_direction_only() {
+        let t = pong_transport();
+        t.bind(ServerId(2), |_| Ok(Response::Pong));
+        t.partition(ServerId(0), ServerId(1));
+        assert!(matches!(
+            t.send(env(0, 1, Duration::from_secs(1))),
+            Err(WwError::Unreachable(_))
+        ));
+        // Other links unaffected.
+        assert!(t.send(env(0, 2, Duration::from_secs(1))).is_ok());
+        assert!(t.send(env(3, 1, Duration::from_secs(1))).is_ok());
+        t.heal(ServerId(0), ServerId(1));
+        assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
+    }
+
+    #[test]
+    fn loss_drops_requests_before_the_handler_runs() {
+        let t = InProcTransport::new(None);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        t.bind(ServerId(1), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Pong)
+        });
+        t.set_default_profile(LinkProfile {
+            loss: 0.5,
+            ..LinkProfile::default()
+        });
+        let mut lost = 0;
+        for _ in 0..400 {
+            match t.send(env(0, 1, Duration::from_secs(1))) {
+                Err(WwError::Timeout(_)) => lost += 1,
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!((100..300).contains(&lost), "loss way off 50%: {lost}/400");
+        // Every loss happened before the handler: delivered + lost = sent.
+        assert_eq!(calls.load(Ordering::Relaxed) + lost, 400);
+        assert_eq!(t.stats().totals().timed_out, lost);
+    }
+
+    #[test]
+    fn transit_longer_than_deadline_times_out_without_delivery() {
+        let t = InProcTransport::new(None);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        t.bind(ServerId(1), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Pong)
+        });
+        t.set_link_profile(
+            ServerId(0),
+            ServerId(1),
+            LinkProfile {
+                latency: Duration::from_millis(50),
+                ..LinkProfile::default()
+            },
+        );
+        let started = Instant::now();
+        let e = t.send(env(0, 1, Duration::from_millis(1))).unwrap_err();
+        assert!(matches!(e, WwError::Timeout(_)));
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "handler must not run");
+        // The wait is simulated, not slept.
+        assert!(started.elapsed() < Duration::from_millis(40));
+        // A generous deadline delivers (and genuinely waits).
+        assert!(t.send(env(0, 1, Duration::from_secs(5))).is_ok());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_after_cuts_the_link_deterministically() {
+        let t = pong_transport();
+        t.set_link_profile(
+            ServerId(0),
+            ServerId(1),
+            LinkProfile {
+                drop_after: Some(3),
+                ..LinkProfile::default()
+            },
+        );
+        for _ in 0..3 {
+            assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
+        }
+        for _ in 0..5 {
+            assert!(matches!(
+                t.send(env(0, 1, Duration::from_secs(1))),
+                Err(WwError::Timeout(_))
+            ));
+        }
+        // Other source links keep working.
+        assert!(t.send(env(7, 1, Duration::from_secs(1))).is_ok());
+    }
+
+    #[test]
+    fn dead_cluster_node_makes_its_servers_unreachable() {
+        let cluster = Cluster::new(2);
+        cluster
+            .place_server(ServerId(1), waterwheel_core::NodeId(0))
+            .unwrap();
+        let t = InProcTransport::new(Some(cluster.clone()));
+        t.bind(ServerId(1), |_| Ok(Response::Pong));
+        t.bind(ServerId(99), |_| Ok(Response::Pong)); // not placed on a node
+        assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
+        cluster.fail_node(waterwheel_core::NodeId(0)).unwrap();
+        assert!(matches!(
+            t.send(env(0, 1, Duration::from_secs(1))),
+            Err(WwError::Unreachable(_))
+        ));
+        // Servers not placed on any node (meta, coordinator) are exempt.
+        assert!(t.send(env(0, 99, Duration::from_secs(1))).is_ok());
+        cluster.recover_node(waterwheel_core::NodeId(0)).unwrap();
+        assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
+    }
+
+    #[test]
+    fn clear_faults_restores_a_clean_plane() {
+        let t = pong_transport();
+        t.partition(ServerId(0), ServerId(1));
+        t.set_default_profile(LinkProfile {
+            loss: 1.0,
+            ..LinkProfile::default()
+        });
+        t.clear_faults();
+        for _ in 0..20 {
+            assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
+        }
+    }
+
+    #[test]
+    fn per_link_stats_are_directed() {
+        let t = pong_transport();
+        t.bind(ServerId(2), |_| Ok(Response::Pong));
+        t.send(env(0, 1, Duration::from_secs(1))).unwrap();
+        t.send(env(0, 1, Duration::from_secs(1))).unwrap();
+        t.send(env(1, 2, Duration::from_secs(1))).unwrap();
+        let links: HashMap<_, _> = t.stats().per_link().into_iter().collect();
+        assert_eq!(links[&(ServerId(0), ServerId(1))].sent, 2);
+        assert_eq!(links[&(ServerId(1), ServerId(2))].sent, 1);
+        assert!(!links.contains_key(&(ServerId(1), ServerId(0))));
+        assert_eq!(t.stats().totals().sent, 3);
+    }
+}

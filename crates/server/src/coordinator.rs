@@ -13,15 +13,21 @@
 //!    dispatch policy (LADA by default, §IV-C);
 //! 4. merges all partial results.
 //!
-//! Fault tolerance (§V): a subquery that fails (server down) is re-dispatched
-//! to the remaining healthy servers; no intermediate results are persisted.
+//! Every hop is an RPC on the message plane: the coordinator holds only
+//! server *addresses* and reaches indexing servers, query servers, and the
+//! metadata server through its [`RpcClient`], inheriting the plane's
+//! deadlines, retries, and fault injection. In-memory subqueries fan out
+//! concurrently on scoped threads — one in-flight RPC per fresh-data
+//! subquery, no shared lock on the indexing tier.
+//!
+//! Fault tolerance (§V): a subquery that fails (server down, link cut) is
+//! re-dispatched to the remaining healthy servers for up to
+//! [`SystemConfig::rpc_redispatch_rounds`] rounds; no intermediate results
+//! are persisted.
 
 use crate::attributes::AttrRegistry;
 use crate::dispatch::{self, DispatchPolicy};
-use crate::indexing::IndexingServer;
-use crate::query_server::QueryServer;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use waterwheel_agg::{plan, AggregateAnswer, PartialAgg, WheelSummary};
@@ -33,7 +39,7 @@ use waterwheel_core::{
 };
 use waterwheel_index::secondary::AttrProbe;
 use waterwheel_index::Bitmap;
-use waterwheel_meta::MetadataService;
+use waterwheel_net::{MetaClient, Request, RpcClient};
 
 /// Coordinator-side counters.
 #[derive(Debug, Default)]
@@ -57,12 +63,15 @@ pub struct CoordinatorStats {
 
 /// The query coordinator.
 pub struct Coordinator {
-    meta: MetadataService,
+    meta: MetaClient,
+    rpc: RpcClient,
     cluster: Cluster,
-    query_servers: Vec<Arc<QueryServer>>,
-    /// Shared with the system facade so recovery can swap in a replacement
-    /// indexing server.
-    indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
+    /// Addresses of the query servers, in dispatch-slot order.
+    query_servers: Vec<ServerId>,
+    /// Addresses of the indexing servers (the fresh-data tier).
+    indexing: Vec<ServerId>,
+    /// DFS replication factor, for locality-aware dispatch.
+    replication: usize,
     policy: RwLock<DispatchPolicy>,
     /// Secondary-attribute registry shared with the indexing servers.
     attrs: RwLock<Arc<AttrRegistry>>,
@@ -78,21 +87,26 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Creates a coordinator over the given server sets.
+    /// Creates a coordinator reaching the given server addresses over
+    /// `rpc`'s message plane; `replication` is the DFS replication factor
+    /// (for locality-aware dispatch).
     pub fn new(
-        meta: MetadataService,
+        rpc: RpcClient,
         cluster: Cluster,
-        query_servers: Vec<Arc<QueryServer>>,
-        indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
+        query_servers: Vec<ServerId>,
+        indexing: Vec<ServerId>,
+        replication: usize,
         policy: DispatchPolicy,
         cfg: SystemConfig,
     ) -> Self {
         assert!(!query_servers.is_empty());
         Self {
-            meta,
+            meta: MetaClient::new(rpc.clone()),
+            rpc,
             cluster,
             query_servers,
             indexing,
+            replication,
             policy: RwLock::new(policy),
             attrs: RwLock::new(Arc::new(AttrRegistry::new())),
             summaries_enabled: AtomicBool::new(cfg.agg_summaries_enabled),
@@ -140,8 +154,9 @@ impl Coordinator {
     }
 
     /// Decomposes a query into subqueries against the current metadata —
-    /// exposed separately for tests and diagnostics.
-    pub fn decompose(&self, query: &Query, qid: QueryId) -> Vec<SubQuery> {
+    /// exposed separately for tests and diagnostics. Fails only if the
+    /// metadata server is unreachable past the retry budget.
+    pub fn decompose(&self, query: &Query, qid: QueryId) -> Result<Vec<SubQuery>> {
         let region = query.region();
         let mut out = Vec::new();
         let mut index = 0u32;
@@ -155,7 +170,7 @@ impl Coordinator {
             });
             index += 1;
         };
-        for (server, r) in self.meta.memory_regions_overlapping(&region) {
+        for (server, r) in self.meta.memory_regions_overlapping(&region)? {
             let Some(overlap) = r.intersect(&region) else {
                 continue;
             };
@@ -165,13 +180,13 @@ impl Coordinator {
                 SubQueryTarget::InMemory(server),
             );
         }
-        for (chunk, r) in self.meta.chunks_overlapping(&region) {
+        for (chunk, r) in self.meta.chunks_overlapping(&region)? {
             let Some(overlap) = r.intersect(&region) else {
                 continue;
             };
             push(overlap.keys, overlap.times, SubQueryTarget::Chunk(chunk));
         }
-        out
+        Ok(out)
     }
 
     /// Executes a query end-to-end and merges the results (§IV-A).
@@ -213,47 +228,60 @@ impl Coordinator {
             }
         }
         let query = &effective;
-        let subqueries = self.decompose(query, qid);
+        let subqueries = self.decompose(query, qid)?;
         let n_subqueries = subqueries.len() as u32;
         self.stats
             .subqueries
             .fetch_add(subqueries.len() as u64, Ordering::Relaxed);
 
-        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut mem_sqs: Vec<(ServerId, SubQuery)> = Vec::new();
         let mut chunk_sqs: Vec<(SubQuery, ChunkId, Option<Bitmap>)> = Vec::new();
-        // In-memory subqueries run directly on the owning indexing servers.
-        {
-            let indexing = self.indexing.read();
-            let by_id: HashMap<ServerId, &Arc<IndexingServer>> =
-                indexing.iter().map(|s| (s.id(), s)).collect();
-            for sq in subqueries {
-                match sq.target {
-                    SubQueryTarget::InMemory(server) => {
-                        let ix = by_id
-                            .get(&server)
-                            .ok_or_else(|| WwError::not_found("indexing server", server))?;
-                        tuples.extend(ix.query_in_memory(&sq)?);
-                    }
-                    SubQueryTarget::Chunk(chunk) => {
-                        // Secondary-index pruning (paper §VIII): skip chunks
-                        // that provably lack the attribute value; restrict
-                        // to qualifying leaves when a bitmap exists.
-                        let leaf_filter = match attr_hint {
-                            Some((attr, value)) => match self.meta.attr_probe(chunk, attr, value) {
-                                AttrProbe::Absent => {
-                                    self.stats
-                                        .attr_pruned_chunks
-                                        .fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                                AttrProbe::Leaves(bm) => Some(bm),
-                                AttrProbe::Unknown => None,
-                            },
-                            None => None,
-                        };
-                        chunk_sqs.push((sq, chunk, leaf_filter));
-                    }
+        for sq in subqueries {
+            match sq.target {
+                SubQueryTarget::InMemory(server) => mem_sqs.push((server, sq)),
+                SubQueryTarget::Chunk(chunk) => {
+                    // Secondary-index pruning (paper §VIII): skip chunks
+                    // that provably lack the attribute value; restrict
+                    // to qualifying leaves when a bitmap exists.
+                    let leaf_filter = match attr_hint {
+                        Some((attr, value)) => match self.meta.attr_probe(chunk, attr, value)? {
+                            AttrProbe::Absent => {
+                                self.stats
+                                    .attr_pruned_chunks
+                                    .fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            AttrProbe::Leaves(bm) => Some(bm),
+                            AttrProbe::Unknown => None,
+                        },
+                        None => None,
+                    };
+                    chunk_sqs.push((sq, chunk, leaf_filter));
                 }
+            }
+        }
+        // In-memory subqueries fan out concurrently, one RPC per owning
+        // indexing server — the fresh-data path of §IV-A.
+        let mut tuples: Vec<Tuple> = Vec::new();
+        if !mem_sqs.is_empty() {
+            let partials: Vec<Result<Vec<Tuple>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = mem_sqs
+                    .into_iter()
+                    .map(|(server, sq)| {
+                        scope.spawn(move || {
+                            self.rpc
+                                .call(server, Request::InMemorySubquery { sq })?
+                                .into_tuples()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("in-memory subquery thread panicked"))
+                    .collect()
+            });
+            for partial in partials {
+                tuples.extend(partial?);
             }
         }
         // Chunk subqueries run across the query servers.
@@ -326,23 +354,32 @@ impl Coordinator {
                 fringe_rects.push(Region::new(covered_keys, *tf));
             }
             if let Some(covered) = tp.covered {
-                // Interior, fresh half: every healthy indexing server's
-                // live wheel (in-memory data is disjoint from chunks).
-                for server in self.indexing.read().iter() {
-                    if server.is_failed() {
-                        continue;
+                // Interior, fresh half: every reachable indexing server's
+                // live wheel (in-memory data is disjoint from chunks). A
+                // crashed or unreachable server's memory is gone — §V
+                // recovery replays it into chunks — so those are skipped
+                // like the pre-plane code skipped failed servers.
+                for &server in &self.indexing {
+                    match self
+                        .rpc
+                        .call(server, Request::AggregateInMemory { slices, covered })
+                    {
+                        Ok(resp) => {
+                            let out = resp.into_fold()?;
+                            agg.merge(&out.agg);
+                            cells_merged += out.cells_merged;
+                        }
+                        Err(WwError::Injected(_)) | Err(WwError::Unreachable(_)) => continue,
+                        Err(e) => return Err(e),
                     }
-                    let out = server.aggregate_in_memory(slices, &covered)?;
-                    agg.merge(&out.agg);
-                    cells_merged += out.cells_merged;
                 }
                 // Interior, flushed half: fold each overlapping chunk's
                 // summary; whatever a summary cannot answer becomes a
                 // targeted scan of that chunk alone.
                 let interior = Region::new(covered_keys, covered);
                 let mut chunk_scans: Vec<(ChunkId, waterwheel_core::TimeInterval)> = Vec::new();
-                for (chunk, _) in self.meta.chunks_overlapping(&interior) {
-                    let summary = match self.meta.summary_extent(chunk) {
+                for (chunk, _) in self.meta.chunks_overlapping(&interior)? {
+                    let summary = match self.meta.summary_extent(chunk)? {
                         // A summary built under a different slicing cannot
                         // serve this plan's slice range.
                         Some(ext) if ext.slice_bits == slice_bits => self.load_summary(chunk)?,
@@ -418,17 +455,17 @@ impl Coordinator {
         })
     }
 
-    /// Reads a chunk summary through a healthy query server (cached there
-    /// as a first-class block kind).
+    /// Reads a chunk summary through a reachable query server (cached there
+    /// as a first-class block kind), rotating on any per-server failure.
     fn load_summary(&self, chunk: ChunkId) -> Result<Option<Arc<WheelSummary>>> {
         let n = self.query_servers.len();
         let start = chunk.raw() as usize % n;
         for i in 0..n {
-            let qs = &self.query_servers[(start + i) % n];
-            if qs.is_failed() {
-                continue;
+            let qs = self.query_servers[(start + i) % n];
+            match self.rpc.call(qs, Request::ReadSummary { chunk }) {
+                Ok(resp) => return resp.into_summary(),
+                Err(_) => continue,
             }
-            return qs.read_summary(chunk);
         }
         Err(WwError::InvalidState(
             "summary unreadable: all query servers failed".into(),
@@ -445,24 +482,37 @@ impl Coordinator {
         let chunks: Vec<ChunkId> = chunk_sqs.iter().map(|(_, c, _)| *c).collect();
         let servers = self.query_servers.len();
         let plan = dispatch::build_plan(self.policy(), &chunks, servers, |s, chunk| {
-            self.query_servers[s].is_colocated(chunk, &self.cluster)
+            self.cluster
+                .is_colocated(self.query_servers[s], chunk, self.replication)
         });
         let results: Mutex<Vec<Option<Vec<Tuple>>>> = Mutex::new(vec![None; chunk_sqs.len()]);
-        dispatch::execute_plan(&plan, servers, |s, i| {
+        let run = |server: ServerId, i: usize| -> Option<Vec<Tuple>> {
             let (sq, chunk, filter) = &chunk_sqs[i];
-            match self.query_servers[s].execute_filtered(sq, *chunk, filter.as_ref()) {
-                Ok(tuples) => {
-                    results.lock()[i] = Some(tuples);
-                    true
-                }
-                Err(_) => false,
+            self.rpc
+                .call(
+                    server,
+                    Request::ChunkSubquery {
+                        sq: sq.clone(),
+                        chunk: *chunk,
+                        leaf_filter: filter.clone(),
+                    },
+                )
+                .and_then(|r| r.into_tuples())
+                .ok()
+        };
+        dispatch::execute_plan(&plan, servers, |s, i| match run(self.query_servers[s], i) {
+            Some(tuples) => {
+                results.lock()[i] = Some(tuples);
+                true
             }
+            None => false,
         });
         // Re-dispatch any subqueries that failed or were never taken (§V):
-        // the coordinator discards partial results and retries on healthy
-        // servers with a work-conserving plan.
+        // the coordinator discards partial results and retries on servers
+        // that still answer a liveness probe, with a work-conserving plan,
+        // for a configurable number of rounds.
         let mut results = results.into_inner();
-        for _round in 0..2 {
+        for _round in 0..self.cfg.rpc_redispatch_rounds {
             let remaining: Vec<usize> = results
                 .iter()
                 .enumerate()
@@ -472,8 +522,11 @@ impl Coordinator {
             if remaining.is_empty() {
                 break;
             }
-            let healthy: Vec<usize> = (0..servers)
-                .filter(|&s| !self.query_servers[s].is_failed())
+            let healthy: Vec<ServerId> = self
+                .query_servers
+                .iter()
+                .copied()
+                .filter(|&qs| self.rpc.ping(qs))
                 .collect();
             if healthy.is_empty() {
                 break;
@@ -491,14 +544,12 @@ impl Coordinator {
             let retry_results: Mutex<Vec<(usize, Vec<Tuple>)>> = Mutex::new(Vec::new());
             dispatch::execute_plan(&retry_plan, healthy.len(), |hs, ri| {
                 let i = remaining[ri];
-                let (sq, chunk, filter) = &chunk_sqs[i];
-                match self.query_servers[healthy[hs]].execute_filtered(sq, *chunk, filter.as_ref())
-                {
-                    Ok(tuples) => {
+                match run(healthy[hs], i) {
+                    Some(tuples) => {
                         retry_results.lock().push((i, tuples));
                         true
                     }
-                    Err(_) => false,
+                    None => false,
                 }
             });
             for (i, tuples) in retry_results.into_inner() {
@@ -518,12 +569,15 @@ impl Coordinator {
 mod tests {
     // The coordinator is exercised end-to-end through the system facade
     // tests in `system.rs` and the workspace integration tests; unit tests
-    // here focus on decomposition logic.
+    // here focus on decomposition logic over a hand-wired message plane.
     use super::*;
+    use crate::indexing::IndexingServer;
+    use crate::query_server::QueryServer;
     use waterwheel_cluster::LatencyModel;
-    use waterwheel_core::{KeyInterval, Region, SystemConfig, TimeInterval};
-    use waterwheel_meta::ChunkInfo;
+    use waterwheel_core::{KeyInterval, NodeId, Region, SystemConfig, TimeInterval};
+    use waterwheel_meta::{ChunkInfo, MetadataService};
     use waterwheel_mq::{Consumer, MessageQueue};
+    use waterwheel_net::{serve_meta, InProcTransport, Response, Transport, COORDINATOR};
     use waterwheel_storage::SimDfs;
 
     fn region(k0: u64, k1: u64, t0: u64, t1: u64) -> Region {
@@ -538,28 +592,71 @@ mod tests {
         let meta = MetadataService::in_memory();
         let mq = MessageQueue::new();
         mq.create_topic("ingest", 1).unwrap();
-        let qs = vec![Arc::new(QueryServer::new(
+        let cfg = SystemConfig::default();
+
+        let transport = Arc::new(InProcTransport::new(None));
+        serve_meta(&transport, meta.clone());
+        let qs = Arc::new(QueryServer::new(
             ServerId(10),
-            waterwheel_core::NodeId(0),
+            NodeId(0),
             dfs.clone(),
             1 << 20,
-        ))];
-        let ix = Arc::new(RwLock::new(vec![Arc::new(IndexingServer::new(
+        ));
+        {
+            let qs = Arc::clone(&qs);
+            transport.bind(ServerId(10), move |env| match &env.payload {
+                Request::ChunkSubquery {
+                    sq,
+                    chunk,
+                    leaf_filter,
+                } => Ok(Response::Tuples(qs.execute_filtered(
+                    sq,
+                    *chunk,
+                    leaf_filter.as_ref(),
+                )?)),
+                Request::ReadSummary { chunk } => Ok(Response::Summary(qs.read_summary(*chunk)?)),
+                Request::Ping => Ok(Response::Pong),
+                _ => Err(WwError::InvalidState("unexpected request".into())),
+            });
+        }
+        let ix_rpc = RpcClient::new(
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            ServerId(0),
+            &cfg,
+        );
+        let ix = Arc::new(IndexingServer::new(
             ServerId(0),
             KeyInterval::full(),
-            SystemConfig::default(),
+            cfg.clone(),
             Consumer::new(mq, "ingest", 0, 0),
             dfs,
-            meta.clone(),
-        ))]));
+            MetaClient::new(ix_rpc),
+        ));
+        {
+            let ix = Arc::clone(&ix);
+            transport.bind(ServerId(0), move |env| match &env.payload {
+                Request::InMemorySubquery { sq } => Ok(Response::Tuples(ix.query_in_memory(sq)?)),
+                Request::AggregateInMemory { slices, covered } => {
+                    Ok(Response::Fold(ix.aggregate_in_memory(*slices, covered)?))
+                }
+                Request::Ping => Ok(Response::Pong),
+                _ => Err(WwError::InvalidState("unexpected request".into())),
+            });
+        }
+        let rpc = RpcClient::new(
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            COORDINATOR,
+            &cfg,
+        );
         (
             Coordinator::new(
-                meta.clone(),
+                rpc,
                 cluster,
-                qs,
-                ix,
+                vec![ServerId(10)],
+                vec![ServerId(0)],
+                2,
                 DispatchPolicy::Lada,
-                SystemConfig::default(),
+                cfg,
             ),
             meta,
         )
@@ -593,7 +690,7 @@ mod tests {
         meta.update_memory_region(ServerId(0), Some(region(0, 1_000, 100, 200)));
 
         let q = Query::range(KeyInterval::new(50, 250), TimeInterval::new(50, 150));
-        let sqs = coord.decompose(&q, QueryId(0));
+        let sqs = coord.decompose(&q, QueryId(0)).unwrap();
         // Overlaps: chunk 0 (keys 50..=100, times 50..=100), chunk 1 (keys
         // 200..=250), and the in-memory region (times 100..=150).
         assert_eq!(sqs.len(), 3);
@@ -625,7 +722,7 @@ mod tests {
         )
         .unwrap();
         let q = Query::range(KeyInterval::new(500, 600), TimeInterval::new(0, 10));
-        assert!(coord.decompose(&q, QueryId(0)).is_empty());
+        assert!(coord.decompose(&q, QueryId(0)).unwrap().is_empty());
     }
 
     #[test]

@@ -2,19 +2,22 @@
 //! §III-D).
 //!
 //! Dispatchers receive the incoming stream and route each tuple to the
-//! indexing server owning its key under the current partition schema, by
-//! appending to that server's partition of the replayable input queue.
-//! "Each dispatcher samples the key frequencies of its input stream in a
-//! sliding window of a few seconds" — implemented as per-server counts plus
-//! a reservoir sample of keys per window, which the partition balancer
-//! periodically collects.
+//! indexing server owning its key under the current partition schema. The
+//! hop to the indexing server is an [`Request::Ingest`] RPC on the message
+//! plane — the destination's handler appends the tuple to that server's
+//! partition of the replayable input queue, so delivery inherits the
+//! plane's deadlines, retries, and fault injection. "Each dispatcher
+//! samples the key frequencies of its input stream in a sliding window of
+//! a few seconds" — implemented as per-server counts plus a reservoir
+//! sample of keys per window, which the partition balancer periodically
+//! collects.
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use waterwheel_core::{Key, Result, ServerId, Tuple};
+use waterwheel_core::{ChunkId, Key, Result, ServerId, Tuple};
 use waterwheel_meta::PartitionSchema;
-use waterwheel_mq::MessageQueue;
+use waterwheel_net::{Request, RpcClient};
 
 /// Reservoir capacity per sampling window.
 const RESERVOIR_CAP: usize = 4_096;
@@ -59,31 +62,20 @@ impl Sampler {
 /// A dispatcher instance.
 pub struct Dispatcher {
     id: ServerId,
-    mq: MessageQueue,
-    topic: String,
+    rpc: RpcClient,
     schema: RwLock<PartitionSchema>,
-    /// Indexing server → queue partition.
-    partitions: HashMap<ServerId, usize>,
     sampler: Mutex<Sampler>,
     dispatched: AtomicU64,
 }
 
 impl Dispatcher {
-    /// Creates a dispatcher routing into `topic` under `schema`;
-    /// `partitions` maps each indexing server to its queue partition.
-    pub fn new(
-        id: ServerId,
-        mq: MessageQueue,
-        topic: impl Into<String>,
-        schema: PartitionSchema,
-        partitions: HashMap<ServerId, usize>,
-    ) -> Self {
+    /// Creates a dispatcher routing tuples under `schema`, sending each to
+    /// its indexing server over `rpc`.
+    pub fn new(id: ServerId, rpc: RpcClient, schema: PartitionSchema) -> Self {
         Self {
             id,
-            mq,
-            topic: topic.into(),
+            rpc,
             schema: RwLock::new(schema),
-            partitions,
             sampler: Mutex::new(Sampler {
                 window: SampleWindow::default(),
                 rng_state: 0x2545F4914F6CDD1D ^ id.raw() as u64,
@@ -102,16 +94,24 @@ impl Dispatcher {
         self.dispatched.load(Ordering::Relaxed)
     }
 
-    /// Routes one tuple to its indexing server's queue partition.
+    /// Routes one tuple to its indexing server. Routing to a server with
+    /// no address on the plane fails loudly (unreachable), never silently
+    /// drops.
     pub fn dispatch(&self, tuple: Tuple) -> Result<()> {
         let server = self.schema.read().route(tuple.key);
-        let partition = *self.partitions.get(&server).ok_or_else(|| {
-            waterwheel_core::WwError::not_found("queue partition for server", server)
-        })?;
         self.sampler.lock().record(tuple.key, server);
-        self.mq.append(&self.topic, partition, tuple)?;
+        self.rpc
+            .call(server, Request::Ingest { tuple })?
+            .into_ack()?;
         self.dispatched.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Tells one indexing server to seal its in-memory state into chunks
+    /// (the dispatcher→indexing control hop of the §V durability boundary);
+    /// returns the sealed chunk ids.
+    pub fn flush(&self, server: ServerId) -> Result<Vec<ChunkId>> {
+        self.rpc.call(server, Request::Flush)?.into_flushed()
     }
 
     /// Installs a new partition schema (pushed by the balancer). Stale
@@ -138,21 +138,41 @@ impl Dispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use waterwheel_core::KeyInterval;
+    use std::sync::Arc;
+    use waterwheel_core::{KeyInterval, SystemConfig};
+    use waterwheel_mq::MessageQueue;
+    use waterwheel_net::{InProcTransport, Response, Transport};
 
-    fn setup(servers: u32) -> (MessageQueue, Dispatcher) {
+    /// Binds an ingest handler per indexing server that appends to its
+    /// queue partition — the same wiring the system facade installs.
+    fn setup(servers: u32) -> (MessageQueue, Arc<InProcTransport>, Dispatcher) {
         let mq = MessageQueue::new();
         mq.create_topic("ingest", servers as usize).unwrap();
+        let transport = Arc::new(InProcTransport::new(None));
+        for partition in 0..servers as usize {
+            let mq = mq.clone();
+            transport.bind(ServerId(partition as u32), move |env| match &env.payload {
+                Request::Ingest { tuple } => {
+                    mq.append("ingest", partition, tuple.clone())?;
+                    Ok(Response::Ack)
+                }
+                _ => Ok(Response::Pong),
+            });
+        }
         let ids: Vec<ServerId> = (0..servers).map(ServerId).collect();
         let schema = PartitionSchema::uniform(&ids);
-        let partitions = ids.iter().map(|&s| (s, s.raw() as usize)).collect();
-        let d = Dispatcher::new(ServerId(100), mq.clone(), "ingest", schema, partitions);
-        (mq, d)
+        let rpc = RpcClient::new(
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            ServerId(100),
+            &SystemConfig::default(),
+        );
+        let d = Dispatcher::new(ServerId(100), rpc, schema);
+        (mq, transport, d)
     }
 
     #[test]
     fn routes_by_schema() {
-        let (mq, d) = setup(2);
+        let (mq, _t, d) = setup(2);
         // Uniform 2-way split of u64: low half → server 0.
         d.dispatch(Tuple::bare(0, 1)).unwrap();
         d.dispatch(Tuple::bare(u64::MAX, 2)).unwrap();
@@ -162,8 +182,19 @@ mod tests {
     }
 
     #[test]
+    fn every_dispatch_crosses_the_message_plane() {
+        let (_mq, t, d) = setup(2);
+        for i in 0..10u64 {
+            d.dispatch(Tuple::bare(i, i)).unwrap();
+        }
+        let totals = t.stats().totals();
+        assert_eq!(totals.sent, 10);
+        assert!(totals.bytes > 0);
+    }
+
+    #[test]
     fn sampling_window_counts_and_resets() {
-        let (_mq, d) = setup(2);
+        let (_mq, _t, d) = setup(2);
         for i in 0..100u64 {
             d.dispatch(Tuple::bare(i, i)).unwrap(); // all low half
         }
@@ -178,7 +209,7 @@ mod tests {
 
     #[test]
     fn reservoir_caps_memory_but_keeps_sampling() {
-        let (_mq, d) = setup(2);
+        let (_mq, _t, d) = setup(2);
         for i in 0..(RESERVOIR_CAP as u64 * 3) {
             d.dispatch(Tuple::bare(i % 1_000, i)).unwrap();
         }
@@ -189,7 +220,7 @@ mod tests {
 
     #[test]
     fn schema_updates_apply_only_forward() {
-        let (_mq, d) = setup(2);
+        let (_mq, _t, d) = setup(2);
         let ids: Vec<ServerId> = (0..2).map(ServerId).collect();
         let mut newer = PartitionSchema::from_boundaries(&[10], &ids, 5).unwrap();
         d.update_schema(newer.clone());
@@ -207,19 +238,23 @@ mod tests {
     }
 
     #[test]
-    fn unknown_server_partition_is_an_error() {
-        let mq = MessageQueue::new();
-        mq.create_topic("ingest", 1).unwrap();
-        let ids: Vec<ServerId> = vec![ServerId(0)];
-        let schema = PartitionSchema::uniform(&ids);
-        // Empty partition map: routing must fail loudly, not silently drop.
-        let d = Dispatcher::new(ServerId(1), mq, "ingest", schema, HashMap::new());
+    fn unbound_destination_is_an_error() {
+        // A schema routing to a server with no address on the plane must
+        // fail loudly, not silently drop.
+        let transport = Arc::new(InProcTransport::new(None));
+        let schema = PartitionSchema::uniform(&[ServerId(0)]);
+        let rpc = RpcClient::new(
+            transport as Arc<dyn Transport>,
+            ServerId(100),
+            &SystemConfig::default(),
+        );
+        let d = Dispatcher::new(ServerId(100), rpc, schema);
         assert!(d.dispatch(Tuple::bare(1, 1)).is_err());
     }
 
     #[test]
     fn full_domain_keys_route_without_panic() {
-        let (_mq, d) = setup(3);
+        let (_mq, _t, d) = setup(3);
         for key in [0u64, 1, u64::MAX / 3, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
             d.dispatch(Tuple::bare(key, 0)).unwrap();
         }

@@ -17,6 +17,10 @@
 //! Recovery: an indexing server is reconstructed by replaying its queue
 //! partition from the durable offset; the rebuilt tree is identical because
 //! inserts are deterministic.
+//!
+//! All metadata interactions (region reports, chunk/summary/attr-index
+//! registration, id allocation) go through a [`MetaClient`] — typed RPCs on
+//! the message plane, subject to its deadlines, retries, and faults.
 
 use crate::attributes::AttrRegistry;
 use parking_lot::Mutex;
@@ -29,8 +33,9 @@ use waterwheel_core::{
 };
 use waterwheel_index::secondary::ChunkAttrIndex;
 use waterwheel_index::{IndexConfig, SealedTree, TemplateBTree, TupleIndex};
-use waterwheel_meta::{ChunkInfo, MetadataService, SummaryExtent};
+use waterwheel_meta::{ChunkInfo, SummaryExtent};
 use waterwheel_mq::Consumer;
+use waterwheel_net::MetaClient;
 use waterwheel_storage::{write_chunk_with_summary, SimDfs};
 
 /// Ingest-side counters.
@@ -62,7 +67,7 @@ pub struct IndexingServer {
     high_water: AtomicU64,
     consumer: Mutex<Consumer>,
     dfs: SimDfs,
-    meta: MetadataService,
+    meta: MetaClient,
     stats: IndexingStats,
     /// Failure injection.
     failed: AtomicBool,
@@ -86,7 +91,7 @@ impl IndexingServer {
         cfg: SystemConfig,
         consumer: Consumer,
         dfs: SimDfs,
-        meta: MetadataService,
+        meta: MetaClient,
     ) -> Self {
         let index_cfg = IndexConfig::from_system(&cfg);
         Self {
@@ -199,7 +204,7 @@ impl IndexingServer {
             self.ingest(record.tuple);
         }
         if n > 0 {
-            self.report_memory_region();
+            self.report_memory_region()?;
         }
         if self.tree.byte_size() >= self.cfg.chunk_size_bytes {
             self.flush()?;
@@ -266,9 +271,9 @@ impl IndexingServer {
         region
     }
 
-    fn report_memory_region(&self) {
+    fn report_memory_region(&self) -> Result<()> {
         self.meta
-            .update_memory_region(self.id, self.memory_region());
+            .update_memory_region(self.id, self.memory_region())
     }
 
     /// Executes a subquery against the in-memory state (main tree + side
@@ -376,7 +381,7 @@ impl IndexingServer {
             self.stats
                 .chunks_flushed
                 .fetch_add(flushed.len() as u64, Ordering::Relaxed);
-            self.report_memory_region();
+            self.report_memory_region()?;
         }
         Ok(flushed)
     }
@@ -387,12 +392,17 @@ mod tests {
     use super::*;
     use waterwheel_cluster::{Cluster, LatencyModel};
     use waterwheel_core::{QueryId, SubQueryId, SubQueryTarget};
+    use waterwheel_meta::MetadataService;
     use waterwheel_mq::MessageQueue;
+    use waterwheel_net::{serve_meta, InProcTransport, RpcClient, Transport};
 
     struct Rig {
         mq: MessageQueue,
         dfs: SimDfs,
+        /// Direct service handle for assertions; servers go through the
+        /// message plane.
         meta: MetadataService,
+        transport: Arc<InProcTransport>,
         cfg: SystemConfig,
     }
 
@@ -405,20 +415,34 @@ mod tests {
             mq.create_topic("ingest", 2).unwrap();
             let dfs = SimDfs::new(root, Cluster::new(3), 3, LatencyModel::default()).unwrap();
             let meta = MetadataService::in_memory();
+            let transport = Arc::new(InProcTransport::new(None));
+            serve_meta(&transport, meta.clone());
             let mut cfg = SystemConfig::default();
             cfg.chunk_size_bytes = 4 * 1024;
             cfg.late_visibility = std::time::Duration::from_secs(5);
-            Self { mq, dfs, meta, cfg }
+            Self {
+                mq,
+                dfs,
+                meta,
+                transport,
+                cfg,
+            }
         }
 
         fn server(&self, partition: usize, offset: u64) -> IndexingServer {
+            let id = ServerId(partition as u32);
+            let rpc = RpcClient::new(
+                Arc::clone(&self.transport) as Arc<dyn Transport>,
+                id,
+                &self.cfg,
+            );
             IndexingServer::new(
-                ServerId(partition as u32),
+                id,
                 KeyInterval::full(),
                 self.cfg.clone(),
                 Consumer::new(self.mq.clone(), "ingest", partition, offset),
                 self.dfs.clone(),
-                self.meta.clone(),
+                MetaClient::new(rpc),
             )
         }
     }

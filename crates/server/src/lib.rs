@@ -28,6 +28,11 @@
 //! | §IV-B subquery execution, caching       | [`query_server`] |
 //! | §IV-C LADA + baseline dispatch          | [`dispatch`] |
 //! | Figure 3 topology                       | [`system`] |
+//!
+//! Every cross-server hop (ingest, flush, subqueries, summary reads,
+//! metadata calls) is a typed RPC on the `waterwheel-net` message plane;
+//! [`Waterwheel::transport`] exposes it for fault injection and per-link
+//! statistics.
 
 #![warn(missing_docs)]
 

@@ -7,6 +7,7 @@
 use crate::system::Waterwheel;
 use std::fmt;
 use std::sync::atomic::Ordering;
+use waterwheel_net::Transport;
 
 /// A point-in-time snapshot of the whole system's counters.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +52,16 @@ pub struct SystemMetrics {
     pub agg_fallback_subqueries: u64,
     /// Bytes of wheel summaries appended to flushed chunks.
     pub summary_bytes_flushed: u64,
+    /// RPC envelopes handed to the message plane (including retries).
+    pub rpc_sent: u64,
+    /// RPC attempts retried after a delivery failure.
+    pub rpc_retried: u64,
+    /// RPC attempts that timed out (lost or late in transit).
+    pub rpc_timed_out: u64,
+    /// RPC attempts that found the destination unreachable.
+    pub rpc_unreachable: u64,
+    /// Estimated bytes moved over the message plane.
+    pub rpc_bytes: u64,
 }
 
 impl SystemMetrics {
@@ -85,6 +96,12 @@ impl SystemMetrics {
         m.dfs_opens = dfs.opens.load(Ordering::Relaxed);
         m.dfs_bytes_read = dfs.bytes_read.load(Ordering::Relaxed);
         m.dfs_local_opens = dfs.local_opens.load(Ordering::Relaxed);
+        let rpc = ww.transport().stats().totals();
+        m.rpc_sent = rpc.sent;
+        m.rpc_retried = rpc.retried;
+        m.rpc_timed_out = rpc.timed_out;
+        m.rpc_unreachable = rpc.unreachable;
+        m.rpc_bytes = rpc.bytes;
         m
     }
 
@@ -129,13 +146,22 @@ impl fmt::Display for SystemMetrics {
             "dfs:     {} opens ({} local), {} bytes read",
             self.dfs_opens, self.dfs_local_opens, self.dfs_bytes_read
         )?;
-        write!(
+        writeln!(
             f,
             "agg:     {} queries, {} cells merged, {} fallback subqueries, {} summary bytes flushed",
             self.agg_queries,
             self.agg_cells_merged,
             self.agg_fallback_subqueries,
             self.summary_bytes_flushed
+        )?;
+        write!(
+            f,
+            "rpc:     {} sent ({} retried, {} timed out, {} unreachable), {} bytes",
+            self.rpc_sent,
+            self.rpc_retried,
+            self.rpc_timed_out,
+            self.rpc_unreachable,
+            self.rpc_bytes
         )
     }
 }
@@ -167,6 +193,10 @@ mod tests {
         assert!(m.subqueries >= 1);
         assert!(m.leaf_reads > 0);
         assert!(m.dfs_opens > 0);
+        // Every dispatch, metadata call, and subquery crossed the plane.
+        assert!(m.rpc_sent >= m.dispatched + m.subqueries);
+        assert!(m.rpc_bytes > 0);
+        assert_eq!(m.rpc_retried, 0, "fault-free plane must not retry");
         // Display renders without panicking and mentions the key figures.
         let text = m.to_string();
         assert!(text.contains("1000 dispatched"));
@@ -204,9 +234,14 @@ mod tests {
             agg_cells_merged: 118,
             agg_fallback_subqueries: 119,
             summary_bytes_flushed: 120,
+            rpc_sent: 121,
+            rpc_retried: 122,
+            rpc_timed_out: 123,
+            rpc_unreachable: 124,
+            rpc_bytes: 125,
         };
         let text = m.to_string();
-        for sentinel in 101..=120u64 {
+        for sentinel in 101..=125u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"

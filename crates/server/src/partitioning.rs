@@ -123,10 +123,10 @@ impl PartitionBalancer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
     use waterwheel_cluster::{Cluster, LatencyModel};
     use waterwheel_core::{SystemConfig, Tuple};
     use waterwheel_mq::{Consumer, MessageQueue};
+    use waterwheel_net::{serve_meta, InProcTransport, MetaClient, Request, Response, RpcClient};
     use waterwheel_storage::SimDfs;
 
     struct Rig {
@@ -143,6 +143,9 @@ mod tests {
         mq.create_topic("ingest", servers as usize).unwrap();
         let dfs = SimDfs::new(root, Cluster::new(3), 3, LatencyModel::default()).unwrap();
         let meta = MetadataService::in_memory();
+        let cfg = SystemConfig::default();
+        let transport = Arc::new(InProcTransport::new(None));
+        serve_meta(&transport, meta.clone());
         let ids: Vec<ServerId> = (0..servers).map(ServerId).collect();
         let schema = PartitionSchema::uniform(&ids);
         meta.set_partition({
@@ -151,16 +154,29 @@ mod tests {
             s
         })
         .unwrap();
-        let partitions: HashMap<ServerId, usize> =
-            ids.iter().map(|&s| (s, s.raw() as usize)).collect();
+        // Ingest handler per indexing address, as the system facade wires.
+        for &id in &ids {
+            let mq = mq.clone();
+            transport.bind(id, move |env| match &env.payload {
+                Request::Ingest { tuple } => {
+                    mq.append("ingest", id.raw() as usize, tuple.clone())?;
+                    Ok(Response::Ack)
+                }
+                _ => Ok(Response::Pong),
+            });
+        }
+        let rpc = |src: ServerId| {
+            RpcClient::new(
+                Arc::clone(&transport) as Arc<dyn waterwheel_net::Transport>,
+                src,
+                &cfg,
+            )
+        };
         let dispatchers = vec![Arc::new(Dispatcher::new(
             ServerId(100),
-            mq.clone(),
-            "ingest",
+            rpc(ServerId(100)),
             schema.clone(),
-            partitions,
         ))];
-        let cfg = SystemConfig::default();
         let indexing = ids
             .iter()
             .map(|&id| {
@@ -170,7 +186,7 @@ mod tests {
                     cfg.clone(),
                     Consumer::new(mq.clone(), "ingest", id.raw() as usize, 0),
                     dfs.clone(),
-                    meta.clone(),
+                    MetaClient::new(rpc(id)),
                 ))
             })
             .collect();

@@ -6,10 +6,17 @@
 //! the substrates are the in-process substitutes described in DESIGN.md.
 //!
 //! ```text
-//!  insert() → Dispatchers → MessageQueue → IndexingServers → SimDfs chunks
-//!  query()  → Coordinator → { IndexingServers (fresh) ,
-//!                             QueryServers via LADA (chunks) } → merge
+//!  insert() → Dispatchers ──RPC──▶ MessageQueue → IndexingServers → chunks
+//!  query()  → Coordinator ──RPC──▶ { IndexingServers (fresh) ,
+//!                                    QueryServers via LADA (chunks) } → merge
 //! ```
+//!
+//! Every cross-server hop rides the message plane: the builder creates one
+//! [`InProcTransport`], binds a typed handler per server address (plus the
+//! metadata server at its well-known address), and hands each sender an
+//! [`RpcClient`]. Fault injection — loss, latency, partitions, dead nodes —
+//! therefore applies uniformly to ingestion, queries, and metadata traffic;
+//! see [`Waterwheel::transport`].
 
 use crate::attributes::AttrRegistry;
 use crate::coordinator::Coordinator;
@@ -19,7 +26,6 @@ use crate::indexing::IndexingServer;
 use crate::partitioning::{BalanceOutcome, PartitionBalancer};
 use crate::query_server::QueryServer;
 use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -29,6 +35,9 @@ use waterwheel_core::aggregate::{default_measure, AggregateQuery, MeasureFn};
 use waterwheel_core::{Query, QueryResult, Result, ServerId, SystemConfig, Tuple, WwError};
 use waterwheel_meta::{MetadataService, PartitionSchema};
 use waterwheel_mq::{Consumer, MessageQueue};
+use waterwheel_net::{
+    serve_meta, InProcTransport, MetaClient, Request, Response, RpcClient, Transport, COORDINATOR,
+};
 use waterwheel_storage::SimDfs;
 
 /// Name of the ingestion topic.
@@ -121,6 +130,14 @@ impl WaterwheelBuilder {
             MetadataService::in_memory()
         };
 
+        // The message plane: one transport carries every cross-server hop;
+        // the cluster hook makes servers on dead nodes unreachable.
+        let transport = Arc::new(InProcTransport::new(Some(cluster.clone())));
+        serve_meta(&transport, meta.clone());
+        let rpc_for = |src: ServerId| {
+            RpcClient::new(Arc::clone(&transport) as Arc<dyn Transport>, src, &self.cfg)
+        };
+
         // Server ids: indexing 0.., query 1000.., dispatchers 2000.. .
         let ix_ids: Vec<ServerId> = (0..self.cfg.indexing_servers as u32)
             .map(ServerId)
@@ -146,20 +163,9 @@ impl WaterwheelBuilder {
                 s
             }
         };
-        let partitions: HashMap<ServerId, usize> =
-            ix_ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-
         let dispatchers: Vec<Arc<Dispatcher>> = disp_ids
             .iter()
-            .map(|&id| {
-                Arc::new(Dispatcher::new(
-                    id,
-                    mq.clone(),
-                    INGEST_TOPIC,
-                    schema.clone(),
-                    partitions.clone(),
-                ))
-            })
+            .map(|&id| Arc::new(Dispatcher::new(id, rpc_for(id), schema.clone())))
             .collect();
 
         let indexing: Vec<Arc<IndexingServer>> = ix_ids
@@ -177,11 +183,56 @@ impl WaterwheelBuilder {
                     self.cfg.clone(),
                     Consumer::new(mq.clone(), INGEST_TOPIC, i, offset),
                     dfs.clone(),
-                    meta.clone(),
+                    MetaClient::new(rpc_for(id)),
                 ))
             })
             .collect();
         let indexing = Arc::new(RwLock::new(indexing));
+
+        // Bind each indexing address. The handler resolves the *current*
+        // instance at call time so it survives recovery swaps; ingest
+        // appends to the queue partition regardless of the server's health
+        // (Kafka accepts writes while a consumer is down — they replay).
+        for (i, &id) in ix_ids.iter().enumerate() {
+            let indexing = Arc::clone(&indexing);
+            let mq = mq.clone();
+            transport.bind(id, move |env| match &env.payload {
+                Request::Ingest { tuple } => {
+                    mq.append(INGEST_TOPIC, i, tuple.clone())?;
+                    Ok(Response::Ack)
+                }
+                other => {
+                    let server = indexing.read().get(i).cloned();
+                    let Some(server) = server else {
+                        return Err(WwError::Unreachable("indexing server removed"));
+                    };
+                    match other {
+                        Request::Flush => {
+                            if server.is_failed() {
+                                return Err(WwError::Injected("indexing server down"));
+                            }
+                            Ok(Response::Flushed(server.flush()?))
+                        }
+                        Request::InMemorySubquery { sq } => {
+                            Ok(Response::Tuples(server.query_in_memory(sq)?))
+                        }
+                        Request::AggregateInMemory { slices, covered } => Ok(Response::Fold(
+                            server.aggregate_in_memory(*slices, covered)?,
+                        )),
+                        Request::Ping => {
+                            if server.is_failed() {
+                                Err(WwError::Injected("indexing server down"))
+                            } else {
+                                Ok(Response::Pong)
+                            }
+                        }
+                        _ => Err(WwError::InvalidState(
+                            "unsupported request for an indexing server".into(),
+                        )),
+                    }
+                }
+            });
+        }
 
         let query_servers: Vec<Arc<QueryServer>> = qs_ids
             .iter()
@@ -195,16 +246,42 @@ impl WaterwheelBuilder {
                 ))
             })
             .collect();
+        for qs in &query_servers {
+            let qs = Arc::clone(qs);
+            transport.bind(qs.id(), move |env| match &env.payload {
+                Request::ChunkSubquery {
+                    sq,
+                    chunk,
+                    leaf_filter,
+                } => Ok(Response::Tuples(qs.execute_filtered(
+                    sq,
+                    *chunk,
+                    leaf_filter.as_ref(),
+                )?)),
+                Request::ReadSummary { chunk } => Ok(Response::Summary(qs.read_summary(*chunk)?)),
+                Request::Ping => {
+                    if qs.is_failed() {
+                        Err(WwError::Injected("query server down"))
+                    } else {
+                        Ok(Response::Pong)
+                    }
+                }
+                _ => Err(WwError::InvalidState(
+                    "unsupported request for a query server".into(),
+                )),
+            });
+        }
 
         let attrs = Arc::new(AttrRegistry::new());
         for server in indexing.read().iter() {
             server.set_attr_registry(Arc::clone(&attrs));
         }
         let coordinator = Arc::new(Coordinator::new(
-            meta.clone(),
+            rpc_for(COORDINATOR),
             cluster.clone(),
-            query_servers.clone(),
-            Arc::clone(&indexing),
+            qs_ids,
+            ix_ids,
+            dfs.replication(),
             self.policy,
             self.cfg.clone(),
         ));
@@ -217,6 +294,7 @@ impl WaterwheelBuilder {
             dfs,
             meta,
             cluster,
+            transport,
             dispatchers,
             indexing,
             query_servers,
@@ -238,6 +316,7 @@ pub struct Waterwheel {
     dfs: SimDfs,
     meta: MetadataService,
     cluster: Cluster,
+    transport: Arc<InProcTransport>,
     dispatchers: Vec<Arc<Dispatcher>>,
     indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
     query_servers: Vec<Arc<QueryServer>>,
@@ -281,6 +360,12 @@ impl Waterwheel {
         &self.mq
     }
 
+    /// The message plane: inject latency/loss/partitions and read per-link
+    /// RPC statistics.
+    pub fn transport(&self) -> &Arc<InProcTransport> {
+        &self.transport
+    }
+
     /// The coordinator (policy switching, stats).
     pub fn coordinator(&self) -> Arc<Coordinator> {
         Arc::clone(&self.coordinator.read())
@@ -295,10 +380,15 @@ impl Waterwheel {
     pub fn restart_coordinator(&self) {
         let old = self.coordinator();
         let fresh = Arc::new(Coordinator::new(
-            self.meta.clone(),
+            RpcClient::new(
+                Arc::clone(&self.transport) as Arc<dyn Transport>,
+                COORDINATOR,
+                &self.cfg,
+            ),
             self.cluster.clone(),
-            self.query_servers.clone(),
-            Arc::clone(&self.indexing),
+            self.query_servers.iter().map(|q| q.id()).collect(),
+            self.indexing.read().iter().map(|s| s.id()).collect(),
+            self.dfs.replication(),
             old.policy(),
             self.cfg.clone(),
         ));
@@ -436,11 +526,17 @@ impl Waterwheel {
         self.mq.sync()
     }
 
-    /// Forces every indexing server to flush its in-memory state to chunks.
+    /// Forces every indexing server to flush its in-memory state to chunks
+    /// — issued as `Flush` RPCs through a dispatcher (the control hop of
+    /// the §V durability boundary). Crashed servers are skipped: their
+    /// memory is gone and replays on recovery.
     pub fn flush_all(&self) -> Result<()> {
-        for server in self.indexing.read().iter() {
-            if !server.is_failed() {
-                server.flush()?;
+        let ids: Vec<ServerId> = self.indexing.read().iter().map(|s| s.id()).collect();
+        for id in ids {
+            match self.dispatchers[0].flush(id) {
+                Ok(_) => {}
+                Err(WwError::Injected(_)) => continue,
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -486,7 +582,11 @@ impl Waterwheel {
             self.cfg.clone(),
             Consumer::new(self.mq.clone(), INGEST_TOPIC, pos, offset),
             self.dfs.clone(),
-            self.meta.clone(),
+            MetaClient::new(RpcClient::new(
+                Arc::clone(&self.transport) as Arc<dyn Transport>,
+                id,
+                &self.cfg,
+            )),
         ));
         replacement.set_attr_registry(Arc::clone(&self.attrs));
         replacement.set_measure(self.measure.lock().clone());

@@ -1,12 +1,14 @@
 //! Fault-tolerance walkthrough (paper §V): crash an indexing server and a
-//! query server mid-stream and show that no data is lost and queries keep
-//! answering.
+//! query server mid-stream, drop RPC messages on the wire, and show that
+//! no data is lost and queries keep answering.
 //!
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
 
+use waterwheel::net::LinkProfile;
 use waterwheel::prelude::*;
+use waterwheel::server::SystemMetrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = std::env::temp_dir().join("waterwheel-fault-tolerance");
@@ -16,6 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.chunk_size_bytes = 64 * 1024;
     cfg.indexing_servers = 2;
     cfg.query_servers = 4;
+    // Deep enough retry budget that 10 % message loss cannot exhaust it.
+    cfg.rpc_retries = 6;
     let ww = Waterwheel::builder(&root).config(cfg).build()?;
 
     let total = 50_000u64;
@@ -63,6 +67,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "visible with half the query fleet down: {during} ({redispatched} subqueries re-dispatched)"
     );
     assert_eq!(during as u64, total);
+    ww.query_servers()[0].set_failed(false);
+    ww.query_servers()[1].set_failed(false);
+
+    // ----- Network loss: every tenth RPC message vanishes in transit. ---
+    // Loss drops requests before they reach the destination, so the
+    // client's retries can never duplicate an ingest or a subquery — the
+    // answers below stay exact, not approximate.
+    ww.transport().set_default_profile(LinkProfile {
+        loss: 0.10,
+        ..LinkProfile::default()
+    });
+    println!("dropping 10% of RPC messages; ingesting and querying anyway …");
+    for i in 0..5_000u64 {
+        ww.insert(Tuple::new(
+            i.wrapping_mul(0x9E37_79B9) << 16,
+            2_000_000 + i / 10,
+            vec![0u8; 16],
+        ))?;
+    }
+    ww.drain()?;
+    let with_loss = ww.query(&all)?.tuples.len();
+    println!("visible with a lossy message plane:     {with_loss}");
+    assert_eq!(with_loss as u64, total + 5_000, "loss must be masked");
+    let m = SystemMetrics::collect(&ww);
+    println!("{}", m.to_string().lines().last().unwrap_or_default());
+    assert!(m.rpc_retried > 0, "loss should have forced retries");
+    ww.transport().clear_faults();
 
     // ----- Full restart: metadata + chunks + queue replay. -----
     drop(ww);

@@ -1,0 +1,259 @@
+//! Message-plane fault oracles: with injectable network faults on the
+//! `waterwheel-net` transport, the system must stay *exact* — retries mask
+//! loss without duplicating side effects, re-dispatch masks dead links —
+//! and the faults must be visible in `SystemMetrics`.
+//!
+//! All faults are driven by a deterministic per-transport RNG, so every
+//! test here is reproducible.
+
+use std::time::Duration;
+use waterwheel::net::{LinkProfile, COORDINATOR, META_SERVER};
+use waterwheel::prelude::*;
+use waterwheel::server::SystemMetrics;
+
+fn fresh_root(name: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("ww-rpc-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Small chunks so queries span both memory and flushed chunks, and a
+/// retry budget deep enough that 15 % request loss cannot exhaust it
+/// (p_fail = 0.15^7 per call).
+fn cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.chunk_size_bytes = 32 * 1024;
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 3;
+    cfg.rpc_retries = 6;
+    cfg
+}
+
+fn all() -> Query {
+    Query::range(KeyInterval::full(), TimeInterval::full())
+}
+
+fn spread_key(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn lossy(loss: f64) -> LinkProfile {
+    LinkProfile {
+        loss,
+        ..LinkProfile::default()
+    }
+}
+
+#[test]
+fn twenty_percent_loss_is_masked_by_retries_and_counted() {
+    let ww = Waterwheel::builder(fresh_root("loss"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    // Loss on every link, during ingest AND query. Loss drops requests
+    // *before* they reach the destination, so a retried ingest can never
+    // duplicate a tuple — the oracle below is exact, not approximate.
+    ww.transport().set_default_profile(lossy(0.15));
+    for i in 0..2_000u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    let got = ww.query(&all()).unwrap().tuples.len();
+    assert_eq!(got, 2_000, "loss must be masked, never lose/duplicate");
+
+    let m = SystemMetrics::collect(&ww);
+    assert!(m.rpc_retried > 0, "15% loss must have forced retries");
+    assert!(m.rpc_timed_out > 0, "lost requests count as timeouts");
+    assert!(m.rpc_sent > m.dispatched, "retries inflate sent count");
+    let text = m.to_string();
+    assert!(text.contains("retried"), "metrics must render rpc line");
+}
+
+#[test]
+fn aggregates_stay_exact_under_loss() {
+    let ww = Waterwheel::builder(fresh_root("agg-loss"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    ww.register_measure(|t: &Tuple| t.key.wrapping_mul(31).wrapping_add(t.ts) % 10_000);
+    ww.transport().set_default_profile(lossy(0.15));
+    let mut expected_sum = 0u128;
+    for i in 0..1_500u64 {
+        let t = Tuple::bare(spread_key(i), 1_000 + i);
+        expected_sum += u128::from(t.key.wrapping_mul(31).wrapping_add(t.ts) % 10_000);
+        ww.insert(t).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    let aq = all().aggregate(AggregateKind::Sum);
+    let ans = ww.aggregate(&aq).unwrap();
+    assert_eq!(ans.agg.count, 1_500);
+    assert_eq!(ans.agg.sum, expected_sum);
+}
+
+#[test]
+fn latency_and_jitter_within_deadline_only_slow_things_down() {
+    let ww = Waterwheel::builder(fresh_root("latency"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    ww.transport().set_default_profile(LinkProfile {
+        latency: Duration::from_micros(100),
+        jitter: Duration::from_micros(200),
+        ..LinkProfile::default()
+    });
+    // Small N: the transit sleeps are real.
+    for i in 0..300u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    assert_eq!(ww.query(&all()).unwrap().tuples.len(), 300);
+    let m = SystemMetrics::collect(&ww);
+    assert_eq!(
+        m.rpc_timed_out, 0,
+        "transit within the deadline never times out"
+    );
+    assert_eq!(m.rpc_retried, 0);
+}
+
+#[test]
+fn delay_past_the_deadline_times_out_and_is_retried() {
+    let mut c = cfg();
+    c.rpc_timeout = Duration::from_millis(2);
+    let ww = Waterwheel::builder(fresh_root("late"))
+        .config(c)
+        .build()
+        .unwrap();
+    for i in 0..2_000u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    // Fixed latency beyond the deadline on one coordinator→query-server
+    // link: every attempt on it times out (simulated — no real sleep past
+    // the deadline), and re-dispatch routes around it.
+    let qs0 = ww.query_servers()[0].id();
+    ww.transport().set_link_profile(
+        COORDINATOR,
+        qs0,
+        LinkProfile {
+            latency: Duration::from_millis(10),
+            ..LinkProfile::default()
+        },
+    );
+    assert_eq!(ww.query(&all()).unwrap().tuples.len(), 2_000);
+    let m = SystemMetrics::collect(&ww);
+    assert!(m.rpc_timed_out > 0, "past-deadline transit must time out");
+    assert!(m.rpc_retried > 0);
+}
+
+#[test]
+fn partitioned_query_server_is_masked_by_redispatch() {
+    let ww = Waterwheel::builder(fresh_root("partition"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    for i in 0..2_000u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    let qs0 = ww.query_servers()[0].id();
+    ww.transport().partition(COORDINATOR, qs0);
+    let got = ww.query(&all()).unwrap().tuples.len();
+    assert_eq!(got, 2_000, "redispatch must mask the severed link");
+    let m = SystemMetrics::collect(&ww);
+    assert!(
+        m.rpc_unreachable > 0,
+        "severed link attempts are unreachable"
+    );
+    assert!(
+        m.redispatches > 0 || m.rpc_retried > 0,
+        "the dead link must have forced rerouting"
+    );
+}
+
+#[test]
+fn partitioned_metadata_fails_loudly_then_heals() {
+    let ww = Waterwheel::builder(fresh_root("meta-part"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    for i in 0..1_000u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    // The coordinator cannot decompose without the metadata service and
+    // there is no replica to fail over to: the query must error, not hang
+    // and not return a partial answer.
+    ww.transport().partition(COORDINATOR, META_SERVER);
+    assert!(
+        ww.query(&all()).is_err(),
+        "metadata partition must surface as an error"
+    );
+    ww.transport().heal(COORDINATOR, META_SERVER);
+    assert_eq!(ww.query(&all()).unwrap().tuples.len(), 1_000);
+}
+
+#[test]
+fn link_dying_mid_plan_is_redispatched_deterministically() {
+    let mut c = cfg();
+    // Small chunks: the plan has many chunk subqueries, so the severed
+    // link is guaranteed to be asked for more work after the cut-off.
+    c.chunk_size_bytes = 8 * 1024;
+    let ww = Waterwheel::builder(fresh_root("midplan"))
+        .config(c)
+        .build()
+        .unwrap();
+    for i in 0..3_000u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    // The coordinator→qs0 link dies after 1 more message: at most one
+    // chunk subquery lands, then the server "crashes mid-plan".
+    // Re-dispatch must finish the plan on the survivors, reproducibly.
+    let qs0 = ww.query_servers()[0].id();
+    ww.transport().set_link_profile(
+        COORDINATOR,
+        qs0,
+        LinkProfile {
+            drop_after: Some(1),
+            ..LinkProfile::default()
+        },
+    );
+    let first = ww.query(&all()).unwrap().tuples.len();
+    assert_eq!(first, 3_000, "mid-plan crash must be masked");
+    // The cut-off is deterministic and the link stays dead: a second
+    // identical query routes everything to the survivors and still agrees.
+    let second = ww.query(&all()).unwrap().tuples.len();
+    assert_eq!(second, first);
+    let m = SystemMetrics::collect(&ww);
+    assert!(m.rpc_timed_out > 0, "dropped mid-plan messages time out");
+}
+
+#[test]
+fn clearing_faults_restores_the_clean_plane() {
+    let ww = Waterwheel::builder(fresh_root("clear"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    ww.transport().set_default_profile(lossy(0.2));
+    ww.transport()
+        .partition(COORDINATOR, ww.query_servers()[0].id());
+    ww.transport().clear_faults();
+    for i in 0..500u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    let before = SystemMetrics::collect(&ww);
+    assert_eq!(ww.query(&all()).unwrap().tuples.len(), 500);
+    let after = SystemMetrics::collect(&ww);
+    assert_eq!(
+        after.rpc_retried, before.rpc_retried,
+        "clean plane: no retries"
+    );
+    assert_eq!(after.rpc_timed_out, before.rpc_timed_out);
+}
