@@ -18,6 +18,12 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ingest bench smoke (batched path must beat per-tuple)"
+rm -f BENCH_ingest.json
+WW_BENCH_REQUIRE_WIN=1 WW_INGEST_BENCH_N=20000 \
+    cargo bench -p waterwheel-bench --bench ingest_throughput
+test -s BENCH_ingest.json || { echo "BENCH_ingest.json missing"; exit 1; }
+
 echo "==> examples smoke pass"
 for example in adaptive_skew aggregate_dashboard fault_tolerance \
                network_monitor quickstart taxi_tracking; do

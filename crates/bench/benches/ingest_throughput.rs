@@ -1,0 +1,159 @@
+//! Ingest throughput: per-tuple vs batched dispatch (paper Fig. 15 shape).
+//!
+//! Figure 15 attributes Waterwheel's ingest headroom to a pipelined path
+//! with no per-tuple coordination. This harness isolates the message-plane
+//! half of that claim: the same tuple stream is driven through the system
+//! once with `ingest_batch_size = 1` (one `Ingest` envelope per tuple) and
+//! once with the default-style batched path (`IngestBatch` envelopes), and
+//! we compare end-to-end rate (insert + drain, so indexing-side visibility
+//! is included) and the number of dispatcher → indexing envelopes.
+//!
+//! Expected shape: batching wins on rate and sends ≥ 8× fewer envelopes
+//! per tuple.
+//!
+//! Knobs:
+//! * `WW_INGEST_BENCH_N` — tuple count override (default `scaled(150_000)`).
+//! * `WW_BENCH_REQUIRE_WIN=1` — exit non-zero unless the batched run is
+//!   faster *and* reaches the 8× envelope reduction (the CI smoke gate).
+//!
+//! Emits `BENCH_ingest.json` at the workspace root for tooling.
+
+use std::time::Duration;
+use waterwheel_bench::*;
+use waterwheel_core::{SystemConfig, Tuple};
+use waterwheel_net::Transport;
+use waterwheel_server::Waterwheel;
+
+struct RunResult {
+    secs: f64,
+    rate: f64,
+    /// Dispatcher → indexing envelopes (first attempts + retries).
+    envelopes: u64,
+    batches: u64,
+    batch_tuples: u64,
+}
+
+/// Drives `tuples` through a fresh system configured with `batch_size`
+/// and measures insert + drain end to end.
+fn run(name: &str, batch_size: usize, tuples: &[Tuple]) -> RunResult {
+    let root = std::env::temp_dir().join(format!("ww-ingest-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 2;
+    cfg.chunk_size_bytes = 4 << 20;
+    cfg.ingest_batch_size = batch_size;
+    cfg.ingest_linger = Duration::from_millis(2);
+    let ww = Waterwheel::builder(&root)
+        .config(cfg)
+        .volatile_metadata()
+        .build()
+        .unwrap();
+    let (_, elapsed) = time(|| {
+        for t in tuples {
+            ww.insert(t.clone()).unwrap();
+        }
+        ww.drain().unwrap();
+    });
+    // Only the dispatcher → indexing hop: dispatchers live at 2000+,
+    // indexing servers below 1000 (query servers start at 1000).
+    let envelopes: u64 = ww
+        .transport()
+        .stats()
+        .per_link()
+        .iter()
+        .filter(|((src, dst), _)| (2000..3000).contains(&src.raw()) && dst.raw() < 1000)
+        .map(|(_, l)| l.sent)
+        .sum();
+    let batches: u64 = ww.dispatchers().iter().map(|d| d.batches_sent()).sum();
+    let batch_tuples: u64 = ww.dispatchers().iter().map(|d| d.batch_tuples()).sum();
+    let secs = elapsed.as_secs_f64();
+    RunResult {
+        secs,
+        rate: throughput(tuples.len(), elapsed),
+        envelopes,
+        batches,
+        batch_tuples,
+    }
+}
+
+fn main() {
+    let n: usize = std::env::var("WW_INGEST_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| scaled(150_000));
+    let batch_size = 256usize;
+    let tuples = network_tuples(n, 42);
+
+    let per_tuple = run("per-tuple", 1, &tuples);
+    let batched = run("batched", batch_size, &tuples);
+
+    let speedup = batched.rate / per_tuple.rate;
+    let reduction = per_tuple.envelopes as f64 / batched.envelopes.max(1) as f64;
+    let row = |label: &str, r: &RunResult| {
+        vec![
+            label.to_string(),
+            fmt_rate(r.rate),
+            format!("{:.2}s", r.secs),
+            r.envelopes.to_string(),
+            format!("{:.2}", r.envelopes as f64 / n as f64),
+            r.batches.to_string(),
+        ]
+    };
+    print_table(
+        &format!("Ingest throughput — per-tuple vs batched ({n} tuples, batch {batch_size})"),
+        &["path", "rate", "wall", "envelopes", "env/tuple", "batches"],
+        &[row("per-tuple", &per_tuple), row("batched", &batched)],
+    );
+    println!("batched speedup: {speedup:.2}x, envelope reduction: {reduction:.1}x");
+    assert_eq!(
+        batched.batch_tuples, n as u64,
+        "every tuple must ride a batch envelope on the batched path"
+    );
+    assert_eq!(per_tuple.batches, 0, "per-tuple path must not batch");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ingest_throughput\",\n",
+            "  \"tuples\": {n},\n",
+            "  \"batch_size\": {batch},\n",
+            "  \"per_tuple\": {{ \"rate\": {pt_rate:.1}, \"secs\": {pt_secs:.4}, \"envelopes\": {pt_env} }},\n",
+            "  \"batched\": {{ \"rate\": {b_rate:.1}, \"secs\": {b_secs:.4}, \"envelopes\": {b_env}, \"batches\": {b_batches} }},\n",
+            "  \"speedup\": {speedup:.3},\n",
+            "  \"envelope_reduction\": {reduction:.2}\n",
+            "}}\n"
+        ),
+        n = n,
+        batch = batch_size,
+        pt_rate = per_tuple.rate,
+        pt_secs = per_tuple.secs,
+        pt_env = per_tuple.envelopes,
+        b_rate = batched.rate,
+        b_secs = batched.secs,
+        b_env = batched.envelopes,
+        b_batches = batched.batches,
+        speedup = speedup,
+        reduction = reduction,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(out, json).unwrap();
+    println!("wrote {out}");
+
+    if std::env::var("WW_BENCH_REQUIRE_WIN").as_deref() == Ok("1") {
+        if speedup <= 1.0 {
+            eprintln!(
+                "FAIL: batched ingest ({}) not faster than per-tuple ({})",
+                fmt_rate(batched.rate),
+                fmt_rate(per_tuple.rate)
+            );
+            std::process::exit(1);
+        }
+        if reduction < 8.0 {
+            eprintln!("FAIL: envelope reduction {reduction:.2}x below the required 8x");
+            std::process::exit(1);
+        }
+        println!("require-win gate passed");
+    }
+}

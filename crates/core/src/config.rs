@@ -95,6 +95,17 @@ pub struct SystemConfig {
     /// off, aggregate queries fall back to the tuple-scan path end to end).
     pub agg_summaries_enabled: bool,
 
+    /// Tuples per `Request::IngestBatch` envelope on the dispatcher →
+    /// indexing hop (paper §VI Fig. 15: ingest throughput comes from
+    /// amortizing per-record overhead). `1` disables batching and restores
+    /// per-tuple `Request::Ingest` RPCs.
+    pub ingest_batch_size: usize,
+
+    /// Longest a partially filled ingest batch may sit buffered in a
+    /// dispatcher before a background flush sends it anyway. Bounds the
+    /// extra visibility latency batching can add to a trickling stream.
+    pub ingest_linger: Duration,
+
     /// Per-attempt deadline for every cross-server RPC. An attempt whose
     /// simulated transit time exceeds the remaining budget fails with
     /// [`WwError::Timeout`](crate::WwError::Timeout) without reaching the
@@ -145,6 +156,8 @@ impl Default for SystemConfig {
             agg_slice_bits: 4,
             agg_max_cells_per_ring: 8192,
             agg_summaries_enabled: true,
+            ingest_batch_size: 128,
+            ingest_linger: Duration::from_millis(2),
             rpc_timeout: Duration::from_secs(1),
             rpc_retries: 2,
             rpc_backoff: Duration::ZERO,
@@ -191,6 +204,9 @@ impl SystemConfig {
         if !(1..=16).contains(&self.agg_slice_bits) {
             return Err("agg_slice_bits must be in 1..=16".into());
         }
+        if self.ingest_batch_size == 0 {
+            return Err("ingest_batch_size must be at least 1".into());
+        }
         if self.rpc_timeout.is_zero() {
             return Err("rpc_timeout must be positive".into());
         }
@@ -229,6 +245,7 @@ mod tests {
             |c: &mut SystemConfig| c.chunk_size_bytes = 0,
             |c: &mut SystemConfig| c.agg_slice_bits = 0,
             |c: &mut SystemConfig| c.agg_slice_bits = 17,
+            |c: &mut SystemConfig| c.ingest_batch_size = 0,
             |c: &mut SystemConfig| c.rpc_timeout = Duration::ZERO,
             |c: &mut SystemConfig| c.rpc_redispatch_rounds = 0,
         ] {

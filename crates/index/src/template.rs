@@ -476,12 +476,18 @@ impl TupleIndex for TemplateBTree {
         let key = tuple.key;
         let len = tuple.encoded_len();
         {
+            // The count/byte updates must happen under the tree-level read
+            // lock: `seal` swaps `count` under the write lock while draining
+            // the leaves, so a counter bumped after the leaf insert but
+            // outside the lock could be missed by one seal and then land on
+            // the next — making `SealedTree::count` disagree with its
+            // leaves in both directions.
             let core = self.core.read();
             let li = core.template.route(key);
             core.leaves[li].write().insert(tuple);
+            self.count.fetch_add(1, Ordering::AcqRel);
+            self.bytes.fetch_add(len, Ordering::Relaxed);
         }
-        self.count.fetch_add(1, Ordering::AcqRel);
-        self.bytes.fetch_add(len, Ordering::Relaxed);
         self.stats.add(&self.stats.insert_ns, t0.elapsed());
         // Periodic skewness check (paper §III-C1).
         if self.since_skew_check.fetch_add(1, Ordering::Relaxed) + 1 >= self.cfg.skew_check_interval

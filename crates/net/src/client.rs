@@ -9,9 +9,15 @@
 //! destination itself (an injected crash, a missing chunk) are answers,
 //! not delivery failures, and propagate immediately.
 //!
-//! Retries are safe because the transport's fault model is request-loss
-//! only: a failed attempt never reached the destination handler, so
-//! resending cannot duplicate a side effect.
+//! A retried attempt is *usually* a fresh delivery: most injected faults
+//! (loss, late transit, partitions) fail the attempt before the handler
+//! ran. But [`LinkProfile::response_loss`](crate::LinkProfile) loses the
+//! ack *after* the handler ran, so a retry can redeliver a request whose
+//! side effects already happened — at-least-once delivery. Handlers with
+//! side effects must therefore be idempotent; the ingest-batch handler
+//! dedups on the batch sequence number carried in
+//! [`Request::IngestBatch`](crate::Request::IngestBatch) for exactly this
+//! reason.
 
 use crate::envelope::{Envelope, Request, Response};
 use crate::transport::Transport;

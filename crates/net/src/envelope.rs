@@ -7,7 +7,7 @@
 //!
 //! | Hop | Payloads |
 //! |---|---|
-//! | dispatcher → indexing server | [`Request::Ingest`], [`Request::Flush`] |
+//! | dispatcher → indexing server | [`Request::Ingest`], [`Request::IngestBatch`], [`Request::Flush`] |
 //! | coordinator → indexing server | [`Request::InMemorySubquery`], [`Request::AggregateInMemory`] |
 //! | coordinator → query server | [`Request::ChunkSubquery`], [`Request::ReadSummary`] |
 //! | any server → metadata server | [`Request::Meta`] |
@@ -55,6 +55,19 @@ pub enum Request {
     Ingest {
         /// The tuple to ingest.
         tuple: Tuple,
+    },
+    /// Route a batch of tuples into the destination indexing server's
+    /// partition of the ingestion queue in one envelope (dispatcher →
+    /// indexing, §VI Fig. 15). `seq` is the sender's per-destination
+    /// monotonic batch number: because a retried batch keeps its original
+    /// `seq`, the handler can recognise a redelivery whose first attempt
+    /// already landed (the ack, not the request, was lost) and acknowledge
+    /// it without appending twice.
+    IngestBatch {
+        /// Per-(dispatcher, destination) monotonic batch sequence number.
+        seq: u64,
+        /// The tuples, in dispatch order.
+        tuples: Vec<Tuple>,
     },
     /// Force the destination indexing server to seal its in-memory state
     /// into chunks (control plane, §V durability boundary).
@@ -167,6 +180,15 @@ pub enum MetaRequest {
 pub enum Response {
     /// The request was applied; nothing to return.
     Ack,
+    /// A [`Request::IngestBatch`] landed (or was recognised as an exact
+    /// redelivery and skipped).
+    AckBatch {
+        /// Tuples covered by this ack.
+        tuples: u32,
+        /// `true` when the handler recognised the batch sequence number as
+        /// already applied and dropped the redelivery instead of appending.
+        deduped: bool,
+    },
     /// Liveness probe answer.
     Pong,
     /// Matching tuples from a subquery.
@@ -252,6 +274,14 @@ impl Response {
             _ => unexpected(),
         }
     }
+
+    /// Unwraps [`Response::AckBatch`] into `(tuples, deduped)`.
+    pub fn into_ack_batch(self) -> Result<(u32, bool)> {
+        match self {
+            Response::AckBatch { tuples, deduped } => Ok((tuples, deduped)),
+            _ => unexpected(),
+        }
+    }
 }
 
 /// Estimated serialized sizes, charged to the per-link byte counters. A
@@ -271,6 +301,9 @@ impl Request {
         ENVELOPE_OVERHEAD
             + match self {
                 Request::Ingest { tuple } => tuple.encoded_len(),
+                Request::IngestBatch { tuples, .. } => {
+                    8 + tuples.iter().map(Tuple::encoded_len).sum::<usize>()
+                }
                 Request::Flush | Request::Ping => 0,
                 Request::InMemorySubquery { sq } => subquery_size(sq),
                 Request::AggregateInMemory { .. } => 24,
@@ -305,6 +338,7 @@ impl Response {
         ENVELOPE_OVERHEAD
             + match self {
                 Response::Ack | Response::Pong => 0,
+                Response::AckBatch { .. } => 8,
                 Response::Tuples(ts) => ts.iter().map(Tuple::encoded_len).sum(),
                 Response::Flushed(cs) => cs.len() * 8,
                 Response::Fold(_) => 64,
@@ -336,6 +370,15 @@ mod tests {
         assert!(big.wire_size() > small.wire_size() + 900);
         assert!(Request::Ping.wire_size() >= ENVELOPE_OVERHEAD);
 
+        // One batch envelope costs far less than its tuples sent one by one
+        // — the amortization the batched ingest path banks on.
+        let batch = Request::IngestBatch {
+            seq: 0,
+            tuples: vec![Tuple::bare(1, 2); 64],
+        };
+        assert!(batch.wire_size() < 64 * small.wire_size());
+        assert!(batch.wire_size() > 64 * Tuple::bare(1, 2).encoded_len());
+
         let none = Response::Tuples(Vec::new());
         let some = Response::Tuples(vec![Tuple::bare(1, 2); 100]);
         assert!(some.wire_size() > none.wire_size());
@@ -347,6 +390,16 @@ mod tests {
         assert!(Response::Pong.into_tuples().is_err());
         assert!(Response::Ack.into_ack().is_ok());
         assert!(Response::Pong.into_ack().is_err());
+        assert_eq!(
+            Response::AckBatch {
+                tuples: 7,
+                deduped: true
+            }
+            .into_ack_batch()
+            .unwrap(),
+            (7, true)
+        );
+        assert!(Response::Ack.into_ack_batch().is_err());
         assert!(Response::Pong.into_fold().is_err());
         assert!(Response::Pong.into_summary().is_err());
         assert!(Response::Pong.into_meta().is_err());

@@ -14,12 +14,16 @@
 //!   cluster's failure-injection hook) is unreachable;
 //! * **per-link [`RpcStats`]** (sent/retried/timed-out/unreachable/bytes).
 //!
-//! The fault model is *request loss only*: a lost or late message fails
-//! **before** the destination handler runs, so a retry can never duplicate
-//! a side effect — the property behind the "retries make faults invisible,
-//! never duplicated tuples" oracle test. A handler that did run always has
-//! its response delivered. A future `TcpTransport` implementing the same
-//! trait is what stands between this system and real processes.
+//! Most faults are *request* faults: a lost or late message fails
+//! **before** the destination handler runs, so retrying such a failure can
+//! never duplicate a side effect. [`LinkProfile::response_loss`] is the
+//! exception — it drops the *ack after the handler already ran*, turning a
+//! retry into a genuine redelivery. That is exactly the at-least-once
+//! hazard real networks have, and it is why the batched ingest path tags
+//! every `IngestBatch` with a sequence number the receiver dedups on (the
+//! "retries make faults invisible, never duplicated tuples" oracle tests
+//! exercise both fault classes). A future `TcpTransport` implementing the
+//! same trait is what stands between this system and real processes.
 
 use crate::envelope::{Envelope, Response};
 use parking_lot::RwLock;
@@ -57,6 +61,12 @@ pub struct LinkProfile {
     /// the link, every further message is dropped — a server crashing
     /// mid-plan, reproducibly.
     pub drop_after: Option<u64>,
+    /// Probability in `[0, 1]` that the *response* is lost after the
+    /// destination handler ran (fails with [`WwError::Timeout`]). Unlike
+    /// [`loss`](Self::loss), the side effect has already happened, so a
+    /// retried request is redelivered to the handler — the at-least-once
+    /// case idempotent handlers (ingest-batch dedup) must absorb.
+    pub response_loss: f64,
 }
 
 /// Lock-free counters for one directed link.
@@ -272,6 +282,13 @@ impl Transport for InProcTransport {
                 let resp = h(&env)?;
                 link.bytes
                     .fetch_add(resp.wire_size() as u64, Ordering::Relaxed);
+                // The handler ran — its side effects are real — but the ack
+                // never makes it back. The sender sees a timeout and will
+                // redeliver, so only idempotent handlers survive this fault.
+                if profile.response_loss > 0.0 && self.draw() < profile.response_loss {
+                    link.timed_out.fetch_add(1, Ordering::Relaxed);
+                    return Err(WwError::Timeout("response lost in transit"));
+                }
                 Ok(resp)
             }
             None => {
@@ -373,6 +390,27 @@ mod tests {
         // Every loss happened before the handler: delivered + lost = sent.
         assert_eq!(calls.load(Ordering::Relaxed) + lost, 400);
         assert_eq!(t.stats().totals().timed_out, lost);
+    }
+
+    #[test]
+    fn response_loss_drops_the_ack_after_the_handler_ran() {
+        let t = InProcTransport::new(None);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        t.bind(ServerId(1), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Pong)
+        });
+        t.set_default_profile(LinkProfile {
+            response_loss: 1.0,
+            ..LinkProfile::default()
+        });
+        let e = t.send(env(0, 1, Duration::from_secs(1))).unwrap_err();
+        assert!(matches!(e, WwError::Timeout(_)));
+        // Unlike request loss, the side effect already happened: the
+        // handler ran even though the sender saw a timeout.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(t.stats().totals().timed_out, 1);
     }
 
     #[test]

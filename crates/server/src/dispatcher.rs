@@ -1,23 +1,42 @@
-//! Dispatchers: tuple routing plus key-frequency sampling (paper §III-A,
-//! §III-D).
+//! Dispatchers: tuple routing, ingest batching, and key-frequency sampling
+//! (paper §III-A, §III-D, §VI Fig. 15).
 //!
 //! Dispatchers receive the incoming stream and route each tuple to the
 //! indexing server owning its key under the current partition schema. The
-//! hop to the indexing server is an [`Request::Ingest`] RPC on the message
-//! plane — the destination's handler appends the tuple to that server's
-//! partition of the replayable input queue, so delivery inherits the
-//! plane's deadlines, retries, and fault injection. "Each dispatcher
-//! samples the key frequencies of its input stream in a sliding window of
-//! a few seconds" — implemented as per-server counts plus a reservoir
-//! sample of keys per window, which the partition balancer periodically
-//! collects.
+//! hop to the indexing server is an RPC on the message plane — the
+//! destination's handler appends to that server's partition of the
+//! replayable input queue, so delivery inherits the plane's deadlines,
+//! retries, and fault injection.
+//!
+//! **Batching.** With `ingest_batch_size > 1` tuples are buffered per
+//! destination and shipped as one [`Request::IngestBatch`] envelope when
+//! the buffer fills (or when a background flush notices a partial batch
+//! older than `ingest_linger`). One envelope, one queue append-batch, one
+//! round-trip per *batch* instead of per tuple is where the paper's
+//! realtime ingest rate comes from (Fig. 15). Each batch carries a
+//! per-(dispatcher, destination) monotonic sequence number; a batch that
+//! failed is retried later under its *original* number, never renumbered,
+//! so the receiver can drop redeliveries whose first attempt actually
+//! landed. To keep those numbers meaningful, a destination's batches are
+//! sent strictly in order: a failed batch blocks younger tuples for that
+//! destination until it is delivered.
+//!
+//! **Sampling.** "Each dispatcher samples the key frequencies of its input
+//! stream in a sliding window of a few seconds" — implemented as
+//! per-server counts plus a reservoir sample of keys per window, which the
+//! partition balancer periodically collects. Only *acknowledged* tuples
+//! are recorded (per-tuple on the Ack, batched on the batch Ack): a send
+//! that never reached its server must not inflate that server's load in
+//! the balancer's eyes.
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use waterwheel_core::{ChunkId, Key, Result, ServerId, Tuple};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use waterwheel_core::{ChunkId, Key, Result, ServerId, SystemConfig, Tuple};
 use waterwheel_meta::PartitionSchema;
-use waterwheel_net::{Request, RpcClient};
+use waterwheel_net::{Request, Response, RpcClient};
 
 /// Reservoir capacity per sampling window.
 const RESERVOIR_CAP: usize = 4_096;
@@ -46,17 +65,40 @@ impl Sampler {
         if w.keys.len() < RESERVOIR_CAP {
             w.keys.push(key);
         } else {
-            // Vitter's algorithm R.
+            // Vitter's algorithm R. The LCG's raw low bits are weak, so
+            // finalize with a SplitMix64-style mix, then reduce into
+            // [0, observed) with Lemire's widening multiply — unbiased for
+            // any bound, unlike `state % observed`.
             self.rng_state = self
                 .rng_state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            let j = (self.rng_state >> 16) % w.observed;
+            let mut x = self.rng_state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            let j = ((x as u128 * w.observed as u128) >> 64) as u64;
             if (j as usize) < RESERVOIR_CAP {
                 w.keys[j as usize] = key;
             }
         }
     }
+}
+
+/// Buffered and in-flight batches for one destination. The whole struct
+/// sits behind one mutex held across the send, so a destination's batches
+/// leave in sequence order — the invariant the receiver's dedup relies on.
+#[derive(Default)]
+struct DestState {
+    /// Tuples accepted but not yet part of a sent batch.
+    buffer: Vec<Tuple>,
+    /// When the oldest tuple in `buffer` arrived (linger clock).
+    first_buffered_at: Option<Instant>,
+    /// A batch whose send failed, retried under its original sequence
+    /// number before anything younger may leave.
+    pending: Option<(u64, Vec<Tuple>)>,
+    /// Next batch sequence number for this destination.
+    next_seq: u64,
 }
 
 /// A dispatcher instance.
@@ -65,13 +107,18 @@ pub struct Dispatcher {
     rpc: RpcClient,
     schema: RwLock<PartitionSchema>,
     sampler: Mutex<Sampler>,
+    batch_size: usize,
+    linger: Duration,
+    dests: Mutex<HashMap<ServerId, Arc<Mutex<DestState>>>>,
     dispatched: AtomicU64,
+    batches_sent: AtomicU64,
+    batch_tuples: AtomicU64,
 }
 
 impl Dispatcher {
     /// Creates a dispatcher routing tuples under `schema`, sending each to
-    /// its indexing server over `rpc`.
-    pub fn new(id: ServerId, rpc: RpcClient, schema: PartitionSchema) -> Self {
+    /// its indexing server over `rpc`, batching per `cfg`.
+    pub fn new(id: ServerId, rpc: RpcClient, schema: PartitionSchema, cfg: &SystemConfig) -> Self {
         Self {
             id,
             rpc,
@@ -80,7 +127,12 @@ impl Dispatcher {
                 window: SampleWindow::default(),
                 rng_state: 0x2545F4914F6CDD1D ^ id.raw() as u64,
             }),
+            batch_size: cfg.ingest_batch_size.max(1),
+            linger: cfg.ingest_linger,
+            dests: Mutex::new(HashMap::new()),
             dispatched: AtomicU64::new(0),
+            batches_sent: AtomicU64::new(0),
+            batch_tuples: AtomicU64::new(0),
         }
     }
 
@@ -89,21 +141,141 @@ impl Dispatcher {
         self.id
     }
 
-    /// Total tuples dispatched since creation.
+    /// Total tuples acknowledged by their indexing server since creation.
     pub fn dispatched(&self) -> u64 {
         self.dispatched.load(Ordering::Relaxed)
     }
 
-    /// Routes one tuple to its indexing server. Routing to a server with
-    /// no address on the plane fails loudly (unreachable), never silently
-    /// drops.
+    /// Batch envelopes acknowledged since creation.
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent.load(Ordering::Relaxed)
+    }
+
+    /// Tuples acknowledged via the batched path since creation.
+    pub fn batch_tuples(&self) -> u64 {
+        self.batch_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Tuples accepted by [`dispatch`](Self::dispatch) but not yet
+    /// acknowledged by their indexing server (buffered or in a failed
+    /// batch awaiting retry).
+    pub fn pending(&self) -> u64 {
+        let dests: Vec<_> = self.dests.lock().values().cloned().collect();
+        dests
+            .iter()
+            .map(|d| {
+                let st = d.lock();
+                (st.buffer.len() + st.pending.as_ref().map_or(0, |(_, t)| t.len())) as u64
+            })
+            .sum()
+    }
+
+    fn dest_state(&self, dest: ServerId) -> Arc<Mutex<DestState>> {
+        Arc::clone(self.dests.lock().entry(dest).or_default())
+    }
+
+    /// Sends everything batched for `dest` (failed batch first, then the
+    /// buffer), in sequence order. Leaves state intact on failure so the
+    /// next flush resumes where this one stopped.
+    fn flush_dest(&self, dest: ServerId, st: &mut DestState) -> Result<()> {
+        loop {
+            if st.pending.is_none() {
+                if st.buffer.is_empty() {
+                    return Ok(());
+                }
+                let tuples = std::mem::take(&mut st.buffer);
+                st.first_buffered_at = None;
+                st.pending = Some((st.next_seq, tuples));
+                st.next_seq += 1;
+            }
+            let (seq, tuples) = st.pending.as_ref().expect("pending set above");
+            let req = Request::IngestBatch {
+                seq: *seq,
+                tuples: tuples.clone(),
+            };
+            // On failure the batch stays pending under its original seq —
+            // the first attempt may have landed with only the ack lost, and
+            // a renumbered resend would slip past the receiver's dedup.
+            self.rpc
+                .call(dest, req)
+                .and_then(Response::into_ack_batch)?;
+            let (_, tuples) = st.pending.take().expect("pending still set");
+            self.batches_sent.fetch_add(1, Ordering::Relaxed);
+            self.batch_tuples
+                .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+            self.dispatched
+                .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+            let mut sampler = self.sampler.lock();
+            for t in &tuples {
+                sampler.record(t.key, dest);
+            }
+        }
+    }
+
+    /// Routes one tuple to its indexing server. With batching on, the
+    /// tuple is buffered and the call only touches the plane when its
+    /// destination's batch fills; errors surface on the flushing call (and
+    /// stick until [`flush_batches`](Self::flush_batches) succeeds).
+    /// Routing to a server with no address on the plane fails loudly
+    /// (unreachable), never silently drops.
     pub fn dispatch(&self, tuple: Tuple) -> Result<()> {
         let server = self.schema.read().route(tuple.key);
-        self.sampler.lock().record(tuple.key, server);
-        self.rpc
-            .call(server, Request::Ingest { tuple })?
-            .into_ack()?;
-        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        if self.batch_size <= 1 {
+            let key = tuple.key;
+            self.rpc
+                .call(server, Request::Ingest { tuple })?
+                .into_ack()?;
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+            self.sampler.lock().record(key, server);
+            return Ok(());
+        }
+        let dest = self.dest_state(server);
+        let mut st = dest.lock();
+        st.buffer.push(tuple);
+        if st.first_buffered_at.is_none() {
+            st.first_buffered_at = Some(Instant::now());
+        }
+        if st.buffer.len() >= self.batch_size {
+            self.flush_dest(server, &mut st)?;
+        }
+        Ok(())
+    }
+
+    /// Sends every buffered or failed batch now, regardless of age. Tests
+    /// and shutdown paths call this to make the stream fully visible.
+    pub fn flush_batches(&self) -> Result<()> {
+        let dests: Vec<_> = self
+            .dests
+            .lock()
+            .iter()
+            .map(|(&id, st)| (id, Arc::clone(st)))
+            .collect();
+        for (id, st) in dests {
+            self.flush_dest(id, &mut st.lock())?;
+        }
+        Ok(())
+    }
+
+    /// Sends partial batches older than `ingest_linger` (and retries any
+    /// failed batch). The system facade's background flusher calls this so
+    /// a trickling stream becomes visible without filling a batch.
+    pub fn flush_lingering(&self) -> Result<()> {
+        let dests: Vec<_> = self
+            .dests
+            .lock()
+            .iter()
+            .map(|(&id, st)| (id, Arc::clone(st)))
+            .collect();
+        for (id, st) in dests {
+            let mut st = st.lock();
+            let overdue = st.pending.is_some()
+                || st
+                    .first_buffered_at
+                    .is_some_and(|t| t.elapsed() >= self.linger);
+            if overdue {
+                self.flush_dest(id, &mut st)?;
+            }
+        }
         Ok(())
     }
 
@@ -138,14 +310,17 @@ impl Dispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
-    use waterwheel_core::{KeyInterval, SystemConfig};
+    use waterwheel_core::KeyInterval;
     use waterwheel_mq::MessageQueue;
-    use waterwheel_net::{InProcTransport, Response, Transport};
+    use waterwheel_net::{InProcTransport, Transport};
 
     /// Binds an ingest handler per indexing server that appends to its
-    /// queue partition — the same wiring the system facade installs.
-    fn setup(servers: u32) -> (MessageQueue, Arc<InProcTransport>, Dispatcher) {
+    /// queue partition — the same wiring the system facade installs
+    /// (minus dedup: these rigs inject no response loss).
+    fn setup_with(
+        servers: u32,
+        batch_size: usize,
+    ) -> (MessageQueue, Arc<InProcTransport>, Dispatcher) {
         let mq = MessageQueue::new();
         mq.create_topic("ingest", servers as usize).unwrap();
         let transport = Arc::new(InProcTransport::new(None));
@@ -156,18 +331,34 @@ mod tests {
                     mq.append("ingest", partition, tuple.clone())?;
                     Ok(Response::Ack)
                 }
+                Request::IngestBatch { tuples, .. } => {
+                    mq.append_batch("ingest", partition, tuples.clone())?;
+                    Ok(Response::AckBatch {
+                        tuples: tuples.len() as u32,
+                        deduped: false,
+                    })
+                }
                 _ => Ok(Response::Pong),
             });
         }
         let ids: Vec<ServerId> = (0..servers).map(ServerId).collect();
         let schema = PartitionSchema::uniform(&ids);
+        let cfg = SystemConfig {
+            ingest_batch_size: batch_size,
+            ..SystemConfig::default()
+        };
         let rpc = RpcClient::new(
             Arc::clone(&transport) as Arc<dyn Transport>,
             ServerId(100),
-            &SystemConfig::default(),
+            &cfg,
         );
-        let d = Dispatcher::new(ServerId(100), rpc, schema);
+        let d = Dispatcher::new(ServerId(100), rpc, schema, &cfg);
         (mq, transport, d)
+    }
+
+    /// Per-tuple rig: every dispatch is one envelope.
+    fn setup(servers: u32) -> (MessageQueue, Arc<InProcTransport>, Dispatcher) {
+        setup_with(servers, 1)
     }
 
     #[test]
@@ -190,6 +381,65 @@ mod tests {
         let totals = t.stats().totals();
         assert_eq!(totals.sent, 10);
         assert!(totals.bytes > 0);
+    }
+
+    #[test]
+    fn batched_dispatch_coalesces_envelopes() {
+        let (mq, t, d) = setup_with(2, 16);
+        // All keys in the low half → one destination → full batches only.
+        for i in 0..160u64 {
+            d.dispatch(Tuple::bare(i, i)).unwrap();
+        }
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 160);
+        assert_eq!(d.dispatched(), 160);
+        assert_eq!(d.batches_sent(), 10);
+        assert_eq!(d.batch_tuples(), 160);
+        assert_eq!(d.pending(), 0);
+        let totals = t.stats().totals();
+        assert_eq!(totals.sent, 10, "160 tuples must ride 10 envelopes");
+    }
+
+    #[test]
+    fn partial_batches_wait_until_flushed() {
+        let (mq, _t, d) = setup_with(2, 64);
+        for i in 0..5u64 {
+            d.dispatch(Tuple::bare(i, i)).unwrap();
+        }
+        // Nothing sent yet: the batch has not filled.
+        assert_eq!(d.dispatched(), 0);
+        assert_eq!(d.pending(), 5);
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 0);
+        d.flush_batches().unwrap();
+        assert_eq!(d.dispatched(), 5);
+        assert_eq!(d.pending(), 0);
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn lingering_flush_sends_only_overdue_buffers() {
+        let (mq, _t, d) = setup_with(2, 64);
+        d.dispatch(Tuple::bare(1, 1)).unwrap();
+        // A fresh buffer is younger than the (default 2 ms) linger.
+        d.flush_lingering().unwrap();
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 0);
+        std::thread::sleep(Duration::from_millis(5));
+        d.flush_lingering().unwrap();
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 1);
+        assert_eq!(d.dispatched(), 1);
+    }
+
+    #[test]
+    fn batch_sequence_numbers_are_per_destination_and_monotonic() {
+        let (_mq, _t, d) = setup_with(2, 4);
+        // Spread across both destinations; each sees its own 0,1,2,...
+        for i in 0..32u64 {
+            d.dispatch(Tuple::bare(if i % 2 == 0 { 0 } else { u64::MAX }, i))
+                .unwrap();
+        }
+        let dests = d.dests.lock();
+        for st in dests.values() {
+            assert_eq!(st.lock().next_seq, 4, "16 tuples / batch of 4");
+        }
     }
 
     #[test]
@@ -219,6 +469,37 @@ mod tests {
     }
 
     #[test]
+    fn reservoir_stays_uniform_over_a_skewed_stream() {
+        // Feed an ordered (maximally skewed-in-time) stream several times
+        // the reservoir size and check every quarter of the stream keeps
+        // roughly its fair share of reservoir slots. The old
+        // `(state >> 16) % observed` reduction had modulo bias toward low
+        // indices (over-evicting early survivors) on top of weak low LCG
+        // bits; the mixed widening-multiply draw passes comfortably.
+        let mut s = Sampler {
+            window: SampleWindow::default(),
+            rng_state: 0x2545F4914F6CDD1D,
+        };
+        let n = RESERVOIR_CAP as u64 * 16;
+        for i in 0..n {
+            s.record(i, ServerId(0));
+        }
+        let w = &s.window;
+        assert_eq!(w.keys.len(), RESERVOIR_CAP);
+        let mut quarters = [0usize; 4];
+        for &k in &w.keys {
+            quarters[(k * 4 / n) as usize] += 1;
+        }
+        let expected = RESERVOIR_CAP / 4;
+        for (q, &count) in quarters.iter().enumerate() {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "quarter {q} holds {count} of {RESERVOIR_CAP} slots (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
     fn schema_updates_apply_only_forward() {
         let (_mq, _t, d) = setup(2);
         let ids: Vec<ServerId> = (0..2).map(ServerId).collect();
@@ -237,19 +518,47 @@ mod tests {
         assert_eq!(w.per_server.get(&ServerId(1)), Some(&1));
     }
 
+    fn unbound_rig(batch_size: usize) -> Dispatcher {
+        let transport = Arc::new(InProcTransport::new(None));
+        let schema = PartitionSchema::uniform(&[ServerId(0)]);
+        let cfg = SystemConfig {
+            ingest_batch_size: batch_size,
+            ..SystemConfig::default()
+        };
+        let rpc = RpcClient::new(transport as Arc<dyn Transport>, ServerId(100), &cfg);
+        Dispatcher::new(ServerId(100), rpc, schema, &cfg)
+    }
+
     #[test]
     fn unbound_destination_is_an_error() {
         // A schema routing to a server with no address on the plane must
         // fail loudly, not silently drop.
-        let transport = Arc::new(InProcTransport::new(None));
-        let schema = PartitionSchema::uniform(&[ServerId(0)]);
-        let rpc = RpcClient::new(
-            transport as Arc<dyn Transport>,
-            ServerId(100),
-            &SystemConfig::default(),
-        );
-        let d = Dispatcher::new(ServerId(100), rpc, schema);
+        let d = unbound_rig(1);
         assert!(d.dispatch(Tuple::bare(1, 1)).is_err());
+    }
+
+    #[test]
+    fn failed_sends_never_reach_the_sampling_window() {
+        // Regression: the sampler used to record *before* the RPC, so
+        // tuples that never reached their server still inflated that
+        // server's load in the balancer's eyes while `dispatched` stayed
+        // put. Only acknowledged tuples may count.
+        let d = unbound_rig(1);
+        assert!(d.dispatch(Tuple::bare(1, 1)).is_err());
+        assert_eq!(d.dispatched(), 0);
+        assert_eq!(d.take_window().observed, 0, "unacked tuple was sampled");
+
+        // Batched path: the flush fails, tuples stay pending, window stays
+        // empty until an ack actually arrives.
+        let d = unbound_rig(4);
+        for i in 0..3u64 {
+            d.dispatch(Tuple::bare(i, i)).unwrap(); // buffered, no plane hop
+        }
+        assert!(d.dispatch(Tuple::bare(3, 3)).is_err(), "flush must fail");
+        assert!(d.flush_batches().is_err());
+        assert_eq!(d.dispatched(), 0);
+        assert_eq!(d.pending(), 4, "failed batch is retained, not dropped");
+        assert_eq!(d.take_window().observed, 0, "unacked batch was sampled");
     }
 
     #[test]

@@ -200,10 +200,8 @@ impl IndexingServer {
             consumer.poll(max)?
         };
         let n = records.len();
-        for record in records {
-            self.ingest(record.tuple);
-        }
         if n > 0 {
+            self.ingest_batch(records.into_iter().map(|r| r.tuple));
             self.report_memory_region()?;
         }
         if self.tree.byte_size() >= self.cfg.chunk_size_bytes {
@@ -212,24 +210,47 @@ impl IndexingServer {
         Ok(n)
     }
 
-    fn ingest(&self, tuple: Tuple) {
-        if self.cfg.agg_summaries_enabled {
-            let value = (self.measure.read())(&tuple);
-            self.wheel.lock().insert(tuple.key, tuple.ts, value);
+    /// Ingests one polled batch, amortizing the per-tuple costs the
+    /// per-record path paid: the measure extractor is cloned once, the
+    /// wheel lock is taken once for the whole batch, and the side store
+    /// and stat counters are touched once at the end.
+    fn ingest_batch(&self, tuples: impl IntoIterator<Item = Tuple>) {
+        let measure = self
+            .cfg
+            .agg_summaries_enabled
+            .then(|| self.measure.read().clone());
+        let mut wheel = measure.is_some().then(|| self.wheel.lock());
+        let late_limit = self.late_limit_ms();
+        let mut ingested = 0u64;
+        let mut side = Vec::new();
+        let mut side_bytes = 0u64;
+        for tuple in tuples {
+            if let (Some(measure), Some(wheel)) = (&measure, wheel.as_mut()) {
+                wheel.insert(tuple.key, tuple.ts, measure(&tuple));
+            }
+            let hw = self
+                .high_water
+                .fetch_max(tuple.ts, Ordering::AcqRel)
+                .max(tuple.ts);
+            let late_by = hw.saturating_sub(tuple.ts);
+            if self.cfg.side_store_enabled && late_by > late_limit {
+                side_bytes += tuple.encoded_len() as u64;
+                side.push(tuple);
+            } else {
+                self.tree.insert(tuple);
+                ingested += 1;
+            }
         }
-        let hw = self
-            .high_water
-            .fetch_max(tuple.ts, Ordering::AcqRel)
-            .max(tuple.ts);
-        let late_by = hw.saturating_sub(tuple.ts);
-        if self.cfg.side_store_enabled && late_by > self.late_limit_ms() {
-            self.side_bytes
-                .fetch_add(tuple.encoded_len() as u64, Ordering::Relaxed);
-            self.side_store.lock().push(tuple);
-            self.stats.side_stored.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.tree.insert(tuple);
-            self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+        drop(wheel);
+        if ingested > 0 {
+            self.stats.ingested.fetch_add(ingested, Ordering::Relaxed);
+        }
+        if !side.is_empty() {
+            self.side_bytes.fetch_add(side_bytes, Ordering::Relaxed);
+            self.stats
+                .side_stored
+                .fetch_add(side.len() as u64, Ordering::Relaxed);
+            self.side_store.lock().extend(side);
         }
     }
 

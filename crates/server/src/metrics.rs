@@ -52,6 +52,13 @@ pub struct SystemMetrics {
     pub agg_fallback_subqueries: u64,
     /// Bytes of wheel summaries appended to flushed chunks.
     pub summary_bytes_flushed: u64,
+    /// Ingest batch envelopes acknowledged by indexing servers.
+    pub rpc_batches_sent: u64,
+    /// Tuples delivered inside those batch envelopes.
+    pub ingest_batch_tuples: u64,
+    /// Redelivered ingest batches recognised by sequence number and
+    /// dropped instead of appended twice.
+    pub ingest_dedup_drops: u64,
     /// RPC envelopes handed to the message plane (including retries).
     pub rpc_sent: u64,
     /// RPC attempts retried after a delivery failure.
@@ -69,6 +76,9 @@ impl SystemMetrics {
     pub fn collect(ww: &Waterwheel) -> Self {
         let mut m = SystemMetrics {
             dispatched: ww.dispatchers().iter().map(|d| d.dispatched()).sum(),
+            rpc_batches_sent: ww.dispatchers().iter().map(|d| d.batches_sent()).sum(),
+            ingest_batch_tuples: ww.dispatchers().iter().map(|d| d.batch_tuples()).sum(),
+            ingest_dedup_drops: ww.ingest_dedup_drops(),
             chunks_registered: ww.metadata().chunk_count(),
             attr_indexes: ww.metadata().attr_index_count(),
             ..SystemMetrics::default()
@@ -122,6 +132,11 @@ impl fmt::Display for SystemMetrics {
             f,
             "ingest:  {} dispatched, {} indexed, {} side-stored",
             self.dispatched, self.ingested, self.side_stored
+        )?;
+        writeln!(
+            f,
+            "batches: {} sent carrying {} tuples, {} dedup drops",
+            self.rpc_batches_sent, self.ingest_batch_tuples, self.ingest_dedup_drops
         )?;
         writeln!(
             f,
@@ -193,8 +208,17 @@ mod tests {
         assert!(m.subqueries >= 1);
         assert!(m.leaf_reads > 0);
         assert!(m.dfs_opens > 0);
-        // Every dispatch, metadata call, and subquery crossed the plane.
-        assert!(m.rpc_sent >= m.dispatched + m.subqueries);
+        // Batched ingest amortizes envelopes: all 1 000 tuples rode batch
+        // envelopes, at least 8× fewer than per-tuple dispatch would send.
+        assert_eq!(m.ingest_batch_tuples, 1_000);
+        assert!(m.rpc_batches_sent > 0);
+        assert!(
+            m.rpc_batches_sent * 8 <= m.dispatched,
+            "{} batches for {} tuples is under 8× amortization",
+            m.rpc_batches_sent,
+            m.dispatched
+        );
+        assert_eq!(m.ingest_dedup_drops, 0, "fault-free plane never dedups");
         assert!(m.rpc_bytes > 0);
         assert_eq!(m.rpc_retried, 0, "fault-free plane must not retry");
         // Display renders without panicking and mentions the key figures.
@@ -239,9 +263,12 @@ mod tests {
             rpc_timed_out: 123,
             rpc_unreachable: 124,
             rpc_bytes: 125,
+            rpc_batches_sent: 126,
+            ingest_batch_tuples: 127,
+            ingest_dedup_drops: 128,
         };
         let text = m.to_string();
-        for sentinel in 101..=125u64 {
+        for sentinel in 101..=128u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"

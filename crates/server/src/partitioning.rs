@@ -46,6 +46,14 @@ pub enum BalanceOutcome {
         /// The measured deviation that triggered the change.
         deviation: f64,
     },
+    /// The deviation exceeded the threshold, but the samples were too
+    /// duplicate-heavy to produce distinct boundaries (e.g. one hot key) —
+    /// the schema was kept. Distinct from [`BalanceOutcome::Balanced`]:
+    /// the system *is* skewed, repartitioning just cannot help it.
+    SkippedDegenerate {
+        /// The measured deviation that could not be acted on.
+        deviation: f64,
+    },
 }
 
 impl PartitionBalancer {
@@ -102,8 +110,9 @@ impl PartitionBalancer {
         let boundaries = skew::equal_depth_boundaries(&keys, indexing.len());
         if boundaries.len() + 1 != indexing.len() {
             // Duplicate-heavy samples cannot produce enough distinct
-            // boundaries; keep the current schema.
-            return Ok(BalanceOutcome::Balanced { deviation });
+            // boundaries; keep the current schema — but report the skew
+            // honestly instead of claiming the load is balanced.
+            return Ok(BalanceOutcome::SkippedDegenerate { deviation });
         }
         let version = self.meta.partition().map(|p| p.version + 1).unwrap_or(1);
         let schema = PartitionSchema::from_boundaries(&boundaries, &server_ids, version)?;
@@ -162,6 +171,13 @@ mod tests {
                     mq.append("ingest", id.raw() as usize, tuple.clone())?;
                     Ok(Response::Ack)
                 }
+                Request::IngestBatch { tuples, .. } => {
+                    mq.append_batch("ingest", id.raw() as usize, tuples.iter().cloned())?;
+                    Ok(Response::AckBatch {
+                        tuples: tuples.len() as u32,
+                        deduped: false,
+                    })
+                }
                 _ => Ok(Response::Pong),
             });
         }
@@ -176,6 +192,7 @@ mod tests {
             ServerId(100),
             rpc(ServerId(100)),
             schema.clone(),
+            &cfg,
         ))];
         let indexing = ids
             .iter()
@@ -282,14 +299,19 @@ mod tests {
     fn duplicate_heavy_samples_keep_schema() {
         let r = rig("dups", 4);
         let balancer = PartitionBalancer::new(r.meta.clone(), 0.2);
-        // One single hot key: no boundaries can split it.
+        // One single hot key: no boundaries can split it. The system is
+        // genuinely skewed, so the no-op must say so — reporting
+        // `Balanced` here would hide a hot spot from callers and metrics.
         for i in 0..2_000u64 {
             r.dispatchers[0].dispatch(Tuple::bare(42, i)).unwrap();
         }
+        r.dispatchers[0].flush_batches().unwrap();
         match balancer.run_round(&r.dispatchers, &r.indexing).unwrap() {
-            BalanceOutcome::Balanced { .. } => {}
-            other => panic!("expected Balanced (no-op), got {other:?}"),
+            BalanceOutcome::SkippedDegenerate { deviation } => {
+                assert!(deviation > 0.2, "skew was measured: {deviation}");
+            }
+            other => panic!("expected SkippedDegenerate, got {other:?}"),
         }
-        assert_eq!(r.meta.partition().unwrap().version, 1);
+        assert_eq!(r.meta.partition().unwrap().version, 1, "schema kept");
     }
 }

@@ -25,9 +25,10 @@ use crate::dispatcher::Dispatcher;
 use crate::indexing::IndexingServer;
 use crate::partitioning::{BalanceOutcome, PartitionBalancer};
 use crate::query_server::QueryServer;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use waterwheel_agg::AggregateAnswer;
 use waterwheel_cluster::{Cluster, LatencyModel};
@@ -42,6 +43,53 @@ use waterwheel_storage::SimDfs;
 
 /// Name of the ingestion topic.
 const INGEST_TOPIC: &str = "ingest";
+
+/// Receiver-side dedup for batched ingest. Remembers, per directed
+/// (dispatcher → indexing-server) link, the highest batch sequence number
+/// whose append succeeded. A dispatcher retries a failed batch under its
+/// original number and never sends a younger batch past an undelivered
+/// older one, so `seq <= last` identifies a redelivery whose first attempt
+/// landed with only the ack lost — it is acknowledged without appending
+/// again. This lives beside the queue (not inside an `IndexingServer`) so
+/// it survives server recovery swaps, like the queue itself.
+pub(crate) struct IngestDedup {
+    last_seq: Mutex<HashMap<(ServerId, ServerId), u64>>,
+    drops: AtomicU64,
+}
+
+impl IngestDedup {
+    fn new() -> Self {
+        Self {
+            last_seq: Mutex::new(HashMap::new()),
+            drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `apply` unless `seq` on the `src → dst` link already landed;
+    /// returns whether the batch was recognised as a duplicate. The
+    /// sequence number is recorded only after `apply` succeeds, so a
+    /// failed append stays retryable rather than becoming a silent drop.
+    fn apply_once(
+        &self,
+        src: ServerId,
+        dst: ServerId,
+        seq: u64,
+        apply: impl FnOnce() -> Result<()>,
+    ) -> Result<bool> {
+        let mut last = self.last_seq.lock();
+        if last.get(&(src, dst)).is_some_and(|&l| seq <= l) {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return Ok(true);
+        }
+        apply()?;
+        last.insert((src, dst), seq);
+        Ok(false)
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+}
 
 /// Builder for an embedded [`Waterwheel`] deployment.
 pub struct WaterwheelBuilder {
@@ -165,8 +213,9 @@ impl WaterwheelBuilder {
         };
         let dispatchers: Vec<Arc<Dispatcher>> = disp_ids
             .iter()
-            .map(|&id| Arc::new(Dispatcher::new(id, rpc_for(id), schema.clone())))
+            .map(|&id| Arc::new(Dispatcher::new(id, rpc_for(id), schema.clone(), &self.cfg)))
             .collect();
+        let ingest_dedup = Arc::new(IngestDedup::new());
 
         let indexing: Vec<Arc<IndexingServer>> = ix_ids
             .iter()
@@ -196,10 +245,21 @@ impl WaterwheelBuilder {
         for (i, &id) in ix_ids.iter().enumerate() {
             let indexing = Arc::clone(&indexing);
             let mq = mq.clone();
+            let dedup = Arc::clone(&ingest_dedup);
             transport.bind(id, move |env| match &env.payload {
                 Request::Ingest { tuple } => {
                     mq.append(INGEST_TOPIC, i, tuple.clone())?;
                     Ok(Response::Ack)
+                }
+                Request::IngestBatch { seq, tuples } => {
+                    let deduped = dedup.apply_once(env.src, id, *seq, || {
+                        mq.append_batch(INGEST_TOPIC, i, tuples.iter().cloned())
+                            .map(|_| ())
+                    })?;
+                    Ok(Response::AckBatch {
+                        tuples: tuples.len() as u32,
+                        deduped,
+                    })
                 }
                 other => {
                     let server = indexing.read().get(i).cloned();
@@ -296,6 +356,7 @@ impl WaterwheelBuilder {
             cluster,
             transport,
             dispatchers,
+            ingest_dedup,
             indexing,
             query_servers,
             coordinator: RwLock::new(coordinator),
@@ -318,6 +379,7 @@ pub struct Waterwheel {
     cluster: Cluster,
     transport: Arc<InProcTransport>,
     dispatchers: Vec<Arc<Dispatcher>>,
+    ingest_dedup: Arc<IngestDedup>,
     indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
     query_servers: Vec<Arc<QueryServer>>,
     coordinator: RwLock<Arc<Coordinator>>,
@@ -448,9 +510,34 @@ impl Waterwheel {
     }
 
     /// Ingests one tuple through a dispatcher (round-robin across them).
+    /// With `ingest_batch_size > 1` the tuple may be buffered in the
+    /// dispatcher until its batch fills or lingers past `ingest_linger`;
+    /// [`Self::drain`], [`Self::flush_all`] and the background pumps all
+    /// flush those buffers.
     pub fn insert(&self, tuple: Tuple) -> Result<()> {
         let d = self.next_dispatcher.fetch_add(1, Ordering::Relaxed) % self.dispatchers.len();
         self.dispatchers[d].dispatch(tuple)
+    }
+
+    /// Sends every partially filled ingest batch buffered in the
+    /// dispatchers (and retries any batch whose earlier send failed).
+    pub fn flush_ingest_batches(&self) -> Result<()> {
+        for d in &self.dispatchers {
+            d.flush_batches()?;
+        }
+        Ok(())
+    }
+
+    /// Tuples accepted by [`Self::insert`] but not yet acknowledged by an
+    /// indexing server (still buffered in dispatcher batches).
+    pub fn pending_ingest(&self) -> u64 {
+        self.dispatchers.iter().map(|d| d.pending()).sum()
+    }
+
+    /// Redelivered ingest batches the receivers recognised by sequence
+    /// number and dropped instead of appending twice.
+    pub fn ingest_dedup_drops(&self) -> u64 {
+        self.ingest_dedup.drops()
     }
 
     /// Synchronously pumps every indexing server once; returns tuples moved
@@ -467,12 +554,14 @@ impl Waterwheel {
         Ok(total)
     }
 
-    /// Pumps until the ingestion queue is fully drained.
+    /// Flushes buffered ingest batches and pumps until the ingestion queue
+    /// is fully drained.
     pub fn drain(&self) -> Result<usize> {
         let mut total = 0;
         loop {
+            self.flush_ingest_batches()?;
             let n = self.pump_all(4_096)?;
-            if n == 0 {
+            if n == 0 && self.pending_ingest() == 0 {
                 return Ok(total);
             }
             total += n;
@@ -505,6 +594,26 @@ impl Waterwheel {
                 }
             }));
         }
+        // Linger flusher: partial batches older than `ingest_linger` are
+        // pushed out so a trickling stream becomes visible without waiting
+        // for a batch to fill. Errors are left for the next round — the
+        // failed batch stays pending in its dispatcher.
+        if self.cfg.ingest_batch_size > 1 {
+            let running = Arc::clone(&self.pumps_running);
+            let dispatchers = self.dispatchers.clone();
+            let linger = self
+                .cfg
+                .ingest_linger
+                .max(std::time::Duration::from_millis(1));
+            handles.push(std::thread::spawn(move || {
+                while running.load(Ordering::SeqCst) {
+                    std::thread::sleep(linger);
+                    for d in &dispatchers {
+                        let _ = d.flush_lingering();
+                    }
+                }
+            }));
+        }
     }
 
     /// Stops the background pump threads and waits for them.
@@ -531,6 +640,7 @@ impl Waterwheel {
     /// the §V durability boundary). Crashed servers are skipped: their
     /// memory is gone and replays on recovery.
     pub fn flush_all(&self) -> Result<()> {
+        self.flush_ingest_batches()?;
         let ids: Vec<ServerId> = self.indexing.read().iter().map(|s| s.id()).collect();
         for id in ids {
             match self.dispatchers[0].flush(id) {
@@ -616,6 +726,11 @@ impl Waterwheel {
 impl Drop for Waterwheel {
     fn drop(&mut self) {
         self.stop_pumps();
+        // Best-effort: push buffered batches into the queue so a durable
+        // queue persists them before the final sync.
+        for d in &self.dispatchers {
+            let _ = d.flush_batches();
+        }
         let _ = self.mq.sync();
     }
 }
@@ -782,6 +897,31 @@ mod tests {
             .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
             .unwrap();
         assert_eq!(r.tuples.len(), 600);
+    }
+
+    #[test]
+    fn ingest_dedup_drops_redeliveries_but_keeps_failures_retryable() {
+        let dedup = IngestDedup::new();
+        let (disp, ix) = (ServerId(2_000), ServerId(0));
+        assert!(!dedup.apply_once(disp, ix, 0, || Ok(())).unwrap());
+        // Redelivery of an applied seq: apply must not run.
+        let mut ran = false;
+        assert!(dedup
+            .apply_once(disp, ix, 0, || {
+                ran = true;
+                Ok(())
+            })
+            .unwrap());
+        assert!(!ran, "duplicate batch must not be applied again");
+        assert_eq!(dedup.drops(), 1);
+        // A failed apply records nothing: the same seq retries and lands.
+        assert!(dedup
+            .apply_once(disp, ix, 1, || Err(WwError::Injected("disk full")))
+            .is_err());
+        assert!(!dedup.apply_once(disp, ix, 1, || Ok(())).unwrap());
+        // Links are independent: another dispatcher's seq 0 is fresh.
+        assert!(!dedup.apply_once(ServerId(2_001), ix, 0, || Ok(())).unwrap());
+        assert_eq!(dedup.drops(), 1);
     }
 
     #[test]
