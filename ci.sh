@@ -24,6 +24,12 @@ WW_BENCH_REQUIRE_WIN=1 WW_INGEST_BENCH_N=20000 \
     cargo bench -p waterwheel-bench --bench ingest_throughput
 test -s BENCH_ingest.json || { echo "BENCH_ingest.json missing"; exit 1; }
 
+echo "==> query bench smoke (parallel read path must beat serial)"
+rm -f BENCH_query.json
+WW_BENCH_REQUIRE_WIN=1 WW_QUERY_BENCH_N=60000 \
+    cargo bench -p waterwheel-bench --bench query_latency
+test -s BENCH_query.json || { echo "BENCH_query.json missing"; exit 1; }
+
 echo "==> examples smoke pass"
 for example in adaptive_skew aggregate_dashboard fault_tolerance \
                network_monitor quickstart taxi_tracking; do

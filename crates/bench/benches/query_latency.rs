@@ -1,0 +1,234 @@
+//! Parallel read path — latency and concurrent-client throughput (§VI-C).
+//!
+//! The paper reports millisecond query latencies *while many clients query
+//! concurrently*; that headroom comes from keeping several DFS reads in
+//! flight per query server. This harness measures the read-path knobs
+//! directly, on one flushed dataset with a realistic per-open DFS latency:
+//!
+//! 1. **latency vs selectivity** — single client, parallel defaults;
+//! 2. **concurrent-client throughput** — the same query set driven by
+//!    many client threads through a *parallel* system (`query_workers`,
+//!    `query_io_permits`, `cache_shards` at their defaults) and through a
+//!    *serial* one (all three forced to 1, the old all-of-DFS-lock shape);
+//! 3. **LADA vs shared-queue** — dispatch policy ablation on the parallel
+//!    system.
+//!
+//! Knobs:
+//! * `WW_QUERY_BENCH_N` — tuple count override (default `scaled(120_000)`).
+//! * `WW_BENCH_REQUIRE_WIN=1` — exit non-zero unless the parallel system
+//!   beats the serial one on concurrent-client throughput (the CI gate).
+//!
+//! Emits `BENCH_query.json` at the workspace root for tooling.
+
+use std::time::{Duration, Instant};
+use waterwheel_bench::*;
+use waterwheel_cluster::LatencyModel;
+use waterwheel_core::{Query, SystemConfig, Tuple};
+use waterwheel_server::{DispatchPolicy, Waterwheel};
+use waterwheel_workloads::{key_hull, QueryGen, Rng, TemporalShape};
+
+const CLIENTS: usize = 8;
+
+/// Builds a flushed system over `tuples`; `serial` forces the read path
+/// back to one worker, one I/O permit, and one cache shard.
+fn build(name: &str, tuples: &[Tuple], serial: bool) -> Waterwheel {
+    let root = std::env::temp_dir().join(format!("ww-query-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = SystemConfig::default();
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 2;
+    cfg.chunk_size_bytes = 256 << 10;
+    // Tiny cache so concurrent queries keep missing and the DFS-side
+    // parallelism (permits, workers, pipelining) is what's measured; two
+    // query servers concentrate the contention the permits must absorb.
+    cfg.cache_capacity_bytes = 128 << 10;
+    if serial {
+        cfg.query_workers = 1;
+        cfg.query_io_permits = 1;
+        cfg.cache_shards = 1;
+    }
+    let ww = Waterwheel::builder(&root)
+        .config(cfg)
+        .nodes(4)
+        .dfs_latency(LatencyModel {
+            open: Duration::from_millis(2),
+            bandwidth: Some(200 << 20),
+            local_factor: 0.5,
+        })
+        .volatile_metadata()
+        .build()
+        .unwrap();
+    for t in tuples {
+        ww.insert(t.clone()).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap();
+    ww
+}
+
+/// Pre-generates per-client query batches so every system answers the
+/// exact same workload.
+fn client_queries(
+    tuples: &[Tuple],
+    selectivity: f64,
+    clients: usize,
+    per_client: usize,
+) -> Vec<Vec<Query>> {
+    let hull = key_hull(tuples).unwrap();
+    let start_ts = tuples.first().unwrap().ts;
+    let end_ts = tuples.last().unwrap().ts;
+    let span_secs = ((end_ts - start_ts) / 1_000).max(1);
+    (0..clients)
+        .map(|c| {
+            let mut qg = QueryGen::new(hull, 61 + c as u64);
+            (0..per_client)
+                .map(|i| {
+                    let keys = qg.key_range(selectivity);
+                    let times = TemporalShape::Historic {
+                        secs: ((span_secs as f64 * selectivity) as u64).max(1),
+                    }
+                    .interval(
+                        &mut Rng::new((c * per_client + i) as u64),
+                        start_ts,
+                        end_ts,
+                    );
+                    Query::range(keys, times)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn clear_caches(ww: &Waterwheel) {
+    for qs in ww.query_servers() {
+        qs.cache().clear();
+    }
+}
+
+/// Drives every client batch from its own thread; returns queries/second.
+fn concurrent_throughput(ww: &Waterwheel, batches: &[Vec<Query>]) -> f64 {
+    clear_caches(ww);
+    let total: usize = batches.iter().map(Vec::len).sum();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for batch in batches {
+            scope.spawn(move || {
+                for q in batch {
+                    ww.query(q).unwrap();
+                }
+            });
+        }
+    });
+    throughput(total, t0.elapsed())
+}
+
+/// Single-client mean latency over one batch.
+fn mean_latency(ww: &Waterwheel, queries: &[Query]) -> Duration {
+    clear_caches(ww);
+    let mut samples = Vec::with_capacity(queries.len());
+    for q in queries {
+        let t0 = Instant::now();
+        ww.query(q).unwrap();
+        samples.push(t0.elapsed());
+    }
+    mean(&samples)
+}
+
+fn main() {
+    let n: usize = std::env::var("WW_QUERY_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| scaled(120_000));
+    let tuples = network_tuples(n, 42);
+    let parallel = build("parallel", &tuples, false);
+    let serial = build("serial", &tuples, true);
+
+    // 1. Latency vs selectivity (single client, parallel defaults).
+    let selectivities = [0.01, 0.05, 0.1, 0.2];
+    let mut sel_rows = Vec::new();
+    let mut sel_json = Vec::new();
+    for &sel in &selectivities {
+        let qs = client_queries(&tuples, sel, 1, scaled(40));
+        let lat = mean_latency(&parallel, &qs[0]);
+        sel_rows.push(vec![format!("{sel}"), fmt_dur(lat)]);
+        sel_json.push(format!(
+            "{{ \"selectivity\": {sel}, \"mean_ms\": {:.3} }}",
+            lat.as_secs_f64() * 1e3
+        ));
+    }
+    print_table(
+        &format!("Query latency vs selectivity ({n} tuples, 1 client)"),
+        &["selectivity", "mean latency"],
+        &sel_rows,
+    );
+
+    // 2. Concurrent-client throughput: parallel vs serial read path.
+    let batches = client_queries(&tuples, 0.05, CLIENTS, scaled(25));
+    let par_rate = concurrent_throughput(&parallel, &batches);
+    let ser_rate = concurrent_throughput(&serial, &batches);
+    let speedup = par_rate / ser_rate;
+    print_table(
+        &format!("Concurrent-client throughput ({CLIENTS} clients, selectivity 0.05)"),
+        &["read path", "queries/s"],
+        &[
+            vec!["parallel (defaults)".into(), fmt_rate(par_rate)],
+            vec!["serial (1/1/1)".into(), fmt_rate(ser_rate)],
+        ],
+    );
+    println!("parallel read-path speedup: {speedup:.2}x");
+
+    // 3. LADA vs shared-queue on the parallel system.
+    let policy_batch = client_queries(&tuples, 0.1, 1, scaled(40));
+    parallel.coordinator().set_policy(DispatchPolicy::Lada);
+    let lada = mean_latency(&parallel, &policy_batch[0]);
+    parallel
+        .coordinator()
+        .set_policy(DispatchPolicy::SharedQueue);
+    let shared = mean_latency(&parallel, &policy_batch[0]);
+    parallel.coordinator().set_policy(DispatchPolicy::Lada);
+    print_table(
+        "Dispatch policy on the parallel read path (selectivity 0.1)",
+        &["policy", "mean latency"],
+        &[
+            vec!["LADA".into(), fmt_dur(lada)],
+            vec!["shared-queue".into(), fmt_dur(shared)],
+        ],
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"query_latency\",\n",
+            "  \"tuples\": {n},\n",
+            "  \"clients\": {clients},\n",
+            "  \"latency_vs_selectivity\": [ {sel} ],\n",
+            "  \"concurrent\": {{ \"parallel_qps\": {par:.2}, \"serial_qps\": {ser:.2}, \"speedup\": {speedup:.3} }},\n",
+            "  \"policies\": {{ \"lada_ms\": {lada:.3}, \"shared_queue_ms\": {shared:.3} }}\n",
+            "}}\n"
+        ),
+        n = n,
+        clients = CLIENTS,
+        sel = sel_json.join(", "),
+        par = par_rate,
+        ser = ser_rate,
+        speedup = speedup,
+        lada = lada.as_secs_f64() * 1e3,
+        shared = shared.as_secs_f64() * 1e3,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(out, json).unwrap();
+    println!("wrote {out}");
+
+    if std::env::var("WW_BENCH_REQUIRE_WIN").as_deref() == Ok("1") {
+        if speedup <= 1.0 {
+            eprintln!(
+                "FAIL: parallel read path ({}) not faster than serial ({}) under {CLIENTS} clients",
+                fmt_rate(par_rate),
+                fmt_rate(ser_rate)
+            );
+            std::process::exit(1);
+        }
+        println!("require-win gate passed");
+    }
+}

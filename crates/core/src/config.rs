@@ -68,6 +68,21 @@ pub struct SystemConfig {
     /// scaled default 64 MB).
     pub cache_capacity_bytes: usize,
 
+    /// Shards the block cache N ways by key hash: each shard holds its own
+    /// LRU list and `capacity / N` byte budget, so concurrent subqueries
+    /// stop contending on one mutex. `1` restores the single-mutex cache.
+    pub cache_shards: usize,
+
+    /// Subquery worker threads per query server: how many chunk subqueries
+    /// one server executes concurrently under a dispatch plan. `1` restores
+    /// the serial one-subquery-at-a-time server.
+    pub query_workers: usize,
+
+    /// Concurrent DFS reads a query server may have in flight (I/O permit
+    /// set). Independent coalesced leaf reads proceed in parallel up to
+    /// this bound; `1` restores the old all-of-DFS serial lock.
+    pub query_io_permits: usize,
+
     /// Number of time mini-ranges per leaf bloom filter (paper §IV-B).
     pub bloom_mini_ranges: usize,
 
@@ -149,6 +164,9 @@ impl Default for SystemConfig {
             dfs_open_latency: Duration::ZERO,
             dfs_read_bandwidth: None,
             cache_capacity_bytes: 64 << 20,
+            cache_shards: 8,
+            query_workers: 4,
+            query_io_permits: 4,
             bloom_mini_ranges: 64,
             bloom_bits_per_entry: 10,
             bloom_enabled: true,
@@ -207,6 +225,15 @@ impl SystemConfig {
         if self.ingest_batch_size == 0 {
             return Err("ingest_batch_size must be at least 1".into());
         }
+        if self.cache_shards == 0 {
+            return Err("cache_shards must be at least 1".into());
+        }
+        if self.query_workers == 0 {
+            return Err("query_workers must be at least 1".into());
+        }
+        if self.query_io_permits == 0 {
+            return Err("query_io_permits must be at least 1".into());
+        }
         if self.rpc_timeout.is_zero() {
             return Err("rpc_timeout must be positive".into());
         }
@@ -246,6 +273,9 @@ mod tests {
             |c: &mut SystemConfig| c.agg_slice_bits = 0,
             |c: &mut SystemConfig| c.agg_slice_bits = 17,
             |c: &mut SystemConfig| c.ingest_batch_size = 0,
+            |c: &mut SystemConfig| c.cache_shards = 0,
+            |c: &mut SystemConfig| c.query_workers = 0,
+            |c: &mut SystemConfig| c.query_io_permits = 0,
             |c: &mut SystemConfig| c.rpc_timeout = Duration::ZERO,
             |c: &mut SystemConfig| c.rpc_redispatch_rounds = 0,
         ] {

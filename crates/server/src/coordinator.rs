@@ -59,6 +59,9 @@ pub struct CoordinatorStats {
     /// Aggregate subqueries that fell back to the tuple-scan path
     /// (fringes, residues, summary-less chunks, forced fallbacks).
     pub agg_fallback_subqueries: AtomicU64,
+    /// Largest chunk-subquery backlog handed to the query-server worker
+    /// pools by a single dispatch plan (worker-pool queue depth).
+    pub worker_queue_peak: AtomicU64,
 }
 
 /// The query coordinator.
@@ -456,15 +459,35 @@ impl Coordinator {
     }
 
     /// Reads a chunk summary through a reachable query server (cached there
-    /// as a first-class block kind), rotating on any per-server failure.
+    /// as a first-class block kind). Servers co-located with one of the
+    /// chunk's replicas are probed first (their DFS read takes the
+    /// short-circuit path and warms the best-placed cache); within each
+    /// locality class the start offset rotates by chunk id so repeated
+    /// loads spread across the servers.
+    ///
+    /// Only *delivery* failures rotate to the next server: timeouts,
+    /// unreachable links, and down servers. An application error — a
+    /// corrupt summary footer, a missing chunk — is the same answer on
+    /// every replica and is surfaced immediately instead of being
+    /// retried `n` times and misreported as "all query servers failed".
     fn load_summary(&self, chunk: ChunkId) -> Result<Option<Arc<WheelSummary>>> {
         let n = self.query_servers.len();
         let start = chunk.raw() as usize % n;
-        for i in 0..n {
-            let qs = self.query_servers[(start + i) % n];
+        let rotated = (0..n).map(|i| self.query_servers[(start + i) % n]);
+        let (colocated, remote): (Vec<ServerId>, Vec<ServerId>) =
+            rotated.partition(|&qs| self.cluster.is_colocated(qs, chunk, self.replication));
+        for qs in colocated.into_iter().chain(remote) {
             match self.rpc.call(qs, Request::ReadSummary { chunk }) {
                 Ok(resp) => return resp.into_summary(),
-                Err(_) => continue,
+                // The server never (usably) received the request, or is
+                // injected-down: another server may still answer.
+                Err(WwError::Timeout(_))
+                | Err(WwError::Unreachable(_))
+                | Err(WwError::Injected(_)) => continue,
+                // An actual answer from the read path (corrupt footer,
+                // I/O error, missing chunk): retrying elsewhere re-reads
+                // the same bytes — surface it.
+                Err(e) => return Err(e),
             }
         }
         Err(WwError::InvalidState(
@@ -500,13 +523,18 @@ impl Coordinator {
                 .and_then(|r| r.into_tuples())
                 .ok()
         };
-        dispatch::execute_plan(&plan, servers, |s, i| match run(self.query_servers[s], i) {
-            Some(tuples) => {
-                results.lock()[i] = Some(tuples);
-                true
+        let planned = dispatch::execute_plan(&plan, servers, self.cfg.query_workers, |s, i| {
+            match run(self.query_servers[s], i) {
+                Some(tuples) => {
+                    results.lock()[i] = Some(tuples);
+                    true
+                }
+                None => false,
             }
-            None => false,
         });
+        self.stats
+            .worker_queue_peak
+            .fetch_max(planned.queue_depth as u64, Ordering::Relaxed);
         // Re-dispatch any subqueries that failed or were never taken (§V):
         // the coordinator discards partial results and retries on servers
         // that still answer a liveness probe, with a work-conserving plan,
@@ -542,16 +570,21 @@ impl Coordinator {
                 |_, _| true,
             );
             let retry_results: Mutex<Vec<(usize, Vec<Tuple>)>> = Mutex::new(Vec::new());
-            dispatch::execute_plan(&retry_plan, healthy.len(), |hs, ri| {
-                let i = remaining[ri];
-                match run(healthy[hs], i) {
-                    Some(tuples) => {
-                        retry_results.lock().push((i, tuples));
-                        true
+            dispatch::execute_plan(
+                &retry_plan,
+                healthy.len(),
+                self.cfg.query_workers,
+                |hs, ri| {
+                    let i = remaining[ri];
+                    match run(healthy[hs], i) {
+                        Some(tuples) => {
+                            retry_results.lock().push((i, tuples));
+                            true
+                        }
+                        None => false,
                     }
-                    None => false,
-                }
-            });
+                },
+            );
             for (i, tuples) in retry_results.into_inner() {
                 results[i] = Some(tuples);
             }
@@ -731,5 +764,106 @@ mod tests {
         let q = Query::range(KeyInterval::full(), TimeInterval::full());
         let r = coord.execute(&q).unwrap();
         assert!(r.tuples.is_empty());
+    }
+
+    /// Two hand-wired "query servers" whose `ReadSummary` answers are the
+    /// given closures; returns the coordinator plus per-server probe
+    /// counters. Servers are optionally placed on nodes 0 and 1.
+    fn summary_probe_rig(
+        cluster: Cluster,
+        answer10: impl Fn() -> Result<Response> + Send + Sync + 'static,
+        answer11: impl Fn() -> Result<Response> + Send + Sync + 'static,
+    ) -> (Coordinator, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let cfg = SystemConfig::default();
+        let transport = Arc::new(InProcTransport::new(None));
+        let probes10 = Arc::new(AtomicU64::new(0));
+        let probes11 = Arc::new(AtomicU64::new(0));
+        {
+            let probes = Arc::clone(&probes10);
+            transport.bind(ServerId(10), move |env| match &env.payload {
+                Request::ReadSummary { .. } => {
+                    probes.fetch_add(1, Ordering::SeqCst);
+                    answer10()
+                }
+                Request::Ping => Ok(Response::Pong),
+                _ => Err(WwError::InvalidState("unexpected request".into())),
+            });
+        }
+        {
+            let probes = Arc::clone(&probes11);
+            transport.bind(ServerId(11), move |env| match &env.payload {
+                Request::ReadSummary { .. } => {
+                    probes.fetch_add(1, Ordering::SeqCst);
+                    answer11()
+                }
+                Request::Ping => Ok(Response::Pong),
+                _ => Err(WwError::InvalidState("unexpected request".into())),
+            });
+        }
+        let rpc = RpcClient::new(transport as Arc<dyn Transport>, COORDINATOR, &cfg);
+        let coord = Coordinator::new(
+            rpc,
+            cluster,
+            vec![ServerId(10), ServerId(11)],
+            vec![],
+            1,
+            DispatchPolicy::Lada,
+            cfg,
+        );
+        (coord, probes10, probes11)
+    }
+
+    #[test]
+    fn load_summary_surfaces_application_errors_immediately() {
+        // A corrupt footer is the same answer on every replica: one probe,
+        // error out — the healthy-looking second server is never asked.
+        let (coord, probes10, probes11) = summary_probe_rig(
+            Cluster::new(2),
+            || Err(WwError::corrupt("summary footer", "bad magic")),
+            || Ok(Response::Summary(None)),
+        );
+        // ChunkId(0) rotates the probe start to slot 0 (ServerId 10).
+        let err = coord.load_summary(ChunkId(0)).unwrap_err();
+        assert!(matches!(err, WwError::Corrupt { .. }), "got {err}");
+        assert_eq!(probes10.load(Ordering::SeqCst), 1);
+        assert_eq!(probes11.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn load_summary_rotates_past_delivery_failures() {
+        // An injected-down server never usably received the request;
+        // the next server in rotation answers and the load succeeds.
+        let (coord, probes10, probes11) = summary_probe_rig(
+            Cluster::new(2),
+            || Err(WwError::Injected("server down")),
+            || Ok(Response::Summary(None)),
+        );
+        let summary = coord.load_summary(ChunkId(0)).unwrap();
+        assert!(summary.is_none());
+        assert_eq!(probes10.load(Ordering::SeqCst), 1);
+        assert_eq!(probes11.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn load_summary_probes_colocated_servers_first() {
+        // Place server 10 on node 0 and server 11 on node 1, then pick a
+        // chunk whose rotation favors server 10 but whose single replica
+        // lives on node 1: locality must win over rotation, so only the
+        // co-located server 11 is probed.
+        let cluster = Cluster::new(2);
+        cluster.place_servers_round_robin([ServerId(10), ServerId(11)]);
+        let chunk = (0..200u64)
+            .step_by(2) // even ⇒ rotation starts at slot 0 (ServerId 10)
+            .map(ChunkId)
+            .find(|&c| cluster.replicas(c, 1) == vec![NodeId(1)])
+            .expect("some even chunk hashes to node 1");
+        let (coord, probes10, probes11) = summary_probe_rig(
+            cluster,
+            || Ok(Response::Summary(None)),
+            || Ok(Response::Summary(None)),
+        );
+        coord.load_summary(chunk).unwrap();
+        assert_eq!(probes10.load(Ordering::SeqCst), 0);
+        assert_eq!(probes11.load(Ordering::SeqCst), 1);
     }
 }

@@ -166,28 +166,53 @@ pub fn build_plan(
     }
 }
 
+/// Outcome of [`execute_plan`]: per-subquery executor assignment plus the
+/// telemetry the coordinator surfaces through `SystemMetrics`.
+#[derive(Debug)]
+pub struct PlanRun {
+    /// Per subquery, the id of the executing server (`None` if no server
+    /// took it — a non-work-conserving plan whose owner failed, or every
+    /// attempt erroring; the coordinator re-dispatches those).
+    pub executed_by: Vec<Option<usize>>,
+    /// Subqueries queued into the worker pools by this plan — the backlog
+    /// the pools start from (worker-pool queue depth at dispatch time).
+    pub queue_depth: usize,
+}
+
 /// Executes a plan: each server runs `exec(server, subquery_index)` for the
-/// subqueries it wins. Runs one thread per server so that subquery I/O
-/// (simulated DFS latency) genuinely overlaps. Returns, per subquery, the
-/// id of the executing server (`None` if no server took it — only possible
-/// for non-work-conserving plans whose owner failed; the coordinator
-/// handles those).
-pub fn execute_plan<E>(plan: &DispatchPlan, servers: usize, exec: E) -> Vec<Option<usize>>
+/// subqueries it wins, on a pool of `workers` threads per server
+/// (`query_workers`), so one server keeps several subqueries in flight.
+/// Workers of one server share a bid cursor over the server's preference
+/// array, preserving LADA preference order; work-conserving plans keep
+/// their stealing semantics — an idle worker takes any pending subquery in
+/// its server's preference order.
+pub fn execute_plan<E>(plan: &DispatchPlan, servers: usize, workers: usize, exec: E) -> PlanRun
 where
     E: Fn(usize, usize) -> bool + Sync,
 {
+    let workers = workers.max(1);
     let total: usize = if plan.work_conserving {
         plan.preferences.first().map_or(0, Vec::len)
     } else {
         plan.preferences.iter().map(Vec::len).sum()
     };
-    let pending: Mutex<HashSet<usize>> = Mutex::new(if plan.work_conserving {
-        plan.preferences
-            .first()
-            .map(|p| p.iter().copied().collect())
-            .unwrap_or_default()
-    } else {
-        plan.preferences.iter().flatten().copied().collect()
+    struct PickState {
+        pending: HashSet<usize>,
+        /// Per-server scan offset into its preference array; everything
+        /// before the cursor is already taken, so workers of one server
+        /// never re-scan a claimed prefix.
+        cursors: Vec<usize>,
+    }
+    let state: Mutex<PickState> = Mutex::new(PickState {
+        pending: if plan.work_conserving {
+            plan.preferences
+                .first()
+                .map(|p| p.iter().copied().collect())
+                .unwrap_or_default()
+        } else {
+            plan.preferences.iter().flatten().copied().collect()
+        },
+        cursors: vec![0; servers],
     });
     let executed_by: Mutex<Vec<Option<usize>>> = Mutex::new(vec![
         None;
@@ -201,38 +226,48 @@ where
     ]);
     std::thread::scope(|scope| {
         for s in 0..servers {
-            let pending = &pending;
-            let executed_by = &executed_by;
-            let exec = &exec;
-            let prefs = &plan.preferences[s];
-            scope.spawn(move || {
-                let mut cursor = 0usize;
-                loop {
-                    // Bid: first still-pending subquery in preference order.
-                    let picked = {
-                        let mut pend = pending.lock();
-                        let mut found = None;
-                        while cursor < prefs.len() {
-                            let sq = prefs[cursor];
-                            if pend.remove(&sq) {
-                                found = Some(sq);
-                                break;
+            for _ in 0..workers {
+                let state = &state;
+                let executed_by = &executed_by;
+                let exec = &exec;
+                let prefs = &plan.preferences[s];
+                scope.spawn(move || {
+                    loop {
+                        // Bid: first still-pending subquery in preference
+                        // order. The cursor is shared by this server's
+                        // workers; entries before it are gone, entries at
+                        // it may be mid-execution elsewhere — `remove`
+                        // decides ownership either way.
+                        let picked = {
+                            let mut st = state.lock();
+                            let mut found = None;
+                            let mut cursor = st.cursors[s];
+                            while cursor < prefs.len() {
+                                let sq = prefs[cursor];
+                                if st.pending.remove(&sq) {
+                                    found = Some(sq);
+                                    break;
+                                }
+                                cursor += 1;
                             }
-                            cursor += 1;
+                            st.cursors[s] = cursor;
+                            found
+                        };
+                        let Some(sq) = picked else { break };
+                        if exec(s, sq) {
+                            executed_by.lock()[sq] = Some(s);
                         }
-                        found
-                    };
-                    let Some(sq) = picked else { break };
-                    if exec(s, sq) {
-                        executed_by.lock()[sq] = Some(s);
+                        // On failure the subquery stays unrecorded; the
+                        // coordinator re-dispatches.
                     }
-                    // On failure the subquery stays unrecorded; the
-                    // coordinator re-dispatches.
-                }
-            });
+                });
+            }
         }
     });
-    executed_by.into_inner()
+    PlanRun {
+        executed_by: executed_by.into_inner(),
+        queue_depth: total,
+    }
 }
 
 #[cfg(test)]
@@ -336,15 +371,71 @@ mod tests {
             DispatchPolicy::Hash,
             DispatchPolicy::SharedQueue,
         ] {
-            let sq = chunks(25);
-            let plan = build_plan(policy, &sq, 4, colocated);
-            let count = AtomicUsize::new(0);
-            let by = execute_plan(&plan, 4, |_s, _i| {
-                count.fetch_add(1, Ordering::Relaxed);
-                true
-            });
-            assert_eq!(count.load(Ordering::Relaxed), 25, "{policy:?}");
-            assert!(by.iter().all(Option::is_some), "{policy:?}");
+            for workers in [1, 4] {
+                let sq = chunks(25);
+                let plan = build_plan(policy, &sq, 4, colocated);
+                let count = AtomicUsize::new(0);
+                let run = execute_plan(&plan, 4, workers, |_s, _i| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    true
+                });
+                assert_eq!(
+                    count.load(Ordering::Relaxed),
+                    25,
+                    "{policy:?} workers={workers}"
+                );
+                assert!(
+                    run.executed_by.iter().all(Option::is_some),
+                    "{policy:?} workers={workers}"
+                );
+                assert_eq!(run.queue_depth, 25);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_pool_overlaps_subqueries_on_one_server() {
+        // One server, four subqueries, each sleeping 20 ms. A serial server
+        // needs ≥ 80 ms; a 4-worker pool finishes in one sleep's time (plus
+        // scheduling slack).
+        let sq = chunks(4);
+        let plan = build_plan(DispatchPolicy::SharedQueue, &sq, 1, colocated);
+        let t0 = std::time::Instant::now();
+        let run = execute_plan(&plan, 1, 4, |_s, _i| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            true
+        });
+        let elapsed = t0.elapsed();
+        assert!(run.executed_by.iter().all(Option::is_some));
+        assert!(
+            elapsed < std::time::Duration::from_millis(70),
+            "4 workers took {elapsed:?} for 4×20ms subqueries — pool not parallel"
+        );
+    }
+
+    #[test]
+    fn worker_pool_preserves_preference_order_per_server() {
+        // With one server and one subquery executing at a time (execution
+        // order observable through a log), workers must consume the
+        // preference array in order even when there are several of them.
+        let sq = chunks(12);
+        let plan = build_plan(DispatchPolicy::Lada, &sq, 1, colocated);
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        execute_plan(&plan, 1, 3, |_s, i| {
+            order.lock().push(i);
+            true
+        });
+        let order = order.into_inner();
+        // Each subquery's *start* follows the preference array: the k-th
+        // distinct pick must be within the first k + workers entries of
+        // the preference array (workers race only inside a small window).
+        let prefs = &plan.preferences[0];
+        for (k, picked) in order.iter().enumerate() {
+            let pos = prefs.iter().position(|p| p == picked).unwrap();
+            assert!(
+                pos <= k + 3,
+                "pick #{k} was preference-rank {pos}: order not preserved"
+            );
         }
     }
 
@@ -354,13 +445,13 @@ mod tests {
         // work-conserving policy, server 0 ends up doing most of the work.
         let sq = chunks(20);
         let plan = build_plan(DispatchPolicy::SharedQueue, &sq, 4, colocated);
-        let by = execute_plan(&plan, 4, |s, _i| {
+        let run = execute_plan(&plan, 4, 1, |s, _i| {
             if s != 0 {
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
             true
         });
-        let by_zero = by.iter().filter(|b| **b == Some(0)).count();
+        let by_zero = run.executed_by.iter().filter(|b| **b == Some(0)).count();
         assert!(by_zero >= 10, "server 0 only took {by_zero}/20");
     }
 
@@ -369,10 +460,11 @@ mod tests {
         let sq = chunks(10);
         let plan = build_plan(DispatchPolicy::RoundRobin, &sq, 2, colocated);
         // Server 1 fails everything.
-        let by = execute_plan(&plan, 2, |s, _i| s == 0);
-        let done = by.iter().filter(|b| b.is_some()).count();
+        let run = execute_plan(&plan, 2, 2, |s, _i| s == 0);
+        let done = run.executed_by.iter().filter(|b| b.is_some()).count();
         assert_eq!(done, 5);
-        assert!(by
+        assert!(run
+            .executed_by
             .iter()
             .enumerate()
             .all(|(i, b)| (i % 2 == 0) == b.is_some()));
@@ -381,7 +473,8 @@ mod tests {
     #[test]
     fn empty_plan_is_fine() {
         let plan = build_plan(DispatchPolicy::Lada, &[], 3, colocated);
-        let by = execute_plan(&plan, 3, |_, _| true);
-        assert!(by.is_empty());
+        let run = execute_plan(&plan, 3, 2, |_, _| true);
+        assert!(run.executed_by.is_empty());
+        assert_eq!(run.queue_depth, 0);
     }
 }

@@ -48,7 +48,7 @@ pub mod system;
 
 pub use attributes::AttrRegistry;
 pub use coordinator::{Coordinator, CoordinatorStats};
-pub use dispatch::{build_plan, execute_plan, DispatchPlan, DispatchPolicy};
+pub use dispatch::{build_plan, execute_plan, DispatchPlan, DispatchPolicy, PlanRun};
 pub use dispatcher::{Dispatcher, SampleWindow};
 pub use indexing::{IndexingServer, IndexingStats};
 pub use metrics::SystemMetrics;

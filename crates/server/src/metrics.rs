@@ -38,6 +38,25 @@ pub struct SystemMetrics {
     pub leaf_cache_hits: u64,
     /// Leaves skipped by temporal pruning (bounds/bloom).
     pub leaves_pruned: u64,
+    /// Templates (index blocks) read from the DFS by query servers.
+    pub template_reads: u64,
+    /// Templates served from query-server caches.
+    pub template_cache_hits: u64,
+    /// Chunk summaries read from the DFS (footer-only accesses).
+    pub summary_reads: u64,
+    /// Chunk summaries served from query-server caches.
+    pub summary_cache_hits: u64,
+    /// Template/summary loads answered by joining another subquery's
+    /// in-flight DFS read (singleflight de-duplication).
+    pub singleflight_shared: u64,
+    /// Milliseconds query servers spent waiting for an I/O permit
+    /// (`query_io_permits` contention).
+    pub io_wait_ms: u64,
+    /// Largest chunk-subquery backlog one dispatch plan handed to the
+    /// query-server worker pools (worker-pool queue depth).
+    pub worker_queue_peak: u64,
+    /// Per query server: `(server id, leaf hit ratio, template hit ratio)`.
+    pub per_server_hit_ratios: Vec<(u32, f64, f64)>,
     /// DFS file accesses (each charged one open latency).
     pub dfs_opens: u64,
     /// Bytes read from the DFS.
@@ -97,11 +116,26 @@ impl SystemMetrics {
         m.agg_queries = c.stats().agg_queries.load(Ordering::Relaxed);
         m.agg_cells_merged = c.stats().agg_cells_merged.load(Ordering::Relaxed);
         m.agg_fallback_subqueries = c.stats().agg_fallback_subqueries.load(Ordering::Relaxed);
+        m.worker_queue_peak = c.stats().worker_queue_peak.load(Ordering::Relaxed);
+        let mut io_wait_ns = 0u64;
         for qs in ww.query_servers() {
-            m.leaf_reads += qs.stats().leaf_reads.load(Ordering::Relaxed);
-            m.leaf_cache_hits += qs.stats().leaf_cache_hits.load(Ordering::Relaxed);
-            m.leaves_pruned += qs.stats().leaves_pruned.load(Ordering::Relaxed);
+            let s = qs.stats();
+            m.leaf_reads += s.leaf_reads.load(Ordering::Relaxed);
+            m.leaf_cache_hits += s.leaf_cache_hits.load(Ordering::Relaxed);
+            m.leaves_pruned += s.leaves_pruned.load(Ordering::Relaxed);
+            m.template_reads += s.template_reads.load(Ordering::Relaxed);
+            m.template_cache_hits += s.template_cache_hits.load(Ordering::Relaxed);
+            m.summary_reads += s.summary_reads.load(Ordering::Relaxed);
+            m.summary_cache_hits += s.summary_cache_hits.load(Ordering::Relaxed);
+            m.singleflight_shared += qs.singleflight_shared();
+            io_wait_ns += s.io_wait_ns.load(Ordering::Relaxed);
+            m.per_server_hit_ratios.push((
+                qs.id().raw(),
+                s.leaf_hit_ratio(),
+                s.template_hit_ratio(),
+            ));
         }
+        m.io_wait_ms = io_wait_ns / 1_000_000;
         let dfs = ww.dfs().stats();
         m.dfs_opens = dfs.opens.load(Ordering::Relaxed);
         m.dfs_bytes_read = dfs.bytes_read.load(Ordering::Relaxed);
@@ -156,6 +190,28 @@ impl fmt::Display for SystemMetrics {
             self.cache_hit_ratio() * 100.0,
             self.leaves_pruned
         )?;
+        writeln!(
+            f,
+            "blocks:  {} template reads / {} cached, {} summary reads / {} cached, {} singleflight-shared",
+            self.template_reads,
+            self.template_cache_hits,
+            self.summary_reads,
+            self.summary_cache_hits,
+            self.singleflight_shared
+        )?;
+        writeln!(
+            f,
+            "readers: {}ms io-permit wait, {} peak worker-queue depth",
+            self.io_wait_ms, self.worker_queue_peak
+        )?;
+        for (id, leaf, template) in &self.per_server_hit_ratios {
+            writeln!(
+                f,
+                "  qs-{id}: {:.0}% leaf hit, {:.0}% template hit",
+                leaf * 100.0,
+                template * 100.0
+            )?;
+        }
         writeln!(
             f,
             "dfs:     {} opens ({} local), {} bytes read",
@@ -221,6 +277,16 @@ mod tests {
         assert_eq!(m.ingest_dedup_drops, 0, "fault-free plane never dedups");
         assert!(m.rpc_bytes > 0);
         assert_eq!(m.rpc_retried, 0, "fault-free plane must not retry");
+        // Parallel read-path counters: the query above loaded templates and
+        // read summaries, the plan backlog registered with the worker pool,
+        // and every query server reported a hit-ratio row.
+        assert!(m.template_reads > 0);
+        assert!(m.worker_queue_peak >= 1);
+        assert_eq!(
+            m.per_server_hit_ratios.len(),
+            ww.query_servers().len(),
+            "one hit-ratio row per query server"
+        );
         // Display renders without panicking and mentions the key figures.
         let text = m.to_string();
         assert!(text.contains("1000 dispatched"));
@@ -266,13 +332,25 @@ mod tests {
             rpc_batches_sent: 126,
             ingest_batch_tuples: 127,
             ingest_dedup_drops: 128,
+            template_reads: 129,
+            template_cache_hits: 130,
+            summary_reads: 131,
+            summary_cache_hits: 132,
+            singleflight_shared: 133,
+            io_wait_ms: 134,
+            worker_queue_peak: 135,
+            per_server_hit_ratios: vec![(77, 0.25, 0.75)],
         };
         let text = m.to_string();
-        for sentinel in 101..=128u64 {
+        for sentinel in 101..=135u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"
             );
         }
+        assert!(
+            text.contains("qs-77: 25% leaf hit, 75% template hit"),
+            "Display omits per-server hit ratios:\n{text}"
+        );
     }
 }

@@ -13,15 +13,28 @@
 //!
 //! Templates and leaf pages are the two LRU caching-unit kinds; the server's
 //! cluster node determines whether DFS reads take the co-located fast path.
+//!
+//! The read path is parallel inside one server (the paper's millisecond
+//! latencies at high client concurrency, §VI-C):
+//!
+//! * DFS access is bounded by an **I/O permit set** (`query_io_permits`)
+//!   instead of one coarse lock, so independent coalesced leaf reads from
+//!   concurrent subqueries proceed together;
+//! * template and summary loads are **singleflighted** — concurrent
+//!   subqueries missing on the same chunk's index block issue one DFS read
+//!   and share the parsed result;
+//! * within a subquery, leaf fetching is **pipelined**: a reader thread
+//!   streams coalesced miss-runs in leaf order while the caller filters
+//!   pages already in hand, so a mid-run cache hit no longer stalls the
+//!   scan behind the next read.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use waterwheel_agg::WheelSummary;
 use waterwheel_cluster::Cluster;
-use waterwheel_core::{ChunkId, NodeId, Result, ServerId, SubQuery, Tuple, WwError};
+use waterwheel_core::{ChunkId, NodeId, Result, ServerId, SubQuery, SystemConfig, Tuple, WwError};
 use waterwheel_index::Bitmap;
-use waterwheel_storage::{Block, BlockCache, BlockKey, ChunkReader, SimDfs};
+use waterwheel_storage::{Block, BlockCache, BlockKey, ChunkReader, SimDfs, Singleflight};
 
 /// Per-server execution counters.
 #[derive(Debug, Default)]
@@ -34,8 +47,94 @@ pub struct QueryServerStats {
     pub leaf_cache_hits: AtomicU64,
     /// Leaves skipped by temporal pruning (bounds or bloom).
     pub leaves_pruned: AtomicU64,
+    /// Templates (index blocks) read from the DFS.
+    pub template_reads: AtomicU64,
+    /// Templates served from the cache.
+    pub template_cache_hits: AtomicU64,
+    /// Chunk summaries read from the DFS (footer-only accesses).
+    pub summary_reads: AtomicU64,
+    /// Chunk summaries served from the cache.
+    pub summary_cache_hits: AtomicU64,
+    /// Nanoseconds spent waiting for an I/O permit (contention signal:
+    /// stays near zero until concurrent subqueries outnumber the permits).
+    pub io_wait_ns: AtomicU64,
     /// Total busy nanoseconds (for load-balance diagnostics).
     pub busy_ns: AtomicU64,
+}
+
+impl QueryServerStats {
+    /// Template cache hit ratio in `[0, 1]`.
+    pub fn template_hit_ratio(&self) -> f64 {
+        let h = self.template_cache_hits.load(Ordering::Relaxed) as f64;
+        let r = self.template_reads.load(Ordering::Relaxed) as f64;
+        if h + r == 0.0 {
+            0.0
+        } else {
+            h / (h + r)
+        }
+    }
+
+    /// Leaf cache hit ratio in `[0, 1]`.
+    pub fn leaf_hit_ratio(&self) -> f64 {
+        let h = self.leaf_cache_hits.load(Ordering::Relaxed) as f64;
+        let r = self.leaf_reads.load(Ordering::Relaxed) as f64;
+        if h + r == 0.0 {
+            0.0
+        } else {
+            h / (h + r)
+        }
+    }
+}
+
+/// A counting semaphore bounding concurrent DFS accesses, with wait-time
+/// accounting. `permits = 1` degenerates to the old serial I/O lock.
+struct IoPermits {
+    max: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl IoPermits {
+    fn new(max: usize) -> Self {
+        let max = max.max(1);
+        Self {
+            max,
+            available: Mutex::new(max),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free; records the wait in `wait_ns`.
+    fn acquire<'a>(&'a self, wait_ns: &AtomicU64) -> IoPermitGuard<'a> {
+        let t0 = std::time::Instant::now();
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        while *available == 0 {
+            available = self
+                .freed
+                .wait(available)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        *available -= 1;
+        wait_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        IoPermitGuard { permits: self }
+    }
+}
+
+struct IoPermitGuard<'a> {
+    permits: &'a IoPermits,
+}
+
+impl Drop for IoPermitGuard<'_> {
+    fn drop(&mut self) {
+        let mut available = self
+            .permits
+            .available
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *available += 1;
+        debug_assert!(*available <= self.permits.max);
+        self.permits.freed.notify_one();
+    }
 }
 
 /// A query server bound to a cluster node.
@@ -47,22 +146,56 @@ pub struct QueryServer {
     stats: QueryServerStats,
     /// Failure injection: when set, every subquery errors.
     failed: AtomicBool,
-    /// Serializes DFS access per server, mimicking a single I/O path; kept
-    /// coarse deliberately so busy-time accounting is accurate.
-    io_lock: Mutex<()>,
+    /// Bounds concurrent DFS accesses (`query_io_permits`).
+    io_permits: IoPermits,
+    /// Concurrent template loads of one chunk collapse to one DFS read.
+    template_flights: Singleflight<ChunkId, Arc<waterwheel_storage::ChunkIndex>>,
+    /// Same for footer-only summary loads.
+    summary_flights: Singleflight<ChunkId, Option<Arc<WheelSummary>>>,
 }
 
 impl QueryServer {
-    /// Creates a query server on `node` with a `cache_bytes` LRU budget.
+    /// Creates a query server on `node` with a `cache_bytes` LRU budget and
+    /// the serial defaults (one cache shard, one I/O permit) — the
+    /// configuration the deterministic unit tests count DFS accesses under.
+    /// Deployments go through [`Self::with_config`].
     pub fn new(id: ServerId, node: NodeId, dfs: SimDfs, cache_bytes: usize) -> Self {
+        Self::with_layout(id, node, dfs, cache_bytes, 1, 1)
+    }
+
+    /// Creates a query server with the read-path parallelism knobs taken
+    /// from `cfg` (`cache_capacity_bytes`, `cache_shards`,
+    /// `query_io_permits`).
+    pub fn with_config(id: ServerId, node: NodeId, dfs: SimDfs, cfg: &SystemConfig) -> Self {
+        Self::with_layout(
+            id,
+            node,
+            dfs,
+            cfg.cache_capacity_bytes,
+            cfg.cache_shards,
+            cfg.query_io_permits,
+        )
+    }
+
+    /// Fully explicit constructor (benches and ablations).
+    pub fn with_layout(
+        id: ServerId,
+        node: NodeId,
+        dfs: SimDfs,
+        cache_bytes: usize,
+        cache_shards: usize,
+        io_permits: usize,
+    ) -> Self {
         Self {
             id,
             node,
             dfs,
-            cache: BlockCache::new(cache_bytes),
+            cache: BlockCache::with_shards(cache_bytes, cache_shards),
             stats: QueryServerStats::default(),
             failed: AtomicBool::new(false),
-            io_lock: Mutex::new(()),
+            io_permits: IoPermits::new(io_permits),
+            template_flights: Singleflight::new(),
+            summary_flights: Singleflight::new(),
         }
     }
 
@@ -86,12 +219,19 @@ impl QueryServer {
         &self.cache
     }
 
+    /// Template/summary loads answered by joining another subquery's
+    /// in-flight DFS read instead of issuing a duplicate one.
+    pub fn singleflight_shared(&self) -> u64 {
+        self.template_flights.shared() + self.summary_flights.shared()
+    }
+
     /// Injects (or clears) a failure; failed servers error on every
     /// subquery, which the coordinator handles by re-dispatching (§V).
     pub fn set_failed(&self, failed: bool) {
         self.failed.store(failed, Ordering::SeqCst);
         if failed {
-            // A restarted server loses its cache.
+            // A restarted server loses its cache (and the cache's stats:
+            // a fresh instance must not report pre-crash hit ratios).
             self.cache.clear();
         }
     }
@@ -113,25 +253,53 @@ impl QueryServer {
 
     /// Reads a chunk's sealed aggregate summary — from the LRU cache when
     /// possible, otherwise via a footer-only DFS read (leaf pages are never
-    /// touched). Chunks written without a summary return `Ok(None)`.
+    /// touched; concurrent misses on one chunk share a single read). Chunks
+    /// written without a summary return `Ok(None)`.
     pub fn read_summary(&self, chunk: ChunkId) -> Result<Option<Arc<WheelSummary>>> {
         if self.is_failed() {
             return Err(WwError::Injected("query server down"));
         }
         if let Some(Block::Summary(summary)) = self.cache.get(&BlockKey::Summary(chunk)) {
+            self.stats
+                .summary_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(Some(summary));
         }
-        let summary = {
-            let _io = self.io_lock.lock();
-            let file = self.dfs.open(chunk, Some(self.node))?;
-            ChunkReader::new(file).read_summary()?
-        };
-        Ok(summary.map(|s| {
-            let s = Arc::new(s);
+        self.summary_flights.load(chunk, || {
+            let summary = {
+                let _io = self.io_permits.acquire(&self.stats.io_wait_ns);
+                let file = self.dfs.open(chunk, Some(self.node))?;
+                ChunkReader::new(file).read_summary()?
+            };
+            self.stats.summary_reads.fetch_add(1, Ordering::Relaxed);
+            Ok(summary.map(|s| {
+                let s = Arc::new(s);
+                self.cache
+                    .put(BlockKey::Summary(chunk), Block::Summary(Arc::clone(&s)));
+                s
+            }))
+        })
+    }
+
+    /// Loads a chunk's template: cache, then a singleflighted DFS read.
+    fn load_template(&self, chunk: ChunkId) -> Result<Arc<waterwheel_storage::ChunkIndex>> {
+        if let Some(Block::Index(idx)) = self.cache.get(&BlockKey::Index(chunk)) {
+            self.stats
+                .template_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        self.template_flights.load(chunk, || {
+            let idx = {
+                let _io = self.io_permits.acquire(&self.stats.io_wait_ns);
+                let file = self.dfs.open(chunk, Some(self.node))?;
+                ChunkReader::new(file).load_index()?
+            };
+            self.stats.template_reads.fetch_add(1, Ordering::Relaxed);
             self.cache
-                .put(BlockKey::Summary(chunk), Block::Summary(Arc::clone(&s)));
-            s
-        }))
+                .put(BlockKey::Index(chunk), Block::Index(Arc::clone(&idx)));
+            Ok(idx)
+        })
     }
 
     /// Executes a chunk subquery restricted to the leaves in `leaf_filter`
@@ -161,18 +329,8 @@ impl QueryServer {
         chunk: ChunkId,
         leaf_filter: Option<&Bitmap>,
     ) -> Result<Vec<Tuple>> {
-        // 1. Template (index block): cache, then DFS.
-        let index = match self.cache.get(&BlockKey::Index(chunk)) {
-            Some(Block::Index(idx)) => idx,
-            _ => {
-                let _io = self.io_lock.lock();
-                let file = self.dfs.open(chunk, Some(self.node))?;
-                let idx = ChunkReader::new(file).load_index()?;
-                self.cache
-                    .put(BlockKey::Index(chunk), Block::Index(Arc::clone(&idx)));
-                idx
-            }
-        };
+        // 1. Template (index block): cache, then singleflighted DFS read.
+        let index = self.load_template(chunk)?;
         // 2. Key-qualifying leaf range.
         let (lo, hi) = index.leaf_range(&sq.keys);
         let mut out = Vec::new();
@@ -189,60 +347,45 @@ impl QueryServer {
             let qualifying = (lo..=hi).filter(|&li| bm.contains(li as u32)).count();
             qualifying * 2 <= hi - lo + 1
         });
-        // 3+4. Prune temporally, then fetch pages (coalescing misses).
-        let mut pending_miss: Option<(usize, usize)> = None; // inclusive range
-        let mut pages: Vec<(usize, Arc<Vec<Tuple>>)> = Vec::new();
-        let flush_misses = |range: &mut Option<(usize, usize)>,
-                            pages: &mut Vec<(usize, Arc<Vec<Tuple>>)>|
-         -> Result<()> {
-            if let Some((mlo, mhi)) = range.take() {
-                let _io = self.io_lock.lock();
-                let file = self.dfs.open(chunk, Some(self.node))?;
-                let reader = ChunkReader::new(file);
-                let fetched = reader.read_leaves(&index, mlo, mhi)?;
-                self.stats
-                    .leaf_reads
-                    .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
-                for (offset, tuples) in fetched.into_iter().enumerate() {
-                    let li = mlo + offset;
-                    let page = Arc::new(tuples);
-                    self.cache.put(
-                        BlockKey::Leaf(chunk, li as u32),
-                        Block::Leaf(Arc::clone(&page)),
-                    );
-                    pages.push((li, page));
-                }
-            }
-            Ok(())
-        };
+        // 3. One classification pass: prune temporally, probe the cache,
+        // and coalesce the remaining misses into contiguous runs.
+        enum Slot {
+            Cached(Arc<Vec<Tuple>>),
+            Miss,
+        }
+        let mut slots: Vec<(usize, Slot)> = Vec::new();
+        let mut miss_runs: Vec<(usize, usize)> = Vec::new(); // inclusive
         for li in lo..=hi {
             if leaf_filter.is_some_and(|bm| !bm.contains(li as u32)) {
                 self.stats.leaves_pruned.fetch_add(1, Ordering::Relaxed);
-                flush_misses(&mut pending_miss, &mut pages)?;
                 continue;
             }
             if index.leaf_prunable(li, &sq.times) {
                 self.stats.leaves_pruned.fetch_add(1, Ordering::Relaxed);
-                flush_misses(&mut pending_miss, &mut pages)?;
                 continue;
             }
             match self.cache.get(&BlockKey::Leaf(chunk, li as u32)) {
                 Some(Block::Leaf(page)) => {
                     self.stats.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
-                    flush_misses(&mut pending_miss, &mut pages)?;
-                    pages.push((li, page));
+                    slots.push((li, Slot::Cached(page)));
                 }
                 _ => {
-                    pending_miss = match pending_miss {
-                        None => Some((li, li)),
-                        Some((mlo, _)) => Some((mlo, li)),
-                    };
+                    match miss_runs.last_mut() {
+                        // Extend the current run only across *consecutive*
+                        // leaves — a pruned or cached leaf in between ends
+                        // the coalesced read, exactly like before.
+                        Some((_, mhi)) if *mhi + 1 == li => *mhi = li,
+                        _ => miss_runs.push((li, li)),
+                    }
+                    slots.push((li, Slot::Miss));
                 }
             }
         }
-        flush_misses(&mut pending_miss, &mut pages)?;
-        // Filter tuples within fetched pages.
-        for (_, page) in pages {
+        // 4. Pipelined fetch + filter. A reader thread streams the miss
+        // runs in leaf order through a channel while this thread filters
+        // cached pages and arrivals — so filtering overlaps the next
+        // coalesced read instead of stalling behind it.
+        let filter_into = |page: &[Tuple], out: &mut Vec<Tuple>| {
             let start = page.partition_point(|t| t.key < sq.keys.lo());
             for t in &page[start..] {
                 if t.key > sq.keys.hi() {
@@ -252,7 +395,66 @@ impl QueryServer {
                     out.push(t.clone());
                 }
             }
+        };
+        if miss_runs.is_empty() {
+            for (_, slot) in &slots {
+                if let Slot::Cached(page) = slot {
+                    filter_into(page, &mut out);
+                }
+            }
+            return Ok(out);
         }
+        type PageMsg = Result<(usize, Arc<Vec<Tuple>>)>;
+        let (tx, rx) = std::sync::mpsc::channel::<PageMsg>();
+        std::thread::scope(|scope| -> Result<()> {
+            let index = &index;
+            let runs = &miss_runs;
+            scope.spawn(move || {
+                for &(mlo, mhi) in runs {
+                    let fetched = {
+                        let _io = self.io_permits.acquire(&self.stats.io_wait_ns);
+                        self.dfs
+                            .open(chunk, Some(self.node))
+                            .and_then(|file| ChunkReader::new(file).read_leaves(index, mlo, mhi))
+                    };
+                    match fetched {
+                        Ok(pages) => {
+                            self.stats
+                                .leaf_reads
+                                .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
+                            for (offset, tuples) in pages.into_iter().enumerate() {
+                                let li = mlo + offset;
+                                let page = Arc::new(tuples);
+                                self.cache.put(
+                                    BlockKey::Leaf(chunk, li as u32),
+                                    Block::Leaf(Arc::clone(&page)),
+                                );
+                                if tx.send(Ok((li, page))).is_err() {
+                                    return; // consumer bailed on an error
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            });
+            for (li, slot) in &slots {
+                match slot {
+                    Slot::Cached(page) => filter_into(page, &mut out),
+                    Slot::Miss => {
+                        let (got_li, page) = rx
+                            .recv()
+                            .map_err(|_| WwError::Shutdown("leaf reader thread"))??;
+                        debug_assert_eq!(got_li, *li, "pages must arrive in leaf order");
+                        filter_into(&page, &mut out);
+                    }
+                }
+            }
+            Ok(())
+        })?;
         Ok(out)
     }
 }
@@ -318,6 +520,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_layout_matches_serial_results() {
+        let (dfs, chunk, tuples) = setup("parallel-exact");
+        let qs = QueryServer::with_layout(ServerId(0), NodeId(0), dfs, 1 << 20, 8, 4);
+        let keys = KeyInterval::new(500, 1_500);
+        let times = TimeInterval::new(1_100, 1_250);
+        let sq = subquery(keys, times, chunk);
+        let mut got = qs.execute(&sq, chunk).unwrap();
+        got.sort_by_key(|t| (t.key, t.ts));
+        let want: Vec<Tuple> = tuples
+            .iter()
+            .filter(|t| keys.contains(t.key) && times.contains(t.ts))
+            .cloned()
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn cache_serves_repeat_subqueries() {
         let (dfs, chunk, _) = setup("cache");
         let qs = QueryServer::new(ServerId(0), NodeId(0), dfs.clone(), 8 << 20);
@@ -326,10 +545,57 @@ mod tests {
         let opens_after_first = dfs.stats().opens.load(Ordering::Relaxed);
         let leaf_reads_first = qs.stats().leaf_reads.load(Ordering::Relaxed);
         assert!(leaf_reads_first > 0);
+        assert_eq!(qs.stats().template_reads.load(Ordering::Relaxed), 1);
         qs.execute(&sq, chunk).unwrap();
         // Second run: no new DFS accesses, all from cache.
         assert_eq!(dfs.stats().opens.load(Ordering::Relaxed), opens_after_first);
         assert!(qs.stats().leaf_cache_hits.load(Ordering::Relaxed) >= leaf_reads_first);
+        assert_eq!(qs.stats().template_cache_hits.load(Ordering::Relaxed), 1);
+        assert!(qs.stats().template_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_template_misses_singleflight_to_one_read() {
+        let (dfs, chunk, _) = setup("singleflight");
+        let dfs_latency = SimDfs::new(
+            dfs.root().to_path_buf(),
+            Cluster::new(4),
+            3,
+            LatencyModel {
+                open: std::time::Duration::from_millis(20),
+                bandwidth: None,
+                local_factor: 1.0,
+            },
+        )
+        .unwrap();
+        let qs = Arc::new(QueryServer::with_layout(
+            ServerId(0),
+            NodeId(0),
+            dfs_latency,
+            8 << 20,
+            8,
+            8,
+        ));
+        let sq = subquery(KeyInterval::new(0, 50), TimeInterval::full(), chunk);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let qs = Arc::clone(&qs);
+                let sq = sq.clone();
+                scope.spawn(move || {
+                    qs.execute(&sq, chunk).unwrap();
+                });
+            }
+        });
+        // All six subqueries needed the template, but the 20 ms open gave
+        // them time to pile onto one flight: far fewer than 6 reads.
+        let reads = qs.stats().template_reads.load(Ordering::Relaxed);
+        let hits = qs.stats().template_cache_hits.load(Ordering::Relaxed);
+        assert!(reads >= 1);
+        assert_eq!(reads + hits + qs.template_flights.shared(), 6);
+        assert!(
+            qs.singleflight_shared() > 0 || hits > 0,
+            "no de-duplication happened at all"
+        );
     }
 
     #[test]
@@ -361,15 +627,44 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_cache_hit_still_coalesces_neighbours() {
+        // Warm exactly one leaf in the middle of the qualifying range, then
+        // scan everything: the runs on either side of the warm leaf must be
+        // read, the warm leaf must come from cache, and the result must be
+        // exact.
+        let (dfs, chunk, tuples) = setup("midhit");
+        let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 8 << 20);
+        let narrow = subquery(KeyInterval::new(1_400, 1_500), TimeInterval::full(), chunk);
+        qs.execute(&narrow, chunk).unwrap();
+        let warmed_hits = qs.stats().leaf_cache_hits.load(Ordering::Relaxed);
+        let wide = subquery(KeyInterval::full(), TimeInterval::full(), chunk);
+        let mut got = qs.execute(&wide, chunk).unwrap();
+        got.sort_by_key(|t| (t.key, t.ts, t.payload.clone()));
+        let mut want = tuples.clone();
+        want.sort_by_key(|t| (t.key, t.ts, t.payload.clone()));
+        assert_eq!(got, want);
+        assert!(
+            qs.stats().leaf_cache_hits.load(Ordering::Relaxed) > warmed_hits,
+            "warm leaf was re-read instead of served from cache"
+        );
+    }
+
+    #[test]
     fn failure_injection_errors_and_clears_cache() {
         let (dfs, chunk, _) = setup("fail");
         let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
         let sq = subquery(KeyInterval::full(), TimeInterval::full(), chunk);
         qs.execute(&sq, chunk).unwrap();
         assert!(!qs.cache().is_empty());
+        let pre_crash_hits = qs.cache().stats().hits.load(Ordering::Relaxed)
+            + qs.cache().stats().misses.load(Ordering::Relaxed);
+        assert!(pre_crash_hits > 0);
         qs.set_failed(true);
         assert!(qs.execute(&sq, chunk).is_err());
         assert!(qs.cache().is_empty());
+        // Restart simulation must not carry pre-crash cache counters.
+        assert_eq!(qs.cache().stats().hits.load(Ordering::Relaxed), 0);
+        assert_eq!(qs.cache().stats().misses.load(Ordering::Relaxed), 0);
         qs.set_failed(false);
         assert!(qs.execute(&sq, chunk).is_ok());
     }
@@ -380,5 +675,46 @@ mod tests {
         let qs = QueryServer::new(ServerId(0), NodeId(0), dfs, 1 << 20);
         let sq = subquery(KeyInterval::full(), TimeInterval::full(), ChunkId(99));
         assert!(qs.execute(&sq, ChunkId(99)).is_err());
+    }
+
+    #[test]
+    fn concurrent_subqueries_on_parallel_layout_are_exact() {
+        let (dfs, chunk, tuples) = setup("concurrent");
+        let qs = Arc::new(QueryServer::with_layout(
+            ServerId(0),
+            NodeId(0),
+            dfs,
+            1 << 20,
+            8,
+            4,
+        ));
+        let cases: Vec<(KeyInterval, TimeInterval)> = vec![
+            (KeyInterval::new(0, 500), TimeInterval::full()),
+            (
+                KeyInterval::new(400, 1_200),
+                TimeInterval::new(1_050, 1_400),
+            ),
+            (KeyInterval::full(), TimeInterval::new(1_200, 1_300)),
+            (KeyInterval::new(2_000, 2_999), TimeInterval::full()),
+        ];
+        std::thread::scope(|scope| {
+            for (keys, times) in cases {
+                let qs = Arc::clone(&qs);
+                let tuples = &tuples;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let sq = subquery(keys, times, chunk);
+                        let mut got = qs.execute(&sq, chunk).unwrap();
+                        got.sort_by_key(|t| (t.key, t.ts));
+                        let want: Vec<Tuple> = tuples
+                            .iter()
+                            .filter(|t| keys.contains(t.key) && times.contains(t.ts))
+                            .cloned()
+                            .collect();
+                        assert_eq!(got, want);
+                    }
+                });
+            }
+        });
     }
 }

@@ -298,12 +298,7 @@ impl WaterwheelBuilder {
             .iter()
             .map(|&id| {
                 let node = cluster.node_of(id).expect("query server placed");
-                Arc::new(QueryServer::new(
-                    id,
-                    node,
-                    dfs.clone(),
-                    self.cfg.cache_capacity_bytes,
-                ))
+                Arc::new(QueryServer::with_config(id, node, dfs.clone(), &self.cfg))
             })
             .collect();
         for qs in &query_servers {

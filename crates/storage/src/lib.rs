@@ -28,9 +28,11 @@
 pub mod cache;
 pub mod chunk;
 pub mod dfs;
+pub mod singleflight;
 
 pub use cache::{Block, BlockCache, BlockKey, CacheStats};
 pub use chunk::{
     write_chunk, write_chunk_with_summary, ChunkIndex, ChunkReader, LeafMeta, RangedRead,
 };
 pub use dfs::{DfsFile, SimDfs};
+pub use singleflight::Singleflight;
