@@ -30,9 +30,23 @@ WW_BENCH_REQUIRE_WIN=1 WW_QUERY_BENCH_N=60000 \
     cargo bench -p waterwheel-bench --bench query_latency
 test -s BENCH_query.json || { echo "BENCH_query.json missing"; exit 1; }
 
+echo "==> transport bench smoke (in-proc beats TCP small RPCs; batching pays the TCP tax back)"
+rm -f BENCH_net.json
+WW_BENCH_REQUIRE_WIN=1 WW_NET_BENCH_N=20000 \
+    cargo bench -p waterwheel-bench --bench transport_overhead
+test -s BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
+
+echo "==> multi-process loopback smoke (4 node processes, exact answers, clean shutdown)"
+timeout 120 cargo run --release -p waterwheel-node -- smoke
+# The smoke's clean-shutdown check already fails on stragglers; this is a
+# belt-and-braces sweep so a regression can't leak processes into CI.
+if pgrep -f waterwheel-node > /dev/null; then
+    echo "stray waterwheel-node processes after smoke"; pgrep -af waterwheel-node; exit 1
+fi
+
 echo "==> examples smoke pass"
 for example in adaptive_skew aggregate_dashboard fault_tolerance \
-               network_monitor quickstart taxi_tracking; do
+               multi_process network_monitor quickstart taxi_tracking; do
     echo "--> example: ${example}"
     cargo run --release --example "${example}" > /dev/null
 done

@@ -39,7 +39,7 @@ use waterwheel_core::aggregate::AggregateKind;
 use waterwheel_core::QueryId;
 
 /// The answer to an aggregate query, assembled by the coordinator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AggregateAnswer {
     /// The query this answers.
     pub query_id: QueryId,

@@ -63,7 +63,7 @@ impl Granularity {
 pub type Ring = BTreeMap<(u64, u16), PartialAgg>;
 
 /// The result of folding wheel cells over a covered rectangle.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FoldOutcome {
     /// Merged aggregate over every cell the wheel could answer.
     pub agg: PartialAgg,

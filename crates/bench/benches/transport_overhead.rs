@@ -1,0 +1,244 @@
+//! Transport overhead: the same RPC verbs through the in-process plane vs
+//! real TCP on loopback.
+//!
+//! The embedded system dispatches envelopes as function calls; the
+//! multi-process runner pays for a wire codec, a kernel round trip, and
+//! correlation-id bookkeeping on every envelope. This harness isolates
+//! that tax with a trivial echo handler (no indexing work at all) bound
+//! once and fronted by both planes:
+//!
+//! * **small** — `Ping` round trips, the worst case for TCP (one tiny
+//!   frame each way, nothing to amortise);
+//! * **per-tuple** — one `Ingest` envelope per tuple;
+//! * **batched** — the same tuples riding `IngestBatch` envelopes of 256,
+//!   the shape the dispatcher actually sends.
+//!
+//! Expected shape: in-proc wins the small-RPC race outright, and batching
+//! buys back most of the TCP tax (≥ 4× the per-tuple tuple rate).
+//!
+//! Knobs:
+//! * `WW_NET_BENCH_N` — ingest tuple count override (default
+//!   `scaled(40_000)`); small-RPC count is half of it.
+//! * `WW_BENCH_REQUIRE_WIN=1` — exit non-zero unless in-proc beats TCP on
+//!   small RPCs *and* TCP batched reaches 4× TCP per-tuple (CI gate).
+//!
+//! Emits `BENCH_net.json` at the workspace root for tooling.
+
+use std::sync::Arc;
+use std::time::Duration;
+use waterwheel_bench::*;
+use waterwheel_core::{ServerId, SystemConfig, Tuple, WwError};
+use waterwheel_net::{
+    Envelope, HandlerRegistry, InProcTransport, Request, Response, RpcClient, TcpRpcServer,
+    TcpTransport, WireStats, WireTotals,
+};
+
+/// The echo server's id (indexing range, but any id works — routing is
+/// whatever the plane says it is).
+const ECHO: ServerId = ServerId(0);
+/// The bench client's source id (outside every server range).
+const CLIENT: ServerId = ServerId(5_000);
+const BATCH: usize = 256;
+
+/// A registry whose only handler acknowledges ingest verbs without doing
+/// any work, so the measurement is pure transport.
+fn echo_registry() -> Arc<HandlerRegistry> {
+    let registry = Arc::new(HandlerRegistry::new());
+    registry.bind(ECHO, |env: &Envelope| match &env.payload {
+        Request::Ping => Ok(Response::Pong),
+        Request::Ingest { .. } => Ok(Response::Ack),
+        Request::IngestBatch { tuples, .. } => Ok(Response::AckBatch {
+            tuples: tuples.len() as u32,
+            deduped: false,
+        }),
+        other => Err(WwError::InvalidState(format!(
+            "transport bench handler got {other:?}"
+        ))),
+    });
+    registry
+}
+
+/// One message plane under test: a client plus whatever keeps the far
+/// side alive (the TCP listener owns serving threads; in-proc needs
+/// nothing).
+struct Plane {
+    rpc: RpcClient,
+    wire: Option<Arc<WireStats>>,
+    _server: Option<TcpRpcServer>,
+}
+
+fn client_config() -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    // Plenty of room for a 256-tuple batch on a loaded CI box; the bench
+    // measures throughput, not deadline behaviour.
+    cfg.rpc_timeout = Duration::from_secs(10);
+    cfg
+}
+
+fn inproc_plane() -> Plane {
+    let transport = Arc::new(InProcTransport::with_registry(None, echo_registry()));
+    Plane {
+        rpc: RpcClient::new(transport, CLIENT, &client_config()),
+        wire: None,
+        _server: None,
+    }
+}
+
+fn tcp_plane() -> Plane {
+    let wire = Arc::new(WireStats::default());
+    let server = TcpRpcServer::bind("127.0.0.1:0", echo_registry(), Arc::clone(&wire), None)
+        .expect("loopback listener");
+    let transport = TcpTransport::with_wire_stats(Arc::clone(&wire));
+    transport.set_default_route(Some(server.local_addr()));
+    Plane {
+        rpc: RpcClient::new(Arc::new(transport), CLIENT, &client_config()),
+        wire: Some(wire),
+        _server: Some(server),
+    }
+}
+
+struct RunResult {
+    small_rate: f64,
+    small_us: f64,
+    per_tuple_rate: f64,
+    batched_rate: f64,
+    wire: WireTotals,
+}
+
+fn run(plane: &Plane, small: usize, tuples: &[Tuple]) -> RunResult {
+    // Warm the path (TCP: connect + first-frame costs) before timing.
+    plane.rpc.call(ECHO, Request::Ping).unwrap();
+
+    let (_, small_elapsed) = time(|| {
+        for _ in 0..small {
+            plane.rpc.call(ECHO, Request::Ping).unwrap();
+        }
+    });
+    let (_, per_tuple_elapsed) = time(|| {
+        for t in tuples {
+            plane
+                .rpc
+                .call(ECHO, Request::Ingest { tuple: t.clone() })
+                .unwrap();
+        }
+    });
+    let (_, batched_elapsed) = time(|| {
+        for (seq, chunk) in tuples.chunks(BATCH).enumerate() {
+            plane
+                .rpc
+                .call(
+                    ECHO,
+                    Request::IngestBatch {
+                        seq: seq as u64,
+                        tuples: chunk.to_vec(),
+                    },
+                )
+                .unwrap();
+        }
+    });
+    RunResult {
+        small_rate: throughput(small, small_elapsed),
+        small_us: small_elapsed.as_secs_f64() * 1e6 / small as f64,
+        per_tuple_rate: throughput(tuples.len(), per_tuple_elapsed),
+        batched_rate: throughput(tuples.len(), batched_elapsed),
+        wire: plane.wire.as_ref().map(|w| w.totals()).unwrap_or_default(),
+    }
+}
+
+fn main() {
+    let n: usize = std::env::var("WW_NET_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| scaled(40_000));
+    let small = (n / 2).max(1_000);
+    let tuples = network_tuples(n, 7);
+
+    let inproc = run(&inproc_plane(), small, &tuples);
+    let tcp = run(&tcp_plane(), small, &tuples);
+
+    let small_tax = inproc.small_rate / tcp.small_rate;
+    let batch_win = tcp.batched_rate / tcp.per_tuple_rate;
+    let row = |label: &str, r: &RunResult| {
+        vec![
+            label.to_string(),
+            fmt_rate(r.small_rate),
+            format!("{:.1}us", r.small_us),
+            fmt_rate(r.per_tuple_rate),
+            fmt_rate(r.batched_rate),
+            format!("{:.2}x", r.batched_rate / r.per_tuple_rate),
+        ]
+    };
+    print_table(
+        &format!("Transport overhead — in-proc vs TCP loopback ({small} pings, {n} tuples)"),
+        &[
+            "plane",
+            "small rpc",
+            "rtt",
+            "per-tuple",
+            "batched",
+            "batch win",
+        ],
+        &[row("in-proc", &inproc), row("tcp", &tcp)],
+    );
+    println!(
+        "small-rpc tax: in-proc {small_tax:.1}x faster; tcp wire: {} bytes out / {} bytes in, {} connects",
+        tcp.wire.bytes_out, tcp.wire.bytes_in, tcp.wire.connects
+    );
+    assert_eq!(tcp.wire.decode_errors, 0, "clean runs must not drop frames");
+    assert_eq!(
+        inproc.wire,
+        WireTotals::default(),
+        "the in-proc plane must not touch the wire"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"transport_overhead\",\n",
+            "  \"small_rpcs\": {small},\n",
+            "  \"tuples\": {n},\n",
+            "  \"batch_size\": {batch},\n",
+            "  \"inproc\": {{ \"small_rate\": {i_small:.1}, \"rtt_us\": {i_us:.3}, \"per_tuple_rate\": {i_pt:.1}, \"batched_rate\": {i_b:.1} }},\n",
+            "  \"tcp\": {{ \"small_rate\": {t_small:.1}, \"rtt_us\": {t_us:.3}, \"per_tuple_rate\": {t_pt:.1}, \"batched_rate\": {t_b:.1}, \"bytes_out\": {t_out}, \"bytes_in\": {t_in}, \"connects\": {t_conn} }},\n",
+            "  \"small_rpc_tax\": {tax:.3},\n",
+            "  \"tcp_batch_win\": {win:.3}\n",
+            "}}\n"
+        ),
+        small = small,
+        n = n,
+        batch = BATCH,
+        i_small = inproc.small_rate,
+        i_us = inproc.small_us,
+        i_pt = inproc.per_tuple_rate,
+        i_b = inproc.batched_rate,
+        t_small = tcp.small_rate,
+        t_us = tcp.small_us,
+        t_pt = tcp.per_tuple_rate,
+        t_b = tcp.batched_rate,
+        t_out = tcp.wire.bytes_out,
+        t_in = tcp.wire.bytes_in,
+        t_conn = tcp.wire.connects,
+        tax = small_tax,
+        win = batch_win,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(out, json).unwrap();
+    println!("wrote {out}");
+
+    if std::env::var("WW_BENCH_REQUIRE_WIN").as_deref() == Ok("1") {
+        if small_tax <= 1.0 {
+            eprintln!(
+                "FAIL: in-proc small RPCs ({}) not faster than TCP ({})",
+                fmt_rate(inproc.small_rate),
+                fmt_rate(tcp.small_rate)
+            );
+            std::process::exit(1);
+        }
+        if batch_win < 4.0 {
+            eprintln!("FAIL: TCP batch win {batch_win:.2}x below the required 4x");
+            std::process::exit(1);
+        }
+        println!("require-win gate passed");
+    }
+}

@@ -14,6 +14,8 @@ use bytes::Bytes;
 
 /// Append-side helpers over a byte vector.
 pub trait Encoder {
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8);
     /// Appends a little-endian `u16`.
     fn put_u16(&mut self, v: u16);
     /// Appends a little-endian `u32`.
@@ -25,6 +27,10 @@ pub trait Encoder {
 }
 
 impl Encoder for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
     fn put_u16(&mut self, v: u16) {
         self.extend_from_slice(&v.to_le_bytes());
     }
@@ -86,6 +92,11 @@ impl<'a> Decoder<'a> {
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
     }
 
     /// Reads a little-endian `u16`.

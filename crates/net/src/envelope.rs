@@ -17,11 +17,15 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use waterwheel_agg::{FoldOutcome, WheelSummary};
-use waterwheel_core::{ChunkId, Region, Result, ServerId, SubQuery, TimeInterval, Tuple, WwError};
+use waterwheel_agg::{AggregateAnswer, FoldOutcome, WheelSummary};
+use waterwheel_core::aggregate::AggregateKind;
+use waterwheel_core::{
+    ChunkId, KeyInterval, QueryResult, Region, Result, ServerId, SubQuery, TimeInterval, Tuple,
+    WwError,
+};
 use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
 use waterwheel_index::Bitmap;
-use waterwheel_meta::{ChunkInfo, SummaryExtent};
+use waterwheel_meta::{ChunkInfo, PartitionSchema, SummaryExtent};
 
 /// The well-known address of the metadata server (the ZooKeeper-backed
 /// component of §II-B) on the message plane.
@@ -108,6 +112,33 @@ pub enum Request {
     Ping,
     /// A metadata-service call (any server → metadata server).
     Meta(MetaRequest),
+    /// A full temporal range query from an external client, addressed to
+    /// the coordinator of a node process (client → dispatcher node). The
+    /// coordinator decomposes it exactly as an embedded `query()` call;
+    /// the optional attribute-equality constraint is folded into the
+    /// predicate before decomposition.
+    ClientQuery {
+        /// Key range.
+        keys: KeyInterval,
+        /// Time range.
+        times: TimeInterval,
+        /// Optional `attr == value` constraint.
+        attr_eq: Option<(AttrId, u64)>,
+    },
+    /// A full temporal aggregate query from an external client, addressed
+    /// to the coordinator of a node process.
+    ClientAggregate {
+        /// Key range.
+        keys: KeyInterval,
+        /// Time range.
+        times: TimeInterval,
+        /// The aggregate to compute.
+        kind: AggregateKind,
+    },
+    /// Ask a node process to exit cleanly (launcher → node). Embedded
+    /// transports never send this; the node runtime acknowledges it and
+    /// then tears the process down.
+    Shutdown,
 }
 
 /// Calls against the metadata server (§II-B) made by other servers.
@@ -173,6 +204,9 @@ pub enum MetaRequest {
         /// The chunk.
         chunk: ChunkId,
     },
+    /// The current partition schema, if one has been published. Node
+    /// processes fetch it at startup so every role agrees on routing.
+    Partition,
 }
 
 /// A response payload.
@@ -201,6 +235,10 @@ pub enum Response {
     Summary(Option<Arc<WheelSummary>>),
     /// A metadata-service answer.
     Meta(MetaResponse),
+    /// A complete range-query result (answer to [`Request::ClientQuery`]).
+    Query(QueryResult),
+    /// A complete aggregate answer (answer to [`Request::ClientAggregate`]).
+    Aggregate(AggregateAnswer),
 }
 
 /// Answers from the metadata server.
@@ -218,6 +256,8 @@ pub enum MetaResponse {
     Probe(AttrProbe),
     /// A chunk's summary extent, if registered.
     Extent(Option<SummaryExtent>),
+    /// The published partition schema, if any.
+    Partition(Option<PartitionSchema>),
 }
 
 fn unexpected<T>() -> Result<T> {
@@ -282,76 +322,21 @@ impl Response {
             _ => unexpected(),
         }
     }
-}
 
-/// Estimated serialized sizes, charged to the per-link byte counters. A
-/// `TcpTransport` would replace these with real frame lengths; the estimate
-/// only needs to scale with the data actually moved.
-const ENVELOPE_OVERHEAD: usize = 32;
-
-fn subquery_size(sq: &SubQuery) -> usize {
-    // id + two intervals + target; the predicate is a shared closure and
-    // would be shipped as a compiled filter description of similar size.
-    48 + std::mem::size_of_val(&sq.id) + if sq.predicate.is_some() { 16 } else { 0 }
-}
-
-impl Request {
-    /// Estimated wire size in bytes (envelope overhead included).
-    pub fn wire_size(&self) -> usize {
-        ENVELOPE_OVERHEAD
-            + match self {
-                Request::Ingest { tuple } => tuple.encoded_len(),
-                Request::IngestBatch { tuples, .. } => {
-                    8 + tuples.iter().map(Tuple::encoded_len).sum::<usize>()
-                }
-                Request::Flush | Request::Ping => 0,
-                Request::InMemorySubquery { sq } => subquery_size(sq),
-                Request::AggregateInMemory { .. } => 24,
-                Request::ChunkSubquery {
-                    sq, leaf_filter, ..
-                } => subquery_size(sq) + 8 + leaf_filter.as_ref().map_or(0, |_| 64),
-                Request::ReadSummary { .. } => 8,
-                Request::Meta(m) => m.wire_size(),
-            }
-    }
-}
-
-impl MetaRequest {
-    fn wire_size(&self) -> usize {
+    /// Unwraps [`Response::Query`].
+    pub fn into_query(self) -> Result<QueryResult> {
         match self {
-            MetaRequest::UpdateMemoryRegion { .. } => 40,
-            MetaRequest::AllocateChunkId => 0,
-            MetaRequest::RegisterChunk { .. } => 64,
-            MetaRequest::RegisterSummary { .. } => 32,
-            MetaRequest::RegisterAttrIndex { .. } => 128,
-            MetaRequest::ChunksOverlapping { .. }
-            | MetaRequest::MemoryRegionsOverlapping { .. } => 32,
-            MetaRequest::AttrProbe { .. } => 24,
-            MetaRequest::SummaryExtent { .. } => 8,
+            Response::Query(r) => Ok(r),
+            _ => unexpected(),
         }
     }
-}
 
-impl Response {
-    /// Estimated wire size in bytes (envelope overhead included).
-    pub fn wire_size(&self) -> usize {
-        ENVELOPE_OVERHEAD
-            + match self {
-                Response::Ack | Response::Pong => 0,
-                Response::AckBatch { .. } => 8,
-                Response::Tuples(ts) => ts.iter().map(Tuple::encoded_len).sum(),
-                Response::Flushed(cs) => cs.len() * 8,
-                Response::Fold(_) => 64,
-                Response::Summary(s) => s.as_ref().map_or(0, |s| s.cell_count() * 16),
-                Response::Meta(m) => match m {
-                    MetaResponse::Ack => 0,
-                    MetaResponse::Allocated(_) => 8,
-                    MetaResponse::Chunks(v) => v.len() * 40,
-                    MetaResponse::Regions(v) => v.len() * 36,
-                    MetaResponse::Probe(_) => 16,
-                    MetaResponse::Extent(_) => 24,
-                },
-            }
+    /// Unwraps [`Response::Aggregate`].
+    pub fn into_aggregate(self) -> Result<AggregateAnswer> {
+        match self {
+            Response::Aggregate(a) => Ok(a),
+            _ => unexpected(),
+        }
     }
 }
 
@@ -360,28 +345,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn wire_sizes_scale_with_payload() {
-        let small = Request::Ingest {
+    fn wire_frame_lengths_scale_with_payload() {
+        // Byte accounting charges real encoded frame lengths (wire.rs),
+        // so the sizes the stats see must scale with the data moved and
+        // batching must amortize the per-envelope overhead.
+        let frame = |req: Request| {
+            crate::wire::encode_request(
+                0,
+                &Envelope {
+                    src: ServerId(2_000),
+                    dst: ServerId(0),
+                    rpc_id: 1,
+                    deadline: Instant::now(),
+                    payload: req,
+                },
+            )
+            .len()
+        };
+        let small = frame(Request::Ingest {
             tuple: Tuple::bare(1, 2),
-        };
-        let big = Request::Ingest {
+        });
+        let big = frame(Request::Ingest {
             tuple: Tuple::new(1, 2, vec![0u8; 1_000]),
-        };
-        assert!(big.wire_size() > small.wire_size() + 900);
-        assert!(Request::Ping.wire_size() >= ENVELOPE_OVERHEAD);
-
-        // One batch envelope costs far less than its tuples sent one by one
-        // — the amortization the batched ingest path banks on.
-        let batch = Request::IngestBatch {
+        });
+        assert!(big > small + 900);
+        let batch = frame(Request::IngestBatch {
             seq: 0,
             tuples: vec![Tuple::bare(1, 2); 64],
-        };
-        assert!(batch.wire_size() < 64 * small.wire_size());
-        assert!(batch.wire_size() > 64 * Tuple::bare(1, 2).encoded_len());
+        });
+        assert!(batch < 64 * small);
+        assert!(batch > 64 * Tuple::bare(1, 2).encoded_len());
+    }
 
-        let none = Response::Tuples(Vec::new());
-        let some = Response::Tuples(vec![Tuple::bare(1, 2); 100]);
-        assert!(some.wire_size() > none.wire_size());
+    #[test]
+    fn client_response_unwrappers_enforce_variants() {
+        assert!(Response::Pong.into_query().is_err());
+        assert!(Response::Pong.into_aggregate().is_err());
+        let r = QueryResult {
+            query_id: waterwheel_core::QueryId(1),
+            tuples: vec![],
+            subqueries: 0,
+        };
+        assert_eq!(Response::Query(r).into_query().unwrap().subqueries, 0);
     }
 
     #[test]

@@ -19,22 +19,36 @@
 //!   bounded retry with backoff for delivery failures only.
 //! * [`meta_client`] — [`MetaClient`] and [`serve_meta`], restoring the
 //!   network boundary in front of the metadata service.
+//! * [`wire`] — the binary frame codec: every request and response can be
+//!   encoded into a length-prefixed, versioned frame and decoded back.
+//! * [`tcp`] — [`TcpTransport`] and [`TcpRpcServer`], the same [`Transport`]
+//!   seam over real sockets. One connection per destination address carries
+//!   concurrent in-flight RPCs correlated by id; socket failures map to the
+//!   same [`Timeout`](waterwheel_core::WwError::Timeout) /
+//!   [`Unreachable`](waterwheel_core::WwError::Unreachable) taxonomy the
+//!   in-proc fault injector uses, so the retry layer above is untouched.
 //!
-//! Swapping [`InProcTransport`] for a `TcpTransport` implementing the same
-//! trait is what stands between this system and real processes.
+//! The [`HandlerRegistry`] is the hinge between the two deployments: the
+//! embedded system binds its servers once, and either an
+//! [`InProcTransport`] delivers to them directly or a [`TcpRpcServer`]
+//! serves the identical registry to remote peers.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod envelope;
 pub mod meta_client;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use client::RpcClient;
 pub use envelope::{
     Envelope, MetaRequest, MetaResponse, Request, Response, COORDINATOR, META_SERVER,
 };
 pub use meta_client::{serve_meta, MetaClient};
+pub use tcp::{TcpRpcServer, TcpTransport, WireStats, WireTotals};
 pub use transport::{
-    Handler, InProcTransport, LinkProfile, RpcStats, RpcStatsRegistry, RpcTotals, Transport,
+    Handler, HandlerHost, HandlerRegistry, InProcTransport, LinkProfile, RpcStats,
+    RpcStatsRegistry, RpcTotals, Transport,
 };

@@ -17,15 +17,16 @@
 
 use crate::client::RpcClient;
 use crate::envelope::{MetaRequest, MetaResponse, Request, Response, META_SERVER};
-use crate::transport::InProcTransport;
+use crate::transport::HandlerHost;
 use waterwheel_core::{ChunkId, Region, Result, ServerId, WwError};
 use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
-use waterwheel_meta::{ChunkInfo, MetadataService, SummaryExtent};
+use waterwheel_meta::{ChunkInfo, MetadataService, PartitionSchema, SummaryExtent};
 
-/// Binds `meta` at [`META_SERVER`] on the transport, translating
+/// Binds `meta` at [`META_SERVER`] on any handler host (an in-proc
+/// transport or a bare registry served over TCP), translating
 /// [`MetaRequest`]s into service calls.
-pub fn serve_meta(transport: &InProcTransport, meta: MetadataService) {
-    transport.bind(META_SERVER, move |env| {
+pub fn serve_meta<H: HandlerHost + ?Sized>(host: &H, meta: MetadataService) {
+    host.bind_handler(META_SERVER, move |env| {
         let Request::Meta(req) = &env.payload else {
             return Err(WwError::InvalidState(
                 "metadata server received a non-meta request".into(),
@@ -65,6 +66,7 @@ pub fn serve_meta(transport: &InProcTransport, meta: MetadataService) {
             MetaRequest::SummaryExtent { chunk } => {
                 MetaResponse::Extent(meta.summary_extent(chunk))
             }
+            MetaRequest::Partition => MetaResponse::Partition(meta.partition()),
         };
         Ok(Response::Meta(resp))
     });
@@ -178,12 +180,22 @@ impl MetaClient {
             )),
         }
     }
+
+    /// See [`MetadataService::partition`].
+    pub fn partition(&self) -> Result<Option<PartitionSchema>> {
+        match self.call(MetaRequest::Partition)? {
+            MetaResponse::Partition(p) => Ok(p),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::{LinkProfile, Transport};
+    use crate::transport::{InProcTransport, LinkProfile, Transport};
     use std::sync::Arc;
     use waterwheel_core::SystemConfig;
 

@@ -1,0 +1,836 @@
+//! The TCP transport: the same [`Transport`] seam over real sockets.
+//!
+//! [`TcpTransport`] is the client side — a per-destination-address
+//! connection pool where **one connection carries many concurrent
+//! in-flight RPCs**, correlated by a transport-level id stamped into each
+//! frame (the worker pools of the parallel read path multiplex over a
+//! single socket instead of opening one per request). [`TcpRpcServer`] is
+//! the listener side — it accepts connections and dispatches decoded
+//! requests to the very same [`HandlerRegistry`] the in-proc transport
+//! delivers to, so a server process behaves identically however it is
+//! reached.
+//!
+//! Failure mapping keeps the retry layer above untouched:
+//!
+//! * no route / connect failure / connection lost → [`WwError::Unreachable`]
+//! * response not arrived by the envelope deadline → [`WwError::Timeout`]
+//!   (the RPC slot is abandoned; a late response is dropped on arrival)
+//! * an **error returned by the remote handler** travels back inside the
+//!   response frame and is returned verbatim — like in-proc, it is an
+//!   answer, not a delivery failure, and bumps no fault counters.
+//!
+//! Reconnection is lazy with bounded backoff: a send that finds its pooled
+//! connection dead dials a fresh one, retrying until the envelope deadline
+//! would pass; [`WireStats`] counts first connects and reconnects apart so
+//! flapping links are visible in metrics.
+//!
+//! Predicates cannot cross the wire (they are opaque closures); the
+//! transport re-applies the sender's predicate to returned tuples, so
+//! subquery answers are exactly what an in-proc run yields.
+
+use crate::envelope::{Envelope, Request, Response};
+use crate::transport::{HandlerRegistry, RpcStatsRegistry, Transport};
+use crate::wire;
+use std::collections::HashMap;
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use waterwheel_core::{Result, ServerId, Tuple, WwError};
+
+/// Wire-level counters shared by a process's TCP endpoints (client pool
+/// and listener), surfaced in `SystemMetrics`.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Frame bytes read off sockets (requests on servers, responses on clients).
+    pub bytes_in: AtomicU64,
+    /// Frame bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// First successful connections to an address.
+    pub connects: AtomicU64,
+    /// Successful re-connections after a pooled connection died.
+    pub reconnects: AtomicU64,
+    /// Frames that failed to decode (the connection is dropped).
+    pub decode_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`WireStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireTotals {
+    /// Frame bytes read.
+    pub bytes_in: u64,
+    /// Frame bytes written.
+    pub bytes_out: u64,
+    /// First connects.
+    pub connects: u64,
+    /// Reconnects.
+    pub reconnects: u64,
+    /// Frame decode errors.
+    pub decode_errors: u64,
+}
+
+impl WireStats {
+    /// Snapshot of every counter.
+    pub fn totals(&self) -> WireTotals {
+        WireTotals {
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a waiting sender finds in its RPC slot when woken.
+enum SlotValue {
+    /// The remote answered: the handler's outcome plus the response frame
+    /// length (for byte accounting).
+    Remote(Result<Response>, u64),
+    /// The connection died before the response arrived.
+    ConnectionLost(&'static str),
+}
+
+type Slot = Arc<(Mutex<Option<SlotValue>>, Condvar)>;
+
+/// One pooled connection: a shared writer, the in-flight RPC slots keyed
+/// by correlation id, and a detached reader thread that fills them.
+struct Connection {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, Slot>>,
+    dead: AtomicBool,
+    /// A clone of the underlying socket kept for `shutdown` — shutting
+    /// down any clone tears down the socket for all of them, which is how
+    /// the pool unblocks its reader thread.
+    raw: TcpStream,
+}
+
+impl Connection {
+    fn open(stream: TcpStream, wire: Arc<WireStats>) -> Result<Arc<Self>> {
+        stream.set_nodelay(true).map_err(WwError::Io)?;
+        let reader = stream.try_clone().map_err(WwError::Io)?;
+        let raw = stream.try_clone().map_err(WwError::Io)?;
+        let conn = Arc::new(Self {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            raw,
+        });
+        let for_reader = Arc::clone(&conn);
+        std::thread::spawn(move || for_reader.reader_loop(reader, wire));
+        Ok(conn)
+    }
+
+    /// Drains response frames into their slots until the socket dies.
+    fn reader_loop(&self, mut stream: TcpStream, wire: Arc<WireStats>) {
+        let reason = loop {
+            match wire::read_frame(&mut stream) {
+                Ok(Some(body)) => {
+                    wire.bytes_in
+                        .fetch_add((body.len() + 4) as u64, Ordering::Relaxed);
+                    match wire::decode_frame(&body) {
+                        Ok(wire::Frame::Response { corr, result }) => {
+                            // A slot may be gone: the sender timed out and
+                            // abandoned the RPC. Drop the late response.
+                            if let Some(slot) = self.pending.lock().unwrap().remove(&corr) {
+                                let len = (body.len() + 4) as u64;
+                                *slot.0.lock().unwrap() = Some(SlotValue::Remote(result, len));
+                                slot.1.notify_all();
+                            }
+                        }
+                        Ok(wire::Frame::Request { .. }) => {
+                            // A peer sending requests down a client
+                            // connection is confused; treat as corruption.
+                            wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            break "peer sent a request on a client connection";
+                        }
+                        Err(_) => {
+                            wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            break "response frame failed to decode";
+                        }
+                    }
+                }
+                Ok(None) => break "connection closed by peer",
+                Err(_) => break "connection lost",
+            }
+        };
+        self.fail_all(reason);
+        let _ = self.raw.shutdown(NetShutdown::Both);
+    }
+
+    /// Marks the connection dead and wakes every in-flight sender with a
+    /// delivery failure.
+    fn fail_all(&self, reason: &'static str) {
+        self.dead.store(true, Ordering::Release);
+        let drained: Vec<Slot> = self
+            .pending
+            .lock()
+            .unwrap()
+            .drain()
+            .map(|(_, s)| s)
+            .collect();
+        for slot in drained {
+            *slot.0.lock().unwrap() = Some(SlotValue::ConnectionLost(reason));
+            slot.1.notify_all();
+        }
+    }
+}
+
+/// The [`Transport`] implementation over real TCP sockets.
+pub struct TcpTransport {
+    peers: Mutex<HashMap<ServerId, SocketAddr>>,
+    /// Fallback route for addresses without a specific peer entry (the
+    /// embedded loopback deployment routes every server to one listener).
+    default_route: Mutex<Option<SocketAddr>>,
+    pool: Mutex<HashMap<SocketAddr, Arc<Connection>>>,
+    /// Addresses ever connected, to tell reconnects from first connects.
+    ever_connected: Mutex<std::collections::HashSet<SocketAddr>>,
+    stats: RpcStatsRegistry,
+    wire: Arc<WireStats>,
+    next_corr: AtomicU64,
+    connect_backoff: Duration,
+}
+
+impl TcpTransport {
+    /// An empty transport with its own wire counters.
+    pub fn new() -> Self {
+        Self::with_wire_stats(Arc::new(WireStats::default()))
+    }
+
+    /// An empty transport charging `wire` (shared with a listener so one
+    /// snapshot covers a whole process).
+    pub fn with_wire_stats(wire: Arc<WireStats>) -> Self {
+        Self {
+            peers: Mutex::new(HashMap::new()),
+            default_route: Mutex::new(None),
+            pool: Mutex::new(HashMap::new()),
+            ever_connected: Mutex::new(std::collections::HashSet::new()),
+            stats: RpcStatsRegistry::default(),
+            wire,
+            next_corr: AtomicU64::new(1),
+            connect_backoff: Duration::from_millis(10),
+        }
+    }
+
+    /// Routes `dst` to `addr`.
+    pub fn add_peer(&self, dst: ServerId, addr: SocketAddr) {
+        self.peers.lock().unwrap().insert(dst, addr);
+    }
+
+    /// Routes every id in `dsts` to `addr` (one process hosting many
+    /// server addresses).
+    pub fn add_peers(&self, dsts: impl IntoIterator<Item = ServerId>, addr: SocketAddr) {
+        let mut peers = self.peers.lock().unwrap();
+        for dst in dsts {
+            peers.insert(dst, addr);
+        }
+    }
+
+    /// Routes every address without a specific peer entry to `addr`.
+    pub fn set_default_route(&self, addr: Option<SocketAddr>) {
+        *self.default_route.lock().unwrap() = addr;
+    }
+
+    /// The wire-level counters this transport charges.
+    pub fn wire(&self) -> &Arc<WireStats> {
+        &self.wire
+    }
+
+    fn route(&self, dst: ServerId) -> Option<SocketAddr> {
+        self.peers
+            .lock()
+            .unwrap()
+            .get(&dst)
+            .copied()
+            .or(*self.default_route.lock().unwrap())
+    }
+
+    /// A live pooled connection to `addr`, dialing (with backoff bounded
+    /// by `deadline`) if none exists or the pooled one died.
+    fn connection(&self, addr: SocketAddr, deadline: Instant) -> Result<Arc<Connection>> {
+        let mut attempt = 0u32;
+        loop {
+            if let Some(conn) = self.pool.lock().unwrap().get(&addr) {
+                if !conn.dead.load(Ordering::Acquire) {
+                    return Ok(Arc::clone(conn));
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WwError::Unreachable("connect budget exhausted"));
+            }
+            match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_secs(1))) {
+                Ok(stream) => {
+                    let fresh = Connection::open(stream, Arc::clone(&self.wire))?;
+                    let mut pool = self.pool.lock().unwrap();
+                    // Another sender may have raced us to a live connection;
+                    // prefer the pooled one and retire ours (its reader
+                    // exits on the shutdown-induced EOF).
+                    if let Some(existing) = pool.get(&addr) {
+                        if !existing.dead.load(Ordering::Acquire) {
+                            let existing = Arc::clone(existing);
+                            drop(pool);
+                            let _ = fresh.raw.shutdown(NetShutdown::Both);
+                            return Ok(existing);
+                        }
+                    }
+                    if self.ever_connected.lock().unwrap().insert(addr) {
+                        self.wire.connects.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.wire.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    pool.insert(addr, Arc::clone(&fresh));
+                    return Ok(fresh);
+                }
+                Err(_) => {
+                    attempt += 1;
+                    let backoff = self.connect_backoff * attempt;
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() || backoff >= remaining {
+                        return Err(WwError::Unreachable("destination refused connections"));
+                    }
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Tear down pooled sockets so detached reader threads exit.
+        for conn in self.pool.lock().unwrap().values() {
+            let _ = conn.raw.shutdown(NetShutdown::Both);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, env: Envelope) -> Result<Response> {
+        let link = self.stats.link(env.src, env.dst);
+        link.sent.fetch_add(1, Ordering::Relaxed);
+
+        let Some(addr) = self.route(env.dst) else {
+            link.unreachable.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::Unreachable("no route to destination"));
+        };
+        let conn = match self.connection(addr, env.deadline) {
+            Ok(c) => c,
+            Err(e) => {
+                link.unreachable.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+
+        // The sender's predicate cannot cross the wire; keep it to
+        // re-filter the remote answer below.
+        let predicate = match &env.payload {
+            Request::InMemorySubquery { sq } => sq.predicate.clone(),
+            Request::ChunkSubquery { sq, .. } => sq.predicate.clone(),
+            _ => None,
+        };
+
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
+        conn.pending.lock().unwrap().insert(corr, Arc::clone(&slot));
+
+        let frame = wire::encode_request(corr, &env);
+        link.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.wire
+            .bytes_out
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        {
+            let mut w = conn.writer.lock().unwrap();
+            if let Err(e) = std::io::Write::write_all(&mut *w, &frame) {
+                drop(w);
+                conn.pending.lock().unwrap().remove(&corr);
+                conn.fail_all("connection lost while sending");
+                let _ = conn.raw.shutdown(NetShutdown::Both);
+                link.unreachable.fetch_add(1, Ordering::Relaxed);
+                return Err(WwError::Unreachable(
+                    if e.kind() == std::io::ErrorKind::BrokenPipe {
+                        "connection closed by peer"
+                    } else {
+                        "connection lost while sending"
+                    },
+                ));
+            }
+        }
+
+        // Wait for the reader thread to fill the slot, up to the deadline.
+        let (lock, cvar) = &*slot;
+        let mut value = lock.lock().unwrap();
+        loop {
+            if let Some(v) = value.take() {
+                return match v {
+                    SlotValue::Remote(Ok(mut resp), resp_len) => {
+                        link.bytes.fetch_add(resp_len, Ordering::Relaxed);
+                        if let (Some(p), Response::Tuples(tuples)) = (&predicate, &mut resp) {
+                            tuples.retain(|t: &Tuple| p(t));
+                        }
+                        Ok(resp)
+                    }
+                    // A remote handler error is an answer, not a delivery
+                    // failure: no fault counters, same as in-proc.
+                    SlotValue::Remote(Err(e), resp_len) => {
+                        link.bytes.fetch_add(resp_len, Ordering::Relaxed);
+                        Err(e)
+                    }
+                    SlotValue::ConnectionLost(reason) => {
+                        link.unreachable.fetch_add(1, Ordering::Relaxed);
+                        Err(WwError::Unreachable(reason))
+                    }
+                };
+            }
+            let remaining = env.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                drop(value);
+                conn.pending.lock().unwrap().remove(&corr);
+                link.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Err(WwError::Timeout("rpc response exceeded the deadline"));
+            }
+            let (guard, _) = cvar.wait_timeout(value, remaining).unwrap();
+            value = guard;
+        }
+    }
+
+    fn stats(&self) -> &RpcStatsRegistry {
+        &self.stats
+    }
+}
+
+type ShutdownHook = Arc<Mutex<Option<Box<dyn FnOnce() + Send>>>>;
+
+/// The listener side: accepts connections and serves a [`HandlerRegistry`].
+///
+/// Each connection gets a reader thread; each decoded request runs on its
+/// own worker thread so concurrent RPCs multiplexed over one connection
+/// execute concurrently (responses interleave on the shared writer, each
+/// carrying its request's correlation id).
+pub struct TcpRpcServer {
+    local_addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpRpcServer {
+    /// Binds `addr` (port 0 picks a free port — see [`local_addr`](Self::local_addr))
+    /// and starts serving `registry`.
+    ///
+    /// `shutdown_hook`, when set, intercepts [`Request::Shutdown`]: the
+    /// request is acknowledged on the wire and the hook then runs (node
+    /// processes use it to exit). Without a hook the request falls through
+    /// to the registry like any other.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<HandlerRegistry>,
+        wire: Arc<WireStats>,
+        shutdown_hook: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(WwError::Io)?;
+        let local_addr = listener.local_addr().map_err(WwError::Io)?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook: ShutdownHook = Arc::new(Mutex::new(shutdown_hook));
+
+        let stop = Arc::clone(&stopping);
+        let conn_list = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    conn_list.lock().unwrap().push(clone);
+                }
+                let registry = Arc::clone(&registry);
+                let wire = Arc::clone(&wire);
+                let hook = Arc::clone(&hook);
+                std::thread::spawn(move || serve_connection(stream, registry, wire, hook));
+            }
+        });
+
+        Ok(Self {
+            local_addr,
+            stopping,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, tears down live connections, and joins the accept
+    /// loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for conn in self.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(NetShutdown::Both);
+        }
+    }
+}
+
+impl Drop for TcpRpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads request frames off one accepted connection and dispatches them.
+fn serve_connection(
+    stream: TcpStream,
+    registry: Arc<HandlerRegistry>,
+    wire: Arc<WireStats>,
+    hook: ShutdownHook,
+) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        let body = match wire::read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        wire.bytes_in
+            .fetch_add((body.len() + 4) as u64, Ordering::Relaxed);
+        let (corr, env) = match wire::decode_frame(&body) {
+            Ok(wire::Frame::Request { corr, env }) => (corr, env),
+            Ok(wire::Frame::Response { .. }) => continue,
+            Err(_) => {
+                wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reader.shutdown(NetShutdown::Both);
+                return;
+            }
+        };
+
+        if matches!(env.payload, Request::Shutdown) {
+            if let Some(hook) = hook.lock().unwrap().take() {
+                // Acknowledge first so the launcher sees a clean answer,
+                // then let the hook tear the process down.
+                write_response(&writer, &wire, corr, &Ok(Response::Ack));
+                hook();
+                return;
+            }
+        }
+
+        let registry = Arc::clone(&registry);
+        let wire = Arc::clone(&wire);
+        let writer = Arc::clone(&writer);
+        std::thread::spawn(move || {
+            let result = match registry.get(env.dst) {
+                Some(handler) => handler(&env),
+                None => Err(WwError::Unreachable("no server bound at destination")),
+            };
+            write_response(&writer, &wire, corr, &result);
+        });
+    }
+}
+
+fn write_response(
+    writer: &Arc<Mutex<TcpStream>>,
+    wire: &WireStats,
+    corr: u64,
+    result: &Result<Response>,
+) {
+    let frame = wire::encode_response(corr, result);
+    wire.bytes_out
+        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    let mut w = writer.lock().unwrap();
+    let _ = std::io::Write::write_all(&mut *w, &frame);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwheel_core::{
+        ChunkId, KeyInterval, QueryId, SubQuery, SubQueryId, SubQueryTarget, TimeInterval,
+    };
+
+    fn env(src: u32, dst: u32, timeout: Duration, payload: Request) -> Envelope {
+        Envelope {
+            src: ServerId(src),
+            dst: ServerId(dst),
+            rpc_id: 0,
+            deadline: Instant::now() + timeout,
+            payload,
+        }
+    }
+
+    fn rig(registry: Arc<HandlerRegistry>) -> (TcpRpcServer, TcpTransport) {
+        let wire = Arc::new(WireStats::default());
+        let server = TcpRpcServer::bind("127.0.0.1:0", registry, Arc::clone(&wire), None).unwrap();
+        let transport = TcpTransport::with_wire_stats(wire);
+        transport.set_default_route(Some(server.local_addr()));
+        (server, transport)
+    }
+
+    #[test]
+    fn ping_round_trips_over_loopback() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Ok(Response::Pong));
+        let (_server, t) = rig(Arc::clone(&registry));
+        let r = t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .unwrap();
+        assert!(matches!(r, Response::Pong));
+        let totals = t.stats().totals();
+        assert_eq!(totals.sent, 1);
+        assert_eq!(totals.timed_out + totals.unreachable, 0);
+        assert!(totals.bytes > 0);
+        let w = t.wire().totals();
+        assert_eq!(w.connects, 1);
+        assert!(w.bytes_in > 0 && w.bytes_out > 0);
+    }
+
+    #[test]
+    fn concurrent_rpcs_share_one_connection() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| {
+            std::thread::sleep(Duration::from_millis(40));
+            Ok(Response::Pong)
+        });
+        let (_server, t) = rig(Arc::clone(&registry));
+        let t = Arc::new(t);
+        let started = Instant::now();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.send(env(i, 1, Duration::from_secs(5), Request::Ping)))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().is_ok());
+        }
+        // All eight multiplexed over a single pooled connection, and they
+        // ran concurrently (8 × 40 ms sequentially would take 320 ms).
+        assert_eq!(t.wire().totals().connects, 1);
+        assert!(started.elapsed() < Duration::from_millis(300));
+    }
+
+    #[test]
+    fn slow_handler_times_out_and_connection_survives() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |env| {
+            if matches!(env.payload, Request::Flush) {
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Ok(Response::Ack)
+        });
+        let (_server, t) = rig(Arc::clone(&registry));
+        let e = t
+            .send(env(0, 1, Duration::from_millis(40), Request::Flush))
+            .unwrap_err();
+        assert!(matches!(e, WwError::Timeout(_)));
+        assert_eq!(t.stats().totals().timed_out, 1);
+        // The late response is dropped on arrival; the connection keeps
+        // serving later RPCs.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .is_ok());
+        assert_eq!(t.wire().totals().connects, 1, "no reconnect needed");
+    }
+
+    #[test]
+    fn no_route_and_refused_connections_are_unreachable() {
+        let t = TcpTransport::new();
+        let e = t
+            .send(env(0, 1, Duration::from_millis(100), Request::Ping))
+            .unwrap_err();
+        assert!(matches!(e, WwError::Unreachable(_)));
+
+        // A route to a dead port: connect is refused until the budget runs out.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        t.add_peer(ServerId(1), addr);
+        let e = t
+            .send(env(0, 1, Duration::from_millis(120), Request::Ping))
+            .unwrap_err();
+        assert!(matches!(e, WwError::Unreachable(_)));
+        assert_eq!(t.stats().totals().unreachable, 2);
+    }
+
+    #[test]
+    fn remote_handler_errors_pass_through_without_fault_counters() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Err(WwError::Injected("crash test")));
+        let (_server, t) = rig(Arc::clone(&registry));
+        let e = t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .unwrap_err();
+        assert!(matches!(e, WwError::Injected(_)), "got {e}");
+        assert!(!e.is_retryable());
+        let totals = t.stats().totals();
+        assert_eq!(totals.timed_out, 0);
+        assert_eq!(totals.unreachable, 0);
+    }
+
+    #[test]
+    fn unbound_destination_behind_listener_is_unreachable() {
+        let registry = Arc::new(HandlerRegistry::new());
+        let (_server, t) = rig(registry);
+        let e = t
+            .send(env(0, 42, Duration::from_secs(5), Request::Ping))
+            .unwrap_err();
+        assert!(matches!(e, WwError::Unreachable(_)));
+    }
+
+    #[test]
+    fn sender_predicate_refilters_remote_tuples() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| {
+            Ok(Response::Tuples(vec![
+                Tuple::bare(1, 10),
+                Tuple::bare(2, 10),
+                Tuple::bare(3, 10),
+                Tuple::bare(4, 10),
+            ]))
+        });
+        let (_server, t) = rig(Arc::clone(&registry));
+        let sq = SubQuery {
+            id: SubQueryId {
+                query: QueryId(1),
+                index: 0,
+            },
+            keys: KeyInterval::full(),
+            times: TimeInterval::full(),
+            predicate: Some(Arc::new(|t: &Tuple| t.key.is_multiple_of(2))),
+            target: SubQueryTarget::Chunk(ChunkId(0)),
+        };
+        let r = t
+            .send(env(
+                0,
+                1,
+                Duration::from_secs(5),
+                Request::ChunkSubquery {
+                    sq,
+                    chunk: ChunkId(0),
+                    leaf_filter: None,
+                },
+            ))
+            .unwrap();
+        let tuples = r.into_tuples().unwrap();
+        assert_eq!(
+            tuples.iter().map(|t| t.key).collect::<Vec<_>>(),
+            vec![2, 4],
+            "the sender-side predicate must re-apply to remote answers"
+        );
+    }
+
+    #[test]
+    fn reconnects_after_the_server_restarts() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Ok(Response::Pong));
+        let wire = Arc::new(WireStats::default());
+        let mut server = TcpRpcServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Arc::new(WireStats::default()),
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let t = TcpTransport::with_wire_stats(Arc::clone(&wire));
+        t.add_peer(ServerId(1), addr);
+        assert!(t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .is_ok());
+
+        server.shutdown();
+        // The pooled connection is dead; the send fails as Unreachable
+        // (either detected on write or when dialing is refused).
+        let e = t
+            .send(env(0, 1, Duration::from_millis(200), Request::Ping))
+            .unwrap_err();
+        assert!(matches!(e, WwError::Unreachable(_)), "got {e}");
+
+        // Rebind the same port (retry briefly: the old listener's socket
+        // may take a moment to release).
+        let mut revived = None;
+        for _ in 0..50 {
+            match TcpRpcServer::bind(
+                &addr.to_string(),
+                Arc::clone(&registry),
+                Arc::new(WireStats::default()),
+                None,
+            ) {
+                Ok(s) => {
+                    revived = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(40)),
+            }
+        }
+        let _revived = revived.expect("could not rebind the listener port");
+        assert!(t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .is_ok());
+        let w = wire.totals();
+        assert_eq!(w.connects, 1);
+        assert!(w.reconnects >= 1, "the redial must count as a reconnect");
+    }
+
+    #[test]
+    fn shutdown_hook_intercepts_shutdown_requests() {
+        let registry = Arc::new(HandlerRegistry::new());
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        let wire = Arc::new(WireStats::default());
+        let server = TcpRpcServer::bind(
+            "127.0.0.1:0",
+            registry,
+            Arc::clone(&wire),
+            Some(Box::new(move || flag.store(true, Ordering::Release))),
+        )
+        .unwrap();
+        let t = TcpTransport::with_wire_stats(wire);
+        t.set_default_route(Some(server.local_addr()));
+        let r = t
+            .send(env(0, 1, Duration::from_secs(5), Request::Shutdown))
+            .unwrap();
+        assert!(matches!(r, Response::Ack));
+        assert!(fired.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn server_shutdown_refuses_new_connections() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Ok(Response::Pong));
+        let (mut server, t) = rig(Arc::clone(&registry));
+        assert!(t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .is_ok());
+        let addr = server.local_addr();
+        server.shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+            "a stopped server must not accept connections"
+        );
+    }
+}

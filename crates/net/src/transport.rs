@@ -22,8 +22,12 @@
 //! hazard real networks have, and it is why the batched ingest path tags
 //! every `IngestBatch` with a sequence number the receiver dedups on (the
 //! "retries make faults invisible, never duplicated tuples" oracle tests
-//! exercise both fault classes). A future `TcpTransport` implementing the
-//! same trait is what stands between this system and real processes.
+//! exercise both fault classes). [`TcpTransport`](crate::TcpTransport)
+//! implements the same trait over real sockets; both share a
+//! [`HandlerRegistry`] so the servers bound behind them are identical, and
+//! both charge the per-link byte counters with **real encoded frame
+//! lengths** from [`wire`](crate::wire) — the stats of an embedded run and
+//! a networked run describe the same traffic.
 
 use crate::envelope::{Envelope, Response};
 use parking_lot::RwLock;
@@ -36,6 +40,82 @@ use waterwheel_core::{Result, ServerId, WwError};
 
 /// A message handler bound at a destination address.
 pub type Handler = Arc<dyn Fn(&Envelope) -> Result<Response> + Send + Sync>;
+
+/// The set of handlers serving a process's addresses, shared by every
+/// transport front-end (in-proc delivery and the TCP listener dispatch the
+/// same registry, so a server behaves identically however it is reached).
+#[derive(Default)]
+pub struct HandlerRegistry {
+    handlers: RwLock<HashMap<ServerId, Handler>>,
+}
+
+impl HandlerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds (or replaces) the handler serving `dst`.
+    pub fn bind(
+        &self,
+        dst: ServerId,
+        handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
+    ) {
+        self.handlers.write().insert(dst, Arc::new(handler));
+    }
+
+    /// The handler bound at `dst`, if any.
+    pub fn get(&self, dst: ServerId) -> Option<Handler> {
+        self.handlers.read().get(&dst).cloned()
+    }
+
+    /// The addresses currently bound.
+    pub fn bound(&self) -> Vec<ServerId> {
+        self.handlers.read().keys().copied().collect()
+    }
+}
+
+/// Anything handlers can be bound on — a bare [`HandlerRegistry`] or a
+/// transport that owns one. Lets server wiring (e.g.
+/// [`serve_meta`](crate::serve_meta)) stay agnostic of the deployment mode.
+pub trait HandlerHost {
+    /// Binds (or replaces) the handler serving `dst`.
+    fn bind_handler(
+        &self,
+        dst: ServerId,
+        handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
+    );
+}
+
+impl HandlerHost for HandlerRegistry {
+    fn bind_handler(
+        &self,
+        dst: ServerId,
+        handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
+    ) {
+        self.bind(dst, handler);
+    }
+}
+
+impl HandlerHost for InProcTransport {
+    fn bind_handler(
+        &self,
+        dst: ServerId,
+        handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
+    ) {
+        self.bind(dst, handler);
+    }
+}
+
+impl<T: HandlerHost + ?Sized> HandlerHost for Arc<T> {
+    fn bind_handler(
+        &self,
+        dst: ServerId,
+        handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
+    ) {
+        (**self).bind_handler(dst, handler);
+    }
+}
 
 /// The message plane: every cross-server hop goes through `send`.
 pub trait Transport: Send + Sync {
@@ -80,7 +160,7 @@ pub struct RpcStats {
     pub timed_out: AtomicU64,
     /// Attempts that failed with [`WwError::Unreachable`].
     pub unreachable: AtomicU64,
-    /// Estimated bytes moved (requests + responses).
+    /// Encoded frame bytes moved (requests + responses).
     pub bytes: AtomicU64,
 }
 
@@ -95,7 +175,7 @@ pub struct RpcTotals {
     pub timed_out: u64,
     /// Unreachable attempts.
     pub unreachable: u64,
-    /// Estimated bytes moved.
+    /// Encoded frame bytes moved.
     pub bytes: u64,
 }
 
@@ -150,7 +230,7 @@ impl RpcStatsRegistry {
 
 /// The in-process transport: channels-with-faults over direct handlers.
 pub struct InProcTransport {
-    handlers: RwLock<HashMap<ServerId, Handler>>,
+    handlers: Arc<HandlerRegistry>,
     default_profile: RwLock<LinkProfile>,
     link_profiles: RwLock<HashMap<(ServerId, ServerId), LinkProfile>>,
     /// Directed partitions: `(src, dst)` pairs that cannot communicate.
@@ -166,8 +246,15 @@ impl InProcTransport {
     /// A fault-free, zero-latency transport; `cluster` enables the
     /// node-liveness hook for servers placed on simulated nodes.
     pub fn new(cluster: Option<Cluster>) -> Self {
+        Self::with_registry(cluster, Arc::new(HandlerRegistry::new()))
+    }
+
+    /// A transport delivering to an externally owned registry — the same
+    /// registry a TCP listener can serve, so one set of bound servers
+    /// answers over both planes.
+    pub fn with_registry(cluster: Option<Cluster>, handlers: Arc<HandlerRegistry>) -> Self {
         Self {
-            handlers: RwLock::new(HashMap::new()),
+            handlers,
             default_profile: RwLock::new(LinkProfile::default()),
             link_profiles: RwLock::new(HashMap::new()),
             partitions: RwLock::new(HashSet::new()),
@@ -183,7 +270,12 @@ impl InProcTransport {
         dst: ServerId,
         handler: impl Fn(&Envelope) -> Result<Response> + Send + Sync + 'static,
     ) {
-        self.handlers.write().insert(dst, Arc::new(handler));
+        self.handlers.bind(dst, handler);
+    }
+
+    /// The handler registry this transport delivers to.
+    pub fn registry(&self) -> &Arc<HandlerRegistry> {
+        &self.handlers
     }
 
     /// Installs the profile applied to links without a specific one.
@@ -237,8 +329,12 @@ impl Transport for InProcTransport {
     fn send(&self, env: Envelope) -> Result<Response> {
         let link = self.stats.link(env.src, env.dst);
         let n_sent = link.sent.fetch_add(1, Ordering::Relaxed) + 1;
-        link.bytes
-            .fetch_add(env.payload.wire_size() as u64, Ordering::Relaxed);
+        // Charge the byte counter with the real encoded frame length — the
+        // exact bytes TcpTransport would put on a socket for this envelope.
+        link.bytes.fetch_add(
+            crate::wire::encode_request(0, &env).len() as u64,
+            Ordering::Relaxed,
+        );
 
         if self.partitions.read().contains(&(env.src, env.dst)) {
             link.unreachable.fetch_add(1, Ordering::Relaxed);
@@ -276,12 +372,14 @@ impl Transport for InProcTransport {
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
-        let handler = self.handlers.read().get(&env.dst).cloned();
+        let handler = self.handlers.get(env.dst);
         match handler {
             Some(h) => {
                 let resp = h(&env)?;
-                link.bytes
-                    .fetch_add(resp.wire_size() as u64, Ordering::Relaxed);
+                link.bytes.fetch_add(
+                    crate::wire::encode_response_ok(0, &resp).len() as u64,
+                    Ordering::Relaxed,
+                );
                 // The handler ran — its side effects are real — but the ack
                 // never makes it back. The sender sees a timeout and will
                 // redeliver, so only idempotent handlers survive this fault.
@@ -498,6 +596,32 @@ mod tests {
         for _ in 0..20 {
             assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
         }
+    }
+
+    #[test]
+    fn bytes_counted_are_exact_encoded_frame_lengths() {
+        let t = pong_transport();
+        let e = env(0, 1, Duration::from_secs(1));
+        let req_len = crate::wire::encode_request(0, &e).len() as u64;
+        let resp_len = crate::wire::encode_response_ok(0, &Response::Pong).len() as u64;
+        t.send(e).unwrap();
+        assert_eq!(
+            t.stats().totals().bytes,
+            req_len + resp_len,
+            "byte accounting must match what the wire codec would frame"
+        );
+    }
+
+    #[test]
+    fn registry_is_shared_across_transport_frontends() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Ok(Response::Pong));
+        let t = InProcTransport::with_registry(None, Arc::clone(&registry));
+        assert!(t.send(env(0, 1, Duration::from_secs(1))).is_ok());
+        // A handler bound later through either side is visible to both.
+        t.bind(ServerId(2), |_| Ok(Response::Ack));
+        assert!(registry.get(ServerId(2)).is_some());
+        assert!(registry.bound().contains(&ServerId(1)));
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! The `waterwheel-node` binary: run one cluster role, or `smoke` a whole
+//! four-process loopback cluster end to end.
+//!
+//! ```text
+//! waterwheel-node --role meta --listen 127.0.0.1:4100 --root /tmp/ww
+//! waterwheel-node --role indexing --listen 127.0.0.1:0 --root /tmp/ww \
+//!     --peer meta=127.0.0.1:4100 --ix 2 --qs 2 --disp 2
+//! waterwheel-node smoke [--root DIR] [--tuples N]
+//! ```
+//!
+//! Children spawned by the launcher are configured through `WW_NODE_*`
+//! environment variables instead of flags; both paths funnel into the
+//! same [`NodeConfig`].
+
+use std::path::PathBuf;
+use waterwheel_core::{AggregateKind, KeyInterval, TimeInterval, Tuple};
+use waterwheel_node::{ClusterSpec, NodeConfig, Role};
+
+fn main() {
+    // Child processes of the launcher take this exit and never return.
+    waterwheel_node::maybe_run_child();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("smoke") => smoke(&args[1..]),
+        Some(_) => match parse_role_cli(&args) {
+            Ok(cfg) => waterwheel_node::run_node(cfg).map_err(|e| e.to_string()),
+            Err(e) => Err(e),
+        },
+        None => Err(usage()),
+    };
+    if let Err(e) = outcome {
+        eprintln!("waterwheel-node: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> String {
+    "usage: waterwheel-node --role <meta|indexing|query|dispatcher> --listen ADDR --root DIR \
+     [--peer role=addr]... [--ix N] [--qs N] [--disp N] [--nodes N] [--chunk-bytes N]\n\
+     \u{20}      waterwheel-node smoke [--root DIR] [--tuples N]"
+        .into()
+}
+
+fn parse_role_cli(args: &[String]) -> Result<NodeConfig, String> {
+    let mut role = None;
+    let mut listen = None;
+    let mut root = None;
+    let mut peers = Vec::new();
+    let mut counts: [Option<usize>; 5] = [None; 5];
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--role" => {
+                let v = value("--role")?;
+                role = Some(Role::parse(v).ok_or_else(|| format!("unknown role {v:?}"))?);
+            }
+            "--listen" => listen = Some(value("--listen")?.clone()),
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--peer" => {
+                let v = value("--peer")?;
+                let (r, addr) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--peer {v:?} is not role=addr"))?;
+                let r = Role::parse(r).ok_or_else(|| format!("unknown peer role {r:?}"))?;
+                let addr = addr.parse().map_err(|e| format!("--peer {v:?}: {e}"))?;
+                peers.push((r, addr));
+            }
+            "--ix" => counts[0] = Some(parse_num("--ix", value("--ix")?)?),
+            "--qs" => counts[1] = Some(parse_num("--qs", value("--qs")?)?),
+            "--disp" => counts[2] = Some(parse_num("--disp", value("--disp")?)?),
+            "--nodes" => counts[3] = Some(parse_num("--nodes", value("--nodes")?)?),
+            "--chunk-bytes" => {
+                counts[4] = Some(parse_num("--chunk-bytes", value("--chunk-bytes")?)?)
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let role = role.ok_or("--role is required")?;
+    let listen = listen.ok_or("--listen is required")?;
+    let root = root.ok_or("--root is required")?;
+    let mut cfg = NodeConfig::new(role, listen, root);
+    if let Some(n) = counts[0] {
+        cfg.indexing_servers = n;
+    }
+    if let Some(n) = counts[1] {
+        cfg.query_servers = n;
+    }
+    if let Some(n) = counts[2] {
+        cfg.dispatchers = n;
+    }
+    if let Some(n) = counts[3] {
+        cfg.nodes = n;
+    }
+    if let Some(n) = counts[4] {
+        cfg.chunk_size_bytes = n;
+    }
+    cfg.peers = peers;
+    Ok(cfg)
+}
+
+fn parse_num(name: &str, v: &str) -> Result<usize, String> {
+    v.parse().map_err(|e| format!("{name}: {e}"))
+}
+
+/// Launches a four-process loopback cluster from this very binary,
+/// drives an exact-answer workload through it, and shuts it down. Exits
+/// nonzero on any mismatch — the CI multi-process gate.
+fn smoke(args: &[String]) -> Result<(), String> {
+    let mut root = None;
+    let mut tuples = 2_000u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--tuples" => {
+                tuples = value("--tuples")?
+                    .parse()
+                    .map_err(|e| format!("--tuples: {e}"))?
+            }
+            other => return Err(format!("unknown smoke flag {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("ww-node-smoke-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&root);
+
+    let spec = ClusterSpec::new(&root);
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let cluster = spec.launch(exe).map_err(|e| e.to_string())?;
+    let client = cluster.client();
+    eprintln!(
+        "smoke: 4 processes up (dispatcher gateway at {})",
+        cluster.addr(Role::Dispatcher).unwrap()
+    );
+
+    for i in 0..tuples {
+        client
+            .insert(Tuple::bare(i * 1_000_000, 1_000 + i))
+            .map_err(|e| format!("insert #{i}: {e}"))?;
+    }
+    client.flush().map_err(|e| format!("flush: {e}"))?;
+
+    let full = client
+        .query(KeyInterval::full(), TimeInterval::full())
+        .map_err(|e| format!("full query: {e}"))?;
+    check_eq("full-range tuple count", full.tuples.len() as u64, tuples)?;
+    let narrow = client
+        .query(
+            KeyInterval::new(0, 100_000_000),
+            TimeInterval::new(1_000, 1_050),
+        )
+        .map_err(|e| format!("narrow query: {e}"))?;
+    check_eq("narrow tuple count", narrow.tuples.len() as u64, 51)?;
+    let count = client
+        .aggregate(
+            KeyInterval::full(),
+            TimeInterval::full(),
+            AggregateKind::Count,
+        )
+        .map_err(|e| format!("aggregate: {e}"))?;
+    check_eq("COUNT aggregate", count.agg.count, tuples)?;
+
+    cluster.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "SMOKE OK: {tuples} tuples over 4 processes, exact range + aggregate answers, clean shutdown"
+    );
+    Ok(())
+}
+
+fn check_eq(what: &str, got: u64, want: u64) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: got {got}, want {want}"))
+    }
+}

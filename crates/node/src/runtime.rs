@@ -1,0 +1,619 @@
+//! The per-process node runtime: rebuild the deterministic layout, bind
+//! this role's handlers into a [`HandlerRegistry`], and serve them over a
+//! TCP listener until a `Shutdown` RPC (or losing the launcher's stdin
+//! pipe) tears the process down.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use waterwheel_cluster::{Cluster, LatencyModel};
+use waterwheel_core::{Query, Result, ServerId, SystemConfig, WwError};
+use waterwheel_meta::{MetadataService, PartitionSchema};
+use waterwheel_mq::{Consumer, MessageQueue};
+use waterwheel_net::{
+    serve_meta, HandlerRegistry, MetaClient, Request, Response, RpcClient, TcpRpcServer,
+    TcpTransport, Transport, WireStats, COORDINATOR, META_SERVER,
+};
+use waterwheel_server::{Coordinator, DispatchPolicy, Dispatcher, IndexingServer, QueryServer};
+use waterwheel_storage::SimDfs;
+
+/// Name of the ingestion topic (must match the embedded system's).
+const INGEST_TOPIC: &str = "ingest";
+
+/// Which server group a node process hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The metadata service (ZooKeeper's seat, §II-B).
+    Meta,
+    /// All indexing servers plus the ingestion queue.
+    Indexing,
+    /// All query servers.
+    Query,
+    /// All dispatchers plus the query coordinator — the client gateway.
+    Dispatcher,
+}
+
+impl Role {
+    /// Every role, in launch order (dependencies first).
+    pub const ALL: [Role; 4] = [Role::Meta, Role::Indexing, Role::Query, Role::Dispatcher];
+
+    /// The CLI/env spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Meta => "meta",
+            Role::Indexing => "indexing",
+            Role::Query => "query",
+            Role::Dispatcher => "dispatcher",
+        }
+    }
+
+    /// Parses the CLI/env spelling.
+    pub fn parse(s: &str) -> Option<Role> {
+        Role::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything a node process needs to take its place in the cluster.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This process's role.
+    pub role: Role,
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Shared filesystem root (chunks + metadata snapshot).
+    pub root: PathBuf,
+    /// Indexing-server count (identical in every process).
+    pub indexing_servers: usize,
+    /// Query-server count.
+    pub query_servers: usize,
+    /// Dispatcher count.
+    pub dispatchers: usize,
+    /// Simulated cluster nodes.
+    pub nodes: usize,
+    /// Chunk size driving flush boundaries.
+    pub chunk_size_bytes: usize,
+    /// Addresses of the roles this process calls into.
+    pub peers: Vec<(Role, SocketAddr)>,
+}
+
+impl NodeConfig {
+    /// A config with the given role/listen/root and default counts.
+    pub fn new(role: Role, listen: impl Into<String>, root: impl Into<PathBuf>) -> Self {
+        let cfg = SystemConfig::default();
+        Self {
+            role,
+            listen: listen.into(),
+            root: root.into(),
+            indexing_servers: cfg.indexing_servers,
+            query_servers: cfg.query_servers,
+            dispatchers: cfg.dispatchers,
+            nodes: 4,
+            chunk_size_bytes: cfg.chunk_size_bytes,
+            peers: Vec::new(),
+        }
+    }
+
+    /// Reads the `WW_NODE_*` environment contract written by
+    /// [`ClusterSpec::launch`](crate::spec::ClusterSpec::launch).
+    pub fn from_env() -> std::result::Result<Self, String> {
+        let var = |k: &str| std::env::var(k).map_err(|_| format!("{k} is not set"));
+        let num = |k: &str| -> std::result::Result<usize, String> {
+            var(k)?.parse().map_err(|e| format!("{k}: {e}"))
+        };
+        let role = var("WW_NODE_ROLE")?;
+        let role = Role::parse(&role).ok_or_else(|| format!("unknown role {role:?}"))?;
+        let mut peers = Vec::new();
+        for part in var("WW_NODE_PEERS").unwrap_or_default().split(',') {
+            if part.is_empty() {
+                continue;
+            }
+            let (r, addr) = part
+                .split_once('=')
+                .ok_or_else(|| format!("peer {part:?} is not role=addr"))?;
+            let r = Role::parse(r).ok_or_else(|| format!("unknown peer role {r:?}"))?;
+            let addr = addr.parse().map_err(|e| format!("peer {part:?}: {e}"))?;
+            peers.push((r, addr));
+        }
+        Ok(Self {
+            role,
+            listen: var("WW_NODE_LISTEN")?,
+            root: PathBuf::from(var("WW_NODE_ROOT")?),
+            indexing_servers: num("WW_NODE_IX")?,
+            query_servers: num("WW_NODE_QS")?,
+            dispatchers: num("WW_NODE_DISP")?,
+            nodes: num("WW_NODE_NODES")?,
+            chunk_size_bytes: num("WW_NODE_CHUNK_BYTES")?,
+            peers,
+        })
+    }
+
+    /// Writes the environment contract onto a child command.
+    pub fn apply_env(&self, cmd: &mut std::process::Command) {
+        let peers: Vec<String> = self
+            .peers
+            .iter()
+            .map(|(r, a)| format!("{}={a}", r.as_str()))
+            .collect();
+        cmd.env("WW_NODE_ROLE", self.role.as_str())
+            .env("WW_NODE_LISTEN", &self.listen)
+            .env("WW_NODE_ROOT", &self.root)
+            .env("WW_NODE_IX", self.indexing_servers.to_string())
+            .env("WW_NODE_QS", self.query_servers.to_string())
+            .env("WW_NODE_DISP", self.dispatchers.to_string())
+            .env("WW_NODE_NODES", self.nodes.to_string())
+            .env("WW_NODE_CHUNK_BYTES", self.chunk_size_bytes.to_string())
+            .env("WW_NODE_PEERS", peers.join(","));
+    }
+}
+
+/// Indexing-server ids for a cluster with `n` of them (`0..`).
+pub fn indexing_ids(n: usize) -> Vec<ServerId> {
+    (0..n as u32).map(ServerId).collect()
+}
+
+/// Query-server ids (`1000..`).
+pub fn query_ids(n: usize) -> Vec<ServerId> {
+    (0..n as u32).map(|i| ServerId(1_000 + i)).collect()
+}
+
+/// Dispatcher ids (`2000..`).
+pub fn dispatcher_ids(n: usize) -> Vec<ServerId> {
+    (0..n as u32).map(|i| ServerId(2_000 + i)).collect()
+}
+
+/// The deterministic layout every process rebuilds identically: system
+/// config, simulated cluster with server placement, and the id vectors.
+struct Layout {
+    cfg: SystemConfig,
+    cluster: Cluster,
+    ix_ids: Vec<ServerId>,
+    qs_ids: Vec<ServerId>,
+    disp_ids: Vec<ServerId>,
+}
+
+impl Layout {
+    fn new(nc: &NodeConfig) -> Result<Self> {
+        let mut cfg = SystemConfig::default();
+        cfg.indexing_servers = nc.indexing_servers;
+        cfg.query_servers = nc.query_servers;
+        cfg.dispatchers = nc.dispatchers;
+        cfg.chunk_size_bytes = nc.chunk_size_bytes;
+        // Nested flush RPCs (gateway → indexing pump-until-empty) can
+        // outlive the embedded default; loopback never needs to give up
+        // that early.
+        cfg.rpc_timeout = std::time::Duration::from_secs(10);
+        cfg.validate().map_err(WwError::Config)?;
+        let cluster = Cluster::new(nc.nodes.max(1));
+        let ix_ids = indexing_ids(cfg.indexing_servers);
+        let qs_ids = query_ids(cfg.query_servers);
+        let disp_ids = dispatcher_ids(cfg.dispatchers);
+        // Same placement order as the embedded builder: query servers
+        // first, then indexing servers.
+        cluster.place_servers_round_robin(qs_ids.iter().copied());
+        cluster.place_servers_round_robin(ix_ids.iter().copied());
+        Ok(Self {
+            cfg,
+            cluster,
+            ix_ids,
+            qs_ids,
+            disp_ids,
+        })
+    }
+}
+
+/// Builds the client transport with the peer map routing every server id
+/// to the process hosting it.
+fn peer_transport(nc: &NodeConfig, layout: &Layout) -> Arc<TcpTransport> {
+    let t = Arc::new(TcpTransport::new());
+    route_peers(&t, &nc.peers, layout);
+    t
+}
+
+fn route_peers(t: &TcpTransport, peers: &[(Role, SocketAddr)], layout: &Layout) {
+    for &(role, addr) in peers {
+        match role {
+            Role::Meta => t.add_peer(META_SERVER, addr),
+            Role::Indexing => t.add_peers(layout.ix_ids.iter().copied(), addr),
+            Role::Query => t.add_peers(layout.qs_ids.iter().copied(), addr),
+            Role::Dispatcher => {
+                t.add_peers(layout.disp_ids.iter().copied(), addr);
+                t.add_peer(COORDINATOR, addr);
+            }
+        }
+    }
+}
+
+/// Receiver-side dedup for retried ingest batches, mirroring the embedded
+/// system's exactly-once contract: a `(src, dst)` link's batch sequence
+/// numbers land at most once.
+struct BatchDedup {
+    last_seq: Mutex<HashMap<(ServerId, ServerId), u64>>,
+}
+
+impl BatchDedup {
+    fn new() -> Self {
+        Self {
+            last_seq: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn apply_once(
+        &self,
+        src: ServerId,
+        dst: ServerId,
+        seq: u64,
+        apply: impl FnOnce() -> Result<()>,
+    ) -> Result<bool> {
+        let mut last = self.last_seq.lock();
+        if last.get(&(src, dst)).is_some_and(|&l| seq <= l) {
+            return Ok(true);
+        }
+        apply()?;
+        last.insert((src, dst), seq);
+        Ok(false)
+    }
+}
+
+/// Fetches the partition schema from the metadata process (bootstrapped
+/// there before it reports ready).
+fn fetch_schema(meta: &MetaClient) -> Result<PartitionSchema> {
+    meta.partition()?
+        .ok_or_else(|| WwError::InvalidState("metadata process has no partition schema yet".into()))
+}
+
+/// Runs one node role until shut down. Prints `WW_NODE_READY <addr>` once
+/// the listener is accepting, answers RPCs, and returns after a
+/// [`Request::Shutdown`] lands or the launcher's stdin pipe closes.
+pub fn run_node(nc: NodeConfig) -> Result<()> {
+    let layout = Layout::new(&nc)?;
+    let registry = Arc::new(HandlerRegistry::new());
+    let wire = Arc::new(WireStats::default());
+    let transport = peer_transport(&nc, &layout);
+    let rpc_for = |src: ServerId| {
+        RpcClient::new(
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            src,
+            &layout.cfg,
+        )
+    };
+
+    let pumps_stop = Arc::new(AtomicBool::new(false));
+    let mut pump_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    match nc.role {
+        Role::Meta => {
+            let meta = MetadataService::open(nc.root.join("meta.snapshot"))?;
+            // Bootstrap the uniform schema exactly like the embedded
+            // builder, so every later-starting role finds it.
+            if meta.partition().is_none() {
+                let mut s = PartitionSchema::uniform(&layout.ix_ids);
+                s.version = 1;
+                meta.set_partition(s)?;
+            }
+            serve_meta(&registry, meta);
+        }
+        Role::Indexing => {
+            let mq = MessageQueue::new();
+            mq.create_topic(INGEST_TOPIC, layout.cfg.indexing_servers)?;
+            let dfs = SimDfs::new(
+                nc.root.join("chunks"),
+                layout.cluster.clone(),
+                layout.cfg.dfs_replication.min(nc.nodes.max(1)),
+                LatencyModel::default(),
+            )?;
+            let meta = MetaClient::new(rpc_for(layout.ix_ids[0]));
+            let schema = fetch_schema(&meta)?;
+            let dedup = Arc::new(BatchDedup::new());
+            for (i, &id) in layout.ix_ids.iter().enumerate() {
+                let interval = schema
+                    .interval_of(id)
+                    .ok_or_else(|| WwError::not_found("partition interval for server", id))?;
+                let server = Arc::new(IndexingServer::new(
+                    id,
+                    interval,
+                    layout.cfg.clone(),
+                    Consumer::new(mq.clone(), INGEST_TOPIC, i, 0),
+                    dfs.clone(),
+                    MetaClient::new(rpc_for(id)),
+                ));
+                // Background pump: the Storm executor keeping freshly
+                // queued tuples queryable without waiting for a flush.
+                {
+                    let server = Arc::clone(&server);
+                    let stop = Arc::clone(&pumps_stop);
+                    pump_handles.push(std::thread::spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            match server.pump(1_024) {
+                                Ok(0) | Err(_) => {
+                                    std::thread::sleep(std::time::Duration::from_millis(1))
+                                }
+                                Ok(_) => {}
+                            }
+                        }
+                    }));
+                }
+                let mq = mq.clone();
+                let dedup = Arc::clone(&dedup);
+                registry.bind(id, move |env| match &env.payload {
+                    Request::Ingest { tuple } => {
+                        mq.append(INGEST_TOPIC, i, tuple.clone())?;
+                        Ok(Response::Ack)
+                    }
+                    Request::IngestBatch { seq, tuples } => {
+                        let deduped = dedup.apply_once(env.src, id, *seq, || {
+                            mq.append_batch(INGEST_TOPIC, i, tuples.iter().cloned())
+                                .map(|_| ())
+                        })?;
+                        Ok(Response::AckBatch {
+                            tuples: tuples.len() as u32,
+                            deduped,
+                        })
+                    }
+                    Request::Flush => {
+                        // Seal everything queued so far: pump until the
+                        // partition is drained, then flush the tree.
+                        while server.pump(4_096)? > 0 {}
+                        Ok(Response::Flushed(server.flush()?))
+                    }
+                    Request::InMemorySubquery { sq } => {
+                        Ok(Response::Tuples(server.query_in_memory(sq)?))
+                    }
+                    Request::AggregateInMemory { slices, covered } => Ok(Response::Fold(
+                        server.aggregate_in_memory(*slices, covered)?,
+                    )),
+                    Request::Ping => Ok(Response::Pong),
+                    _ => Err(WwError::InvalidState(
+                        "unsupported request for an indexing server".into(),
+                    )),
+                });
+            }
+        }
+        Role::Query => {
+            let dfs = SimDfs::new(
+                nc.root.join("chunks"),
+                layout.cluster.clone(),
+                layout.cfg.dfs_replication.min(nc.nodes.max(1)),
+                LatencyModel::default(),
+            )?;
+            for &id in &layout.qs_ids {
+                let node = layout
+                    .cluster
+                    .node_of(id)
+                    .ok_or_else(|| WwError::not_found("cluster node for query server", id))?;
+                let qs = Arc::new(QueryServer::with_config(id, node, dfs.clone(), &layout.cfg));
+                registry.bind(id, move |env| match &env.payload {
+                    Request::ChunkSubquery {
+                        sq,
+                        chunk,
+                        leaf_filter,
+                    } => Ok(Response::Tuples(qs.execute_filtered(
+                        sq,
+                        *chunk,
+                        leaf_filter.as_ref(),
+                    )?)),
+                    Request::ReadSummary { chunk } => {
+                        Ok(Response::Summary(qs.read_summary(*chunk)?))
+                    }
+                    Request::Ping => Ok(Response::Pong),
+                    _ => Err(WwError::InvalidState(
+                        "unsupported request for a query server".into(),
+                    )),
+                });
+            }
+        }
+        Role::Dispatcher => {
+            let meta = MetaClient::new(rpc_for(layout.disp_ids[0]));
+            let schema = fetch_schema(&meta)?;
+            let dispatchers: Arc<Vec<Arc<Dispatcher>>> = Arc::new(
+                layout
+                    .disp_ids
+                    .iter()
+                    .map(|&id| {
+                        Arc::new(Dispatcher::new(
+                            id,
+                            rpc_for(id),
+                            schema.clone(),
+                            &layout.cfg,
+                        ))
+                    })
+                    .collect(),
+            );
+            let gateway_dedup = Arc::new(BatchDedup::new());
+            let ix_ids = layout.ix_ids.clone();
+            for (i, &id) in layout.disp_ids.iter().enumerate() {
+                let dispatchers = Arc::clone(&dispatchers);
+                let dedup = Arc::clone(&gateway_dedup);
+                let ix_ids = ix_ids.clone();
+                registry.bind(id, move |env| match &env.payload {
+                    Request::Ingest { tuple } => {
+                        dispatchers[i].dispatch(tuple.clone())?;
+                        Ok(Response::Ack)
+                    }
+                    Request::IngestBatch { seq, tuples } => {
+                        let deduped = dedup.apply_once(env.src, id, *seq, || {
+                            for t in tuples.iter() {
+                                dispatchers[i].dispatch(t.clone())?;
+                            }
+                            Ok(())
+                        })?;
+                        Ok(Response::AckBatch {
+                            tuples: tuples.len() as u32,
+                            deduped,
+                        })
+                    }
+                    Request::Flush => {
+                        // The client's durability verb: push every
+                        // buffered batch out, then seal every indexing
+                        // server's memory into chunks.
+                        for d in dispatchers.iter() {
+                            d.flush_batches()?;
+                        }
+                        let mut chunks = Vec::new();
+                        for &ix in &ix_ids {
+                            chunks.extend(dispatchers[i].flush(ix)?);
+                        }
+                        Ok(Response::Flushed(chunks))
+                    }
+                    Request::Ping => Ok(Response::Pong),
+                    _ => Err(WwError::InvalidState(
+                        "unsupported request for a dispatcher".into(),
+                    )),
+                });
+            }
+            let coordinator = Arc::new(Coordinator::new(
+                rpc_for(COORDINATOR),
+                layout.cluster.clone(),
+                layout.qs_ids.clone(),
+                layout.ix_ids.clone(),
+                layout.cfg.dfs_replication.min(nc.nodes.max(1)),
+                DispatchPolicy::Lada,
+                layout.cfg.clone(),
+            ));
+            registry.bind(COORDINATOR, move |env| match &env.payload {
+                Request::ClientQuery {
+                    keys,
+                    times,
+                    attr_eq,
+                } => {
+                    let mut q = Query::range(*keys, *times);
+                    if let Some((attr, value)) = attr_eq {
+                        q = q.and_attr_eq(*attr, *value);
+                    }
+                    Ok(Response::Query(coordinator.execute(&q)?))
+                }
+                Request::ClientAggregate { keys, times, kind } => {
+                    let aq = Query::range(*keys, *times).aggregate(*kind);
+                    Ok(Response::Aggregate(coordinator.execute_aggregate(&aq)?))
+                }
+                Request::Ping => Ok(Response::Pong),
+                _ => Err(WwError::InvalidState(
+                    "unsupported request for the coordinator".into(),
+                )),
+            });
+        }
+    }
+
+    // The stop latch: tripped by a Shutdown RPC (acknowledged before the
+    // hook runs) or by the launcher's stdin pipe closing — the watchdog
+    // that reaps orphaned children if the parent dies without saying
+    // goodbye.
+    let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+    let trip = |stop: &Arc<(StdMutex<bool>, Condvar)>| {
+        let (lock, cv) = &**stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    };
+    let hook = {
+        let stop = Arc::clone(&stop);
+        Box::new(move || trip(&stop))
+    };
+    let server = TcpRpcServer::bind(&nc.listen, Arc::clone(&registry), wire, Some(hook))?;
+    println!("WW_NODE_READY {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) | Err(_) => break, // EOF: the launcher is gone.
+                    Ok(_) => {}
+                }
+            }
+            trip(&stop);
+        });
+    }
+
+    let (lock, cv) = &*stop;
+    let mut stopped = lock.lock().unwrap();
+    while !*stopped {
+        stopped = cv.wait(stopped).unwrap();
+    }
+    drop(stopped);
+    pumps_stop.store(true, Ordering::SeqCst);
+    for h in pump_handles {
+        let _ = h.join();
+    }
+    drop(server);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_round_trip_their_spelling() {
+        for role in Role::ALL {
+            assert_eq!(Role::parse(role.as_str()), Some(role));
+        }
+        assert_eq!(Role::parse("zookeeper"), None);
+    }
+
+    #[test]
+    fn id_layout_matches_the_embedded_system() {
+        assert_eq!(indexing_ids(2), vec![ServerId(0), ServerId(1)]);
+        assert_eq!(query_ids(1), vec![ServerId(1_000)]);
+        assert_eq!(dispatcher_ids(2), vec![ServerId(2_000), ServerId(2_001)]);
+    }
+
+    #[test]
+    fn env_contract_round_trips() {
+        let mut nc = NodeConfig::new(Role::Query, "127.0.0.1:0", "/tmp/ww-env");
+        nc.peers = vec![
+            (Role::Meta, "127.0.0.1:4100".parse().unwrap()),
+            (Role::Dispatcher, "127.0.0.1:4101".parse().unwrap()),
+        ];
+        let mut cmd = std::process::Command::new("true");
+        nc.apply_env(&mut cmd);
+        // Replay the command's captured env through from_env's parser by
+        // materializing it into this process (unique keys, test-local).
+        for (k, v) in cmd.get_envs() {
+            std::env::set_var(k, v.unwrap());
+        }
+        let back = NodeConfig::from_env().unwrap();
+        assert_eq!(back.role, nc.role);
+        assert_eq!(back.root, nc.root);
+        assert_eq!(back.indexing_servers, nc.indexing_servers);
+        assert_eq!(back.peers, nc.peers);
+        for key in [
+            "WW_NODE_ROLE",
+            "WW_NODE_LISTEN",
+            "WW_NODE_ROOT",
+            "WW_NODE_IX",
+            "WW_NODE_QS",
+            "WW_NODE_DISP",
+            "WW_NODE_NODES",
+            "WW_NODE_CHUNK_BYTES",
+            "WW_NODE_PEERS",
+        ] {
+            std::env::remove_var(key);
+        }
+    }
+
+    #[test]
+    fn batch_dedup_mirrors_the_embedded_contract() {
+        let dedup = BatchDedup::new();
+        let (a, b) = (ServerId(5_000), ServerId(2_000));
+        assert!(!dedup.apply_once(a, b, 0, || Ok(())).unwrap());
+        assert!(dedup
+            .apply_once(a, b, 0, || panic!("must not re-apply"))
+            .unwrap());
+        assert!(dedup
+            .apply_once(a, b, 1, || Err(WwError::Injected("boom")))
+            .is_err());
+        assert!(!dedup.apply_once(a, b, 1, || Ok(())).unwrap());
+    }
+}

@@ -1,0 +1,334 @@
+//! Launching and talking to a multi-process loopback cluster.
+//!
+//! [`ClusterSpec::launch`] spawns one OS process per [`Role`] (meta →
+//! indexing → query → dispatcher, so each child's dependencies are
+//! already listening), reads each child's `WW_NODE_READY <addr>`
+//! handshake line, and threads the accumulated peer map into the next
+//! child's environment. The returned [`ClusterHandle`] owns the children:
+//! [`ClusterHandle::shutdown`] retires them via `Shutdown` RPCs (client
+//! gateway first, metadata last) with a kill fallback, and dropping the
+//! handle kills anything still running — tests never leak processes.
+
+use crate::runtime::{dispatcher_ids, indexing_ids, query_ids, NodeConfig, Role};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use waterwheel_agg::AggregateAnswer;
+use waterwheel_core::{
+    AggregateKind, KeyInterval, QueryResult, Result, ServerId, SystemConfig, TimeInterval, Tuple,
+    WwError,
+};
+use waterwheel_net::{
+    Request, Response, RpcClient, TcpTransport, Transport, COORDINATOR, META_SERVER,
+};
+
+/// The source address external clients send from (outside every server
+/// id range).
+pub const CLIENT_ID: ServerId = ServerId(5_000);
+
+/// Shape of a multi-process cluster: the shared filesystem root plus the
+/// same counts the embedded builder takes.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Shared root (chunks, metadata snapshot) every process opens.
+    pub root: PathBuf,
+    /// Indexing-server count.
+    pub indexing_servers: usize,
+    /// Query-server count.
+    pub query_servers: usize,
+    /// Dispatcher count.
+    pub dispatchers: usize,
+    /// Simulated cluster nodes.
+    pub nodes: usize,
+    /// Chunk size driving flush boundaries.
+    pub chunk_size_bytes: usize,
+}
+
+impl ClusterSpec {
+    /// A spec with small, test-friendly defaults.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        let cfg = SystemConfig::default();
+        Self {
+            root: root.into(),
+            indexing_servers: 2,
+            query_servers: 2,
+            dispatchers: 2,
+            nodes: 4,
+            chunk_size_bytes: cfg.chunk_size_bytes,
+        }
+    }
+
+    fn node_config(&self, role: Role, peers: Vec<(Role, SocketAddr)>) -> NodeConfig {
+        let mut nc = NodeConfig::new(role, "127.0.0.1:0", &self.root);
+        nc.indexing_servers = self.indexing_servers;
+        nc.query_servers = self.query_servers;
+        nc.dispatchers = self.dispatchers;
+        nc.nodes = self.nodes;
+        nc.chunk_size_bytes = self.chunk_size_bytes;
+        nc.peers = peers;
+        nc
+    }
+
+    /// Spawns the four role processes from `binary` (any executable whose
+    /// `main` calls [`crate::maybe_run_child`] first — the
+    /// `waterwheel-node` binary, or a self-hosting example/test).
+    pub fn launch(&self, binary: impl AsRef<Path>) -> Result<ClusterHandle> {
+        let binary = binary.as_ref();
+        std::fs::create_dir_all(&self.root)?;
+        let mut procs: Vec<NodeProc> = Vec::new();
+        let mut peers: Vec<(Role, SocketAddr)> = Vec::new();
+        for role in Role::ALL {
+            let mut cmd = Command::new(binary);
+            cmd.stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            self.node_config(role, peers.clone()).apply_env(&mut cmd);
+            let mut child = cmd.spawn()?;
+            let addr = match read_ready(&mut child) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    // Reap what already started; nothing must outlive a
+                    // failed launch.
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    for mut p in procs {
+                        let _ = p.child.kill();
+                        let _ = p.child.wait();
+                    }
+                    return Err(e);
+                }
+            };
+            peers.push((role, addr));
+            procs.push(NodeProc { role, child, addr });
+        }
+        Ok(ClusterHandle {
+            spec: self.clone(),
+            procs,
+        })
+    }
+}
+
+/// Blocks until the child prints its `WW_NODE_READY <addr>` handshake.
+fn read_ready(child: &mut Child) -> Result<SocketAddr> {
+    let stdout = child.stdout.take().ok_or_else(|| {
+        WwError::InvalidState("node child was spawned without a stdout pipe".into())
+    })?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line?;
+        if let Some(addr) = line.strip_prefix("WW_NODE_READY ") {
+            return addr.trim().parse().map_err(|_| WwError::Corrupt {
+                what: "node ready handshake",
+                detail: format!("unparseable address {addr:?}"),
+            });
+        }
+    }
+    Err(WwError::InvalidState(
+        "node process exited before reporting ready".into(),
+    ))
+}
+
+struct NodeProc {
+    role: Role,
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// A running multi-process cluster; owns the child processes.
+pub struct ClusterHandle {
+    spec: ClusterSpec,
+    procs: Vec<NodeProc>,
+}
+
+impl ClusterHandle {
+    /// The listen address of a role's process.
+    pub fn addr(&self, role: Role) -> Option<SocketAddr> {
+        self.procs.iter().find(|p| p.role == role).map(|p| p.addr)
+    }
+
+    /// A client speaking the gateway RPC verbs against this cluster.
+    pub fn client(&self) -> ClusterClient {
+        // Client calls wrap whole pipeline stages (a Flush pumps every
+        // queued tuple); give them room before a retry re-enters.
+        self.client_with_timeout(Duration::from_secs(10), 2)
+    }
+
+    /// A client with an explicit per-attempt deadline and retry budget —
+    /// probes that expect the cluster to be down want a short one, since
+    /// the transport keeps re-connecting until the deadline expires.
+    pub fn client_with_timeout(&self, timeout: Duration, retries: u32) -> ClusterClient {
+        let peers: Vec<(Role, SocketAddr)> = self.procs.iter().map(|p| (p.role, p.addr)).collect();
+        ClusterClient::connect(&self.spec, &peers, timeout, retries)
+    }
+
+    /// Retires the cluster: `Shutdown` RPC per process — gateway first so
+    /// nothing keeps dispatching into dying backends, metadata last —
+    /// then waits for each child, killing any that ignore the request.
+    /// Returns an error if any child had to be killed or exited dirty.
+    pub fn shutdown(mut self) -> Result<()> {
+        let client = self.client();
+        let mut clean = true;
+        for role in [Role::Dispatcher, Role::Query, Role::Indexing, Role::Meta] {
+            clean &= client.shutdown_role(role).is_ok();
+        }
+        for p in &mut self.procs {
+            clean &= wait_or_kill(&mut p.child, Duration::from_secs(10));
+        }
+        self.procs.clear();
+        if clean {
+            Ok(())
+        } else {
+            Err(WwError::InvalidState(
+                "a node process had to be killed during shutdown".into(),
+            ))
+        }
+    }
+}
+
+impl Drop for ClusterHandle {
+    fn drop(&mut self) {
+        for p in &mut self.procs {
+            if p.child.try_wait().ok().flatten().is_none() {
+                let _ = p.child.kill();
+            }
+            let _ = p.child.wait();
+        }
+    }
+}
+
+/// Waits for a child to exit cleanly within `grace`; kills it otherwise.
+/// Returns whether the exit was clean (no kill, zero status).
+fn wait_or_kill(child: &mut Child, grace: Duration) -> bool {
+    let deadline = Instant::now() + grace;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return status.success(),
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return false;
+            }
+        }
+    }
+}
+
+/// A typed client for a multi-process cluster: inserts through the
+/// dispatcher gateway, queries through the coordinator, and shuts roles
+/// down — all over one pooled TCP transport.
+pub struct ClusterClient {
+    rpc: RpcClient,
+    disp_ids: Vec<ServerId>,
+    qs_ids: Vec<ServerId>,
+    ix_ids: Vec<ServerId>,
+    next: AtomicUsize,
+}
+
+impl ClusterClient {
+    fn connect(
+        spec: &ClusterSpec,
+        peers: &[(Role, SocketAddr)],
+        timeout: Duration,
+        retries: u32,
+    ) -> Self {
+        let disp_ids = dispatcher_ids(spec.dispatchers);
+        let qs_ids = query_ids(spec.query_servers);
+        let ix_ids = indexing_ids(spec.indexing_servers);
+        let t = Arc::new(TcpTransport::new());
+        for &(role, addr) in peers {
+            match role {
+                Role::Meta => t.add_peer(META_SERVER, addr),
+                Role::Indexing => t.add_peers(ix_ids.iter().copied(), addr),
+                Role::Query => t.add_peers(qs_ids.iter().copied(), addr),
+                Role::Dispatcher => {
+                    t.add_peers(disp_ids.iter().copied(), addr);
+                    t.add_peer(COORDINATOR, addr);
+                }
+            }
+        }
+        let mut cfg = SystemConfig::default();
+        cfg.rpc_timeout = timeout;
+        cfg.rpc_retries = retries;
+        let rpc = RpcClient::new(t as Arc<dyn Transport>, CLIENT_ID, &cfg);
+        Self {
+            rpc,
+            disp_ids,
+            qs_ids,
+            ix_ids,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ingests one tuple (round-robin across dispatcher processes' ids).
+    pub fn insert(&self, tuple: Tuple) -> Result<()> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.disp_ids.len();
+        self.rpc
+            .call(self.disp_ids[i], Request::Ingest { tuple })?
+            .into_ack()
+    }
+
+    /// Flushes the whole pipeline: buffered batches, queued tuples, and
+    /// in-memory trees all land in chunks before this returns.
+    pub fn flush(&self) -> Result<()> {
+        match self.rpc.call(self.disp_ids[0], Request::Flush)? {
+            Response::Flushed(_) => Ok(()),
+            _ => Err(WwError::InvalidState(
+                "gateway answered Flush with the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// Runs a temporal range query through the coordinator.
+    pub fn query(&self, keys: KeyInterval, times: TimeInterval) -> Result<QueryResult> {
+        self.rpc
+            .call(
+                COORDINATOR,
+                Request::ClientQuery {
+                    keys,
+                    times,
+                    attr_eq: None,
+                },
+            )?
+            .into_query()
+    }
+
+    /// Runs a temporal aggregate query through the coordinator.
+    pub fn aggregate(
+        &self,
+        keys: KeyInterval,
+        times: TimeInterval,
+        kind: AggregateKind,
+    ) -> Result<AggregateAnswer> {
+        self.rpc
+            .call(COORDINATOR, Request::ClientAggregate { keys, times, kind })?
+            .into_aggregate()
+    }
+
+    /// Pings one server id (any role).
+    pub fn ping(&self, id: ServerId) -> Result<()> {
+        match self.rpc.call(id, Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(WwError::InvalidState(
+                "ping answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// Asks a role's process to exit cleanly. The listener acknowledges
+    /// before tearing down, so an `Ok` means the request landed.
+    pub fn shutdown_role(&self, role: Role) -> Result<()> {
+        let dst = match role {
+            Role::Meta => META_SERVER,
+            Role::Indexing => self.ix_ids[0],
+            Role::Query => self.qs_ids[0],
+            Role::Dispatcher => self.disp_ids[0],
+        };
+        self.rpc.call(dst, Request::Shutdown)?.into_ack()
+    }
+}

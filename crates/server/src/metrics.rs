@@ -7,7 +7,6 @@
 use crate::system::Waterwheel;
 use std::fmt;
 use std::sync::atomic::Ordering;
-use waterwheel_net::Transport;
 
 /// A point-in-time snapshot of the whole system's counters.
 #[derive(Clone, Debug, Default)]
@@ -86,8 +85,19 @@ pub struct SystemMetrics {
     pub rpc_timed_out: u64,
     /// RPC attempts that found the destination unreachable.
     pub rpc_unreachable: u64,
-    /// Estimated bytes moved over the message plane.
+    /// Encoded frame bytes moved over the message plane (exact on both
+    /// transports: the in-process plane charges the same frames TCP sends).
     pub rpc_bytes: u64,
+    /// Frame bytes read off TCP sockets (zero for in-process planes).
+    pub wire_bytes_in: u64,
+    /// Frame bytes written to TCP sockets (zero for in-process planes).
+    pub wire_bytes_out: u64,
+    /// First successful TCP connections to a destination address.
+    pub wire_connects: u64,
+    /// TCP re-connections after a pooled connection died.
+    pub wire_reconnects: u64,
+    /// Wire frames that failed to decode (each drops its connection).
+    pub wire_decode_errors: u64,
 }
 
 impl SystemMetrics {
@@ -140,12 +150,18 @@ impl SystemMetrics {
         m.dfs_opens = dfs.opens.load(Ordering::Relaxed);
         m.dfs_bytes_read = dfs.bytes_read.load(Ordering::Relaxed);
         m.dfs_local_opens = dfs.local_opens.load(Ordering::Relaxed);
-        let rpc = ww.transport().stats().totals();
+        let rpc = ww.rpc_totals();
         m.rpc_sent = rpc.sent;
         m.rpc_retried = rpc.retried;
         m.rpc_timed_out = rpc.timed_out;
         m.rpc_unreachable = rpc.unreachable;
         m.rpc_bytes = rpc.bytes;
+        let wire = ww.wire_totals();
+        m.wire_bytes_in = wire.bytes_in;
+        m.wire_bytes_out = wire.bytes_out;
+        m.wire_connects = wire.connects;
+        m.wire_reconnects = wire.reconnects;
+        m.wire_decode_errors = wire.decode_errors;
         m
     }
 
@@ -225,7 +241,7 @@ impl fmt::Display for SystemMetrics {
             self.agg_fallback_subqueries,
             self.summary_bytes_flushed
         )?;
-        write!(
+        writeln!(
             f,
             "rpc:     {} sent ({} retried, {} timed out, {} unreachable), {} bytes",
             self.rpc_sent,
@@ -233,6 +249,15 @@ impl fmt::Display for SystemMetrics {
             self.rpc_timed_out,
             self.rpc_unreachable,
             self.rpc_bytes
+        )?;
+        write!(
+            f,
+            "wire:    {} bytes in / {} bytes out, {} connects (+{} reconnects), {} decode errors",
+            self.wire_bytes_in,
+            self.wire_bytes_out,
+            self.wire_connects,
+            self.wire_reconnects,
+            self.wire_decode_errors
         )
     }
 }
@@ -339,10 +364,15 @@ mod tests {
             singleflight_shared: 133,
             io_wait_ms: 134,
             worker_queue_peak: 135,
+            wire_bytes_in: 136,
+            wire_bytes_out: 137,
+            wire_connects: 138,
+            wire_reconnects: 139,
+            wire_decode_errors: 140,
             per_server_hit_ratios: vec![(77, 0.25, 0.75)],
         };
         let text = m.to_string();
-        for sentinel in 101..=135u64 {
+        for sentinel in 101..=140u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"

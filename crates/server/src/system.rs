@@ -37,7 +37,8 @@ use waterwheel_core::{Query, QueryResult, Result, ServerId, SystemConfig, Tuple,
 use waterwheel_meta::{MetadataService, PartitionSchema};
 use waterwheel_mq::{Consumer, MessageQueue};
 use waterwheel_net::{
-    serve_meta, InProcTransport, MetaClient, Request, Response, RpcClient, Transport, COORDINATOR,
+    serve_meta, HandlerRegistry, InProcTransport, MetaClient, Request, Response, RpcClient,
+    RpcTotals, TcpRpcServer, TcpTransport, Transport, WireStats, WireTotals, COORDINATOR,
 };
 use waterwheel_storage::SimDfs;
 
@@ -100,6 +101,7 @@ pub struct WaterwheelBuilder {
     latency: LatencyModel,
     durable_meta: bool,
     durable_queue: bool,
+    tcp_loopback: bool,
 }
 
 impl WaterwheelBuilder {
@@ -114,6 +116,7 @@ impl WaterwheelBuilder {
             latency: LatencyModel::default(),
             durable_meta: true,
             durable_queue: false,
+            tcp_loopback: false,
         }
     }
 
@@ -156,6 +159,19 @@ impl WaterwheelBuilder {
         self
     }
 
+    /// Carry every cross-server RPC over a real TCP loopback socket instead
+    /// of the in-process transport: the builder starts one
+    /// [`TcpRpcServer`] on `127.0.0.1`, binds the same handlers behind it,
+    /// and routes all senders through a [`TcpTransport`] connection pool.
+    /// Answers are byte-identical to the default deployment; what changes
+    /// is that envelopes genuinely cross the wire codec and kernel sockets.
+    /// Fault injection ([`Waterwheel::transport`]) is unavailable in this
+    /// mode — use the in-process plane to script loss and partitions.
+    pub fn tcp_loopback(mut self) -> Self {
+        self.tcp_loopback = true;
+        self
+    }
+
     /// Builds and wires the system.
     pub fn build(self) -> Result<Waterwheel> {
         self.cfg.validate().map_err(WwError::Config)?;
@@ -178,13 +194,38 @@ impl WaterwheelBuilder {
             MetadataService::in_memory()
         };
 
-        // The message plane: one transport carries every cross-server hop;
-        // the cluster hook makes servers on dead nodes unreachable.
-        let transport = Arc::new(InProcTransport::new(Some(cluster.clone())));
-        serve_meta(&transport, meta.clone());
-        let rpc_for = |src: ServerId| {
-            RpcClient::new(Arc::clone(&transport) as Arc<dyn Transport>, src, &self.cfg)
+        // The message plane: every server binds its handler into one shared
+        // registry; the registry is then fronted either by the in-process
+        // transport (default — carries the cluster hook and fault
+        // injection) or by a real TCP loopback listener plus a pooled
+        // client transport. Handlers never know which plane called them.
+        let registry = Arc::new(HandlerRegistry::new());
+        serve_meta(&registry, meta.clone());
+        let mut inproc = None;
+        let mut wire = None;
+        let mut rpc_server = None;
+        let plane: Arc<dyn Transport> = if self.tcp_loopback {
+            let stats = Arc::new(WireStats::default());
+            let server = TcpRpcServer::bind(
+                "127.0.0.1:0",
+                Arc::clone(&registry),
+                Arc::clone(&stats),
+                None,
+            )?;
+            let tcp = TcpTransport::with_wire_stats(Arc::clone(&stats));
+            tcp.set_default_route(Some(server.local_addr()));
+            wire = Some(stats);
+            rpc_server = Some(server);
+            Arc::new(tcp)
+        } else {
+            let t = Arc::new(InProcTransport::with_registry(
+                Some(cluster.clone()),
+                Arc::clone(&registry),
+            ));
+            inproc = Some(Arc::clone(&t));
+            t
         };
+        let rpc_for = |src: ServerId| RpcClient::new(Arc::clone(&plane), src, &self.cfg);
 
         // Server ids: indexing 0.., query 1000.., dispatchers 2000.. .
         let ix_ids: Vec<ServerId> = (0..self.cfg.indexing_servers as u32)
@@ -246,7 +287,7 @@ impl WaterwheelBuilder {
             let indexing = Arc::clone(&indexing);
             let mq = mq.clone();
             let dedup = Arc::clone(&ingest_dedup);
-            transport.bind(id, move |env| match &env.payload {
+            registry.bind(id, move |env| match &env.payload {
                 Request::Ingest { tuple } => {
                     mq.append(INGEST_TOPIC, i, tuple.clone())?;
                     Ok(Response::Ack)
@@ -303,7 +344,7 @@ impl WaterwheelBuilder {
             .collect();
         for qs in &query_servers {
             let qs = Arc::clone(qs);
-            transport.bind(qs.id(), move |env| match &env.payload {
+            registry.bind(qs.id(), move |env| match &env.payload {
                 Request::ChunkSubquery {
                     sq,
                     chunk,
@@ -349,7 +390,10 @@ impl WaterwheelBuilder {
             dfs,
             meta,
             cluster,
-            transport,
+            plane,
+            inproc,
+            wire,
+            rpc_server,
             dispatchers,
             ingest_dedup,
             indexing,
@@ -372,7 +416,10 @@ pub struct Waterwheel {
     dfs: SimDfs,
     meta: MetadataService,
     cluster: Cluster,
-    transport: Arc<InProcTransport>,
+    plane: Arc<dyn Transport>,
+    inproc: Option<Arc<InProcTransport>>,
+    wire: Option<Arc<WireStats>>,
+    rpc_server: Option<TcpRpcServer>,
     dispatchers: Vec<Arc<Dispatcher>>,
     ingest_dedup: Arc<IngestDedup>,
     indexing: Arc<RwLock<Vec<Arc<IndexingServer>>>>,
@@ -417,10 +464,34 @@ impl Waterwheel {
         &self.mq
     }
 
-    /// The message plane: inject latency/loss/partitions and read per-link
-    /// RPC statistics.
+    /// The in-process message plane: inject latency/loss/partitions and
+    /// read per-link RPC statistics.
+    ///
+    /// # Panics
+    ///
+    /// In [`WaterwheelBuilder::tcp_loopback`] mode there is no in-process
+    /// plane to script — this panics. Use [`Self::rpc_totals`] /
+    /// [`Self::wire_totals`] for mode-agnostic statistics.
     pub fn transport(&self) -> &Arc<InProcTransport> {
-        &self.transport
+        self.inproc
+            .as_ref()
+            .expect("fault injection needs the in-process transport; this system runs over TCP")
+    }
+
+    /// Whether this deployment carries RPCs over real TCP loopback sockets.
+    pub fn is_tcp(&self) -> bool {
+        self.rpc_server.is_some()
+    }
+
+    /// Per-link RPC totals from whichever plane carries this deployment.
+    pub fn rpc_totals(&self) -> RpcTotals {
+        self.plane.stats().totals()
+    }
+
+    /// Wire-level socket counters (bytes, connects, decode errors). All
+    /// zero for the in-process deployment, which never touches a socket.
+    pub fn wire_totals(&self) -> WireTotals {
+        self.wire.as_ref().map(|w| w.totals()).unwrap_or_default()
     }
 
     /// The coordinator (policy switching, stats).
@@ -437,11 +508,7 @@ impl Waterwheel {
     pub fn restart_coordinator(&self) {
         let old = self.coordinator();
         let fresh = Arc::new(Coordinator::new(
-            RpcClient::new(
-                Arc::clone(&self.transport) as Arc<dyn Transport>,
-                COORDINATOR,
-                &self.cfg,
-            ),
+            RpcClient::new(Arc::clone(&self.plane), COORDINATOR, &self.cfg),
             self.cluster.clone(),
             self.query_servers.iter().map(|q| q.id()).collect(),
             self.indexing.read().iter().map(|s| s.id()).collect(),
@@ -687,11 +754,7 @@ impl Waterwheel {
             self.cfg.clone(),
             Consumer::new(self.mq.clone(), INGEST_TOPIC, pos, offset),
             self.dfs.clone(),
-            MetaClient::new(RpcClient::new(
-                Arc::clone(&self.transport) as Arc<dyn Transport>,
-                id,
-                &self.cfg,
-            )),
+            MetaClient::new(RpcClient::new(Arc::clone(&self.plane), id, &self.cfg)),
         ));
         replacement.set_attr_registry(Arc::clone(&self.attrs));
         replacement.set_measure(self.measure.lock().clone());
@@ -917,6 +980,49 @@ mod tests {
         // Links are independent: another dispatcher's seq 0 is fresh.
         assert!(!dedup.apply_once(ServerId(2_001), ix, 0, || Ok(())).unwrap());
         assert_eq!(dedup.drops(), 1);
+    }
+
+    #[test]
+    fn tcp_loopback_system_answers_like_the_default_one() {
+        let root = std::env::temp_dir().join(format!("ww-sys-tcp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = SystemConfig::default();
+        cfg.chunk_size_bytes = 8 * 1024;
+        cfg.indexing_servers = 2;
+        let ww = Waterwheel::builder(root)
+            .config(cfg)
+            .tcp_loopback()
+            .build()
+            .unwrap();
+        assert!(ww.is_tcp());
+        for i in 0..300u64 {
+            ww.insert(Tuple::bare(i * 1_000_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        ww.flush_all().unwrap();
+        let r = ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(r.tuples.len(), 300);
+        // Predicate queries work even though closures cannot cross the
+        // wire: the sender re-filters after decoding.
+        let q = Query::with_predicate(KeyInterval::full(), TimeInterval::full(), |t| {
+            t.key % 2_000_000 == 0
+        });
+        assert_eq!(ww.query(&q).unwrap().tuples.len(), 150);
+        let wire = ww.wire_totals();
+        assert!(wire.bytes_in > 0 && wire.bytes_out > 0, "{wire:?}");
+        assert_eq!(wire.decode_errors, 0);
+        assert!(ww.rpc_totals().sent > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn tcp_mode_refuses_fault_injection_plane() {
+        let root = std::env::temp_dir().join(format!("ww-sys-tcp-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let ww = Waterwheel::builder(root).tcp_loopback().build().unwrap();
+        let _ = ww.transport();
     }
 
     #[test]

@@ -35,8 +35,9 @@
 //! | [`storage`] | chunk format, simulated DFS, LRU block cache (§III-A, §IV-B) |
 //! | [`meta`] | R-tree, partition schema, metadata service (§II-B, §IV-A) |
 //! | [`cluster`] | simulated node topology, replica placement (§IV-C) |
-//! | [`net`] | typed RPC envelopes, pluggable transport, deadlines/retries/faults |
+//! | [`net`] | typed RPC envelopes, wire codec, in-proc + TCP transports |
 //! | [`server`] | dispatchers, indexing/query servers, LADA, coordinator |
+//! | [`node`] | multi-process node runner: roles over TCP (`waterwheel-node`) |
 //! | [`baselines`] | HBase-like LSM store, Druid-like time store (§VI-D) |
 //! | [`workloads`] | deterministic T-Drive / Network / synthetic generators |
 //!
@@ -51,6 +52,7 @@ pub use waterwheel_index as index;
 pub use waterwheel_meta as meta;
 pub use waterwheel_mq as mq;
 pub use waterwheel_net as net;
+pub use waterwheel_node as node;
 pub use waterwheel_server as server;
 pub use waterwheel_storage as storage;
 pub use waterwheel_workloads as workloads;
