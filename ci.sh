@@ -36,6 +36,22 @@ WW_BENCH_REQUIRE_WIN=1 WW_NET_BENCH_N=20000 \
     cargo bench -p waterwheel-bench --bench transport_overhead
 test -s BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
 
+echo "==> durability bench smoke (WAL ingest overhead + replay timing)"
+rm -f BENCH_durability.json
+WW_RECOVERY_BENCH_N=20000 \
+    cargo bench -p waterwheel-bench --bench recovery_overhead
+test -s BENCH_durability.json || { echo "BENCH_durability.json missing"; exit 1; }
+
+echo "==> kill-9 recovery smoke (scaled-down oracle: SIGKILL mid-ingest, replay, byte-exact answers)"
+# The full oracle runs in the default test gate above; this scaled-down
+# rerun keeps the crash path exercised even if the gate's filters change,
+# under a hard timeout so a hung replay cannot wedge CI.
+WW_RECOVERY_N=800 timeout 120 \
+    cargo test --release -q -p waterwheel-node --test recovery
+if pgrep -f waterwheel-node > /dev/null; then
+    echo "stray waterwheel-node processes after kill-9 smoke"; pgrep -af waterwheel-node; exit 1
+fi
+
 echo "==> multi-process loopback smoke (4 node processes, exact answers, clean shutdown)"
 timeout 120 cargo run --release -p waterwheel-node -- smoke
 # The smoke's clean-shutdown check already fails on stragglers; this is a

@@ -142,6 +142,21 @@ pub struct SystemConfig {
     /// down past the RPC retry budget) are re-planned across the servers
     /// that still answer pings (paper §V).
     pub rpc_redispatch_rounds: usize,
+
+    /// When `true`, every durable commit point — an acked ingest batch in
+    /// the message queue, a meta-service mutation, a sealed chunk file —
+    /// is `fsync`ed before it is acknowledged, so acked data survives
+    /// `kill -9` *and* machine crash. When `false`, commits are flushed to
+    /// the OS page cache only: they still survive process death (kill -9),
+    /// but not power loss. Paper §V assumes the former for its replayable
+    /// queues.
+    pub durability_fsync: bool,
+
+    /// Rotation threshold for write-ahead log segments (message-queue
+    /// partition logs and the meta-service mutation log). The meta service
+    /// also compacts its log into a fresh snapshot once the log outgrows
+    /// this bound.
+    pub wal_segment_bytes: usize,
 }
 
 impl Default for SystemConfig {
@@ -180,6 +195,8 @@ impl Default for SystemConfig {
             rpc_retries: 2,
             rpc_backoff: Duration::ZERO,
             rpc_redispatch_rounds: 2,
+            durability_fsync: true,
+            wal_segment_bytes: 8 << 20,
         }
     }
 }
@@ -240,6 +257,9 @@ impl SystemConfig {
         if self.rpc_redispatch_rounds == 0 {
             return Err("rpc_redispatch_rounds must be at least 1".into());
         }
+        if self.wal_segment_bytes < 4096 {
+            return Err("wal_segment_bytes must be at least 4096".into());
+        }
         Ok(())
     }
 }
@@ -278,6 +298,7 @@ mod tests {
             |c: &mut SystemConfig| c.query_io_permits = 0,
             |c: &mut SystemConfig| c.rpc_timeout = Duration::ZERO,
             |c: &mut SystemConfig| c.rpc_redispatch_rounds = 0,
+            |c: &mut SystemConfig| c.wal_segment_bytes = 0,
         ] {
             let mut c = SystemConfig::default();
             breakage(&mut c);

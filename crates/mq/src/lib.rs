@@ -28,6 +28,10 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use waterwheel_core::{Result, Tuple, WwError};
+use waterwheel_wal::{FsyncPolicy, WalStats};
+
+/// Default WAL segment rotation size when none is configured.
+const DEFAULT_SEGMENT_BYTES: usize = 8 << 20;
 
 /// A record stored in a partition: a tuple plus its log offset.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,6 +51,9 @@ struct PartitionLog {
     records: Vec<Record>,
     /// Disk persistence, when the broker is durable.
     persist: Option<PartitionPersist>,
+    /// Highest marked-batch sequence number per producer, recovered from
+    /// disk and maintained across appends (exactly-once replay state).
+    last_seqs: HashMap<u32, u64>,
 }
 
 impl PartitionLog {
@@ -65,12 +72,30 @@ struct Topic {
 /// Cloning the handle is cheap; all clones address the same broker state,
 /// which outlives any individual producer or consumer — that is what makes
 /// replay-based recovery meaningful in the embedded deployment.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct MessageQueue {
     topics: Arc<RwLock<HashMap<String, Arc<Topic>>>>,
     /// Directory for durable partition logs; `None` keeps the broker
     /// memory-only.
     root: Option<PathBuf>,
+    /// Fsync policy for durable partitions.
+    policy: FsyncPolicy,
+    /// WAL segment rotation threshold.
+    segment_bytes: usize,
+    /// Shared durability counters across all partitions.
+    stats: Arc<WalStats>,
+}
+
+impl Default for MessageQueue {
+    fn default() -> Self {
+        Self {
+            topics: Arc::default(),
+            root: None,
+            policy: FsyncPolicy::Never,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            stats: WalStats::shared(),
+        }
+    }
 }
 
 impl MessageQueue {
@@ -82,17 +107,39 @@ impl MessageQueue {
     /// Creates (or reopens) a **durable** broker rooted at `root`: every
     /// append is journalled, and `create_topic` reloads retained records
     /// with identical offsets — Kafka's durability contract (paper §V).
+    /// Commits reach the OS page cache (they survive `kill -9` but not
+    /// power loss); use [`MessageQueue::durable_with`] for fsync control.
     pub fn durable(root: impl Into<PathBuf>) -> Result<Self> {
+        Self::durable_with(root, FsyncPolicy::Never, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`MessageQueue::durable`] with an explicit fsync policy and WAL
+    /// segment size (the `durability_fsync` / `wal_segment_bytes` knobs).
+    pub fn durable_with(
+        root: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        segment_bytes: usize,
+    ) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
         Ok(Self {
             topics: Arc::default(),
             root: Some(root),
+            policy,
+            segment_bytes,
+            stats: WalStats::shared(),
         })
     }
 
-    /// Forces buffered appends of every partition to the OS (call before a
-    /// planned shutdown; crash-safety is bounded by the group-commit size).
+    /// Shared durability counters (bytes journalled, fsyncs, torn tails
+    /// dropped, tuples replayed at open).
+    pub fn wal_stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Forces buffered appends of every partition to the durability point
+    /// of the configured policy (call before a planned shutdown;
+    /// crash-safety of plain appends is bounded by the group-commit size).
     pub fn sync(&self) -> Result<()> {
         let topics: Vec<Arc<Topic>> = self.topics.read().values().cloned().collect();
         for topic in topics {
@@ -125,17 +172,26 @@ impl MessageQueue {
         for partition in 0..partitions {
             let mut log = PartitionLog::default();
             if let Some(root) = &self.root {
-                let (base_offset, tuples) = PartitionPersist::load(root, name, partition)?;
-                log.base_offset = base_offset;
-                log.records = tuples
+                let (persist, loaded) = PartitionPersist::open(
+                    root,
+                    name,
+                    partition,
+                    self.policy,
+                    self.segment_bytes,
+                    Arc::clone(&self.stats),
+                )?;
+                log.base_offset = loaded.base_offset;
+                log.records = loaded
+                    .tuples
                     .into_iter()
                     .enumerate()
                     .map(|(i, tuple)| Record {
-                        offset: base_offset + i as u64,
+                        offset: loaded.base_offset + i as u64,
                         tuple,
                     })
                     .collect();
-                log.persist = Some(PartitionPersist::open(root, name, partition)?);
+                log.last_seqs = loaded.last_seqs;
+                log.persist = Some(persist);
             }
             logs.push(RwLock::new(log));
         }
@@ -174,30 +230,84 @@ impl MessageQueue {
         let mut log = log.write();
         let offset = log.next_offset();
         if let Some(p) = &mut log.persist {
-            p.append(&tuple)?;
+            p.append_batch(None, std::slice::from_ref(&tuple))?;
         }
         log.records.push(Record { offset, tuple });
         Ok(offset)
     }
 
-    /// Appends a batch, returning the offset of the first record.
+    /// Appends a batch, returning the offset of the first record. On a
+    /// durable broker the whole batch lands as one atomic journal frame.
     pub fn append_batch(
         &self,
         name: &str,
         partition: usize,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<u64> {
+        self.append_batch_inner(name, partition, None, tuples.into_iter().collect())
+    }
+
+    /// Appends a batch carrying its exactly-once identity: the producer's
+    /// server id and per-destination sequence number are journalled in the
+    /// same atomic frame as the tuples, so after a `kill -9` the replayed
+    /// log also rebuilds the duplicate-suppression state
+    /// ([`MessageQueue::last_seq`]). This is the ack durability point —
+    /// the frame is committed (fsynced under
+    /// [`FsyncPolicy::Always`]) before this returns.
+    pub fn append_batch_from(
+        &self,
+        name: &str,
+        partition: usize,
+        src: u32,
+        seq: u64,
+        tuples: Vec<Tuple>,
+    ) -> Result<u64> {
+        self.append_batch_inner(name, partition, Some((src, seq)), tuples)
+    }
+
+    fn append_batch_inner(
+        &self,
+        name: &str,
+        partition: usize,
+        marker: Option<(u32, u64)>,
+        tuples: Vec<Tuple>,
+    ) -> Result<u64> {
         let topic = self.topic(name)?;
         let log = Self::partition(&topic, name, partition)?;
         let mut log = log.write();
         let first = log.next_offset();
+        if let Some(p) = &mut log.persist {
+            p.append_batch(marker, &tuples)?;
+        }
         for (offset, tuple) in (first..).zip(tuples) {
-            if let Some(p) = &mut log.persist {
-                p.append(&tuple)?;
-            }
             log.records.push(Record { offset, tuple });
         }
+        if let Some((src, seq)) = marker {
+            let e = log.last_seqs.entry(src).or_insert(seq);
+            *e = (*e).max(seq);
+        }
         Ok(first)
+    }
+
+    /// The highest marked-batch sequence number this partition has seen
+    /// from producer `src` (recovered from the journal on a durable
+    /// broker). `None` means no marked batch from that producer.
+    pub fn last_seq(&self, name: &str, partition: usize, src: u32) -> Result<Option<u64>> {
+        let topic = self.topic(name)?;
+        let log = Self::partition(&topic, name, partition)?;
+        let seq = log.read().last_seqs.get(&src).copied();
+        Ok(seq)
+    }
+
+    /// All recovered/maintained `(producer, last sequence)` pairs of a
+    /// partition — seeds a restarted consumer's dedup map.
+    pub fn recovered_seqs(&self, name: &str, partition: usize) -> Result<Vec<(u32, u64)>> {
+        let topic = self.topic(name)?;
+        let log = Self::partition(&topic, name, partition)?;
+        let mut seqs: Vec<(u32, u64)> =
+            log.read().last_seqs.iter().map(|(s, q)| (*s, *q)).collect();
+        seqs.sort_unstable();
+        Ok(seqs)
     }
 
     /// Reads up to `max` records starting at `offset` (inclusive).
@@ -420,6 +530,53 @@ mod tests {
         let offsets: Vec<_> = replay.iter().map(|r| r.offset).collect();
         assert_eq!(offsets, vec![3, 4, 5, 6, 7]);
         assert!(c.poll(10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn durable_broker_recovers_records_and_dedup_state() {
+        let root = std::env::temp_dir().join(format!("ww-mq-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let mq =
+                MessageQueue::durable_with(&root, waterwheel_wal::FsyncPolicy::Always, 1 << 20)
+                    .unwrap();
+            mq.create_topic("ingest", 2).unwrap();
+            mq.append_batch_from(
+                "ingest",
+                0,
+                2000,
+                1,
+                vec![Tuple::bare(1, 1), Tuple::bare(2, 2)],
+            )
+            .unwrap();
+            mq.append_batch_from("ingest", 0, 2000, 2, vec![Tuple::bare(3, 3)])
+                .unwrap();
+            mq.append_batch_from("ingest", 1, 2001, 7, vec![Tuple::bare(4, 4)])
+                .unwrap();
+            assert!(
+                mq.wal_stats()
+                    .fsyncs
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    >= 3
+            );
+        }
+        // A fresh broker over the same root replays everything, offsets
+        // and exactly-once markers intact.
+        let mq = MessageQueue::durable(&root).unwrap();
+        mq.create_topic("ingest", 2).unwrap();
+        assert_eq!(mq.latest_offset("ingest", 0).unwrap(), 3);
+        assert_eq!(mq.last_seq("ingest", 0, 2000).unwrap(), Some(2));
+        assert_eq!(mq.last_seq("ingest", 0, 2001).unwrap(), None);
+        assert_eq!(mq.recovered_seqs("ingest", 1).unwrap(), vec![(2001, 7)]);
+        let records = mq.read_from("ingest", 0, 0, 10).unwrap();
+        let keys: Vec<u64> = records.iter().map(|r| r.tuple.key).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(
+            mq.wal_stats()
+                .replayed
+                .load(std::sync::atomic::Ordering::Relaxed),
+            4
+        );
     }
 
     #[test]

@@ -207,6 +207,12 @@ pub enum MetaRequest {
     /// The current partition schema, if one has been published. Node
     /// processes fetch it at startup so every role agrees on routing.
     Partition,
+    /// The durable queue read offset of an indexing server — the replay
+    /// point a restarted server resumes consuming from (§V).
+    DurableOffset {
+        /// The recovering indexing server.
+        server: ServerId,
+    },
 }
 
 /// A response payload.
@@ -258,6 +264,8 @@ pub enum MetaResponse {
     Extent(Option<SummaryExtent>),
     /// The published partition schema, if any.
     Partition(Option<PartitionSchema>),
+    /// A durable queue offset (answer to [`MetaRequest::DurableOffset`]).
+    Offset(u64),
 }
 
 fn unexpected<T>() -> Result<T> {

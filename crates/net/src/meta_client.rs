@@ -67,6 +67,9 @@ pub fn serve_meta<H: HandlerHost + ?Sized>(host: &H, meta: MetadataService) {
                 MetaResponse::Extent(meta.summary_extent(chunk))
             }
             MetaRequest::Partition => MetaResponse::Partition(meta.partition()),
+            MetaRequest::DurableOffset { server } => {
+                MetaResponse::Offset(meta.durable_offset(server))
+            }
         };
         Ok(Response::Meta(resp))
     });
@@ -175,6 +178,17 @@ impl MetaClient {
     pub fn summary_extent(&self, chunk: ChunkId) -> Result<Option<SummaryExtent>> {
         match self.call(MetaRequest::SummaryExtent { chunk })? {
             MetaResponse::Extent(e) => Ok(e),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::durable_offset`] — the replay point a
+    /// restarted indexing server resumes consuming from (§V).
+    pub fn durable_offset(&self, server: ServerId) -> Result<u64> {
+        match self.call(MetaRequest::DurableOffset { server })? {
+            MetaResponse::Offset(o) => Ok(o),
             _ => Err(WwError::InvalidState(
                 "metadata server answered the wrong variant".into(),
             )),

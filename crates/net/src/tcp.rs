@@ -407,6 +407,88 @@ impl Transport for TcpTransport {
 
 type ShutdownHook = Arc<Mutex<Option<Box<dyn FnOnce() + Send>>>>;
 
+/// Binds a listener with `SO_REUSEADDR` set, so a restarted node process
+/// can re-claim the exact address its peers already route to while
+/// connections from its previous life linger in `TIME_WAIT`. Falls back
+/// to a plain bind where the raw-socket path is unavailable.
+fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    let mut last_err = None;
+    for sa in addr.to_socket_addrs()? {
+        match bind_reuseaddr_one(sa) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses to bind")
+    }))
+}
+
+/// IPv4 listener via raw libc calls: std's `TcpListener::bind` offers no
+/// way to set `SO_REUSEADDR` before binding, so the restart path builds
+/// the socket by hand. Constants are Linux values; other platforms (and
+/// IPv6 addresses) take the plain-bind fallback.
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr_one(sa: SocketAddr) -> std::io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+    let SocketAddr::V4(v4) = sa else {
+        return TcpListener::bind(sa);
+    };
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    // SAFETY: the fd is freshly created, used only by these calls, and
+    // either closed on failure or handed to `TcpListener` on success; the
+    // sockaddr is a correctly sized, fully initialized C struct.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        let sin = SockaddrIn {
+            family: AF_INET as u16,
+            port_be: v4.port().to_be(),
+            addr_be: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        let mut rc = setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4);
+        if rc == 0 {
+            rc = bind(fd, &sin, std::mem::size_of::<SockaddrIn>() as u32);
+        }
+        if rc == 0 {
+            rc = listen(fd, 128);
+        }
+        if rc != 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reuseaddr_one(sa: SocketAddr) -> std::io::Result<TcpListener> {
+    TcpListener::bind(sa)
+}
+
 /// The listener side: accepts connections and serves a [`HandlerRegistry`].
 ///
 /// Each connection gets a reader thread; each decoded request runs on its
@@ -434,7 +516,7 @@ impl TcpRpcServer {
         wire: Arc<WireStats>,
         shutdown_hook: Option<Box<dyn FnOnce() + Send>>,
     ) -> Result<Self> {
-        let listener = TcpListener::bind(addr).map_err(WwError::Io)?;
+        let listener = bind_reuseaddr(addr).map_err(WwError::Io)?;
         let local_addr = listener.local_addr().map_err(WwError::Io)?;
         let stopping = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));

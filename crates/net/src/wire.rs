@@ -523,6 +523,10 @@ fn encode_meta_request(out: &mut Vec<u8>, req: &MetaRequest) {
             out.put_u64(chunk.raw());
         }
         MetaRequest::Partition => out.push(9),
+        MetaRequest::DurableOffset { server } => {
+            out.push(10);
+            out.put_u32(server.raw());
+        }
     }
 }
 
@@ -571,6 +575,9 @@ fn decode_meta_request(dec: &mut Decoder<'_>) -> Result<MetaRequest> {
             chunk: ChunkId(dec.get_u64()?),
         },
         9 => MetaRequest::Partition,
+        10 => MetaRequest::DurableOffset {
+            server: ServerId(dec.get_u32()?),
+        },
         other => {
             return Err(WwError::corrupt(
                 "frame",
@@ -824,6 +831,10 @@ fn encode_meta_response(out: &mut Vec<u8>, resp: &MetaResponse) {
                 None => out.push(0),
             }
         }
+        MetaResponse::Offset(offset) => {
+            out.push(7);
+            out.put_u64(*offset);
+        }
     }
 }
 
@@ -878,6 +889,7 @@ fn decode_meta_response(dec: &mut Decoder<'_>) -> Result<MetaResponse> {
                 ))
             }
         }),
+        7 => MetaResponse::Offset(dec.get_u64()?),
         other => {
             return Err(WwError::corrupt(
                 "frame",
@@ -1132,6 +1144,9 @@ mod tests {
             },
             MetaRequest::SummaryExtent { chunk: ChunkId(4) },
             MetaRequest::Partition,
+            MetaRequest::DurableOffset {
+                server: ServerId(3),
+            },
         ];
         for req in reqs {
             let decoded = roundtrip_request(Request::Meta(req.clone()));
@@ -1177,6 +1192,7 @@ mod tests {
             }))),
             Response::Meta(MetaResponse::Extent(None)),
             Response::Meta(MetaResponse::Partition(None)),
+            Response::Meta(MetaResponse::Offset(123_456)),
             Response::Query(QueryResult {
                 query_id: QueryId(5),
                 tuples: vec![Tuple::bare(1, 2)],

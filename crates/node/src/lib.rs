@@ -29,7 +29,7 @@
 pub mod runtime;
 pub mod spec;
 
-pub use runtime::{run_node, NodeConfig, Role};
+pub use runtime::{run_node, NodeConfig, Role, PAYLOAD_BYTE_ATTR};
 pub use spec::{ClusterClient, ClusterHandle, ClusterSpec};
 
 /// If this process was spawned as a cluster node (the `WW_NODE_ROLE`

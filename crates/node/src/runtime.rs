@@ -18,11 +18,28 @@ use waterwheel_net::{
     serve_meta, HandlerRegistry, MetaClient, Request, Response, RpcClient, TcpRpcServer,
     TcpTransport, Transport, WireStats, COORDINATOR, META_SERVER,
 };
-use waterwheel_server::{Coordinator, DispatchPolicy, Dispatcher, IndexingServer, QueryServer};
+use waterwheel_server::{
+    AttrRegistry, Coordinator, DispatchPolicy, Dispatcher, IndexingServer, QueryServer,
+};
 use waterwheel_storage::SimDfs;
+use waterwheel_wal::FsyncPolicy;
 
 /// Name of the ingestion topic (must match the embedded system's).
 const INGEST_TOPIC: &str = "ingest";
+
+/// The well-known secondary attribute (paper §VIII) every node process
+/// registers deterministically: the first payload byte. Indexing
+/// processes build bloom/bitmap indexes for it at flush time and the
+/// coordinator prunes `attr == value` queries through them — no dynamic
+/// registration RPC is needed because both sides rebuild the same
+/// extractor from this constant.
+pub const PAYLOAD_BYTE_ATTR: u16 = 1;
+
+fn register_well_known_attrs(attrs: &AttrRegistry) {
+    attrs.register(PAYLOAD_BYTE_ATTR, |t| {
+        t.payload.first().map(|b| u64::from(*b))
+    });
+}
 
 /// Which server group a node process hosts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +99,12 @@ pub struct NodeConfig {
     pub nodes: usize,
     /// Chunk size driving flush boundaries.
     pub chunk_size_bytes: usize,
+    /// Whether durable surfaces (queue WAL, chunk seals, metadata log)
+    /// fsync on commit; see `SystemConfig::durability_fsync`.
+    pub durability_fsync: bool,
+    /// WAL segment size bounding log files and the metadata compaction
+    /// threshold; see `SystemConfig::wal_segment_bytes`.
+    pub wal_segment_bytes: usize,
     /// Addresses of the roles this process calls into.
     pub peers: Vec<(Role, SocketAddr)>,
 }
@@ -99,6 +122,8 @@ impl NodeConfig {
             dispatchers: cfg.dispatchers,
             nodes: 4,
             chunk_size_bytes: cfg.chunk_size_bytes,
+            durability_fsync: cfg.durability_fsync,
+            wal_segment_bytes: cfg.wal_segment_bytes,
             peers: Vec::new(),
         }
     }
@@ -124,6 +149,17 @@ impl NodeConfig {
             let addr = addr.parse().map_err(|e| format!("peer {part:?}: {e}"))?;
             peers.push((r, addr));
         }
+        // Durability knobs are optional in the contract (older launchers
+        // omit them): absent means the SystemConfig defaults.
+        let defaults = SystemConfig::default();
+        let durability_fsync = match std::env::var("WW_NODE_FSYNC") {
+            Ok(v) => v != "0",
+            Err(_) => defaults.durability_fsync,
+        };
+        let wal_segment_bytes = match std::env::var("WW_NODE_WAL_SEG") {
+            Ok(v) => v.parse().map_err(|e| format!("WW_NODE_WAL_SEG: {e}"))?,
+            Err(_) => defaults.wal_segment_bytes,
+        };
         Ok(Self {
             role,
             listen: var("WW_NODE_LISTEN")?,
@@ -133,6 +169,8 @@ impl NodeConfig {
             dispatchers: num("WW_NODE_DISP")?,
             nodes: num("WW_NODE_NODES")?,
             chunk_size_bytes: num("WW_NODE_CHUNK_BYTES")?,
+            durability_fsync,
+            wal_segment_bytes,
             peers,
         })
     }
@@ -152,6 +190,11 @@ impl NodeConfig {
             .env("WW_NODE_DISP", self.dispatchers.to_string())
             .env("WW_NODE_NODES", self.nodes.to_string())
             .env("WW_NODE_CHUNK_BYTES", self.chunk_size_bytes.to_string())
+            .env(
+                "WW_NODE_FSYNC",
+                if self.durability_fsync { "1" } else { "0" },
+            )
+            .env("WW_NODE_WAL_SEG", self.wal_segment_bytes.to_string())
             .env("WW_NODE_PEERS", peers.join(","));
     }
 }
@@ -188,6 +231,8 @@ impl Layout {
         cfg.query_servers = nc.query_servers;
         cfg.dispatchers = nc.dispatchers;
         cfg.chunk_size_bytes = nc.chunk_size_bytes;
+        cfg.durability_fsync = nc.durability_fsync;
+        cfg.wal_segment_bytes = nc.wal_segment_bytes;
         // Nested flush RPCs (gateway → indexing pump-until-empty) can
         // outlive the embedded default; loopback never needs to give up
         // that early.
@@ -247,6 +292,15 @@ impl BatchDedup {
         }
     }
 
+    /// Seeds the dedup table from recovered WAL markers: a restarted
+    /// indexing process must recognise redeliveries of batches whose
+    /// append was durable before the crash but whose ack was lost.
+    fn seed(&self, src: ServerId, dst: ServerId, seq: u64) {
+        let mut last = self.last_seq.lock();
+        let e = last.entry((src, dst)).or_insert(seq);
+        *e = (*e).max(seq);
+    }
+
     fn apply_once(
         &self,
         src: ServerId,
@@ -292,7 +346,11 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
 
     match nc.role {
         Role::Meta => {
-            let meta = MetadataService::open(nc.root.join("meta.snapshot"))?;
+            let meta = MetadataService::open_with(
+                nc.root.join("meta.snapshot"),
+                FsyncPolicy::from_flag(layout.cfg.durability_fsync),
+                layout.cfg.wal_segment_bytes,
+            )?;
             // Bootstrap the uniform schema exactly like the embedded
             // builder, so every later-starting role finds it.
             if meta.partition().is_none() {
@@ -303,29 +361,50 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
             serve_meta(&registry, meta);
         }
         Role::Indexing => {
-            let mq = MessageQueue::new();
+            // The §V durability boundary: the ingest queue is a WAL under
+            // the node root. Acked batches commit (marker + tuples in one
+            // frame) before the ack leaves, so a kill -9 after the ack
+            // cannot lose them — the restarted process replays this log
+            // from each server's durable offset.
+            let policy = FsyncPolicy::from_flag(layout.cfg.durability_fsync);
+            let mq = MessageQueue::durable_with(
+                nc.root.join("mq"),
+                policy,
+                layout.cfg.wal_segment_bytes,
+            )?;
             mq.create_topic(INGEST_TOPIC, layout.cfg.indexing_servers)?;
             let dfs = SimDfs::new(
                 nc.root.join("chunks"),
                 layout.cluster.clone(),
                 layout.cfg.dfs_replication.min(nc.nodes.max(1)),
                 LatencyModel::default(),
-            )?;
+            )?
+            .with_fsync(policy);
             let meta = MetaClient::new(rpc_for(layout.ix_ids[0]));
             let schema = fetch_schema(&meta)?;
+            let attrs = Arc::new(AttrRegistry::new());
+            register_well_known_attrs(&attrs);
             let dedup = Arc::new(BatchDedup::new());
             for (i, &id) in layout.ix_ids.iter().enumerate() {
                 let interval = schema
                     .interval_of(id)
                     .ok_or_else(|| WwError::not_found("partition interval for server", id))?;
+                // Recovery: resume consuming at the offset the last chunk
+                // registration persisted, and remember which batch
+                // sequence numbers already landed in the WAL.
+                let offset = meta.durable_offset(id)?;
+                for (src, seq) in mq.recovered_seqs(INGEST_TOPIC, i)? {
+                    dedup.seed(ServerId(src), id, seq);
+                }
                 let server = Arc::new(IndexingServer::new(
                     id,
                     interval,
                     layout.cfg.clone(),
-                    Consumer::new(mq.clone(), INGEST_TOPIC, i, 0),
+                    Consumer::new(mq.clone(), INGEST_TOPIC, i, offset),
                     dfs.clone(),
                     MetaClient::new(rpc_for(id)),
                 ));
+                server.set_attr_registry(Arc::clone(&attrs));
                 // Background pump: the Storm executor keeping freshly
                 // queued tuples queryable without waiting for a flush.
                 {
@@ -346,13 +425,26 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 let dedup = Arc::clone(&dedup);
                 registry.bind(id, move |env| match &env.payload {
                     Request::Ingest { tuple } => {
+                        // Single-tuple ingest has no batch marker; force
+                        // the record out of process buffers before acking
+                        // so a kill -9 cannot take it back.
                         mq.append(INGEST_TOPIC, i, tuple.clone())?;
+                        mq.sync()?;
                         Ok(Response::Ack)
                     }
                     Request::IngestBatch { seq, tuples } => {
+                        // Marker + tuples land as one atomic WAL frame,
+                        // committed before the ack: the durability point
+                        // of the exactly-once contract.
                         let deduped = dedup.apply_once(env.src, id, *seq, || {
-                            mq.append_batch(INGEST_TOPIC, i, tuples.iter().cloned())
-                                .map(|_| ())
+                            mq.append_batch_from(
+                                INGEST_TOPIC,
+                                i,
+                                env.src.raw(),
+                                *seq,
+                                tuples.to_vec(),
+                            )
+                            .map(|_| ())
                         })?;
                         Ok(Response::AckBatch {
                             tuples: tuples.len() as u32,
@@ -479,6 +571,11 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 DispatchPolicy::Lada,
                 layout.cfg.clone(),
             ));
+            // The same well-known attrs the indexing process indexes
+            // under: `attr == value` client queries prune through them.
+            let attrs = Arc::new(AttrRegistry::new());
+            register_well_known_attrs(&attrs);
+            coordinator.set_attr_registry(attrs);
             registry.bind(COORDINATOR, move |env| match &env.payload {
                 Request::ClientQuery {
                     keys,
@@ -513,11 +610,28 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
         *lock.lock().unwrap() = true;
         cv.notify_all();
     };
-    let hook = {
-        let stop = Arc::clone(&stop);
-        Box::new(move || trip(&stop))
+    // A restarted process re-claims the exact port its peers route to;
+    // besides SO_REUSEADDR (set by the listener) give the kernel a moment
+    // to finish tearing down the predecessor's socket.
+    let server = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let hook = {
+                let stop = Arc::clone(&stop);
+                Box::new(move || trip(&stop)) as Box<dyn FnOnce() + Send>
+            };
+            match TcpRpcServer::bind(
+                &nc.listen,
+                Arc::clone(&registry),
+                Arc::clone(&wire),
+                Some(hook),
+            ) {
+                Ok(s) => break s,
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
     };
-    let server = TcpRpcServer::bind(&nc.listen, Arc::clone(&registry), wire, Some(hook))?;
     println!("WW_NODE_READY {}", server.local_addr());
     let _ = std::io::stdout().flush();
     {
@@ -572,6 +686,8 @@ mod tests {
     #[test]
     fn env_contract_round_trips() {
         let mut nc = NodeConfig::new(Role::Query, "127.0.0.1:0", "/tmp/ww-env");
+        nc.durability_fsync = false;
+        nc.wal_segment_bytes = 65_536;
         nc.peers = vec![
             (Role::Meta, "127.0.0.1:4100".parse().unwrap()),
             (Role::Dispatcher, "127.0.0.1:4101".parse().unwrap()),
@@ -587,6 +703,8 @@ mod tests {
         assert_eq!(back.role, nc.role);
         assert_eq!(back.root, nc.root);
         assert_eq!(back.indexing_servers, nc.indexing_servers);
+        assert_eq!(back.durability_fsync, nc.durability_fsync);
+        assert_eq!(back.wal_segment_bytes, nc.wal_segment_bytes);
         assert_eq!(back.peers, nc.peers);
         for key in [
             "WW_NODE_ROLE",
@@ -597,6 +715,8 @@ mod tests {
             "WW_NODE_DISP",
             "WW_NODE_NODES",
             "WW_NODE_CHUNK_BYTES",
+            "WW_NODE_FSYNC",
+            "WW_NODE_WAL_SEG",
             "WW_NODE_PEERS",
         ] {
             std::env::remove_var(key);

@@ -46,6 +46,11 @@ pub struct ClusterSpec {
     pub nodes: usize,
     /// Chunk size driving flush boundaries.
     pub chunk_size_bytes: usize,
+    /// Whether durable surfaces fsync on commit
+    /// (`SystemConfig::durability_fsync`).
+    pub durability_fsync: bool,
+    /// WAL segment size (`SystemConfig::wal_segment_bytes`).
+    pub wal_segment_bytes: usize,
 }
 
 impl ClusterSpec {
@@ -59,6 +64,8 @@ impl ClusterSpec {
             dispatchers: 2,
             nodes: 4,
             chunk_size_bytes: cfg.chunk_size_bytes,
+            durability_fsync: cfg.durability_fsync,
+            wal_segment_bytes: cfg.wal_segment_bytes,
         }
     }
 
@@ -69,6 +76,8 @@ impl ClusterSpec {
         nc.dispatchers = self.dispatchers;
         nc.nodes = self.nodes;
         nc.chunk_size_bytes = self.chunk_size_bytes;
+        nc.durability_fsync = self.durability_fsync;
+        nc.wal_segment_bytes = self.wal_segment_bytes;
         nc.peers = peers;
         nc
     }
@@ -103,10 +112,16 @@ impl ClusterSpec {
                 }
             };
             peers.push((role, addr));
-            procs.push(NodeProc { role, child, addr });
+            procs.push(NodeProc {
+                role,
+                child,
+                addr,
+                killed: false,
+            });
         }
         Ok(ClusterHandle {
             spec: self.clone(),
+            binary: binary.to_path_buf(),
             procs,
         })
     }
@@ -136,11 +151,15 @@ struct NodeProc {
     role: Role,
     child: Child,
     addr: SocketAddr,
+    /// SIGKILLed by [`ClusterHandle::kill_nine`] and already reaped:
+    /// shutdown must not waste a deadline RPCing into the void.
+    killed: bool,
 }
 
 /// A running multi-process cluster; owns the child processes.
 pub struct ClusterHandle {
     spec: ClusterSpec,
+    binary: PathBuf,
     procs: Vec<NodeProc>,
 }
 
@@ -165,17 +184,90 @@ impl ClusterHandle {
         ClusterClient::connect(&self.spec, &peers, timeout, retries)
     }
 
+    /// SIGKILLs a role's process mid-flight (`Child::kill` delivers
+    /// SIGKILL on Unix — no grace, no cleanup handlers) and reaps it. The
+    /// rest of the cluster keeps running degraded until [`Self::restart`]
+    /// brings the role back at the same address. This is the crash-
+    /// recovery rig's hammer: everything the process held only in memory
+    /// or unsynced buffers is gone.
+    pub fn kill_nine(&mut self, role: Role) -> Result<()> {
+        let p = self
+            .procs
+            .iter_mut()
+            .find(|p| p.role == role)
+            .ok_or_else(|| WwError::InvalidState(format!("no {role} process to kill")))?;
+        p.child.kill()?;
+        p.child.wait()?;
+        p.killed = true;
+        Ok(())
+    }
+
+    /// Respawns a role (after [`Self::kill_nine`]) at its **original
+    /// address** — the rest of the cluster still routes there — with the
+    /// full peer map, and blocks until the child reports ready. The
+    /// restarted process recovers from durable state alone: queue WAL,
+    /// metadata snapshot + log, and sealed chunk files.
+    pub fn restart(&mut self, role: Role) -> Result<()> {
+        let pos = self
+            .procs
+            .iter()
+            .position(|p| p.role == role)
+            .ok_or_else(|| WwError::InvalidState(format!("no {role} process to restart")))?;
+        let peers: Vec<(Role, SocketAddr)> = self.procs.iter().map(|p| (p.role, p.addr)).collect();
+        let old_addr = self.procs[pos].addr;
+        let mut nc = self.spec.node_config(role, peers);
+        nc.listen = old_addr.to_string();
+        let mut cmd = Command::new(&self.binary);
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        nc.apply_env(&mut cmd);
+        let mut child = cmd.spawn()?;
+        let addr = match read_ready(&mut child) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+        if addr != old_addr {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(WwError::InvalidState(format!(
+                "restarted {role} bound {addr}, expected {old_addr}"
+            )));
+        }
+        self.procs[pos] = NodeProc {
+            role,
+            child,
+            addr,
+            killed: false,
+        };
+        Ok(())
+    }
+
     /// Retires the cluster: `Shutdown` RPC per process — gateway first so
     /// nothing keeps dispatching into dying backends, metadata last —
     /// then waits for each child, killing any that ignore the request.
-    /// Returns an error if any child had to be killed or exited dirty.
+    /// Roles already SIGKILLed (and not restarted) are skipped rather
+    /// than RPCed into the void. Returns an error if any child had to be
+    /// killed or exited dirty.
     pub fn shutdown(mut self) -> Result<()> {
         let client = self.client();
         let mut clean = true;
         for role in [Role::Dispatcher, Role::Query, Role::Indexing, Role::Meta] {
-            clean &= client.shutdown_role(role).is_ok();
+            let alive = self.procs.iter().any(|p| p.role == role && !p.killed);
+            if alive {
+                clean &= client.shutdown_role(role).is_ok();
+            } else {
+                clean = false;
+            }
         }
         for p in &mut self.procs {
+            if p.killed {
+                continue; // already reaped by kill_nine
+            }
             clean &= wait_or_kill(&mut p.child, Duration::from_secs(10));
         }
         self.procs.clear();
@@ -293,6 +385,29 @@ impl ClusterClient {
                     keys,
                     times,
                     attr_eq: None,
+                },
+            )?
+            .into_query()
+    }
+
+    /// Runs a range query constrained to `attr == value` through the
+    /// coordinator (paper §VIII; see
+    /// [`PAYLOAD_BYTE_ATTR`](crate::runtime::PAYLOAD_BYTE_ATTR) for the
+    /// attribute every node process registers).
+    pub fn query_attr(
+        &self,
+        keys: KeyInterval,
+        times: TimeInterval,
+        attr: u16,
+        value: u64,
+    ) -> Result<QueryResult> {
+        self.rpc
+            .call(
+                COORDINATOR,
+                Request::ClientQuery {
+                    keys,
+                    times,
+                    attr_eq: Some((attr, value)),
                 },
             )?
             .into_query()

@@ -1,0 +1,99 @@
+//! Process-lifecycle hygiene: shutdown's kill fallback and the stdin-EOF
+//! orphan watchdog. Whatever happens to the launcher, no stray
+//! `waterwheel-node` process may outlive these tests.
+
+use std::io::BufRead;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use waterwheel_node::{ClusterSpec, NodeConfig, Role};
+
+fn fresh_root(name: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("ww-node-life-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Polls until `child` exits or the deadline passes; returns whether it
+/// exited.
+fn exits_within(child: &mut std::process::Child, limit: Duration) -> bool {
+    let deadline = Instant::now() + limit;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return true,
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            _ => return false,
+        }
+    }
+}
+
+#[test]
+fn shutdown_survives_an_already_killed_role_and_reports_dirty() {
+    let spec = ClusterSpec::new(fresh_root("dirty"));
+    let mut cluster = spec.launch(env!("CARGO_BIN_EXE_waterwheel-node")).unwrap();
+    let addrs: Vec<_> = Role::ALL
+        .iter()
+        .map(|&r| cluster.addr(r).unwrap())
+        .collect();
+
+    // SIGKILL the query role and retire the cluster without restarting
+    // it: shutdown must skip the dead role (not stall RPCing into the
+    // void), retire the rest, and report the retirement as dirty.
+    cluster.kill_nine(Role::Query).unwrap();
+    let started = Instant::now();
+    let err = cluster.shutdown().unwrap_err();
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "shutdown stalled on the killed role"
+    );
+    assert!(
+        err.to_string().contains("killed"),
+        "unexpected error: {err}"
+    );
+
+    // Nothing is left listening on any role's port.
+    for addr in addrs {
+        let probe = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+        assert!(
+            probe.is_err(),
+            "{addr} still listening after dirty shutdown"
+        );
+    }
+}
+
+#[test]
+fn stdin_eof_watchdog_reaps_an_orphaned_node() {
+    // Spawn a single meta-role node directly (no launcher, no peers) the
+    // way ClusterSpec would, then close its stdin pipe: the node must
+    // treat the EOF as "my launcher died" and exit on its own.
+    let nc = NodeConfig::new(Role::Meta, "127.0.0.1:0", fresh_root("orphan"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_waterwheel-node"));
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    nc.apply_env(&mut cmd);
+    let mut child = cmd.spawn().unwrap();
+
+    // Wait for the ready handshake so the drop below races nothing.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let ready = lines
+        .find_map(|l| {
+            let l = l.ok()?;
+            l.strip_prefix("WW_NODE_READY ").map(str::to_owned)
+        })
+        .expect("node never reported ready");
+    let addr: std::net::SocketAddr = ready.trim().parse().unwrap();
+
+    // The launcher "dies": its end of the stdin pipe closes.
+    drop(child.stdin.take());
+
+    let exited = exits_within(&mut child, Duration::from_secs(10));
+    if !exited {
+        // Don't leak the stray we are complaining about.
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    assert!(exited, "orphaned node ignored stdin EOF");
+    let probe = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(probe.is_err(), "orphan's listener survived its exit");
+}

@@ -98,6 +98,16 @@ pub struct SystemMetrics {
     pub wire_reconnects: u64,
     /// Wire frames that failed to decode (each drops its connection).
     pub wire_decode_errors: u64,
+    /// Bytes appended to write-ahead logs (queue, metadata) and
+    /// atomically committed files (chunks, snapshots).
+    pub wal_bytes: u64,
+    /// fsync/fdatasync calls issued by the durability tier.
+    pub wal_fsyncs: u64,
+    /// Tuples and metadata records replayed from durable logs at startup.
+    pub recovery_replayed_tuples: u64,
+    /// Torn or corrupt on-disk artifacts detected (truncated WAL tails,
+    /// chunk footer/checksum failures).
+    pub torn_writes_detected: u64,
 }
 
 impl SystemMetrics {
@@ -162,6 +172,18 @@ impl SystemMetrics {
         m.wire_connects = wire.connects;
         m.wire_reconnects = wire.reconnects;
         m.wire_decode_errors = wire.decode_errors;
+        // Durability counters, summed across every WAL-backed surface: the
+        // ingest queue, chunk sealing, and (when durable) the metadata log.
+        let mut wals = vec![ww.message_queue().wal_stats(), ww.dfs().wal_stats()];
+        if let Some(s) = ww.metadata().wal_stats() {
+            wals.push(s);
+        }
+        for s in wals {
+            m.wal_bytes += s.bytes.load(Ordering::Relaxed);
+            m.wal_fsyncs += s.fsyncs.load(Ordering::Relaxed);
+            m.recovery_replayed_tuples += s.replayed.load(Ordering::Relaxed);
+            m.torn_writes_detected += s.torn.load(Ordering::Relaxed);
+        }
         m
     }
 
@@ -250,7 +272,7 @@ impl fmt::Display for SystemMetrics {
             self.rpc_unreachable,
             self.rpc_bytes
         )?;
-        write!(
+        writeln!(
             f,
             "wire:    {} bytes in / {} bytes out, {} connects (+{} reconnects), {} decode errors",
             self.wire_bytes_in,
@@ -258,6 +280,14 @@ impl fmt::Display for SystemMetrics {
             self.wire_connects,
             self.wire_reconnects,
             self.wire_decode_errors
+        )?;
+        write!(
+            f,
+            "wal:     {} bytes, {} fsyncs, {} replayed on recovery, {} torn writes detected",
+            self.wal_bytes,
+            self.wal_fsyncs,
+            self.recovery_replayed_tuples,
+            self.torn_writes_detected
         )
     }
 }
@@ -369,10 +399,14 @@ mod tests {
             wire_connects: 138,
             wire_reconnects: 139,
             wire_decode_errors: 140,
+            wal_bytes: 141,
+            wal_fsyncs: 142,
+            recovery_replayed_tuples: 143,
+            torn_writes_detected: 144,
             per_server_hit_ratios: vec![(77, 0.25, 0.75)],
         };
         let text = m.to_string();
-        for sentinel in 101..=140u64 {
+        for sentinel in 101..=144u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"

@@ -41,6 +41,7 @@ use waterwheel_net::{
     RpcTotals, TcpRpcServer, TcpTransport, Transport, WireStats, WireTotals, COORDINATOR,
 };
 use waterwheel_storage::SimDfs;
+use waterwheel_wal::FsyncPolicy;
 
 /// Name of the ingestion topic.
 const INGEST_TOPIC: &str = "ingest";
@@ -176,8 +177,13 @@ impl WaterwheelBuilder {
     pub fn build(self) -> Result<Waterwheel> {
         self.cfg.validate().map_err(WwError::Config)?;
         let cluster = Cluster::new(self.nodes);
+        // One fsync policy governs every durable surface (queue WAL, chunk
+        // seals, metadata log): `durability_fsync` trades power-loss safety
+        // for ingest latency, `wal_segment_bytes` bounds log segments and
+        // the metadata compaction threshold.
+        let policy = FsyncPolicy::from_flag(self.cfg.durability_fsync);
         let mq = if self.durable_queue {
-            MessageQueue::durable(self.root.join("queue"))?
+            MessageQueue::durable_with(self.root.join("queue"), policy, self.cfg.wal_segment_bytes)?
         } else {
             MessageQueue::new()
         };
@@ -187,9 +193,14 @@ impl WaterwheelBuilder {
             cluster.clone(),
             self.cfg.dfs_replication.min(self.nodes),
             self.latency,
-        )?;
+        )?
+        .with_fsync(policy);
         let meta = if self.durable_meta {
-            MetadataService::open(self.root.join("meta.snapshot"))?
+            MetadataService::open_with(
+                self.root.join("meta.snapshot"),
+                policy,
+                self.cfg.wal_segment_bytes,
+            )?
         } else {
             MetadataService::in_memory()
         };

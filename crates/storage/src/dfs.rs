@@ -12,17 +12,41 @@
 //!   for co-located (short-circuit) reads;
 //! * reads are ranged, so a query server fetches the index block and only
 //!   the needed leaf pages, exactly like positioned HDFS reads.
+//!
+//! Durability (paper §V): chunk files are sealed through the shared WAL
+//! layer's atomic-write path (unique temp file + rename + optional fsync),
+//! and every file carries a 24-byte torn-write-detecting footer:
+//!
+//! ```text
+//! [body_len u64][fnv1a(body) u64][footer magic u64]
+//! ```
+//!
+//! A file without a valid footer — truncated, half-written by a crashed
+//! sealer, or bit-rotted — is reported as a typed
+//! [`WwError::Corrupt`] error, never a panic and never a silently short
+//! read. The first open of each chunk verifies the whole-body checksum;
+//! subsequent opens trust the cached verdict (files are immutable).
+//! All length accounting ([`SimDfs::chunk_len`], [`DfsFile::len`]) refers
+//! to the *body*, so the chunk format's own end-of-file trailers keep
+//! working unchanged.
 
 use crate::chunk::RangedRead;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use waterwheel_cluster::{Cluster, LatencyModel};
+use waterwheel_core::codec::fnv1a;
 use waterwheel_core::{ChunkId, NodeId, Result, WwError};
+use waterwheel_wal::{sweep_tmp, write_atomic, FsyncPolicy, WalStats};
+
+/// Chunk-file footer magic (`WWCHKFT1`, little-endian).
+pub const FOOTER_MAGIC: u64 = u64::from_le_bytes(*b"WWCHKFT1");
+/// Footer length: body length (8) + body checksum (8) + magic (8).
+pub const FOOTER_LEN: u64 = 24;
 
 /// Access counters, exposed for tests and the chunk-size experiments.
 #[derive(Debug, Default)]
@@ -33,6 +57,8 @@ pub struct DfsStats {
     pub bytes_read: AtomicU64,
     /// Accesses that hit the co-located fast path.
     pub local_opens: AtomicU64,
+    /// Whole-body checksum verifications performed (first open per chunk).
+    pub integrity_verifies: AtomicU64,
 }
 
 struct DfsInner {
@@ -40,9 +66,14 @@ struct DfsInner {
     cluster: Cluster,
     replication: usize,
     latency: LatencyModel,
-    /// Cached file lengths — immutable files, so lengths never change.
+    policy: FsyncPolicy,
+    /// Cached *body* lengths — immutable files, so lengths never change.
     lengths: Mutex<HashMap<ChunkId, u64>>,
+    /// Chunks whose whole-body checksum has been verified this process.
+    verified: Mutex<HashSet<ChunkId>>,
     stats: DfsStats,
+    /// Durability counters (fsyncs issued, torn/corrupt files detected).
+    wal: Arc<WalStats>,
 }
 
 /// Handle to the simulated DFS; clones share state.
@@ -52,7 +83,8 @@ pub struct SimDfs {
 }
 
 impl SimDfs {
-    /// Creates (or reopens) a DFS rooted at `root`.
+    /// Creates (or reopens) a DFS rooted at `root`. Stray temp files left
+    /// by sealers that crashed before their atomic rename are swept away.
     pub fn new(
         root: impl Into<PathBuf>,
         cluster: Cluster,
@@ -61,16 +93,29 @@ impl SimDfs {
     ) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
+        sweep_tmp(&root)?;
         Ok(Self {
             inner: Arc::new(DfsInner {
                 root,
                 cluster,
                 replication,
                 latency,
+                policy: FsyncPolicy::Never,
                 lengths: Mutex::new(HashMap::new()),
+                verified: Mutex::new(HashSet::new()),
                 stats: DfsStats::default(),
+                wal: WalStats::shared(),
             }),
         })
+    }
+
+    /// Sets the fsync policy for chunk sealing (builder style; call before
+    /// the handle is cloned/shared).
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("with_fsync must be called before the DFS handle is shared")
+            .policy = policy;
+        self
     }
 
     /// A DFS with no latency model over a fresh temp-style directory —
@@ -93,6 +138,11 @@ impl SimDfs {
         &self.inner.stats
     }
 
+    /// Durability counters (fsyncs, torn/corrupt chunk files detected).
+    pub fn wal_stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.inner.wal)
+    }
+
     /// The replica nodes of a chunk under the current cluster membership.
     pub fn replicas(&self, id: ChunkId) -> Vec<NodeId> {
         self.inner.cluster.replicas(id, self.inner.replication)
@@ -103,8 +153,11 @@ impl SimDfs {
         self.inner.replication
     }
 
-    /// Writes an immutable chunk. Overwriting an existing chunk id is an
-    /// error — chunks are write-once by design.
+    /// Writes an immutable chunk: body + torn-write footer are committed
+    /// via unique temp file + atomic rename (fsynced per policy), so a
+    /// crash mid-write can never leave a partially visible chunk.
+    /// Overwriting an existing chunk id is an error — chunks are
+    /// write-once by design.
     pub fn write_chunk(&self, id: ChunkId, bytes: &[u8]) -> Result<()> {
         let path = self.path(id);
         if path.exists() {
@@ -112,10 +165,14 @@ impl SimDfs {
                 "chunk {id} already exists — chunks are immutable"
             )));
         }
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, &path)?;
+        let mut framed = Vec::with_capacity(bytes.len() + FOOTER_LEN as usize);
+        framed.extend_from_slice(bytes);
+        framed.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+        framed.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+        write_atomic(&path, &framed, self.inner.policy, &self.inner.wal)?;
         self.inner.lengths.lock().insert(id, bytes.len() as u64);
+        self.inner.verified.lock().insert(id);
         Ok(())
     }
 
@@ -130,27 +187,93 @@ impl SimDfs {
     /// Deletes a chunk (retention/GC; not used by the core protocol).
     pub fn delete(&self, id: ChunkId) -> Result<()> {
         self.inner.lengths.lock().remove(&id);
+        self.inner.verified.lock().remove(&id);
         fs::remove_file(self.path(id)).map_err(Into::into)
     }
 
-    /// Chunk file length in bytes.
+    /// Reads and validates a chunk's footer, returning
+    /// `(body_len, body_crc)`. Any structural damage — file shorter than
+    /// a footer, wrong magic, a body length that disagrees with the file
+    /// size — is a torn or corrupt seal, surfaced as a typed error.
+    fn read_footer(&self, id: ChunkId) -> Result<(u64, u64)> {
+        let path = self.path(id);
+        let file_len = fs::metadata(&path)
+            .map_err(|_| WwError::not_found("chunk", id))?
+            .len();
+        let damaged = |detail: String| {
+            self.inner.wal.torn.fetch_add(1, Ordering::Relaxed);
+            WwError::corrupt("chunk file", detail)
+        };
+        if file_len < FOOTER_LEN {
+            return Err(damaged(format!(
+                "chunk {id}: {file_len} bytes is shorter than a footer"
+            )));
+        }
+        let mut file = fs::File::open(&path)?;
+        file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.read_exact(&mut footer)?;
+        let body_len = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let crc = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let magic = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        if magic != FOOTER_MAGIC {
+            return Err(damaged(format!(
+                "chunk {id}: bad footer magic {magic:#018x}"
+            )));
+        }
+        if body_len != file_len - FOOTER_LEN {
+            return Err(damaged(format!(
+                "chunk {id}: footer claims {body_len} body bytes, file holds {}",
+                file_len - FOOTER_LEN
+            )));
+        }
+        Ok((body_len, crc))
+    }
+
+    /// Chunk *body* length in bytes (the sealed footer is excluded).
     pub fn chunk_len(&self, id: ChunkId) -> Result<u64> {
         if let Some(len) = self.inner.lengths.lock().get(&id) {
             return Ok(*len);
         }
-        let len = fs::metadata(self.path(id))
-            .map_err(|_| WwError::not_found("chunk", id))?
-            .len();
-        self.inner.lengths.lock().insert(id, len);
-        Ok(len)
+        let (body_len, _) = self.read_footer(id)?;
+        self.inner.lengths.lock().insert(id, body_len);
+        Ok(body_len)
+    }
+
+    /// Verifies the whole-body checksum once per chunk per process
+    /// (immutable files make the cached verdict sound).
+    fn verify_once(&self, id: ChunkId) -> Result<()> {
+        if self.inner.verified.lock().contains(&id) {
+            return Ok(());
+        }
+        let (body_len, crc) = self.read_footer(id)?;
+        let bytes = fs::read(self.path(id))?;
+        // read_footer proved bytes.len() == body_len + FOOTER_LEN.
+        let body = &bytes[..body_len as usize];
+        self.inner
+            .stats
+            .integrity_verifies
+            .fetch_add(1, Ordering::Relaxed);
+        if fnv1a(body) != crc {
+            self.inner.wal.torn.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::corrupt(
+                "chunk file",
+                format!("chunk {id}: body checksum mismatch"),
+            ));
+        }
+        self.inner.lengths.lock().insert(id, body_len);
+        self.inner.verified.lock().insert(id);
+        Ok(())
     }
 
     /// Opens a read handle bound to the reader's node (for the co-location
-    /// discount). Pass `None` for an off-cluster reader.
+    /// discount). Pass `None` for an off-cluster reader. The first open of
+    /// a chunk verifies its checksummed footer end to end.
     pub fn open(&self, id: ChunkId, reader_node: Option<NodeId>) -> Result<DfsFile> {
         if !self.exists(id) {
             return Err(WwError::not_found("chunk", id));
         }
+        self.verify_once(id)?;
         let local = reader_node.is_some_and(|n| self.replicas(id).contains(&n));
         Ok(DfsFile {
             dfs: self.clone(),
@@ -160,6 +283,15 @@ impl SimDfs {
     }
 
     fn ranged_read(&self, id: ChunkId, offset: u64, len: u64, local: bool) -> Result<Vec<u8>> {
+        // Reads are bounded to the body: past-the-end reads must fail
+        // rather than silently hand back footer bytes.
+        let body_len = self.chunk_len(id)?;
+        if offset.checked_add(len).is_none_or(|end| end > body_len) {
+            return Err(WwError::corrupt(
+                "chunk",
+                format!("read {offset}+{len} past body end {body_len}"),
+            ));
+        }
         // One access: charge the open latency (discounted when local).
         self.inner.stats.opens.fetch_add(1, Ordering::Relaxed);
         if local {
@@ -253,7 +385,88 @@ mod tests {
         let dfs = SimDfs::ephemeral(tmp_root("past-end")).unwrap();
         dfs.write_chunk(ChunkId(3), b"0123456789").unwrap();
         let file = dfs.open(ChunkId(3), None).unwrap();
+        // The footer sits past the body; a ranged read must never leak it.
         assert!(file.read_range(8, 10).is_err());
+        assert!(file.read_range(u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn reopened_dfs_reads_body_length_from_footer() {
+        let root = tmp_root("reopen");
+        {
+            let dfs = SimDfs::ephemeral(&root).unwrap();
+            dfs.write_chunk(ChunkId(11), &[7u8; 4096]).unwrap();
+        }
+        // A fresh process has no cached lengths: body length and contents
+        // must come from the sealed footer.
+        let dfs = SimDfs::ephemeral(&root).unwrap();
+        assert_eq!(dfs.chunk_len(ChunkId(11)).unwrap(), 4096);
+        let file = dfs.open(ChunkId(11), None).unwrap();
+        assert_eq!(file.len().unwrap(), 4096);
+        assert_eq!(file.read_range(0, 4096).unwrap(), vec![7u8; 4096]);
+        assert_eq!(dfs.stats().integrity_verifies.load(Ordering::Relaxed), 1);
+        // Second open trusts the cached verification.
+        dfs.open(ChunkId(11), None).unwrap();
+        assert_eq!(dfs.stats().integrity_verifies.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn truncated_chunk_is_detected_as_torn() {
+        let root = tmp_root("torn");
+        {
+            let dfs = SimDfs::ephemeral(&root).unwrap();
+            dfs.write_chunk(ChunkId(12), &[1u8; 1000]).unwrap();
+        }
+        let path = root.join("chunk-12.ww");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let dfs = SimDfs::ephemeral(&root).unwrap();
+        let err = dfs
+            .open(ChunkId(12), None)
+            .err()
+            .expect("torn seal detected");
+        assert!(matches!(err, WwError::Corrupt { .. }), "{err}");
+        assert!(dfs.wal_stats().torn.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn bit_rot_fails_the_body_checksum() {
+        let root = tmp_root("bitrot");
+        {
+            let dfs = SimDfs::ephemeral(&root).unwrap();
+            dfs.write_chunk(ChunkId(13), &[9u8; 512]).unwrap();
+        }
+        let path = root.join("chunk-13.ww");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[100] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let dfs = SimDfs::ephemeral(&root).unwrap();
+        // Footer is structurally fine, so the length is still readable…
+        assert_eq!(dfs.chunk_len(ChunkId(13)).unwrap(), 512);
+        // …but the first open verifies the body and must reject it.
+        let err = dfs.open(ChunkId(13), None).err().expect("bit rot detected");
+        assert!(matches!(err, WwError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn stray_temp_files_are_swept_on_open() {
+        let root = tmp_root("sweep");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(".chunk-5.ww.123.0.tmp"), b"half a chunk").unwrap();
+        let dfs = SimDfs::ephemeral(&root).unwrap();
+        assert!(!root.join(".chunk-5.ww.123.0.tmp").exists());
+        assert!(!dfs.exists(ChunkId(5)));
+    }
+
+    #[test]
+    fn fsync_policy_is_counted() {
+        let root = tmp_root("fsync");
+        let dfs = SimDfs::ephemeral(&root)
+            .unwrap()
+            .with_fsync(FsyncPolicy::Always);
+        dfs.write_chunk(ChunkId(14), b"durable").unwrap();
+        // One for the temp file, one for the directory rename.
+        assert_eq!(dfs.wal_stats().fsyncs.load(Ordering::Relaxed), 2);
     }
 
     #[test]
