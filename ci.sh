@@ -36,6 +36,18 @@ WW_BENCH_REQUIRE_WIN=1 WW_NET_BENCH_N=20000 \
     cargo bench -p waterwheel-bench --bench transport_overhead
 test -s BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
 
+echo "==> saturation smoke (256 concurrent connections on flat threads; 2x overload sheds, not crashes)"
+rm -f BENCH_saturation.json
+WW_BENCH_REQUIRE_WIN=1 WW_SAT_CONNS=256 timeout 300 \
+    cargo bench -p waterwheel-bench --bench saturation
+test -s BENCH_saturation.json || { echo "BENCH_saturation.json missing"; exit 1; }
+# Stray-thread sweep: the bench asserts its own process returned to its
+# thread baseline after teardown; here we also make sure no helper
+# process outlived it.
+if pgrep -f "deps/saturation-" > /dev/null; then
+    echo "stray saturation bench processes after teardown"; pgrep -af "deps/saturation-"; exit 1
+fi
+
 echo "==> durability bench smoke (WAL ingest overhead + replay timing)"
 rm -f BENCH_durability.json
 WW_RECOVERY_BENCH_N=20000 \

@@ -137,6 +137,46 @@ pub struct SystemConfig {
     /// retries immediately.
     pub rpc_backoff: Duration,
 
+    /// Reactor threads multiplexing a process's TCP sockets. One thread
+    /// polls every pooled client connection and every accepted server
+    /// connection; more threads shard the sockets between them. The whole
+    /// endpoint runs on `net_reactor_threads + net_server_workers` threads
+    /// regardless of connection count.
+    pub net_reactor_threads: usize,
+
+    /// Worker threads executing decoded requests behind a TCP listener.
+    /// Bounds handler concurrency independently of connection count (a
+    /// thousand idle connections cost no threads; a thousand concurrent
+    /// requests queue for this many workers).
+    pub net_server_workers: usize,
+
+    /// Pooled client connections idle (no RPC in flight, none completed)
+    /// longer than this are closed and reaped. Zero disables reaping.
+    pub net_pool_idle_timeout: Duration,
+
+    /// Cap on pooled client connections per transport; dialing past the
+    /// cap evicts the least-recently-used idle connection.
+    pub net_pool_max_connections: usize,
+
+    /// Admission control: requests in flight (admitted, not yet answered)
+    /// a server allows before shedding. Budgets are graduated by priority —
+    /// metadata sheds at half this depth, queries at three quarters, ingest
+    /// only at the full depth — so load shedding starts with the least
+    /// critical traffic (control probes and shutdown are always admitted).
+    pub admission_max_inflight: usize,
+
+    /// Retry-after hint stamped into [`WwError::Overloaded`](crate::WwError)
+    /// responses when a request is shed by queue depth.
+    pub admission_retry_after: Duration,
+
+    /// Per-client (per source server id) token-bucket refill rate in
+    /// requests/second. Zero disables client rate limiting.
+    pub client_rate_limit: u64,
+
+    /// Token-bucket burst capacity: a client may send this many requests
+    /// back-to-back before the refill rate governs.
+    pub client_rate_burst: u64,
+
     /// Rounds of coordinator-level subquery re-dispatch after the first
     /// dispatch plan: subqueries that failed (server crashed mid-plan, link
     /// down past the RPC retry budget) are re-planned across the servers
@@ -194,6 +234,14 @@ impl Default for SystemConfig {
             rpc_timeout: Duration::from_secs(1),
             rpc_retries: 2,
             rpc_backoff: Duration::ZERO,
+            net_reactor_threads: 1,
+            net_server_workers: 8,
+            net_pool_idle_timeout: Duration::from_secs(60),
+            net_pool_max_connections: 64,
+            admission_max_inflight: 4_096,
+            admission_retry_after: Duration::from_millis(50),
+            client_rate_limit: 0,
+            client_rate_burst: 256,
             rpc_redispatch_rounds: 2,
             durability_fsync: true,
             wal_segment_bytes: 8 << 20,
@@ -257,6 +305,21 @@ impl SystemConfig {
         if self.rpc_redispatch_rounds == 0 {
             return Err("rpc_redispatch_rounds must be at least 1".into());
         }
+        if self.net_reactor_threads == 0 {
+            return Err("net_reactor_threads must be at least 1".into());
+        }
+        if self.net_server_workers == 0 {
+            return Err("net_server_workers must be at least 1".into());
+        }
+        if self.net_pool_max_connections == 0 {
+            return Err("net_pool_max_connections must be at least 1".into());
+        }
+        if self.admission_max_inflight == 0 {
+            return Err("admission_max_inflight must be at least 1".into());
+        }
+        if self.client_rate_limit > 0 && self.client_rate_burst == 0 {
+            return Err("client_rate_burst must be positive when rate limiting".into());
+        }
         if self.wal_segment_bytes < 4096 {
             return Err("wal_segment_bytes must be at least 4096".into());
         }
@@ -299,6 +362,14 @@ mod tests {
             |c: &mut SystemConfig| c.rpc_timeout = Duration::ZERO,
             |c: &mut SystemConfig| c.rpc_redispatch_rounds = 0,
             |c: &mut SystemConfig| c.wal_segment_bytes = 0,
+            |c: &mut SystemConfig| c.net_reactor_threads = 0,
+            |c: &mut SystemConfig| c.net_server_workers = 0,
+            |c: &mut SystemConfig| c.net_pool_max_connections = 0,
+            |c: &mut SystemConfig| c.admission_max_inflight = 0,
+            |c: &mut SystemConfig| {
+                c.client_rate_limit = 100;
+                c.client_rate_burst = 0;
+            },
         ] {
             let mut c = SystemConfig::default();
             breakage(&mut c);

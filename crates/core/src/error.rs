@@ -42,6 +42,14 @@ pub enum WwError {
     /// The destination of an RPC cannot be reached (network partition,
     /// dead node, or no server bound at the address). Retryable.
     Unreachable(&'static str),
+    /// The destination admitted too much work and shed this request before
+    /// running its handler (token-bucket rate limit or admission-queue
+    /// overflow). Carries the server's retry-after hint. Retryable: the
+    /// handler never ran, so resending cannot duplicate a side effect.
+    Overloaded {
+        /// How long the sender should wait before retrying.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for WwError {
@@ -56,6 +64,11 @@ impl fmt::Display for WwError {
             WwError::Injected(what) => write!(f, "injected fault: {what}"),
             WwError::Timeout(what) => write!(f, "rpc timed out: {what}"),
             WwError::Unreachable(what) => write!(f, "destination unreachable: {what}"),
+            WwError::Overloaded { retry_after } => write!(
+                f,
+                "destination overloaded: retry after {}ms",
+                retry_after.as_millis()
+            ),
         }
     }
 }
@@ -96,7 +109,18 @@ impl WwError {
     /// may never have reached (or may again reach) the destination. Other
     /// errors are answers from the destination and must not be retried.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, WwError::Timeout(_) | WwError::Unreachable(_))
+        matches!(
+            self,
+            WwError::Timeout(_) | WwError::Unreachable(_) | WwError::Overloaded { .. }
+        )
+    }
+
+    /// The retry-after hint carried by [`WwError::Overloaded`], if any.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            WwError::Overloaded { retry_after } => Some(*retry_after),
+            _ => None,
+        }
     }
 }
 
@@ -122,6 +146,13 @@ mod tests {
         assert!(u.is_retryable());
         assert!(!WwError::Injected("server down").is_retryable());
         assert!(!WwError::not_found("chunk", 3).is_retryable());
+        let o = WwError::Overloaded {
+            retry_after: std::time::Duration::from_millis(25),
+        };
+        assert_eq!(o.to_string(), "destination overloaded: retry after 25ms");
+        assert!(o.is_retryable(), "shed requests never ran: safe to retry");
+        assert_eq!(o.retry_after(), Some(std::time::Duration::from_millis(25)));
+        assert_eq!(WwError::Timeout("late").retry_after(), None);
     }
 
     #[test]

@@ -3,11 +3,21 @@
 //! An [`RpcClient`] is one sender's handle onto the message plane. Each
 //! `call` stamps a fresh per-attempt deadline from
 //! [`SystemConfig::rpc_timeout`], and retries **only** delivery failures
-//! ([`WwError::is_retryable`]: timeout/unreachable) up to
-//! [`SystemConfig::rpc_retries`] extra attempts, sleeping
-//! `rpc_backoff × attempt` between them. Errors produced by the
-//! destination itself (an injected crash, a missing chunk) are answers,
-//! not delivery failures, and propagate immediately.
+//! ([`WwError::is_retryable`]: timeout/unreachable/overloaded) up to
+//! [`SystemConfig::rpc_retries`] extra attempts, sleeping a *jittered*
+//! `rpc_backoff × attempt` between them — the jitter (a uniform factor in
+//! `[0.5, 1.5)`) decorrelates the retry storms of many clients that failed
+//! at the same instant. When the destination shed the request with
+//! [`WwError::Overloaded`], its retry-after hint becomes the floor of the
+//! sleep, so retries respect the server's own estimate of when capacity
+//! returns. Errors produced by the destination itself (an injected crash,
+//! a missing chunk) are answers, not delivery failures, and propagate
+//! immediately.
+//!
+//! Every completed call (answered or failed) is also recorded in the
+//! transport's per-request-kind latency histograms
+//! ([`RpcStatsRegistry::latency_snapshot`](crate::RpcStatsRegistry)), so
+//! `SystemMetrics` can report p50/p95/p99 per RPC kind.
 //!
 //! A retried attempt is *usually* a fresh delivery: most injected faults
 //! (loss, late transit, partitions) fail the attempt before the handler
@@ -61,7 +71,19 @@ impl RpcClient {
     }
 
     /// Sends `req` to `dst`, retrying delivery failures per the policy.
+    /// The whole call (retries included) is recorded in the transport's
+    /// per-kind latency histogram.
     pub fn call(&self, dst: ServerId, req: Request) -> Result<Response> {
+        let started = Instant::now();
+        let kind = req.kind();
+        let result = self.call_inner(dst, req);
+        self.transport
+            .stats()
+            .record_latency(kind, started.elapsed());
+        result
+    }
+
+    fn call_inner(&self, dst: ServerId, req: Request) -> Result<Response> {
         let rpc_id = self.next_rpc_id.fetch_add(1, Ordering::Relaxed);
         let mut attempt = 0u32;
         loop {
@@ -81,8 +103,12 @@ impl RpcClient {
                         .link(self.src, dst)
                         .retried
                         .fetch_add(1, Ordering::Relaxed);
-                    if !self.backoff.is_zero() {
-                        std::thread::sleep(self.backoff * attempt);
+                    // An overloaded destination's retry-after hint floors
+                    // the backoff: never poke it sooner than it asked.
+                    let base = (self.backoff * attempt).max(e.retry_after().unwrap_or_default());
+                    if !base.is_zero() {
+                        let seed = rpc_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt);
+                        std::thread::sleep(base.mul_f64(jitter_factor(seed)));
                     }
                 }
                 Err(e) => return Err(e),
@@ -94,6 +120,16 @@ impl RpcClient {
     pub fn ping(&self, dst: ServerId) -> bool {
         matches!(self.call(dst, Request::Ping), Ok(Response::Pong))
     }
+}
+
+/// A uniform backoff multiplier in `[0.5, 1.5)` from a SplitMix64 draw,
+/// so simultaneous failures don't retry in lockstep.
+fn jitter_factor(seed: u64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    0.5 + (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -163,6 +199,55 @@ mod tests {
         assert!(client.ping(ServerId(1)));
         assert!(!client.ping(ServerId(2)), "crashed server fails the probe");
         assert!(!client.ping(ServerId(9)), "unbound address fails the probe");
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_half_to_three_halves() {
+        for seed in 0..4096u64 {
+            let f = jitter_factor(seed);
+            assert!((0.5..1.5).contains(&f), "seed {seed} drew {f}");
+        }
+        // And it actually varies.
+        assert_ne!(jitter_factor(1), jitter_factor(2));
+    }
+
+    #[test]
+    fn overloaded_retries_wait_at_least_half_the_hint() {
+        let (t, client) = rig(3);
+        let calls = Arc::new(AtomicU64::new(0));
+        let n = Arc::clone(&calls);
+        t.bind(ServerId(1), move |_| {
+            if n.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err(WwError::Overloaded {
+                    retry_after: Duration::from_millis(80),
+                })
+            } else {
+                Ok(Response::Pong)
+            }
+        });
+        let started = Instant::now();
+        client.call(ServerId(1), Request::Ping).unwrap();
+        // The jittered sleep is at least 0.5 × the 80ms retry-after hint.
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "retry must respect the shed hint, took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn calls_record_latency_per_request_kind() {
+        let (t, client) = rig(0);
+        t.bind(ServerId(1), |_| Ok(Response::Pong));
+        client.call(ServerId(1), Request::Ping).unwrap();
+        client.call(ServerId(1), Request::Ping).unwrap();
+        client.call(ServerId(1), Request::Flush).unwrap();
+        let snap = t.stats().latency_snapshot();
+        let ping = snap.iter().find(|s| s.kind == "ping").expect("ping row");
+        assert_eq!(ping.count, 2);
+        assert!(ping.p99 >= ping.p50);
+        assert!(snap.iter().any(|s| s.kind == "flush" && s.count == 1));
     }
 
     #[test]

@@ -141,6 +141,27 @@ pub enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// Stable label for this request's kind, used to key per-RPC latency
+    /// histograms and the admission layer's priority classes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::IngestBatch { .. } => "ingest_batch",
+            Request::Flush => "flush",
+            Request::InMemorySubquery { .. } => "mem_subquery",
+            Request::AggregateInMemory { .. } => "agg_mem",
+            Request::ChunkSubquery { .. } => "chunk_subquery",
+            Request::ReadSummary { .. } => "read_summary",
+            Request::Ping => "ping",
+            Request::Meta(_) => "meta",
+            Request::ClientQuery { .. } => "client_query",
+            Request::ClientAggregate { .. } => "client_aggregate",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
 /// Calls against the metadata server (§II-B) made by other servers.
 #[derive(Clone, Debug)]
 pub enum MetaRequest {

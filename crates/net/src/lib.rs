@@ -21,12 +21,19 @@
 //!   network boundary in front of the metadata service.
 //! * [`wire`] — the binary frame codec: every request and response can be
 //!   encoded into a length-prefixed, versioned frame and decoded back.
+//! * [`reactor`] — the event loop under the TCP layer: a hand-rolled
+//!   epoll poller (Linux) driving nonblocking sockets, with incremental
+//!   frame assembly on read and buffered flush on write. A fixed number
+//!   of shard threads multiplexes every registered socket.
 //! * [`tcp`] — [`TcpTransport`] and [`TcpRpcServer`], the same [`Transport`]
-//!   seam over real sockets. One connection per destination address carries
-//!   concurrent in-flight RPCs correlated by id; socket failures map to the
-//!   same [`Timeout`](waterwheel_core::WwError::Timeout) /
+//!   seam over real sockets, built on the reactor. One connection per
+//!   destination address carries concurrent in-flight RPCs correlated by
+//!   id; socket failures map to the same
+//!   [`Timeout`](waterwheel_core::WwError::Timeout) /
 //!   [`Unreachable`](waterwheel_core::WwError::Unreachable) taxonomy the
-//!   in-proc fault injector uses, so the retry layer above is untouched.
+//!   in-proc fault injector uses, so the retry layer above is untouched;
+//!   server-side overflow sheds with
+//!   [`Overloaded`](waterwheel_core::WwError::Overloaded) answers.
 //!
 //! The [`HandlerRegistry`] is the hinge between the two deployments: the
 //! embedded system binds its servers once, and either an
@@ -38,6 +45,7 @@
 pub mod client;
 pub mod envelope;
 pub mod meta_client;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
@@ -47,8 +55,12 @@ pub use envelope::{
     Envelope, MetaRequest, MetaResponse, Request, Response, COORDINATOR, META_SERVER,
 };
 pub use meta_client::{serve_meta, MetaClient};
-pub use tcp::{TcpRpcServer, TcpTransport, WireStats, WireTotals};
+pub use reactor::{ConnHandle, FrameAssembler, ListenerHandle, Reactor, Sink};
+pub use tcp::{
+    TcpClientOptions, TcpRpcServer, TcpServerOptions, TcpTransport, WireStats, WireTotals,
+};
 pub use transport::{
-    Handler, HandlerHost, HandlerRegistry, InProcTransport, LinkProfile, RpcStats,
-    RpcStatsRegistry, RpcTotals, Transport,
+    AdmissionControl, AdmissionPermit, Handler, HandlerHost, HandlerRegistry, InProcTransport,
+    LatencyHistogram, LatencySnapshot, LinkProfile, RpcStats, RpcStatsRegistry, RpcTotals,
+    Transport,
 };

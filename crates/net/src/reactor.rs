@@ -1,0 +1,1238 @@
+//! Poll-based event loop driving every nonblocking TCP socket in a
+//! process.
+//!
+//! The blocking transport spent one OS thread per pooled client
+//! connection (a parked reader) and one per accepted server socket. This
+//! module replaces all of them with a small fixed pool of reactor
+//! threads (usually one) multiplexing readiness over epoll on Linux —
+//! hand-rolled `extern "C"` bindings, same style as the `SO_REUSEADDR`
+//! shim in `tcp.rs` — and a portable busy-poll fallback elsewhere.
+//!
+//! ## Readiness state machine
+//!
+//! Each registered connection moves through three states:
+//!
+//! ```text
+//! IN           reading only: the outbound buffer is empty, every frame
+//!              is written inline by the sender's own thread.
+//! IN|OUT       a sender hit a partial write / `WouldBlock`; leftover
+//!              bytes sit in the outbound buffer and the reactor owns
+//!              the flush. Armed via an `Arm` op on the owning shard,
+//!              never by senders calling `epoll_ctl` directly.
+//! closed       EOF, I/O error, or a sink verdict: the reactor removes
+//!              the socket from the poll set, shuts it down, and fires
+//!              [`Sink::on_closed`] exactly once.
+//! ```
+//!
+//! Inbound bytes feed a [`FrameAssembler`] (incremental version of
+//! `wire::read_frame`) and complete frame bodies are handed to the
+//! connection's [`Sink`]. All `epoll_ctl` mutation happens on the owning
+//! shard thread via an op queue, so fd lifecycle races (close vs. arm)
+//! cannot happen by construction.
+
+use crate::tcp::WireStats;
+use crate::wire::MAX_FRAME_LEN;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a shard wakes with no events to run housekeeping ticks
+/// (idle-connection reaping and friends).
+const TICK: Duration = Duration::from_millis(250);
+
+/// Scratch read size per readiness event; frames larger than this simply
+/// take several reads through the assembler.
+const READ_CHUNK: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// Incremental frame assembly
+// ---------------------------------------------------------------------------
+
+/// Incremental reassembler for the `wire.rs` frame format.
+///
+/// [`wire::read_frame`](crate::wire::read_frame) blocks until a whole
+/// frame arrives; a reactor cannot. This type accepts bytes in whatever
+/// chunks the socket produces — one byte at a time, half a frame, three
+/// frames coalesced — and yields complete frame bodies in order. The
+/// announced length is validated against [`MAX_FRAME_LEN`] as soon as the
+/// four prefix bytes are present, before any body buffer grows.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read off a socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact consumed prefix before growing, so the buffer tracks the
+        // unconsumed tail rather than the whole connection history.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, if one is fully buffered.
+    ///
+    /// Mirrors `wire::read_frame`: `Ok(None)` means "need more bytes",
+    /// and an announced length past [`MAX_FRAME_LEN`] is rejected before
+    /// allocation with the same `Corrupt` wording.
+    pub fn next_frame(&mut self) -> waterwheel_core::Result<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(waterwheel_core::WwError::corrupt(
+                "frame",
+                format!("announced length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+            ));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let body = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        Ok(Some(body))
+    }
+
+    /// Bytes currently buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sink: what the reactor delivers into
+// ---------------------------------------------------------------------------
+
+/// Receiver side of a registered connection.
+///
+/// The reactor calls [`Sink::on_frame`] for every complete frame body
+/// (on a reactor thread — implementations must not block) and
+/// [`Sink::on_closed`] exactly once when the connection leaves the poll
+/// set for any reason.
+pub trait Sink: Send + Sync {
+    /// One complete frame body arrived. Returning `Err(reason)` makes
+    /// the reactor close the connection with that reason.
+    fn on_frame(&self, body: Vec<u8>) -> std::result::Result<(), &'static str>;
+
+    /// The connection is gone: EOF, I/O error, sink verdict, or reactor
+    /// shutdown. Fired exactly once, after the socket left the poll set.
+    fn on_closed(&self, reason: &'static str);
+}
+
+// ---------------------------------------------------------------------------
+// Connection handles
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct OutBuf {
+    /// Bytes accepted by `send` but not yet written to the socket.
+    queued: Vec<u8>,
+    /// Whether EPOLLOUT is (or is about to be) armed for this socket.
+    armed: bool,
+}
+
+#[derive(Debug)]
+struct ConnInner {
+    token: u64,
+    shard: usize,
+    stream: TcpStream,
+    out: Mutex<OutBuf>,
+    closed: AtomicBool,
+    /// Set by the shard once the socket joined the poll set; senders
+    /// queueing bytes before that must not request an arm (the shard
+    /// arms at registration time based on the buffer).
+    registered: AtomicBool,
+}
+
+/// Cloneable write/close handle for a connection registered with a
+/// [`Reactor`].
+///
+/// `send` is safe from any thread: it writes inline while the socket
+/// keeps up and spills into a reactor-flushed buffer on `WouldBlock`.
+#[derive(Clone)]
+pub struct ConnHandle {
+    inner: Arc<ConnInner>,
+    reactor: Weak<Reactor>,
+}
+
+impl std::fmt::Debug for ConnHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnHandle")
+            .field("token", &self.inner.token)
+            .field("closed", &self.inner.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ConnHandle {
+    /// Queues one encoded frame for transmission. Bytes are written
+    /// inline when the socket accepts them; leftovers are flushed by the
+    /// reactor on writability. Fails once the connection is closed.
+    pub fn send(&self, frame: &[u8]) -> io::Result<()> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection closed",
+            ));
+        }
+        let mut out = self.inner.out.lock().unwrap_or_else(|e| e.into_inner());
+        if out.queued.is_empty() {
+            // Fast path: the socket has kept up so far; write inline from
+            // the sender's thread and only involve the reactor on a
+            // partial write.
+            let mut off = 0;
+            loop {
+                if off == frame.len() {
+                    return Ok(());
+                }
+                match (&self.inner.stream).write(&frame[off..]) {
+                    Ok(0) => {
+                        drop(out);
+                        self.fail_socket();
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "socket refused bytes",
+                        ));
+                    }
+                    Ok(n) => off += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        out.queued.extend_from_slice(&frame[off..]);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        drop(out);
+                        self.fail_socket();
+                        return Err(e);
+                    }
+                }
+            }
+        } else {
+            out.queued.extend_from_slice(frame);
+        }
+        // Leftover bytes: hand the flush to the reactor. Arming goes
+        // through the shard's op queue so all epoll_ctl calls stay on the
+        // shard thread; `armed` (under the out lock) dedupes requests.
+        if !out.armed && self.inner.registered.load(Ordering::Acquire) {
+            out.armed = true;
+            drop(out);
+            if let Some(r) = self.reactor.upgrade() {
+                r.enqueue(self.inner.shard, Op::Arm(self.inner.token));
+            }
+        }
+        Ok(())
+    }
+
+    /// Initiates teardown: shuts the socket down both ways so the owning
+    /// shard observes EOF and runs the close path (firing
+    /// [`Sink::on_closed`]). Safe to call from any thread, idempotent.
+    pub fn close(&self) {
+        self.fail_socket();
+    }
+
+    /// Whether the reactor has torn this connection down (or teardown
+    /// has been requested).
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Local address of the underlying socket.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.inner.stream.local_addr()
+    }
+
+    fn fail_socket(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        let _ = self.inner.stream.shutdown(Shutdown::Both);
+        if let Some(r) = self.reactor.upgrade() {
+            r.shards[self.inner.shard]
+                .sweep
+                .store(true, Ordering::Release);
+            r.shards[self.inner.shard].poller.wake();
+        }
+    }
+}
+
+/// Handle for a listener registered with [`Reactor::listen`]. Closing it
+/// removes the listener from the poll set and closes the socket, so new
+/// connection attempts are refused.
+#[derive(Debug)]
+pub struct ListenerHandle {
+    token: u64,
+    shard: usize,
+    reactor: Weak<Reactor>,
+}
+
+impl ListenerHandle {
+    /// Synchronously deregisters and closes the listening socket. After
+    /// this returns, connection attempts to the address are refused.
+    pub fn close(&self) {
+        if let Some(r) = self.reactor.upgrade() {
+            let ack = Arc::new(OpAck::default());
+            r.enqueue(self.shard, Op::Del(self.token, Some(ack.clone())));
+            ack.wait();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct OpAck {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl OpAck {
+    fn fire(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self
+                .cv
+                .wait_timeout(done, Duration::from_millis(500))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard plumbing
+// ---------------------------------------------------------------------------
+
+type AcceptFn = Box<dyn Fn(TcpStream) + Send + Sync>;
+
+enum Op {
+    /// Register a connection: add to the poll set and start delivering.
+    AddConn(Arc<ConnInner>, Arc<dyn Sink>),
+    /// Register a listener: accept-ready callbacks.
+    AddListener(u64, TcpListener, AcceptFn),
+    /// Arm EPOLLOUT for a connection with queued outbound bytes.
+    Arm(u64),
+    /// Deregister and drop an entry, acking when done (listener
+    /// shutdown path).
+    Del(u64, Option<Arc<OpAck>>),
+}
+
+enum Entry {
+    Conn {
+        conn: Arc<ConnInner>,
+        sink: Arc<dyn Sink>,
+        assembler: FrameAssembler,
+    },
+    Listener {
+        listener: TcpListener,
+        on_accept: AcceptFn,
+    },
+}
+
+struct ShardState {
+    ops: Mutex<Vec<Op>>,
+    poller: Poller,
+    /// Set when a connection was closed externally (handle close,
+    /// transport drop); tells the shard to sweep for dead entries.
+    sweep: AtomicBool,
+}
+
+/// The reactor: `N` shard threads, each owning an epoll instance (or the
+/// portable fallback poller) and a token-keyed table of connections and
+/// listeners. Sockets are assigned to shards round-robin at
+/// registration.
+pub struct Reactor {
+    shards: Vec<Arc<ShardState>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next_token: AtomicU64,
+    next_shard: AtomicUsize,
+    stopping: AtomicBool,
+    ticks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    wire: Arc<WireStats>,
+    /// Set once `Self` is wrapped in its `Arc`, so handles can hold a
+    /// `Weak` back-reference without a retain cycle.
+    self_ref: Mutex<Weak<Reactor>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Spawns a reactor with `threads` shard threads (clamped to at
+    /// least one). Readiness wakeups are charged to
+    /// `wire.reactor_wakeups`.
+    pub fn new(threads: usize, wire: Arc<WireStats>) -> io::Result<Arc<Self>> {
+        let threads = threads.max(1);
+        let mut shards = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            shards.push(Arc::new(ShardState {
+                ops: Mutex::new(Vec::new()),
+                poller: Poller::new()?,
+                sweep: AtomicBool::new(false),
+            }));
+        }
+        let reactor = Arc::new(Reactor {
+            shards,
+            threads: Mutex::new(Vec::new()),
+            next_token: AtomicU64::new(1),
+            next_shard: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            ticks: Mutex::new(Vec::new()),
+            wire,
+            self_ref: Mutex::new(Weak::new()),
+        });
+        *reactor.self_ref.lock().unwrap_or_else(|e| e.into_inner()) = Arc::downgrade(&reactor);
+        let mut handles = Vec::with_capacity(threads);
+        for (idx, shard) in reactor.shards.iter().enumerate() {
+            let shard = shard.clone();
+            let r = Arc::downgrade(&reactor);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ww-reactor-{idx}"))
+                    .spawn(move || shard_loop(idx, shard, r))
+                    .expect("spawn reactor thread"),
+            );
+        }
+        *reactor.threads.lock().unwrap_or_else(|e| e.into_inner()) = handles;
+        Ok(reactor)
+    }
+
+    fn weak(&self) -> Weak<Reactor> {
+        self.self_ref
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Prepares a socket for registration: switches it to nonblocking
+    /// mode and builds the write/close handle. The connection is not in
+    /// the poll set until [`Reactor::activate`] attaches its sink —
+    /// two-phase so the sink can capture the handle.
+    pub fn attach(&self, stream: TcpStream) -> io::Result<ConnHandle> {
+        stream.set_nonblocking(true)?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let inner = Arc::new(ConnInner {
+            token,
+            shard,
+            stream,
+            out: Mutex::new(OutBuf::default()),
+            closed: AtomicBool::new(false),
+            registered: AtomicBool::new(false),
+        });
+        Ok(ConnHandle {
+            inner,
+            reactor: self.weak(),
+        })
+    }
+
+    /// Completes registration of an attached connection: the socket
+    /// joins its shard's poll set and `sink` starts receiving frames.
+    pub fn activate(&self, handle: &ConnHandle, sink: Arc<dyn Sink>) {
+        self.enqueue(handle.inner.shard, Op::AddConn(handle.inner.clone(), sink));
+    }
+
+    /// Registers a listening socket; `on_accept` runs on the shard
+    /// thread for every accepted connection (it should do no more than
+    /// configure and re-register the socket).
+    pub fn listen(
+        &self,
+        listener: TcpListener,
+        on_accept: impl Fn(TcpStream) + Send + Sync + 'static,
+    ) -> io::Result<ListenerHandle> {
+        listener.set_nonblocking(true)?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let shard = 0;
+        self.enqueue(shard, Op::AddListener(token, listener, Box::new(on_accept)));
+        Ok(ListenerHandle {
+            token,
+            shard,
+            reactor: self.weak(),
+        })
+    }
+
+    /// Registers a housekeeping closure run roughly every 250ms on one
+    /// shard thread (used by the connection pool's idle reaper). Hold
+    /// only `Weak` references inside the closure.
+    pub fn add_tick(&self, tick: impl Fn() + Send + Sync + 'static) {
+        self.ticks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(tick));
+    }
+
+    fn enqueue(&self, shard: usize, op: Op) {
+        self.shards[shard]
+            .ops
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(op);
+        self.shards[shard].poller.wake();
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.stopping.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.poller.wake();
+        }
+        let handles = std::mem::take(&mut *self.threads.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard event loop
+// ---------------------------------------------------------------------------
+
+fn shard_loop(idx: usize, shard: Arc<ShardState>, reactor: Weak<Reactor>) {
+    let mut entries: HashMap<u64, Entry> = HashMap::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut events: Vec<(u64, Readiness)> = Vec::new();
+    let mut last_tick = Instant::now();
+    loop {
+        // Apply queued registration / arm / deregistration ops first, so
+        // a wakeup is never consumed without its op.
+        let ops = std::mem::take(&mut *shard.ops.lock().unwrap_or_else(|e| e.into_inner()));
+        for op in ops {
+            apply_op(&shard, &mut entries, op);
+        }
+
+        let stopping = match reactor.upgrade() {
+            Some(r) => r.stopping.load(Ordering::Acquire),
+            None => true,
+        };
+        if stopping {
+            break;
+        }
+
+        events.clear();
+        if shard.poller.wait(&mut events, TICK).is_err() {
+            break;
+        }
+        if !events.is_empty() {
+            if let Some(r) = reactor.upgrade() {
+                r.wire.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        for (token, ready) in events.drain(..) {
+            let closed = match entries.get_mut(&token) {
+                Some(Entry::Listener {
+                    listener,
+                    on_accept,
+                }) => {
+                    if ready.readable {
+                        accept_ready(listener, on_accept);
+                    }
+                    None
+                }
+                Some(Entry::Conn {
+                    conn,
+                    sink,
+                    assembler,
+                }) => handle_conn_ready(&shard.poller, conn, sink, assembler, ready, &mut scratch),
+                None => None,
+            };
+            if let Some(reason) = closed {
+                close_entry(&shard, &mut entries, token, reason);
+            }
+        }
+
+        // Connections shut down externally (ConnHandle::close, transport
+        // drop) also surface as readiness events, but the sweep flag makes
+        // teardown deterministic on both poller backends.
+        if shard.sweep.swap(false, Ordering::AcqRel) {
+            let dead: Vec<u64> = entries
+                .iter()
+                .filter_map(|(t, e)| match e {
+                    Entry::Conn { conn, .. } if conn.closed.load(Ordering::Acquire) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            for token in dead {
+                close_entry(&shard, &mut entries, token, "connection lost");
+            }
+        }
+
+        if idx == 0 && last_tick.elapsed() >= TICK {
+            last_tick = Instant::now();
+            if let Some(r) = reactor.upgrade() {
+                let ticks = r.ticks.lock().unwrap_or_else(|e| e.into_inner());
+                for t in ticks.iter() {
+                    t();
+                }
+            }
+        }
+    }
+    // Reactor is shutting down: fail every connection so blocked senders
+    // wake with a connection-lost verdict instead of hanging.
+    let tokens: Vec<u64> = entries.keys().copied().collect();
+    for token in tokens {
+        close_entry(&shard, &mut entries, token, "connection lost");
+    }
+}
+
+fn apply_op(shard: &ShardState, entries: &mut HashMap<u64, Entry>, op: Op) {
+    match op {
+        Op::AddConn(conn, sink) => {
+            if conn.closed.load(Ordering::Acquire) {
+                sink.on_closed("connection lost");
+                return;
+            }
+            if shard
+                .poller
+                .register_stream(&conn.stream, conn.token)
+                .is_err()
+            {
+                conn.closed.store(true, Ordering::Release);
+                sink.on_closed("connection lost");
+                return;
+            }
+            conn.registered.store(true, Ordering::Release);
+            // A sender may have queued bytes between attach and now; the
+            // registration just made was read-only, so arm the write side
+            // if anything is waiting.
+            {
+                let mut out = conn.out.lock().unwrap_or_else(|e| e.into_inner());
+                if !out.queued.is_empty() {
+                    out.armed = true;
+                    let _ = shard.poller.modify_stream(&conn.stream, conn.token, true);
+                }
+            }
+            entries.insert(
+                conn.token,
+                Entry::Conn {
+                    conn,
+                    sink,
+                    assembler: FrameAssembler::new(),
+                },
+            );
+        }
+        Op::AddListener(token, listener, on_accept) => {
+            if shard.poller.register_listener(&listener, token).is_err() {
+                return;
+            }
+            entries.insert(
+                token,
+                Entry::Listener {
+                    listener,
+                    on_accept,
+                },
+            );
+        }
+        Op::Arm(token) => {
+            if let Some(Entry::Conn { conn, .. }) = entries.get(&token) {
+                let _ = shard.poller.modify_stream(&conn.stream, token, true);
+            }
+        }
+        Op::Del(token, ack) => {
+            close_entry_inner(shard, entries, token, "connection lost");
+            if let Some(ack) = ack {
+                ack.fire();
+            }
+        }
+    }
+}
+
+fn accept_ready(listener: &TcpListener, on_accept: &AcceptFn) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => on_accept(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Transient per-connection accept errors (ECONNABORTED and
+            // friends): skip the socket, keep the listener.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one readiness event for a connection. Returns `Some(reason)`
+/// when the connection must be torn down.
+fn handle_conn_ready(
+    poller: &Poller,
+    conn: &Arc<ConnInner>,
+    sink: &Arc<dyn Sink>,
+    assembler: &mut FrameAssembler,
+    ready: Readiness,
+    scratch: &mut [u8],
+) -> Option<&'static str> {
+    if ready.error {
+        return Some("connection lost");
+    }
+    if ready.writable {
+        if let Some(reason) = flush_outbound(poller, conn) {
+            return Some(reason);
+        }
+    }
+    if ready.readable {
+        loop {
+            match (&conn.stream).read(scratch) {
+                Ok(0) => return Some("connection closed by peer"),
+                Ok(n) => {
+                    assembler.push(&scratch[..n]);
+                    loop {
+                        match assembler.next_frame() {
+                            Ok(Some(body)) => {
+                                if let Err(reason) = sink.on_frame(body) {
+                                    return Some(reason);
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return Some("frame exceeded the length cap"),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Some("connection lost"),
+            }
+        }
+    }
+    None
+}
+
+/// Writes queued outbound bytes until the socket blocks or the buffer
+/// drains; disarms EPOLLOUT when fully flushed. Runs on the owning shard
+/// thread only.
+fn flush_outbound(poller: &Poller, conn: &Arc<ConnInner>) -> Option<&'static str> {
+    let mut out = conn.out.lock().unwrap_or_else(|e| e.into_inner());
+    let mut off = 0;
+    let verdict = loop {
+        if off == out.queued.len() {
+            break None;
+        }
+        match (&conn.stream).write(&out.queued[off..]) {
+            Ok(0) => break Some("connection lost"),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break None,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break Some("connection lost"),
+        }
+    };
+    out.queued.drain(..off);
+    if verdict.is_none() && out.queued.is_empty() && out.armed {
+        // Disarm under the out lock so a concurrent sender's
+        // queue-then-arm cannot interleave with the transition.
+        out.armed = false;
+        if poller
+            .modify_stream(&conn.stream, conn.token, false)
+            .is_err()
+        {
+            return Some("connection lost");
+        }
+    }
+    verdict
+}
+
+/// Removes one entry from the shard: poll-set removal, socket shutdown,
+/// then the sink's single `on_closed`.
+fn close_entry(
+    shard: &ShardState,
+    entries: &mut HashMap<u64, Entry>,
+    token: u64,
+    reason: &'static str,
+) {
+    close_entry_inner(shard, entries, token, reason);
+}
+
+fn close_entry_inner(
+    shard: &ShardState,
+    entries: &mut HashMap<u64, Entry>,
+    token: u64,
+    reason: &'static str,
+) {
+    if let Some(entry) = entries.remove(&token) {
+        match entry {
+            Entry::Conn { conn, sink, .. } => {
+                shard.poller.deregister_stream(&conn.stream, token);
+                conn.closed.store(true, Ordering::Release);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                sink.on_closed(reason);
+            }
+            Entry::Listener { listener, .. } => {
+                shard.poller.deregister_listener(&listener, token);
+                // Dropping the listener closes the fd: new connection
+                // attempts are refused from here on.
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poller: epoll on Linux, portable busy-poll elsewhere
+// ---------------------------------------------------------------------------
+
+/// One readiness report for a registered token.
+#[derive(Debug, Clone, Copy, Default)]
+struct Readiness {
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Minimal epoll + pipe bindings, hand-rolled in the same style as
+    //! the `SO_REUSEADDR` shim in `tcp.rs` (no libc crate).
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    const O_NONBLOCK: i32 = 0x800;
+    const O_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CLOEXEC: i32 = O_CLOEXEC;
+
+    /// Kernel ABI for `struct epoll_event`: packed on x86, naturally
+    /// aligned elsewhere.
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn create() -> io::Result<i32> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(epfd)
+    }
+
+    pub fn make_pipe() -> io::Result<(i32, i32)> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    pub fn ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        if unsafe { epoll_ctl(epfd, op, fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n =
+                unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn drain_pipe(fd: i32) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+
+    pub fn poke_pipe(fd: i32) {
+        let byte = 1u8;
+        unsafe {
+            let _ = write(fd, &byte, 1);
+        }
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            let _ = close(fd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+const WAKE_TOKEN: u64 = u64::MAX;
+
+#[cfg(target_os = "linux")]
+struct Poller {
+    epfd: i32,
+    wake_r: i32,
+    wake_w: i32,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    fn new() -> io::Result<Self> {
+        let epfd = sys::create()?;
+        let (wake_r, wake_w) = match sys::make_pipe() {
+            Ok(p) => p,
+            Err(e) => {
+                sys::close_fd(epfd);
+                return Err(e);
+            }
+        };
+        sys::ctl(epfd, sys::EPOLL_CTL_ADD, wake_r, sys::EPOLLIN, WAKE_TOKEN)?;
+        Ok(Poller {
+            epfd,
+            wake_r,
+            wake_w,
+        })
+    }
+
+    fn register_stream(&self, stream: &TcpStream, token: u64) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            stream.as_raw_fd(),
+            sys::EPOLLIN,
+            token,
+        )
+    }
+
+    fn register_listener(&self, listener: &TcpListener, token: u64) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            listener.as_raw_fd(),
+            sys::EPOLLIN,
+            token,
+        )
+    }
+
+    fn modify_stream(&self, stream: &TcpStream, token: u64, want_write: bool) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        let events = if want_write {
+            sys::EPOLLIN | sys::EPOLLOUT
+        } else {
+            sys::EPOLLIN
+        };
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            stream.as_raw_fd(),
+            events,
+            token,
+        )
+    }
+
+    fn deregister_stream(&self, stream: &TcpStream, _token: u64) {
+        use std::os::fd::AsRawFd;
+        let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, stream.as_raw_fd(), 0, 0);
+    }
+
+    fn deregister_listener(&self, listener: &TcpListener, _token: u64) {
+        use std::os::fd::AsRawFd;
+        let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, listener.as_raw_fd(), 0, 0);
+    }
+
+    fn wake(&self) {
+        sys::poke_pipe(self.wake_w);
+    }
+
+    fn wait(&self, out: &mut Vec<(u64, Readiness)>, timeout: Duration) -> io::Result<()> {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        let n = sys::wait(self.epfd, &mut events, timeout.as_millis() as i32)?;
+        for ev in &events[..n] {
+            let data = ev.data;
+            let bits = ev.events;
+            if data == WAKE_TOKEN {
+                sys::drain_pipe(self.wake_r);
+                continue;
+            }
+            out.push((
+                data,
+                Readiness {
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    error: bits & sys::EPOLLERR != 0,
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.wake_r);
+        sys::close_fd(self.wake_w);
+        sys::close_fd(self.epfd);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+struct Poller {
+    /// Tokens currently registered; the fallback reports every one of
+    /// them as read- and write-ready each pass (level-triggered busy
+    /// poll — nonblocking sockets make that correct, if inefficient).
+    tokens: Mutex<std::collections::HashSet<u64>>,
+    poked: Mutex<bool>,
+    cv: Condvar,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    fn new() -> io::Result<Self> {
+        Ok(Poller {
+            tokens: Mutex::new(std::collections::HashSet::new()),
+            poked: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn register_stream(&self, _stream: &TcpStream, token: u64) -> io::Result<()> {
+        self.tokens
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(token);
+        Ok(())
+    }
+
+    fn register_listener(&self, _listener: &TcpListener, token: u64) -> io::Result<()> {
+        self.tokens
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(token);
+        Ok(())
+    }
+
+    fn modify_stream(&self, _stream: &TcpStream, _token: u64, _want_write: bool) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn deregister_stream(&self, _stream: &TcpStream, token: u64) {
+        self.tokens
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&token);
+    }
+
+    fn deregister_listener(&self, _listener: &TcpListener, token: u64) {
+        self.tokens
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&token);
+    }
+
+    fn wake(&self) {
+        let mut poked = self.poked.lock().unwrap_or_else(|e| e.into_inner());
+        *poked = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, out: &mut Vec<(u64, Readiness)>, timeout: Duration) -> io::Result<()> {
+        let nap = timeout.min(Duration::from_millis(5));
+        {
+            let poked = self.poked.lock().unwrap_or_else(|e| e.into_inner());
+            if !*poked {
+                let _ = self
+                    .cv
+                    .wait_timeout(poked, nap)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        *self.poked.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        for token in self.tokens.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            out.push((
+                *token,
+                Readiness {
+                    readable: true,
+                    writable: true,
+                    error: false,
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    #[test]
+    fn assembler_handles_split_and_coalesced_frames() {
+        let f1 = wire::encode_response_ok(7, &crate::envelope::Response::Pong);
+        let f2 = wire::encode_response_ok(9, &crate::envelope::Response::Ack);
+        let mut joined = f1.clone();
+        joined.extend_from_slice(&f2);
+
+        // Byte-at-a-time.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &joined {
+            asm.push(std::slice::from_ref(b));
+            while let Some(body) = asm.next_frame().unwrap() {
+                got.push(body);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], f1[4..].to_vec());
+        assert_eq!(got[1], f2[4..].to_vec());
+        assert_eq!(asm.buffered(), 0);
+
+        // Whole burst at once.
+        let mut asm = FrameAssembler::new();
+        asm.push(&joined);
+        assert_eq!(asm.next_frame().unwrap().unwrap(), f1[4..].to_vec());
+        assert_eq!(asm.next_frame().unwrap().unwrap(), f2[4..].to_vec());
+        assert!(asm.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_announcements_before_buffering() {
+        let mut asm = FrameAssembler::new();
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        asm.push(&huge);
+        let err = asm.next_frame().unwrap_err();
+        assert!(err.to_string().contains("cap"), "got: {err}");
+    }
+
+    struct CountingSink {
+        frames: AtomicUsize,
+        closed: AtomicUsize,
+    }
+
+    impl Sink for CountingSink {
+        fn on_frame(&self, _body: Vec<u8>) -> std::result::Result<(), &'static str> {
+            self.frames.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        fn on_closed(&self, _reason: &'static str) {
+            self.closed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn reactor_moves_frames_between_two_registered_sockets() {
+        let wire_stats = Arc::new(WireStats::default());
+        let reactor = Reactor::new(1, wire_stats.clone()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accepted2 = accepted.clone();
+        let _lh = reactor
+            .listen(listener, move |s| {
+                accepted2.lock().unwrap().push(s);
+            })
+            .unwrap();
+
+        let client = TcpStream::connect(addr).unwrap();
+        let sink = Arc::new(CountingSink {
+            frames: AtomicUsize::new(0),
+            closed: AtomicUsize::new(0),
+        });
+        let handle = reactor.attach(client).unwrap();
+        reactor.activate(&handle, sink.clone());
+
+        // Wait for the accept to land, then write a frame from the
+        // server side with plain blocking I/O.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let server_side = loop {
+            if let Some(s) = accepted.lock().unwrap().pop() {
+                break s;
+            }
+            assert!(Instant::now() < deadline, "accept never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let frame = wire::encode_response_ok(1, &crate::envelope::Response::Pong);
+        (&server_side).write_all(&frame).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.frames.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "frame never delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Outbound path: send through the handle, read on the blocking side.
+        handle.send(&frame).unwrap();
+        let mut echoed = vec![0u8; frame.len()];
+        (&server_side).read_exact(&mut echoed).unwrap();
+        assert_eq!(echoed, frame);
+
+        // Peer hangup tears the connection down exactly once.
+        drop(server_side);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.closed.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "close never delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sink.closed.load(Ordering::SeqCst), 1);
+        assert!(handle.is_closed());
+        assert!(wire_stats.reactor_wakeups.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn closing_the_listener_refuses_new_connections() {
+        let reactor = Reactor::new(1, Arc::new(WireStats::default())).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let lh = reactor.listen(listener, |_s| {}).unwrap();
+        // Prove the listener accepts, then close it and expect refusal.
+        TcpStream::connect(addr).unwrap();
+        lh.close();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+            "listener should refuse after close"
+        );
+    }
+}

@@ -1,20 +1,28 @@
-//! The TCP transport: the same [`Transport`] seam over real sockets.
+//! The TCP transport: the same [`Transport`] seam over real sockets,
+//! driven by the event-loop [`Reactor`](crate::reactor::Reactor).
 //!
 //! [`TcpTransport`] is the client side — a per-destination-address
 //! connection pool where **one connection carries many concurrent
 //! in-flight RPCs**, correlated by a transport-level id stamped into each
-//! frame (the worker pools of the parallel read path multiplex over a
-//! single socket instead of opening one per request). [`TcpRpcServer`] is
-//! the listener side — it accepts connections and dispatches decoded
-//! requests to the very same [`HandlerRegistry`] the in-proc transport
-//! delivers to, so a server process behaves identically however it is
-//! reached.
+//! frame. There is no reader thread per connection: every pooled socket
+//! is registered with a shared reactor, whose shard threads assemble
+//! response frames incrementally and wake the exact sender waiting on the
+//! matching correlation id. [`TcpRpcServer`] is the listener side — the
+//! same reactor multiplexes the listening socket and every accepted
+//! connection; decoded requests are executed by a small fixed worker pool
+//! (ingest > query > metadata priority bands) dispatching the very same
+//! [`HandlerRegistry`] the in-proc transport delivers to, so a server
+//! process behaves identically however it is reached. Total thread count
+//! is O(reactor_threads + workers), independent of connection count.
 //!
 //! Failure mapping keeps the retry layer above untouched:
 //!
 //! * no route / connect failure / connection lost → [`WwError::Unreachable`]
 //! * response not arrived by the envelope deadline → [`WwError::Timeout`]
 //!   (the RPC slot is abandoned; a late response is dropped on arrival)
+//! * worker queue full → [`WwError::Overloaded`] with a retry-after hint,
+//!   answered directly from the reactor without running the handler (the
+//!   admission layer installed on the registry sheds the same way)
 //! * an **error returned by the remote handler** travels back inside the
 //!   response frame and is returned verbatim — like in-proc, it is an
 //!   answer, not a delivery failure, and bumps no fault counters.
@@ -22,19 +30,24 @@
 //! Reconnection is lazy with bounded backoff: a send that finds its pooled
 //! connection dead dials a fresh one, retrying until the envelope deadline
 //! would pass; [`WireStats`] counts first connects and reconnects apart so
-//! flapping links are visible in metrics.
+//! flapping links are visible in metrics. Pool hygiene is handled by the
+//! reactor's housekeeping tick: connections idle past
+//! [`TcpClientOptions::pool_idle_timeout`] with no in-flight RPCs are
+//! reaped, and the pool is capped at
+//! [`TcpClientOptions::pool_max_connections`] entries.
 //!
 //! Predicates cannot cross the wire (they are opaque closures); the
 //! transport re-applies the sender's predicate to returned tuples, so
 //! subquery answers are exactly what an in-proc run yields.
 
 use crate::envelope::{Envelope, Request, Response};
+use crate::reactor::{ConnHandle, ListenerHandle, Reactor, Sink};
 use crate::transport::{HandlerRegistry, RpcStatsRegistry, Transport};
 use crate::wire;
-use std::collections::HashMap;
-use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 use waterwheel_core::{Result, ServerId, Tuple, WwError};
 
@@ -52,6 +65,8 @@ pub struct WireStats {
     pub reconnects: AtomicU64,
     /// Frames that failed to decode (the connection is dropped).
     pub decode_errors: AtomicU64,
+    /// Reactor poll returns that carried at least one readiness event.
+    pub reactor_wakeups: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`WireStats`].
@@ -67,6 +82,8 @@ pub struct WireTotals {
     pub reconnects: u64,
     /// Frame decode errors.
     pub decode_errors: u64,
+    /// Event-bearing reactor wakeups.
+    pub reactor_wakeups: u64,
 }
 
 impl WireStats {
@@ -78,6 +95,7 @@ impl WireStats {
             connects: self.connects.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
         }
     }
 }
@@ -93,71 +111,16 @@ enum SlotValue {
 
 type Slot = Arc<(Mutex<Option<SlotValue>>, Condvar)>;
 
-/// One pooled connection: a shared writer, the in-flight RPC slots keyed
-/// by correlation id, and a detached reader thread that fills them.
-struct Connection {
-    writer: Mutex<TcpStream>,
+/// The reactor-facing half of one pooled client connection: routes each
+/// decoded response frame into the in-flight slot matching its
+/// correlation id.
+struct ClientSink {
     pending: Mutex<HashMap<u64, Slot>>,
     dead: AtomicBool,
-    /// A clone of the underlying socket kept for `shutdown` — shutting
-    /// down any clone tears down the socket for all of them, which is how
-    /// the pool unblocks its reader thread.
-    raw: TcpStream,
+    wire: Arc<WireStats>,
 }
 
-impl Connection {
-    fn open(stream: TcpStream, wire: Arc<WireStats>) -> Result<Arc<Self>> {
-        stream.set_nodelay(true).map_err(WwError::Io)?;
-        let reader = stream.try_clone().map_err(WwError::Io)?;
-        let raw = stream.try_clone().map_err(WwError::Io)?;
-        let conn = Arc::new(Self {
-            writer: Mutex::new(stream),
-            pending: Mutex::new(HashMap::new()),
-            dead: AtomicBool::new(false),
-            raw,
-        });
-        let for_reader = Arc::clone(&conn);
-        std::thread::spawn(move || for_reader.reader_loop(reader, wire));
-        Ok(conn)
-    }
-
-    /// Drains response frames into their slots until the socket dies.
-    fn reader_loop(&self, mut stream: TcpStream, wire: Arc<WireStats>) {
-        let reason = loop {
-            match wire::read_frame(&mut stream) {
-                Ok(Some(body)) => {
-                    wire.bytes_in
-                        .fetch_add((body.len() + 4) as u64, Ordering::Relaxed);
-                    match wire::decode_frame(&body) {
-                        Ok(wire::Frame::Response { corr, result }) => {
-                            // A slot may be gone: the sender timed out and
-                            // abandoned the RPC. Drop the late response.
-                            if let Some(slot) = self.pending.lock().unwrap().remove(&corr) {
-                                let len = (body.len() + 4) as u64;
-                                *slot.0.lock().unwrap() = Some(SlotValue::Remote(result, len));
-                                slot.1.notify_all();
-                            }
-                        }
-                        Ok(wire::Frame::Request { .. }) => {
-                            // A peer sending requests down a client
-                            // connection is confused; treat as corruption.
-                            wire.decode_errors.fetch_add(1, Ordering::Relaxed);
-                            break "peer sent a request on a client connection";
-                        }
-                        Err(_) => {
-                            wire.decode_errors.fetch_add(1, Ordering::Relaxed);
-                            break "response frame failed to decode";
-                        }
-                    }
-                }
-                Ok(None) => break "connection closed by peer",
-                Err(_) => break "connection lost",
-            }
-        };
-        self.fail_all(reason);
-        let _ = self.raw.shutdown(NetShutdown::Both);
-    }
-
+impl ClientSink {
     /// Marks the connection dead and wakes every in-flight sender with a
     /// delivery failure.
     fn fail_all(&self, reason: &'static str) {
@@ -176,19 +139,142 @@ impl Connection {
     }
 }
 
+impl Sink for ClientSink {
+    fn on_frame(&self, body: Vec<u8>) -> std::result::Result<(), &'static str> {
+        let len = (body.len() + 4) as u64;
+        self.wire.bytes_in.fetch_add(len, Ordering::Relaxed);
+        match wire::decode_frame(&body) {
+            Ok(wire::Frame::Response { corr, result }) => {
+                // A slot may be gone: the sender timed out and abandoned
+                // the RPC. Drop the late response.
+                if let Some(slot) = self.pending.lock().unwrap().remove(&corr) {
+                    *slot.0.lock().unwrap() = Some(SlotValue::Remote(result, len));
+                    slot.1.notify_all();
+                }
+                Ok(())
+            }
+            Ok(wire::Frame::Request { .. }) => {
+                // A peer sending requests down a client connection is
+                // confused; treat as corruption.
+                self.wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                Err("peer sent a request on a client connection")
+            }
+            Err(_) => {
+                self.wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                Err("response frame failed to decode")
+            }
+        }
+    }
+
+    fn on_closed(&self, reason: &'static str) {
+        self.fail_all(reason);
+    }
+}
+
+/// One pooled connection: the reactor write handle, its sink (slots), and
+/// the last checkout time for idle reaping.
+struct PooledConn {
+    handle: ConnHandle,
+    sink: Arc<ClientSink>,
+    last_used: Mutex<Instant>,
+}
+
+impl PooledConn {
+    fn live(&self) -> bool {
+        !self.handle.is_closed() && !self.sink.dead.load(Ordering::Acquire)
+    }
+}
+
+/// The connection pool proper, shared with the reactor's housekeeping
+/// tick (which reaps it) via a `Weak`.
+struct PoolState {
+    conns: Mutex<HashMap<SocketAddr, Arc<PooledConn>>>,
+    idle_timeout: Duration,
+    max_connections: usize,
+}
+
+impl PoolState {
+    /// Drops dead entries and closes connections idle past the timeout
+    /// with no in-flight RPCs. Runs on the reactor tick (~4 Hz).
+    fn reap(&self) {
+        let mut conns = self.conns.lock().unwrap();
+        conns.retain(|_, c| {
+            if !c.live() {
+                return false;
+            }
+            if self.idle_timeout.is_zero() {
+                return true; // reaping disabled
+            }
+            let idle = c.last_used.lock().unwrap().elapsed() >= self.idle_timeout;
+            if idle && c.sink.pending.lock().unwrap().is_empty() {
+                c.handle.close();
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Makes room for one more entry when at the cap: evicts the
+    /// least-recently-used dead or in-flight-free connection. With every
+    /// entry busy the cap is soft — evicting a busy connection would fail
+    /// its in-flight RPCs for nothing.
+    fn make_room(&self, conns: &mut HashMap<SocketAddr, Arc<PooledConn>>) {
+        while conns.len() >= self.max_connections {
+            let victim = conns
+                .iter()
+                .filter(|(_, c)| !c.live() || c.sink.pending.lock().unwrap().is_empty())
+                .min_by_key(|(_, c)| *c.last_used.lock().unwrap())
+                .map(|(addr, _)| *addr);
+            match victim {
+                Some(addr) => {
+                    if let Some(c) = conns.remove(&addr) {
+                        c.handle.close();
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Construction knobs for [`TcpTransport`] (see the `net_*` fields of
+/// `SystemConfig` for the system-level plumbing).
+#[derive(Clone, Copy, Debug)]
+pub struct TcpClientOptions {
+    /// Reactor shard threads multiplexing the pooled sockets.
+    pub reactor_threads: usize,
+    /// Close pooled connections idle (no in-flight RPCs) this long; zero
+    /// disables reaping.
+    pub pool_idle_timeout: Duration,
+    /// Soft cap on pooled connections (LRU idle entries are evicted).
+    pub pool_max_connections: usize,
+}
+
+impl Default for TcpClientOptions {
+    fn default() -> Self {
+        Self {
+            reactor_threads: 1,
+            pool_idle_timeout: Duration::from_secs(60),
+            pool_max_connections: 64,
+        }
+    }
+}
+
 /// The [`Transport`] implementation over real TCP sockets.
 pub struct TcpTransport {
     peers: Mutex<HashMap<ServerId, SocketAddr>>,
     /// Fallback route for addresses without a specific peer entry (the
     /// embedded loopback deployment routes every server to one listener).
     default_route: Mutex<Option<SocketAddr>>,
-    pool: Mutex<HashMap<SocketAddr, Arc<Connection>>>,
+    pool: Arc<PoolState>,
     /// Addresses ever connected, to tell reconnects from first connects.
     ever_connected: Mutex<std::collections::HashSet<SocketAddr>>,
     stats: RpcStatsRegistry,
     wire: Arc<WireStats>,
     next_corr: AtomicU64,
     connect_backoff: Duration,
+    reactor: Arc<Reactor>,
 }
 
 impl TcpTransport {
@@ -198,17 +284,36 @@ impl TcpTransport {
     }
 
     /// An empty transport charging `wire` (shared with a listener so one
-    /// snapshot covers a whole process).
+    /// snapshot covers a whole process), with default options.
     pub fn with_wire_stats(wire: Arc<WireStats>) -> Self {
+        Self::with_options(wire, TcpClientOptions::default())
+    }
+
+    /// An empty transport with explicit reactor/pool options.
+    pub fn with_options(wire: Arc<WireStats>, opts: TcpClientOptions) -> Self {
+        let reactor = Reactor::new(opts.reactor_threads, Arc::clone(&wire))
+            .expect("create reactor event loop");
+        let pool = Arc::new(PoolState {
+            conns: Mutex::new(HashMap::new()),
+            idle_timeout: opts.pool_idle_timeout,
+            max_connections: opts.pool_max_connections.max(1),
+        });
+        let for_tick: Weak<PoolState> = Arc::downgrade(&pool);
+        reactor.add_tick(move || {
+            if let Some(p) = for_tick.upgrade() {
+                p.reap();
+            }
+        });
         Self {
             peers: Mutex::new(HashMap::new()),
             default_route: Mutex::new(None),
-            pool: Mutex::new(HashMap::new()),
+            pool,
             ever_connected: Mutex::new(std::collections::HashSet::new()),
             stats: RpcStatsRegistry::default(),
             wire,
             next_corr: AtomicU64::new(1),
             connect_backoff: Duration::from_millis(10),
+            reactor,
         }
     }
 
@@ -236,6 +341,12 @@ impl TcpTransport {
         &self.wire
     }
 
+    /// Number of currently pooled connections (dead entries included
+    /// until the next reap).
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.conns.lock().unwrap().len()
+    }
+
     fn route(&self, dst: ServerId) -> Option<SocketAddr> {
         self.peers
             .lock()
@@ -245,13 +356,32 @@ impl TcpTransport {
             .or(*self.default_route.lock().unwrap())
     }
 
+    /// Dials, configures, and registers one fresh connection.
+    fn open_conn(&self, stream: TcpStream) -> Result<Arc<PooledConn>> {
+        stream.set_nodelay(true).map_err(WwError::Io)?;
+        let handle = self.reactor.attach(stream).map_err(WwError::Io)?;
+        let sink = Arc::new(ClientSink {
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            wire: Arc::clone(&self.wire),
+        });
+        self.reactor
+            .activate(&handle, Arc::clone(&sink) as Arc<dyn Sink>);
+        Ok(Arc::new(PooledConn {
+            handle,
+            sink,
+            last_used: Mutex::new(Instant::now()),
+        }))
+    }
+
     /// A live pooled connection to `addr`, dialing (with backoff bounded
     /// by `deadline`) if none exists or the pooled one died.
-    fn connection(&self, addr: SocketAddr, deadline: Instant) -> Result<Arc<Connection>> {
+    fn connection(&self, addr: SocketAddr, deadline: Instant) -> Result<Arc<PooledConn>> {
         let mut attempt = 0u32;
         loop {
-            if let Some(conn) = self.pool.lock().unwrap().get(&addr) {
-                if !conn.dead.load(Ordering::Acquire) {
+            if let Some(conn) = self.pool.conns.lock().unwrap().get(&addr) {
+                if conn.live() {
+                    *conn.last_used.lock().unwrap() = Instant::now();
                     return Ok(Arc::clone(conn));
                 }
             }
@@ -261,16 +391,15 @@ impl TcpTransport {
             }
             match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_secs(1))) {
                 Ok(stream) => {
-                    let fresh = Connection::open(stream, Arc::clone(&self.wire))?;
-                    let mut pool = self.pool.lock().unwrap();
+                    let fresh = self.open_conn(stream)?;
+                    let mut conns = self.pool.conns.lock().unwrap();
                     // Another sender may have raced us to a live connection;
-                    // prefer the pooled one and retire ours (its reader
-                    // exits on the shutdown-induced EOF).
-                    if let Some(existing) = pool.get(&addr) {
-                        if !existing.dead.load(Ordering::Acquire) {
+                    // prefer the pooled one and retire ours.
+                    if let Some(existing) = conns.get(&addr) {
+                        if existing.live() {
                             let existing = Arc::clone(existing);
-                            drop(pool);
-                            let _ = fresh.raw.shutdown(NetShutdown::Both);
+                            drop(conns);
+                            fresh.handle.close();
                             return Ok(existing);
                         }
                     }
@@ -279,7 +408,8 @@ impl TcpTransport {
                     } else {
                         self.wire.reconnects.fetch_add(1, Ordering::Relaxed);
                     }
-                    pool.insert(addr, Arc::clone(&fresh));
+                    self.pool.make_room(&mut conns);
+                    conns.insert(addr, Arc::clone(&fresh));
                     return Ok(fresh);
                 }
                 Err(_) => {
@@ -304,9 +434,10 @@ impl Default for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Tear down pooled sockets so detached reader threads exit.
-        for conn in self.pool.lock().unwrap().values() {
-            let _ = conn.raw.shutdown(NetShutdown::Both);
+        // Tear down pooled sockets so the reactor releases their entries
+        // (and any stragglers blocked on slots are woken).
+        for conn in self.pool.conns.lock().unwrap().values() {
+            conn.handle.close();
         }
     }
 }
@@ -338,32 +469,32 @@ impl Transport for TcpTransport {
 
         let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
         let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
-        conn.pending.lock().unwrap().insert(corr, Arc::clone(&slot));
+        conn.sink
+            .pending
+            .lock()
+            .unwrap()
+            .insert(corr, Arc::clone(&slot));
 
         let frame = wire::encode_request(corr, &env);
         link.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.wire
             .bytes_out
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        {
-            let mut w = conn.writer.lock().unwrap();
-            if let Err(e) = std::io::Write::write_all(&mut *w, &frame) {
-                drop(w);
-                conn.pending.lock().unwrap().remove(&corr);
-                conn.fail_all("connection lost while sending");
-                let _ = conn.raw.shutdown(NetShutdown::Both);
-                link.unreachable.fetch_add(1, Ordering::Relaxed);
-                return Err(WwError::Unreachable(
-                    if e.kind() == std::io::ErrorKind::BrokenPipe {
-                        "connection closed by peer"
-                    } else {
-                        "connection lost while sending"
-                    },
-                ));
-            }
+        if let Err(e) = conn.handle.send(&frame) {
+            conn.sink.pending.lock().unwrap().remove(&corr);
+            conn.sink.fail_all("connection lost while sending");
+            conn.handle.close();
+            link.unreachable.fetch_add(1, Ordering::Relaxed);
+            return Err(WwError::Unreachable(
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    "connection closed by peer"
+                } else {
+                    "connection lost while sending"
+                },
+            ));
         }
 
-        // Wait for the reader thread to fill the slot, up to the deadline.
+        // Wait for the reactor to fill the slot, up to the deadline.
         let (lock, cvar) = &*slot;
         let mut value = lock.lock().unwrap();
         loop {
@@ -391,7 +522,7 @@ impl Transport for TcpTransport {
             let remaining = env.deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 drop(value);
-                conn.pending.lock().unwrap().remove(&corr);
+                conn.sink.pending.lock().unwrap().remove(&corr);
                 link.timed_out.fetch_add(1, Ordering::Relaxed);
                 return Err(WwError::Timeout("rpc response exceeded the deadline"));
             }
@@ -489,22 +620,242 @@ fn bind_reuseaddr_one(sa: SocketAddr) -> std::io::Result<TcpListener> {
     TcpListener::bind(sa)
 }
 
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+/// Which worker band a request is queued on: ingest beats query beats
+/// metadata. Control traffic (ping, shutdown) rides the top band so
+/// liveness probes answer even under load.
+fn priority_band(req: &Request) -> usize {
+    match req {
+        Request::Ingest { .. }
+        | Request::IngestBatch { .. }
+        | Request::Flush
+        | Request::Ping
+        | Request::Shutdown => 0,
+        Request::InMemorySubquery { .. }
+        | Request::AggregateInMemory { .. }
+        | Request::ChunkSubquery { .. }
+        | Request::ReadSummary { .. }
+        | Request::ClientQuery { .. }
+        | Request::ClientAggregate { .. } => 1,
+        Request::Meta(_) => 2,
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Bands {
+    queues: [VecDeque<Job>; 3],
+    depth: usize,
+}
+
+/// Shared state of the server's worker pool: three priority queues under
+/// one lock, a depth cap, and a stop flag.
+struct WorkerShared {
+    bands: Mutex<Bands>,
+    cv: Condvar,
+    stopping: AtomicBool,
+    cap: usize,
+}
+
+impl WorkerShared {
+    /// Enqueues a job on `band`; fails (returning the job) when the
+    /// total queued depth is at the cap — the caller sheds the request.
+    fn push(&self, band: usize, job: Job) -> std::result::Result<(), Job> {
+        let mut bands = self.bands.lock().unwrap();
+        if bands.depth >= self.cap || self.stopping.load(Ordering::Acquire) {
+            return Err(job);
+        }
+        bands.queues[band].push_back(job);
+        bands.depth += 1;
+        drop(bands);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Pops the highest-priority queued job, blocking until one arrives
+    /// or the pool stops.
+    fn pop(&self) -> Option<Job> {
+        let mut bands = self.bands.lock().unwrap();
+        loop {
+            if self.stopping.load(Ordering::Acquire) {
+                return None;
+            }
+            for q in bands.queues.iter_mut() {
+                if let Some(job) = q.pop_front() {
+                    bands.depth -= 1;
+                    return Some(job);
+                }
+            }
+            bands = self.cv.wait(bands).unwrap();
+        }
+    }
+}
+
+struct WorkerPool {
+    shared: Arc<WorkerShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize, cap: usize) -> Self {
+        let shared = Arc::new(WorkerShared {
+            bands: Mutex::new(Bands {
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                depth: 0,
+            }),
+            cv: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            cap: cap.max(1),
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for i in 0..workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ww-server-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.pop() {
+                            job();
+                        }
+                    })
+                    .expect("spawn server worker"),
+            );
+        }
+        Self {
+            shared,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.shared.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.cv.notify_all();
+        let threads = std::mem::take(&mut *self.threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Construction knobs for [`TcpRpcServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpServerOptions {
+    /// Reactor shard threads multiplexing the listener and every
+    /// accepted connection.
+    pub reactor_threads: usize,
+    /// Worker threads executing decoded requests.
+    pub workers: usize,
+    /// Bound on queued-but-not-running requests across all bands;
+    /// overflow is shed with [`WwError::Overloaded`].
+    pub queue_capacity: usize,
+    /// The retry-after hint stamped on queue-overflow sheds.
+    pub overflow_retry_after: Duration,
+}
+
+impl Default for TcpServerOptions {
+    fn default() -> Self {
+        Self {
+            reactor_threads: 1,
+            workers: 8,
+            queue_capacity: 8192,
+            overflow_retry_after: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The reactor-facing half of one accepted server connection: decodes
+/// request frames, queues them on the worker pool by priority, and sheds
+/// overflow with a typed `Overloaded` answer.
+struct ServerConn {
+    handle: ConnHandle,
+    registry: Arc<HandlerRegistry>,
+    wire: Arc<WireStats>,
+    workers: Arc<WorkerShared>,
+    hook: ShutdownHook,
+    overflow_retry_after: Duration,
+}
+
+fn respond(handle: &ConnHandle, wire: &WireStats, corr: u64, result: &Result<Response>) {
+    let frame = wire::encode_response(corr, result);
+    wire.bytes_out
+        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    let _ = handle.send(&frame);
+}
+
+impl Sink for ServerConn {
+    fn on_frame(&self, body: Vec<u8>) -> std::result::Result<(), &'static str> {
+        self.wire
+            .bytes_in
+            .fetch_add((body.len() + 4) as u64, Ordering::Relaxed);
+        let (corr, env) = match wire::decode_frame(&body) {
+            Ok(wire::Frame::Request { corr, env }) => (corr, env),
+            Ok(wire::Frame::Response { .. }) => return Ok(()),
+            Err(_) => {
+                self.wire.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return Err("request frame failed to decode");
+            }
+        };
+
+        if matches!(env.payload, Request::Shutdown) {
+            if let Some(hook) = self.hook.lock().unwrap().take() {
+                // Acknowledge first so the launcher sees a clean answer,
+                // then let the hook tear the process down.
+                respond(&self.handle, &self.wire, corr, &Ok(Response::Ack));
+                hook();
+                return Ok(());
+            }
+        }
+
+        let band = priority_band(&env.payload);
+        let handle = self.handle.clone();
+        let registry = Arc::clone(&self.registry);
+        let wire_stats = Arc::clone(&self.wire);
+        let job: Job = Box::new(move || {
+            let result = registry.dispatch(&env);
+            respond(&handle, &wire_stats, corr, &result);
+        });
+        if self.workers.push(band, job).is_err() {
+            // Worker queue saturated: shed with a typed answer instead of
+            // queueing unboundedly or dropping the frame on the floor.
+            respond(
+                &self.handle,
+                &self.wire,
+                corr,
+                &Err(WwError::Overloaded {
+                    retry_after: self.overflow_retry_after,
+                }),
+            );
+        }
+        Ok(())
+    }
+
+    fn on_closed(&self, _reason: &'static str) {}
+}
+
 /// The listener side: accepts connections and serves a [`HandlerRegistry`].
 ///
-/// Each connection gets a reader thread; each decoded request runs on its
-/// own worker thread so concurrent RPCs multiplexed over one connection
-/// execute concurrently (responses interleave on the shared writer, each
-/// carrying its request's correlation id).
+/// A shared reactor multiplexes the listening socket and every accepted
+/// connection; decoded requests run on a fixed worker pool with
+/// ingest > query > metadata priority. Thread count is
+/// O(reactor_threads + workers) regardless of how many clients connect.
 pub struct TcpRpcServer {
     local_addr: SocketAddr,
-    stopping: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    stopped: AtomicBool,
+    listener: Mutex<Option<ListenerHandle>>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+    workers: WorkerPool,
+    /// Keeps the shard threads alive; dropped last.
+    _reactor: Arc<Reactor>,
 }
 
 impl TcpRpcServer {
     /// Binds `addr` (port 0 picks a free port — see [`local_addr`](Self::local_addr))
-    /// and starts serving `registry`.
+    /// and starts serving `registry` with default options.
     ///
     /// `shutdown_hook`, when set, intercepts [`Request::Shutdown`]: the
     /// request is acknowledged on the wire and the hook then runs (node
@@ -516,35 +867,74 @@ impl TcpRpcServer {
         wire: Arc<WireStats>,
         shutdown_hook: Option<Box<dyn FnOnce() + Send>>,
     ) -> Result<Self> {
+        Self::bind_with(
+            addr,
+            registry,
+            wire,
+            shutdown_hook,
+            TcpServerOptions::default(),
+        )
+    }
+
+    /// [`bind`](Self::bind) with explicit reactor/worker options.
+    pub fn bind_with(
+        addr: &str,
+        registry: Arc<HandlerRegistry>,
+        wire: Arc<WireStats>,
+        shutdown_hook: Option<Box<dyn FnOnce() + Send>>,
+        opts: TcpServerOptions,
+    ) -> Result<Self> {
         let listener = bind_reuseaddr(addr).map_err(WwError::Io)?;
         let local_addr = listener.local_addr().map_err(WwError::Io)?;
-        let stopping = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let reactor = Reactor::new(opts.reactor_threads, Arc::clone(&wire)).map_err(WwError::Io)?;
+        let workers = WorkerPool::new(opts.workers, opts.queue_capacity);
+        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::new(Vec::new()));
         let hook: ShutdownHook = Arc::new(Mutex::new(shutdown_hook));
 
-        let stop = Arc::clone(&stopping);
+        // The accept callback lives inside the reactor; holding a strong
+        // Arc<Reactor> there would be a retain cycle, so it upgrades a
+        // Weak per accepted socket.
+        let for_accept = Arc::downgrade(&reactor);
         let conn_list = Arc::clone(&conns);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop.load(Ordering::Acquire) {
-                    break;
+        let worker_shared = Arc::clone(&workers.shared);
+        let overflow_retry_after = opts.overflow_retry_after;
+        let lh = reactor
+            .listen(listener, move |stream| {
+                let Some(reactor) = for_accept.upgrade() else {
+                    return;
+                };
+                if stream.set_nodelay(true).is_err() {
+                    return;
                 }
-                let Ok(stream) = stream else { continue };
-                if let Ok(clone) = stream.try_clone() {
-                    conn_list.lock().unwrap().push(clone);
+                let Ok(handle) = reactor.attach(stream) else {
+                    return;
+                };
+                let sink = Arc::new(ServerConn {
+                    handle: handle.clone(),
+                    registry: Arc::clone(&registry),
+                    wire: Arc::clone(&wire),
+                    workers: Arc::clone(&worker_shared),
+                    hook: Arc::clone(&hook),
+                    overflow_retry_after,
+                });
+                reactor.activate(&handle, sink as Arc<dyn Sink>);
+                let mut list = conn_list.lock().unwrap();
+                // Bound the handle list: drop entries the reactor already
+                // tore down before appending.
+                if list.len() % 128 == 127 {
+                    list.retain(|h| !h.is_closed());
                 }
-                let registry = Arc::clone(&registry);
-                let wire = Arc::clone(&wire);
-                let hook = Arc::clone(&hook);
-                std::thread::spawn(move || serve_connection(stream, registry, wire, hook));
-            }
-        });
+                list.push(handle);
+            })
+            .map_err(WwError::Io)?;
 
         Ok(Self {
             local_addr,
-            stopping,
-            accept_thread: Some(accept_thread),
+            stopped: AtomicBool::new(false),
+            listener: Mutex::new(Some(lh)),
             conns,
+            workers,
+            _reactor: reactor,
         })
     }
 
@@ -553,20 +943,20 @@ impl TcpRpcServer {
         self.local_addr
     }
 
-    /// Stops accepting, tears down live connections, and joins the accept
-    /// loop. Idempotent.
+    /// Stops accepting (synchronously: the listening socket is closed
+    /// before this returns), tears down live connections, and joins the
+    /// worker pool. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.stopping.swap(true, Ordering::AcqRel) {
+        if self.stopped.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(lh) = self.listener.lock().unwrap().take() {
+            lh.close();
         }
         for conn in self.conns.lock().unwrap().drain(..) {
-            let _ = conn.shutdown(NetShutdown::Both);
+            conn.close();
         }
+        self.workers.shutdown();
     }
 }
 
@@ -574,75 +964,6 @@ impl Drop for TcpRpcServer {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-/// Reads request frames off one accepted connection and dispatches them.
-fn serve_connection(
-    stream: TcpStream,
-    registry: Arc<HandlerRegistry>,
-    wire: Arc<WireStats>,
-    hook: ShutdownHook,
-) {
-    if stream.set_nodelay(true).is_err() {
-        return;
-    }
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = stream;
-    loop {
-        let body = match wire::read_frame(&mut reader) {
-            Ok(Some(body)) => body,
-            Ok(None) => return,
-            Err(_) => return,
-        };
-        wire.bytes_in
-            .fetch_add((body.len() + 4) as u64, Ordering::Relaxed);
-        let (corr, env) = match wire::decode_frame(&body) {
-            Ok(wire::Frame::Request { corr, env }) => (corr, env),
-            Ok(wire::Frame::Response { .. }) => continue,
-            Err(_) => {
-                wire.decode_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = reader.shutdown(NetShutdown::Both);
-                return;
-            }
-        };
-
-        if matches!(env.payload, Request::Shutdown) {
-            if let Some(hook) = hook.lock().unwrap().take() {
-                // Acknowledge first so the launcher sees a clean answer,
-                // then let the hook tear the process down.
-                write_response(&writer, &wire, corr, &Ok(Response::Ack));
-                hook();
-                return;
-            }
-        }
-
-        let registry = Arc::clone(&registry);
-        let wire = Arc::clone(&wire);
-        let writer = Arc::clone(&writer);
-        std::thread::spawn(move || {
-            let result = match registry.get(env.dst) {
-                Some(handler) => handler(&env),
-                None => Err(WwError::Unreachable("no server bound at destination")),
-            };
-            write_response(&writer, &wire, corr, &result);
-        });
-    }
-}
-
-fn write_response(
-    writer: &Arc<Mutex<TcpStream>>,
-    wire: &WireStats,
-    corr: u64,
-    result: &Result<Response>,
-) {
-    let frame = wire::encode_response(corr, result);
-    wire.bytes_out
-        .fetch_add(frame.len() as u64, Ordering::Relaxed);
-    let mut w = writer.lock().unwrap();
-    let _ = std::io::Write::write_all(&mut *w, &frame);
 }
 
 #[cfg(test)]
@@ -686,6 +1007,7 @@ mod tests {
         let w = t.wire().totals();
         assert_eq!(w.connects, 1);
         assert!(w.bytes_in > 0 && w.bytes_out > 0);
+        assert!(w.reactor_wakeups > 0, "the reactor moved these frames");
     }
 
     #[test]
@@ -914,5 +1236,127 @@ mod tests {
             TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
             "a stopped server must not accept connections"
         );
+    }
+
+    #[test]
+    fn idle_pooled_connections_are_reaped() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Ok(Response::Pong));
+        let wire = Arc::new(WireStats::default());
+        let _server = TcpRpcServer::bind("127.0.0.1:0", registry, Arc::clone(&wire), None).unwrap();
+        let t = TcpTransport::with_options(
+            Arc::clone(&wire),
+            TcpClientOptions {
+                pool_idle_timeout: Duration::from_millis(100),
+                ..TcpClientOptions::default()
+            },
+        );
+        t.set_default_route(Some(_server.local_addr()));
+        assert!(t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .is_ok());
+        assert_eq!(t.pooled_connections(), 1);
+        // The reaper runs on the ~250ms reactor tick; give it two ticks.
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while t.pooled_connections() != 0 {
+            assert!(Instant::now() < deadline, "idle connection never reaped");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // The next send redials and counts as a reconnect.
+        assert!(t
+            .send(env(0, 1, Duration::from_secs(5), Request::Ping))
+            .is_ok());
+        let w = wire.totals();
+        assert_eq!(w.connects, 1);
+        assert!(w.reconnects >= 1, "post-reap redial is a reconnect");
+    }
+
+    #[test]
+    fn pool_cap_evicts_least_recently_used_idle_connections() {
+        let registry = Arc::new(HandlerRegistry::new());
+        for id in 1..=3 {
+            registry.bind(ServerId(id), |_| Ok(Response::Pong));
+        }
+        let wire = Arc::new(WireStats::default());
+        let servers: Vec<TcpRpcServer> = (0..3)
+            .map(|_| {
+                TcpRpcServer::bind(
+                    "127.0.0.1:0",
+                    Arc::clone(&registry),
+                    Arc::clone(&wire),
+                    None,
+                )
+                .unwrap()
+            })
+            .collect();
+        let t = TcpTransport::with_options(
+            Arc::clone(&wire),
+            TcpClientOptions {
+                pool_max_connections: 2,
+                ..TcpClientOptions::default()
+            },
+        );
+        for (i, s) in servers.iter().enumerate() {
+            t.add_peer(ServerId(i as u32 + 1), s.local_addr());
+        }
+        for dst in 1..=3u32 {
+            assert!(t
+                .send(env(0, dst, Duration::from_secs(5), Request::Ping))
+                .is_ok());
+        }
+        assert!(
+            t.pooled_connections() <= 2,
+            "cap must hold: {} pooled",
+            t.pooled_connections()
+        );
+    }
+
+    #[test]
+    fn worker_queue_overflow_sheds_typed_overloaded() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok(Response::Pong)
+        });
+        let wire = Arc::new(WireStats::default());
+        let server = TcpRpcServer::bind_with(
+            "127.0.0.1:0",
+            registry,
+            Arc::clone(&wire),
+            None,
+            TcpServerOptions {
+                workers: 1,
+                queue_capacity: 1,
+                overflow_retry_after: Duration::from_millis(25),
+                ..TcpServerOptions::default()
+            },
+        )
+        .unwrap();
+        let t = Arc::new(TcpTransport::with_wire_stats(wire));
+        t.set_default_route(Some(server.local_addr()));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.send(env(i, 1, Duration::from_secs(5), Request::Ping)))
+            })
+            .collect();
+        let mut ok = 0;
+        let mut shed = 0;
+        for h in handles {
+            match h.join().unwrap() {
+                Ok(Response::Pong) => ok += 1,
+                Err(WwError::Overloaded { retry_after }) => {
+                    assert_eq!(retry_after, Duration::from_millis(25));
+                    shed += 1;
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert!(ok >= 1, "at least the running request completes");
+        assert!(
+            shed >= 1,
+            "a 1-worker/1-slot server must shed under 8-way fire"
+        );
+        assert_eq!(ok + shed, 8, "every request got a typed answer");
     }
 }

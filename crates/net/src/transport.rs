@@ -41,12 +41,60 @@ use waterwheel_core::{Result, ServerId, WwError};
 /// A message handler bound at a destination address.
 pub type Handler = Arc<dyn Fn(&Envelope) -> Result<Response> + Send + Sync>;
 
+/// RAII admission token: proof that an [`AdmissionControl`] accepted a
+/// request. Dropping the permit releases whatever capacity (in-flight
+/// slot, queue position) the controller reserved for it.
+pub struct AdmissionPermit(Option<Box<dyn FnOnce() + Send>>);
+
+impl AdmissionPermit {
+    /// A permit that runs `release` when dropped.
+    pub fn new(release: impl FnOnce() + Send + 'static) -> Self {
+        Self(Some(Box::new(release)))
+    }
+
+    /// A permit with nothing to release (rate-limit-only admission).
+    pub fn unguarded() -> Self {
+        Self(None)
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        if let Some(release) = self.0.take() {
+            release();
+        }
+    }
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit")
+            .field("guarded", &self.0.is_some())
+            .finish()
+    }
+}
+
+/// Admission decision made before a destination handler runs.
+///
+/// Implementations (the server crate's token-bucket + bounded-queue
+/// controller) decide per envelope; a shed request fails with
+/// [`WwError::Overloaded`] *before* the handler runs, so retrying it can
+/// never duplicate a side effect. Installed on a [`HandlerRegistry`], it
+/// covers every front-end dispatching that registry — in-proc and TCP.
+pub trait AdmissionControl: Send + Sync {
+    /// Admits or sheds `env`. An `Err` (typically
+    /// [`WwError::Overloaded`]) travels back to the sender as an answer;
+    /// on `Ok` the returned permit must live for the handler's duration.
+    fn admit(&self, env: &Envelope) -> Result<AdmissionPermit>;
+}
+
 /// The set of handlers serving a process's addresses, shared by every
 /// transport front-end (in-proc delivery and the TCP listener dispatch the
 /// same registry, so a server behaves identically however it is reached).
 #[derive(Default)]
 pub struct HandlerRegistry {
     handlers: RwLock<HashMap<ServerId, Handler>>,
+    admission: RwLock<Option<Arc<dyn AdmissionControl>>>,
 }
 
 impl HandlerRegistry {
@@ -72,6 +120,32 @@ impl HandlerRegistry {
     /// The addresses currently bound.
     pub fn bound(&self) -> Vec<ServerId> {
         self.handlers.read().keys().copied().collect()
+    }
+
+    /// Installs the admission controller consulted by [`dispatch`](Self::dispatch)
+    /// (and by [`InProcTransport`]) before any handler runs.
+    pub fn set_admission(&self, admission: Arc<dyn AdmissionControl>) {
+        *self.admission.write() = Some(admission);
+    }
+
+    /// The installed admission controller, if any.
+    pub fn admission(&self) -> Option<Arc<dyn AdmissionControl>> {
+        self.admission.read().clone()
+    }
+
+    /// Full server-side dispatch for one envelope: admission check, then
+    /// the bound handler. The TCP server's workers and the in-proc
+    /// transport both deliver through this path, so shed semantics are
+    /// identical across deployments.
+    pub fn dispatch(&self, env: &Envelope) -> Result<Response> {
+        let Some(handler) = self.get(env.dst) else {
+            return Err(WwError::Unreachable("no server bound at destination"));
+        };
+        let _permit = match self.admission() {
+            Some(a) => Some(a.admit(env)?),
+            None => None,
+        };
+        handler(env)
     }
 }
 
@@ -179,10 +253,92 @@ pub struct RpcTotals {
     pub bytes: u64,
 }
 
+/// Number of power-of-two latency buckets: bucket `i` counts calls whose
+/// duration rounds up to `2^i` nanoseconds (bucket 39 ≈ 9 minutes).
+const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free power-of-two latency histogram.
+///
+/// `record` is a single `fetch_add`; percentiles are read by walking the
+/// cumulative counts and reporting the matched bucket's **upper bound**
+/// (a ≤2x overestimate, never an underestimate — honest for tail SLOs).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observed duration.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        let idx = (64 - nanos.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the matched bucket's upper
+    /// bound; zero when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Duration::from_nanos(1u64 << idx);
+            }
+        }
+        Duration::from_nanos(1u64 << (LATENCY_BUCKETS - 1))
+    }
+}
+
+/// One request kind's latency distribution, snapshotted for metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Request kind label (see `Request::kind`).
+    pub kind: &'static str,
+    /// Completed calls recorded.
+    pub count: u64,
+    /// Median latency (bucket upper bound).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
 /// Per-link statistics, created on first use of a link.
 #[derive(Default)]
 pub struct RpcStatsRegistry {
     links: RwLock<HashMap<(ServerId, ServerId), Arc<RpcStats>>>,
+    latencies: RwLock<HashMap<&'static str, Arc<LatencyHistogram>>>,
 }
 
 impl RpcStatsRegistry {
@@ -192,6 +348,35 @@ impl RpcStatsRegistry {
             return Arc::clone(s);
         }
         Arc::clone(self.links.write().entry((src, dst)).or_default())
+    }
+
+    /// Records one completed RPC's wall-clock latency under its request
+    /// kind (see `Request::kind`).
+    pub fn record_latency(&self, kind: &'static str, d: Duration) {
+        if let Some(h) = self.latencies.read().get(kind) {
+            h.record(d);
+            return;
+        }
+        self.latencies.write().entry(kind).or_default().record(d);
+    }
+
+    /// Per-request-kind latency distributions, sorted by kind for stable
+    /// rendering.
+    pub fn latency_snapshot(&self) -> Vec<LatencySnapshot> {
+        let mut rows: Vec<LatencySnapshot> = self
+            .latencies
+            .read()
+            .iter()
+            .map(|(&kind, h)| LatencySnapshot {
+                kind,
+                count: h.count(),
+                p50: h.percentile(0.50),
+                p95: h.percentile(0.95),
+                p99: h.percentile(0.99),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.kind);
+        rows
     }
 
     /// Snapshot of every link's counters.
@@ -375,6 +560,14 @@ impl Transport for InProcTransport {
         let handler = self.handlers.get(env.dst);
         match handler {
             Some(h) => {
+                // Admission runs only when a handler exists (an unbound
+                // destination is unreachable, not overloaded). A shed is
+                // an answer from the destination — no fault counters —
+                // and the permit is held for the handler's duration.
+                let _permit = match self.handlers.admission() {
+                    Some(a) => Some(a.admit(&env)?),
+                    None => None,
+                };
                 let resp = h(&env)?;
                 link.bytes.fetch_add(
                     crate::wire::encode_response_ok(0, &resp).len() as u64,
@@ -622,6 +815,129 @@ mod tests {
         t.bind(ServerId(2), |_| Ok(Response::Ack));
         assert!(registry.get(ServerId(2)).is_some());
         assert!(registry.bound().contains(&ServerId(1)));
+    }
+
+    #[test]
+    fn admission_sheds_before_the_handler_runs() {
+        struct ShedAll {
+            released: Arc<AtomicU64>,
+        }
+        impl super::AdmissionControl for ShedAll {
+            fn admit(&self, env: &Envelope) -> Result<super::AdmissionPermit> {
+                if matches!(env.payload, Request::Ping) {
+                    return Err(WwError::Overloaded {
+                        retry_after: Duration::from_millis(7),
+                    });
+                }
+                let released = Arc::clone(&self.released);
+                Ok(super::AdmissionPermit::new(move || {
+                    released.fetch_add(1, Ordering::Relaxed);
+                }))
+            }
+        }
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let released = Arc::new(AtomicU64::new(0));
+        let t = InProcTransport::new(None);
+        let c = Arc::clone(&calls);
+        t.bind(ServerId(1), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Pong)
+        });
+        t.registry().set_admission(Arc::new(ShedAll {
+            released: Arc::clone(&released),
+        }));
+
+        // Shed: typed Overloaded, handler never ran, no fault counters.
+        let e = t.send(env(0, 1, Duration::from_secs(1))).unwrap_err();
+        assert!(matches!(e, WwError::Overloaded { .. }), "got {e}");
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(7)));
+        assert!(e.is_retryable());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        let totals = t.stats().totals();
+        assert_eq!(totals.timed_out + totals.unreachable, 0);
+
+        // Admitted: the permit is released after the handler completes.
+        let mut admitted = env(0, 1, Duration::from_secs(1));
+        admitted.payload = Request::Flush;
+        // Flush is unhandled payload-wise but the bound handler accepts
+        // any envelope; the permit release must have fired exactly once.
+        t.send(admitted).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(released.load(Ordering::Relaxed), 1);
+
+        // Unbound destinations shed as Unreachable, not Overloaded.
+        let mut unbound = env(0, 9, Duration::from_secs(1));
+        unbound.payload = Request::Flush;
+        let e = t.send(unbound).unwrap_err();
+        assert!(matches!(e, WwError::Unreachable(_)));
+    }
+
+    #[test]
+    fn registry_dispatch_applies_admission_and_binding() {
+        let registry = Arc::new(HandlerRegistry::new());
+        registry.bind(ServerId(1), |_| Ok(Response::Pong));
+        let e = env(0, 1, Duration::from_secs(1));
+        assert!(matches!(registry.dispatch(&e), Ok(Response::Pong)));
+        let missing = env(0, 5, Duration::from_secs(1));
+        assert!(matches!(
+            registry.dispatch(&missing),
+            Err(WwError::Unreachable(_))
+        ));
+
+        struct ShedAll;
+        impl super::AdmissionControl for ShedAll {
+            fn admit(&self, _env: &Envelope) -> Result<super::AdmissionPermit> {
+                Err(WwError::Overloaded {
+                    retry_after: Duration::from_millis(1),
+                })
+            }
+        }
+        registry.set_admission(Arc::new(ShedAll));
+        assert!(matches!(
+            registry.dispatch(&env(0, 1, Duration::from_secs(1))),
+            Err(WwError::Overloaded { .. })
+        ));
+        // Unbound stays unreachable even under full shed.
+        assert!(matches!(
+            registry.dispatch(&env(0, 5, Duration::from_secs(1))),
+            Err(WwError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bound_from_above() {
+        let h = super::LatencyHistogram::default();
+        assert_eq!(h.percentile(0.99), Duration::ZERO, "empty → zero");
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket ≈ 131µs
+        }
+        h.record(Duration::from_millis(50)); // bucket ≈ 67ms
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(0.50);
+        assert!(p50 >= Duration::from_micros(100) && p50 < Duration::from_micros(300));
+        let p99 = h.percentile(0.99);
+        assert!(p99 < Duration::from_millis(1), "p99 is the 99th of 100");
+        let p100 = h.percentile(1.0);
+        assert!(
+            p100 >= Duration::from_millis(50),
+            "max captures the outlier"
+        );
+    }
+
+    #[test]
+    fn latency_snapshot_groups_by_request_kind() {
+        let stats = RpcStatsRegistry::default();
+        stats.record_latency("ping", Duration::from_micros(10));
+        stats.record_latency("ping", Duration::from_micros(20));
+        stats.record_latency("ingest", Duration::from_micros(5));
+        let rows = stats.latency_snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kind, "ingest");
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[1].kind, "ping");
+        assert_eq!(rows[1].count, 2);
+        assert!(rows[1].p99 >= rows[1].p50);
     }
 
     #[test]

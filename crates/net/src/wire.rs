@@ -943,6 +943,10 @@ fn encode_error(out: &mut Vec<u8>, err: &WwError) {
             out.push(8);
             put_string(out, what);
         }
+        WwError::Overloaded { retry_after } => {
+            out.push(9);
+            out.put_u64(retry_after.as_millis().min(u64::MAX as u128) as u64);
+        }
     }
 }
 
@@ -990,6 +994,9 @@ fn decode_error(dec: &mut Decoder<'_>) -> Result<WwError> {
             let _ = get_string(dec)?;
             WwError::Unreachable("remote destination unreachable")
         }
+        9 => WwError::Overloaded {
+            retry_after: Duration::from_millis(dec.get_u64()?),
+        },
         other => {
             return Err(WwError::corrupt(
                 "frame",
@@ -1236,6 +1243,9 @@ mod tests {
             WwError::Injected("crash test"),
             WwError::Timeout("late link"),
             WwError::Unreachable("cut link"),
+            WwError::Overloaded {
+                retry_after: Duration::from_millis(40),
+            },
         ];
         for err in cases {
             let frame = encode_response_err(1, &err);

@@ -259,7 +259,14 @@ impl Layout {
 /// Builds the client transport with the peer map routing every server id
 /// to the process hosting it.
 fn peer_transport(nc: &NodeConfig, layout: &Layout) -> Arc<TcpTransport> {
-    let t = Arc::new(TcpTransport::new());
+    let t = Arc::new(TcpTransport::with_options(
+        Arc::new(WireStats::default()),
+        waterwheel_net::TcpClientOptions {
+            reactor_threads: layout.cfg.net_reactor_threads,
+            pool_idle_timeout: layout.cfg.net_pool_idle_timeout,
+            pool_max_connections: layout.cfg.net_pool_max_connections,
+        },
+    ));
     route_peers(&t, &nc.peers, layout);
     t
 }
@@ -331,6 +338,12 @@ fn fetch_schema(meta: &MetaClient) -> Result<PartitionSchema> {
 pub fn run_node(nc: NodeConfig) -> Result<()> {
     let layout = Layout::new(&nc)?;
     let registry = Arc::new(HandlerRegistry::new());
+    // Every node process guards its handlers with the same class-aware
+    // admission controller the embedded system installs: overload sheds
+    // typed `Overloaded` answers instead of queueing without bound.
+    registry.set_admission(Arc::new(waterwheel_server::AdmissionController::new(
+        &layout.cfg,
+    )));
     let wire = Arc::new(WireStats::default());
     let transport = peer_transport(&nc, &layout);
     let rpc_for = |src: ServerId| {
@@ -620,11 +633,17 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 let stop = Arc::clone(&stop);
                 Box::new(move || trip(&stop)) as Box<dyn FnOnce() + Send>
             };
-            match TcpRpcServer::bind(
+            match TcpRpcServer::bind_with(
                 &nc.listen,
                 Arc::clone(&registry),
                 Arc::clone(&wire),
                 Some(hook),
+                waterwheel_net::TcpServerOptions {
+                    reactor_threads: layout.cfg.net_reactor_threads,
+                    workers: layout.cfg.net_server_workers,
+                    overflow_retry_after: layout.cfg.admission_retry_after,
+                    ..waterwheel_net::TcpServerOptions::default()
+                },
             ) {
                 Ok(s) => break s,
                 Err(e) if std::time::Instant::now() >= deadline => return Err(e),

@@ -195,13 +195,22 @@ impl IndexingServer {
         if self.is_failed() {
             return Err(waterwheel_core::WwError::Injected("indexing server down"));
         }
-        let records = {
+        // The consumer lock spans poll AND insert: `flush` reads the
+        // consumer position under this lock as the chunk's durable offset,
+        // so a record must never exist in the polled-but-not-yet-inserted
+        // state while a flush seals. Otherwise the seal misses the record,
+        // the chunk registers an offset *past* it, and a later kill -9
+        // replay resumes beyond a tuple that was never made durable.
+        let n = {
             let mut consumer = self.consumer.lock();
-            consumer.poll(max)?
+            let records = consumer.poll(max)?;
+            let n = records.len();
+            if n > 0 {
+                self.ingest_batch(records.into_iter().map(|r| r.tuple));
+            }
+            n
         };
-        let n = records.len();
         if n > 0 {
-            self.ingest_batch(records.into_iter().map(|r| r.tuple));
             self.report_memory_region()?;
         }
         if self.tree.byte_size() >= self.cfg.chunk_size_bytes {
@@ -241,16 +250,21 @@ impl IndexingServer {
                 ingested += 1;
             }
         }
-        drop(wheel);
-        if ingested > 0 {
-            self.stats.ingested.fetch_add(ingested, Ordering::Relaxed);
-        }
         if !side.is_empty() {
             self.side_bytes.fetch_add(side_bytes, Ordering::Relaxed);
             self.stats
                 .side_stored
                 .fetch_add(side.len() as u64, Ordering::Relaxed);
+            // Still under the wheel lock: `flush` drains tree, side store,
+            // and wheel in one wheel-locked critical section, so a batch
+            // must become visible to all three atomically or a flush
+            // sliding in between would wipe its wheel contributions while
+            // the tuples stay behind as fresh data.
             self.side_store.lock().extend(side);
+        }
+        drop(wheel);
+        if ingested > 0 {
+            self.stats.ingested.fetch_add(ingested, Ordering::Relaxed);
         }
     }
 
@@ -373,16 +387,45 @@ impl IndexingServer {
     /// Returns the flushed chunk ids. No-op on an empty server.
     pub fn flush(&self) -> Result<Vec<ChunkId>> {
         let mut flushed = Vec::new();
-        // Durable offset *before* sealing: everything at lower offsets is
-        // in this flush or earlier ones.
-        let durable_offset = self.consumer.lock().position();
-
-        if let Some(sealed) = self.tree.seal() {
+        // Read the durable offset, seal the tree, take the side store, and
+        // drain the wheel in ONE critical section, ordered consumer lock →
+        // wheel lock like `pump`. Two races lived in the old
+        // read-offset / seal / write-chunks / clear-wheel sequence:
+        //
+        // * a pump batch sliding in between the seal and the wheel clear
+        //   stayed queryable as fresh data while `clear()` erased its
+        //   aggregate contributions (range queries and aggregates
+        //   disagreed until the next flush);
+        // * a pump that had *polled* (advancing the consumer position) but
+        //   not yet *inserted* let the seal miss those records while the
+        //   chunk registered an offset past them — a kill -9 replay then
+        //   resumed beyond tuples that were never made durable: data loss.
+        //
+        // Holding both locks makes a concurrent batch land wholly before
+        // the seal (sealed into this flush's chunks, wiped from the wheel,
+        // below the offset) or wholly after (fresh in the new tree AND the
+        // wheel, at or above the offset).
+        let (durable_offset, sealed, side) = {
+            let consumer = self.consumer.lock();
+            let durable_offset = consumer.position();
+            let mut wheel = self.wheel.lock();
+            let sealed = self.tree.seal();
+            let side: Vec<Tuple> = std::mem::take(&mut *self.side_store.lock());
+            if sealed.is_some() || !side.is_empty() {
+                // Everything drained here flushes below, so the wheel's
+                // contents are now covered by chunk summaries. (A failed
+                // chunk write loses the sealed tuples from memory either
+                // way; WAL replay from `durable_offset` restores both.)
+                wheel.clear();
+            }
+            drop(consumer);
+            (durable_offset, sealed, side)
+        };
+        if let Some(sealed) = sealed {
             flushed.push(self.write_and_register(&sealed, durable_offset)?);
         }
         // Side store flushes as its own chunk so main chunks keep tight
         // temporal bounds (§IV-D).
-        let side: Vec<Tuple> = std::mem::take(&mut *self.side_store.lock());
         if !side.is_empty() {
             self.side_bytes.store(0, Ordering::Relaxed);
             let tmp = TemplateBTree::new(
@@ -396,9 +439,6 @@ impl IndexingServer {
             flushed.push(self.write_and_register(&sealed, durable_offset)?);
         }
         if !flushed.is_empty() {
-            // Flushing drains every in-memory tuple, so the live wheel's
-            // contents are now covered by chunk summaries.
-            self.wheel.lock().clear();
             self.stats
                 .chunks_flushed
                 .fetch_add(flushed.len() as u64, Ordering::Relaxed);
@@ -620,6 +660,132 @@ mod tests {
             .query_in_memory(&sq(KeyInterval::point(500), TimeInterval::full()))
             .unwrap();
         assert_eq!(hits.len(), 1);
+    }
+
+    /// Regression for two flush-vs-pump races with the same shape:
+    ///
+    /// * `flush` used to seal the tree, write chunks, and only then clear
+    ///   the wheel — a pump batch sliding into that window landed in the
+    ///   *new* tree (still queryable as fresh data) while `clear()` erased
+    ///   its wheel contributions, so range queries and aggregates
+    ///   disagreed until the next flush;
+    /// * `flush` also used to read the consumer position while a pump sat
+    ///   between poll and insert — the seal missed those records but the
+    ///   chunk registered an offset past them, so a kill -9 replay resumed
+    ///   beyond tuples that were never made durable.
+    ///
+    /// Offset read + seal + side-store take + wheel drain now form one
+    /// consumer-then-wheel-locked critical section, and `pump` holds the
+    /// consumer lock across poll AND insert. The invariants sampled after
+    /// every flush (the sole flusher is this thread): the wheel never
+    /// knows fewer tuples than the fresh tree, and the registered durable
+    /// offset never exceeds the tuples sealed into chunks.
+    #[test]
+    fn flush_never_wipes_concurrent_batches_from_the_wheel() {
+        let rig = Rig::new("flush-wheel-race");
+        // A fsync-ing DFS makes the flushing thread genuinely block inside
+        // the chunk write, reliably yielding the (single) CPU to the pump
+        // thread right inside the old code's seal -> clear window.
+        let dfs_root = std::env::temp_dir().join(format!(
+            "ww-ix-test-flush-wheel-race-dfs-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dfs_root);
+        let dfs = SimDfs::new(dfs_root, Cluster::new(3), 3, LatencyModel::default())
+            .unwrap()
+            .with_fsync(waterwheel_wal::FsyncPolicy::from_flag(true));
+        // No auto-flush: the main loop below is the only flusher, so the
+        // wheel-vs-tree ordering invariant can be sampled between flushes.
+        let mut cfg = rig.cfg.clone();
+        cfg.chunk_size_bytes = 1 << 40;
+        let id = ServerId(0);
+        let rpc = RpcClient::new(Arc::clone(&rig.transport) as Arc<dyn Transport>, id, &cfg);
+        let server = Arc::new(IndexingServer::new(
+            id,
+            KeyInterval::full(),
+            cfg,
+            Consumer::new(rig.mq.clone(), "ingest", 0, 0),
+            dfs,
+            MetaClient::new(rpc),
+        ));
+        const N: u64 = 5_000;
+        let consumed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pumper = {
+            let server = Arc::clone(&server);
+            let consumed = Arc::clone(&consumed);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let n = server.pump(7).unwrap();
+                    consumed.fetch_add(n as u64, Ordering::SeqCst);
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let appender = {
+            let mq = rig.mq.clone();
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    mq.append("ingest", 0, Tuple::bare(i, 1_000 + i)).unwrap();
+                }
+            })
+        };
+        while consumed.load(Ordering::SeqCst) < N {
+            server.flush().unwrap();
+            // Every tuple enters the wheel before the tree (both under the
+            // wheel lock), and only this thread flushes, so the live wheel
+            // can never know FEWER tuples than the fresh tree does.
+            let in_mem = server.in_memory() as u64;
+            let wheel = server
+                .aggregate_in_memory((0, 15), &TimeInterval::full())
+                .unwrap()
+                .agg
+                .count;
+            assert!(
+                wheel >= in_mem,
+                "flush wiped concurrent batches from the wheel: \
+                 {in_mem} fresh tuples but only {wheel} in the wheel"
+            );
+            // And the durability twin: the offset a chunk registers must
+            // never run past the records actually sealed into chunks, or
+            // a kill -9 replay would resume beyond tuples that were never
+            // made durable. (Reading the position while a pump sat between
+            // poll and insert used to do exactly that.)
+            let offset = rig.meta.durable_offset(id);
+            let chunks: u64 = rig
+                .meta
+                .chunks_overlapping(&Region::full())
+                .iter()
+                .map(|(cid, _)| rig.meta.chunk_info(*cid).unwrap().count)
+                .sum();
+            assert!(
+                offset <= chunks,
+                "durable offset ran past the sealed data: \
+                 offset {offset} but only {chunks} tuples in chunks"
+            );
+        }
+        appender.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        pumper.join().unwrap();
+        let flushed: u64 = rig
+            .meta
+            .chunks_overlapping(&Region::full())
+            .iter()
+            .map(|(id, _)| rig.meta.chunk_info(*id).unwrap().count)
+            .sum();
+        let fresh = server
+            .aggregate_in_memory((0, 15), &TimeInterval::full())
+            .unwrap()
+            .agg
+            .count;
+        assert_eq!(
+            flushed + fresh,
+            N,
+            "aggregate state lost tuples to a flush/ingest race"
+        );
     }
 
     #[test]

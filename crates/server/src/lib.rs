@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod attributes;
 pub mod coordinator;
 pub mod dispatch;
@@ -46,6 +47,7 @@ pub mod partitioning;
 pub mod query_server;
 pub mod system;
 
+pub use admission::{AdmissionController, AdmissionTotals};
 pub use attributes::AttrRegistry;
 pub use coordinator::{Coordinator, CoordinatorStats};
 pub use dispatch::{build_plan, execute_plan, DispatchPlan, DispatchPolicy, PlanRun};

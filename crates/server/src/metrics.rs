@@ -98,6 +98,20 @@ pub struct SystemMetrics {
     pub wire_reconnects: u64,
     /// Wire frames that failed to decode (each drops its connection).
     pub wire_decode_errors: u64,
+    /// Reactor poll returns that carried at least one readiness event
+    /// (zero for in-process planes).
+    pub wire_reactor_wakeups: u64,
+    /// Requests that passed admission control.
+    pub admission_admitted: u64,
+    /// Requests shed by admission with a typed `Overloaded` answer.
+    pub admission_shed: u64,
+    /// Requests currently holding an admission permit.
+    pub admission_inflight: u64,
+    /// High-water mark of concurrently admitted requests.
+    pub admission_inflight_peak: u64,
+    /// Per-request-kind RPC latency percentiles (client-observed, retries
+    /// included): `(kind, count, p50, p95, p99)`.
+    pub rpc_latencies: Vec<waterwheel_net::LatencySnapshot>,
     /// Bytes appended to write-ahead logs (queue, metadata) and
     /// atomically committed files (chunks, snapshots).
     pub wal_bytes: u64,
@@ -172,6 +186,13 @@ impl SystemMetrics {
         m.wire_connects = wire.connects;
         m.wire_reconnects = wire.reconnects;
         m.wire_decode_errors = wire.decode_errors;
+        m.wire_reactor_wakeups = wire.reactor_wakeups;
+        let adm = ww.admission_totals();
+        m.admission_admitted = adm.admitted;
+        m.admission_shed = adm.shed;
+        m.admission_inflight = adm.inflight;
+        m.admission_inflight_peak = adm.inflight_peak;
+        m.rpc_latencies = ww.rpc_latencies();
         // Durability counters, summed across every WAL-backed surface: the
         // ingest queue, chunk sealing, and (when durable) the metadata log.
         let mut wals = vec![ww.message_queue().wal_stats(), ww.dfs().wal_stats()];
@@ -274,13 +295,29 @@ impl fmt::Display for SystemMetrics {
         )?;
         writeln!(
             f,
-            "wire:    {} bytes in / {} bytes out, {} connects (+{} reconnects), {} decode errors",
+            "wire:    {} bytes in / {} bytes out, {} connects (+{} reconnects), {} decode errors, {} reactor wakeups",
             self.wire_bytes_in,
             self.wire_bytes_out,
             self.wire_connects,
             self.wire_reconnects,
-            self.wire_decode_errors
+            self.wire_decode_errors,
+            self.wire_reactor_wakeups
         )?;
+        writeln!(
+            f,
+            "admit:   {} admitted, {} shed, {} in flight (peak {})",
+            self.admission_admitted,
+            self.admission_shed,
+            self.admission_inflight,
+            self.admission_inflight_peak
+        )?;
+        for l in &self.rpc_latencies {
+            writeln!(
+                f,
+                "  rpc-{}: p50 {:?}, p95 {:?}, p99 {:?} over {} calls",
+                l.kind, l.p50, l.p95, l.p99, l.count
+            )?;
+        }
         write!(
             f,
             "wal:     {} bytes, {} fsyncs, {} replayed on recovery, {} torn writes detected",
@@ -403,10 +440,22 @@ mod tests {
             wal_fsyncs: 142,
             recovery_replayed_tuples: 143,
             torn_writes_detected: 144,
+            wire_reactor_wakeups: 145,
+            admission_admitted: 146,
+            admission_shed: 147,
+            admission_inflight: 148,
+            admission_inflight_peak: 149,
             per_server_hit_ratios: vec![(77, 0.25, 0.75)],
+            rpc_latencies: vec![waterwheel_net::LatencySnapshot {
+                kind: "ping",
+                count: 150,
+                p50: std::time::Duration::from_micros(151),
+                p95: std::time::Duration::from_micros(152),
+                p99: std::time::Duration::from_micros(153),
+            }],
         };
         let text = m.to_string();
-        for sentinel in 101..=144u64 {
+        for sentinel in 101..=153u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"
@@ -415,6 +464,10 @@ mod tests {
         assert!(
             text.contains("qs-77: 25% leaf hit, 75% template hit"),
             "Display omits per-server hit ratios:\n{text}"
+        );
+        assert!(
+            text.contains("rpc-ping:"),
+            "Display omits per-kind latency rows:\n{text}"
         );
     }
 }

@@ -212,18 +212,35 @@ impl WaterwheelBuilder {
         // client transport. Handlers never know which plane called them.
         let registry = Arc::new(HandlerRegistry::new());
         serve_meta(&registry, meta.clone());
+        // Admission guards the registry itself, so every deployment shape
+        // (in-proc, TCP loopback, multi-process nodes) sheds identically.
+        let admission = Arc::new(crate::admission::AdmissionController::new(&self.cfg));
+        registry.set_admission(Arc::clone(&admission) as Arc<dyn waterwheel_net::AdmissionControl>);
         let mut inproc = None;
         let mut wire = None;
         let mut rpc_server = None;
         let plane: Arc<dyn Transport> = if self.tcp_loopback {
             let stats = Arc::new(WireStats::default());
-            let server = TcpRpcServer::bind(
+            let server = TcpRpcServer::bind_with(
                 "127.0.0.1:0",
                 Arc::clone(&registry),
                 Arc::clone(&stats),
                 None,
+                waterwheel_net::TcpServerOptions {
+                    reactor_threads: self.cfg.net_reactor_threads,
+                    workers: self.cfg.net_server_workers,
+                    overflow_retry_after: self.cfg.admission_retry_after,
+                    ..waterwheel_net::TcpServerOptions::default()
+                },
             )?;
-            let tcp = TcpTransport::with_wire_stats(Arc::clone(&stats));
+            let tcp = TcpTransport::with_options(
+                Arc::clone(&stats),
+                waterwheel_net::TcpClientOptions {
+                    reactor_threads: self.cfg.net_reactor_threads,
+                    pool_idle_timeout: self.cfg.net_pool_idle_timeout,
+                    pool_max_connections: self.cfg.net_pool_max_connections,
+                },
+            );
             tcp.set_default_route(Some(server.local_addr()));
             wire = Some(stats);
             rpc_server = Some(server);
@@ -412,6 +429,7 @@ impl WaterwheelBuilder {
             coordinator: RwLock::new(coordinator),
             balancer,
             attrs,
+            admission,
             measure: parking_lot::Mutex::new(default_measure()),
             next_dispatcher: AtomicUsize::new(0),
             pumps_running: Arc::new(AtomicBool::new(false)),
@@ -438,6 +456,7 @@ pub struct Waterwheel {
     coordinator: RwLock<Arc<Coordinator>>,
     balancer: PartitionBalancer,
     attrs: Arc<AttrRegistry>,
+    admission: Arc<crate::admission::AdmissionController>,
     measure: parking_lot::Mutex<MeasureFn>,
     next_dispatcher: AtomicUsize,
     pumps_running: Arc<AtomicBool>,
@@ -503,6 +522,18 @@ impl Waterwheel {
     /// zero for the in-process deployment, which never touches a socket.
     pub fn wire_totals(&self) -> WireTotals {
         self.wire.as_ref().map(|w| w.totals()).unwrap_or_default()
+    }
+
+    /// Admission-layer counters: requests admitted, shed, and the
+    /// in-flight depth/high-water mark.
+    pub fn admission_totals(&self) -> crate::admission::AdmissionTotals {
+        self.admission.totals()
+    }
+
+    /// Per-request-kind RPC latency percentiles observed by this
+    /// system's clients.
+    pub fn rpc_latencies(&self) -> Vec<waterwheel_net::LatencySnapshot> {
+        self.plane.stats().latency_snapshot()
     }
 
     /// The coordinator (policy switching, stats).
