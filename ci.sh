@@ -18,6 +18,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> storage arithmetic lint (warn-only: the decode path should prefer checked math)"
+cargo clippy -p waterwheel-storage -- -W clippy::arithmetic_side_effects || true
+
 echo "==> ingest bench smoke (batched path must beat per-tuple)"
 rm -f BENCH_ingest.json
 WW_BENCH_REQUIRE_WIN=1 WW_INGEST_BENCH_N=20000 \
@@ -47,6 +50,12 @@ test -s BENCH_saturation.json || { echo "BENCH_saturation.json missing"; exit 1;
 if pgrep -f "deps/saturation-" > /dev/null; then
     echo "stray saturation bench processes after teardown"; pgrep -af "deps/saturation-"; exit 1
 fi
+
+echo "==> columnar chunk bench smoke (v2 must be <= 0.6x v1 bytes/tuple)"
+rm -f BENCH_columnar.json
+WW_BENCH_REQUIRE_WIN=1 WW_COLUMNAR_BENCH_N=60000 \
+    cargo bench -p waterwheel-bench --bench chunk_compression
+test -s BENCH_columnar.json || { echo "BENCH_columnar.json missing"; exit 1; }
 
 echo "==> durability bench smoke (WAL ingest overhead + replay timing)"
 rm -f BENCH_durability.json

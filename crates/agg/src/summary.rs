@@ -93,6 +93,20 @@ impl WheelSummary {
         self.hull.is_none()
     }
 
+    /// MIN/MAX of the measure over *every* summarized tuple, from any
+    /// surviving ring. Each ring covers the full tuple set (sealing keeps
+    /// or drops rings whole), so merging one ring's cells yields exact
+    /// chunk-level bounds. `None` when empty or no ring survived the cap.
+    pub fn measure_bounds(&self) -> Option<(u64, u64)> {
+        // Coarsest surviving ring = fewest cells to merge.
+        let ring = self.rings.iter().rev().flatten().next()?;
+        let mut acc = PartialAgg::empty();
+        for cell in ring.values() {
+            acc.merge(cell);
+        }
+        Some((acc.min()?, acc.max()?))
+    }
+
     /// Merges every answerable cell inside `slices × covered` and reports
     /// unanswerable time sub-ranges as coalesced residues. `covered` must
     /// be second-aligned (see `plan::plan_time`).
@@ -282,6 +296,25 @@ mod tests {
             assert!(out.residues.is_empty());
             assert_eq!(out.agg, naive(&data, &covered));
         }
+    }
+
+    #[test]
+    fn measure_bounds_are_exact_over_all_tuples() {
+        let data = workload(2_000);
+        let want_min = data.iter().map(|&(_, _, v)| v).min().unwrap();
+        let want_max = data.iter().map(|&(_, _, v)| v).max().unwrap();
+        // Exact whether every ring survives or only the coarsest does:
+        // each surviving ring covers the full tuple set.
+        let full = WheelSummary::build(data.iter().copied(), 4, usize::MAX);
+        assert_eq!(full.measure_bounds(), Some((want_min, want_max)));
+        let capped = WheelSummary::build(data.iter().copied(), 4, 64);
+        if !capped.is_empty() && capped.levels() != 0 {
+            assert_eq!(capped.measure_bounds(), Some((want_min, want_max)));
+        }
+        assert_eq!(
+            WheelSummary::build(std::iter::empty(), 4, usize::MAX).measure_bounds(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Chunk format v1 (row pages) vs v2 (columnar + compression): bytes per
+//! tuple on disk and full-scan materialization rate, over the workloads
+//! crate's default T-Drive stream.
+//!
+//! The v2 claim is a size one: delta-of-delta timestamps, dictionary/delta
+//! keys, and (byte-shuffled) LZ payload blocks should cut the sealed-leaf
+//! footprint to well under half of the row format without slowing the
+//! read-back path beyond the decode cost the smaller reads buy back.
+//!
+//! Knobs:
+//! * `WW_COLUMNAR_BENCH_N` — tuple count override (default `scaled(200_000)`).
+//! * `WW_BENCH_REQUIRE_WIN=1` — exit non-zero unless v2 bytes/tuple is
+//!   ≤ 0.6× of v1 (the CI smoke gate) and both formats materialize the
+//!   identical tuples.
+//!
+//! Emits `BENCH_columnar.json` at the workspace root for tooling.
+
+use waterwheel_bench::*;
+use waterwheel_core::{KeyInterval, Tuple};
+use waterwheel_index::{IndexConfig, TemplateBTree, TupleIndex};
+use waterwheel_storage::{write_chunk_opts, ChunkReader, ChunkWriteOptions};
+
+/// Tuples per sealed tree — roughly one flush interval's worth.
+const CHUNK_TUPLES: usize = 16_384;
+
+struct FormatResult {
+    bytes: u64,
+    bytes_per_tuple: f64,
+    write_secs: f64,
+    scan_rate: f64,
+}
+
+/// Writes every sealed tree in `sealed` with `opts`, then reads every
+/// chunk fully back (all leaf pages materialized to rows) and checksums
+/// the tuples so the two formats can be compared for identical content.
+fn run(
+    sealed: &[waterwheel_index::SealedTree],
+    n: usize,
+    opts: &ChunkWriteOptions,
+) -> (FormatResult, u64) {
+    let (chunks, write_elapsed) = time(|| {
+        sealed
+            .iter()
+            .map(|s| write_chunk_opts(s, None, opts))
+            .collect::<Vec<Vec<u8>>>()
+    });
+    let bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+
+    let mut checksum = 0u64;
+    let (scanned, scan_elapsed) = time(|| {
+        let mut scanned = 0usize;
+        for chunk in &chunks {
+            let reader = ChunkReader::new(chunk.as_slice());
+            let index = reader.load_index().unwrap();
+            let pages = reader
+                .read_leaves(&index, 0, index.leaves.len() - 1)
+                .unwrap();
+            for page in pages {
+                for t in &page {
+                    checksum = checksum
+                        .wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(t.key ^ t.ts ^ t.payload.len() as u64);
+                }
+                scanned += page.len();
+            }
+        }
+        scanned
+    });
+    assert_eq!(scanned, n, "scan must materialize every written tuple");
+    (
+        FormatResult {
+            bytes,
+            bytes_per_tuple: bytes as f64 / n as f64,
+            write_secs: write_elapsed.as_secs_f64(),
+            scan_rate: throughput(scanned, scan_elapsed),
+        },
+        checksum,
+    )
+}
+
+fn main() {
+    let n: usize = std::env::var("WW_COLUMNAR_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| scaled(200_000));
+    let tuples = tdrive_tuples(n, 42);
+
+    // Seal the stream in flush-sized batches, exactly as the indexing
+    // servers would before handing trees to the chunk writer.
+    let cfg = IndexConfig {
+        leaf_capacity: 64,
+        fanout: 16,
+        skew_check_interval: 64,
+        ..IndexConfig::default()
+    };
+    let sealed: Vec<_> = tuples
+        .chunks(CHUNK_TUPLES)
+        .map(|batch| {
+            let tree = TemplateBTree::new(KeyInterval::full(), cfg);
+            for t in batch {
+                tree.insert(t.clone());
+            }
+            tree.seal().expect("non-empty batch")
+        })
+        .collect();
+
+    let measure = |t: &Tuple| t.payload.len() as u64;
+    let (v1, v1_sum) = run(
+        &sealed,
+        n,
+        &ChunkWriteOptions {
+            format_version: 1,
+            compression: false,
+            measure: None,
+        },
+    );
+    let (v2, v2_sum) = run(
+        &sealed,
+        n,
+        &ChunkWriteOptions {
+            format_version: 2,
+            compression: true,
+            measure: Some(&measure),
+        },
+    );
+    assert_eq!(v1_sum, v2_sum, "formats materialized different tuples");
+
+    let ratio = v2.bytes_per_tuple / v1.bytes_per_tuple;
+    let row = |label: &str, r: &FormatResult| {
+        vec![
+            label.to_string(),
+            r.bytes.to_string(),
+            format!("{:.2}", r.bytes_per_tuple),
+            format!("{:.3}s", r.write_secs),
+            fmt_rate(r.scan_rate),
+        ]
+    };
+    print_table(
+        &format!(
+            "Chunk format v1 vs v2 — T-Drive stream ({n} tuples, {} chunks)",
+            sealed.len()
+        ),
+        &["format", "bytes", "bytes/tuple", "write", "scan rate"],
+        &[row("v1 rows", &v1), row("v2 columnar", &v2)],
+    );
+    println!("v2 size ratio: {ratio:.3}x of v1 (gate: <= 0.6)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"chunk_compression\",\n",
+            "  \"tuples\": {n},\n",
+            "  \"chunks\": {chunks},\n",
+            "  \"v1\": {{ \"bytes\": {v1b}, \"bytes_per_tuple\": {v1bpt:.3}, ",
+            "\"write_secs\": {v1w:.4}, \"scan_rate\": {v1s:.1} }},\n",
+            "  \"v2\": {{ \"bytes\": {v2b}, \"bytes_per_tuple\": {v2bpt:.3}, ",
+            "\"write_secs\": {v2w:.4}, \"scan_rate\": {v2s:.1} }},\n",
+            "  \"size_ratio\": {ratio:.4}\n",
+            "}}\n"
+        ),
+        n = n,
+        chunks = sealed.len(),
+        v1b = v1.bytes,
+        v1bpt = v1.bytes_per_tuple,
+        v1w = v1.write_secs,
+        v1s = v1.scan_rate,
+        v2b = v2.bytes,
+        v2bpt = v2.bytes_per_tuple,
+        v2w = v2.write_secs,
+        v2s = v2.scan_rate,
+        ratio = ratio,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_columnar.json");
+    std::fs::write(out, json).unwrap();
+    println!("wrote {out}");
+
+    if std::env::var("WW_BENCH_REQUIRE_WIN").as_deref() == Ok("1") {
+        if ratio > 0.6 {
+            eprintln!(
+                "FAIL: v2 bytes/tuple ({:.2}) above 0.6x of v1 ({:.2})",
+                v2.bytes_per_tuple, v1.bytes_per_tuple
+            );
+            std::process::exit(1);
+        }
+        println!("require-win gate passed");
+    }
+}

@@ -24,6 +24,13 @@ pub trait Encoder {
     fn put_u64(&mut self, v: u64);
     /// Appends a length-prefixed byte slice.
     fn put_bytes(&mut self, v: &[u8]);
+    /// Appends an unsigned LEB128 varint (1..=10 bytes).
+    fn put_uvarint(&mut self, v: u64);
+    /// Appends a signed integer zigzag-mapped onto an unsigned varint, so
+    /// small-magnitude deltas of either sign stay one byte.
+    fn put_ivarint(&mut self, v: i64) {
+        self.put_uvarint(zigzag(v));
+    }
 }
 
 impl Encoder for Vec<u8> {
@@ -47,6 +54,25 @@ impl Encoder for Vec<u8> {
         self.put_u32(v.len() as u32);
         self.extend_from_slice(v);
     }
+
+    fn put_uvarint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.push((v as u8) | 0x80);
+            v >>= 7;
+        }
+        self.push(v as u8);
+    }
+}
+
+/// Maps a signed integer onto an unsigned one so that values near zero (of
+/// either sign) get small codes: 0 → 0, -1 → 1, 1 → 2, -2 → 3, …
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// A cursor over an immutable byte slice with bounds-checked reads.
@@ -118,6 +144,36 @@ impl<'a> Decoder<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.get_u32()? as usize;
         self.take(len)
+    }
+
+    /// Reads `n` raw bytes (borrowed from the input) with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads an unsigned LEB128 varint written by [`Encoder::put_uvarint`].
+    pub fn get_uvarint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            if shift == 63 && b > 1 {
+                return Err(WwError::corrupt(self.what, "varint overflows u64"));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b < 0x80 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WwError::corrupt(self.what, "varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Reads a zigzag-coded signed varint written by [`Encoder::put_ivarint`].
+    pub fn get_ivarint(&mut self) -> Result<i64> {
+        Ok(unzigzag(self.get_uvarint()?))
     }
 }
 
@@ -227,6 +283,48 @@ mod tests {
         let mut dec = Decoder::new(&buf, "test");
         dec.seek(8).unwrap();
         assert!(dec.seek(9).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for v in cases {
+            let mut buf = Vec::new();
+            buf.put_uvarint(v);
+            let mut dec = Decoder::new(&buf, "test");
+            assert_eq!(dec.get_uvarint().unwrap(), v);
+            assert_eq!(dec.remaining(), 0);
+        }
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            buf.put_ivarint(v);
+            let mut dec = Decoder::new(&buf, "test");
+            assert_eq!(dec.get_ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflowing_encodings() {
+        // 11 continuation bytes: longer than any valid u64 varint.
+        let buf = [0x80u8; 11];
+        let mut dec = Decoder::new(&buf, "test");
+        assert!(dec.get_uvarint().is_err());
+        // 10 bytes whose final byte sets bits beyond the 64th.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut dec = Decoder::new(&buf, "test");
+        assert!(dec.get_uvarint().is_err());
+        // Truncated mid-varint is an error, not a panic.
+        let buf = [0x80u8, 0x80];
+        let mut dec = Decoder::new(&buf, "test");
+        assert!(dec.get_uvarint().is_err());
+    }
+
+    #[test]
+    fn zigzag_is_order_preserving_near_zero() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
     }
 
     #[test]

@@ -197,6 +197,23 @@ pub struct SystemConfig {
     /// also compacts its log into a fresh snapshot once the log outgrows
     /// this bound.
     pub wal_segment_bytes: usize,
+
+    /// On-disk chunk format written at flush: `1` for the row-tuple v1
+    /// layout, `2` for columnar leaves (delta-of-delta timestamps,
+    /// delta/dictionary keys, compressed payload blocks) with per-leaf and
+    /// per-chunk MIN/MAX measure bounds. Readers dispatch on the header
+    /// version, so a store may mix both formats.
+    pub chunk_format_version: u32,
+
+    /// Compress v2 payload blocks (byte-shuffle + LZ, whichever encoding is
+    /// smallest per leaf). Ignored when writing v1 chunks.
+    pub chunk_compression: bool,
+
+    /// Use persisted MIN/MAX measure bounds to skip chunks (coordinator)
+    /// and leaves (query server) that cannot satisfy a query's
+    /// `measure_range` filter. Disabling only loses the pruning, never
+    /// changes answers.
+    pub measure_pruning: bool,
 }
 
 impl Default for SystemConfig {
@@ -245,6 +262,9 @@ impl Default for SystemConfig {
             rpc_redispatch_rounds: 2,
             durability_fsync: true,
             wal_segment_bytes: 8 << 20,
+            chunk_format_version: 2,
+            chunk_compression: true,
+            measure_pruning: true,
         }
     }
 }
@@ -323,6 +343,9 @@ impl SystemConfig {
         if self.wal_segment_bytes < 4096 {
             return Err("wal_segment_bytes must be at least 4096".into());
         }
+        if !(1..=2).contains(&self.chunk_format_version) {
+            return Err("chunk_format_version must be 1 or 2".into());
+        }
         Ok(())
     }
 }
@@ -370,6 +393,8 @@ mod tests {
                 c.client_rate_limit = 100;
                 c.client_rate_burst = 0;
             },
+            |c: &mut SystemConfig| c.chunk_format_version = 0,
+            |c: &mut SystemConfig| c.chunk_format_version = 3,
         ] {
             let mut c = SystemConfig::default();
             breakage(&mut c);

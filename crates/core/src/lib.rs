@@ -24,6 +24,7 @@
 
 pub mod aggregate;
 pub mod codec;
+pub mod compress;
 pub mod config;
 pub mod error;
 pub mod ids;

@@ -32,6 +32,12 @@ pub struct Query {
     /// happens through the registered extractor, so results are identical
     /// to an equivalent predicate — just faster.
     pub attr_eq: Option<(u16, u64)>,
+    /// Optional *structured* inclusive range constraint `[lo, hi]` on the
+    /// registered measure `m(tuple)`. Like `attr_eq`, the coordinator folds
+    /// this into the predicate for exact filtering, while the structured
+    /// form lets planners prune chunks and leaves whose persisted MIN/MAX
+    /// measure bounds cannot intersect the range.
+    pub measure_range: Option<(u64, u64)>,
 }
 
 impl Query {
@@ -42,6 +48,7 @@ impl Query {
             times,
             predicate: None,
             attr_eq: None,
+            measure_range: None,
         }
     }
 
@@ -56,6 +63,7 @@ impl Query {
             times,
             predicate: Some(Arc::new(predicate)),
             attr_eq: None,
+            measure_range: None,
         }
     }
 
@@ -64,6 +72,14 @@ impl Query {
     /// ingested for pruning to apply; filtering is always exact.
     pub fn and_attr_eq(mut self, attr: u16, value: u64) -> Self {
         self.attr_eq = Some((attr, value));
+        self
+    }
+
+    /// Adds an inclusive range constraint on the registered measure
+    /// (builder style): only tuples with `lo <= measure(t) <= hi` match.
+    /// Filtering is exact; persisted MIN/MAX bounds make it prunable.
+    pub fn and_measure_between(mut self, lo: u64, hi: u64) -> Self {
+        self.measure_range = Some((lo, hi));
         self
     }
 
@@ -131,6 +147,11 @@ pub struct SubQuery {
     pub times: TimeInterval,
     /// Shared user predicate.
     pub predicate: Option<Predicate>,
+    /// Structured measure-range constraint inherited from the parent query;
+    /// carried as data (it crosses the wire, unlike the predicate) so
+    /// executors can prune leaves by their persisted MIN/MAX bounds. The
+    /// exact filtering happens via the coordinator-folded predicate.
+    pub measure_range: Option<(u64, u64)>,
     /// Which data region (and thus executor) this fragment belongs to.
     pub target: SubQueryTarget,
 }
@@ -209,6 +230,7 @@ mod tests {
             keys: KeyInterval::new(0, 50),
             times: TimeInterval::new(0, 100),
             predicate: q.predicate.clone(),
+            measure_range: None,
             target: SubQueryTarget::Chunk(ChunkId(7)),
         };
         assert!(sq.matches(&Tuple::bare(3, 50)));

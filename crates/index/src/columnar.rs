@@ -1,0 +1,449 @@
+//! Columnar leaf images for chunk format v2.
+//!
+//! A sealed leaf holds tuples sorted by `(key, ts)`. The v1 chunk format
+//! stores them as full-width rows (8-byte key, 8-byte timestamp, 4-byte
+//! length prefix per tuple). This module stores the same leaf as columns:
+//!
+//! ```text
+//! [count u32]
+//! timestamp column:  [ts0 uvarint] [count-1 × zigzag delta-of-delta]
+//! key column:        [mode u8]
+//!   mode 0 (delta):  [key0 uvarint] [count-1 × uvarint deltas]
+//!   mode 1 (dict):   [dict_len uvarint] [dict0 uvarint]
+//!                    [dict_len-1 × uvarint deltas] [count × uvarint index]
+//! payload column:    [count × uvarint length] [mode u8] [block u32-prefixed]
+//!   mode 0: raw concatenated payloads
+//!   mode 1: LZ-compressed concatenation
+//!   mode 2: byte-shuffled (stride = common payload length) then LZ
+//! ```
+//!
+//! Keys are non-decreasing within a leaf, so delta mode needs no zigzag;
+//! dictionary mode wins on key-repetitive leaves (few devices, many
+//! readings). The payload encoder tries every permitted mode and keeps the
+//! smallest. Decoding is defensive throughout: corrupt images produce a
+//! typed [`WwError::Corrupt`] and never panic or over-allocate — initial
+//! capacities are capped by what the image's byte length could plausibly
+//! hold (every row costs at least one byte per column).
+//!
+//! [`scan_leaf`] implements late materialization: it decodes only the key
+//! and timestamp columns, intersects them with the subquery's key/time
+//! intervals, and touches the payload block — including its decompression —
+//! only when at least one row survives.
+
+use waterwheel_core::codec::{Decoder, Encoder};
+use waterwheel_core::compress;
+use waterwheel_core::{KeyInterval, Result, TimeInterval, Tuple, WwError};
+
+const PAYLOAD_RAW: u8 = 0;
+const PAYLOAD_LZ: u8 = 1;
+const PAYLOAD_SHUFFLE_LZ: u8 = 2;
+
+const KEYS_DELTA: u8 = 0;
+const KEYS_DICT: u8 = 1;
+
+/// Upper bound on a single leaf's decompressed payload block; a corrupt
+/// length header past this is rejected before allocation. Generous: leaves
+/// are sealed at a few hundred tuples.
+const MAX_PAYLOAD_BLOCK: usize = 256 << 20;
+
+fn uvarint_len(v: u64) -> usize {
+    ((64 - (v | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Encodes a sealed leaf's tuples (sorted by `(key, ts)`) into a columnar
+/// image. An empty slice encodes to an empty image.
+pub fn encode_leaf(entries: &[Tuple], compression: bool) -> Vec<u8> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(entries.len() * 8);
+    out.put_u32(entries.len() as u32);
+
+    // Timestamp column: first value, then zigzag delta-of-delta. Deltas are
+    // computed with wrapping arithmetic so arbitrary u64 timestamps (and
+    // the non-monotonic timestamps a key-sorted leaf produces) round-trip.
+    out.put_uvarint(entries[0].ts);
+    let mut prev_ts = entries[0].ts;
+    let mut prev_delta: i64 = 0;
+    for t in &entries[1..] {
+        let delta = t.ts.wrapping_sub(prev_ts) as i64;
+        out.put_ivarint(delta.wrapping_sub(prev_delta));
+        prev_ts = t.ts;
+        prev_delta = delta;
+    }
+
+    // Key column: size both encodings, keep the smaller.
+    let mut delta_size = uvarint_len(entries[0].key);
+    for w in entries.windows(2) {
+        delta_size += uvarint_len(w[1].key - w[0].key);
+    }
+    let mut dict: Vec<u64> = Vec::new();
+    for t in entries {
+        if dict.last() != Some(&t.key) {
+            dict.push(t.key);
+        }
+    }
+    let mut dict_size = uvarint_len(dict.len() as u64) + uvarint_len(dict[0]);
+    for w in dict.windows(2) {
+        dict_size += uvarint_len(w[1] - w[0]);
+    }
+    let mut idx = 0usize;
+    for t in entries {
+        if dict[idx] != t.key {
+            idx += 1;
+        }
+        dict_size += uvarint_len(idx as u64);
+    }
+    if dict_size < delta_size {
+        out.put_u8(KEYS_DICT);
+        out.put_uvarint(dict.len() as u64);
+        out.put_uvarint(dict[0]);
+        for w in dict.windows(2) {
+            out.put_uvarint(w[1] - w[0]);
+        }
+        let mut idx = 0usize;
+        for t in entries {
+            if dict[idx] != t.key {
+                idx += 1;
+            }
+            out.put_uvarint(idx as u64);
+        }
+    } else {
+        out.put_u8(KEYS_DELTA);
+        out.put_uvarint(entries[0].key);
+        for w in entries.windows(2) {
+            out.put_uvarint(w[1].key - w[0].key);
+        }
+    }
+
+    // Payload column.
+    let mut block = Vec::new();
+    let mut uniform_len = Some(entries[0].payload.len());
+    for t in entries {
+        out.put_uvarint(t.payload.len() as u64);
+        block.extend_from_slice(&t.payload);
+        if uniform_len != Some(t.payload.len()) {
+            uniform_len = None;
+        }
+    }
+    let mut mode = PAYLOAD_RAW;
+    let mut body = block.clone();
+    if compression && !block.is_empty() {
+        let lz = compress::compress(&block);
+        if lz.len() < body.len() {
+            mode = PAYLOAD_LZ;
+            body = lz;
+        }
+        if let Some(stride) = uniform_len.filter(|&l| l > 0) {
+            let shuf = compress::compress(&compress::shuffle(&block, stride));
+            if shuf.len() < body.len() {
+                mode = PAYLOAD_SHUFFLE_LZ;
+                body = shuf;
+            }
+        }
+    }
+    out.put_u8(mode);
+    out.put_bytes(&body);
+    out
+}
+
+/// The key and timestamp columns of a leaf image, decoded; payloads stay
+/// encoded until [`DecodedColumns::materialize`] touches them.
+struct DecodedColumns<'a> {
+    keys: Vec<u64>,
+    timestamps: Vec<u64>,
+    dec: Decoder<'a>, // positioned at the payload-length column
+}
+
+fn decode_columns<'a>(bytes: &'a [u8], expected: u32) -> Result<DecodedColumns<'a>> {
+    let corrupt = |msg: &'static str| WwError::corrupt("chunk leaf", msg);
+    let mut dec = Decoder::new(bytes, "chunk leaf");
+    let count = dec.get_u32()? as usize;
+    if count != expected as usize {
+        return Err(corrupt("leaf row count disagrees with directory"));
+    }
+    if count == 0 {
+        // An empty leaf encodes as an empty image; callers handle that
+        // before reaching here, so a non-empty image claiming zero rows
+        // is corrupt.
+        return Err(corrupt("non-empty image claims zero rows"));
+    }
+    // Every row costs at least one byte in each of the three columns, so a
+    // count beyond the image length is corrupt — reject before allocating.
+    if count > bytes.len() {
+        return Err(corrupt("leaf row count exceeds image size"));
+    }
+
+    let mut timestamps = Vec::with_capacity(count);
+    let first_ts = dec.get_uvarint()?;
+    timestamps.push(first_ts);
+    let mut prev_ts = first_ts;
+    let mut prev_delta: i64 = 0;
+    for _ in 1..count {
+        let delta = prev_delta.wrapping_add(dec.get_ivarint()?);
+        prev_ts = prev_ts.wrapping_add(delta as u64);
+        prev_delta = delta;
+        timestamps.push(prev_ts);
+    }
+
+    let mut keys = Vec::with_capacity(count);
+    match dec.get_u8()? {
+        KEYS_DELTA => {
+            let mut key = dec.get_uvarint()?;
+            keys.push(key);
+            for _ in 1..count {
+                key = key
+                    .checked_add(dec.get_uvarint()?)
+                    .ok_or_else(|| corrupt("key delta overflows"))?;
+                keys.push(key);
+            }
+        }
+        KEYS_DICT => {
+            let dict_len = dec.get_uvarint()? as usize;
+            if dict_len == 0 || dict_len > count {
+                return Err(corrupt("dictionary size out of range"));
+            }
+            let mut dict = Vec::with_capacity(dict_len);
+            let mut v = dec.get_uvarint()?;
+            dict.push(v);
+            for _ in 1..dict_len {
+                v = v
+                    .checked_add(dec.get_uvarint()?)
+                    .ok_or_else(|| corrupt("dictionary delta overflows"))?;
+                dict.push(v);
+            }
+            for _ in 0..count {
+                let idx = dec.get_uvarint()? as usize;
+                let key = *dict
+                    .get(idx)
+                    .ok_or_else(|| corrupt("dictionary index out of range"))?;
+                keys.push(key);
+            }
+        }
+        _ => return Err(corrupt("unknown key column mode")),
+    }
+
+    Ok(DecodedColumns {
+        keys,
+        timestamps,
+        dec,
+    })
+}
+
+impl<'a> DecodedColumns<'a> {
+    /// Decodes the payload column and materializes the selected rows (given
+    /// as sorted indices) into tuples. Skipped entirely when `selected` is
+    /// empty — late materialization means an all-pruned leaf never pays for
+    /// payload decompression.
+    fn materialize(mut self, selected: &[usize]) -> Result<Vec<Tuple>> {
+        if selected.is_empty() {
+            return Ok(Vec::new());
+        }
+        let corrupt = |msg: &'static str| WwError::corrupt("chunk leaf", msg);
+        let count = self.keys.len();
+        let mut lens = Vec::with_capacity(count);
+        let mut total: u64 = 0;
+        for _ in 0..count {
+            let len = self.dec.get_uvarint()?;
+            total = total
+                .checked_add(len)
+                .ok_or_else(|| corrupt("payload lengths overflow"))?;
+            lens.push(len as usize);
+        }
+        if total > MAX_PAYLOAD_BLOCK as u64 {
+            return Err(corrupt("payload block implausibly large"));
+        }
+        let total = total as usize;
+        let mode = self.dec.get_u8()?;
+        let body = self.dec.get_bytes()?;
+        if self.dec.remaining() != 0 {
+            return Err(corrupt("trailing bytes after payload block"));
+        }
+        let block: Vec<u8> = match mode {
+            PAYLOAD_RAW => body.to_vec(),
+            PAYLOAD_LZ => compress::decompress(body, total)?,
+            PAYLOAD_SHUFFLE_LZ => {
+                let stride = lens.first().copied().unwrap_or(0);
+                if stride == 0 || lens.iter().any(|&l| l != stride) {
+                    return Err(corrupt("shuffled payload block with mixed lengths"));
+                }
+                let shuffled = compress::decompress(body, total)?;
+                if shuffled.len() != total {
+                    return Err(corrupt("shuffled payload block has wrong length"));
+                }
+                compress::unshuffle(&shuffled, stride)
+            }
+            _ => return Err(corrupt("unknown payload column mode")),
+        };
+        if block.len() != total {
+            return Err(corrupt("payload block has wrong length"));
+        }
+        // Prefix-sum offsets once, then slice out only the selected rows.
+        let mut offsets = Vec::with_capacity(count + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &l in &lens {
+            acc += l;
+            offsets.push(acc);
+        }
+        let mut out = Vec::with_capacity(selected.len());
+        for &i in selected {
+            out.push(Tuple::new(
+                self.keys[i],
+                self.timestamps[i],
+                block[offsets[i]..offsets[i + 1]].to_vec(),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes every row of a leaf image written by [`encode_leaf`].
+/// `expected` is the row count from the chunk's leaf directory and must
+/// match the image's own header.
+pub fn decode_leaf(bytes: &[u8], expected: u32) -> Result<Vec<Tuple>> {
+    if expected == 0 && bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let cols = decode_columns(bytes, expected)?;
+    let all: Vec<usize> = (0..cols.keys.len()).collect();
+    cols.materialize(&all)
+}
+
+/// Decodes a leaf image and materializes only the rows inside `keys` ×
+/// `times`. Rows are filtered on the decoded key/timestamp columns; the
+/// payload block is only decompressed if at least one row survives.
+pub fn scan_leaf(
+    bytes: &[u8],
+    expected: u32,
+    keys: &KeyInterval,
+    times: &TimeInterval,
+) -> Result<Vec<Tuple>> {
+    if expected == 0 && bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let cols = decode_columns(bytes, expected)?;
+    // Keys are sorted within a leaf: binary-search the qualifying key span,
+    // then filter that span by timestamp.
+    let start = cols.keys.partition_point(|&k| k < keys.lo());
+    let end = cols.keys.partition_point(|&k| k <= keys.hi());
+    let selected: Vec<usize> = (start..end)
+        .filter(|&i| times.contains(cols.timestamps[i]))
+        .collect();
+    cols.materialize(&selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(entries: &[(u64, u64, usize)]) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = entries
+            .iter()
+            .map(|&(k, ts, n)| Tuple::new(k, ts, vec![(k ^ ts) as u8; n]))
+            .collect();
+        v.sort_by_key(|t| (t.key, t.ts));
+        v
+    }
+
+    #[test]
+    fn roundtrips_all_shapes() {
+        let cases = vec![
+            leaf(&[]),
+            leaf(&[(5, 100, 0)]),
+            leaf(&[(1, 10, 4), (2, 20, 4), (3, 30, 4)]),
+            // Repeated keys → dictionary mode territory.
+            leaf(
+                &(0..200)
+                    .map(|i| (i % 3, 1000 + i * 7, 16))
+                    .collect::<Vec<_>>(),
+            ),
+            // Wild timestamps out of order relative to keys.
+            leaf(&[(1, u64::MAX, 2), (2, 0, 3), (3, 1 << 60, 1)]),
+            // Mixed payload lengths defeat the shuffle mode.
+            leaf(
+                &(0..50)
+                    .map(|i| (i, i * 2, (i % 7) as usize))
+                    .collect::<Vec<_>>(),
+            ),
+        ];
+        for entries in cases {
+            for compression in [false, true] {
+                let img = encode_leaf(&entries, compression);
+                let back = decode_leaf(&img, entries.len() as u32).unwrap();
+                assert_eq!(back, entries);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_post_hoc_filter() {
+        let entries = leaf(
+            &(0..300)
+                .map(|i| (i / 2, 1000 + i * 3, 12))
+                .collect::<Vec<_>>(),
+        );
+        let img = encode_leaf(&entries, true);
+        let keys = KeyInterval::new(20, 90);
+        let times = TimeInterval::new(1100, 1600);
+        let got = scan_leaf(&img, entries.len() as u32, &keys, &times).unwrap();
+        let want: Vec<Tuple> = entries
+            .iter()
+            .filter(|t| keys.contains(t.key) && times.contains(t.ts))
+            .cloned()
+            .collect();
+        assert_eq!(got, want);
+        // An empty scan window yields nothing (and skips materialization).
+        let got = scan_leaf(
+            &img,
+            entries.len() as u32,
+            &KeyInterval::new(5000, 6000),
+            &times,
+        )
+        .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn fixed_stride_payloads_compress_well() {
+        // Sensor-shaped payloads: fixed 36-byte records with constant high
+        // bytes. The columnar image should be well under half the row size.
+        let entries: Vec<Tuple> = (0..256u64)
+            .map(|i| {
+                let mut p = Vec::new();
+                p.extend_from_slice(&(i as u32 % 100).to_le_bytes());
+                p.extend_from_slice(&(2_000_000u32 + i as u32).to_le_bytes());
+                p.extend_from_slice(&(4_000_000u32 + (i as u32) * 3).to_le_bytes());
+                p.extend_from_slice(&[0u8; 24]);
+                Tuple::new(i << 32, 1_700_000_000_000 + i * 1000, p)
+            })
+            .collect();
+        let row_size: usize = entries.iter().map(|t| t.encoded_len()).sum();
+        let img = encode_leaf(&entries, true);
+        assert!(
+            img.len() * 2 < row_size,
+            "columnar {} vs row {row_size}",
+            img.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_images_error_not_panic() {
+        let entries = leaf(&(0..64).map(|i| (i, 100 + i, 8)).collect::<Vec<_>>());
+        let img = encode_leaf(&entries, true);
+        let n = entries.len() as u32;
+        for cut in 0..img.len() {
+            let _ = decode_leaf(&img[..cut], n);
+        }
+        for i in 0..img.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = img.clone();
+                bad[i] ^= flip;
+                let _ = decode_leaf(&bad, n);
+                let _ = scan_leaf(&bad, n, &KeyInterval::full(), &TimeInterval::full());
+            }
+        }
+        // Wrong directory count is detected.
+        assert!(decode_leaf(&img, n + 1).is_err());
+    }
+}

@@ -32,6 +32,7 @@
 pub mod bitmap;
 pub mod bloom;
 pub mod bulk;
+pub mod columnar;
 pub mod concurrent;
 pub mod config;
 pub mod sealed;

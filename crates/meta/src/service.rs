@@ -78,6 +78,38 @@ pub struct SummaryExtent {
     pub levels: u8,
     /// Key-slice width exponent the summary was built with.
     pub slice_bits: u8,
+    /// MIN/MAX of the registered measure over every tuple in the chunk;
+    /// lets the coordinator skip whole chunks whose bounds cannot satisfy
+    /// a query's `measure_range` filter. `None` when the chunk was written
+    /// without measure bounds (v1 chunks, or no measure registered).
+    pub measure_range: Option<(u64, u64)>,
+}
+
+/// Encodes an optional MIN/MAX measure range as `flag u16 + min/max u64`.
+fn put_measure_range(out: &mut Vec<u8>, mr: Option<(u64, u64)>) {
+    match mr {
+        Some((lo, hi)) => {
+            out.put_u16(1);
+            out.put_u64(lo);
+            out.put_u64(hi);
+        }
+        None => {
+            out.put_u16(0);
+            out.put_u64(0);
+            out.put_u64(0);
+        }
+    }
+}
+
+fn get_measure_range(dec: &mut Decoder<'_>) -> Result<Option<(u64, u64)>> {
+    let flag = dec.get_u16()?;
+    let lo = dec.get_u64()?;
+    let hi = dec.get_u64()?;
+    match flag {
+        0 => Ok(None),
+        1 if lo <= hi => Ok(Some((lo, hi))),
+        _ => Err(WwError::corrupt("meta summary extent", "bad measure range")),
+    }
 }
 
 struct MetaState {
@@ -390,6 +422,7 @@ impl MetadataService {
         rec.put_u64(extent.bytes);
         rec.put_u16(extent.levels as u16);
         rec.put_u16(extent.slice_bits as u16);
+        put_measure_range(&mut rec, extent.measure_range);
         self.log_mutation(&state, rec)
     }
 
@@ -469,6 +502,7 @@ impl MetadataService {
             body.put_u64(extent.bytes);
             body.put_u16(extent.levels as u16);
             body.put_u16(extent.slice_bits as u16);
+            put_measure_range(&mut body, extent.measure_range);
         }
         let mut out = Vec::with_capacity(body.len() + 24);
         out.put_u64(SNAPSHOT_MAGIC);
@@ -541,6 +575,7 @@ impl MetadataService {
                 let bytes_ = dec.get_u64()?;
                 let levels = dec.get_u16()? as u8;
                 let slice_bits = dec.get_u16()? as u8;
+                let measure_range = get_measure_range(&mut dec)?;
                 summaries.insert(
                     chunk,
                     SummaryExtent {
@@ -548,6 +583,7 @@ impl MetadataService {
                         bytes: bytes_,
                         levels,
                         slice_bits,
+                        measure_range,
                     },
                 );
             }
@@ -625,6 +661,7 @@ fn apply_record(state: &mut MetaState, record: &[u8]) -> Result<()> {
             let bytes = dec.get_u64()?;
             let levels = dec.get_u16()? as u8;
             let slice_bits = dec.get_u16()? as u8;
+            let measure_range = get_measure_range(&mut dec)?;
             state.summaries.insert(
                 chunk,
                 SummaryExtent {
@@ -632,6 +669,7 @@ fn apply_record(state: &mut MetaState, record: &[u8]) -> Result<()> {
                     bytes,
                     levels,
                     slice_bits,
+                    measure_range,
                 },
             );
         }
@@ -768,6 +806,7 @@ mod tests {
             bytes: 56_789,
             levels: 0b1111,
             slice_bits: 4,
+            measure_range: Some((3, 907)),
         };
         {
             let meta = MetadataService::open(&path).unwrap();

@@ -269,6 +269,7 @@ mod tests {
             bytes: 64,
             levels: 1,
             slice_bits: 4,
+            measure_range: Some((7, 99)),
         };
         client.register_summary(id, extent).unwrap();
         assert_eq!(client.summary_extent(id).unwrap(), Some(extent));

@@ -1124,6 +1124,7 @@ mod tests {
             keys: KeyInterval::full(),
             times: TimeInterval::full(),
             predicate: Some(Arc::new(|t: &Tuple| t.key.is_multiple_of(2))),
+            measure_range: None,
             target: SubQueryTarget::Chunk(ChunkId(0)),
         };
         let r = t

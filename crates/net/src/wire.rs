@@ -289,6 +289,16 @@ fn encode_subquery(out: &mut Vec<u8>, sq: &SubQuery) {
     // Opaque closure: presence flag only. The transport re-applies the
     // predicate sender-side (module docs).
     out.push(sq.predicate.is_some() as u8);
+    // The structured measure range is plain data and crosses for real:
+    // executors prune leaves by persisted MIN/MAX bounds against it.
+    match sq.measure_range {
+        Some((lo, hi)) => {
+            out.push(1);
+            out.put_u64(lo);
+            out.put_u64(hi);
+        }
+        None => out.push(0),
+    }
     match sq.target {
         SubQueryTarget::InMemory(server) => {
             out.push(0);
@@ -307,6 +317,23 @@ fn decode_subquery(dec: &mut Decoder<'_>) -> Result<SubQuery> {
     let keys = decode_key_interval(dec)?;
     let times = decode_time_interval(dec)?;
     let _had_predicate = dec.get_u8()? != 0;
+    let measure_range = match dec.get_u8()? {
+        0 => None,
+        1 => {
+            let lo = dec.get_u64()?;
+            let hi = dec.get_u64()?;
+            if lo > hi {
+                return Err(WwError::corrupt("frame", "inverted measure range"));
+            }
+            Some((lo, hi))
+        }
+        other => {
+            return Err(WwError::corrupt(
+                "frame",
+                format!("unknown measure-range flag {other}"),
+            ))
+        }
+    };
     let target = match dec.get_u8()? {
         0 => SubQueryTarget::InMemory(ServerId(dec.get_u32()?)),
         1 => SubQueryTarget::Chunk(ChunkId(dec.get_u64()?)),
@@ -322,6 +349,7 @@ fn decode_subquery(dec: &mut Decoder<'_>) -> Result<SubQuery> {
         keys,
         times,
         predicate: None,
+        measure_range,
         target,
     })
 }
@@ -608,14 +636,44 @@ fn encode_summary_extent(out: &mut Vec<u8>, e: &SummaryExtent) {
     out.put_u64(e.bytes);
     out.push(e.levels);
     out.push(e.slice_bits);
+    match e.measure_range {
+        Some((lo, hi)) => {
+            out.push(1);
+            out.put_u64(lo);
+            out.put_u64(hi);
+        }
+        None => out.push(0),
+    }
 }
 
 fn decode_summary_extent(dec: &mut Decoder<'_>) -> Result<SummaryExtent> {
+    let cells = dec.get_u64()?;
+    let bytes = dec.get_u64()?;
+    let levels = dec.get_u8()?;
+    let slice_bits = dec.get_u8()?;
+    let measure_range = match dec.get_u8()? {
+        0 => None,
+        1 => {
+            let lo = dec.get_u64()?;
+            let hi = dec.get_u64()?;
+            if lo > hi {
+                return Err(WwError::corrupt("frame", "inverted measure range"));
+            }
+            Some((lo, hi))
+        }
+        other => {
+            return Err(WwError::corrupt(
+                "frame",
+                format!("unknown measure-range flag {other}"),
+            ))
+        }
+    };
     Ok(SummaryExtent {
-        cells: dec.get_u64()?,
-        bytes: dec.get_u64()?,
-        levels: dec.get_u8()?,
-        slice_bits: dec.get_u8()?,
+        cells,
+        bytes,
+        levels,
+        slice_bits,
+        measure_range,
     })
 }
 
@@ -1088,6 +1146,7 @@ mod tests {
             keys: KeyInterval::new(10, 20),
             times: TimeInterval::new(30, 40),
             predicate: Some(Arc::new(|t: &Tuple| t.key.is_multiple_of(2))),
+            measure_range: Some((1, 1000)),
             target: SubQueryTarget::Chunk(ChunkId(5)),
         };
         let decoded = roundtrip_request(Request::ChunkSubquery {
@@ -1140,6 +1199,7 @@ mod tests {
                     bytes: 320,
                     levels: 0b101,
                     slice_bits: 4,
+                    measure_range: Some((12, 8_000)),
                 },
             },
             MetaRequest::ChunksOverlapping { region },
@@ -1196,6 +1256,7 @@ mod tests {
                 bytes: 40,
                 levels: 1,
                 slice_bits: 2,
+                measure_range: None,
             }))),
             Response::Meta(MetaResponse::Extent(None)),
             Response::Meta(MetaResponse::Partition(None)),

@@ -91,11 +91,22 @@ impl Gen {
             keys: self.interval_keys(),
             times: self.interval_times(),
             predicate: None,
+            measure_range: self.measure_range(),
             target: if self.below(2) == 0 {
                 SubQueryTarget::InMemory(ServerId(self.next() as u32))
             } else {
                 SubQueryTarget::Chunk(ChunkId(self.next()))
             },
+        }
+    }
+
+    fn measure_range(&mut self) -> Option<(u64, u64)> {
+        if self.below(2) == 0 {
+            None
+        } else {
+            let a = self.next();
+            let b = self.next();
+            Some((a.min(b), a.max(b)))
         }
     }
 
@@ -105,6 +116,7 @@ impl Gen {
             bytes: self.next(),
             levels: self.next() as u8,
             slice_bits: self.below(16) as u8,
+            measure_range: self.measure_range(),
         }
     }
 
@@ -429,6 +441,7 @@ fn oversized_announcement_and_predicate_flag() {
                 keys: KeyInterval::full(),
                 times: TimeInterval::full(),
                 predicate: Some(Arc::new(|t: &Tuple| t.key > 0)),
+                measure_range: Some((3, 907)),
                 target: SubQueryTarget::InMemory(ServerId(1)),
             },
         },

@@ -105,6 +105,10 @@ pub struct NodeConfig {
     /// WAL segment size bounding log files and the metadata compaction
     /// threshold; see `SystemConfig::wal_segment_bytes`.
     pub wal_segment_bytes: usize,
+    /// On-disk chunk format newly flushed chunks are written in; see
+    /// `SystemConfig::chunk_format_version`. Readers dispatch per chunk,
+    /// so a store may legitimately mix versions across restarts.
+    pub chunk_format_version: u32,
     /// Addresses of the roles this process calls into.
     pub peers: Vec<(Role, SocketAddr)>,
 }
@@ -124,6 +128,7 @@ impl NodeConfig {
             chunk_size_bytes: cfg.chunk_size_bytes,
             durability_fsync: cfg.durability_fsync,
             wal_segment_bytes: cfg.wal_segment_bytes,
+            chunk_format_version: cfg.chunk_format_version,
             peers: Vec::new(),
         }
     }
@@ -160,6 +165,12 @@ impl NodeConfig {
             Ok(v) => v.parse().map_err(|e| format!("WW_NODE_WAL_SEG: {e}"))?,
             Err(_) => defaults.wal_segment_bytes,
         };
+        let chunk_format_version = match std::env::var("WW_NODE_CHUNK_FORMAT") {
+            Ok(v) => v
+                .parse()
+                .map_err(|e| format!("WW_NODE_CHUNK_FORMAT: {e}"))?,
+            Err(_) => defaults.chunk_format_version,
+        };
         Ok(Self {
             role,
             listen: var("WW_NODE_LISTEN")?,
@@ -171,6 +182,7 @@ impl NodeConfig {
             chunk_size_bytes: num("WW_NODE_CHUNK_BYTES")?,
             durability_fsync,
             wal_segment_bytes,
+            chunk_format_version,
             peers,
         })
     }
@@ -195,6 +207,10 @@ impl NodeConfig {
                 if self.durability_fsync { "1" } else { "0" },
             )
             .env("WW_NODE_WAL_SEG", self.wal_segment_bytes.to_string())
+            .env(
+                "WW_NODE_CHUNK_FORMAT",
+                self.chunk_format_version.to_string(),
+            )
             .env("WW_NODE_PEERS", peers.join(","));
     }
 }
@@ -233,6 +249,7 @@ impl Layout {
         cfg.chunk_size_bytes = nc.chunk_size_bytes;
         cfg.durability_fsync = nc.durability_fsync;
         cfg.wal_segment_bytes = nc.wal_segment_bytes;
+        cfg.chunk_format_version = nc.chunk_format_version;
         // Nested flush RPCs (gateway → indexing pump-until-empty) can
         // outlive the embedded default; loopback never needs to give up
         // that early.
@@ -707,6 +724,7 @@ mod tests {
         let mut nc = NodeConfig::new(Role::Query, "127.0.0.1:0", "/tmp/ww-env");
         nc.durability_fsync = false;
         nc.wal_segment_bytes = 65_536;
+        nc.chunk_format_version = 1;
         nc.peers = vec![
             (Role::Meta, "127.0.0.1:4100".parse().unwrap()),
             (Role::Dispatcher, "127.0.0.1:4101".parse().unwrap()),
@@ -724,6 +742,7 @@ mod tests {
         assert_eq!(back.indexing_servers, nc.indexing_servers);
         assert_eq!(back.durability_fsync, nc.durability_fsync);
         assert_eq!(back.wal_segment_bytes, nc.wal_segment_bytes);
+        assert_eq!(back.chunk_format_version, nc.chunk_format_version);
         assert_eq!(back.peers, nc.peers);
         for key in [
             "WW_NODE_ROLE",
@@ -736,6 +755,7 @@ mod tests {
             "WW_NODE_CHUNK_BYTES",
             "WW_NODE_FSYNC",
             "WW_NODE_WAL_SEG",
+            "WW_NODE_CHUNK_FORMAT",
             "WW_NODE_PEERS",
         ] {
             std::env::remove_var(key);

@@ -52,6 +52,9 @@ pub struct CoordinatorStats {
     pub redispatches: AtomicU64,
     /// Chunk subqueries pruned by secondary attribute indexes (§VIII).
     pub attr_pruned_chunks: AtomicU64,
+    /// Chunk subqueries pruned because the chunk's registered MIN/MAX
+    /// measure bounds cannot intersect the query's measure range.
+    pub measure_pruned_chunks: AtomicU64,
     /// Aggregate queries executed (DESIGN.md §4b).
     pub agg_queries: AtomicU64,
     /// Wheel/summary cells merged into aggregate answers.
@@ -163,12 +166,21 @@ impl Coordinator {
         let region = query.region();
         let mut out = Vec::new();
         let mut index = 0u32;
+        // The measure range travels on subqueries only as a pruning hint
+        // (bounds checks against stored MIN/MAX); exactness comes from the
+        // folded predicate, so disabling the knob changes no answers.
+        let measure_range = if self.cfg.measure_pruning {
+            query.measure_range
+        } else {
+            None
+        };
         let mut push = |keys, times, target| {
             out.push(SubQuery {
                 id: SubQueryId { query: qid, index },
                 keys,
                 times,
                 predicate: query.predicate.clone(),
+                measure_range,
                 target,
             });
             index += 1;
@@ -210,25 +222,30 @@ impl Coordinator {
     /// [`execute`]: Self::execute
     fn execute_with_qid(&self, query: &Query, qid: QueryId) -> Result<QueryResult> {
         // Fold attr_eq into the predicate so every executor filters exactly.
-        let effective;
-        let attr_hint;
-        match query.attr_eq {
+        let mut effective = query.clone();
+        let attr_hint = match query.attr_eq {
             Some((attr, value)) => {
                 let extract = self.attrs.read().get(attr).ok_or_else(|| {
                     WwError::Config(format!("attribute {attr} is not registered"))
                 })?;
-                let inner = query.predicate.clone();
-                let mut q = query.clone();
-                q.predicate = Some(Arc::new(move |t: &waterwheel_core::Tuple| {
+                let inner = effective.predicate.take();
+                effective.predicate = Some(Arc::new(move |t: &waterwheel_core::Tuple| {
                     extract(t) == Some(value) && inner.as_ref().is_none_or(|p| p(t))
                 }));
-                effective = q;
-                attr_hint = Some((attr, value));
+                Some((attr, value))
             }
-            None => {
-                effective = query.clone();
-                attr_hint = None;
-            }
+            None => None,
+        };
+        // Fold the measure range the same way: chunk/leaf MIN-MAX bounds
+        // only *prune*, so every surviving tuple is still checked exactly
+        // against the registered measure here.
+        if let Some((lo, hi)) = query.measure_range {
+            let measure = self.measure.read().clone();
+            let inner = effective.predicate.take();
+            effective.predicate = Some(Arc::new(move |t: &waterwheel_core::Tuple| {
+                let m = measure(t);
+                (lo..=hi).contains(&m) && inner.as_ref().is_none_or(|p| p(t))
+            }));
         }
         let query = &effective;
         let subqueries = self.decompose(query, qid)?;
@@ -243,6 +260,23 @@ impl Coordinator {
             match sq.target {
                 SubQueryTarget::InMemory(server) => mem_sqs.push((server, sq)),
                 SubQueryTarget::Chunk(chunk) => {
+                    // MIN/MAX measure pruning: a chunk whose registered
+                    // measure bounds are disjoint from the query's range
+                    // cannot contribute a tuple — skip it without a read.
+                    if let Some((lo, hi)) = sq.measure_range {
+                        if let Some((min, max)) = self
+                            .meta
+                            .summary_extent(chunk)?
+                            .and_then(|ext| ext.measure_range)
+                        {
+                            if max < lo || min > hi {
+                                self.stats
+                                    .measure_pruned_chunks
+                                    .fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
                     // Secondary-index pruning (paper §VIII): skip chunks
                     // that provably lack the attribute value; restrict
                     // to qualifying leaves when a bitmap exists.
@@ -305,8 +339,10 @@ impl Coordinator {
     /// summary residues (capped rings), summary-less chunks, and fringes
     /// fall back to exact tuple scans. The pieces partition the query's
     /// tuple set, so the merged result equals a naive fold over a full
-    /// scan. Queries with a predicate or `attr_eq` constraint cannot be
-    /// answered from pre-folded cells and take the scan path end to end.
+    /// scan. Queries with a predicate, `attr_eq`, or measure-range
+    /// constraint cannot be answered from pre-folded cells and take the
+    /// scan path end to end (the measure-range scan still prunes chunks
+    /// through the registered MIN/MAX bounds).
     pub fn execute_aggregate(&self, aq: &AggregateQuery) -> Result<AggregateAnswer> {
         let qid = QueryId(self.next_query.fetch_add(1, Ordering::Relaxed));
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
@@ -321,7 +357,11 @@ impl Coordinator {
 
         // Full fallback: predicates filter individual tuples, which
         // pre-folded cells cannot honor; the ablation knob forces this too.
-        if q.predicate.is_some() || q.attr_eq.is_some() || !self.summaries_enabled() {
+        if q.predicate.is_some()
+            || q.attr_eq.is_some()
+            || q.measure_range.is_some()
+            || !self.summaries_enabled()
+        {
             let r = self.execute_with_qid(q, qid)?;
             for t in &r.tuples {
                 agg.insert(measure(t));
@@ -414,6 +454,7 @@ impl Coordinator {
                                     keys: covered_keys,
                                     times: *times,
                                     predicate: None,
+                                    measure_range: None,
                                     target: SubQueryTarget::Chunk(*chunk),
                                 },
                                 *chunk,

@@ -36,7 +36,7 @@ use waterwheel_index::{IndexConfig, SealedTree, TemplateBTree, TupleIndex};
 use waterwheel_meta::{ChunkInfo, SummaryExtent};
 use waterwheel_mq::Consumer;
 use waterwheel_net::MetaClient;
-use waterwheel_storage::{write_chunk_with_summary, SimDfs};
+use waterwheel_storage::{write_chunk_opts, ChunkWriteOptions, SimDfs};
 
 /// Ingest-side counters.
 #[derive(Debug, Default)]
@@ -335,8 +335,8 @@ impl IndexingServer {
     /// summary sealed into the footer when enabled — and registers the
     /// chunk, summary extent, and attribute indexes with metadata.
     fn write_and_register(&self, sealed: &SealedTree, durable_offset: u64) -> Result<ChunkId> {
+        let measure = self.measure.read().clone();
         let summary = if self.cfg.agg_summaries_enabled {
-            let measure = self.measure.read().clone();
             let summary = WheelSummary::build(
                 sealed
                     .leaves
@@ -351,7 +351,17 @@ impl IndexingServer {
             None
         };
         let id = self.meta.allocate_chunk_id()?;
-        let bytes = write_chunk_with_summary(sealed, summary.as_ref());
+        // The same measure feeds the summary cells and the v2 MIN/MAX
+        // bounds, so footer pruning and summary folds agree.
+        let bytes = write_chunk_opts(
+            sealed,
+            summary.as_ref(),
+            &ChunkWriteOptions {
+                format_version: self.cfg.chunk_format_version,
+                compression: self.cfg.chunk_compression,
+                measure: Some(&*measure),
+            },
+        );
         self.dfs.write_chunk(id, &bytes)?;
         self.meta.register_chunk(
             id,
@@ -372,6 +382,7 @@ impl IndexingServer {
                     bytes: encoded_len,
                     levels: summary.levels(),
                     slice_bits: summary.slice_bits(),
+                    measure_range: summary.measure_bounds(),
                 },
             )?;
             self.stats
@@ -517,6 +528,7 @@ mod tests {
             keys,
             times,
             predicate: None,
+            measure_range: None,
             target: SubQueryTarget::InMemory(ServerId(0)),
         }
     }

@@ -33,8 +33,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use waterwheel_agg::WheelSummary;
 use waterwheel_cluster::Cluster;
 use waterwheel_core::{ChunkId, NodeId, Result, ServerId, SubQuery, SystemConfig, Tuple, WwError};
-use waterwheel_index::Bitmap;
-use waterwheel_storage::{Block, BlockCache, BlockKey, ChunkReader, SimDfs, Singleflight};
+use waterwheel_index::{columnar, Bitmap};
+use waterwheel_storage::{
+    Block, BlockCache, BlockKey, ChunkReader, SimDfs, Singleflight, VERSION_V1,
+};
 
 /// Per-server execution counters.
 #[derive(Debug, Default)]
@@ -47,6 +49,9 @@ pub struct QueryServerStats {
     pub leaf_cache_hits: AtomicU64,
     /// Leaves skipped by temporal pruning (bounds or bloom).
     pub leaves_pruned: AtomicU64,
+    /// Leaves skipped because their v2 MIN/MAX measure bounds are disjoint
+    /// from the subquery's measure range.
+    pub measure_pruned_leaves: AtomicU64,
     /// Templates (index blocks) read from the DFS.
     pub template_reads: AtomicU64,
     /// Templates served from the cache.
@@ -347,10 +352,15 @@ impl QueryServer {
             let qualifying = (lo..=hi).filter(|&li| bm.contains(li as u32)).count();
             qualifying * 2 <= hi - lo + 1
         });
-        // 3. One classification pass: prune temporally, probe the cache,
-        // and coalesce the remaining misses into contiguous runs.
+        // 3. One classification pass: prune temporally and by measure
+        // bounds, probe the cache, and coalesce the remaining misses into
+        // contiguous runs.
         enum Slot {
-            Cached(Arc<Vec<Tuple>>),
+            /// v1 page, decoded to row tuples.
+            Rows(Arc<Vec<Tuple>>),
+            /// v2 page, kept as its encoded column image (late
+            /// materialization happens at filter time).
+            Cols(Arc<Vec<u8>>),
             Miss,
         }
         let mut slots: Vec<(usize, Slot)> = Vec::new();
@@ -364,10 +374,27 @@ impl QueryServer {
                 self.stats.leaves_pruned.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
+            // v2 MIN/MAX measure pruning (composes with the temporal
+            // pruning above): bounds are conservative, so a disjoint leaf
+            // provably holds no qualifying tuple.
+            if let (Some((qlo, qhi)), Some((min, max))) =
+                (sq.measure_range, index.leaves[li].measure_range)
+            {
+                if max < qlo || min > qhi {
+                    self.stats
+                        .measure_pruned_leaves
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
             match self.cache.get(&BlockKey::Leaf(chunk, li as u32)) {
                 Some(Block::Leaf(page)) => {
                     self.stats.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
-                    slots.push((li, Slot::Cached(page)));
+                    slots.push((li, Slot::Rows(page)));
+                }
+                Some(Block::Column(image)) => {
+                    self.stats.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    slots.push((li, Slot::Cols(image)));
                 }
                 _ => {
                     match miss_runs.last_mut() {
@@ -396,15 +423,33 @@ impl QueryServer {
                 }
             }
         };
+        // v2 column images materialize late: the key/time columns alone
+        // select survivors and the payload block is only decompressed when
+        // some survive; the predicate then filters the materialized rows.
+        let scan_cols = |li: usize, image: &[u8], out: &mut Vec<Tuple>| -> Result<()> {
+            let hits = columnar::scan_leaf(image, index.leaves[li].count, &sq.keys, &sq.times)?;
+            match &sq.predicate {
+                Some(p) => out.extend(hits.into_iter().filter(|t| p(t))),
+                None => out.extend(hits),
+            }
+            Ok(())
+        };
         if miss_runs.is_empty() {
-            for (_, slot) in &slots {
-                if let Slot::Cached(page) = slot {
-                    filter_into(page, &mut out);
+            for (li, slot) in &slots {
+                match slot {
+                    Slot::Rows(page) => filter_into(page, &mut out),
+                    Slot::Cols(image) => scan_cols(*li, image, &mut out)?,
+                    Slot::Miss => unreachable!("no miss runs"),
                 }
             }
             return Ok(out);
         }
-        type PageMsg = Result<(usize, Arc<Vec<Tuple>>)>;
+        enum Page {
+            Rows(Arc<Vec<Tuple>>),
+            Cols(Arc<Vec<u8>>),
+        }
+        type PageMsg = Result<(usize, Page)>;
+        let columnar_chunk = index.version != VERSION_V1;
         let (tx, rx) = std::sync::mpsc::channel::<PageMsg>();
         std::thread::scope(|scope| -> Result<()> {
             let index = &index;
@@ -413,22 +458,39 @@ impl QueryServer {
                 for &(mlo, mhi) in runs {
                     let fetched = {
                         let _io = self.io_permits.acquire(&self.stats.io_wait_ns);
-                        self.dfs
-                            .open(chunk, Some(self.node))
-                            .and_then(|file| ChunkReader::new(file).read_leaves(index, mlo, mhi))
+                        self.dfs.open(chunk, Some(self.node)).and_then(|file| {
+                            let reader = ChunkReader::new(file);
+                            if columnar_chunk {
+                                // Cache and ship the encoded column images;
+                                // decoding waits for the filter step.
+                                reader.read_leaf_pages(index, mlo, mhi).map(|pages| {
+                                    pages
+                                        .into_iter()
+                                        .map(|p| Page::Cols(Arc::new(p)))
+                                        .collect::<Vec<Page>>()
+                                })
+                            } else {
+                                reader.read_leaves(index, mlo, mhi).map(|pages| {
+                                    pages
+                                        .into_iter()
+                                        .map(|p| Page::Rows(Arc::new(p)))
+                                        .collect::<Vec<Page>>()
+                                })
+                            }
+                        })
                     };
                     match fetched {
                         Ok(pages) => {
                             self.stats
                                 .leaf_reads
                                 .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
-                            for (offset, tuples) in pages.into_iter().enumerate() {
+                            for (offset, page) in pages.into_iter().enumerate() {
                                 let li = mlo + offset;
-                                let page = Arc::new(tuples);
-                                self.cache.put(
-                                    BlockKey::Leaf(chunk, li as u32),
-                                    Block::Leaf(Arc::clone(&page)),
-                                );
+                                let block = match &page {
+                                    Page::Rows(p) => Block::Leaf(Arc::clone(p)),
+                                    Page::Cols(p) => Block::Column(Arc::clone(p)),
+                                };
+                                self.cache.put(BlockKey::Leaf(chunk, li as u32), block);
                                 if tx.send(Ok((li, page))).is_err() {
                                     return; // consumer bailed on an error
                                 }
@@ -443,13 +505,17 @@ impl QueryServer {
             });
             for (li, slot) in &slots {
                 match slot {
-                    Slot::Cached(page) => filter_into(page, &mut out),
+                    Slot::Rows(page) => filter_into(page, &mut out),
+                    Slot::Cols(image) => scan_cols(*li, image, &mut out)?,
                     Slot::Miss => {
                         let (got_li, page) = rx
                             .recv()
                             .map_err(|_| WwError::Shutdown("leaf reader thread"))??;
                         debug_assert_eq!(got_li, *li, "pages must arrive in leaf order");
-                        filter_into(&page, &mut out);
+                        match page {
+                            Page::Rows(p) => filter_into(&p, &mut out),
+                            Page::Cols(image) => scan_cols(got_li, &image, &mut out)?,
+                        }
                     }
                 }
             }
@@ -497,6 +563,7 @@ mod tests {
             keys,
             times,
             predicate: None,
+            measure_range: None,
             target: SubQueryTarget::Chunk(chunk),
         }
     }

@@ -41,6 +41,9 @@ pub enum Block {
     Index(Arc<ChunkIndex>),
     /// A decoded leaf page.
     Leaf(Arc<Vec<Tuple>>),
+    /// A still-encoded v2 columnar leaf image: cached compact, rows are
+    /// late-materialized per subquery.
+    Column(Arc<Vec<u8>>),
     /// A decoded aggregate summary.
     Summary(Arc<WheelSummary>),
 }
@@ -53,6 +56,9 @@ impl Block {
                 .iter()
                 .map(|t| t.encoded_len() + std::mem::size_of::<Tuple>())
                 .sum(),
+            // Columnar images are charged at their encoded length — that is
+            // the point of caching them compressed.
+            Block::Column(image) => image.len(),
             // Per cell: (bucket u64, slice u16) key + 40-byte PartialAgg,
             // plus BTreeMap node overhead.
             Block::Summary(summary) => summary.cell_count() * 64 + 64,

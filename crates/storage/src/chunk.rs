@@ -6,21 +6,44 @@
 //! without touching tuple data, and each leaf page can then be fetched
 //! individually — a subquery selective on the key domain reads only the leaf
 //! pages overlapping its key range (§VI-B).
+//!
+//! Two on-disk versions share the header layout and are dispatched on the
+//! header's version field, so a store may mix them freely:
+//!
+//! * **v1** — leaf pages are row tuples (`key | ts | len | payload`); an
+//!   optional aggregate summary is discovered by a magic-at-EOF trailer.
+//! * **v2** — leaf pages are columnar images ([`waterwheel_index::columnar`]:
+//!   delta-of-delta varint timestamps, delta/dictionary keys, optionally
+//!   compressed payload blocks), the leaf directory carries per-leaf MIN/MAX
+//!   measure bounds, and the file always ends in a CRC-bearing footer with
+//!   chunk-level measure bounds and the summary length.
 
 use std::sync::Arc;
 use waterwheel_agg::{WheelSummary, SUMMARY_MAGIC};
 use waterwheel_core::codec::{self, Decoder, Encoder};
 use waterwheel_core::{Key, KeyInterval, Region, Result, TimeInterval, Tuple, WwError};
-use waterwheel_index::{SealedTree, TimeBloom};
+use waterwheel_index::{columnar, SealedTree, TimeBloom};
 
-/// `"WWCHUNK1"` interpreted as a little-endian u64.
+/// `"WWCHUNK1"` interpreted as a little-endian u64 (both format versions).
 const MAGIC: u64 = u64::from_le_bytes(*b"WWCHUNK1");
-const VERSION: u32 = 1;
+/// Row-tuple leaf pages, magic-at-EOF summary trailer.
+pub const VERSION_V1: u32 = 1;
+/// Columnar leaf pages, measure bounds, mandatory CRC footer.
+pub const VERSION_V2: u32 = 2;
+/// Header flag bit: v2 payload blocks may be compressed.
+const FLAG_COMPRESSED: u32 = 1;
 /// Fixed byte length of the header that precedes the index block.
 pub const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 4 + 8 + 8 + 32;
-/// Fixed byte length of the aggregate-summary trailer at the end of a chunk
-/// that carries one: `[summary_len u64][SUMMARY_MAGIC u64]`.
+/// Fixed byte length of the aggregate-summary trailer at the end of a v1
+/// chunk that carries one: `[summary_len u64][SUMMARY_MAGIC u64]`.
 pub const SUMMARY_TRAILER_LEN: usize = 16;
+/// `"WWCHKFT2"` interpreted as a little-endian u64: the v2 footer magic,
+/// distinct from both the chunk and summary magics.
+pub const FOOTER_MAGIC: u64 = u64::from_le_bytes(*b"WWCHKFT2");
+/// Fixed byte length of the mandatory v2 footer:
+/// `[measure_flag u8][min u64][max u64][summary_len u64][crc u64][magic u64]`
+/// where `crc` is the FNV-1a hash of the preceding 25 footer bytes.
+pub const V2_FOOTER_LEN: usize = 1 + 8 + 8 + 8 + 8 + 8;
 
 /// Per-leaf directory entry: everything a query needs to decide whether to
 /// fetch the leaf page, and where to find it.
@@ -36,6 +59,10 @@ pub struct LeafMeta {
     pub time_range: Option<TimeInterval>,
     /// Temporal bloom filter (paper §IV-B), when enabled at seal time.
     pub bloom: Option<TimeBloom>,
+    /// MIN/MAX of the registered measure over the leaf's tuples (v2 chunks
+    /// written with a measure; `None` on v1 chunks and empty leaves). Lets
+    /// executors skip leaves that cannot satisfy a `measure_range` filter.
+    pub measure_range: Option<(u64, u64)>,
 }
 
 /// The parsed header + index block of a chunk — the persisted template.
@@ -54,6 +81,9 @@ pub struct ChunkIndex {
     pub leaves: Vec<LeafMeta>,
     /// Total chunk file size in bytes.
     pub file_len: u64,
+    /// On-disk format version ([`VERSION_V1`] or [`VERSION_V2`]); decides
+    /// how leaf pages decode.
+    pub version: u32,
 }
 
 impl ChunkIndex {
@@ -94,13 +124,34 @@ impl ChunkIndex {
     }
 }
 
-/// Serializes a sealed tree into the chunk byte format (no aggregate
+/// Writer knobs for [`write_chunk_opts`]; the default writes v1.
+pub struct ChunkWriteOptions<'a> {
+    /// On-disk format: [`VERSION_V1`] or [`VERSION_V2`].
+    pub format_version: u32,
+    /// Compress v2 payload blocks (ignored for v1).
+    pub compression: bool,
+    /// Measure used to compute per-leaf and per-chunk MIN/MAX bounds
+    /// (v2 only; `None` writes no bounds).
+    pub measure: Option<&'a (dyn Fn(&Tuple) -> u64 + Sync)>,
+}
+
+impl Default for ChunkWriteOptions<'_> {
+    fn default() -> Self {
+        Self {
+            format_version: VERSION_V1,
+            compression: false,
+            measure: None,
+        }
+    }
+}
+
+/// Serializes a sealed tree into the v1 chunk byte format (no aggregate
 /// summary — see [`write_chunk_with_summary`]).
 pub fn write_chunk(sealed: &SealedTree) -> Vec<u8> {
     write_chunk_with_summary(sealed, None)
 }
 
-/// Serializes a sealed tree into the chunk byte format, optionally
+/// Serializes a sealed tree into the v1 chunk byte format, optionally
 /// appending a sealed aggregate [`WheelSummary`] after the leaf pages.
 ///
 /// The summary rides behind the data section, discovered through a
@@ -108,17 +159,48 @@ pub fn write_chunk(sealed: &SealedTree) -> Vec<u8> {
 /// offset are byte-identical to a summary-less chunk — readers that never
 /// ask for the summary are unaffected, and old chunks simply report `None`.
 pub fn write_chunk_with_summary(sealed: &SealedTree, summary: Option<&WheelSummary>) -> Vec<u8> {
+    write_chunk_opts(sealed, summary, &ChunkWriteOptions::default())
+}
+
+/// Serializes a sealed tree in the format selected by `opts`.
+///
+/// v2 chunks store leaves as columnar images, record MIN/MAX measure
+/// bounds per leaf in the directory, and always end in a CRC-bearing
+/// footer carrying the chunk-level bounds and the summary length (zero
+/// when no summary was written).
+pub fn write_chunk_opts(
+    sealed: &SealedTree,
+    summary: Option<&WheelSummary>,
+    opts: &ChunkWriteOptions<'_>,
+) -> Vec<u8> {
     debug_assert_eq!(sealed.check_invariants(), Ok(()));
+    assert!(
+        matches!(opts.format_version, VERSION_V1 | VERSION_V2),
+        "unknown chunk format version {}",
+        opts.format_version
+    );
+    let v2 = opts.format_version == VERSION_V2;
     // Leaf pages first (into a scratch buffer) so the directory can record
     // final offsets once the index-block length is known.
     let mut pages: Vec<Vec<u8>> = Vec::with_capacity(sealed.leaves.len());
     for leaf in &sealed.leaves {
-        let mut page = Vec::with_capacity(leaf.byte_size());
-        for t in &leaf.entries {
-            codec::encode_tuple(&mut page, t);
+        if v2 {
+            pages.push(columnar::encode_leaf(&leaf.entries, opts.compression));
+        } else {
+            let mut page = Vec::with_capacity(leaf.byte_size());
+            for t in &leaf.entries {
+                codec::encode_tuple(&mut page, t);
+            }
+            pages.push(page);
         }
-        pages.push(page);
     }
+
+    let leaf_bounds = |leaf: &waterwheel_index::SealedLeaf| -> Option<(u64, u64)> {
+        let measure = opts.measure?;
+        let mut it = leaf.entries.iter().map(measure);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), m| (lo.min(m), hi.max(m))))
+    };
 
     // Index block, with offsets provisionally relative to the data section.
     let mut index = Vec::new();
@@ -128,6 +210,7 @@ pub fn write_chunk_with_summary(sealed: &SealedTree, summary: Option<&WheelSumma
     }
     index.put_u32(sealed.leaves.len() as u32);
     let mut rel_offset = 0u64;
+    let mut chunk_bounds: Option<(u64, u64)> = None;
     for (leaf, page) in sealed.leaves.iter().zip(&pages) {
         index.put_u32(leaf.entries.len() as u32);
         index.put_u64(rel_offset);
@@ -147,14 +230,32 @@ pub fn write_chunk_with_summary(sealed: &SealedTree, summary: Option<&WheelSumma
             }
             None => index.put_u32(0),
         }
+        if v2 {
+            match leaf_bounds(leaf) {
+                Some((lo, hi)) => {
+                    index.put_u32(1);
+                    index.put_u64(lo);
+                    index.put_u64(hi);
+                    chunk_bounds = Some(match chunk_bounds {
+                        Some((clo, chi)) => (clo.min(lo), chi.max(hi)),
+                        None => (lo, hi),
+                    });
+                }
+                None => index.put_u32(0),
+            }
+        }
         rel_offset += page.len() as u64;
     }
 
     let data_start = HEADER_LEN as u64 + index.len() as u64;
     let mut out = Vec::with_capacity(data_start as usize + rel_offset as usize);
     out.put_u64(MAGIC);
-    out.put_u32(VERSION);
-    out.put_u32(0); // flags, reserved
+    out.put_u32(opts.format_version);
+    out.put_u32(if v2 && opts.compression {
+        FLAG_COMPRESSED
+    } else {
+        0
+    });
     out.put_u64(sealed.count as u64);
     out.put_u32(sealed.leaves.len() as u32);
     out.put_u64(index.len() as u64);
@@ -165,10 +266,36 @@ pub fn write_chunk_with_summary(sealed: &SealedTree, summary: Option<&WheelSumma
     for page in &pages {
         out.extend_from_slice(page);
     }
-    if let Some(summary) = summary {
-        let encoded = summary.encode();
-        out.extend_from_slice(&encoded);
-        out.put_u64(encoded.len() as u64);
+    let summary_len = match summary {
+        Some(summary) => {
+            let encoded = summary.encode();
+            out.extend_from_slice(&encoded);
+            encoded.len() as u64
+        }
+        None => 0,
+    };
+    if v2 {
+        let mut footer = Vec::with_capacity(V2_FOOTER_LEN);
+        match chunk_bounds {
+            Some((lo, hi)) => {
+                footer.put_u8(1);
+                footer.put_u64(lo);
+                footer.put_u64(hi);
+            }
+            None => {
+                footer.put_u8(0);
+                footer.put_u64(0);
+                footer.put_u64(0);
+            }
+        }
+        footer.put_u64(summary_len);
+        let crc = codec::fnv1a(&footer);
+        footer.put_u64(crc);
+        footer.put_u64(FOOTER_MAGIC);
+        debug_assert_eq!(footer.len(), V2_FOOTER_LEN);
+        out.extend_from_slice(&footer);
+    } else if summary_len > 0 {
+        out.put_u64(summary_len);
         out.put_u64(SUMMARY_MAGIC);
     }
     out
@@ -183,7 +310,7 @@ pub fn parse_index(prefix: &[u8], file_len: u64) -> Result<ChunkIndex> {
         return Err(WwError::corrupt("chunk", "bad magic"));
     }
     let version = dec.get_u32()?;
-    if version != VERSION {
+    if !matches!(version, VERSION_V1 | VERSION_V2) {
         return Err(WwError::corrupt(
             "chunk",
             format!("unknown version {version}"),
@@ -216,14 +343,28 @@ pub fn parse_index(prefix: &[u8], file_len: u64) -> Result<ChunkIndex> {
         return Err(WwError::corrupt("chunk", "leaf/separator count mismatch"));
     }
     let data_start = HEADER_LEN as u64 + index_len as u64;
+    // Leaf extents come from potentially corrupt bytes: all arithmetic is
+    // checked (a forged `offset`/`len` near u64::MAX must not wrap past the
+    // `file_len` bound), and pages must be non-overlapping and in file
+    // order so `read_leaves`' coalesced-slice arithmetic cannot underflow.
     let mut leaves = Vec::with_capacity(leaf_count);
+    let mut prev_end = data_start;
     for _ in 0..leaf_count {
         let entry_count = dec.get_u32()?;
-        let offset = data_start + dec.get_u64()?;
+        let offset = data_start
+            .checked_add(dec.get_u64()?)
+            .ok_or_else(|| WwError::corrupt("chunk", "leaf page offset overflows"))?;
         let len = dec.get_u64()?;
-        if offset + len > file_len {
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| WwError::corrupt("chunk", "leaf page extent overflows"))?;
+        if end > file_len {
             return Err(WwError::corrupt("chunk", "leaf page beyond file end"));
         }
+        if offset < prev_end {
+            return Err(WwError::corrupt("chunk", "leaf pages overlap or regress"));
+        }
+        prev_end = end;
         let time_range = if dec.get_u32()? == 1 {
             let lo = dec.get_u64()?;
             let hi = dec.get_u64()?;
@@ -239,12 +380,29 @@ pub fn parse_index(prefix: &[u8], file_len: u64) -> Result<ChunkIndex> {
         } else {
             None
         };
+        let measure_range = if version >= VERSION_V2 {
+            match dec.get_u32()? {
+                0 => None,
+                1 => {
+                    let lo = dec.get_u64()?;
+                    let hi = dec.get_u64()?;
+                    if lo > hi {
+                        return Err(WwError::corrupt("chunk", "inverted leaf measure range"));
+                    }
+                    Some((lo, hi))
+                }
+                _ => return Err(WwError::corrupt("chunk", "bad leaf measure flag")),
+            }
+        } else {
+            None
+        };
         leaves.push(LeafMeta {
             count: entry_count,
             offset,
             len,
             time_range,
             bloom,
+            measure_range,
         });
     }
     Ok(ChunkIndex {
@@ -253,13 +411,22 @@ pub fn parse_index(prefix: &[u8], file_len: u64) -> Result<ChunkIndex> {
         separators,
         leaves,
         file_len,
+        version,
     })
 }
 
-/// Decodes the tuples of one leaf page.
+/// Smallest possible row-encoded tuple: 8-byte key, 8-byte timestamp,
+/// 4-byte payload length prefix.
+const MIN_TUPLE_LEN: usize = 20;
+
+/// Decodes the tuples of one v1 (row-format) leaf page.
 pub fn decode_leaf_page(bytes: &[u8], expected: u32) -> Result<Vec<Tuple>> {
     let mut dec = Decoder::new(bytes, "leaf page");
-    let mut out = Vec::with_capacity(expected as usize);
+    // `expected` comes from a (checksummed but possibly forged) directory:
+    // cap the pre-allocation by what the page bytes could plausibly hold
+    // rather than trusting it with up to 4-billion-entry reserves.
+    let plausible = (expected as usize).min(bytes.len() / MIN_TUPLE_LEN);
+    let mut out = Vec::with_capacity(plausible);
     while dec.remaining() > 0 {
         out.push(codec::decode_tuple(&mut dec)?);
     }
@@ -339,51 +506,233 @@ impl<R: RangedRead> ChunkReader<R> {
 
     /// Reads the chunk's sealed aggregate summary, if one was written.
     ///
-    /// Costs one ranged access for the trailer plus the summary body (read
-    /// together in a single tail fetch); leaf pages are never touched.
-    /// Chunks written without a summary return `Ok(None)`.
+    /// Costs one ranged access for typical chunks (one tail fetch covers
+    /// the trailer/footer, the summary body, and — for small files — the
+    /// version header); leaf pages are never touched. Chunks written
+    /// without a summary return `Ok(None)`.
+    ///
+    /// Version dispatch: v1 summaries are *discovered* by the heuristic
+    /// magic-at-EOF trailer, so implausible trailers (a data byte pattern
+    /// that happens to match the magic) fail soft to `Ok(None)`; only a
+    /// plausible trailer with a summary body that fails to decode is
+    /// `Corrupt`. v2 chunks always carry a CRC-bearing footer, so any
+    /// footer that fails validation is `Corrupt`.
     pub fn read_summary(&self) -> Result<Option<WheelSummary>> {
         let file_len = self.source.len()?;
         if file_len < (HEADER_LEN + SUMMARY_TRAILER_LEN) as u64 {
             return Ok(None);
         }
-        // One tail read covering the trailer and (for typical summaries)
-        // the whole summary body; a second read only for oversized ones.
         let tail_len = (SUMMARY_PREFETCH as u64).min(file_len);
         let tail = self.source.read_range(file_len - tail_len, tail_len)?;
+        match self.peek_version(file_len, &tail)? {
+            VERSION_V1 => self.read_summary_v1(file_len, &tail),
+            _ => {
+                let footer = self.parse_v2_footer(file_len, &tail)?;
+                if footer.summary_len == 0 {
+                    return Ok(None);
+                }
+                let body = self.summary_body(file_len, &tail, footer.summary_len, V2_FOOTER_LEN)?;
+                WheelSummary::decode(&body).map(Some)
+            }
+        }
+    }
+
+    /// Reads the v2 footer: chunk-level MIN/MAX measure bounds and summary
+    /// length. Returns `None` for v1 chunks (which have no footer).
+    pub fn read_footer(&self) -> Result<Option<ChunkFooter>> {
+        let file_len = self.source.len()?;
+        if file_len < HEADER_LEN as u64 {
+            return Err(WwError::corrupt("chunk", "file shorter than header"));
+        }
+        let tail_len = ((V2_FOOTER_LEN + 12) as u64).min(file_len);
+        let tail = self.source.read_range(file_len - tail_len, tail_len)?;
+        match self.peek_version(file_len, &tail)? {
+            VERSION_V1 => Ok(None),
+            _ => self.parse_v2_footer(file_len, &tail).map(Some),
+        }
+    }
+
+    /// Determines the chunk's format version from its header, reusing an
+    /// already-fetched tail when it happens to cover offset 0 (small
+    /// files), so summary reads on typical chunks stay one access.
+    fn peek_version(&self, file_len: u64, tail: &[u8]) -> Result<u32> {
+        let head: Vec<u8> = if tail.len() as u64 == file_len {
+            tail[..12.min(tail.len())].to_vec()
+        } else {
+            self.source.read_range(0, 12)?
+        };
+        let mut dec = Decoder::new(&head, "chunk");
+        if dec.get_u64()? != MAGIC {
+            return Err(WwError::corrupt("chunk", "bad magic"));
+        }
+        let version = dec.get_u32()?;
+        if !matches!(version, VERSION_V1 | VERSION_V2) {
+            return Err(WwError::corrupt(
+                "chunk",
+                format!("unknown version {version}"),
+            ));
+        }
+        Ok(version)
+    }
+
+    fn read_summary_v1(&self, file_len: u64, tail: &[u8]) -> Result<Option<WheelSummary>> {
         let trailer = &tail[tail.len() - SUMMARY_TRAILER_LEN..];
         let mut dec = Decoder::new(trailer, "chunk summary trailer");
         let summary_len = dec.get_u64()?;
         if dec.get_u64()? != SUMMARY_MAGIC {
             return Ok(None);
         }
-        let total = summary_len + SUMMARY_TRAILER_LEN as u64;
-        if total > file_len - HEADER_LEN as u64 {
-            return Err(WwError::corrupt("chunk", "summary trailer length invalid"));
-        }
-        let body = if total <= tail.len() as u64 {
-            tail[tail.len() - total as usize..tail.len() - SUMMARY_TRAILER_LEN].to_vec()
-        } else {
-            self.source.read_range(file_len - total, summary_len)?
+        // The magic alone is heuristic — a summary-less chunk whose final
+        // data bytes coincide with it must not surface a spurious error, so
+        // an implausible length fails soft to "no summary".
+        let Some(total) = summary_len.checked_add(SUMMARY_TRAILER_LEN as u64) else {
+            return Ok(None);
         };
+        if summary_len < 8 || total > file_len - HEADER_LEN as u64 {
+            return Ok(None);
+        }
+        let body = self.summary_body(file_len, tail, summary_len, SUMMARY_TRAILER_LEN)?;
+        // A real v1 summary body always begins with the summary magic; any
+        // other prefix means the trailer match was a coincidence.
+        let mut head = Decoder::new(&body, "chunk summary");
+        if head.get_u64()? != SUMMARY_MAGIC {
+            return Ok(None);
+        }
+        // From here the chunk plausibly carries a summary: decode failures
+        // are genuine corruption, not "no summary".
         WheelSummary::decode(&body).map(Some)
     }
 
+    /// Fetches the `summary_len` bytes that precede the `trailer_len`-byte
+    /// trailer at EOF, reusing the tail fetch when it covers them.
+    fn summary_body(
+        &self,
+        file_len: u64,
+        tail: &[u8],
+        summary_len: u64,
+        trailer_len: usize,
+    ) -> Result<Vec<u8>> {
+        let total = summary_len
+            .checked_add(trailer_len as u64)
+            .ok_or_else(|| WwError::corrupt("chunk", "summary length overflows"))?;
+        if total <= tail.len() as u64 {
+            Ok(tail[tail.len() - total as usize..tail.len() - trailer_len].to_vec())
+        } else {
+            self.source.read_range(file_len - total, summary_len)
+        }
+    }
+
+    fn parse_v2_footer(&self, file_len: u64, tail: &[u8]) -> Result<ChunkFooter> {
+        if file_len < (HEADER_LEN + V2_FOOTER_LEN) as u64 || tail.len() < V2_FOOTER_LEN {
+            return Err(WwError::corrupt("chunk", "v2 chunk shorter than footer"));
+        }
+        let footer = &tail[tail.len() - V2_FOOTER_LEN..];
+        let mut dec = Decoder::new(footer, "chunk footer");
+        let measure_flag = dec.get_u8()?;
+        let lo = dec.get_u64()?;
+        let hi = dec.get_u64()?;
+        let summary_len = dec.get_u64()?;
+        let crc = dec.get_u64()?;
+        let magic = dec.get_u64()?;
+        if magic != FOOTER_MAGIC {
+            return Err(WwError::corrupt("chunk", "bad footer magic"));
+        }
+        if crc != codec::fnv1a(&footer[..V2_FOOTER_LEN - 16]) {
+            return Err(WwError::corrupt("chunk", "footer checksum mismatch"));
+        }
+        let measure_range = match measure_flag {
+            0 => None,
+            1 if lo <= hi => Some((lo, hi)),
+            _ => return Err(WwError::corrupt("chunk", "bad footer measure bounds")),
+        };
+        if summary_len
+            .checked_add((HEADER_LEN + V2_FOOTER_LEN) as u64)
+            .is_none_or(|total| total > file_len)
+        {
+            return Err(WwError::corrupt("chunk", "footer summary length invalid"));
+        }
+        Ok(ChunkFooter {
+            measure_range,
+            summary_len,
+        })
+    }
+
     /// Reads and decodes the leaf pages `lo..=hi` (inclusive), coalescing
-    /// them into a single ranged access. Returns one tuple vector per leaf.
+    /// them into a single ranged access and dispatching the page decoder on
+    /// the chunk's format version. Returns one tuple vector per leaf.
     pub fn read_leaves(&self, index: &ChunkIndex, lo: usize, hi: usize) -> Result<Vec<Vec<Tuple>>> {
-        assert!(lo <= hi && hi < index.leaves.len());
-        let start = index.leaves[lo].offset;
-        let end = index.leaves[hi].offset + index.leaves[hi].len;
-        let bytes = self.source.read_range(start, end - start)?;
+        let (bytes, start) = self.fetch_page_run(index, lo, hi)?;
         let mut out = Vec::with_capacity(hi - lo + 1);
         for meta in &index.leaves[lo..=hi] {
-            let page_start = (meta.offset - start) as usize;
-            let page = &bytes[page_start..page_start + meta.len as usize];
-            out.push(decode_leaf_page(page, meta.count)?);
+            let page = page_slice(&bytes, start, meta)?;
+            out.push(decode_page(index.version, page, meta.count)?);
         }
         Ok(out)
     }
+
+    /// Reads the raw (still-encoded) leaf pages `lo..=hi` in one coalesced
+    /// access. Used by the v2 query path, which caches the compact encoded
+    /// images and late-materializes rows per subquery.
+    pub fn read_leaf_pages(
+        &self,
+        index: &ChunkIndex,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<Vec<u8>>> {
+        let (bytes, start) = self.fetch_page_run(index, lo, hi)?;
+        let mut out = Vec::with_capacity(hi - lo + 1);
+        for meta in &index.leaves[lo..=hi] {
+            out.push(page_slice(&bytes, start, meta)?.to_vec());
+        }
+        Ok(out)
+    }
+
+    fn fetch_page_run(&self, index: &ChunkIndex, lo: usize, hi: usize) -> Result<(Vec<u8>, u64)> {
+        assert!(lo <= hi && hi < index.leaves.len());
+        let start = index.leaves[lo].offset;
+        // parse_index enforced in-order, non-overlapping, in-bounds pages,
+        // but keep the arithmetic checked so a logic slip surfaces as a
+        // typed error rather than a wrap.
+        let end = index.leaves[hi]
+            .offset
+            .checked_add(index.leaves[hi].len)
+            .ok_or_else(|| WwError::corrupt("chunk", "leaf page extent overflows"))?;
+        let span = end
+            .checked_sub(start)
+            .ok_or_else(|| WwError::corrupt("chunk", "leaf pages regress"))?;
+        let bytes = self.source.read_range(start, span)?;
+        Ok((bytes, start))
+    }
+}
+
+/// Slices one leaf page out of a coalesced fetch starting at `start`.
+fn page_slice<'a>(bytes: &'a [u8], start: u64, meta: &LeafMeta) -> Result<&'a [u8]> {
+    let corrupt = || WwError::corrupt("chunk", "leaf page outside fetched range");
+    let page_start = usize::try_from(meta.offset.checked_sub(start).ok_or_else(corrupt)?)
+        .map_err(|_| corrupt())?;
+    let page_end = page_start
+        .checked_add(usize::try_from(meta.len).map_err(|_| corrupt())?)
+        .ok_or_else(corrupt)?;
+    bytes.get(page_start..page_end).ok_or_else(corrupt)
+}
+
+/// Decodes one leaf page according to the chunk's format version.
+pub fn decode_page(version: u32, page: &[u8], count: u32) -> Result<Vec<Tuple>> {
+    match version {
+        VERSION_V1 => decode_leaf_page(page, count),
+        _ => columnar::decode_leaf(page, count),
+    }
+}
+
+/// The v2 chunk footer: chunk-level MIN/MAX measure bounds plus the length
+/// of the trailing aggregate summary (zero when none was written).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkFooter {
+    /// MIN/MAX of the registered measure over every tuple in the chunk;
+    /// `None` when the chunk was written without a measure (or is empty).
+    pub measure_range: Option<(u64, u64)>,
+    /// Encoded byte length of the aggregate summary preceding the footer.
+    pub summary_len: u64,
 }
 
 /// In-memory [`RangedRead`] over a byte buffer (tests and cached chunks).
@@ -590,6 +939,170 @@ mod tests {
         let i = bytes.len() - SUMMARY_TRAILER_LEN - 9;
         bytes[i] ^= 0xFF;
         assert!(ChunkReader::new(bytes.as_slice()).read_summary().is_err());
+    }
+
+    fn v2_opts() -> ChunkWriteOptions<'static> {
+        ChunkWriteOptions {
+            format_version: VERSION_V2,
+            compression: true,
+            measure: Some(&|t: &Tuple| t.payload.len() as u64),
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_matches_v1_exactly() {
+        let sealed = sealed_tree(500);
+        let v1 = write_chunk(&sealed);
+        for compression in [false, true] {
+            let opts = ChunkWriteOptions {
+                compression,
+                ..v2_opts()
+            };
+            let v2 = write_chunk_opts(&sealed, None, &opts);
+            let r1 = ChunkReader::new(v1.as_slice());
+            let r2 = ChunkReader::new(v2.as_slice());
+            let i1 = r1.load_index().unwrap();
+            let i2 = r2.load_index().unwrap();
+            assert_eq!(i1.version, VERSION_V1);
+            assert_eq!(i2.version, VERSION_V2);
+            assert_eq!(i1.count, i2.count);
+            assert_eq!(i1.separators, i2.separators);
+            let p1 = r1.read_leaves(&i1, 0, i1.leaves.len() - 1).unwrap();
+            let p2 = r2.read_leaves(&i2, 0, i2.leaves.len() - 1).unwrap();
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn v2_chunks_are_smaller() {
+        let sealed = sealed_tree(2_000);
+        let v1 = write_chunk(&sealed);
+        let v2 = write_chunk_opts(&sealed, None, &v2_opts());
+        assert!(
+            v2.len() * 10 < v1.len() * 8,
+            "v2 {} vs v1 {}: expected at least a 20% cut",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_footer_carries_bounds_and_summary_length() {
+        let sealed = sealed_tree(300);
+        let summary = WheelSummary::build(
+            sealed
+                .leaves
+                .iter()
+                .flat_map(|l| l.entries.iter())
+                .map(|t| (t.key, t.ts, t.payload.len() as u64)),
+            4,
+            usize::MAX,
+        );
+        let bytes = write_chunk_opts(&sealed, Some(&summary), &v2_opts());
+        let reader = ChunkReader::new(bytes.as_slice());
+        let footer = reader.read_footer().unwrap().expect("v2 footer");
+        // Measure is payload length: sealed_tree writes 8-byte payloads.
+        assert_eq!(footer.measure_range, Some((8, 8)));
+        assert!(footer.summary_len > 0);
+        assert_eq!(reader.read_summary().unwrap().unwrap(), summary);
+        // Per-leaf bounds landed in the directory too.
+        let index = reader.load_index().unwrap();
+        assert!(index
+            .leaves
+            .iter()
+            .filter(|l| l.count > 0)
+            .all(|l| l.measure_range == Some((8, 8))));
+        // v1 chunks have no footer.
+        let v1 = write_chunk(&sealed);
+        assert!(ChunkReader::new(v1.as_slice())
+            .read_footer()
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn v2_without_summary_reports_none_not_corrupt() {
+        let sealed = sealed_tree(100);
+        let bytes = write_chunk_opts(&sealed, None, &v2_opts());
+        assert!(ChunkReader::new(bytes.as_slice())
+            .read_summary()
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn v2_corrupt_footer_is_detected() {
+        let sealed = sealed_tree(100);
+        let bytes = write_chunk_opts(&sealed, None, &v2_opts());
+        // Flip a byte inside the footer (the summary_len field): the CRC
+        // must catch it.
+        let mut bad = bytes.clone();
+        let i = bad.len() - V2_FOOTER_LEN + 20;
+        bad[i] ^= 0xFF;
+        assert!(ChunkReader::new(bad.as_slice()).read_summary().is_err());
+        // Truncating the footer is detected too.
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(ChunkReader::new(cut).read_summary().is_err());
+    }
+
+    #[test]
+    fn v1_magic_coincidence_in_data_fails_soft() {
+        // A summary-less v1 chunk whose final 8 payload bytes equal the
+        // summary magic must read as "no summary", not corrupt.
+        let cfg = IndexConfig {
+            leaf_capacity: 16,
+            fanout: 4,
+            ..IndexConfig::default()
+        };
+        let tree = TemplateBTree::new(KeyInterval::full(), cfg);
+        let mut payload = vec![0u8; 16];
+        // Tuple payload is the file suffix; make its last 16 bytes spell a
+        // plausible-looking trailer: a length then the magic.
+        payload[..8].copy_from_slice(&4u64.to_le_bytes());
+        payload[8..].copy_from_slice(&SUMMARY_MAGIC.to_le_bytes());
+        tree.insert(Tuple::new(1, 10, payload));
+        let sealed = tree.seal().unwrap();
+        let bytes = write_chunk(&sealed);
+        assert_eq!(&bytes[bytes.len() - 8..], &SUMMARY_MAGIC.to_le_bytes());
+        assert!(ChunkReader::new(bytes.as_slice())
+            .read_summary()
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn forged_directory_extents_are_typed_errors() {
+        // Rebuild a chunk whose directory claims an overflowing extent:
+        // rel_offset near u64::MAX so offset+len wraps. parse_index must
+        // reject it rather than let read_leaves wrap.
+        let sealed = sealed_tree(50);
+        let bytes = write_chunk(&sealed);
+        let index_len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+        // First leaf entry sits after sep_count + seps + leaf_count.
+        let reader = ChunkReader::new(bytes.as_slice());
+        let parsed = reader.load_index().unwrap();
+        let entry_off = HEADER_LEN + 4 + parsed.separators.len() * 8 + 4;
+        let mut bad = bytes.clone();
+        bad[entry_off + 4..entry_off + 12].copy_from_slice(&(u64::MAX - 8).to_le_bytes());
+        // Re-stamp the index checksum so only the extent is "corrupt".
+        let csum = codec::fnv1a(&bad[HEADER_LEN..HEADER_LEN + index_len]);
+        bad[36..44].copy_from_slice(&csum.to_le_bytes());
+        let err = ChunkReader::new(bad.as_slice()).load_index().unwrap_err();
+        assert!(matches!(err, WwError::Corrupt { .. }), "got {err}");
+    }
+
+    #[test]
+    fn forged_leaf_count_does_not_overallocate() {
+        // A directory entry claiming u32::MAX tuples for a small page must
+        // fail with a decode error after bounded allocation, not reserve
+        // gigabytes. Drive decode_leaf_page directly.
+        let sealed = sealed_tree(50);
+        let bytes = write_chunk(&sealed);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        let meta = &index.leaves[0];
+        let page = &bytes[meta.offset as usize..(meta.offset + meta.len) as usize];
+        assert!(decode_leaf_page(page, u32::MAX).is_err());
     }
 
     #[test]

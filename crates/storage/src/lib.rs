@@ -32,7 +32,8 @@ pub mod singleflight;
 
 pub use cache::{Block, BlockCache, BlockKey, CacheStats};
 pub use chunk::{
-    write_chunk, write_chunk_with_summary, ChunkIndex, ChunkReader, LeafMeta, RangedRead,
+    write_chunk, write_chunk_opts, write_chunk_with_summary, ChunkFooter, ChunkIndex, ChunkReader,
+    ChunkWriteOptions, LeafMeta, RangedRead, VERSION_V1, VERSION_V2,
 };
 pub use dfs::{DfsFile, SimDfs};
 pub use singleflight::Singleflight;

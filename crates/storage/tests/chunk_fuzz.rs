@@ -1,0 +1,193 @@
+//! Corruption fuzzing for the chunk read path: arbitrary byte flips,
+//! splices, and truncations of valid v1 and v2 chunk images must never
+//! panic or over-allocate — every read either succeeds or fails with a
+//! typed [`WwError::Corrupt`]-class error.
+//!
+//! Same deterministic-generator idiom as `crates/net/tests/
+//! reactor_framing.rs`: proptest hands each case a seed, a SplitMix64
+//! `Gen` derives the chunk shape, the corruption sites, and the queried
+//! intervals from it.
+
+use proptest::prelude::*;
+use waterwheel_agg::WheelSummary;
+use waterwheel_core::{KeyInterval, Tuple, WwError};
+use waterwheel_index::{IndexConfig, SealedTree, TemplateBTree, TupleIndex};
+use waterwheel_storage::{ChunkReader, ChunkWriteOptions, VERSION_V1, VERSION_V2};
+
+/// Deterministic per-case generator (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn sealed_tree(g: &mut Gen) -> SealedTree {
+    let cfg = IndexConfig {
+        leaf_capacity: 16,
+        fanout: 4,
+        skew_check_interval: 64,
+        ..IndexConfig::default()
+    };
+    let tree = TemplateBTree::new(KeyInterval::full(), cfg);
+    let n = 50 + g.below(300);
+    for _ in 0..n {
+        let len = g.below(24) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| g.next() as u8).collect();
+        tree.insert(Tuple::new(g.below(10_000), g.below(100_000), payload));
+    }
+    tree.seal().expect("non-empty tree")
+}
+
+/// A valid chunk image whose format, compression, measure bounds, and
+/// summary presence all vary with the seed.
+fn valid_chunk(g: &mut Gen) -> Vec<u8> {
+    let sealed = sealed_tree(g);
+    let version = if g.below(2) == 0 {
+        VERSION_V1
+    } else {
+        VERSION_V2
+    };
+    let summary = if g.below(2) == 0 {
+        let s = WheelSummary::build(
+            sealed
+                .leaves
+                .iter()
+                .flat_map(|l| l.entries.iter())
+                .map(|t| (t.key, t.ts, t.payload.len() as u64)),
+            4,
+            256,
+        );
+        (!s.is_empty()).then_some(s)
+    } else {
+        None
+    };
+    let measure = |t: &Tuple| t.payload.len() as u64;
+    waterwheel_storage::write_chunk_opts(
+        &sealed,
+        summary.as_ref(),
+        &ChunkWriteOptions {
+            format_version: version,
+            compression: g.below(2) == 0,
+            measure: (g.below(2) == 0).then_some(&measure as &(dyn Fn(&Tuple) -> u64 + Sync)),
+        },
+    )
+}
+
+/// Applies one of: byte flips, a truncation, a random splice, or a
+/// hostile extension — always at seed-chosen sites.
+fn corrupt(g: &mut Gen, bytes: &mut Vec<u8>) {
+    match g.below(4) {
+        0 => {
+            // Flip 1..=8 bytes anywhere (header, directory, pages, footer).
+            for _ in 0..=g.below(8) {
+                let i = g.below(bytes.len() as u64) as usize;
+                bytes[i] ^= (1 + g.below(255)) as u8;
+            }
+        }
+        1 => {
+            // Truncate to an arbitrary prefix (including zero).
+            bytes.truncate(g.below(bytes.len() as u64 + 1) as usize);
+        }
+        2 => {
+            // Splice a run of random bytes over a random window.
+            let start = g.below(bytes.len() as u64) as usize;
+            let end = (start + 1 + g.below(64) as usize).min(bytes.len());
+            for b in &mut bytes[start..end] {
+                *b = g.next() as u8;
+            }
+        }
+        _ => {
+            // Append garbage: trailing-length heuristics must not walk
+            // off into it or allocate from it.
+            let extra = 1 + g.below(512);
+            for _ in 0..extra {
+                bytes.push(g.next() as u8);
+            }
+        }
+    }
+}
+
+/// Every error the corrupted read path may legally produce. Anything else
+/// (or a panic, or an abort from an oversized allocation) fails the test.
+fn is_typed_decode_error(e: &WwError) -> bool {
+    matches!(e, WwError::Corrupt { .. })
+}
+
+/// Drives the full read surface over a (possibly corrupt) image.
+fn exercise(g: &mut Gen, bytes: &[u8]) -> Result<(), TestCaseError> {
+    let reader = ChunkReader::new(bytes);
+    match reader.load_index() {
+        Ok(index) => {
+            if !index.leaves.is_empty() {
+                let lo = g.below(index.leaves.len() as u64) as usize;
+                let hi = lo + g.below((index.leaves.len() - lo) as u64) as usize;
+                if let Err(e) = reader.read_leaves(&index, lo, hi) {
+                    prop_assert!(is_typed_decode_error(&e), "read_leaves: {e}");
+                }
+                if let Err(e) = reader.read_leaf_pages(&index, lo, hi) {
+                    prop_assert!(is_typed_decode_error(&e), "read_leaf_pages: {e}");
+                }
+            }
+        }
+        Err(e) => prop_assert!(is_typed_decode_error(&e), "load_index: {e}"),
+    }
+    if let Err(e) = reader.read_summary() {
+        prop_assert!(is_typed_decode_error(&e), "read_summary: {e}");
+    }
+    if let Err(e) = reader.read_footer() {
+        prop_assert!(is_typed_decode_error(&e), "read_footer: {e}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Uncorrupted chunks of every shape decode fully — the harness's own
+    /// sanity check, so corruption failures below can't hide a broken
+    /// generator.
+    #[test]
+    fn valid_chunks_decode_cleanly(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let bytes = valid_chunk(&mut g);
+        let reader = ChunkReader::new(bytes.as_slice());
+        let index = reader.load_index().unwrap();
+        let n: usize = reader
+            .read_leaves(&index, 0, index.leaves.len() - 1)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.len())
+            .sum();
+        prop_assert_eq!(n as u64, index.count);
+        reader.read_summary().unwrap();
+        reader.read_footer().unwrap();
+    }
+
+    /// Corrupted chunks never panic and never produce an untyped error.
+    #[test]
+    fn corrupted_chunks_fail_closed(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let mut bytes = valid_chunk(&mut g);
+        corrupt(&mut g, &mut bytes);
+        exercise(&mut g, &bytes)?;
+    }
+
+    /// Pure garbage (no valid prefix at all) is rejected just as safely.
+    #[test]
+    fn random_bytes_fail_closed(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let len = g.below(4_096) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| g.next() as u8).collect();
+        exercise(&mut g, &bytes)?;
+    }
+}
