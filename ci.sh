@@ -51,7 +51,7 @@ if pgrep -f "deps/saturation-" > /dev/null; then
     echo "stray saturation bench processes after teardown"; pgrep -af "deps/saturation-"; exit 1
 fi
 
-echo "==> columnar chunk bench smoke (v2 must be <= 0.6x v1 bytes/tuple)"
+echo "==> columnar chunk bench smoke (v2 <= 0.6x v1 bytes/tuple; hot decoded-cache scan >= 1.0x v1)"
 rm -f BENCH_columnar.json
 WW_BENCH_REQUIRE_WIN=1 WW_COLUMNAR_BENCH_N=60000 \
     cargo bench -p waterwheel-bench --bench chunk_compression

@@ -175,6 +175,57 @@ impl<'a> Decoder<'a> {
     pub fn get_ivarint(&mut self) -> Result<i64> {
         Ok(unzigzag(self.get_uvarint()?))
     }
+
+    /// Reads `count` unsigned varints, appending them to `out`.
+    ///
+    /// This is the batched kernel behind the columnar scan path. Delta and
+    /// delta-of-delta columns are overwhelmingly single-byte varints, so the
+    /// hot loop loads the next 8 encoded bytes as one little-endian word and
+    /// tests all 8 continuation bits at once: a clear mask means 8 complete
+    /// one-byte varints, emitted in a fixed-width loop the compiler can
+    /// unroll and vectorize. A set bit falls back to [`Self::get_uvarint`]
+    /// for exactly the values the word test could not rule on, so the
+    /// decoded sequence — including every validation error — is identical
+    /// to `count` scalar `get_uvarint` calls.
+    pub fn get_uvarints(&mut self, count: usize, out: &mut Vec<u64>) -> Result<()> {
+        // Each varint costs at least one byte, so `count` is bounded by the
+        // remaining input — reject before reserving.
+        if count > self.remaining() {
+            return Err(WwError::corrupt(
+                self.what,
+                format!("truncated: wanted {count} varints at offset {}", self.pos),
+            ));
+        }
+        out.reserve(count);
+        let mut n = 0usize;
+        while n < count {
+            let rem = &self.buf[self.pos..];
+            if count - n >= 8 && rem.len() >= 8 {
+                let word = u64::from_le_bytes(rem[..8].try_into().unwrap());
+                let cont = word & 0x8080_8080_8080_8080;
+                if cont == 0 {
+                    for &b in &rem[..8] {
+                        out.push(b as u64);
+                    }
+                    self.pos += 8;
+                    n += 8;
+                    continue;
+                }
+                // Emit the run of one-byte varints before the first
+                // continuation bit, then let the scalar path take the
+                // multi-byte value that stopped the word test.
+                let run = (cont.trailing_zeros() / 8) as usize;
+                for &b in &rem[..run] {
+                    out.push(b as u64);
+                }
+                self.pos += run;
+                n += run;
+            }
+            out.push(self.get_uvarint()?);
+            n += 1;
+        }
+        Ok(())
+    }
 }
 
 /// Encodes a tuple as `key | ts | payload-len | payload`.
@@ -317,6 +368,58 @@ mod tests {
         let buf = [0x80u8, 0x80];
         let mut dec = Decoder::new(&buf, "test");
         assert!(dec.get_uvarint().is_err());
+    }
+
+    #[test]
+    fn batched_uvarints_match_scalar_decoding() {
+        // A stream mixing long single-byte runs (the word fast path), runs
+        // shorter than 8 (the partial-run path), and multi-byte values (the
+        // scalar fallback), with every alignment of the word window.
+        let mut values: Vec<u64> = Vec::new();
+        for i in 0..64u64 {
+            values.push(i % 100); // one byte each
+        }
+        for i in 0..20u64 {
+            values.push(1 << (i % 63)); // up to ten bytes
+            values.push(i); // realign
+        }
+        values.extend([0, 127, 128, 16_383, 16_384, u64::MAX, 1, 2, 3]);
+        let mut buf = Vec::new();
+        for &v in &values {
+            buf.put_uvarint(v);
+        }
+        // Decode the whole stream with every batch split point, comparing
+        // against the scalar reference each time.
+        for split in 0..=values.len() {
+            let mut dec = Decoder::new(&buf, "test");
+            let mut got = Vec::new();
+            dec.get_uvarints(split, &mut got).unwrap();
+            dec.get_uvarints(values.len() - split, &mut got).unwrap();
+            assert_eq!(got, values, "split={split}");
+            assert_eq!(dec.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn batched_uvarints_reject_truncation_like_scalar() {
+        let mut buf = Vec::new();
+        for v in [1u64, 300, 70_000, 5] {
+            buf.put_uvarint(v);
+        }
+        for cut in 0..buf.len() {
+            let mut batched = Decoder::new(&buf[..cut], "test");
+            let mut out = Vec::new();
+            let b = batched.get_uvarints(4, &mut out);
+            let mut scalar = Decoder::new(&buf[..cut], "test");
+            let s: Result<Vec<u64>> = (0..4).map(|_| scalar.get_uvarint()).collect();
+            assert_eq!(b.is_err(), s.is_err(), "cut={cut}");
+            if b.is_ok() {
+                assert_eq!(out, s.unwrap());
+            }
+        }
+        // More values than remaining bytes is rejected before allocating.
+        let mut dec = Decoder::new(&buf, "test");
+        assert!(dec.get_uvarints(usize::MAX, &mut Vec::new()).is_err());
     }
 
     #[test]

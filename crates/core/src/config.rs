@@ -214,6 +214,20 @@ pub struct SystemConfig {
     /// `measure_range` filter. Disabling only loses the pruning, never
     /// changes answers.
     pub measure_pruning: bool,
+
+    /// Cache hot v2 leaves with their key/timestamp columns already decoded
+    /// (payload blocks stay compressed): repeated scans skip the varint
+    /// decode entirely. Decoded entries charge their actual resident bytes
+    /// against `cache_capacity_bytes`, so the same budget holds fewer — but
+    /// much faster — leaves. Disabling caches encoded images only; answers
+    /// never change.
+    pub decoded_column_cache: bool,
+
+    /// Decode and filter v2 columns with the batched (8/16-wide) scan
+    /// kernels. Disabling routes every columnar scan through the scalar
+    /// reference implementation — same answers, byte for byte; the knob
+    /// exists for A/B measurement and as the equivalence-test control.
+    pub vectorized_scan: bool,
 }
 
 impl Default for SystemConfig {
@@ -265,6 +279,8 @@ impl Default for SystemConfig {
             chunk_format_version: 2,
             chunk_compression: true,
             measure_pruning: true,
+            decoded_column_cache: true,
+            vectorized_scan: true,
         }
     }
 }

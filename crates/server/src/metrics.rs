@@ -37,6 +37,15 @@ pub struct SystemMetrics {
     pub leaf_cache_hits: u64,
     /// Leaves skipped by temporal pruning (bounds/bloom).
     pub leaves_pruned: u64,
+    /// Columnar leaves served from the decoded-column cache tier (scan
+    /// skipped the varint decode kernels entirely).
+    pub column_decode_hits: u64,
+    /// Columnar leaves decoded from their encoded image (fresh reads and
+    /// encoded-cache upgrades).
+    pub column_decode_misses: u64,
+    /// Rows that survived key/time selection and were materialized as
+    /// tuples by columnar scans (before residual predicates).
+    pub scan_selected_rows: u64,
     /// Templates (index blocks) read from the DFS by query servers.
     pub template_reads: u64,
     /// Templates served from query-server caches.
@@ -157,6 +166,9 @@ impl SystemMetrics {
             m.leaf_reads += s.leaf_reads.load(Ordering::Relaxed);
             m.leaf_cache_hits += s.leaf_cache_hits.load(Ordering::Relaxed);
             m.leaves_pruned += s.leaves_pruned.load(Ordering::Relaxed);
+            m.column_decode_hits += s.column_decode_hits.load(Ordering::Relaxed);
+            m.column_decode_misses += s.column_decode_misses.load(Ordering::Relaxed);
+            m.scan_selected_rows += s.scan_selected_rows.load(Ordering::Relaxed);
             m.template_reads += s.template_reads.load(Ordering::Relaxed);
             m.template_cache_hits += s.template_cache_hits.load(Ordering::Relaxed);
             m.summary_reads += s.summary_reads.load(Ordering::Relaxed);
@@ -248,6 +260,11 @@ impl fmt::Display for SystemMetrics {
             self.leaf_cache_hits,
             self.cache_hit_ratio() * 100.0,
             self.leaves_pruned
+        )?;
+        writeln!(
+            f,
+            "columns: {} decoded-cache hits / {} decodes, {} rows selected",
+            self.column_decode_hits, self.column_decode_misses, self.scan_selected_rows
         )?;
         writeln!(
             f,
@@ -453,9 +470,12 @@ mod tests {
                 p95: std::time::Duration::from_micros(152),
                 p99: std::time::Duration::from_micros(153),
             }],
+            column_decode_hits: 154,
+            column_decode_misses: 155,
+            scan_selected_rows: 156,
         };
         let text = m.to_string();
-        for sentinel in 101..=153u64 {
+        for sentinel in 101..=156u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"

@@ -33,10 +33,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use waterwheel_agg::WheelSummary;
 use waterwheel_cluster::Cluster;
 use waterwheel_core::{ChunkId, NodeId, Result, ServerId, SubQuery, SystemConfig, Tuple, WwError};
+use waterwheel_index::columnar::{DecodedLeaf, ScanScratch};
 use waterwheel_index::{columnar, Bitmap};
 use waterwheel_storage::{
     Block, BlockCache, BlockKey, ChunkReader, SimDfs, Singleflight, VERSION_V1,
 };
+
+/// Upper bound on pooled scan scratches; beyond this, finished scratches
+/// are dropped rather than retained. Concurrent subqueries rarely exceed
+/// the worker count, so the pool stays tiny.
+const SCRATCH_POOL_CAP: usize = 32;
 
 /// Per-server execution counters.
 #[derive(Debug, Default)]
@@ -65,6 +71,15 @@ pub struct QueryServerStats {
     pub io_wait_ns: AtomicU64,
     /// Total busy nanoseconds (for load-balance diagnostics).
     pub busy_ns: AtomicU64,
+    /// Columnar scans served from an already-decoded cached leaf (the
+    /// decoded-column cache tier's hits).
+    pub column_decode_hits: AtomicU64,
+    /// Columnar scans that had to decode the leaf's key/timestamp columns
+    /// from their encoded image first.
+    pub column_decode_misses: AtomicU64,
+    /// Rows surviving the key/time selection vector across all columnar
+    /// scans (before any residual predicate).
+    pub scan_selected_rows: AtomicU64,
 }
 
 impl QueryServerStats {
@@ -157,6 +172,15 @@ pub struct QueryServer {
     template_flights: Singleflight<ChunkId, Arc<waterwheel_storage::ChunkIndex>>,
     /// Same for footer-only summary loads.
     summary_flights: Singleflight<ChunkId, Option<Arc<WheelSummary>>>,
+    /// Cache hot v2 leaves in decoded-column form
+    /// (`SystemConfig::decoded_column_cache`).
+    decoded_cache: bool,
+    /// Use the batched scan kernels (`SystemConfig::vectorized_scan`);
+    /// `false` routes columnar scans through the scalar reference.
+    vectorized: bool,
+    /// Per-worker scratch arenas: each subquery checks one out and reuses
+    /// its decode/select buffers across every leaf it touches.
+    scratch_pool: Mutex<Vec<ScanScratch>>,
 }
 
 impl QueryServer {
@@ -180,6 +204,17 @@ impl QueryServer {
             cfg.cache_shards,
             cfg.query_io_permits,
         )
+        .scan_options(cfg.decoded_column_cache, cfg.vectorized_scan)
+    }
+
+    /// Sets the columnar scan knobs (`decoded_column_cache`,
+    /// `vectorized_scan`); both default to on. Answers never depend on
+    /// either — the equivalence suite holds all four combinations to
+    /// byte-identical results.
+    pub fn scan_options(mut self, decoded_cache: bool, vectorized: bool) -> Self {
+        self.decoded_cache = decoded_cache;
+        self.vectorized = vectorized;
+        self
     }
 
     /// Fully explicit constructor (benches and ablations).
@@ -201,6 +236,9 @@ impl QueryServer {
             io_permits: IoPermits::new(io_permits),
             template_flights: Singleflight::new(),
             summary_flights: Singleflight::new(),
+            decoded_cache: true,
+            vectorized: true,
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -328,11 +366,35 @@ impl QueryServer {
         result
     }
 
+    /// Checks a scan scratch out of the pool (or a fresh one under
+    /// contention), runs the subquery with it, and returns it for the next
+    /// subquery — the per-worker arena of the pipelined scan path.
     fn execute_inner(
         &self,
         sq: &SubQuery,
         chunk: ChunkId,
         leaf_filter: Option<&Bitmap>,
+    ) -> Result<Vec<Tuple>> {
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let result = self.execute_scan(sq, chunk, leaf_filter, &mut scratch);
+        let mut pool = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+        result
+    }
+
+    fn execute_scan(
+        &self,
+        sq: &SubQuery,
+        chunk: ChunkId,
+        leaf_filter: Option<&Bitmap>,
+        scratch: &mut ScanScratch,
     ) -> Result<Vec<Tuple>> {
         // 1. Template (index block): cache, then singleflighted DFS read.
         let index = self.load_template(chunk)?;
@@ -361,6 +423,9 @@ impl QueryServer {
             /// v2 page, kept as its encoded column image (late
             /// materialization happens at filter time).
             Cols(Arc<Vec<u8>>),
+            /// v2 page from the decoded-column cache tier: key/timestamp
+            /// columns already decoded, scans skip the varint kernels.
+            Decoded(Arc<DecodedLeaf>),
             Miss,
         }
         let mut slots: Vec<(usize, Slot)> = Vec::new();
@@ -396,6 +461,13 @@ impl QueryServer {
                     self.stats.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
                     slots.push((li, Slot::Cols(image)));
                 }
+                Some(Block::ColumnDecoded(leaf)) => {
+                    self.stats.leaf_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .column_decode_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    slots.push((li, Slot::Decoded(leaf)));
+                }
                 _ => {
                     match miss_runs.last_mut() {
                         // Extend the current run only across *consecutive*
@@ -423,22 +495,65 @@ impl QueryServer {
                 }
             }
         };
-        // v2 column images materialize late: the key/time columns alone
-        // select survivors and the payload block is only decompressed when
-        // some survive; the predicate then filters the materialized rows.
-        let scan_cols = |li: usize, image: &[u8], out: &mut Vec<Tuple>| -> Result<()> {
-            let hits = columnar::scan_leaf(image, index.leaves[li].count, &sq.keys, &sq.times)?;
+        // v2 column scans materialize late: the key/time selection vector
+        // alone picks survivors and the payload block is only decompressed
+        // when some survive; the predicate then filters the materialized
+        // rows. Survivor counts feed `scan_selected_rows`.
+        let collect_hits = |hits: Vec<Tuple>, out: &mut Vec<Tuple>| {
+            self.stats
+                .scan_selected_rows
+                .fetch_add(hits.len() as u64, Ordering::Relaxed);
             match &sq.predicate {
                 Some(p) => out.extend(hits.into_iter().filter(|t| p(t))),
                 None => out.extend(hits),
             }
+        };
+        // A decoded cached leaf skips the column decode entirely.
+        let scan_decoded =
+            |leaf: &DecodedLeaf, out: &mut Vec<Tuple>, scratch: &mut ScanScratch| -> Result<()> {
+                collect_hits(leaf.scan(&sq.keys, &sq.times, scratch)?, out);
+                Ok(())
+            };
+        // An encoded image pays the decode once; with the decoded-column
+        // cache on, the decoded form is cached so the next scan of this
+        // leaf is a decode hit.
+        let scan_cols = |li: usize,
+                         image: &[u8],
+                         out: &mut Vec<Tuple>,
+                         scratch: &mut ScanScratch|
+         -> Result<()> {
+            self.stats
+                .column_decode_misses
+                .fetch_add(1, Ordering::Relaxed);
+            let count = index.leaves[li].count;
+            let hits = if self.decoded_cache {
+                let decoded =
+                    Arc::new(DecodedLeaf::decode(image, count, self.vectorized, scratch)?);
+                let scanned = decoded.scan(&sq.keys, &sq.times, scratch)?;
+                self.cache.put(
+                    BlockKey::Leaf(chunk, li as u32),
+                    Block::ColumnDecoded(decoded),
+                );
+                scanned
+            } else {
+                columnar::scan_leaf_with(
+                    image,
+                    count,
+                    &sq.keys,
+                    &sq.times,
+                    self.vectorized,
+                    scratch,
+                )?
+            };
+            collect_hits(hits, out);
             Ok(())
         };
         if miss_runs.is_empty() {
             for (li, slot) in &slots {
                 match slot {
                     Slot::Rows(page) => filter_into(page, &mut out),
-                    Slot::Cols(image) => scan_cols(*li, image, &mut out)?,
+                    Slot::Cols(image) => scan_cols(*li, image, &mut out, scratch)?,
+                    Slot::Decoded(leaf) => scan_decoded(leaf, &mut out, scratch)?,
                     Slot::Miss => unreachable!("no miss runs"),
                 }
             }
@@ -486,11 +601,19 @@ impl QueryServer {
                                 .fetch_add((mhi - mlo + 1) as u64, Ordering::Relaxed);
                             for (offset, page) in pages.into_iter().enumerate() {
                                 let li = mlo + offset;
+                                // With the decoded-column cache on, the
+                                // consumer caches the *decoded* form of a
+                                // column page instead — caching the encoded
+                                // image here would immediately be evicted by
+                                // the upgrade.
                                 let block = match &page {
-                                    Page::Rows(p) => Block::Leaf(Arc::clone(p)),
-                                    Page::Cols(p) => Block::Column(Arc::clone(p)),
+                                    Page::Rows(p) => Some(Block::Leaf(Arc::clone(p))),
+                                    Page::Cols(_) if self.decoded_cache => None,
+                                    Page::Cols(p) => Some(Block::Column(Arc::clone(p))),
                                 };
-                                self.cache.put(BlockKey::Leaf(chunk, li as u32), block);
+                                if let Some(block) = block {
+                                    self.cache.put(BlockKey::Leaf(chunk, li as u32), block);
+                                }
                                 if tx.send(Ok((li, page))).is_err() {
                                     return; // consumer bailed on an error
                                 }
@@ -506,7 +629,8 @@ impl QueryServer {
             for (li, slot) in &slots {
                 match slot {
                     Slot::Rows(page) => filter_into(page, &mut out),
-                    Slot::Cols(image) => scan_cols(*li, image, &mut out)?,
+                    Slot::Cols(image) => scan_cols(*li, image, &mut out, scratch)?,
+                    Slot::Decoded(leaf) => scan_decoded(leaf, &mut out, scratch)?,
                     Slot::Miss => {
                         let (got_li, page) = rx
                             .recv()
@@ -514,7 +638,7 @@ impl QueryServer {
                         debug_assert_eq!(got_li, *li, "pages must arrive in leaf order");
                         match page {
                             Page::Rows(p) => filter_into(&p, &mut out),
-                            Page::Cols(image) => scan_cols(got_li, &image, &mut out)?,
+                            Page::Cols(image) => scan_cols(got_li, &image, &mut out, scratch)?,
                         }
                     }
                 }

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use waterwheel_agg::WheelSummary;
 use waterwheel_core::{ChunkId, Tuple};
+use waterwheel_index::columnar::DecodedLeaf;
 
 /// Cache key: which unit of which chunk.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -44,6 +45,11 @@ pub enum Block {
     /// A still-encoded v2 columnar leaf image: cached compact, rows are
     /// late-materialized per subquery.
     Column(Arc<Vec<u8>>),
+    /// A v2 leaf with its key/timestamp columns held decoded (the payload
+    /// tail stays compressed): the hot tier — repeated scans skip the
+    /// varint decode entirely. Charged at actual resident bytes, which can
+    /// be several times the encoded image.
+    ColumnDecoded(Arc<DecodedLeaf>),
     /// A decoded aggregate summary.
     Summary(Arc<WheelSummary>),
 }
@@ -56,9 +62,13 @@ impl Block {
                 .iter()
                 .map(|t| t.encoded_len() + std::mem::size_of::<Tuple>())
                 .sum(),
-            // Columnar images are charged at their encoded length — that is
-            // the point of caching them compressed.
-            Block::Column(image) => image.len(),
+            // Columnar images are cached compressed — that is the point —
+            // but are charged at their allocation, not just their logical
+            // length, so the budget reflects what is actually resident.
+            Block::Column(image) => image.capacity() + std::mem::size_of::<Vec<u8>>(),
+            // Decoded columns report their own residency: column vectors at
+            // allocated width plus the encoded payload tail.
+            Block::ColumnDecoded(leaf) => leaf.resident_bytes(),
             // Per cell: (bucket u64, slice u16) key + 40-byte PartialAgg,
             // plus BTreeMap node overhead.
             Block::Summary(summary) => summary.cell_count() * 64 + 64,
@@ -279,6 +289,61 @@ mod tests {
         cache.put(BlockKey::Leaf(ChunkId(2), 0), leaf_block(10));
         assert!(cache.get(&BlockKey::Leaf(ChunkId(0), 0)).is_some());
         assert!(cache.get(&BlockKey::Leaf(ChunkId(1), 0)).is_none());
+    }
+
+    #[test]
+    fn decoded_columns_charge_resident_bytes_and_respect_budget() {
+        use waterwheel_index::columnar::{encode_leaf, DecodedLeaf, ScanScratch};
+        // Highly compressible leaves: the encoded image is much smaller
+        // than the decoded columns, so charging encoded length would let
+        // the cache hold far more bytes than its budget.
+        let entries: Vec<Tuple> = (0..512u64)
+            .map(|i| Tuple::new(1 + i / 64, 1_000 + i, vec![7u8; 32]))
+            .collect();
+        let image = encode_leaf(&entries, true);
+        let mut scratch = ScanScratch::new();
+        let mut decode = || {
+            Arc::new(DecodedLeaf::decode(&image, entries.len() as u32, true, &mut scratch).unwrap())
+        };
+        let decoded = decode();
+        let resident = decoded.resident_bytes();
+        assert!(
+            resident > image.len() * 2,
+            "decoded residency {resident} should dwarf the {}-byte image",
+            image.len()
+        );
+        assert_eq!(
+            Block::ColumnDecoded(Arc::clone(&decoded)).byte_size(),
+            resident
+        );
+
+        // A budget that fits exactly two decoded leaves must hold after
+        // decode-and-cache of many more — honest charging forces eviction.
+        let cache = BlockCache::new(resident * 2 + 1);
+        let mut scratch = ScanScratch::new();
+        for i in 0..8u64 {
+            let decoded = Arc::new(
+                DecodedLeaf::decode(&image, entries.len() as u32, true, &mut scratch).unwrap(),
+            );
+            cache.put(BlockKey::Leaf(ChunkId(i), 0), Block::ColumnDecoded(decoded));
+        }
+        assert!(
+            cache.used_bytes() <= cache.capacity(),
+            "decode-and-cache blew the byte budget: {} > {}",
+            cache.used_bytes(),
+            cache.capacity()
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().evictions.load(Ordering::Relaxed) >= 6);
+        // Upgrading an encoded entry to its decoded form re-charges it.
+        cache.clear();
+        let key = BlockKey::Leaf(ChunkId(0), 0);
+        cache.put(key, Block::Column(Arc::new(image.clone())));
+        let encoded_used = cache.used_bytes();
+        cache.put(key, Block::ColumnDecoded(decode()));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.used_bytes() > encoded_used);
+        assert_eq!(cache.used_bytes(), resident);
     }
 
     #[test]

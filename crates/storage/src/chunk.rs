@@ -663,9 +663,15 @@ impl<R: RangedRead> ChunkReader<R> {
     pub fn read_leaves(&self, index: &ChunkIndex, lo: usize, hi: usize) -> Result<Vec<Vec<Tuple>>> {
         let (bytes, start) = self.fetch_page_run(index, lo, hi)?;
         let mut out = Vec::with_capacity(hi - lo + 1);
+        // One scratch across the whole run: columnar pages decoded back to
+        // back reuse the same column buffers.
+        let mut scratch = columnar::ScanScratch::new();
         for meta in &index.leaves[lo..=hi] {
             let page = page_slice(&bytes, start, meta)?;
-            out.push(decode_page(index.version, page, meta.count)?);
+            out.push(match index.version {
+                VERSION_V1 => decode_leaf_page(page, meta.count)?,
+                _ => columnar::decode_leaf_with(page, meta.count, &mut scratch)?,
+            });
         }
         Ok(out)
     }

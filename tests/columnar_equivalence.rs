@@ -20,6 +20,17 @@ fn fresh_root(name: &str) -> std::path::PathBuf {
 }
 
 fn system(name: &str, version: u32, compression: bool, pruning: bool) -> Waterwheel {
+    system_with(name, version, compression, pruning, true, true)
+}
+
+fn system_with(
+    name: &str,
+    version: u32,
+    compression: bool,
+    pruning: bool,
+    decoded_cache: bool,
+    vectorized: bool,
+) -> Waterwheel {
     let mut cfg = SystemConfig::default();
     cfg.chunk_size_bytes = 32 * 1024;
     cfg.indexing_servers = 2;
@@ -30,6 +41,8 @@ fn system(name: &str, version: u32, compression: bool, pruning: bool) -> Waterwh
     cfg.chunk_format_version = version;
     cfg.chunk_compression = compression;
     cfg.measure_pruning = pruning;
+    cfg.decoded_column_cache = decoded_cache;
+    cfg.vectorized_scan = vectorized;
     let ww = Waterwheel::builder(fresh_root(name))
         .config(cfg)
         .build()
@@ -58,6 +71,10 @@ fn v1_and_v2_answer_byte_identically() {
         system("v1", 1, false, true),
         system("v2", 2, true, true),
         system("v2-raw", 2, false, true),
+        // Scan-path knobs off: no decoded-column cache, scalar kernels.
+        // Answers must not move — only throughput may.
+        system_with("v2-nocache", 2, true, true, false, true),
+        system_with("v2-scalar", 2, true, true, false, false),
     ];
     let mut fleet = TDriveGen::new(TDriveConfig {
         taxis: 200,
@@ -122,6 +139,31 @@ fn v1_and_v2_answer_byte_identically() {
             }
         }
     }
+
+    // The query battery above revisits the same chunks many times, so the
+    // default v2 system must have served repeat scans from the
+    // decoded-column cache tier; with the knob off that tier stays cold.
+    let decode_counters = |ww: &Waterwheel| {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut selected = 0u64;
+        for qs in ww.query_servers() {
+            hits += qs.stats().column_decode_hits.load(Ordering::Relaxed);
+            misses += qs.stats().column_decode_misses.load(Ordering::Relaxed);
+            selected += qs.stats().scan_selected_rows.load(Ordering::Relaxed);
+        }
+        (hits, misses, selected)
+    };
+    let (hits, misses, selected) = decode_counters(&systems[1]);
+    assert!(hits > 0, "repeat v2 scans never hit the decoded cache");
+    assert!(misses > 0, "first touch of each leaf must count a decode");
+    assert!(selected > 0, "columnar scans materialized no rows");
+    let (v1_hits, v1_misses, _) = decode_counters(&systems[0]);
+    assert_eq!((v1_hits, v1_misses), (0, 0), "v1 has no column decodes");
+    let (nc_hits, nc_misses, nc_selected) = decode_counters(&systems[3]);
+    assert_eq!(nc_hits, 0, "decoded cache off must never register a hit");
+    assert!(nc_misses > 0, "knob off still decodes encoded images");
+    assert!(nc_selected > 0);
 }
 
 /// Persisted MIN/MAX measure bounds skip whole chunks (and v2 leaves) for a

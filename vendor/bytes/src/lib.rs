@@ -4,20 +4,29 @@
 //! minimal, API-compatible implementation of the subset Waterwheel actually
 //! uses: [`Bytes`] — a cheaply-cloneable, reference-counted, immutable byte
 //! buffer. Clones share the same backing allocation (the tuple fan-out
-//! guarantee the real crate provides); everything else is delegated to
-//! `[u8]` through `Deref`.
+//! guarantee the real crate provides), and [`Bytes::slice`] returns a
+//! zero-copy view into the shared allocation — the columnar scan path
+//! materializes every tuple of a leaf as slices of one decompressed payload
+//! block. Everything else is delegated to `[u8]` through `Deref`.
 
 #![warn(missing_docs)]
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A reference-counted immutable byte buffer; clones share the allocation.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+///
+/// Equality, ordering, and hashing see only the viewed bytes — two `Bytes`
+/// are equal when their slices are equal, regardless of which allocation
+/// backs them or at what offset.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -28,24 +37,64 @@ impl Bytes {
 
     /// Copies `slice` into a fresh buffer.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Self {
-            data: Arc::from(slice),
-        }
+        Self::from_arc(Arc::from(slice))
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self { data, off: 0, len }
     }
 
     /// Byte length of the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Returns a copy of the bytes as a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a zero-copy view of `range` within the buffer: the returned
+    /// `Bytes` shares the same backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching the real
+    /// crate's contract.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.checked_add(1).expect("slice start overflows"),
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("slice end overflows"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice range inverted: {start} > {end}");
+        assert!(end <= self.len, "slice end {end} past length {}", self.len);
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::from_arc(Arc::from(&[][..]))
     }
 }
 
@@ -53,25 +102,54 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
+    }
+}
+
+// Comparisons and hashing go through the viewed slice so they agree with the
+// `Borrow<[u8]>` impl — required for map lookups keyed by `[u8]` — and so
+// slices of different allocations with equal contents compare equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::from(v) }
+        Self::from_arc(Arc::from(v))
     }
 }
 
@@ -107,19 +185,19 @@ impl FromIterator<u8> for Bytes {
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Debug::fmt(&self.data, f)
+        fmt::Debug::fmt(self.as_slice(), f)
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        *self.data == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        *self.data == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
@@ -149,5 +227,41 @@ mod tests {
         let b = Bytes::from(&b"abd"[..]);
         assert!(a < b);
         assert_eq!(a, b"abc".to_vec());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_sees_the_right_window() {
+        let block = Bytes::from(&b"abcdefgh"[..]);
+        let mid = block.slice(2..5);
+        assert_eq!(&*mid, b"cde");
+        // Same allocation: the slice's pointer sits inside the parent's.
+        assert_eq!(mid.as_ptr(), unsafe { block.as_ptr().add(2) });
+        // Slices of slices compose.
+        let inner = mid.slice(1..);
+        assert_eq!(&*inner, b"de");
+        assert_eq!(block.slice(..), block);
+        assert!(block.slice(4..4).is_empty());
+    }
+
+    #[test]
+    fn slices_compare_and_hash_by_contents() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Bytes::from(&b"xxcdexx"[..]).slice(2..5);
+        let b = Bytes::from(&b"cde"[..]);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let hash = |v: &Bytes| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "past length")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(&b"abc"[..]);
+        let _ = b.slice(1..9);
     }
 }
