@@ -73,6 +73,21 @@ if pgrep -f waterwheel-node > /dev/null; then
     echo "stray waterwheel-node processes after kill-9 smoke"; pgrep -af waterwheel-node; exit 1
 fi
 
+echo "==> scale-out bench smoke (1/2/4/8-process clusters; 2->4 ingest scaling >= 1.6x on the basis series)"
+rm -f BENCH_scale.json
+WW_BENCH_REQUIRE_WIN=1 WW_SCALE_BENCH_N=2000 timeout 420 \
+    cargo bench -p waterwheel-bench --bench scale_out
+test -s BENCH_scale.json || { echo "BENCH_scale.json missing"; exit 1; }
+if pgrep -f "deps/scale_out-" > /dev/null; then
+    echo "stray scale-out bench processes after teardown"; pgrep -af "deps/scale_out-"; exit 1
+fi
+
+echo "==> elastic cluster smoke (grow 2->4 indexing processes mid-ingest, byte-exact vs an unmigrated twin)"
+timeout 300 cargo test --release -q -p waterwheel-node --test elastic
+if pgrep -f "deps/elastic-" > /dev/null; then
+    echo "stray elastic test processes after teardown"; pgrep -af "deps/elastic-"; exit 1
+fi
+
 echo "==> multi-process loopback smoke (4 node processes, exact answers, clean shutdown)"
 timeout 120 cargo run --release -p waterwheel-node -- smoke
 # The smoke's clean-shutdown check already fails on stragglers; this is a

@@ -20,7 +20,7 @@
 #![warn(missing_docs)]
 
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 use waterwheel_core::{ChunkId, NodeId, Result, ServerId, WwError};
@@ -74,12 +74,31 @@ struct ClusterState {
     nodes: BTreeMap<NodeId, NodeState>,
     servers: BTreeMap<ServerId, NodeId>,
     next_node: u32,
+    /// Bumped whenever the *alive node set* changes (add/fail/recover);
+    /// replica placement depends on nothing else, so this versions the
+    /// memoized replica table.
+    membership_epoch: u64,
 }
+
+/// Memoized replica placements, valid for one membership epoch. The
+/// coordinator asks for the same (chunk, k) placement on every chunk
+/// subquery and summary read, so recomputing the full rendezvous scan per
+/// call sat in the hot path.
+#[derive(Debug, Default)]
+struct ReplicaMemo {
+    epoch: u64,
+    table: HashMap<(ChunkId, usize), Vec<NodeId>>,
+}
+
+/// Safety valve: a memo table larger than this is cleared rather than
+/// grown (bounds memory if a workload sprays unique chunk ids).
+const REPLICA_MEMO_CAP: usize = 1 << 16;
 
 /// A handle to the shared simulated cluster; clones address the same state.
 #[derive(Clone, Default)]
 pub struct Cluster {
     state: Arc<RwLock<ClusterState>>,
+    memo: Arc<RwLock<ReplicaMemo>>,
 }
 
 /// Rendezvous (highest-random-weight) score of `(chunk, node)`.
@@ -110,7 +129,15 @@ impl Cluster {
         let id = NodeId(state.next_node);
         state.next_node += 1;
         state.nodes.insert(id, NodeState { alive: true });
+        state.membership_epoch += 1;
         id
+    }
+
+    /// The membership epoch of the alive-node set: bumped on every
+    /// add/fail/recover, so equal epochs imply identical replica
+    /// placement for every chunk.
+    pub fn membership_epoch(&self) -> u64 {
+        self.state.read().membership_epoch
     }
 
     /// Total node count (alive or dead).
@@ -145,7 +172,10 @@ impl Cluster {
             .nodes
             .get_mut(&node)
             .ok_or_else(|| WwError::not_found("node", node))?;
-        s.alive = alive;
+        if s.alive != alive {
+            s.alive = alive;
+            state.membership_epoch += 1;
+        }
         Ok(())
     }
 
@@ -183,8 +213,37 @@ impl Cluster {
     }
 
     /// The `k` replica nodes for a chunk, chosen by rendezvous hashing over
-    /// the *alive* nodes. Deterministic for a given (chunk, membership).
+    /// the *alive* nodes. Deterministic for a given (chunk, membership);
+    /// memoized per (membership epoch, chunk, k) because the coordinator
+    /// asks for the same placement on every subquery it dispatches.
     pub fn replicas(&self, chunk: ChunkId, k: usize) -> Vec<NodeId> {
+        let epoch = {
+            let memo = self.memo.read();
+            if let Some(hit) = memo.table.get(&(chunk, k)) {
+                let current = self.state.read().membership_epoch;
+                if memo.epoch == current {
+                    return hit.clone();
+                }
+            }
+            self.state.read().membership_epoch
+        };
+        let placed = self.compute_replicas(chunk, k);
+        let mut memo = self.memo.write();
+        if memo.epoch != epoch {
+            memo.table.clear();
+            memo.epoch = epoch;
+        } else if memo.table.len() >= REPLICA_MEMO_CAP {
+            memo.table.clear();
+        }
+        // Only cache if the membership did not move while we computed —
+        // a racing fail/recover would otherwise pin a stale placement.
+        if self.state.read().membership_epoch == epoch {
+            memo.table.insert((chunk, k), placed.clone());
+        }
+        placed
+    }
+
+    fn compute_replicas(&self, chunk: ChunkId, k: usize) -> Vec<NodeId> {
         let state = self.state.read();
         let mut scored: Vec<(u64, NodeId)> = state
             .nodes
@@ -281,6 +340,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn memoized_replicas_follow_membership_epochs() {
+        let c = Cluster::new(6);
+        let e0 = c.membership_epoch();
+        // A hit must return the identical placement without drift.
+        let first = c.replicas(ChunkId(9), 3);
+        assert_eq!(c.replicas(ChunkId(9), 3), first);
+        assert_eq!(c.membership_epoch(), e0);
+        // Failing a node bumps the epoch and invalidates the memo: a
+        // placement that contained the dead node must change.
+        let victim = first[0];
+        c.fail_node(victim).unwrap();
+        assert_eq!(c.membership_epoch(), e0 + 1);
+        let after = c.replicas(ChunkId(9), 3);
+        assert!(!after.contains(&victim));
+        assert_eq!(after, c.replicas(ChunkId(9), 3));
+        // Failing an already-dead node is not a membership change.
+        c.fail_node(victim).unwrap();
+        assert_eq!(c.membership_epoch(), e0 + 1);
+        // Recovery restores the original placement (rendezvous stability).
+        c.recover_node(victim).unwrap();
+        assert_eq!(c.replicas(ChunkId(9), 3), first);
     }
 
     #[test]

@@ -228,6 +228,22 @@ pub struct SystemConfig {
     /// reference implementation — same answers, byte for byte; the knob
     /// exists for A/B measurement and as the equivalence-test control.
     pub vectorized_scan: bool,
+
+    /// Interval between membership heartbeats a server sends to the meta
+    /// service to renew its lease (paper Fig. 17 elasticity: ZooKeeper
+    /// ephemeral-node session pings).
+    pub heartbeat_interval: Duration,
+
+    /// Membership lease TTL granted per join/heartbeat. A server whose
+    /// lease lapses is evicted from the membership view, its chunks are
+    /// re-replicated, and routing tables move to the next epoch. Must be
+    /// longer than `heartbeat_interval` (several missed beats, not one).
+    pub lease_ttl: Duration,
+
+    /// Byte budget per sealed-chunk shipment batch while migrating a key
+    /// range between indexing servers. Bounds how long the migration state
+    /// machine holds the source busy per step.
+    pub migration_batch_bytes: usize,
 }
 
 impl Default for SystemConfig {
@@ -281,6 +297,9 @@ impl Default for SystemConfig {
             measure_pruning: true,
             decoded_column_cache: true,
             vectorized_scan: true,
+            heartbeat_interval: Duration::from_millis(500),
+            lease_ttl: Duration::from_secs(3),
+            migration_batch_bytes: 1 << 20,
         }
     }
 }
@@ -362,6 +381,15 @@ impl SystemConfig {
         if !(1..=2).contains(&self.chunk_format_version) {
             return Err("chunk_format_version must be 1 or 2".into());
         }
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat_interval must be positive".into());
+        }
+        if self.lease_ttl <= self.heartbeat_interval {
+            return Err("lease_ttl must exceed heartbeat_interval".into());
+        }
+        if self.migration_batch_bytes == 0 {
+            return Err("migration_batch_bytes must be positive".into());
+        }
         Ok(())
     }
 }
@@ -411,6 +439,9 @@ mod tests {
             },
             |c: &mut SystemConfig| c.chunk_format_version = 0,
             |c: &mut SystemConfig| c.chunk_format_version = 3,
+            |c: &mut SystemConfig| c.heartbeat_interval = Duration::ZERO,
+            |c: &mut SystemConfig| c.lease_ttl = Duration::from_millis(1),
+            |c: &mut SystemConfig| c.migration_batch_bytes = 0,
         ] {
             let mut c = SystemConfig::default();
             breakage(&mut c);

@@ -25,6 +25,7 @@
 //! checksum, torn non-final log segment, unknown record tag — surfaces as
 //! a typed [`WwError::Corrupt`], never a panic.
 
+use crate::membership::{MemberInfo, MemberRole, MembershipView, MigrationRecord};
 use crate::partition::PartitionSchema;
 use crate::rtree::RTree;
 use parking_lot::RwLock;
@@ -33,8 +34,9 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use waterwheel_core::codec::{self, Decoder, Encoder};
-use waterwheel_core::{ChunkId, Region, Result, ServerId, WwError};
+use waterwheel_core::{ChunkId, KeyInterval, NodeId, Region, Result, ServerId, WwError};
 use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
 use waterwheel_wal::{write_atomic, FsyncPolicy, Log, WalStats};
 
@@ -51,6 +53,9 @@ const REC_REGISTER_CHUNK: u8 = 1;
 const REC_SET_PARTITION: u8 = 2;
 const REC_ATTR_INDEX: u8 = 3;
 const REC_SUMMARY: u8 = 4;
+const REC_MEMBER_JOIN: u8 = 5;
+const REC_MEMBER_LEAVE: u8 = 6;
+const REC_MIGRATION: u8 = 7;
 
 /// Durable facts about one chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +106,60 @@ fn put_measure_range(out: &mut Vec<u8>, mr: Option<(u64, u64)>) {
     }
 }
 
+/// Encodes one migration record as a `REC_MIGRATION` mutation, carrying the
+/// membership epoch observed when the mutation was made (for idempotent
+/// max-epoch replay).
+fn encode_migration_record(rec: &MigrationRecord, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u8(REC_MIGRATION);
+    out.put_u64(rec.id);
+    out.put_u64(rec.keys.lo());
+    out.put_u64(rec.keys.hi());
+    out.put_u32(rec.from.raw());
+    out.put_u32(rec.to.raw());
+    match rec.cutover_epoch {
+        Some(e) => {
+            out.put_u16(1);
+            out.put_u64(e);
+        }
+        None => {
+            out.put_u16(0);
+            out.put_u64(0);
+        }
+    }
+    out.put_u64(epoch);
+    out
+}
+
+fn decode_migration_record(dec: &mut Decoder<'_>) -> Result<(MigrationRecord, u64)> {
+    let id = dec.get_u64()?;
+    let lo = dec.get_u64()?;
+    let hi = dec.get_u64()?;
+    if lo > hi {
+        return Err(WwError::corrupt("migration record", "inverted key range"));
+    }
+    let from = ServerId(dec.get_u32()?);
+    let to = ServerId(dec.get_u32()?);
+    let flag = dec.get_u16()?;
+    let cut = dec.get_u64()?;
+    let cutover_epoch = match flag {
+        0 => None,
+        1 => Some(cut),
+        _ => return Err(WwError::corrupt("migration record", "bad cut-over flag")),
+    };
+    let epoch = dec.get_u64()?;
+    Ok((
+        MigrationRecord {
+            id,
+            keys: KeyInterval::new(lo, hi),
+            from,
+            to,
+            cutover_epoch,
+        },
+        epoch,
+    ))
+}
+
 fn get_measure_range(dec: &mut Decoder<'_>) -> Result<Option<(u64, u64)>> {
     let flag = dec.get_u16()?;
     let lo = dec.get_u64()?;
@@ -126,6 +185,18 @@ struct MetaState {
     /// Volatile: current in-memory region per indexing server (already
     /// widened by Δt by the reporting server).
     memory_regions: BTreeMap<ServerId, Region>,
+    /// Durable: the registered cluster members (indexing/query tiers).
+    members: BTreeMap<ServerId, MemberInfo>,
+    /// Durable: monotone membership epoch; bumped on every join, leave,
+    /// lease lapse, and migration begin/cut-over.
+    membership_epoch: u64,
+    /// Durable: key-range migration records by id (begin + cut-over).
+    migrations: BTreeMap<u64, MigrationRecord>,
+    next_migration: u64,
+    /// Volatile: per-member lease deadlines. Heartbeats renew them; a
+    /// restart clears them, so members re-join (idempotently) on their
+    /// next heartbeat cycle rather than inheriting stale deadlines.
+    leases: BTreeMap<ServerId, Instant>,
 }
 
 impl MetaState {
@@ -139,7 +210,27 @@ impl MetaState {
             attr_indexes: BTreeMap::new(),
             summaries: BTreeMap::new(),
             memory_regions: BTreeMap::new(),
+            members: BTreeMap::new(),
+            membership_epoch: 0,
+            migrations: BTreeMap::new(),
+            next_migration: 0,
+            leases: BTreeMap::new(),
         }
+    }
+
+    fn membership_view(&self) -> MembershipView {
+        let mut view = MembershipView {
+            epoch: self.membership_epoch,
+            indexing: Vec::new(),
+            query: Vec::new(),
+        };
+        for (&server, info) in &self.members {
+            match info.role {
+                MemberRole::Indexing => view.indexing.push((server, info.node)),
+                MemberRole::Query => view.query.push((server, info.node)),
+            }
+        }
+        view
     }
 }
 
@@ -436,6 +527,166 @@ impl MetadataService {
         self.state.read().summaries.len()
     }
 
+    /// Registers (or refreshes) a cluster member under a heartbeat lease of
+    /// `ttl` and returns the membership epoch after the join. Idempotent: a
+    /// re-join with identical role/node only renews the lease; a changed
+    /// role or node placement counts as a membership change and bumps the
+    /// epoch.
+    pub fn join(
+        &self,
+        server: ServerId,
+        role: MemberRole,
+        node: NodeId,
+        ttl: Duration,
+    ) -> Result<u64> {
+        let mut state = self.state.write();
+        let info = MemberInfo { role, node };
+        let changed = state.members.insert(server, info) != Some(info);
+        state.leases.insert(server, Instant::now() + ttl);
+        if changed {
+            state.membership_epoch += 1;
+            let epoch = state.membership_epoch;
+            let mut rec = Vec::new();
+            rec.put_u8(REC_MEMBER_JOIN);
+            rec.put_u32(server.raw());
+            rec.put_u16(u16::from(role.as_u8()));
+            rec.put_u32(node.raw());
+            rec.put_u64(epoch);
+            self.log_mutation(&state, rec)?;
+        }
+        Ok(state.membership_epoch)
+    }
+
+    /// Renews a member's lease and returns the current membership epoch.
+    /// A server whose membership lapsed (or that never joined) gets a
+    /// non-retryable [`WwError::NotFound`] — retrying the heartbeat
+    /// cannot help; the caller must re-`join`.
+    pub fn heartbeat(&self, server: ServerId, ttl: Duration) -> Result<u64> {
+        let mut state = self.state.write();
+        if !state.members.contains_key(&server) {
+            return Err(WwError::not_found("membership lease", server));
+        }
+        state.leases.insert(server, Instant::now() + ttl);
+        Ok(state.membership_epoch)
+    }
+
+    /// Removes a member (graceful leave) and returns the epoch after the
+    /// removal. Idempotent: leaving twice does not bump the epoch again.
+    pub fn leave(&self, server: ServerId) -> Result<u64> {
+        let mut state = self.state.write();
+        if state.members.remove(&server).is_some() {
+            state.leases.remove(&server);
+            state.membership_epoch += 1;
+            let epoch = state.membership_epoch;
+            let mut rec = Vec::new();
+            rec.put_u8(REC_MEMBER_LEAVE);
+            rec.put_u32(server.raw());
+            rec.put_u64(epoch);
+            self.log_mutation(&state, rec)?;
+        }
+        Ok(state.membership_epoch)
+    }
+
+    /// Removes every member whose lease deadline has passed and returns
+    /// the evicted `(server, node)` pairs — the hook that drives chunk
+    /// re-replication when a node silently dies. Members without a lease
+    /// deadline (recovered from a snapshot before any heartbeat) are
+    /// given one full `grace` period instead of being evicted blindly.
+    pub fn expire_lapsed_leases(&self, grace: Duration) -> Result<Vec<(ServerId, NodeId)>> {
+        let now = Instant::now();
+        let mut state = self.state.write();
+        let mut expired = Vec::new();
+        let members: Vec<ServerId> = state.members.keys().copied().collect();
+        for server in members {
+            match state.leases.get(&server) {
+                Some(deadline) if *deadline <= now => {
+                    let info = state.members.remove(&server).expect("member present");
+                    state.leases.remove(&server);
+                    expired.push((server, info.node));
+                }
+                Some(_) => {}
+                None => {
+                    state.leases.insert(server, now + grace);
+                }
+            }
+        }
+        if !expired.is_empty() {
+            for &(server, _) in &expired {
+                state.membership_epoch += 1;
+                let epoch = state.membership_epoch;
+                let mut rec = Vec::new();
+                rec.put_u8(REC_MEMBER_LEAVE);
+                rec.put_u32(server.raw());
+                rec.put_u64(epoch);
+                self.log_mutation(&state, rec)?;
+            }
+        }
+        Ok(expired)
+    }
+
+    /// The current epoch-numbered membership view.
+    pub fn membership(&self) -> MembershipView {
+        self.state.read().membership_view()
+    }
+
+    /// The current membership epoch (cheap polling handle).
+    pub fn membership_epoch(&self) -> u64 {
+        self.state.read().membership_epoch
+    }
+
+    /// Durably records the start of a key-range migration and bumps the
+    /// membership epoch (routers holding the old epoch re-plan). Returns
+    /// the in-flight record.
+    pub fn begin_migration(
+        &self,
+        keys: KeyInterval,
+        from: ServerId,
+        to: ServerId,
+    ) -> Result<MigrationRecord> {
+        let mut state = self.state.write();
+        let id = state.next_migration;
+        state.next_migration += 1;
+        state.membership_epoch += 1;
+        let rec = MigrationRecord {
+            id,
+            keys,
+            from,
+            to,
+            cutover_epoch: None,
+        };
+        state.migrations.insert(id, rec);
+        let epoch = state.membership_epoch;
+        self.log_mutation(&state, encode_migration_record(&rec, epoch))?;
+        Ok(rec)
+    }
+
+    /// Durably records a migration's cut-over: the membership epoch is
+    /// bumped and stamped into the record, after which the target owns the
+    /// range exclusively. Idempotent per id; errors on unknown migrations.
+    pub fn complete_migration(&self, id: u64) -> Result<u64> {
+        let mut state = self.state.write();
+        let Some(rec) = state.migrations.get(&id).copied() else {
+            return Err(WwError::not_found("migration", ChunkId(id)));
+        };
+        if let Some(epoch) = rec.cutover_epoch {
+            return Ok(epoch);
+        }
+        state.membership_epoch += 1;
+        let epoch = state.membership_epoch;
+        let done = MigrationRecord {
+            cutover_epoch: Some(epoch),
+            ..rec
+        };
+        state.migrations.insert(id, done);
+        self.log_mutation(&state, encode_migration_record(&done, epoch))?;
+        Ok(epoch)
+    }
+
+    /// Every recorded migration (in-flight and completed), by id.
+    pub fn migrations(&self) -> Vec<MigrationRecord> {
+        self.state.read().migrations.values().copied().collect()
+    }
+
     /// Appends one mutation record to the log (committed per the fsync
     /// policy) and compacts into a fresh snapshot once the log outgrows
     /// its budget. Called with the state write lock held, so the log
@@ -503,6 +754,34 @@ impl MetadataService {
             body.put_u16(extent.levels as u16);
             body.put_u16(extent.slice_bits as u16);
             put_measure_range(&mut body, extent.measure_range);
+        }
+        // Membership + migration section (trailing-optional, like the two
+        // sections above, so pre-elasticity snapshots still decode).
+        body.put_u64(state.membership_epoch);
+        body.put_u64(state.next_migration);
+        body.put_u32(state.members.len() as u32);
+        for (server, info) in &state.members {
+            body.put_u32(server.raw());
+            body.put_u16(u16::from(info.role.as_u8()));
+            body.put_u32(info.node.raw());
+        }
+        body.put_u32(state.migrations.len() as u32);
+        for rec in state.migrations.values() {
+            body.put_u64(rec.id);
+            body.put_u64(rec.keys.lo());
+            body.put_u64(rec.keys.hi());
+            body.put_u32(rec.from.raw());
+            body.put_u32(rec.to.raw());
+            match rec.cutover_epoch {
+                Some(e) => {
+                    body.put_u16(1);
+                    body.put_u64(e);
+                }
+                None => {
+                    body.put_u16(0);
+                    body.put_u64(0);
+                }
+            }
         }
         let mut out = Vec::with_capacity(body.len() + 24);
         out.put_u64(SNAPSHOT_MAGIC);
@@ -588,6 +867,53 @@ impl MetadataService {
                 );
             }
         }
+        let mut membership_epoch = 0;
+        let mut next_migration = 0;
+        let mut members = BTreeMap::new();
+        let mut migrations = BTreeMap::new();
+        // Membership + migration section (trailing-optional).
+        if dec.remaining() > 0 {
+            membership_epoch = dec.get_u64()?;
+            next_migration = dec.get_u64()?;
+            let n_members = dec.get_u32()? as usize;
+            for _ in 0..n_members {
+                let server = ServerId(dec.get_u32()?);
+                let role = MemberRole::from_u8(dec.get_u16()? as u8)?;
+                let node = NodeId(dec.get_u32()?);
+                members.insert(server, MemberInfo { role, node });
+            }
+            let n_migrations = dec.get_u32()? as usize;
+            for _ in 0..n_migrations {
+                let id = dec.get_u64()?;
+                let lo = dec.get_u64()?;
+                let hi = dec.get_u64()?;
+                if lo > hi {
+                    return Err(WwError::corrupt(
+                        "meta snapshot",
+                        "inverted migration range",
+                    ));
+                }
+                let from = ServerId(dec.get_u32()?);
+                let to = ServerId(dec.get_u32()?);
+                let flag = dec.get_u16()?;
+                let cut = dec.get_u64()?;
+                let cutover_epoch = match flag {
+                    0 => None,
+                    1 => Some(cut),
+                    _ => return Err(WwError::corrupt("meta snapshot", "bad cut-over flag")),
+                };
+                migrations.insert(
+                    id,
+                    MigrationRecord {
+                        id,
+                        keys: KeyInterval::new(lo, hi),
+                        from,
+                        to,
+                        cutover_epoch,
+                    },
+                );
+            }
+        }
         Ok(MetaState {
             next_chunk,
             chunks,
@@ -597,6 +923,14 @@ impl MetadataService {
             attr_indexes,
             summaries,
             memory_regions: BTreeMap::new(),
+            members,
+            membership_epoch,
+            migrations,
+            next_migration,
+            // Leases are volatile: a restarted meta server grants every
+            // recovered member a fresh grace window on the first expiry
+            // sweep instead of inheriting pre-crash deadlines.
+            leases: BTreeMap::new(),
         })
     }
 }
@@ -672,6 +1006,33 @@ fn apply_record(state: &mut MetaState, record: &[u8]) -> Result<()> {
                     measure_range,
                 },
             );
+        }
+        REC_MEMBER_JOIN => {
+            let server = ServerId(dec.get_u32()?);
+            let role = MemberRole::from_u8(dec.get_u16()? as u8)?;
+            let node = NodeId(dec.get_u32()?);
+            let epoch = dec.get_u64()?;
+            state.members.insert(server, MemberInfo { role, node });
+            state.membership_epoch = state.membership_epoch.max(epoch);
+        }
+        REC_MEMBER_LEAVE => {
+            let server = ServerId(dec.get_u32()?);
+            let epoch = dec.get_u64()?;
+            state.members.remove(&server);
+            state.membership_epoch = state.membership_epoch.max(epoch);
+        }
+        REC_MIGRATION => {
+            let (rec, epoch) = decode_migration_record(&mut dec)?;
+            // A completed record never regresses to in-flight on replay.
+            let stale = state
+                .migrations
+                .get(&rec.id)
+                .is_some_and(|cur| cur.completed() && !rec.completed());
+            if !stale {
+                state.migrations.insert(rec.id, rec);
+            }
+            state.next_migration = state.next_migration.max(rec.id + 1);
+            state.membership_epoch = state.membership_epoch.max(epoch);
         }
         other => {
             return Err(WwError::corrupt(
@@ -879,6 +1240,111 @@ mod tests {
             fs::write(&seg, &b).unwrap();
             assert!(MetadataService::open(&path).is_err());
         }
+    }
+
+    #[test]
+    fn membership_epochs_bump_on_change_and_survive_restart() {
+        let path = tmp_path("members");
+        let ttl = Duration::from_secs(60);
+        {
+            let meta = MetadataService::open(&path).unwrap();
+            assert_eq!(meta.membership_epoch(), 0);
+            let e1 = meta
+                .join(ServerId(0), MemberRole::Indexing, NodeId(0), ttl)
+                .unwrap();
+            assert_eq!(e1, 1);
+            // Identical re-join only renews the lease — no epoch bump.
+            let e2 = meta
+                .join(ServerId(0), MemberRole::Indexing, NodeId(0), ttl)
+                .unwrap();
+            assert_eq!(e2, 1);
+            // A node move is a membership change.
+            let e3 = meta
+                .join(ServerId(0), MemberRole::Indexing, NodeId(2), ttl)
+                .unwrap();
+            assert_eq!(e3, 2);
+            meta.join(ServerId(1_000), MemberRole::Query, NodeId(1), ttl)
+                .unwrap();
+            let e5 = meta.leave(ServerId(0)).unwrap();
+            assert_eq!(e5, 4);
+            // Double-leave is idempotent.
+            assert_eq!(meta.leave(ServerId(0)).unwrap(), 4);
+            assert_eq!(meta.heartbeat(ServerId(1_000), ttl).unwrap(), 4);
+            assert!(meta.heartbeat(ServerId(0), ttl).is_err());
+        }
+        let meta = MetadataService::open(&path).unwrap();
+        assert_eq!(meta.membership_epoch(), 4);
+        let view = meta.membership();
+        assert_eq!(view.epoch, 4);
+        assert!(view.indexing.is_empty());
+        assert_eq!(view.query, vec![(ServerId(1_000), NodeId(1))]);
+        // Recovered members have no lease yet; the first sweep grants a
+        // grace window instead of evicting them.
+        assert!(meta
+            .expire_lapsed_leases(Duration::from_secs(60))
+            .unwrap()
+            .is_empty());
+        assert_eq!(meta.membership_epoch(), 4);
+    }
+
+    #[test]
+    fn lapsed_leases_evict_members() {
+        let meta = MetadataService::in_memory();
+        meta.join(
+            ServerId(0),
+            MemberRole::Indexing,
+            NodeId(0),
+            Duration::from_secs(0),
+        )
+        .unwrap();
+        meta.join(
+            ServerId(1),
+            MemberRole::Indexing,
+            NodeId(1),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        let expired = meta.expire_lapsed_leases(Duration::from_secs(60)).unwrap();
+        assert_eq!(expired, vec![(ServerId(0), NodeId(0))]);
+        assert_eq!(meta.membership().indexing_ids(), vec![ServerId(1)]);
+        assert_eq!(meta.membership_epoch(), 3);
+        // The evicted server must re-join, not heartbeat.
+        assert!(meta.heartbeat(ServerId(0), Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn migrations_are_durable_and_idempotent() {
+        let path = tmp_path("migrations");
+        {
+            let meta = MetadataService::open(&path).unwrap();
+            let rec = meta
+                .begin_migration(KeyInterval::new(100, 199), ServerId(0), ServerId(2))
+                .unwrap();
+            assert_eq!(rec.id, 0);
+            assert!(!rec.completed());
+            assert_eq!(meta.membership_epoch(), 1);
+            let cut = meta.complete_migration(rec.id).unwrap();
+            assert_eq!(cut, 2);
+            // Completing twice returns the recorded cut-over epoch.
+            assert_eq!(meta.complete_migration(rec.id).unwrap(), 2);
+            assert_eq!(meta.membership_epoch(), 2);
+            // A second migration left in flight across the restart.
+            meta.begin_migration(KeyInterval::new(200, 299), ServerId(1), ServerId(2))
+                .unwrap();
+            assert!(meta.complete_migration(99).is_err());
+        }
+        let meta = MetadataService::open(&path).unwrap();
+        let migrations = meta.migrations();
+        assert_eq!(migrations.len(), 2);
+        assert_eq!(migrations[0].cutover_epoch, Some(2));
+        assert_eq!(migrations[1].keys, KeyInterval::new(200, 299));
+        assert!(!migrations[1].completed());
+        assert_eq!(meta.membership_epoch(), 3);
+        // Ids continue past the recovered counter.
+        let rec = meta
+            .begin_migration(KeyInterval::new(0, 9), ServerId(0), ServerId(1))
+            .unwrap();
+        assert_eq!(rec.id, 2);
     }
 
     #[test]

@@ -20,12 +20,12 @@ use std::time::Instant;
 use waterwheel_agg::{AggregateAnswer, FoldOutcome, WheelSummary};
 use waterwheel_core::aggregate::AggregateKind;
 use waterwheel_core::{
-    ChunkId, KeyInterval, QueryResult, Region, Result, ServerId, SubQuery, TimeInterval, Tuple,
-    WwError,
+    ChunkId, KeyInterval, NodeId, QueryResult, Region, Result, ServerId, SubQuery, TimeInterval,
+    Tuple, WwError,
 };
 use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
 use waterwheel_index::Bitmap;
-use waterwheel_meta::{ChunkInfo, PartitionSchema, SummaryExtent};
+use waterwheel_meta::{ChunkInfo, MemberRole, MembershipView, PartitionSchema, SummaryExtent};
 
 /// The well-known address of the metadata server (the ZooKeeper-backed
 /// component of §II-B) on the message plane.
@@ -139,6 +139,27 @@ pub enum Request {
     /// transports never send this; the node runtime acknowledges it and
     /// then tears the process down.
     Shutdown,
+    /// Teach the destination node process the socket addresses of servers
+    /// that joined after it started (launcher/gateway → node). Existing
+    /// entries are overwritten; routing to the listed ids works from the
+    /// next RPC on.
+    RegisterPeers {
+        /// `(server id, socket address)` pairs, e.g. `(ServerId(2), "127.0.0.1:4107")`.
+        peers: Vec<(ServerId, String)>,
+    },
+    /// Narrow or widen the destination indexing server's *assigned* key
+    /// interval (migration control plane). Out-of-interval tuples already
+    /// in memory stay queryable until flush — the §III-D overlap that
+    /// keeps answers exact while ownership moves.
+    Reassign {
+        /// The new assigned interval.
+        interval: KeyInterval,
+    },
+    /// Ask the destination gateway to rebalance key ownership uniformly
+    /// across the *current* indexing membership, running the migration
+    /// state machine for every range that changes hands (client → gateway
+    /// dispatcher node). Answered with [`Response::Migrated`].
+    MigrateUniform,
 }
 
 impl Request {
@@ -158,6 +179,9 @@ impl Request {
             Request::ClientQuery { .. } => "client_query",
             Request::ClientAggregate { .. } => "client_aggregate",
             Request::Shutdown => "shutdown",
+            Request::RegisterPeers { .. } => "register_peers",
+            Request::Reassign { .. } => "reassign",
+            Request::MigrateUniform => "migrate_uniform",
         }
     }
 }
@@ -234,6 +258,44 @@ pub enum MetaRequest {
         /// The recovering indexing server.
         server: ServerId,
     },
+    /// Register (or refresh) the sender as a cluster member under a
+    /// heartbeat lease (§II-B dynamic membership). Answered with
+    /// [`MetaResponse::Epoch`].
+    Join {
+        /// The joining server.
+        server: ServerId,
+        /// Its tier.
+        role: MemberRole,
+        /// The simulated cluster node hosting it.
+        node: NodeId,
+        /// Lease duration in milliseconds; the member must heartbeat
+        /// before it elapses or it is evicted.
+        ttl_ms: u64,
+    },
+    /// Renew the sender's membership lease. Fails with a non-retryable
+    /// [`WwError::NotFound`] when the lease already lapsed — the sender
+    /// must re-join.
+    Heartbeat {
+        /// The renewing server.
+        server: ServerId,
+        /// The fresh lease duration in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Graceful departure: remove the sender from the member set.
+    Leave {
+        /// The departing server.
+        server: ServerId,
+    },
+    /// The current epoch-numbered membership view. Answered with
+    /// [`MetaResponse::Membership`].
+    Membership,
+    /// Publish a new partition schema (the migration control plane's
+    /// durable cut-over record). The metadata server rejects version
+    /// regressions, so a stale publisher cannot roll routing back.
+    SetPartition {
+        /// The schema to publish.
+        schema: PartitionSchema,
+    },
 }
 
 /// A response payload.
@@ -266,6 +328,14 @@ pub enum Response {
     Query(QueryResult),
     /// A complete aggregate answer (answer to [`Request::ClientAggregate`]).
     Aggregate(AggregateAnswer),
+    /// A [`Request::MigrateUniform`] finished: the membership epoch after
+    /// the final cut-over and how many key ranges changed owners.
+    Migrated {
+        /// Membership epoch after the last cut-over.
+        epoch: u64,
+        /// Number of key ranges that moved.
+        ranges: u32,
+    },
 }
 
 /// Answers from the metadata server.
@@ -287,6 +357,11 @@ pub enum MetaResponse {
     Partition(Option<PartitionSchema>),
     /// A durable queue offset (answer to [`MetaRequest::DurableOffset`]).
     Offset(u64),
+    /// The membership epoch after a join/heartbeat/leave mutation.
+    Epoch(u64),
+    /// The epoch-numbered membership view (answer to
+    /// [`MetaRequest::Membership`]).
+    Membership(MembershipView),
 }
 
 fn unexpected<T>() -> Result<T> {
@@ -364,6 +439,14 @@ impl Response {
     pub fn into_aggregate(self) -> Result<AggregateAnswer> {
         match self {
             Response::Aggregate(a) => Ok(a),
+            _ => unexpected(),
+        }
+    }
+
+    /// Unwraps [`Response::Migrated`] into `(epoch, ranges)`.
+    pub fn into_migrated(self) -> Result<(u64, u32)> {
+        match self {
+            Response::Migrated { epoch, ranges } => Ok((epoch, ranges)),
             _ => unexpected(),
         }
     }

@@ -18,9 +18,12 @@
 use crate::client::RpcClient;
 use crate::envelope::{MetaRequest, MetaResponse, Request, Response, META_SERVER};
 use crate::transport::HandlerHost;
-use waterwheel_core::{ChunkId, Region, Result, ServerId, WwError};
+use std::time::Duration;
+use waterwheel_core::{ChunkId, NodeId, Region, Result, ServerId, WwError};
 use waterwheel_index::secondary::{AttrId, AttrProbe, ChunkAttrIndex};
-use waterwheel_meta::{ChunkInfo, MetadataService, PartitionSchema, SummaryExtent};
+use waterwheel_meta::{
+    ChunkInfo, MemberRole, MembershipView, MetadataService, PartitionSchema, SummaryExtent,
+};
 
 /// Binds `meta` at [`META_SERVER`] on any handler host (an in-proc
 /// transport or a bare registry served over TCP), translating
@@ -69,6 +72,26 @@ pub fn serve_meta<H: HandlerHost + ?Sized>(host: &H, meta: MetadataService) {
             MetaRequest::Partition => MetaResponse::Partition(meta.partition()),
             MetaRequest::DurableOffset { server } => {
                 MetaResponse::Offset(meta.durable_offset(server))
+            }
+            MetaRequest::Join {
+                server,
+                role,
+                node,
+                ttl_ms,
+            } => MetaResponse::Epoch(meta.join(
+                server,
+                role,
+                node,
+                std::time::Duration::from_millis(ttl_ms),
+            )?),
+            MetaRequest::Heartbeat { server, ttl_ms } => MetaResponse::Epoch(
+                meta.heartbeat(server, std::time::Duration::from_millis(ttl_ms))?,
+            ),
+            MetaRequest::Leave { server } => MetaResponse::Epoch(meta.leave(server)?),
+            MetaRequest::Membership => MetaResponse::Membership(meta.membership()),
+            MetaRequest::SetPartition { schema } => {
+                meta.set_partition(schema)?;
+                MetaResponse::Ack
             }
         };
         Ok(Response::Meta(resp))
@@ -204,6 +227,59 @@ impl MetaClient {
             )),
         }
     }
+
+    fn expect_epoch(&self, req: MetaRequest) -> Result<u64> {
+        match self.call(req)? {
+            MetaResponse::Epoch(e) => Ok(e),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
+
+    /// See [`MetadataService::join`].
+    pub fn join(
+        &self,
+        server: ServerId,
+        role: MemberRole,
+        node: NodeId,
+        ttl: Duration,
+    ) -> Result<u64> {
+        self.expect_epoch(MetaRequest::Join {
+            server,
+            role,
+            node,
+            ttl_ms: ttl.as_millis().min(u64::MAX as u128) as u64,
+        })
+    }
+
+    /// See [`MetadataService::heartbeat`].
+    pub fn heartbeat(&self, server: ServerId, ttl: Duration) -> Result<u64> {
+        self.expect_epoch(MetaRequest::Heartbeat {
+            server,
+            ttl_ms: ttl.as_millis().min(u64::MAX as u128) as u64,
+        })
+    }
+
+    /// See [`MetadataService::leave`].
+    pub fn leave(&self, server: ServerId) -> Result<u64> {
+        self.expect_epoch(MetaRequest::Leave { server })
+    }
+
+    /// See [`MetadataService::set_partition`].
+    pub fn set_partition(&self, schema: PartitionSchema) -> Result<()> {
+        self.expect_ack(MetaRequest::SetPartition { schema })
+    }
+
+    /// See [`MetadataService::membership`].
+    pub fn membership(&self) -> Result<MembershipView> {
+        match self.call(MetaRequest::Membership)? {
+            MetaResponse::Membership(v) => Ok(v),
+            _ => Err(WwError::InvalidState(
+                "metadata server answered the wrong variant".into(),
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +372,30 @@ mod tests {
         let e = client.register_chunk(ChunkId(99), info, 0).unwrap_err();
         assert!(!e.is_retryable(), "service answer must not look retryable");
         assert_eq!(t.stats().totals().retried, 0);
+    }
+
+    #[test]
+    fn membership_calls_round_trip() {
+        let (_t, client, meta) = rig();
+        let ttl = Duration::from_secs(5);
+        let e = client
+            .join(ServerId(0), MemberRole::Indexing, NodeId(0), ttl)
+            .unwrap();
+        assert_eq!(e, 1);
+        client
+            .join(ServerId(1_000), MemberRole::Query, NodeId(1), ttl)
+            .unwrap();
+        assert_eq!(client.heartbeat(ServerId(0), ttl).unwrap(), 2);
+        let view = client.membership().unwrap();
+        assert_eq!(view.epoch, 2);
+        assert_eq!(view.indexing_ids(), vec![ServerId(0)]);
+        assert_eq!(view.query_ids(), vec![ServerId(1_000)]);
+        assert_eq!(client.leave(ServerId(0)).unwrap(), 3);
+        // A lapsed (left) member cannot heartbeat; the error is
+        // non-retryable so the caller re-joins instead of spinning.
+        let err = client.heartbeat(ServerId(0), ttl).unwrap_err();
+        assert!(!err.is_retryable());
+        assert_eq!(meta.membership_epoch(), 3);
     }
 
     #[test]

@@ -633,7 +633,10 @@ fn priority_band(req: &Request) -> usize {
         | Request::IngestBatch { .. }
         | Request::Flush
         | Request::Ping
-        | Request::Shutdown => 0,
+        | Request::Shutdown
+        | Request::RegisterPeers { .. }
+        | Request::Reassign { .. }
+        | Request::MigrateUniform => 0,
         Request::InMemorySubquery { .. }
         | Request::AggregateInMemory { .. }
         | Request::ChunkSubquery { .. }

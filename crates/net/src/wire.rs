@@ -47,12 +47,12 @@ use waterwheel_core::aggregate::AggregateKind;
 use waterwheel_core::codec::{decode_region, decode_tuple, encode_region, encode_tuple};
 use waterwheel_core::codec::{Decoder, Encoder};
 use waterwheel_core::{
-    ChunkId, KeyInterval, QueryId, QueryResult, Result, ServerId, SubQuery, SubQueryId,
+    ChunkId, KeyInterval, NodeId, QueryId, QueryResult, Result, ServerId, SubQuery, SubQueryId,
     SubQueryTarget, TimeInterval, Tuple, WwError,
 };
 use waterwheel_index::secondary::{AttrProbe, ChunkAttrIndex};
 use waterwheel_index::Bitmap;
-use waterwheel_meta::{ChunkInfo, PartitionSchema, SummaryExtent};
+use waterwheel_meta::{ChunkInfo, MemberRole, MembershipView, PartitionSchema, SummaryExtent};
 
 /// Version byte stamped into every frame; bumped on layout changes.
 pub const WIRE_VERSION: u8 = 1;
@@ -429,6 +429,19 @@ fn encode_request_payload(out: &mut Vec<u8>, req: &Request) {
             out.push(encode_agg_kind(*kind));
         }
         Request::Shutdown => out.push(11),
+        Request::RegisterPeers { peers } => {
+            out.push(12);
+            out.put_u32(peers.len() as u32);
+            for (server, addr) in peers {
+                out.put_u32(server.raw());
+                put_string(out, addr);
+            }
+        }
+        Request::Reassign { interval } => {
+            out.push(13);
+            encode_key_interval(out, interval);
+        }
+        Request::MigrateUniform => out.push(14),
     }
 }
 
@@ -488,6 +501,19 @@ fn decode_request_payload(dec: &mut Decoder<'_>) -> Result<Request> {
             kind: decode_agg_kind(dec.get_u8()?)?,
         },
         11 => Request::Shutdown,
+        12 => {
+            let count = dec.get_u32()? as usize;
+            let mut peers = Vec::with_capacity(checked_cap(dec, count, 8));
+            for _ in 0..count {
+                let server = ServerId(dec.get_u32()?);
+                peers.push((server, get_string(dec)?));
+            }
+            Request::RegisterPeers { peers }
+        }
+        13 => Request::Reassign {
+            interval: decode_key_interval(dec)?,
+        },
+        14 => Request::MigrateUniform,
         other => {
             return Err(WwError::corrupt(
                 "frame",
@@ -555,6 +581,32 @@ fn encode_meta_request(out: &mut Vec<u8>, req: &MetaRequest) {
             out.push(10);
             out.put_u32(server.raw());
         }
+        MetaRequest::Join {
+            server,
+            role,
+            node,
+            ttl_ms,
+        } => {
+            out.push(11);
+            out.put_u32(server.raw());
+            out.push(role.as_u8());
+            out.put_u32(node.raw());
+            out.put_u64(*ttl_ms);
+        }
+        MetaRequest::Heartbeat { server, ttl_ms } => {
+            out.push(12);
+            out.put_u32(server.raw());
+            out.put_u64(*ttl_ms);
+        }
+        MetaRequest::Leave { server } => {
+            out.push(13);
+            out.put_u32(server.raw());
+        }
+        MetaRequest::Membership => out.push(14),
+        MetaRequest::SetPartition { schema } => {
+            out.push(15);
+            schema.encode(out);
+        }
     }
 }
 
@@ -605,6 +657,23 @@ fn decode_meta_request(dec: &mut Decoder<'_>) -> Result<MetaRequest> {
         9 => MetaRequest::Partition,
         10 => MetaRequest::DurableOffset {
             server: ServerId(dec.get_u32()?),
+        },
+        11 => MetaRequest::Join {
+            server: ServerId(dec.get_u32()?),
+            role: MemberRole::from_u8(dec.get_u8()?)?,
+            node: NodeId(dec.get_u32()?),
+            ttl_ms: dec.get_u64()?,
+        },
+        12 => MetaRequest::Heartbeat {
+            server: ServerId(dec.get_u32()?),
+            ttl_ms: dec.get_u64()?,
+        },
+        13 => MetaRequest::Leave {
+            server: ServerId(dec.get_u32()?),
+        },
+        14 => MetaRequest::Membership,
+        15 => MetaRequest::SetPartition {
+            schema: PartitionSchema::decode(dec)?,
         },
         other => {
             return Err(WwError::corrupt(
@@ -764,6 +833,11 @@ fn encode_response_payload(out: &mut Vec<u8>, resp: &Response) {
             out.put_u64(answer.cells_merged);
             out.put_u64(answer.scanned_tuples);
         }
+        Response::Migrated { epoch, ranges } => {
+            out.push(10);
+            out.put_u64(*epoch);
+            out.put_u32(*ranges);
+        }
     }
 }
 
@@ -826,6 +900,10 @@ fn decode_response_payload(dec: &mut Decoder<'_>) -> Result<Response> {
             cells_merged: dec.get_u64()?,
             scanned_tuples: dec.get_u64()?,
         }),
+        10 => Response::Migrated {
+            epoch: dec.get_u64()?,
+            ranges: dec.get_u32()?,
+        },
         other => {
             return Err(WwError::corrupt(
                 "frame",
@@ -893,6 +971,14 @@ fn encode_meta_response(out: &mut Vec<u8>, resp: &MetaResponse) {
             out.push(7);
             out.put_u64(*offset);
         }
+        MetaResponse::Epoch(epoch) => {
+            out.push(8);
+            out.put_u64(*epoch);
+        }
+        MetaResponse::Membership(view) => {
+            out.push(9);
+            view.encode(out);
+        }
     }
 }
 
@@ -948,6 +1034,8 @@ fn decode_meta_response(dec: &mut Decoder<'_>) -> Result<MetaResponse> {
             }
         }),
         7 => MetaResponse::Offset(dec.get_u64()?),
+        8 => MetaResponse::Epoch(dec.get_u64()?),
+        9 => MetaResponse::Membership(MembershipView::decode(dec)?),
         other => {
             return Err(WwError::corrupt(
                 "frame",
@@ -1214,6 +1302,29 @@ mod tests {
             MetaRequest::DurableOffset {
                 server: ServerId(3),
             },
+            MetaRequest::Join {
+                server: ServerId(2),
+                role: MemberRole::Indexing,
+                node: waterwheel_core::NodeId(1),
+                ttl_ms: 3_000,
+            },
+            MetaRequest::Join {
+                server: ServerId(1_001),
+                role: MemberRole::Query,
+                node: waterwheel_core::NodeId(0),
+                ttl_ms: 500,
+            },
+            MetaRequest::Heartbeat {
+                server: ServerId(2),
+                ttl_ms: 3_000,
+            },
+            MetaRequest::Leave {
+                server: ServerId(2),
+            },
+            MetaRequest::Membership,
+            MetaRequest::SetPartition {
+                schema: PartitionSchema::uniform(&[ServerId(0), ServerId(1)]),
+            },
         ];
         for req in reqs {
             let decoded = roundtrip_request(Request::Meta(req.clone()));
@@ -1221,6 +1332,27 @@ mod tests {
                 Request::Meta(got) => assert_eq!(format!("{got:?}"), format!("{req:?}")),
                 other => panic!("wrong payload: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        let reqs = vec![
+            Request::RegisterPeers {
+                peers: vec![
+                    (ServerId(2), "127.0.0.1:4107".to_string()),
+                    (ServerId(1_002), "127.0.0.1:4108".to_string()),
+                ],
+            },
+            Request::Reassign {
+                interval: KeyInterval::new(100, 199),
+            },
+            Request::MigrateUniform,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let decoded = roundtrip_request(req.clone());
+            assert_eq!(format!("{:?}", decoded.payload), format!("{req:?}"));
         }
     }
 
@@ -1273,6 +1405,16 @@ mod tests {
                 cells_merged: 2,
                 scanned_tuples: 9,
             }),
+            Response::Migrated {
+                epoch: 12,
+                ranges: 3,
+            },
+            Response::Meta(MetaResponse::Epoch(7)),
+            Response::Meta(MetaResponse::Membership(MembershipView {
+                epoch: 4,
+                indexing: vec![(ServerId(0), waterwheel_core::NodeId(0))],
+                query: vec![(ServerId(1_000), waterwheel_core::NodeId(1))],
+            })),
         ];
         for resp in cases {
             let got = roundtrip_response(resp.clone());

@@ -63,10 +63,20 @@ fn parse_role_cli(args: &[String]) -> Result<NodeConfig, String> {
                 let v = value("--peer")?;
                 let (r, addr) = v
                     .split_once('=')
-                    .ok_or_else(|| format!("--peer {v:?} is not role=addr"))?;
+                    .ok_or_else(|| format!("--peer {v:?} is not role[:proc]=addr"))?;
+                // `role:IDX=addr` names one process of a multi-process
+                // role; bare `role=addr` means its first process.
+                let (r, idx) = match r.split_once(':') {
+                    Some((r, idx)) => (
+                        r,
+                        idx.parse::<usize>()
+                            .map_err(|e| format!("--peer {v:?}: {e}"))?,
+                    ),
+                    None => (r, 0),
+                };
                 let r = Role::parse(r).ok_or_else(|| format!("unknown peer role {r:?}"))?;
                 let addr = addr.parse().map_err(|e| format!("--peer {v:?}: {e}"))?;
-                peers.push((r, addr));
+                peers.push((r, idx, addr));
             }
             "--ix" => counts[0] = Some(parse_num("--ix", value("--ix")?)?),
             "--qs" => counts[1] = Some(parse_num("--qs", value("--qs")?)?),

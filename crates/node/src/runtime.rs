@@ -4,15 +4,16 @@
 //! pipe) tears the process down.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, Write};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
 use waterwheel_cluster::{Cluster, LatencyModel};
-use waterwheel_core::{Query, Result, ServerId, SystemConfig, WwError};
-use waterwheel_meta::{MetadataService, PartitionSchema};
+use waterwheel_core::{KeyInterval, NodeId, Query, Result, ServerId, SystemConfig, WwError};
+use waterwheel_meta::{MemberRole, MetadataService, PartitionSchema};
 use waterwheel_mq::{Consumer, MessageQueue};
 use waterwheel_net::{
     serve_meta, HandlerRegistry, MetaClient, Request, Response, RpcClient, TcpRpcServer,
@@ -109,8 +110,23 @@ pub struct NodeConfig {
     /// `SystemConfig::chunk_format_version`. Readers dispatch per chunk,
     /// so a store may legitimately mix versions across restarts.
     pub chunk_format_version: u32,
-    /// Addresses of the roles this process calls into.
-    pub peers: Vec<(Role, SocketAddr)>,
+    /// How many OS processes share the indexing role. Each hosts a
+    /// contiguous `indexing_servers / indexing_processes` slice of the
+    /// server ids, so growing the cluster by one process never moves an
+    /// existing process's slice.
+    pub indexing_processes: usize,
+    /// How many OS processes share the query role (same slicing rule).
+    pub query_processes: usize,
+    /// Which slice of its role this process hosts (`0..processes`). Meta
+    /// and dispatcher are single-process and ignore it.
+    pub proc_index: usize,
+    /// Membership lease renewal cadence (`SystemConfig::heartbeat_interval`).
+    pub heartbeat_interval: Duration,
+    /// Membership lease duration (`SystemConfig::lease_ttl`).
+    pub lease_ttl: Duration,
+    /// Addresses of the role processes this one calls into, as
+    /// `(role, proc_index, addr)`.
+    pub peers: Vec<(Role, usize, SocketAddr)>,
 }
 
 impl NodeConfig {
@@ -129,6 +145,11 @@ impl NodeConfig {
             durability_fsync: cfg.durability_fsync,
             wal_segment_bytes: cfg.wal_segment_bytes,
             chunk_format_version: cfg.chunk_format_version,
+            indexing_processes: 1,
+            query_processes: 1,
+            proc_index: 0,
+            heartbeat_interval: cfg.heartbeat_interval,
+            lease_ttl: cfg.lease_ttl,
             peers: Vec::new(),
         }
     }
@@ -149,10 +170,20 @@ impl NodeConfig {
             }
             let (r, addr) = part
                 .split_once('=')
-                .ok_or_else(|| format!("peer {part:?} is not role=addr"))?;
+                .ok_or_else(|| format!("peer {part:?} is not role[:proc]=addr"))?;
+            // `role:IDX=addr` names one process of a multi-process role;
+            // bare `role=addr` (older launchers) means its first process.
+            let (r, idx) = match r.split_once(':') {
+                Some((r, idx)) => (
+                    r,
+                    idx.parse::<usize>()
+                        .map_err(|e| format!("peer {part:?}: {e}"))?,
+                ),
+                None => (r, 0),
+            };
             let r = Role::parse(r).ok_or_else(|| format!("unknown peer role {r:?}"))?;
             let addr = addr.parse().map_err(|e| format!("peer {part:?}: {e}"))?;
-            peers.push((r, addr));
+            peers.push((r, idx, addr));
         }
         // Durability knobs are optional in the contract (older launchers
         // omit them): absent means the SystemConfig defaults.
@@ -171,6 +202,28 @@ impl NodeConfig {
                 .map_err(|e| format!("WW_NODE_CHUNK_FORMAT: {e}"))?,
             Err(_) => defaults.chunk_format_version,
         };
+        // Elasticity knobs are likewise optional: absent means one process
+        // per role and the default lease cadence.
+        let opt_num = |k: &str, default: usize| -> std::result::Result<usize, String> {
+            match std::env::var(k) {
+                Ok(v) => v.parse().map_err(|e| format!("{k}: {e}")),
+                Err(_) => Ok(default),
+            }
+        };
+        let opt_ms = |k: &str, default: Duration| -> std::result::Result<Duration, String> {
+            match std::env::var(k) {
+                Ok(v) => v
+                    .parse()
+                    .map(Duration::from_millis)
+                    .map_err(|e| format!("{k}: {e}")),
+                Err(_) => Ok(default),
+            }
+        };
+        let indexing_processes = opt_num("WW_NODE_IX_PROCS", 1)?;
+        let query_processes = opt_num("WW_NODE_QS_PROCS", 1)?;
+        let proc_index = opt_num("WW_NODE_PROC", 0)?;
+        let heartbeat_interval = opt_ms("WW_NODE_HB_MS", defaults.heartbeat_interval)?;
+        let lease_ttl = opt_ms("WW_NODE_LEASE_MS", defaults.lease_ttl)?;
         Ok(Self {
             role,
             listen: var("WW_NODE_LISTEN")?,
@@ -183,6 +236,11 @@ impl NodeConfig {
             durability_fsync,
             wal_segment_bytes,
             chunk_format_version,
+            indexing_processes,
+            query_processes,
+            proc_index,
+            heartbeat_interval,
+            lease_ttl,
             peers,
         })
     }
@@ -192,7 +250,7 @@ impl NodeConfig {
         let peers: Vec<String> = self
             .peers
             .iter()
-            .map(|(r, a)| format!("{}={a}", r.as_str()))
+            .map(|(r, idx, a)| format!("{}:{idx}={a}", r.as_str()))
             .collect();
         cmd.env("WW_NODE_ROLE", self.role.as_str())
             .env("WW_NODE_LISTEN", &self.listen)
@@ -211,6 +269,14 @@ impl NodeConfig {
                 "WW_NODE_CHUNK_FORMAT",
                 self.chunk_format_version.to_string(),
             )
+            .env("WW_NODE_IX_PROCS", self.indexing_processes.to_string())
+            .env("WW_NODE_QS_PROCS", self.query_processes.to_string())
+            .env("WW_NODE_PROC", self.proc_index.to_string())
+            .env(
+                "WW_NODE_HB_MS",
+                self.heartbeat_interval.as_millis().to_string(),
+            )
+            .env("WW_NODE_LEASE_MS", self.lease_ttl.as_millis().to_string())
             .env("WW_NODE_PEERS", peers.join(","));
     }
 }
@@ -230,6 +296,15 @@ pub fn dispatcher_ids(n: usize) -> Vec<ServerId> {
     (0..n as u32).map(|i| ServerId(2_000 + i)).collect()
 }
 
+/// The contiguous slice of a role's server ids hosted by process `p` of
+/// `n`. Launchers keep `ids.len()` divisible by `n`, so slices are
+/// equal-sized — and because growth adds whole slices at the top, an
+/// existing process's slice never moves when the cluster grows.
+pub fn slice_ids(ids: &[ServerId], p: usize, n: usize) -> Vec<ServerId> {
+    let per = ids.len() / n.max(1);
+    ids.iter().skip(p * per).take(per).copied().collect()
+}
+
 /// The deterministic layout every process rebuilds identically: system
 /// config, simulated cluster with server placement, and the id vectors.
 struct Layout {
@@ -238,6 +313,8 @@ struct Layout {
     ix_ids: Vec<ServerId>,
     qs_ids: Vec<ServerId>,
     disp_ids: Vec<ServerId>,
+    ix_procs: usize,
+    qs_procs: usize,
 }
 
 impl Layout {
@@ -250,11 +327,20 @@ impl Layout {
         cfg.durability_fsync = nc.durability_fsync;
         cfg.wal_segment_bytes = nc.wal_segment_bytes;
         cfg.chunk_format_version = nc.chunk_format_version;
+        cfg.heartbeat_interval = nc.heartbeat_interval;
+        cfg.lease_ttl = nc.lease_ttl;
         // Nested flush RPCs (gateway → indexing pump-until-empty) can
         // outlive the embedded default; loopback never needs to give up
         // that early.
         cfg.rpc_timeout = std::time::Duration::from_secs(10);
         cfg.validate().map_err(WwError::Config)?;
+        let ix_procs = nc.indexing_processes.max(1);
+        let qs_procs = nc.query_processes.max(1);
+        if cfg.indexing_servers % ix_procs != 0 || cfg.query_servers % qs_procs != 0 {
+            return Err(WwError::Config(
+                "server counts must divide evenly across role processes".into(),
+            ));
+        }
         let cluster = Cluster::new(nc.nodes.max(1));
         let ix_ids = indexing_ids(cfg.indexing_servers);
         let qs_ids = query_ids(cfg.query_servers);
@@ -269,7 +355,19 @@ impl Layout {
             ix_ids,
             qs_ids,
             disp_ids,
+            ix_procs,
+            qs_procs,
         })
+    }
+
+    /// The indexing-server ids process `p` hosts.
+    fn hosted_ix(&self, p: usize) -> Vec<ServerId> {
+        slice_ids(&self.ix_ids, p, self.ix_procs)
+    }
+
+    /// The query-server ids process `p` hosts.
+    fn hosted_qs(&self, p: usize) -> Vec<ServerId> {
+        slice_ids(&self.qs_ids, p, self.qs_procs)
     }
 }
 
@@ -288,18 +386,31 @@ fn peer_transport(nc: &NodeConfig, layout: &Layout) -> Arc<TcpTransport> {
     t
 }
 
-fn route_peers(t: &TcpTransport, peers: &[(Role, SocketAddr)], layout: &Layout) {
-    for &(role, addr) in peers {
+fn route_peers(t: &TcpTransport, peers: &[(Role, usize, SocketAddr)], layout: &Layout) {
+    for &(role, idx, addr) in peers {
         match role {
             Role::Meta => t.add_peer(META_SERVER, addr),
-            Role::Indexing => t.add_peers(layout.ix_ids.iter().copied(), addr),
-            Role::Query => t.add_peers(layout.qs_ids.iter().copied(), addr),
+            Role::Indexing => t.add_peers(layout.hosted_ix(idx), addr),
+            Role::Query => t.add_peers(layout.hosted_qs(idx), addr),
             Role::Dispatcher => {
                 t.add_peers(layout.disp_ids.iter().copied(), addr);
                 t.add_peer(COORDINATOR, addr);
             }
         }
     }
+}
+
+/// Installs freshly announced `(server id, address)` routes on this
+/// process's shared transport — how an already-running process learns
+/// about servers that joined after it launched.
+fn add_wire_peers(t: &TcpTransport, peers: &[(ServerId, String)]) -> Result<()> {
+    for (id, addr) in peers {
+        let addr: SocketAddr = addr.parse().map_err(|_| {
+            WwError::InvalidState(format!("unparseable announced peer address {addr:?}"))
+        })?;
+        t.add_peer(*id, addr);
+    }
+    Ok(())
 }
 
 /// Receiver-side dedup for retried ingest batches, mirroring the embedded
@@ -342,11 +453,112 @@ impl BatchDedup {
     }
 }
 
+/// Spawns the background thread renewing the membership leases of every
+/// server this process hosts (ZooKeeper's ephemeral nodes, §II-B): a
+/// heartbeat per interval while running, a graceful `leave` per server on
+/// clean shutdown. Renewal errors are ignored — if the lease already
+/// lapsed (a long stall), the metadata server has evicted this member and
+/// the operator restarts the process rather than having it fight a
+/// cluster that moved on. Callers hand this a *short-deadline, no-retry*
+/// meta client: a heartbeat that misses one interval is harmless, and the
+/// farewell `leave` must not stall process teardown when the metadata
+/// server is already gone.
+fn spawn_lease_keeper(
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    stop: &Arc<AtomicBool>,
+    meta: MetaClient,
+    ids: Vec<ServerId>,
+    heartbeat: Duration,
+    ttl: Duration,
+) {
+    let stop = Arc::clone(stop);
+    handles.push(std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(heartbeat);
+            for &id in &ids {
+                let _ = meta.heartbeat(id, ttl);
+            }
+        }
+        for &id in &ids {
+            let _ = meta.leave(id);
+        }
+    }));
+}
+
 /// Fetches the partition schema from the metadata process (bootstrapped
 /// there before it reports ready).
 fn fetch_schema(meta: &MetaClient) -> Result<PartitionSchema> {
     meta.partition()?
         .ok_or_else(|| WwError::InvalidState("metadata process has no partition schema yet".into()))
+}
+
+/// The gateway side of the live key-range migration state machine
+/// (`Request::MigrateUniform`): rebalance ownership uniformly across the
+/// *current* indexing membership.
+///
+/// Three steps, answers stay byte-exact throughout:
+///
+/// 1. **snapshot ship** — seal every source server's in-memory tree into
+///    chunks; sealed chunks are globally reachable through the shared DFS,
+///    so the new owner serves them without a peer-to-peer copy;
+/// 2. **cut over** — publish the bumped schema to the metadata server
+///    (the durable cut-over record a crashed process recovers from), swap
+///    it into the local dispatchers, and `Reassign` every indexing server
+///    to its new interval. Tuples that raced the swap land on the old
+///    owner and stay queryable from its in-memory overlap (§III-D);
+/// 3. **straggler drain** — flush the sources once more so anything
+///    dual-written during the window is sealed, then refresh the
+///    coordinator's routing table.
+fn migrate_to_uniform(
+    meta: &MetaClient,
+    dispatchers: &[Arc<Dispatcher>],
+    coordinator: &Coordinator,
+    control: &RpcClient,
+    fallback_ix: &[ServerId],
+) -> Result<Response> {
+    let view = meta.membership()?;
+    let mut ix = view.indexing_ids();
+    if ix.is_empty() {
+        ix = fallback_ix.to_vec();
+    }
+    let old = meta
+        .partition()?
+        .unwrap_or_else(|| PartitionSchema::uniform(&ix));
+    let mut schema = PartitionSchema::uniform(&ix);
+    schema.version = old.version + 1;
+    let moves = waterwheel_server::diff_moves(&old, &schema);
+    if moves.is_empty() {
+        return Ok(Response::Migrated {
+            epoch: view.epoch,
+            ranges: 0,
+        });
+    }
+    for d in dispatchers {
+        d.flush_batches()?;
+    }
+    let sources: BTreeSet<ServerId> = moves.iter().map(|m| m.from).collect();
+    for &src in &sources {
+        dispatchers[0].flush(src)?;
+    }
+    meta.set_partition(schema.clone())?;
+    for d in dispatchers {
+        d.update_schema(schema.clone());
+    }
+    for &id in &ix {
+        if let Some(interval) = schema.interval_of(id) {
+            control
+                .call(id, Request::Reassign { interval })?
+                .into_ack()?;
+        }
+    }
+    for &src in &sources {
+        dispatchers[0].flush(src)?;
+    }
+    let epoch = coordinator.refresh_membership()?;
+    Ok(Response::Migrated {
+        epoch,
+        ranges: moves.len() as u32,
+    })
 }
 
 /// Runs one node role until shut down. Prints `WW_NODE_READY <addr>` once
@@ -370,6 +582,16 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
             &layout.cfg,
         )
     };
+    // Lease traffic gets its own client: deadline of one heartbeat, no
+    // retries. Losing a renewal is harmless (the next interval covers it),
+    // and the farewell `leave` must not stall process teardown for a full
+    // RPC deadline when the metadata process is already gone.
+    let lease_rpc_for = |src: ServerId| {
+        let mut cfg = layout.cfg.clone();
+        cfg.rpc_timeout = cfg.heartbeat_interval;
+        cfg.rpc_retries = 0;
+        RpcClient::new(Arc::clone(&transport) as Arc<dyn Transport>, src, &cfg)
+    };
 
     let pumps_stop = Arc::new(AtomicBool::new(false));
     let mut pump_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -388,17 +610,42 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 s.version = 1;
                 meta.set_partition(s)?;
             }
+            // Lease sweeper: members that stop heartbeating (a kill -9'd
+            // process, a partitioned node) are evicted after the TTL and
+            // the membership epoch bumps, so routing tables converge on
+            // the survivors without operator action.
+            {
+                let meta = meta.clone();
+                let stop = Arc::clone(&pumps_stop);
+                let hb = layout.cfg.heartbeat_interval;
+                let grace = layout.cfg.lease_ttl;
+                pump_handles.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(hb);
+                        let _ = meta.expire_lapsed_leases(grace);
+                    }
+                }));
+            }
             serve_meta(&registry, meta);
         }
         Role::Indexing => {
+            let hosted = layout.hosted_ix(nc.proc_index);
             // The §V durability boundary: the ingest queue is a WAL under
             // the node root. Acked batches commit (marker + tuples in one
             // frame) before the ack leaves, so a kill -9 after the ack
             // cannot lose them — the restarted process replays this log
-            // from each server's durable offset.
+            // from each server's durable offset. Each indexing process
+            // owns its own queue directory (partition files must not be
+            // shared across processes); the first keeps the legacy "mq"
+            // name so single-process stores recover across upgrades.
             let policy = FsyncPolicy::from_flag(layout.cfg.durability_fsync);
+            let mq_dir = if nc.proc_index == 0 {
+                "mq".to_string()
+            } else {
+                format!("mq-p{}", nc.proc_index)
+            };
             let mq = MessageQueue::durable_with(
-                nc.root.join("mq"),
+                nc.root.join(mq_dir),
                 policy,
                 layout.cfg.wal_segment_bytes,
             )?;
@@ -410,15 +657,22 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 LatencyModel::default(),
             )?
             .with_fsync(policy);
-            let meta = MetaClient::new(rpc_for(layout.ix_ids[0]));
+            let meta = MetaClient::new(rpc_for(hosted[0]));
             let schema = fetch_schema(&meta)?;
             let attrs = Arc::new(AttrRegistry::new());
             register_well_known_attrs(&attrs);
             let dedup = Arc::new(BatchDedup::new());
-            for (i, &id) in layout.ix_ids.iter().enumerate() {
-                let interval = schema
-                    .interval_of(id)
-                    .ok_or_else(|| WwError::not_found("partition interval for server", id))?;
+            for &id in &hosted {
+                // Global queue-partition index: indexing ids are `0..n`,
+                // so the raw id doubles as the partition number even when
+                // this process hosts only a slice of them.
+                let i = id.raw() as usize;
+                // A server joining an elastic cluster may not be in the
+                // published schema yet — it owns nothing until the first
+                // `MigrateUniform` cut-over reassigns it, so any
+                // placeholder interval works; `full()` keeps the template
+                // tree's fan-out shape sensible.
+                let interval = schema.interval_of(id).unwrap_or_else(KeyInterval::full);
                 // Recovery: resume consuming at the offset the last chunk
                 // registration persisted, and remember which batch
                 // sequence numbers already landed in the WAL.
@@ -453,6 +707,7 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 }
                 let mq = mq.clone();
                 let dedup = Arc::clone(&dedup);
+                let transport = Arc::clone(&transport);
                 registry.bind(id, move |env| match &env.payload {
                     Request::Ingest { tuple } => {
                         // Single-tuple ingest has no batch marker; force
@@ -493,26 +748,52 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                     Request::AggregateInMemory { slices, covered } => Ok(Response::Fold(
                         server.aggregate_in_memory(*slices, covered)?,
                     )),
+                    Request::Reassign { interval } => {
+                        // Migration cut-over: only the *assigned* interval
+                        // changes; out-of-interval tuples already in memory
+                        // stay queryable until flush (§III-D overlap).
+                        server.reassign(*interval);
+                        Ok(Response::Ack)
+                    }
+                    Request::RegisterPeers { peers } => {
+                        add_wire_peers(&transport, peers)?;
+                        Ok(Response::Ack)
+                    }
                     Request::Ping => Ok(Response::Pong),
                     _ => Err(WwError::InvalidState(
                         "unsupported request for an indexing server".into(),
                     )),
                 });
             }
+            // Dynamic membership (Fig. 17): every hosted server registers
+            // under a heartbeat lease before this process reports ready,
+            // so a launcher that waits for the ready line can rely on the
+            // membership epoch already covering it.
+            for &id in &hosted {
+                let node = layout.cluster.node_of(id).unwrap_or(NodeId(0));
+                meta.join(id, MemberRole::Indexing, node, layout.cfg.lease_ttl)?;
+            }
+            spawn_lease_keeper(
+                &mut pump_handles,
+                &pumps_stop,
+                MetaClient::new(lease_rpc_for(hosted[0])),
+                hosted.clone(),
+                layout.cfg.heartbeat_interval,
+                layout.cfg.lease_ttl,
+            );
         }
         Role::Query => {
+            let hosted = layout.hosted_qs(nc.proc_index);
             let dfs = SimDfs::new(
                 nc.root.join("chunks"),
                 layout.cluster.clone(),
                 layout.cfg.dfs_replication.min(nc.nodes.max(1)),
                 LatencyModel::default(),
             )?;
-            for &id in &layout.qs_ids {
-                let node = layout
-                    .cluster
-                    .node_of(id)
-                    .ok_or_else(|| WwError::not_found("cluster node for query server", id))?;
+            for &id in &hosted {
+                let node = layout.cluster.node_of(id).unwrap_or(NodeId(0));
                 let qs = Arc::new(QueryServer::with_config(id, node, dfs.clone(), &layout.cfg));
+                let transport = Arc::clone(&transport);
                 registry.bind(id, move |env| match &env.payload {
                     Request::ChunkSubquery {
                         sq,
@@ -526,12 +807,29 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                     Request::ReadSummary { chunk } => {
                         Ok(Response::Summary(qs.read_summary(*chunk)?))
                     }
+                    Request::RegisterPeers { peers } => {
+                        add_wire_peers(&transport, peers)?;
+                        Ok(Response::Ack)
+                    }
                     Request::Ping => Ok(Response::Pong),
                     _ => Err(WwError::InvalidState(
                         "unsupported request for a query server".into(),
                     )),
                 });
             }
+            let meta = MetaClient::new(rpc_for(hosted[0]));
+            for &id in &hosted {
+                let node = layout.cluster.node_of(id).unwrap_or(NodeId(0));
+                meta.join(id, MemberRole::Query, node, layout.cfg.lease_ttl)?;
+            }
+            spawn_lease_keeper(
+                &mut pump_handles,
+                &pumps_stop,
+                MetaClient::new(lease_rpc_for(hosted[0])),
+                hosted.clone(),
+                layout.cfg.heartbeat_interval,
+                layout.cfg.lease_ttl,
+            );
         }
         Role::Dispatcher => {
             let meta = MetaClient::new(rpc_for(layout.disp_ids[0]));
@@ -556,6 +854,7 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                 let dispatchers = Arc::clone(&dispatchers);
                 let dedup = Arc::clone(&gateway_dedup);
                 let ix_ids = ix_ids.clone();
+                let meta = meta.clone();
                 registry.bind(id, move |env| match &env.payload {
                     Request::Ingest { tuple } => {
                         dispatchers[i].dispatch(tuple.clone())?;
@@ -576,12 +875,20 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
                     Request::Flush => {
                         // The client's durability verb: push every
                         // buffered batch out, then seal every indexing
-                        // server's memory into chunks.
+                        // server's memory into chunks. The server list
+                        // comes from the live membership view so servers
+                        // that joined after launch get flushed too.
                         for d in dispatchers.iter() {
                             d.flush_batches()?;
                         }
+                        let live = meta
+                            .membership()
+                            .map(|v| v.indexing_ids())
+                            .ok()
+                            .filter(|v| !v.is_empty())
+                            .unwrap_or_else(|| ix_ids.clone());
                         let mut chunks = Vec::new();
-                        for &ix in &ix_ids {
+                        for &ix in &live {
                             chunks.extend(dispatchers[i].flush(ix)?);
                         }
                         Ok(Response::Flushed(chunks))
@@ -606,27 +913,61 @@ pub fn run_node(nc: NodeConfig) -> Result<()> {
             let attrs = Arc::new(AttrRegistry::new());
             register_well_known_attrs(&attrs);
             coordinator.set_attr_registry(attrs);
-            registry.bind(COORDINATOR, move |env| match &env.payload {
-                Request::ClientQuery {
-                    keys,
-                    times,
-                    attr_eq,
-                } => {
-                    let mut q = Query::range(*keys, *times);
-                    if let Some((attr, value)) = attr_eq {
-                        q = q.and_attr_eq(*attr, *value);
+            {
+                let coordinator = Arc::clone(&coordinator);
+                let dispatchers = Arc::clone(&dispatchers);
+                let meta = meta.clone();
+                let control = rpc_for(COORDINATOR);
+                let transport = Arc::clone(&transport);
+                let fallback_ix = layout.ix_ids.clone();
+                registry.bind(COORDINATOR, move |env| match &env.payload {
+                    Request::ClientQuery {
+                        keys,
+                        times,
+                        attr_eq,
+                    } => {
+                        let mut q = Query::range(*keys, *times);
+                        if let Some((attr, value)) = attr_eq {
+                            q = q.and_attr_eq(*attr, *value);
+                        }
+                        Ok(Response::Query(coordinator.execute(&q)?))
                     }
-                    Ok(Response::Query(coordinator.execute(&q)?))
-                }
-                Request::ClientAggregate { keys, times, kind } => {
-                    let aq = Query::range(*keys, *times).aggregate(*kind);
-                    Ok(Response::Aggregate(coordinator.execute_aggregate(&aq)?))
-                }
-                Request::Ping => Ok(Response::Pong),
-                _ => Err(WwError::InvalidState(
-                    "unsupported request for the coordinator".into(),
-                )),
-            });
+                    Request::ClientAggregate { keys, times, kind } => {
+                        let aq = Query::range(*keys, *times).aggregate(*kind);
+                        Ok(Response::Aggregate(coordinator.execute_aggregate(&aq)?))
+                    }
+                    Request::RegisterPeers { peers } => {
+                        add_wire_peers(&transport, peers)?;
+                        Ok(Response::Ack)
+                    }
+                    Request::MigrateUniform => migrate_to_uniform(
+                        &meta,
+                        &dispatchers,
+                        &coordinator,
+                        &control,
+                        &fallback_ix,
+                    ),
+                    Request::Ping => Ok(Response::Pong),
+                    _ => Err(WwError::InvalidState(
+                        "unsupported request for the coordinator".into(),
+                    )),
+                });
+            }
+            // Routing freshness: poll the membership epoch at the
+            // heartbeat cadence so servers joining (or being evicted)
+            // after launch reach the coordinator's routing table without
+            // waiting for a query to fail first.
+            {
+                let coordinator = Arc::clone(&coordinator);
+                let stop = Arc::clone(&pumps_stop);
+                let hb = layout.cfg.heartbeat_interval;
+                pump_handles.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(hb);
+                        let _ = coordinator.refresh_membership();
+                    }
+                }));
+            }
         }
     }
 
@@ -726,9 +1067,14 @@ mod tests {
         nc.wal_segment_bytes = 65_536;
         nc.chunk_format_version = 1;
         nc.peers = vec![
-            (Role::Meta, "127.0.0.1:4100".parse().unwrap()),
-            (Role::Dispatcher, "127.0.0.1:4101".parse().unwrap()),
+            (Role::Meta, 0, "127.0.0.1:4100".parse().unwrap()),
+            (Role::Indexing, 2, "127.0.0.1:4102".parse().unwrap()),
+            (Role::Dispatcher, 0, "127.0.0.1:4101".parse().unwrap()),
         ];
+        nc.indexing_processes = 3;
+        nc.proc_index = 1;
+        nc.heartbeat_interval = Duration::from_millis(250);
+        nc.lease_ttl = Duration::from_millis(900);
         let mut cmd = std::process::Command::new("true");
         nc.apply_env(&mut cmd);
         // Replay the command's captured env through from_env's parser by
@@ -743,6 +1089,11 @@ mod tests {
         assert_eq!(back.durability_fsync, nc.durability_fsync);
         assert_eq!(back.wal_segment_bytes, nc.wal_segment_bytes);
         assert_eq!(back.chunk_format_version, nc.chunk_format_version);
+        assert_eq!(back.indexing_processes, nc.indexing_processes);
+        assert_eq!(back.query_processes, nc.query_processes);
+        assert_eq!(back.proc_index, nc.proc_index);
+        assert_eq!(back.heartbeat_interval, nc.heartbeat_interval);
+        assert_eq!(back.lease_ttl, nc.lease_ttl);
         assert_eq!(back.peers, nc.peers);
         for key in [
             "WW_NODE_ROLE",
@@ -756,10 +1107,28 @@ mod tests {
             "WW_NODE_FSYNC",
             "WW_NODE_WAL_SEG",
             "WW_NODE_CHUNK_FORMAT",
+            "WW_NODE_IX_PROCS",
+            "WW_NODE_QS_PROCS",
+            "WW_NODE_PROC",
+            "WW_NODE_HB_MS",
+            "WW_NODE_LEASE_MS",
             "WW_NODE_PEERS",
         ] {
             std::env::remove_var(key);
         }
+    }
+
+    #[test]
+    fn slices_are_contiguous_and_stable_under_growth() {
+        let four = indexing_ids(4);
+        assert_eq!(slice_ids(&four, 0, 2), vec![ServerId(0), ServerId(1)]);
+        assert_eq!(slice_ids(&four, 1, 2), vec![ServerId(2), ServerId(3)]);
+        // Growing 2 → 3 processes (same per-process count) adds a new
+        // slice at the top without moving an existing process's slice.
+        let six = indexing_ids(6);
+        assert_eq!(slice_ids(&six, 0, 3), slice_ids(&four, 0, 2));
+        assert_eq!(slice_ids(&six, 1, 3), slice_ids(&four, 1, 2));
+        assert_eq!(slice_ids(&six, 2, 3), vec![ServerId(4), ServerId(5)]);
     }
 
     #[test]

@@ -1,20 +1,23 @@
 //! Launching and talking to a multi-process loopback cluster.
 //!
-//! [`ClusterSpec::launch`] spawns one OS process per [`Role`] (meta →
-//! indexing → query → dispatcher, so each child's dependencies are
-//! already listening), reads each child's `WW_NODE_READY <addr>`
-//! handshake line, and threads the accumulated peer map into the next
-//! child's environment. The returned [`ClusterHandle`] owns the children:
+//! [`ClusterSpec::launch`] spawns the role processes (meta → indexing ×
+//! `indexing_processes` → query × `query_processes` → dispatcher, so each
+//! child's dependencies are already listening), reads each child's
+//! `WW_NODE_READY <addr>` handshake line, and threads the accumulated
+//! peer map into the next child's environment. The returned
+//! [`ClusterHandle`] owns the children — and can reshape the cluster
+//! live: [`ClusterHandle::add_node`] / [`ClusterHandle::drain_node`] grow
+//! and shrink the indexing tier while ingest and queries keep running.
 //! [`ClusterHandle::shutdown`] retires them via `Shutdown` RPCs (client
 //! gateway first, metadata last) with a kill fallback, and dropping the
 //! handle kills anything still running — tests never leak processes.
 
-use crate::runtime::{dispatcher_ids, indexing_ids, query_ids, NodeConfig, Role};
+use crate::runtime::{dispatcher_ids, indexing_ids, query_ids, slice_ids, NodeConfig, Role};
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use waterwheel_agg::AggregateAnswer;
@@ -22,8 +25,10 @@ use waterwheel_core::{
     AggregateKind, KeyInterval, QueryResult, Result, ServerId, SystemConfig, TimeInterval, Tuple,
     WwError,
 };
+use waterwheel_meta::MembershipView;
 use waterwheel_net::{
-    Request, Response, RpcClient, TcpTransport, Transport, COORDINATOR, META_SERVER,
+    MetaRequest, MetaResponse, Request, Response, RpcClient, TcpTransport, Transport, COORDINATOR,
+    META_SERVER,
 };
 
 /// The source address external clients send from (outside every server
@@ -56,6 +61,20 @@ pub struct ClusterSpec {
     /// chunk, so restarting with a different value yields a valid
     /// mixed-version store.
     pub chunk_format_version: u32,
+    /// OS processes sharing the indexing role; `indexing_servers` must
+    /// divide evenly across them. [`ClusterHandle::add_node`] grows this
+    /// count live.
+    pub indexing_processes: usize,
+    /// OS processes sharing the query role; `query_servers` must divide
+    /// evenly across them.
+    pub query_processes: usize,
+    /// Membership lease renewal cadence
+    /// (`SystemConfig::heartbeat_interval`).
+    pub heartbeat_interval: Duration,
+    /// Membership lease duration (`SystemConfig::lease_ttl`); a process
+    /// that stops heartbeating for this long is evicted by the metadata
+    /// server's sweeper.
+    pub lease_ttl: Duration,
 }
 
 impl ClusterSpec {
@@ -72,10 +91,19 @@ impl ClusterSpec {
             durability_fsync: cfg.durability_fsync,
             wal_segment_bytes: cfg.wal_segment_bytes,
             chunk_format_version: cfg.chunk_format_version,
+            indexing_processes: 1,
+            query_processes: 1,
+            heartbeat_interval: cfg.heartbeat_interval,
+            lease_ttl: cfg.lease_ttl,
         }
     }
 
-    fn node_config(&self, role: Role, peers: Vec<(Role, SocketAddr)>) -> NodeConfig {
+    fn node_config(
+        &self,
+        role: Role,
+        proc_index: usize,
+        peers: Vec<(Role, usize, SocketAddr)>,
+    ) -> NodeConfig {
         let mut nc = NodeConfig::new(role, "127.0.0.1:0", &self.root);
         nc.indexing_servers = self.indexing_servers;
         nc.query_servers = self.query_servers;
@@ -85,24 +113,41 @@ impl ClusterSpec {
         nc.durability_fsync = self.durability_fsync;
         nc.wal_segment_bytes = self.wal_segment_bytes;
         nc.chunk_format_version = self.chunk_format_version;
+        nc.indexing_processes = self.indexing_processes;
+        nc.query_processes = self.query_processes;
+        nc.proc_index = proc_index;
+        nc.heartbeat_interval = self.heartbeat_interval;
+        nc.lease_ttl = self.lease_ttl;
         nc.peers = peers;
         nc
     }
 
-    /// Spawns the four role processes from `binary` (any executable whose
+    /// The launch plan: every `(role, proc_index)` in dependency order —
+    /// meta first, then each indexing and query slice, the dispatcher
+    /// gateway last.
+    fn launch_order(&self) -> Vec<(Role, usize)> {
+        let mut order = vec![(Role::Meta, 0)];
+        order.extend((0..self.indexing_processes.max(1)).map(|p| (Role::Indexing, p)));
+        order.extend((0..self.query_processes.max(1)).map(|p| (Role::Query, p)));
+        order.push((Role::Dispatcher, 0));
+        order
+    }
+
+    /// Spawns the role processes from `binary` (any executable whose
     /// `main` calls [`crate::maybe_run_child`] first — the
     /// `waterwheel-node` binary, or a self-hosting example/test).
     pub fn launch(&self, binary: impl AsRef<Path>) -> Result<ClusterHandle> {
         let binary = binary.as_ref();
         std::fs::create_dir_all(&self.root)?;
         let mut procs: Vec<NodeProc> = Vec::new();
-        let mut peers: Vec<(Role, SocketAddr)> = Vec::new();
-        for role in Role::ALL {
+        let mut peers: Vec<(Role, usize, SocketAddr)> = Vec::new();
+        for (role, proc_index) in self.launch_order() {
             let mut cmd = Command::new(binary);
             cmd.stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());
-            self.node_config(role, peers.clone()).apply_env(&mut cmd);
+            self.node_config(role, proc_index, peers.clone())
+                .apply_env(&mut cmd);
             let mut child = cmd.spawn()?;
             let addr = match read_ready(&mut child) {
                 Ok(addr) => addr,
@@ -118,9 +163,10 @@ impl ClusterSpec {
                     return Err(e);
                 }
             };
-            peers.push((role, addr));
+            peers.push((role, proc_index, addr));
             procs.push(NodeProc {
                 role,
+                proc_index,
                 child,
                 addr,
                 killed: false,
@@ -156,6 +202,7 @@ fn read_ready(child: &mut Child) -> Result<SocketAddr> {
 
 struct NodeProc {
     role: Role,
+    proc_index: usize,
     child: Child,
     addr: SocketAddr,
     /// SIGKILLed by [`ClusterHandle::kill_nine`] and already reaped:
@@ -187,8 +234,32 @@ impl ClusterHandle {
     /// probes that expect the cluster to be down want a short one, since
     /// the transport keeps re-connecting until the deadline expires.
     pub fn client_with_timeout(&self, timeout: Duration, retries: u32) -> ClusterClient {
-        let peers: Vec<(Role, SocketAddr)> = self.procs.iter().map(|p| (p.role, p.addr)).collect();
+        let peers: Vec<(Role, usize, SocketAddr)> = self
+            .procs
+            .iter()
+            .map(|p| (p.role, p.proc_index, p.addr))
+            .collect();
         ClusterClient::connect(&self.spec, &peers, timeout, retries)
+    }
+
+    /// A client with its own source identity for batch ingest. Each
+    /// concurrently-ingesting thread needs a distinct identity: the
+    /// gateway dedups [`ClusterClient::insert_batch`] deliveries on
+    /// `(client id, dispatcher id)` sequence watermarks, so two threads
+    /// sharing one identity would shadow each other's batches.
+    pub fn ingest_client(&self, lane: u32) -> ClusterClient {
+        let peers: Vec<(Role, usize, SocketAddr)> = self
+            .procs
+            .iter()
+            .map(|p| (p.role, p.proc_index, p.addr))
+            .collect();
+        ClusterClient::connect_as(
+            &self.spec,
+            &peers,
+            Duration::from_secs(10),
+            2,
+            ServerId(CLIENT_ID.0 + 1 + lane),
+        )
     }
 
     /// SIGKILLs a role's process mid-flight (`Child::kill` delivers
@@ -201,7 +272,7 @@ impl ClusterHandle {
         let p = self
             .procs
             .iter_mut()
-            .find(|p| p.role == role)
+            .find(|p| p.role == role && p.proc_index == 0)
             .ok_or_else(|| WwError::InvalidState(format!("no {role} process to kill")))?;
         p.child.kill()?;
         p.child.wait()?;
@@ -226,11 +297,15 @@ impl ClusterHandle {
         let pos = self
             .procs
             .iter()
-            .position(|p| p.role == role)
+            .position(|p| p.role == role && p.proc_index == 0)
             .ok_or_else(|| WwError::InvalidState(format!("no {role} process to restart")))?;
-        let peers: Vec<(Role, SocketAddr)> = self.procs.iter().map(|p| (p.role, p.addr)).collect();
+        let peers: Vec<(Role, usize, SocketAddr)> = self
+            .procs
+            .iter()
+            .map(|p| (p.role, p.proc_index, p.addr))
+            .collect();
         let old_addr = self.procs[pos].addr;
-        let mut nc = self.spec.node_config(role, peers);
+        let mut nc = self.spec.node_config(role, 0, peers);
         nc.listen = old_addr.to_string();
         let mut cmd = Command::new(&self.binary);
         cmd.stdin(Stdio::piped())
@@ -255,11 +330,133 @@ impl ClusterHandle {
         }
         self.procs[pos] = NodeProc {
             role,
+            proc_index: 0,
             child,
             addr,
             killed: false,
         };
         Ok(())
+    }
+
+    /// The id of the first server hosted by `(role, proc_index)` — the
+    /// representative a control RPC (shutdown, flush) addresses to reach
+    /// that process.
+    fn rep_id(&self, role: Role, proc_index: usize) -> ServerId {
+        match role {
+            Role::Meta => META_SERVER,
+            Role::Dispatcher => dispatcher_ids(self.spec.dispatchers)[0],
+            Role::Indexing => slice_ids(
+                &indexing_ids(self.spec.indexing_servers),
+                proc_index,
+                self.spec.indexing_processes,
+            )[0],
+            Role::Query => slice_ids(
+                &query_ids(self.spec.query_servers),
+                proc_index,
+                self.spec.query_processes,
+            )[0],
+        }
+    }
+
+    /// Grows the indexing tier by one OS process (Fig. 17 scale-out),
+    /// live: spawns the process with `indexing_servers / indexing_processes`
+    /// fresh server ids appended above the existing slices (so no existing
+    /// process's slice moves), announces the new routes to the gateway, and
+    /// runs the live migration state machine to rebalance key ownership
+    /// onto the joiners. Ingest and queries keep running — and keep
+    /// answering exactly — throughout. Returns the membership epoch after
+    /// the cut-over.
+    pub fn add_node(&mut self) -> Result<u64> {
+        let per = self.spec.indexing_servers / self.spec.indexing_processes;
+        let proc_index = self.spec.indexing_processes;
+        let mut grown = self.spec.clone();
+        grown.indexing_servers += per;
+        grown.indexing_processes += 1;
+        let peers: Vec<(Role, usize, SocketAddr)> = self
+            .procs
+            .iter()
+            .map(|p| (p.role, p.proc_index, p.addr))
+            .collect();
+        let mut cmd = Command::new(&self.binary);
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        grown
+            .node_config(Role::Indexing, proc_index, peers)
+            .apply_env(&mut cmd);
+        let mut child = cmd.spawn()?;
+        let addr = match read_ready(&mut child) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+        self.procs.push(NodeProc {
+            role: Role::Indexing,
+            proc_index,
+            child,
+            addr,
+            killed: false,
+        });
+        self.spec = grown;
+        // The joiner registered its membership leases before reporting
+        // ready; the rest of the cluster just needs routes to the new ids
+        // before the rebalance reassigns ownership onto them.
+        let client = self.client();
+        let new_ids = slice_ids(
+            &indexing_ids(self.spec.indexing_servers),
+            proc_index,
+            self.spec.indexing_processes,
+        );
+        client.register_peers(new_ids.iter().map(|&id| (id, addr.to_string())).collect())?;
+        let (epoch, _ranges) = client.migrate_uniform()?;
+        Ok(epoch)
+    }
+
+    /// Shrinks the indexing tier by one OS process, live: the last-added
+    /// process's servers leave the membership, the migration state machine
+    /// moves their key ranges (and seals their in-memory trees into
+    /// globally-reachable chunks) onto the survivors, and only then is the
+    /// process retired. Returns the membership epoch after the cut-over.
+    pub fn drain_node(&mut self) -> Result<u64> {
+        if self.spec.indexing_processes <= 1 {
+            return Err(WwError::InvalidState(
+                "cannot drain the last indexing process".into(),
+            ));
+        }
+        let victim_proc = self.spec.indexing_processes - 1;
+        let per = self.spec.indexing_servers / self.spec.indexing_processes;
+        let victim_ids = slice_ids(
+            &indexing_ids(self.spec.indexing_servers),
+            victim_proc,
+            self.spec.indexing_processes,
+        );
+        let client = self.client();
+        // Leases first: the rebalance below reads the live membership, so
+        // the victims must be gone from it before ownership is recomputed.
+        for &id in &victim_ids {
+            client.leave(id)?;
+        }
+        let (epoch, _ranges) = client.migrate_uniform()?;
+        // Belt over the §III-D braces: the migration already sealed the
+        // victims as sources, but one more drain closes the window for a
+        // dispatch that raced the schema swap.
+        for &id in &victim_ids {
+            client.flush_server(id)?;
+        }
+        let _ = client.shutdown_server(victim_ids[0]);
+        let pos = self
+            .procs
+            .iter()
+            .position(|p| p.role == Role::Indexing && p.proc_index == victim_proc)
+            .ok_or_else(|| WwError::InvalidState("no process hosts the drained slice".into()))?;
+        let mut p = self.procs.remove(pos);
+        wait_or_kill(&mut p.child, Duration::from_secs(10));
+        self.spec.indexing_servers -= per;
+        self.spec.indexing_processes -= 1;
+        Ok(epoch)
     }
 
     /// Retires the cluster: `Shutdown` RPC per process — gateway first so
@@ -272,18 +469,33 @@ impl ClusterHandle {
         let client = self.client();
         let mut clean = true;
         for role in [Role::Dispatcher, Role::Query, Role::Indexing, Role::Meta] {
-            let alive = self.procs.iter().any(|p| p.role == role && !p.killed);
-            if alive {
-                clean &= client.shutdown_role(role).is_ok();
-            } else {
-                clean = false;
+            let targets: Vec<(usize, bool)> = self
+                .procs
+                .iter()
+                .filter(|p| p.role == role)
+                .map(|p| (p.proc_index, p.killed))
+                .collect();
+            for (proc_index, killed) in targets {
+                if killed {
+                    clean = false;
+                } else {
+                    clean &= client
+                        .shutdown_server(self.rep_id(role, proc_index))
+                        .is_ok();
+                }
             }
-        }
-        for p in &mut self.procs {
-            if p.killed {
-                continue; // already reaped by kill_nine
+            // Reap this tier before shutting down the ones it still talks
+            // to: a retiring dispatcher refreshes its routing table against
+            // meta, and retiring indexing/query processes send their
+            // farewell `leave` there — tearing meta down first would leave
+            // them blocking on a dead listener instead of exiting.
+            for p in self
+                .procs
+                .iter_mut()
+                .filter(|p| p.role == role && !p.killed)
+            {
+                clean &= wait_or_kill(&mut p.child, Duration::from_secs(10));
             }
-            clean &= wait_or_kill(&mut p.child, Duration::from_secs(10));
         }
         self.procs.clear();
         if clean {
@@ -335,24 +547,37 @@ pub struct ClusterClient {
     qs_ids: Vec<ServerId>,
     ix_ids: Vec<ServerId>,
     next: AtomicUsize,
+    batch_seq: AtomicU64,
 }
 
 impl ClusterClient {
     fn connect(
         spec: &ClusterSpec,
-        peers: &[(Role, SocketAddr)],
+        peers: &[(Role, usize, SocketAddr)],
         timeout: Duration,
         retries: u32,
+    ) -> Self {
+        Self::connect_as(spec, peers, timeout, retries, CLIENT_ID)
+    }
+
+    fn connect_as(
+        spec: &ClusterSpec,
+        peers: &[(Role, usize, SocketAddr)],
+        timeout: Duration,
+        retries: u32,
+        src: ServerId,
     ) -> Self {
         let disp_ids = dispatcher_ids(spec.dispatchers);
         let qs_ids = query_ids(spec.query_servers);
         let ix_ids = indexing_ids(spec.indexing_servers);
         let t = Arc::new(TcpTransport::new());
-        for &(role, addr) in peers {
+        for &(role, idx, addr) in peers {
             match role {
                 Role::Meta => t.add_peer(META_SERVER, addr),
-                Role::Indexing => t.add_peers(ix_ids.iter().copied(), addr),
-                Role::Query => t.add_peers(qs_ids.iter().copied(), addr),
+                Role::Indexing => {
+                    t.add_peers(slice_ids(&ix_ids, idx, spec.indexing_processes), addr)
+                }
+                Role::Query => t.add_peers(slice_ids(&qs_ids, idx, spec.query_processes), addr),
                 Role::Dispatcher => {
                     t.add_peers(disp_ids.iter().copied(), addr);
                     t.add_peer(COORDINATOR, addr);
@@ -362,13 +587,14 @@ impl ClusterClient {
         let mut cfg = SystemConfig::default();
         cfg.rpc_timeout = timeout;
         cfg.rpc_retries = retries;
-        let rpc = RpcClient::new(t as Arc<dyn Transport>, CLIENT_ID, &cfg);
+        let rpc = RpcClient::new(t as Arc<dyn Transport>, src, &cfg);
         Self {
             rpc,
             disp_ids,
             qs_ids,
             ix_ids,
             next: AtomicUsize::new(0),
+            batch_seq: AtomicU64::new(0),
         }
     }
 
@@ -378,6 +604,26 @@ impl ClusterClient {
         self.rpc
             .call(self.disp_ids[i], Request::Ingest { tuple })?
             .into_ack()
+    }
+
+    /// Ingests a whole batch in one exactly-once RPC, returning how many
+    /// tuples the gateway accepted. The batch carries this client's own
+    /// monotonic sequence number, so a timed-out-and-retried delivery is
+    /// recognised and never appended twice.
+    ///
+    /// The dedup key is `(client id, dispatcher id, seq)`: batches from
+    /// one client must reach a given dispatcher in sequence order, so
+    /// drive a client from a single thread (use
+    /// [`ClusterHandle::ingest_client`] to give each ingesting thread its
+    /// own identity).
+    pub fn insert_batch(&self, tuples: Vec<Tuple>) -> Result<u32> {
+        let seq = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        let dst = self.disp_ids[seq as usize % self.disp_ids.len()];
+        let (n, _deduped) = self
+            .rpc
+            .call(dst, Request::IngestBatch { seq, tuples })?
+            .into_ack_batch()?;
+        Ok(n)
     }
 
     /// Flushes the whole pipeline: buffered batches, queued tuples, and
@@ -450,8 +696,9 @@ impl ClusterClient {
         }
     }
 
-    /// Asks a role's process to exit cleanly. The listener acknowledges
-    /// before tearing down, so an `Ok` means the request landed.
+    /// Asks a role's first process to exit cleanly. The listener
+    /// acknowledges before tearing down, so an `Ok` means the request
+    /// landed.
     pub fn shutdown_role(&self, role: Role) -> Result<()> {
         let dst = match role {
             Role::Meta => META_SERVER,
@@ -459,6 +706,68 @@ impl ClusterClient {
             Role::Query => self.qs_ids[0],
             Role::Dispatcher => self.disp_ids[0],
         };
-        self.rpc.call(dst, Request::Shutdown)?.into_ack()
+        self.shutdown_server(dst)
+    }
+
+    /// Asks the process hosting `id` to exit cleanly.
+    pub fn shutdown_server(&self, id: ServerId) -> Result<()> {
+        self.rpc.call(id, Request::Shutdown)?.into_ack()
+    }
+
+    /// Drains and seals one indexing server: pump its queue partition dry,
+    /// then flush its in-memory tree into chunks.
+    pub fn flush_server(&self, id: ServerId) -> Result<()> {
+        self.rpc
+            .call(id, Request::Flush)?
+            .into_flushed()
+            .map(|_| ())
+    }
+
+    /// Teaches the gateway process the socket addresses of servers that
+    /// joined after it launched — routing to them works from the next RPC.
+    pub fn register_peers(&self, peers: Vec<(ServerId, String)>) -> Result<()> {
+        self.rpc
+            .call(COORDINATOR, Request::RegisterPeers { peers })?
+            .into_ack()
+    }
+
+    /// Runs the gateway's live migration state machine: rebalance key
+    /// ownership uniformly across the current indexing membership. Returns
+    /// `(membership epoch after the cut-over, ranges that moved)`; the call
+    /// is idempotent when ownership is already uniform (`ranges == 0`).
+    pub fn migrate_uniform(&self) -> Result<(u64, u32)> {
+        self.rpc
+            .call(COORDINATOR, Request::MigrateUniform)?
+            .into_migrated()
+    }
+
+    /// Gracefully removes one server from the membership (its process may
+    /// keep running — [`ClusterHandle::drain_node`] retires it after the
+    /// rebalance). Returns the membership epoch after the departure.
+    pub fn leave(&self, server: ServerId) -> Result<u64> {
+        match self
+            .rpc
+            .call(META_SERVER, Request::Meta(MetaRequest::Leave { server }))?
+            .into_meta()?
+        {
+            MetaResponse::Epoch(e) => Ok(e),
+            _ => Err(WwError::InvalidState(
+                "leave answered the wrong meta variant".into(),
+            )),
+        }
+    }
+
+    /// The metadata server's current epoch-numbered membership view.
+    pub fn membership(&self) -> Result<MembershipView> {
+        match self
+            .rpc
+            .call(META_SERVER, Request::Meta(MetaRequest::Membership))?
+            .into_meta()?
+        {
+            MetaResponse::Membership(v) => Ok(v),
+            _ => Err(WwError::InvalidState(
+                "membership answered the wrong meta variant".into(),
+            )),
+        }
     }
 }

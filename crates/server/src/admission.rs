@@ -48,7 +48,11 @@ enum Class {
 
 fn classify(req: &Request) -> Class {
     match req {
-        Request::Ping | Request::Shutdown => Class::Control,
+        Request::Ping
+        | Request::Shutdown
+        | Request::RegisterPeers { .. }
+        | Request::Reassign { .. }
+        | Request::MigrateUniform => Class::Control,
         Request::Ingest { .. } | Request::IngestBatch { .. } | Request::Flush => Class::Ingest,
         Request::InMemorySubquery { .. }
         | Request::AggregateInMemory { .. }

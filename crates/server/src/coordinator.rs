@@ -67,15 +67,27 @@ pub struct CoordinatorStats {
     pub worker_queue_peak: AtomicU64,
 }
 
+/// An epoch-numbered routing table: which servers the coordinator plans
+/// against. Starts from the construction-time lists at epoch 0 and follows
+/// the metadata service's membership view as servers join and leave
+/// ([`Coordinator::refresh_membership`]).
+#[derive(Clone, Debug)]
+struct RoutingTable {
+    /// The membership epoch these lists were derived from.
+    epoch: u64,
+    /// Addresses of the query servers, in dispatch-slot order.
+    query_servers: Vec<ServerId>,
+    /// Addresses of the indexing servers (the fresh-data tier).
+    indexing: Vec<ServerId>,
+}
+
 /// The query coordinator.
 pub struct Coordinator {
     meta: MetaClient,
     rpc: RpcClient,
     cluster: Cluster,
-    /// Addresses of the query servers, in dispatch-slot order.
-    query_servers: Vec<ServerId>,
-    /// Addresses of the indexing servers (the fresh-data tier).
-    indexing: Vec<ServerId>,
+    /// Epoch-numbered view of the server fleet.
+    routing: RwLock<RoutingTable>,
     /// DFS replication factor, for locality-aware dispatch.
     replication: usize,
     policy: RwLock<DispatchPolicy>,
@@ -110,8 +122,11 @@ impl Coordinator {
             meta: MetaClient::new(rpc.clone()),
             rpc,
             cluster,
-            query_servers,
-            indexing,
+            routing: RwLock::new(RoutingTable {
+                epoch: 0,
+                query_servers,
+                indexing,
+            }),
             replication,
             policy: RwLock::new(policy),
             attrs: RwLock::new(Arc::new(AttrRegistry::new())),
@@ -126,6 +141,42 @@ impl Coordinator {
     /// Installs the shared secondary-attribute registry (query side).
     pub fn set_attr_registry(&self, attrs: Arc<AttrRegistry>) {
         *self.attrs.write() = attrs;
+    }
+
+    /// The membership epoch the routing table was last derived from.
+    pub fn routing_epoch(&self) -> u64 {
+        self.routing.read().epoch
+    }
+
+    /// Pulls the metadata service's membership view and, if its epoch is
+    /// newer than the routing table's, re-derives the server lists from it.
+    /// Returns the routing epoch after the refresh. A view that lists no
+    /// servers of a tier keeps the previous list for that tier — an empty
+    /// fleet is a deployment that never registered members (the embedded
+    /// construction-time wiring), not an instruction to route nowhere.
+    pub fn refresh_membership(&self) -> Result<u64> {
+        let view = self.meta.membership()?;
+        let mut rt = self.routing.write();
+        if view.epoch > rt.epoch {
+            let query = view.query_ids();
+            let indexing = view.indexing_ids();
+            if !query.is_empty() {
+                rt.query_servers = query;
+            }
+            if !indexing.is_empty() {
+                rt.indexing = indexing;
+            }
+            rt.epoch = view.epoch;
+        }
+        Ok(rt.epoch)
+    }
+
+    /// Checks whether the membership epoch moved past `planned` while a
+    /// query was in flight; refreshes the routing table as a side effect.
+    /// Failures to reach the metadata service are treated as "no race":
+    /// the caller already holds a better-typed error to surface.
+    fn epoch_raced(&self, planned: u64) -> bool {
+        matches!(self.refresh_membership(), Ok(epoch) if epoch > planned)
     }
 
     /// Installs the measure extractor (must match the indexing servers').
@@ -402,7 +453,8 @@ impl Coordinator {
                 // crashed or unreachable server's memory is gone — §V
                 // recovery replays it into chunks — so those are skipped
                 // like the pre-plane code skipped failed servers.
-                for &server in &self.indexing {
+                let indexing = self.routing.read().indexing.clone();
+                for &server in &indexing {
                     match self
                         .rpc
                         .call(server, Request::AggregateInMemory { slices, covered })
@@ -512,9 +564,10 @@ impl Coordinator {
     /// every replica and is surfaced immediately instead of being
     /// retried `n` times and misreported as "all query servers failed".
     fn load_summary(&self, chunk: ChunkId) -> Result<Option<Arc<WheelSummary>>> {
-        let n = self.query_servers.len();
+        let rt = self.routing.read().clone();
+        let n = rt.query_servers.len();
         let start = chunk.raw() as usize % n;
-        let rotated = (0..n).map(|i| self.query_servers[(start + i) % n]);
+        let rotated = (0..n).map(|i| rt.query_servers[(start + i) % n]);
         let (colocated, remote): (Vec<ServerId>, Vec<ServerId>) =
             rotated.partition(|&qs| self.cluster.is_colocated(qs, chunk, self.replication));
         for qs in colocated.into_iter().chain(remote) {
@@ -531,6 +584,16 @@ impl Coordinator {
                 Err(e) => return Err(e),
             }
         }
+        // Every server of the planned epoch failed. If the membership
+        // epoch moved while we probed, the plan was made against a
+        // superseded view: answer with a typed *retryable* error so the
+        // caller re-plans against the refreshed table, never with a wrong
+        // or falsely-final answer.
+        if self.epoch_raced(rt.epoch) {
+            return Err(WwError::Unreachable(
+                "membership epoch advanced mid-query; retry against the new view",
+            ));
+        }
         Err(WwError::InvalidState(
             "summary unreadable: all query servers failed".into(),
         ))
@@ -544,10 +607,16 @@ impl Coordinator {
             return Ok(Vec::new());
         }
         let chunks: Vec<ChunkId> = chunk_sqs.iter().map(|(_, c, _)| *c).collect();
-        let servers = self.query_servers.len();
+        // Plan against one routing-table snapshot: every dispatch and
+        // redispatch below runs against this epoch's replica set, so a
+        // membership change mid-query either never matters (the old
+        // servers still answer) or surfaces as the typed epoch-race
+        // error at the end — never as a mixed-epoch plan.
+        let rt = self.routing.read().clone();
+        let servers = rt.query_servers.len();
         let plan = dispatch::build_plan(self.policy(), &chunks, servers, |s, chunk| {
             self.cluster
-                .is_colocated(self.query_servers[s], chunk, self.replication)
+                .is_colocated(rt.query_servers[s], chunk, self.replication)
         });
         let results: Mutex<Vec<Option<Vec<Tuple>>>> = Mutex::new(vec![None; chunk_sqs.len()]);
         let run = |server: ServerId, i: usize| -> Option<Vec<Tuple>> {
@@ -565,7 +634,7 @@ impl Coordinator {
                 .ok()
         };
         let planned = dispatch::execute_plan(&plan, servers, self.cfg.query_workers, |s, i| {
-            match run(self.query_servers[s], i) {
+            match run(rt.query_servers[s], i) {
                 Some(tuples) => {
                     results.lock()[i] = Some(tuples);
                     true
@@ -591,7 +660,7 @@ impl Coordinator {
             if remaining.is_empty() {
                 break;
             }
-            let healthy: Vec<ServerId> = self
+            let healthy: Vec<ServerId> = rt
                 .query_servers
                 .iter()
                 .copied()
@@ -631,6 +700,15 @@ impl Coordinator {
             }
         }
         if results.iter().any(Option::is_none) {
+            // Same epoch-race rule as `load_summary`: if membership moved
+            // past the planned epoch, the failure is "planned against a
+            // stale view" — typed retryable, so the caller re-executes
+            // against the refreshed routing table.
+            if self.epoch_raced(rt.epoch) {
+                return Err(WwError::Unreachable(
+                    "membership epoch advanced mid-query; retry against the new view",
+                ));
+            }
             return Err(WwError::InvalidState(
                 "subqueries unexecutable: all query servers failed".into(),
             ));

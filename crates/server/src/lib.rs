@@ -43,6 +43,7 @@ pub mod dispatch;
 pub mod dispatcher;
 pub mod indexing;
 pub mod metrics;
+pub mod migration;
 pub mod partitioning;
 pub mod query_server;
 pub mod system;
@@ -54,6 +55,7 @@ pub use dispatch::{build_plan, execute_plan, DispatchPlan, DispatchPolicy, PlanR
 pub use dispatcher::{Dispatcher, SampleWindow};
 pub use indexing::{IndexingServer, IndexingStats};
 pub use metrics::SystemMetrics;
-pub use partitioning::{BalanceOutcome, PartitionBalancer};
+pub use migration::{diff_moves, MigrationPhase, MigrationPlan, MigrationStats, RangeMove};
+pub use partitioning::{BalanceOutcome, BalancerStats, PartitionBalancer, PlanOutcome};
 pub use query_server::{QueryServer, QueryServerStats};
 pub use system::{Waterwheel, WaterwheelBuilder};

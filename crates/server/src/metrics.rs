@@ -131,6 +131,22 @@ pub struct SystemMetrics {
     /// Torn or corrupt on-disk artifacts detected (truncated WAL tails,
     /// chunk footer/checksum failures).
     pub torn_writes_detected: u64,
+    /// The metadata service's current membership epoch.
+    pub membership_epoch: u64,
+    /// Balancer rounds skipped because the skewed samples were too
+    /// duplicate-heavy to act on (`BalanceOutcome::SkippedDegenerate`).
+    pub balancer_skipped: u64,
+    /// Live migrations started (durable records written at the metadata
+    /// server before any routing changed).
+    pub migrations_started: u64,
+    /// Live migrations cut over (straggler flush done, records completed).
+    pub migrations_completed: u64,
+    /// Key ranges whose owning indexing server changed across all
+    /// migrations.
+    pub reassigned_key_ranges: u64,
+    /// Chunk replica sets repaired after a node loss (pinned replicas
+    /// refilled onto surviving nodes).
+    pub dfs_re_replications: u64,
 }
 
 impl SystemMetrics {
@@ -186,6 +202,17 @@ impl SystemMetrics {
         m.dfs_opens = dfs.opens.load(Ordering::Relaxed);
         m.dfs_bytes_read = dfs.bytes_read.load(Ordering::Relaxed);
         m.dfs_local_opens = dfs.local_opens.load(Ordering::Relaxed);
+        m.dfs_re_replications = dfs.re_replications.load(Ordering::Relaxed);
+        m.membership_epoch = ww.metadata().membership_epoch();
+        m.balancer_skipped = ww
+            .balancer()
+            .stats()
+            .skipped_degenerate
+            .load(Ordering::Relaxed);
+        let mig = ww.migration_stats();
+        m.migrations_started = mig.started.load(Ordering::Relaxed);
+        m.migrations_completed = mig.completed.load(Ordering::Relaxed);
+        m.reassigned_key_ranges = mig.reassigned_ranges.load(Ordering::Relaxed);
         let rpc = ww.rpc_totals();
         m.rpc_sent = rpc.sent;
         m.rpc_retried = rpc.retried;
@@ -335,13 +362,23 @@ impl fmt::Display for SystemMetrics {
                 l.kind, l.p50, l.p95, l.p99, l.count
             )?;
         }
-        write!(
+        writeln!(
             f,
             "wal:     {} bytes, {} fsyncs, {} replayed on recovery, {} torn writes detected",
             self.wal_bytes,
             self.wal_fsyncs,
             self.recovery_replayed_tuples,
             self.torn_writes_detected
+        )?;
+        write!(
+            f,
+            "elastic: epoch {}, {} migrations started / {} completed, {} ranges reassigned, {} balancer skips, {} re-replications",
+            self.membership_epoch,
+            self.migrations_started,
+            self.migrations_completed,
+            self.reassigned_key_ranges,
+            self.balancer_skipped,
+            self.dfs_re_replications
         )
     }
 }
@@ -473,9 +510,15 @@ mod tests {
             column_decode_hits: 154,
             column_decode_misses: 155,
             scan_selected_rows: 156,
+            membership_epoch: 157,
+            balancer_skipped: 158,
+            migrations_started: 159,
+            migrations_completed: 160,
+            reassigned_key_ranges: 161,
+            dfs_re_replications: 162,
         };
         let text = m.to_string();
-        for sentinel in 101..=156u64 {
+        for sentinel in 101..=162u64 {
             assert!(
                 text.contains(&sentinel.to_string()),
                 "Display omits the field with sentinel {sentinel}:\n{text}"

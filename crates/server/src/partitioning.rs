@@ -16,10 +16,21 @@
 
 use crate::dispatcher::Dispatcher;
 use crate::indexing::IndexingServer;
+use crate::migration::{self, MigrationPlan};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use waterwheel_core::{Key, Result, ServerId};
 use waterwheel_index::skew;
 use waterwheel_meta::{MetadataService, PartitionSchema};
+
+/// Balancer-side counters, snapshotted into
+/// [`SystemMetrics`](crate::SystemMetrics).
+#[derive(Debug, Default)]
+pub struct BalancerStats {
+    /// Rounds whose deviation exceeded the threshold but whose samples
+    /// were too duplicate-heavy to act on ([`BalanceOutcome::SkippedDegenerate`]).
+    pub skipped_degenerate: AtomicU64,
+}
 
 /// The centralized repartitioning process.
 pub struct PartitionBalancer {
@@ -27,6 +38,7 @@ pub struct PartitionBalancer {
     /// Relative deviation from the mean that triggers repartitioning
     /// (paper: 0.2).
     threshold: f64,
+    stats: BalancerStats,
 }
 
 /// Outcome of one balancing round.
@@ -56,10 +68,39 @@ pub enum BalanceOutcome {
     },
 }
 
+/// Outcome of one planning pass: either a no-op (with the reason) or a
+/// [`MigrationPlan`] ready to install or migrate.
+#[derive(Debug)]
+pub enum PlanOutcome {
+    /// Not enough samples to judge.
+    InsufficientData,
+    /// Load within the threshold — no change.
+    Balanced {
+        /// The measured maximum relative deviation.
+        deviation: f64,
+    },
+    /// Skewed but unactionable (duplicate-heavy samples).
+    SkippedDegenerate {
+        /// The measured deviation that could not be acted on.
+        deviation: f64,
+    },
+    /// A plan worth executing.
+    Plan(MigrationPlan),
+}
+
 impl PartitionBalancer {
     /// Creates a balancer with the given imbalance threshold.
     pub fn new(meta: MetadataService, threshold: f64) -> Self {
-        Self { meta, threshold }
+        Self {
+            meta,
+            threshold,
+            stats: BalancerStats::default(),
+        }
+    }
+
+    /// Balancer counters.
+    pub fn stats(&self) -> &BalancerStats {
+        &self.stats
     }
 
     /// The relative deviation of the most-loaded server from the mean.
@@ -78,13 +119,17 @@ impl PartitionBalancer {
             .fold(0.0, f64::max)
     }
 
-    /// Runs one balancing round: collect windows, measure, maybe install a
-    /// new partition.
-    pub fn run_round(
+    /// Collects the dispatchers' sampling windows, measures the imbalance,
+    /// and — past the threshold — computes the new schema plus the
+    /// ownership moves it implies, **without installing anything**. The
+    /// migration engine ([`Waterwheel::rebalance`](crate::Waterwheel::rebalance))
+    /// runs the plan through the full live-migration state machine;
+    /// [`run_round`](Self::run_round) installs it immediately.
+    pub fn plan_round(
         &self,
         dispatchers: &[Arc<Dispatcher>],
         indexing: &[Arc<IndexingServer>],
-    ) -> Result<BalanceOutcome> {
+    ) -> Result<PlanOutcome> {
         // Accumulate the global key frequencies from all dispatchers.
         let mut keys: Vec<Key> = Vec::new();
         let mut counts: Vec<u64> = vec![0; indexing.len()];
@@ -99,11 +144,11 @@ impl PartitionBalancer {
             }
         }
         if keys.len() < indexing.len() * 8 {
-            return Ok(BalanceOutcome::InsufficientData);
+            return Ok(PlanOutcome::InsufficientData);
         }
         let deviation = Self::deviation(&counts);
         if deviation <= self.threshold {
-            return Ok(BalanceOutcome::Balanced { deviation });
+            return Ok(PlanOutcome::Balanced { deviation });
         }
         // Equal-depth boundaries over the sampled keys.
         keys.sort_unstable();
@@ -112,20 +157,71 @@ impl PartitionBalancer {
             // Duplicate-heavy samples cannot produce enough distinct
             // boundaries; keep the current schema — but report the skew
             // honestly instead of claiming the load is balanced.
-            return Ok(BalanceOutcome::SkippedDegenerate { deviation });
+            self.stats
+                .skipped_degenerate
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(PlanOutcome::SkippedDegenerate { deviation });
         }
-        let version = self.meta.partition().map(|p| p.version + 1).unwrap_or(1);
-        let schema = PartitionSchema::from_boundaries(&boundaries, &server_ids, version)?;
-        self.meta.set_partition(schema.clone())?;
+        let old = self
+            .meta
+            .partition()
+            .unwrap_or_else(|| PartitionSchema::uniform(&server_ids));
+        let schema = PartitionSchema::from_boundaries(&boundaries, &server_ids, old.version + 1)?;
+        let moves = migration::diff_moves(&old, &schema);
+        Ok(PlanOutcome::Plan(MigrationPlan {
+            schema,
+            moves,
+            deviation,
+        }))
+    }
+
+    /// Installs a planned schema everywhere at once: metadata server,
+    /// dispatchers, indexing-server assignments. The temporary region
+    /// overlap this opens is the §III-D dual-write window — the metadata
+    /// server keeps tracking *actual* memory regions, so queries stay
+    /// exact while old owners still hold moved keys in memory.
+    pub fn install(
+        &self,
+        plan: &MigrationPlan,
+        dispatchers: &[Arc<Dispatcher>],
+        indexing: &[Arc<IndexingServer>],
+    ) -> Result<()> {
+        self.meta.set_partition(plan.schema.clone())?;
         for d in dispatchers {
-            d.update_schema(schema.clone());
+            d.update_schema(plan.schema.clone());
         }
         for server in indexing {
-            if let Some(interval) = schema.interval_of(server.id()) {
+            if let Some(interval) = plan.schema.interval_of(server.id()) {
                 server.reassign(interval);
             }
         }
-        Ok(BalanceOutcome::Repartitioned { version, deviation })
+        Ok(())
+    }
+
+    /// Runs one balancing round: collect windows, measure, maybe install a
+    /// new partition. Equivalent to [`plan_round`](Self::plan_round)
+    /// followed by an immediate [`install`](Self::install) — no durable
+    /// migration records, no snapshot ship; the live-migration state
+    /// machine wraps these same pieces with them.
+    pub fn run_round(
+        &self,
+        dispatchers: &[Arc<Dispatcher>],
+        indexing: &[Arc<IndexingServer>],
+    ) -> Result<BalanceOutcome> {
+        match self.plan_round(dispatchers, indexing)? {
+            PlanOutcome::InsufficientData => Ok(BalanceOutcome::InsufficientData),
+            PlanOutcome::Balanced { deviation } => Ok(BalanceOutcome::Balanced { deviation }),
+            PlanOutcome::SkippedDegenerate { deviation } => {
+                Ok(BalanceOutcome::SkippedDegenerate { deviation })
+            }
+            PlanOutcome::Plan(plan) => {
+                self.install(&plan, dispatchers, indexing)?;
+                Ok(BalanceOutcome::Repartitioned {
+                    version: plan.schema.version,
+                    deviation: plan.deviation,
+                })
+            }
+        }
     }
 }
 
@@ -313,5 +409,43 @@ mod tests {
             other => panic!("expected SkippedDegenerate, got {other:?}"),
         }
         assert_eq!(r.meta.partition().unwrap().version, 1, "schema kept");
+        assert_eq!(
+            balancer.stats().skipped_degenerate.load(Ordering::Relaxed),
+            1,
+            "degenerate skips must be counted"
+        );
+    }
+
+    #[test]
+    fn plan_round_computes_moves_without_installing() {
+        let r = rig("plan", 2);
+        let balancer = PartitionBalancer::new(r.meta.clone(), 0.2);
+        for i in 0..2_000u64 {
+            r.dispatchers[0]
+                .dispatch(Tuple::bare(i * 1_000, i))
+                .unwrap();
+        }
+        let plan = match balancer.plan_round(&r.dispatchers, &r.indexing).unwrap() {
+            PlanOutcome::Plan(plan) => plan,
+            other => panic!("expected Plan, got {other:?}"),
+        };
+        assert_eq!(plan.schema.version, 2);
+        assert!(!plan.moves.is_empty(), "skewed round must move ranges");
+        // All moved keys route to their move's source under the installed
+        // schema and to its destination under the planned one.
+        let old = r.meta.partition().unwrap();
+        for m in &plan.moves {
+            assert_eq!(old.route(m.keys.lo()), m.from);
+            assert_eq!(plan.schema.route(m.keys.lo()), m.to);
+        }
+        // Nothing installed: metadata, dispatcher, and assignments are
+        // untouched until `install` (or the migration engine) runs.
+        assert_eq!(r.meta.partition().unwrap().version, 1);
+        assert_eq!(r.dispatchers[0].schema_version(), 0, "rig ships v0");
+        balancer
+            .install(&plan, &r.dispatchers, &r.indexing)
+            .unwrap();
+        assert_eq!(r.meta.partition().unwrap().version, 2);
+        assert_eq!(r.dispatchers[0].schema_version(), 2);
     }
 }

@@ -23,10 +23,11 @@ use crate::coordinator::Coordinator;
 use crate::dispatch::DispatchPolicy;
 use crate::dispatcher::Dispatcher;
 use crate::indexing::IndexingServer;
-use crate::partitioning::{BalanceOutcome, PartitionBalancer};
+use crate::migration::{MigrationPlan, MigrationStats};
+use crate::partitioning::{BalanceOutcome, PartitionBalancer, PlanOutcome};
 use crate::query_server::QueryServer;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -34,7 +35,7 @@ use waterwheel_agg::AggregateAnswer;
 use waterwheel_cluster::{Cluster, LatencyModel};
 use waterwheel_core::aggregate::{default_measure, AggregateQuery, MeasureFn};
 use waterwheel_core::{Query, QueryResult, Result, ServerId, SystemConfig, Tuple, WwError};
-use waterwheel_meta::{MetadataService, PartitionSchema};
+use waterwheel_meta::{MemberRole, MetadataService, PartitionSchema};
 use waterwheel_mq::{Consumer, MessageQueue};
 use waterwheel_net::{
     serve_meta, HandlerRegistry, InProcTransport, MetaClient, Request, Response, RpcClient,
@@ -270,6 +271,20 @@ impl WaterwheelBuilder {
         cluster.place_servers_round_robin(qs_ids.iter().copied());
         cluster.place_servers_round_robin(ix_ids.iter().copied());
 
+        // Register every server as a leased member of the cluster: the
+        // membership view (and its epoch) is what the coordinator routes
+        // by, and what elasticity — joins, drains, lease expiry — mutates
+        // at runtime. Re-joining identical members after a restart only
+        // renews leases, so epochs stay stable across recoveries.
+        for &id in &ix_ids {
+            let node = cluster.node_of(id).expect("indexing server placed");
+            meta.join(id, MemberRole::Indexing, node, self.cfg.lease_ttl)?;
+        }
+        for &id in &qs_ids {
+            let node = cluster.node_of(id).expect("query server placed");
+            meta.join(id, MemberRole::Query, node, self.cfg.lease_ttl)?;
+        }
+
         // Partition schema: recover the durable one or bootstrap uniform.
         let schema = match meta.partition() {
             Some(s) => s,
@@ -428,6 +443,7 @@ impl WaterwheelBuilder {
             query_servers,
             coordinator: RwLock::new(coordinator),
             balancer,
+            migration_stats: MigrationStats::default(),
             attrs,
             admission,
             measure: parking_lot::Mutex::new(default_measure()),
@@ -455,6 +471,7 @@ pub struct Waterwheel {
     query_servers: Vec<Arc<QueryServer>>,
     coordinator: RwLock<Arc<Coordinator>>,
     balancer: PartitionBalancer,
+    migration_stats: MigrationStats,
     attrs: Arc<AttrRegistry>,
     admission: Arc<crate::admission::AdmissionController>,
     measure: parking_lot::Mutex<MeasureFn>,
@@ -756,10 +773,160 @@ impl Waterwheel {
         Ok(())
     }
 
-    /// Runs one adaptive-key-partitioning round (paper §III-D).
+    /// Runs one adaptive-key-partitioning round (paper §III-D). When the
+    /// round produces a plan, it is executed through the full live-migration
+    /// state machine ([`crate::migration`]): snapshot ship → durable
+    /// migration records → dual-write schema install → straggler flush →
+    /// cut-over. Queries keep answering exactly throughout — the §III-D
+    /// overlap window covers tuples the old owners still hold.
     pub fn rebalance(&self) -> Result<BalanceOutcome> {
         let indexing = self.indexing.read().clone();
-        self.balancer.run_round(&self.dispatchers, &indexing)
+        match self.balancer.plan_round(&self.dispatchers, &indexing)? {
+            PlanOutcome::InsufficientData => Ok(BalanceOutcome::InsufficientData),
+            PlanOutcome::Balanced { deviation } => Ok(BalanceOutcome::Balanced { deviation }),
+            PlanOutcome::SkippedDegenerate { deviation } => {
+                Ok(BalanceOutcome::SkippedDegenerate { deviation })
+            }
+            PlanOutcome::Plan(plan) => self.migrate(plan),
+        }
+    }
+
+    /// Executes one [`MigrationPlan`] through the live-migration state
+    /// machine. Separated from [`rebalance`](Self::rebalance) so tests and
+    /// the node runtime can drive hand-built plans (e.g. "rebalance
+    /// uniformly over the grown fleet").
+    pub fn migrate(&self, plan: MigrationPlan) -> Result<BalanceOutcome> {
+        let indexing = self.indexing.read().clone();
+        let sources: BTreeSet<ServerId> = plan.moves.iter().map(|m| m.from).collect();
+
+        // Phase 1 — snapshot ship: push buffered dispatcher batches into
+        // the queue, drain it, and seal every source's in-memory tree to
+        // chunks. Sealed chunks are globally reachable through the DFS, so
+        // the moved ranges' history needs no peer-to-peer copy.
+        self.flush_ingest_batches()?;
+        for &src in &sources {
+            self.drain_one(&indexing, src)?;
+            self.flush_one(src)?;
+        }
+
+        // Phase 2 — record the migration durably before anything routes
+        // differently: a crash from here on leaves typed in-flight records
+        // for an operator (or restart) to finish, never a half-forgotten
+        // move.
+        let mut records = Vec::with_capacity(plan.moves.len());
+        for m in &plan.moves {
+            records.push(self.meta.begin_migration(m.keys, m.from, m.to)?);
+        }
+        self.migration_stats.record_started(plan.moves.len() as u64);
+
+        // Phase 3 — dual write: install the schema at the metadata server,
+        // the dispatchers, and the indexing assignments. Fresh tuples for
+        // a moved range now land on its new owner; tuples the old owner
+        // still holds stay queryable because the metadata server tracks
+        // actual memory regions (§III-D overlap window).
+        self.balancer.install(&plan, &self.dispatchers, &indexing)?;
+
+        // Phase 4 — straggler flush: anything that reached a source
+        // between the snapshot and the install (queued tuples routed under
+        // the old schema) is drained and sealed, closing the overlap.
+        for &src in &sources {
+            self.drain_one(&indexing, src)?;
+            self.flush_one(src)?;
+        }
+
+        // Phase 5 — cut over: completion stamps the membership epoch on
+        // each durable record.
+        for rec in records {
+            self.meta.complete_migration(rec.id)?;
+        }
+        self.migration_stats.record_completed();
+        let _ = self.coordinator().refresh_membership();
+        Ok(BalanceOutcome::Repartitioned {
+            version: plan.schema.version,
+            deviation: plan.deviation,
+        })
+    }
+
+    /// Migration-engine counters (started, completed, ranges reassigned).
+    pub fn migration_stats(&self) -> &MigrationStats {
+        &self.migration_stats
+    }
+
+    /// The partition balancer (stats, direct rounds).
+    pub fn balancer(&self) -> &PartitionBalancer {
+        &self.balancer
+    }
+
+    /// Pumps one indexing server until its queue partition is empty, in
+    /// batches bounded by `migration_batch_bytes` (coarsely: assuming
+    /// small tuples, `bytes / 64` tuples per step) so a migration never
+    /// holds a source busy for an unbounded stretch. Crashed servers are
+    /// skipped — their memory is gone and replays on recovery.
+    fn drain_one(&self, indexing: &[Arc<IndexingServer>], id: ServerId) -> Result<()> {
+        let Some(server) = indexing.iter().find(|s| s.id() == id) else {
+            return Ok(());
+        };
+        if server.is_failed() {
+            return Ok(());
+        }
+        let batch = (self.cfg.migration_batch_bytes / 64).max(1);
+        while server.pump(batch)? > 0 {}
+        Ok(())
+    }
+
+    /// Seals one indexing server's in-memory state to chunks through the
+    /// dispatcher control hop; a crashed server is skipped like
+    /// [`flush_all`](Self::flush_all) does.
+    fn flush_one(&self, id: ServerId) -> Result<()> {
+        match self.dispatchers[0].flush(id) {
+            Ok(_) => Ok(()),
+            Err(WwError::Injected(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Renews the membership lease of every live server (the embedded
+    /// deployment's heartbeat tick; separate processes run their own
+    /// heartbeat threads). Returns the membership epoch.
+    pub fn heartbeat_members(&self) -> Result<u64> {
+        let ttl = self.cfg.lease_ttl;
+        let mut epoch = self.meta.membership_epoch();
+        for s in self.indexing.read().iter() {
+            if !s.is_failed() {
+                epoch = self.meta.heartbeat(s.id(), ttl)?;
+            }
+        }
+        for qs in &self.query_servers {
+            if !qs.is_failed() {
+                epoch = self.meta.heartbeat(qs.id(), ttl)?;
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Evicts members whose lease lapsed (crashed servers stop
+    /// heartbeating), fails nodes that no longer host any member, and
+    /// re-replicates chunks off those nodes. Returns the evicted servers.
+    pub fn expire_lapsed_members(&self) -> Result<Vec<ServerId>> {
+        let evicted = self.meta.expire_lapsed_leases(self.cfg.lease_ttl)?;
+        let mut out = Vec::with_capacity(evicted.len());
+        for (server, node) in evicted {
+            out.push(server);
+            let view = self.meta.membership();
+            let node_still_hosts = view
+                .indexing
+                .iter()
+                .chain(view.query.iter())
+                .any(|&(_, n)| n == node);
+            if !node_still_hosts {
+                self.cluster.fail_node(node)?;
+                self.dfs.re_replicate(node);
+            }
+        }
+        if !out.is_empty() {
+            let _ = self.coordinator().refresh_membership();
+        }
+        Ok(out)
     }
 
     /// Crashes an indexing server: its in-memory tuples are lost and it
@@ -801,6 +968,14 @@ impl Waterwheel {
         replacement.set_attr_registry(Arc::clone(&self.attrs));
         replacement.set_measure(self.measure.lock().clone());
         servers[pos] = replacement;
+        drop(servers);
+        // Re-join the membership: if the crash outlived the lease, the
+        // member was evicted and needs a fresh registration (which bumps
+        // the epoch); otherwise this just renews the lease.
+        if let Some(node) = self.cluster.node_of(id) {
+            self.meta
+                .join(id, MemberRole::Indexing, node, self.cfg.lease_ttl)?;
+        }
         Ok(())
     }
 
@@ -1065,6 +1240,71 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
         let ww = Waterwheel::builder(root).tcp_loopback().build().unwrap();
         let _ = ww.transport();
+    }
+
+    #[test]
+    fn rebalance_runs_the_live_migration_state_machine() {
+        let ww = system("migrate");
+        // Skewed stream: every key in the low half, so server 0 takes all
+        // the load and a rebalance round must move ranges.
+        for i in 0..2_000u64 {
+            ww.insert(Tuple::bare(i * 1_000, 1_000 + i)).unwrap();
+        }
+        ww.drain().unwrap();
+        let out = ww.rebalance().unwrap();
+        assert!(
+            matches!(out, BalanceOutcome::Repartitioned { .. }),
+            "skewed load must repartition, got {out:?}"
+        );
+        // The migration left durable, *completed* records with a cut-over
+        // epoch, and the engine counters moved.
+        let migs = ww.metadata().migrations();
+        assert!(!migs.is_empty(), "live migration must record its moves");
+        assert!(migs.iter().all(|m| m.completed()), "{migs:?}");
+        assert_eq!(ww.migration_stats().started.load(Ordering::Relaxed), 1);
+        assert_eq!(ww.migration_stats().completed.load(Ordering::Relaxed), 1);
+        assert!(
+            ww.migration_stats()
+                .reassigned_ranges
+                .load(Ordering::Relaxed)
+                >= 1
+        );
+        // Every tuple still answers after the cut-over.
+        let r = ww
+            .query(&Query::range(KeyInterval::full(), TimeInterval::full()))
+            .unwrap();
+        assert_eq!(r.tuples.len(), 2_000, "migration lost or duplicated data");
+    }
+
+    #[test]
+    fn lapsed_leases_evict_members_and_bump_the_epoch() {
+        let root = std::env::temp_dir().join(format!("ww-sys-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = SystemConfig::default();
+        cfg.indexing_servers = 2;
+        cfg.query_servers = 2;
+        cfg.heartbeat_interval = std::time::Duration::from_millis(1);
+        cfg.lease_ttl = std::time::Duration::from_millis(5);
+        let ww = Waterwheel::builder(root).config(cfg).build().unwrap();
+        let epoch0 = ww.metadata().membership_epoch();
+        assert!(epoch0 >= 4, "build joins every server: epoch {epoch0}");
+        // Everyone heartbeats: nothing lapses even after the TTL.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ww.heartbeat_members().unwrap();
+        // Crash one indexing server: it stops heartbeating, so after the
+        // TTL + grace its lease lapses and the sweep evicts it.
+        let victim = ww.indexing_servers()[0].id();
+        ww.crash_indexing_server(victim).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        ww.heartbeat_members().unwrap(); // live members renew
+        let evicted = ww.expire_lapsed_members().unwrap();
+        assert_eq!(evicted, vec![victim]);
+        assert!(ww.metadata().membership_epoch() > epoch0);
+        // Recovery re-joins the member and bumps the epoch again.
+        let after_evict = ww.metadata().membership_epoch();
+        ww.recover_indexing_server(victim).unwrap();
+        assert!(ww.metadata().membership_epoch() > after_evict);
+        ww.heartbeat_members().unwrap();
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct DfsStats {
     pub local_opens: AtomicU64,
     /// Whole-body checksum verifications performed (first open per chunk).
     pub integrity_verifies: AtomicU64,
+    /// Chunks whose replica set was repaired after a node loss
+    /// ([`SimDfs::re_replicate`]).
+    pub re_replications: AtomicU64,
 }
 
 struct DfsInner {
@@ -67,6 +70,11 @@ struct DfsInner {
     replication: usize,
     latency: LatencyModel,
     policy: FsyncPolicy,
+    /// Replica sets pinned at write time. HDFS semantics: placement is
+    /// decided when the block is written and only changes when the
+    /// namenode re-replicates after a datanode loss — not implicitly
+    /// whenever cluster membership moves.
+    pinned: Mutex<HashMap<ChunkId, Vec<NodeId>>>,
     /// Cached *body* lengths — immutable files, so lengths never change.
     lengths: Mutex<HashMap<ChunkId, u64>>,
     /// Chunks whose whole-body checksum has been verified this process.
@@ -101,6 +109,7 @@ impl SimDfs {
                 replication,
                 latency,
                 policy: FsyncPolicy::Never,
+                pinned: Mutex::new(HashMap::new()),
                 lengths: Mutex::new(HashMap::new()),
                 verified: Mutex::new(HashSet::new()),
                 stats: DfsStats::default(),
@@ -143,9 +152,49 @@ impl SimDfs {
         Arc::clone(&self.inner.wal)
     }
 
-    /// The replica nodes of a chunk under the current cluster membership.
+    /// The replica nodes of a chunk: the set pinned when the chunk was
+    /// written (and later repaired by [`SimDfs::re_replicate`]), or — for
+    /// chunks sealed by an earlier process, whose pins did not survive
+    /// reopen — the deterministic rendezvous placement under the current
+    /// membership, which reproduces the original write-time choice.
     pub fn replicas(&self, id: ChunkId) -> Vec<NodeId> {
+        if let Some(pinned) = self.inner.pinned.lock().get(&id) {
+            return pinned.clone();
+        }
         self.inner.cluster.replicas(id, self.inner.replication)
+    }
+
+    /// Repairs the replica sets of every pinned chunk that lived on
+    /// `dead`, replacing it with the best surviving node by rendezvous
+    /// rank (call after `Cluster::fail_node(dead)`, so the placement no
+    /// longer offers the lost node). Returns the number of chunks
+    /// repaired — the work a namenode schedules when a datanode's
+    /// heartbeat lease lapses.
+    pub fn re_replicate(&self, dead: NodeId) -> usize {
+        let mut pinned = self.inner.pinned.lock();
+        let mut repaired = 0usize;
+        for (id, set) in pinned.iter_mut() {
+            if !set.contains(&dead) {
+                continue;
+            }
+            set.retain(|n| *n != dead);
+            // Rendezvous stability keeps the survivors in the fresh
+            // placement; whatever it adds is the HRW-best replacement.
+            for candidate in self.inner.cluster.replicas(*id, self.inner.replication) {
+                if set.len() >= self.inner.replication {
+                    break;
+                }
+                if !set.contains(&candidate) {
+                    set.push(candidate);
+                }
+            }
+            repaired += 1;
+        }
+        self.inner
+            .stats
+            .re_replications
+            .fetch_add(repaired as u64, Ordering::Relaxed);
+        repaired
     }
 
     /// The configured replication factor.
@@ -171,6 +220,11 @@ impl SimDfs {
         framed.extend_from_slice(&fnv1a(bytes).to_le_bytes());
         framed.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
         write_atomic(&path, &framed, self.inner.policy, &self.inner.wal)?;
+        // Pin the replica placement chosen at write time (HDFS block
+        // report semantics): later membership changes do not silently
+        // move the chunk — only `re_replicate` does.
+        let placed = self.inner.cluster.replicas(id, self.inner.replication);
+        self.inner.pinned.lock().insert(id, placed);
         self.inner.lengths.lock().insert(id, bytes.len() as u64);
         self.inner.verified.lock().insert(id);
         Ok(())
@@ -186,6 +240,7 @@ impl SimDfs {
 
     /// Deletes a chunk (retention/GC; not used by the core protocol).
     pub fn delete(&self, id: ChunkId) -> Result<()> {
+        self.inner.pinned.lock().remove(&id);
         self.inner.lengths.lock().remove(&id);
         self.inner.verified.lock().remove(&id);
         fs::remove_file(self.path(id)).map_err(Into::into)
@@ -516,6 +571,47 @@ mod tests {
         local.read_range(0, 128).unwrap();
         assert!(t1.elapsed() < std::time::Duration::from_millis(5));
         assert_eq!(dfs.stats().local_opens.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn write_time_replicas_are_pinned_and_repairable() {
+        let cluster = Cluster::new(8);
+        let dfs = SimDfs::new(
+            tmp_root("re-replicate"),
+            cluster.clone(),
+            3,
+            LatencyModel::default(),
+        )
+        .unwrap();
+        for i in 0..40u64 {
+            dfs.write_chunk(ChunkId(i), &[i as u8; 64]).unwrap();
+        }
+        let before: Vec<Vec<NodeId>> = (0..40).map(|i| dfs.replicas(ChunkId(i))).collect();
+        let dead = before[0][0];
+        // A membership change alone does NOT move pinned chunks: reads
+        // keep failing over within the write-time set.
+        cluster.fail_node(dead).unwrap();
+        for (i, old) in before.iter().enumerate() {
+            assert_eq!(&dfs.replicas(ChunkId(i as u64)), old);
+        }
+        // Re-replication replaces exactly the lost node, keeps survivors.
+        let affected = before.iter().filter(|set| set.contains(&dead)).count();
+        assert_eq!(dfs.re_replicate(dead), affected);
+        assert!(affected > 0);
+        for (i, old) in before.iter().enumerate() {
+            let new = dfs.replicas(ChunkId(i as u64));
+            assert_eq!(new.len(), 3);
+            assert!(!new.contains(&dead), "chunk {i} still on the dead node");
+            for n in old.iter().filter(|n| **n != dead) {
+                assert!(new.contains(n), "chunk {i}: survivor {n} moved needlessly");
+            }
+        }
+        assert_eq!(
+            dfs.stats().re_replications.load(Ordering::Relaxed),
+            affected as u64
+        );
+        // Repairing the same loss again is a no-op.
+        assert_eq!(dfs.re_replicate(dead), 0);
     }
 
     #[test]

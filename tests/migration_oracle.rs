@@ -1,0 +1,248 @@
+//! The migration oracle: live key-range migration never changes an
+//! answer.
+//!
+//! Two identically-fed systems run side by side — the *subject*
+//! rebalances through the full live-migration state machine (snapshot
+//! ship → durable records → dual-write install → straggler flush →
+//! cut-over) while the *control* never migrates. A continuous query
+//! thread hammers frozen windows on the subject throughout the
+//! migration, ingest keeps flowing into both, and every window is
+//! compared byte-exact between the twins afterwards — including after
+//! the migration source crashes post-cutover and is evicted from the
+//! membership. Both the in-process plane and the TCP loopback plane run
+//! the same oracle.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use waterwheel::prelude::*;
+use waterwheel::server::BalanceOutcome;
+
+fn fresh_root(name: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("ww-migor-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Skewed stream: every key in the low half of the domain, so server 0
+/// takes all the load and a rebalance round must move ranges.
+fn tuple_of(i: u64) -> Tuple {
+    Tuple::new(i * 1_000, 1_000 + i, vec![(i % 251) as u8])
+}
+
+/// The secondary attribute (payload byte) and the value the oracle's
+/// attr-eq queries select: tuples with `i % 251 == 7`.
+const ATTR: u16 = 1;
+const ATTR_VALUE: u64 = 7;
+
+fn build(name: &str, tcp: bool) -> Waterwheel {
+    let mut cfg = SystemConfig::default();
+    cfg.chunk_size_bytes = 8 * 1024;
+    cfg.indexing_servers = 2;
+    cfg.query_servers = 3;
+    cfg.dispatchers = 2;
+    cfg.heartbeat_interval = Duration::from_millis(10);
+    cfg.lease_ttl = Duration::from_millis(60);
+    let b = Waterwheel::builder(fresh_root(name)).config(cfg);
+    let b = if tcp { b.tcp_loopback() } else { b };
+    let ww = b.build().unwrap();
+    // Secondary attribute on the payload byte, registered before ingest so
+    // flushed chunks carry its indexes: the oracle also runs attr-eq
+    // queries through the migration window.
+    ww.register_attribute(ATTR, |t| t.payload.first().map(|&b| u64::from(b)));
+    ww
+}
+
+fn normalized(mut tuples: Vec<Tuple>) -> Vec<Tuple> {
+    tuples.sort_by(|a, b| (a.key, a.ts, &a.payload).cmp(&(b.key, b.ts, &b.payload)));
+    tuples
+}
+
+/// The comparison windows: full scan, key slices that straddle migrated
+/// boundaries, a time slice, and a joint slice.
+fn windows() -> Vec<(KeyInterval, TimeInterval)> {
+    vec![
+        (KeyInterval::full(), TimeInterval::full()),
+        (KeyInterval::new(0, 600_000), TimeInterval::full()),
+        (KeyInterval::full(), TimeInterval::new(1_400, 2_100)),
+        (
+            KeyInterval::new(300_000, 1_500_000),
+            TimeInterval::new(1_000, 2_500),
+        ),
+    ]
+}
+
+fn query_retry(ww: &Waterwheel, q: &Query) -> QueryResult {
+    let until = Instant::now() + Duration::from_secs(30);
+    loop {
+        match ww.query(q) {
+            Ok(r) => return r,
+            Err(e) if e.is_retryable() && Instant::now() < until => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("oracle query failed non-retryably: {e}"),
+        }
+    }
+}
+
+fn range_retry(ww: &Waterwheel, keys: KeyInterval, times: TimeInterval) -> QueryResult {
+    query_retry(ww, &Query::range(keys, times))
+}
+
+fn aggregate_retry(ww: &Waterwheel, q: &AggregateQuery) -> AggregateAnswer {
+    let until = Instant::now() + Duration::from_secs(30);
+    loop {
+        match ww.coordinator().execute_aggregate(q) {
+            Ok(a) => return a,
+            Err(e) if e.is_retryable() && Instant::now() < until => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("oracle aggregate failed non-retryably: {e}"),
+        }
+    }
+}
+
+fn assert_twin_exact(subject: &Waterwheel, control: &Waterwheel, what: &str) {
+    for (keys, times) in windows() {
+        let a = normalized(range_retry(subject, keys, times).tuples);
+        let b = normalized(range_retry(control, keys, times).tuples);
+        assert_eq!(
+            a, b,
+            "{what}: window {keys:?}/{times:?} diverged from the unmigrated twin"
+        );
+    }
+    let attr_q =
+        Query::range(KeyInterval::full(), TimeInterval::full()).and_attr_eq(ATTR, ATTR_VALUE);
+    let a = normalized(query_retry(subject, &attr_q).tuples);
+    let b = normalized(query_retry(control, &attr_q).tuples);
+    assert_eq!(a, b, "{what}: attr-eq window diverged");
+    let q = Query::range(KeyInterval::full(), TimeInterval::full()).aggregate(AggregateKind::Count);
+    let a = subject.coordinator().execute_aggregate(&q).unwrap();
+    let b = control.coordinator().execute_aggregate(&q).unwrap();
+    assert_eq!(a.agg.count, b.agg.count, "{what}: COUNT diverged");
+}
+
+/// The oracle, shared by both transport planes.
+fn run_migration_oracle(subject: Waterwheel, control: Waterwheel) {
+    let subject = Arc::new(subject);
+    let control = Arc::new(control);
+
+    // Frozen prefix: ingested, drained, and sealed before the migration
+    // starts — the invariant the continuous thread holds mid-flight.
+    const FROZEN: u64 = 2_000;
+    for i in 0..FROZEN {
+        subject.insert(tuple_of(i)).unwrap();
+        control.insert(tuple_of(i)).unwrap();
+    }
+    subject.drain().unwrap();
+    control.drain().unwrap();
+    subject.flush_all().unwrap();
+    control.flush_all().unwrap();
+
+    // Continuous queries while ownership moves.
+    let stop = Arc::new(AtomicBool::new(false));
+    let oracle = {
+        let stop = Arc::clone(&stop);
+        let subject = Arc::clone(&subject);
+        std::thread::spawn(move || {
+            let frozen = TimeInterval::new(1_000, 1_000 + FROZEN - 1);
+            let attr_expect = (0..FROZEN).filter(|i| i % 251 == ATTR_VALUE).count();
+            let count_q = Query::range(KeyInterval::full(), frozen).aggregate(AggregateKind::Count);
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let full = range_retry(&subject, KeyInterval::full(), frozen);
+                assert_eq!(
+                    full.tuples.len() as u64,
+                    FROZEN,
+                    "frozen window lost or duplicated tuples mid-migration"
+                );
+                let low = range_retry(&subject, KeyInterval::new(0, 600_000), frozen);
+                assert_eq!(
+                    low.tuples.len() as u64,
+                    601, // keys 0, 1000, ..., 600_000
+                    "frozen key-slice diverged mid-migration"
+                );
+                let hits = query_retry(
+                    &subject,
+                    &Query::range(KeyInterval::full(), frozen).and_attr_eq(ATTR, ATTR_VALUE),
+                );
+                assert_eq!(
+                    hits.tuples.len(),
+                    attr_expect,
+                    "frozen attr-eq slice diverged mid-migration"
+                );
+                let agg = aggregate_retry(&subject, &count_q);
+                assert_eq!(agg.agg.count, FROZEN, "frozen COUNT diverged mid-migration");
+                rounds += 1;
+            }
+            rounds
+        })
+    };
+
+    // Concurrent ingest into both twins while the subject migrates.
+    let ingested = Arc::new(AtomicU64::new(FROZEN));
+    let ingest = {
+        let stop = Arc::clone(&stop);
+        let ingested = Arc::clone(&ingested);
+        let subject = Arc::clone(&subject);
+        let control = Arc::clone(&control);
+        std::thread::spawn(move || {
+            let mut i = FROZEN;
+            while !stop.load(Ordering::SeqCst) && i < FROZEN + 3_000 {
+                subject.insert(tuple_of(i)).unwrap();
+                control.insert(tuple_of(i)).unwrap();
+                ingested.store(i + 1, Ordering::SeqCst);
+                i += 1;
+            }
+        })
+    };
+
+    // The tentpole moment: the full live-migration state machine runs
+    // while the two threads above are hammering the system.
+    let out = subject.rebalance().unwrap();
+    assert!(
+        matches!(out, BalanceOutcome::Repartitioned { .. }),
+        "skewed load must repartition, got {out:?}"
+    );
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    ingest.join().unwrap();
+    let rounds = oracle.join().unwrap();
+    assert!(rounds > 0, "oracle never observed the migration window");
+
+    // Durable evidence: completed records with a cut-over epoch.
+    let migs = subject.metadata().migrations();
+    assert!(!migs.is_empty(), "live migration must record its moves");
+    assert!(migs.iter().all(|m| m.completed()), "{migs:?}");
+
+    // Quiesce and compare every window byte-exact against the twin.
+    subject.drain().unwrap();
+    control.drain().unwrap();
+    subject.flush_all().unwrap();
+    control.flush_all().unwrap();
+    let total = ingested.load(Ordering::SeqCst);
+    let full = range_retry(&subject, KeyInterval::full(), TimeInterval::full());
+    assert_eq!(full.tuples.len() as u64, total, "subject lost tuples");
+    assert_twin_exact(&subject, &control, "post-migration");
+
+    // Crash the migration source post-cutover. Its memory was sealed to
+    // chunks, so once the lease lapses and the membership sweep evicts
+    // it, every window still answers byte-exact from the survivors.
+    let src = migs.last().unwrap().from;
+    subject.crash_indexing_server(src).unwrap();
+    std::thread::sleep(Duration::from_millis(80)); // > lease_ttl
+    subject.heartbeat_members().unwrap(); // survivors renew
+    let evicted = subject.expire_lapsed_members().unwrap();
+    assert_eq!(evicted, vec![src], "the crashed source must be evicted");
+    assert_twin_exact(&subject, &control, "post-crash-of-source");
+}
+
+#[test]
+fn live_migration_answers_byte_exact_in_process() {
+    run_migration_oracle(build("subj-mem", false), build("ctrl-mem", false));
+}
+
+#[test]
+fn live_migration_answers_byte_exact_over_tcp() {
+    run_migration_oracle(build("subj-tcp", true), build("ctrl-tcp", false));
+}

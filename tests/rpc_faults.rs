@@ -369,3 +369,64 @@ fn clearing_faults_restores_the_clean_plane() {
     );
     assert_eq!(after.rpc_timed_out, before.rpc_timed_out);
 }
+
+#[test]
+fn membership_epoch_race_is_typed_retryable_and_never_wrong() {
+    use std::time::Duration;
+    use waterwheel::core::{ServerId, WwError};
+    use waterwheel::meta::MemberRole;
+
+    let ww = Waterwheel::builder(fresh_root("epoch-race"))
+        .config(cfg())
+        .build()
+        .unwrap();
+    for i in 0..1_500u64 {
+        ww.insert(Tuple::bare(spread_key(i), 1_000 + i)).unwrap();
+    }
+    ww.drain().unwrap();
+    ww.flush_all().unwrap(); // chunks exist: queries need the query tier
+
+    // Sync the routing table, then advance the membership epoch (one
+    // query server leaves and re-joins) *without* telling the
+    // coordinator: the next query plans against a superseded view.
+    ww.coordinator().refresh_membership().unwrap();
+    let planned = ww.coordinator().routing_epoch();
+    let qs: Vec<ServerId> = ww.query_servers().iter().map(|q| q.id()).collect();
+    let node = ww
+        .metadata()
+        .membership()
+        .query
+        .iter()
+        .find(|&&(id, _)| id == qs[2])
+        .map(|&(_, n)| n)
+        .unwrap();
+    ww.metadata().leave(qs[2]).unwrap();
+    ww.metadata()
+        .join(qs[2], MemberRole::Query, node, Duration::from_secs(60))
+        .unwrap();
+    assert!(ww.metadata().membership_epoch() > planned);
+
+    // Every server of the stale plan is unreachable — the coordinator
+    // must answer with the typed *retryable* epoch-race error, never a
+    // wrong or falsely-final answer.
+    for &q in &qs {
+        ww.transport().partition(COORDINATOR, q);
+    }
+    let err = ww.query(&all()).unwrap_err();
+    assert!(
+        matches!(err, WwError::Unreachable(_)),
+        "expected the typed epoch-race error, got {err}"
+    );
+    assert!(err.is_retryable(), "epoch race must be retryable: {err}");
+
+    // The caller-side contract: heal, retry against the refreshed view,
+    // and the answer is exact.
+    for &q in &qs {
+        ww.transport().heal(COORDINATOR, q);
+    }
+    assert_eq!(
+        ww.query(&all()).unwrap().tuples.len(),
+        1_500,
+        "retry after the race must be exact"
+    );
+}
